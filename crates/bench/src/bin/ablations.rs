@@ -1,0 +1,7 @@
+//! Runs the ablation sweeps for DESIGN.md §6's design choices
+//! (confidence threshold, request queue, write buffer, hotness decay,
+//! classic VP forwarding) on a representative workload subset.
+fn main() {
+    let scale = scc_bench::bench_scale();
+    print!("{}", scc_bench::ablations::full_report(scale));
+}

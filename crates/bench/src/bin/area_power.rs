@@ -1,0 +1,4 @@
+//! Prints the SCC area/peak-power overhead accounting (paper §VII-B).
+fn main() {
+    print!("{}", scc_bench::area_power_report());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 11 from the synthetic suite.
+fn main() {
+    let scale = scc_bench::bench_scale();
+    print!("{}", scc_bench::fig11_report(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 6 from the synthetic suite.
+fn main() {
+    let scale = scc_bench::bench_scale();
+    print!("{}", scc_bench::fig6_report(scale));
+}

@@ -1,0 +1,65 @@
+//! Deep-dive diagnostics for one workload at one optimization level.
+//!
+//! ```text
+//! cargo run --release -p scc-bench --bin inspect -- <workload> [level] [iters]
+//! ```
+//!
+//! Levels: baseline | partitioned | move-elim | fold+prop | branch-fold |
+//! full-scc (default full-scc).
+
+use scc_sim::{run_workload, OptLevel, SimOptions};
+use scc_workloads::{workload, Scale};
+
+fn parse_level(s: &str) -> OptLevel {
+    OptLevel::all()
+        .into_iter()
+        .find(|l| l.label() == s)
+        .unwrap_or_else(|| panic!("unknown level {s}; use one of {:?}",
+            OptLevel::all().map(|l| l.label())))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("freqmine");
+    let level = parse_level(args.get(2).map(String::as_str).unwrap_or("full-scc"));
+    let iters = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let w = workload(name, Scale::custom(iters))
+        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let base = run_workload(&w, &SimOptions::new(OptLevel::Baseline));
+    let r = run_workload(&w, &SimOptions::new(level));
+    let s = &r.stats;
+    println!("workload {name} @ {level} (iters {iters}) — {}", w.description);
+    println!("cycles            {:>12} (baseline {}, norm {:.3})", s.cycles, base.stats.cycles,
+        s.cycles as f64 / base.stats.cycles as f64);
+    println!("committed uops    {:>12} (baseline {}, reduction {:+.1}%)",
+        s.committed_uops, base.stats.committed_uops,
+        100.0 * (1.0 - s.committed_uops as f64 / base.stats.committed_uops as f64));
+    println!("ipc               {:>12.3}", s.ipc());
+    println!("ghosts/live-outs  {:>12} / {}", s.committed_ghosts, s.live_out_writes);
+    println!("fetch icache/unopt/opt {:>8} / {} / {}", s.uops_from_icache, s.uops_from_unopt,
+        s.uops_from_opt);
+    println!("squashes          {:>12} (uops {}, overhead {:.3})", s.squashes, s.squashed_uops,
+        s.squash_overhead());
+    println!("  plain-branch    {:>12}", s.branch_squashes);
+    println!("  scc-data        {:>12}", s.scc_data_squashes);
+    println!("  scc-control     {:>12}", s.scc_control_squashes);
+    println!("branches          {:>12} resolved, {} mispredicted", s.branches_resolved,
+        s.branches_mispredicted);
+    println!("invariants        {:>12} validated, {} failed", s.invariants_validated,
+        s.invariants_failed);
+    println!("compactions       {:>12} ({} committed, {} discarded, {} aborted)",
+        s.compactions, s.streams_committed, s.compactions_discarded, s.compactions_aborted);
+    println!("scc busy cycles   {:>12}", s.scc_busy_cycles);
+    println!("uop cache unopt   {:?}", s.unopt);
+    println!("uop cache opt     {:?}", s.opt);
+    println!("hierarchy         l1i {:?} l1d {:?}", s.hierarchy.l1i, s.hierarchy.l1d);
+    println!("                  l2 {:?} l3 {:?} dram {}", s.hierarchy.l2, s.hierarchy.l3,
+        s.hierarchy.dram);
+    println!("energy            {:.3} mJ (baseline {:.3}, norm {:.3})", r.energy_pj() / 1e9,
+        base.energy_pj() / 1e9, r.energy_pj() / base.energy_pj());
+    if std::env::args().any(|a| a == "--energy") {
+        println!("\n== detailed energy (McPAT-style) ==");
+        let model = scc_energy::EnergyModel::icelake();
+        print!("{}", model.detailed_report(&scc_sim::energy_events(s)));
+    }
+}

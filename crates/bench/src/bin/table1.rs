@@ -1,0 +1,5 @@
+//! Prints Table I: the modeled microarchitectural configuration.
+fn main() {
+    println!("== Table I: microarchitectural configuration ==");
+    print!("{}", scc_sim::table1());
+}

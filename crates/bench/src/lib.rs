@@ -1,0 +1,355 @@
+//! Figure- and table-regeneration harness.
+//!
+//! One function per table/figure of the paper's evaluation; the `src/bin`
+//! binaries print them, and `tests/` sanity-checks their shape (who wins,
+//! roughly by how much — not absolute numbers, per DESIGN.md §4).
+//!
+//! Workload dynamic length is controlled by the `SCC_ITERS` environment
+//! variable (default 6000 base loop iterations ≈ 0.5–2M micro-ops per
+//! benchmark).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+
+use scc_energy::AreaModel;
+use scc_sim::report::{geomean, reduction_pct, speedup_pct, Table};
+use scc_sim::{run_workload, OptLevel, SimOptions, SimResult};
+use scc_predictors::ValuePredictorKind;
+use scc_workloads::{all_workloads, Scale, Suite, Workload};
+
+/// The workload scale used by the harness (`SCC_ITERS`, default 6000).
+pub fn bench_scale() -> Scale {
+    let iters = std::env::var("SCC_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<i64>().ok())
+        .unwrap_or(6000);
+    Scale::custom(iters)
+}
+
+/// Runs every workload at the given levels; results indexed
+/// `[workload][level]`.
+pub fn run_levels(scale: Scale, levels: &[OptLevel]) -> Vec<(Workload, Vec<SimResult>)> {
+    all_workloads(scale)
+        .into_iter()
+        .map(|w| {
+            let results = levels
+                .iter()
+                .map(|&level| run_workload(&w, &SimOptions::new(level)))
+                .collect();
+            (w, results)
+        })
+        .collect()
+}
+
+fn pct(v: f64) -> String {
+    format!("{v:+.1}%")
+}
+
+fn mean_label(suite: Option<Suite>) -> &'static str {
+    match suite {
+        None => "GEOMEAN(all)",
+        Some(Suite::Parsec) => "GEOMEAN(parsec)",
+        _ => "GEOMEAN(spec)",
+    }
+}
+
+fn suite_filter(w: &Workload, suite: Option<Suite>) -> bool {
+    match suite {
+        None => true,
+        Some(Suite::Parsec) => w.suite == Suite::Parsec,
+        _ => w.suite.is_spec(),
+    }
+}
+
+/// Figure 6 (top, middle, bottom): committed micro-op reduction,
+/// normalized execution time, and squash overhead for each optimization
+/// level relative to the baseline.
+pub fn fig6_report(scale: Scale) -> String {
+    let levels = OptLevel::all();
+    let data = run_levels(scale, &levels);
+    let mut out = String::new();
+
+    out.push_str("== Figure 6 (top): committed micro-op reduction vs baseline ==\n");
+    let mut t = Table::new(&[
+        "benchmark", "partitioned", "move-elim", "fold+prop", "branch-fold", "full-scc",
+    ]);
+    for (w, rs) in &data {
+        let base = rs[0].uops();
+        let cells: Vec<String> = (1..6)
+            .map(|i| pct(reduction_pct(base, rs[i].uops())))
+            .collect();
+        let mut row = vec![w.name.to_string()];
+        row.extend(cells);
+        t.row(&row);
+    }
+    for suite in [Some(Suite::SpecInt), Some(Suite::Parsec)] {
+        let mut row = vec![mean_label(suite).to_string()];
+        for i in 1..6 {
+            let vals: Vec<f64> = data
+                .iter()
+                .filter(|(w, _)| suite_filter(w, suite))
+                .map(|(_, rs)| rs[i].uops() as f64 / rs[0].uops() as f64)
+                .collect();
+            row.push(pct((1.0 - geomean(vals)) * 100.0));
+        }
+        t.row(&row);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n== Figure 6 (middle): normalized execution time (lower is better) ==\n");
+    let mut t = Table::new(&[
+        "benchmark", "partitioned", "move-elim", "fold+prop", "branch-fold", "full-scc",
+    ]);
+    for (w, rs) in &data {
+        let base = rs[0].cycles() as f64;
+        let mut row = vec![w.name.to_string()];
+        for i in 1..6 {
+            row.push(format!("{:.3}", rs[i].cycles() as f64 / base));
+        }
+        t.row(&row);
+    }
+    for suite in [Some(Suite::SpecInt), Some(Suite::Parsec)] {
+        let mut row = vec![mean_label(suite).to_string()];
+        for i in 1..6 {
+            let vals: Vec<f64> = data
+                .iter()
+                .filter(|(w, _)| suite_filter(w, suite))
+                .map(|(_, rs)| rs[i].cycles() as f64 / rs[0].cycles() as f64)
+                .collect();
+            row.push(format!("{:.3}", geomean(vals)));
+        }
+        t.row(&row);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n== Figure 6 (bottom): squash overhead (squashed / fetched uops) ==\n");
+    let mut t = Table::new(&["benchmark", "baseline", "full-scc", "scc-data", "scc-ctrl"]);
+    for (w, rs) in &data {
+        t.row(&[
+            w.name.to_string(),
+            format!("{:.3}", rs[0].stats.squash_overhead()),
+            format!("{:.3}", rs[5].stats.squash_overhead()),
+            format!("{}", rs[5].stats.scc_data_squashes),
+            format!("{}", rs[5].stats.scc_control_squashes),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Figure 7: micro-ops delivered by each front-end source, baseline vs
+/// full SCC.
+pub fn fig7_report(scale: Scale) -> String {
+    let data = run_levels(scale, &[OptLevel::Baseline, OptLevel::Full]);
+    let mut out = String::new();
+    out.push_str("== Figure 7: uops by fetch source (baseline | SCC) ==\n");
+    let mut t = Table::new(&[
+        "benchmark", "b.icache", "b.unopt", "s.icache", "s.unopt", "s.opt", "opt-share",
+    ]);
+    for (w, rs) in &data {
+        let (b, s) = (&rs[0].stats, &rs[1].stats);
+        let total = (s.uops_from_icache + s.uops_from_unopt + s.uops_from_opt).max(1);
+        t.row(&[
+            w.name.to_string(),
+            b.uops_from_icache.to_string(),
+            b.uops_from_unopt.to_string(),
+            s.uops_from_icache.to_string(),
+            s.uops_from_unopt.to_string(),
+            s.uops_from_opt.to_string(),
+            format!("{:.0}%", 100.0 * s.uops_from_opt as f64 / total as f64),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Figure 8: normalized energy, baseline vs full SCC.
+pub fn fig8_report(scale: Scale) -> String {
+    let data = run_levels(scale, &[OptLevel::Baseline, OptLevel::Full]);
+    let mut out = String::new();
+    out.push_str("== Figure 8: normalized energy (SCC / baseline, lower is better) ==\n");
+    let mut t = Table::new(&["benchmark", "baseline mJ", "scc mJ", "normalized", "savings"]);
+    for (w, rs) in &data {
+        let (b, s) = (rs[0].energy_pj(), rs[1].energy_pj());
+        t.row(&[
+            w.name.to_string(),
+            format!("{:.3}", b / 1e9),
+            format!("{:.3}", s / 1e9),
+            format!("{:.3}", s / b),
+            pct((1.0 - s / b) * 100.0),
+        ]);
+    }
+    for suite in [Some(Suite::SpecInt), Some(Suite::Parsec), None] {
+        let vals: Vec<f64> = data
+            .iter()
+            .filter(|(w, _)| suite_filter(w, suite))
+            .map(|(_, rs)| rs[1].energy_pj() / rs[0].energy_pj())
+            .collect();
+        t.row(&[
+            mean_label(suite).to_string(),
+            "-".into(),
+            "-".into(),
+            format!("{:.3}", geomean(vals.iter().copied())),
+            pct((1.0 - geomean(vals)) * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Figure 9: H3VP vs EVES under full SCC — speedup over baseline,
+/// invariant validation failures, squash overhead.
+pub fn fig9_report(scale: Scale) -> String {
+    let workloads = all_workloads(scale);
+    let mut out = String::new();
+    out.push_str("== Figure 9: value predictor sensitivity (full SCC) ==\n");
+    let mut t = Table::new(&[
+        "benchmark", "eves-speedup", "h3vp-speedup", "eves-vpfail", "h3vp-vpfail",
+        "eves-squash", "h3vp-squash",
+    ]);
+    for w in &workloads {
+        let base = run_workload(w, &SimOptions::new(OptLevel::Baseline));
+        let mut eves = SimOptions::new(OptLevel::Full);
+        eves.value_predictor = ValuePredictorKind::Eves;
+        let mut h3vp = SimOptions::new(OptLevel::Full);
+        h3vp.value_predictor = ValuePredictorKind::H3vp;
+        let re = run_workload(w, &eves);
+        let rh = run_workload(w, &h3vp);
+        t.row(&[
+            w.name.to_string(),
+            pct(speedup_pct(base.cycles(), re.cycles())),
+            pct(speedup_pct(base.cycles(), rh.cycles())),
+            re.stats.invariants_failed.to_string(),
+            rh.stats.invariants_failed.to_string(),
+            format!("{:.3}", re.stats.squash_overhead()),
+            format!("{:.3}", rh.stats.squash_overhead()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Figure 10: optimized-partition size sensitivity (12/24/36 of 48 sets).
+pub fn fig10_report(scale: Scale) -> String {
+    let workloads = all_workloads(scale);
+    let splits = [12usize, 24, 36];
+    let mut out = String::new();
+    out.push_str("== Figure 10: optimized-partition size (normalized time vs baseline) ==\n");
+    let mut t = Table::new(&["benchmark", "opt=12", "opt=24", "opt=36"]);
+    let mut sums = vec![Vec::new(); splits.len()];
+    for w in &workloads {
+        let base = run_workload(w, &SimOptions::new(OptLevel::Baseline));
+        let mut row = vec![w.name.to_string()];
+        for (i, &sets) in splits.iter().enumerate() {
+            let mut o = SimOptions::new(OptLevel::Full);
+            o.opt_partition_sets = sets;
+            let r = run_workload(w, &o);
+            let norm = r.cycles() as f64 / base.cycles() as f64;
+            sums[i].push(norm);
+            row.push(format!("{norm:.3}"));
+        }
+        t.row(&row);
+    }
+    let mut row = vec![mean_label(None).to_string()];
+    for vals in &sums {
+        row.push(format!("{:.3}", geomean(vals.iter().copied())));
+    }
+    t.row(&row);
+    out.push_str(&t.render());
+    out
+}
+
+/// Figure 11: constant-width restriction sensitivity (8/16/32 bits vs
+/// unrestricted): micro-op reduction and normalized time, plus live-out
+/// carry rates (§VII-C).
+pub fn fig11_report(scale: Scale) -> String {
+    let workloads = all_workloads(scale);
+    let widths: [Option<u32>; 4] = [Some(8), Some(16), Some(32), None];
+    let labels = ["w8", "w16", "w32", "unrestricted"];
+    let mut out = String::new();
+    out.push_str("== Figure 11: constant width restriction (full SCC) ==\n");
+    let mut t = Table::new(&[
+        "benchmark", "red.w8", "red.w16", "red.w32", "red.unres", "time.w8", "time.w16",
+        "time.w32", "time.unres", "liveout%",
+    ]);
+    let _ = labels;
+    let mut norm_time = vec![Vec::new(); widths.len()];
+    let mut reductions = vec![Vec::new(); widths.len()];
+    for w in &workloads {
+        let base = run_workload(w, &SimOptions::new(OptLevel::Baseline));
+        let mut row = vec![w.name.to_string()];
+        let mut times = Vec::new();
+        let mut liveout_pct = 0.0;
+        for (i, &width) in widths.iter().enumerate() {
+            let mut o = SimOptions::new(OptLevel::Full);
+            o.max_constant_width = width;
+            let r = run_workload(w, &o);
+            let red = reduction_pct(base.uops(), r.uops());
+            reductions[i].push(r.uops() as f64 / base.uops() as f64);
+            row.push(pct(red));
+            let nt = r.cycles() as f64 / base.cycles() as f64;
+            norm_time[i].push(nt);
+            times.push(format!("{nt:.3}"));
+            if width.is_none() {
+                liveout_pct = 100.0 * r.stats.committed_ghosts as f64
+                    / r.stats.committed_uops.max(1) as f64;
+            }
+        }
+        row.extend(times);
+        row.push(format!("{liveout_pct:.2}%"));
+        t.row(&row);
+    }
+    let mut row = vec![mean_label(None).to_string()];
+    for vals in &reductions {
+        row.push(pct((1.0 - geomean(vals.iter().copied())) * 100.0));
+    }
+    for vals in &norm_time {
+        row.push(format!("{:.3}", geomean(vals.iter().copied())));
+    }
+    row.push("-".into());
+    t.row(&row);
+    out.push_str(&t.render());
+    out
+}
+
+/// §VII-B: SCC area and peak-power overheads.
+pub fn area_power_report() -> String {
+    let a = AreaModel::icelake();
+    let mut out = String::new();
+    out.push_str("== SCC area and peak power overheads (per core) ==\n");
+    let mut t = Table::new(&["structure", "area (mm^2)"]);
+    t.row(&["SCC front-end ALU".into(), format!("{:.3}", a.scc_alu_mm2)]);
+    t.row(&["register context table".into(), format!("{:.3}", a.scc_rct_mm2)]);
+    t.row(&["doubled predictor ports".into(), format!("{:.3}", a.pred_ports_mm2)]);
+    t.row(&["extended tag arrays".into(), format!("{:.3}", a.tag_ext_mm2)]);
+    t.row(&["request queue + write buffer".into(), format!("{:.3}", a.buffers_mm2)]);
+    t.row(&["SCC total".into(), format!("{:.3}", a.scc_mm2())]);
+    t.row(&["baseline core".into(), format!("{:.3}", a.core_mm2)]);
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\narea overhead: {:.2}%  (paper: 1.5%)\npeak power overhead: {:.2}%  (paper: 0.62%)\n",
+        100.0 * a.area_overhead(),
+        100.0 * a.peak_power_overhead()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_power_matches_paper() {
+        let r = area_power_report();
+        assert!(r.contains("area overhead: 1.4") || r.contains("area overhead: 1.5"));
+        assert!(r.contains("peak power overhead: 0.6"));
+    }
+
+    #[test]
+    fn bench_scale_env_override() {
+        // Not set in tests: default.
+        assert!(bench_scale().iters >= 1);
+    }
+}

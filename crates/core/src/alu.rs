@@ -1,0 +1,98 @@
+//! The SCC front-end ALU.
+//!
+//! "a simple integer ALU to evaluate and speculatively eliminate dead
+//! code … we take a conservative latency/power-sensitive approach by
+//! restricting the range of operations it can perform to only simple
+//! integer arithmetic, logic, and shift operations" (paper §III). The ALU
+//! therefore refuses `mul`/`div`/`rem`, all memory operations, and all
+//! floating point — even when their inputs are known.
+
+use scc_isa::{eval_alu, is_foldable_int, AluResult, CcFlags, Cond, Op};
+
+/// The front-end ALU, with an operation counter for the energy model.
+#[derive(Clone, Debug, Default)]
+pub struct SccAlu {
+    ops: u64,
+}
+
+impl SccAlu {
+    /// Creates an idle ALU.
+    pub fn new() -> SccAlu {
+        SccAlu::default()
+    }
+
+    /// True if this ALU can evaluate `op` at all.
+    pub fn supports(op: Op) -> bool {
+        is_foldable_int(op)
+    }
+
+    /// Evaluates a supported operation on concrete inputs, counting the
+    /// operation. Returns `None` for unsupported operations.
+    pub fn eval(
+        &mut self,
+        op: Op,
+        a: i64,
+        b: i64,
+        cc: CcFlags,
+        cond: Option<Cond>,
+    ) -> Option<AluResult> {
+        if !Self::supports(op) {
+            return None;
+        }
+        self.ops += 1;
+        eval_alu(op, a, b, cc, cond)
+    }
+
+    /// Operations evaluated so far (energy accounting).
+    pub fn op_count(&self) -> u64 {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluates_simple_integer_ops() {
+        let mut alu = SccAlu::new();
+        let r = alu.eval(Op::Add, 10, 2, CcFlags::default(), None).unwrap();
+        assert_eq!(r.value, Some(12));
+        let r = alu.eval(Op::Shl, 1, 4, CcFlags::default(), None).unwrap();
+        assert_eq!(r.value, Some(16));
+        assert_eq!(alu.op_count(), 2);
+    }
+
+    #[test]
+    fn refuses_complex_and_memory_ops() {
+        let mut alu = SccAlu::new();
+        for op in [Op::Mul, Op::Div, Op::Rem, Op::Load, Op::Store, Op::FpAdd, Op::FpMul, Op::Simd] {
+            assert!(alu.eval(op, 1, 1, CcFlags::default(), None).is_none(), "{op}");
+            assert!(!SccAlu::supports(op), "{op}");
+        }
+        assert_eq!(alu.op_count(), 0, "refused ops must not count");
+    }
+
+    #[test]
+    fn matches_backend_semantics_exactly() {
+        // The linchpin: SCC folding computes bit-identical results to the
+        // execute stage for every supported op and tricky inputs.
+        let mut alu = SccAlu::new();
+        let inputs = [(i64::MAX, 1), (i64::MIN, -1), (0, 0), (-5, 63), (7, 65)];
+        for op in [Op::Add, Op::Sub, Op::And, Op::Or, Op::Xor, Op::Shl, Op::Shr, Op::Sar] {
+            for (a, b) in inputs {
+                let scc = alu.eval(op, a, b, CcFlags::default(), None).unwrap();
+                let backend = eval_alu(op, a, b, CcFlags::default(), None).unwrap();
+                assert_eq!(scc, backend, "{op} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_produces_flags_only() {
+        let mut alu = SccAlu::new();
+        let r = alu.eval(Op::Cmp, 3, 3, CcFlags::default(), None).unwrap();
+        assert_eq!(r.value, None);
+        assert!(r.cc.unwrap().zf);
+    }
+}

@@ -1,0 +1,209 @@
+//! SCC configuration: which speculative optimizations run, and the
+//! thresholds governing speculation aggressiveness.
+
+/// Which speculative transformations are enabled.
+///
+/// The appendix's six experiment levels are cumulative subsets of these
+/// flags; [`OptFlags::full`] corresponds to "full Speculative Code
+/// Compaction" and [`OptFlags::none`] to the (partitioned) baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct OptFlags {
+    /// Eliminate register-immediate and register-register moves whose
+    /// value is known ("simple move elimination", level 3).
+    pub move_elim: bool,
+    /// Fold simple integer ALU micro-ops whose inputs are all known
+    /// (level 4).
+    pub const_fold: bool,
+    /// Rewrite known register operands into immediate form (level 4).
+    pub const_prop: bool,
+    /// Identify speculative data invariants by probing the value
+    /// predictor (`predictingArithmetic=1`; level 4).
+    pub data_invariants: bool,
+    /// Fold branches whose direction and target are deducible from the
+    /// register context table (level 5).
+    pub branch_fold: bool,
+    /// Keep confidently predicted branches as prediction sources and
+    /// compact across basic blocks (`usingControlTracking=1`; level 6).
+    pub control_invariants: bool,
+    /// Track condition codes in the register context table
+    /// (`usingCCTracking=1`; level 6).
+    pub cc_tracking: bool,
+    /// Future-work extension (paper §III: complex integer operations
+    /// "would be an interesting area for future work"): let the SCC ALU
+    /// also fold `mul`/`div`/`rem` with known inputs. Off in every
+    /// paper-faithful configuration; the `ablations` bench measures it.
+    pub complex_alu: bool,
+}
+
+impl OptFlags {
+    /// No transformations (partitioned baseline).
+    pub fn none() -> OptFlags {
+        OptFlags::default()
+    }
+
+    /// Level 3: simple move elimination only.
+    pub fn move_elim_only() -> OptFlags {
+        OptFlags { move_elim: true, ..OptFlags::default() }
+    }
+
+    /// Level 4: moves + constant propagation, constant folding, and
+    /// value-predicted data invariants.
+    pub fn fold_prop() -> OptFlags {
+        OptFlags {
+            move_elim: true,
+            const_fold: true,
+            const_prop: true,
+            data_invariants: true,
+            ..OptFlags::default()
+        }
+    }
+
+    /// Level 5: level 4 plus branch folding.
+    pub fn branch_fold() -> OptFlags {
+        OptFlags { branch_fold: true, ..OptFlags::fold_prop() }
+    }
+
+    /// Level 6: full SCC — everything, including control invariants and
+    /// condition-code tracking. (The future-work `complex_alu` extension
+    /// stays off: the paper's front-end ALU is latency/power-restricted
+    /// to simple operations.)
+    pub fn full() -> OptFlags {
+        OptFlags { control_invariants: true, cc_tracking: true, ..OptFlags::branch_fold() }
+    }
+
+    /// The future-work configuration: full SCC plus complex-integer
+    /// folding in the front-end ALU.
+    pub fn future_work() -> OptFlags {
+        OptFlags { complex_alu: true, ..OptFlags::full() }
+    }
+
+    /// True if any transformation is enabled (i.e. the SCC unit exists).
+    pub fn any(&self) -> bool {
+        self.move_elim
+            || self.const_fold
+            || self.const_prop
+            || self.data_invariants
+            || self.branch_fold
+            || self.control_invariants
+    }
+}
+
+/// Full SCC unit configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SccConfig {
+    /// Enabled transformations.
+    pub opts: OptFlags,
+    /// Minimum predictor confidence (0–15) to adopt an invariant. The
+    /// paper runs SCC at 5 — far more aggressive than the 15 used for
+    /// plain value forwarding (`predictionConfidenceThreshold`).
+    pub confidence_threshold: u8,
+    /// Maximum speculative data invariants per stream (paper: "no more
+    /// than four data invariants").
+    pub max_data_invariants: usize,
+    /// Maximum speculative control invariants per stream (paper: "two
+    /// control invariants").
+    pub max_control_invariants: usize,
+    /// Stop after this many branches are encountered in a region (paper
+    /// stop condition (c): "more than two branches").
+    pub max_branches: usize,
+    /// Write-buffer capacity in micro-ops (paper: 18, sized for Ice
+    /// Lake).
+    pub write_buffer_uops: usize,
+    /// Minimum shrinkage (eliminated micro-ops) for the stream to be
+    /// committed; below it the write buffer is discarded.
+    pub compaction_threshold: u32,
+    /// Maximum width in bits of constants that can be propagated/inlined
+    /// (Figure 11 sweeps 8/16/32/unrestricted; `None` = unrestricted).
+    pub max_constant_width: Option<u32>,
+    /// Compaction request queue depth (paper: "as low as 6 entries"
+    /// suffices).
+    pub request_queue_len: usize,
+}
+
+impl SccConfig {
+    /// The paper's full-SCC configuration.
+    pub fn full() -> SccConfig {
+        SccConfig {
+            opts: OptFlags::full(),
+            confidence_threshold: 5,
+            max_data_invariants: 4,
+            max_control_invariants: 2,
+            max_branches: 2,
+            write_buffer_uops: 18,
+            compaction_threshold: 1,
+            max_constant_width: None,
+            request_queue_len: 6,
+        }
+    }
+
+    /// Full SCC with a different optimization subset.
+    pub fn with_opts(opts: OptFlags) -> SccConfig {
+        SccConfig { opts, ..SccConfig::full() }
+    }
+
+    /// True if `value` is inlinable/propagatable under the constant-width
+    /// restriction (signed range check, paper §VII-C).
+    pub fn constant_fits(&self, value: i64) -> bool {
+        match self.max_constant_width {
+            None => true,
+            Some(bits) if bits >= 64 => true,
+            Some(bits) => {
+                let min = -(1i64 << (bits - 1));
+                let max = (1i64 << (bits - 1)) - 1;
+                (min..=max).contains(&value)
+            }
+        }
+    }
+}
+
+impl Default for SccConfig {
+    fn default() -> SccConfig {
+        SccConfig::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_cumulative() {
+        assert!(!OptFlags::none().any());
+        let l3 = OptFlags::move_elim_only();
+        assert!(l3.move_elim && !l3.const_fold);
+        let l4 = OptFlags::fold_prop();
+        assert!(l4.move_elim && l4.const_fold && l4.const_prop && l4.data_invariants);
+        assert!(!l4.branch_fold);
+        let l5 = OptFlags::branch_fold();
+        assert!(l5.branch_fold && !l5.control_invariants);
+        let l6 = OptFlags::full();
+        assert!(l6.control_invariants && l6.cc_tracking && l6.any());
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let c = SccConfig::full();
+        assert_eq!(c.confidence_threshold, 5);
+        assert_eq!(c.max_data_invariants, 4);
+        assert_eq!(c.max_control_invariants, 2);
+        assert_eq!(c.max_branches, 2);
+        assert_eq!(c.write_buffer_uops, 18);
+        assert_eq!(c.request_queue_len, 6);
+    }
+
+    #[test]
+    fn constant_width_checks() {
+        let mut c = SccConfig::full();
+        assert!(c.constant_fits(i64::MAX));
+        c.max_constant_width = Some(8);
+        assert!(c.constant_fits(127));
+        assert!(c.constant_fits(-128));
+        assert!(!c.constant_fits(128));
+        assert!(!c.constant_fits(-129));
+        c.max_constant_width = Some(16);
+        assert!(c.constant_fits(32767));
+        assert!(!c.constant_fits(40000));
+        c.max_constant_width = Some(64);
+        assert!(c.constant_fits(i64::MIN));
+    }
+}

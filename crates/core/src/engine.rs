@@ -1,0 +1,702 @@
+//! The speculative code compaction engine.
+//!
+//! Processes micro-ops "from the unoptimized partition one at a time, and
+//! in program order" (paper §IV), applying the six speculative
+//! transformations in a single pass, and produces a
+//! [`CompactedStream`] for the optimized partition.
+//!
+//! # Correctness invariant
+//!
+//! Every elimination obeys: *the eliminated micro-op's value is (a)
+//! propagated into every subsequent in-stream reader (operand rewriting or
+//! an attached live-out), and (b) materialized at every recovery point
+//! younger than it (live-outs at prediction sources and stream end)*.
+//! Under that invariant, executing the compacted stream with all
+//! predictions holding leaves the architectural state bit-identical to the
+//! unoptimized sequence, and a squash at any prediction source recovers a
+//! consistent state — the property the pipeline's differential tests
+//! check against the reference interpreter.
+
+use crate::alu::SccAlu;
+use crate::config::SccConfig;
+use crate::probes::{BranchProbe, UopSource, ValueProbe};
+use crate::regfile::RegContextTable;
+use scc_isa::{eval_cond, region, Addr, Op, Operand, Uop};
+use scc_uopcache::{CompactedStream, ElimBreakdown, Invariant, StreamUop, TaggedInvariant};
+use std::collections::VecDeque;
+
+/// Why a compaction was abandoned with no stream produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// A self-looping (string-style) macro-instruction was encountered
+    /// (paper §III: "the compaction process is considered aborted").
+    SelfLoopingMacro,
+    /// A store whose speculatively known address falls in the region
+    /// currently being optimized — the paper's self-modifying-code
+    /// detection.
+    SelfModifyingCode,
+}
+
+/// The result of one compaction pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompactionOutcome {
+    /// The stream met the compaction threshold and should be committed to
+    /// the optimized partition.
+    Committed(CompactedStream),
+    /// The write buffer was discarded: not enough shrinkage.
+    Discarded {
+        /// Micro-ops the pass did eliminate.
+        shrinkage: u32,
+        /// Micro-ops scanned.
+        orig_len: u32,
+    },
+    /// Compaction aborted with no side effects.
+    Aborted(AbortReason),
+}
+
+/// A queued compaction request (region crossed the hotness threshold).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactionRequest {
+    /// Home region of the hot line.
+    pub region: Addr,
+    /// Address compaction starts from.
+    pub entry: Addr,
+}
+
+/// The bounded compaction request queue ("a request queue that is
+/// appropriately sized based on the fetch width … even a request queue
+/// with as low as 6 entries is capable of identifying several hot code
+/// regions", paper §III).
+#[derive(Clone, Debug)]
+pub struct RequestQueue {
+    queue: VecDeque<CompactionRequest>,
+    capacity: usize,
+    drops: u64,
+}
+
+impl RequestQueue {
+    /// Creates a queue with the given capacity.
+    pub fn new(capacity: usize) -> RequestQueue {
+        RequestQueue { queue: VecDeque::new(), capacity: capacity.max(1), drops: 0 }
+    }
+
+    /// Enqueues a request; duplicates of a queued region are coalesced,
+    /// and requests beyond capacity are dropped (counted).
+    pub fn push(&mut self, req: CompactionRequest) {
+        if self.queue.iter().any(|r| r.region == req.region) {
+            return;
+        }
+        if self.queue.len() >= self.capacity {
+            self.drops += 1;
+            return;
+        }
+        self.queue.push_back(req);
+    }
+
+    /// Dequeues the oldest request.
+    pub fn pop(&mut self) -> Option<CompactionRequest> {
+        self.queue.pop_front()
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Requests dropped because the queue was full.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+/// Aggregate engine counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Streams committed.
+    pub committed: u64,
+    /// Write buffers discarded below the compaction threshold.
+    pub discarded: u64,
+    /// Aborts on self-looping macro-ops.
+    pub aborted_self_loop: u64,
+    /// Aborts on detected self-modifying code.
+    pub aborted_smc: u64,
+    /// Micro-ops scanned across all passes.
+    pub uops_scanned: u64,
+}
+
+/// The SCC unit: front-end ALU + register context table + single-pass
+/// transformation engine.
+#[derive(Clone, Debug)]
+pub struct CompactionEngine {
+    config: SccConfig,
+    alu: SccAlu,
+    next_stream_id: u64,
+    stats: EngineStats,
+    last_cycles: u64,
+}
+
+// Per-pass mutable context.
+struct Pass {
+    rct: RegContextTable,
+    out: Vec<StreamUop>,
+    invariants: Vec<TaggedInvariant>,
+    breakdown: ElimBreakdown,
+    data_inv: usize,
+    ctrl_inv: usize,
+    branches: usize,
+    orig_len: u32,
+    crossed_block: bool,
+    home_region: Addr,
+}
+
+enum Step {
+    /// Micro-op folded away; continue in sequence.
+    Eliminated,
+    /// Emit and continue in sequence.
+    Keep(StreamUop),
+    /// Emit the (kept) branch and continue at the pivot target.
+    KeepAndPivot(StreamUop, Addr),
+    /// Branch folded away; continue at the pivot target.
+    ElimAndPivot(Addr),
+    /// Stop without consuming this micro-op (exit = its address).
+    StopBefore,
+    /// Emit and stop (halt).
+    StopAfterKeep(StreamUop),
+    /// Abandon the pass entirely.
+    Abort(AbortReason),
+}
+
+impl CompactionEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: SccConfig) -> CompactionEngine {
+        CompactionEngine {
+            config,
+            alu: SccAlu::new(),
+            next_stream_id: 1,
+            stats: EngineStats::default(),
+            last_cycles: 0,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SccConfig {
+        &self.config
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Cycles consumed by the most recent [`compact`](Self::compact) call
+    /// (one micro-op per cycle, plus one commit cycle; paper §III).
+    pub fn last_cycles(&self) -> u64 {
+        self.last_cycles
+    }
+
+    /// Front-end ALU operation count (energy accounting).
+    pub fn alu_ops(&self) -> u64 {
+        self.alu.op_count()
+    }
+
+    /// Runs one single-pass compaction starting at `entry`.
+    ///
+    /// `source` supplies decoded micro-ops (a cache-accurate view in the
+    /// pipeline; a whole [`scc_isa::Program`] in tests), `vp`/`bp` are the
+    /// predictor probes.
+    pub fn compact(
+        &mut self,
+        entry: Addr,
+        source: &(impl UopSource + ?Sized),
+        vp: &(impl ValueProbe + ?Sized),
+        bp: &(impl BranchProbe + ?Sized),
+    ) -> CompactionOutcome {
+        let mut pass = Pass {
+            rct: RegContextTable::new(),
+            out: Vec::new(),
+            invariants: Vec::new(),
+            breakdown: ElimBreakdown::default(),
+            data_inv: 0,
+            ctrl_inv: 0,
+            branches: 0,
+            orig_len: 0,
+            crossed_block: false,
+            home_region: region(entry),
+        };
+        let mut cursor = entry;
+        let mut cycles: u64 = 0;
+        let exit: Addr;
+        'walk: loop {
+            // Stop condition (b): micro-op cache miss at the cursor.
+            let Some(uops) = source.macro_uops(cursor) else {
+                exit = cursor;
+                break;
+            };
+            let uops: Vec<Uop> = uops.to_vec();
+            let macro_next = uops[0].next_addr();
+            let current_region = region(cursor);
+            for uop in &uops {
+                cycles += 1;
+                self.stats.uops_scanned += 1;
+                match self.step(uop, vp, bp, &mut pass) {
+                    Step::Eliminated => {
+                        pass.orig_len += 1;
+                    }
+                    Step::Keep(s) => {
+                        pass.orig_len += 1;
+                        pass.out.push(s);
+                    }
+                    Step::KeepAndPivot(s, target) => {
+                        pass.orig_len += 1;
+                        pass.out.push(s);
+                        cursor = target;
+                        continue 'walk;
+                    }
+                    Step::ElimAndPivot(target) => {
+                        pass.orig_len += 1;
+                        cursor = target;
+                        continue 'walk;
+                    }
+                    Step::StopBefore => {
+                        exit = uop.macro_addr;
+                        break 'walk;
+                    }
+                    Step::StopAfterKeep(s) => {
+                        pass.orig_len += 1;
+                        pass.out.push(s);
+                        exit = macro_next;
+                        break 'walk;
+                    }
+                    Step::Abort(reason) => {
+                        self.last_cycles = cycles;
+                        match reason {
+                            AbortReason::SelfLoopingMacro => self.stats.aborted_self_loop += 1,
+                            AbortReason::SelfModifyingCode => self.stats.aborted_smc += 1,
+                        }
+                        return CompactionOutcome::Aborted(reason);
+                    }
+                }
+            }
+            // Stop condition (a): sequential flow reaching the end of the
+            // 32-byte code region.
+            if region(macro_next) != current_region {
+                exit = macro_next;
+                break;
+            }
+            cursor = macro_next;
+        }
+        self.last_cycles = cycles + 1; // +1 to commit the write buffer
+        self.finish(pass, entry, exit)
+    }
+
+    fn finish(&mut self, mut pass: Pass, entry: Addr, exit: Addr) -> CompactionOutcome {
+        let shrinkage = pass.orig_len.saturating_sub(pass.out.len() as u32);
+        if shrinkage < self.config.compaction_threshold || pass.orig_len == 0 {
+            self.stats.discarded += 1;
+            return CompactionOutcome::Discarded { shrinkage, orig_len: pass.orig_len };
+        }
+        // Fully folded streams still need one anchor micro-op to carry the
+        // live-outs through rename.
+        if pass.out.is_empty() {
+            let mut anchor = Uop::new(Op::Nop);
+            anchor.macro_addr = entry;
+            anchor.macro_len = 1;
+            pass.out.push(StreamUop::plain(anchor));
+        }
+        // Re-derive micro-fusion over the *surviving* micro-ops: decode-time
+        // pairs whose partner was eliminated must not claim a free slot,
+        // and new adjacencies created by elimination may fuse.
+        let mut plain: Vec<Uop> = pass
+            .out
+            .iter()
+            .map(|su| {
+                let mut u = su.uop.clone();
+                u.fused_with_next = false;
+                u
+            })
+            .collect();
+        scc_isa::fusion::fuse_pairs(&mut plain);
+        for (su, u) in pass.out.iter_mut().zip(&plain) {
+            su.uop.fused_with_next = u.fused_with_next;
+        }
+        let final_live_outs = pass.rct.pending_live_outs();
+        let final_live_out_cc = pass.rct.pending_cc_live_out();
+        let stream = CompactedStream {
+            region: pass.home_region,
+            entry,
+            uops: pass.out,
+            final_live_outs,
+            final_live_out_cc,
+            invariants: pass.invariants,
+            exit,
+            orig_len: pass.orig_len,
+            breakdown: pass.breakdown,
+            stream_id: self.next_stream_id,
+        };
+        self.next_stream_id += 1;
+        self.stats.committed += 1;
+        CompactionOutcome::Committed(stream)
+    }
+
+    /// The value of an operand, as far as the register context table
+    /// knows.
+    fn operand_value(&self, rct: &RegContextTable, op: Operand) -> Option<i64> {
+        match op {
+            Operand::None => Some(0),
+            Operand::Imm(v) => Some(v),
+            Operand::Reg(r) => rct.get(r).map(|v| v.value),
+        }
+    }
+
+    fn count_elim(&self, pass: &mut Pass, base: fn(&mut ElimBreakdown) -> &mut u32) {
+        if pass.crossed_block {
+            pass.breakdown.cross_block += 1;
+        } else {
+            *base(&mut pass.breakdown) += 1;
+        }
+    }
+
+    fn step(
+        &mut self,
+        uop: &Uop,
+        vp: &(impl ValueProbe + ?Sized),
+        bp: &(impl BranchProbe + ?Sized),
+        pass: &mut Pass,
+    ) -> Step {
+        if uop.self_loop {
+            return Step::Abort(AbortReason::SelfLoopingMacro);
+        }
+        // Write-buffer capacity: once the buffer holds 18 micro-ops the
+        // stream is as long as a stream can get — stop before this
+        // micro-op regardless of what would happen to it.
+        if pass.out.len() >= self.config.write_buffer_uops {
+            return Step::StopBefore;
+        }
+        match uop.op {
+            Op::Halt => Step::StopAfterKeep(StreamUop::plain(uop.clone())),
+            Op::Nop => {
+                if self.config.opts.const_fold {
+                    self.count_elim(pass, |b| &mut b.fold);
+                    Step::Eliminated
+                } else {
+                    self.keep(uop, vp, pass, false)
+                }
+            }
+            op if op.is_branch() => self.step_branch(uop, bp, pass),
+            op if scc_isa::is_foldable_int(op) => self.step_foldable(uop, vp, pass),
+            Op::Mul | Op::Div | Op::Rem if self.config.opts.complex_alu => {
+                self.step_complex(uop, vp, pass)
+            }
+            _ => self.keep(uop, vp, pass, true),
+        }
+    }
+
+    /// Folding path for simple integer ALU micro-ops.
+    fn step_foldable(&mut self, uop: &Uop, vp: &(impl ValueProbe + ?Sized), pass: &mut Pass) -> Step {
+        let a = self.operand_value(&pass.rct, uop.src1);
+        let b = self.operand_value(&pass.rct, uop.src2);
+        let cc = pass.rct.cc();
+        let cc_ok = !uop.op.reads_cc() || (self.config.opts.cc_tracking && cc.is_some());
+        let is_move = matches!(uop.op, Op::Mov | Op::MovImm);
+        let flag_enabled = if is_move {
+            self.config.opts.move_elim
+        } else {
+            self.config.opts.const_fold
+        };
+        if let (Some(a), Some(b), true, true) = (a, b, cc_ok, flag_enabled) {
+            let cc_in = cc.map(|(f, _)| f).unwrap_or_default();
+            if let Some(result) = self.alu.eval(uop.op, a, b, cc_in, uop.cond) {
+                let width_ok = result.value.map_or(true, |v| self.config.constant_fits(v));
+                if width_ok {
+                    // Speculative constant folding / move elimination: the
+                    // micro-op is dead; its effects live on in the RCT.
+                    if let (Some(dst), Some(v)) = (uop.dst, result.value) {
+                        pass.rct.set(dst, v, false);
+                    }
+                    if uop.writes_cc {
+                        match (result.cc, self.config.opts.cc_tracking) {
+                            (Some(f), true) => pass.rct.set_cc(f, false),
+                            _ => pass.rct.invalidate_cc(),
+                        }
+                    }
+                    if is_move {
+                        self.count_elim(pass, |bd| &mut bd.move_elim);
+                    } else {
+                        self.count_elim(pass, |bd| &mut bd.fold);
+                    }
+                    return Step::Eliminated;
+                }
+            }
+        }
+        self.keep(uop, vp, pass, false)
+    }
+
+    /// Future-work path: fold complex integer operations (`mul`/`div`/
+    /// `rem`) on known inputs when the extended front-end ALU is enabled.
+    fn step_complex(&mut self, uop: &Uop, vp: &(impl ValueProbe + ?Sized), pass: &mut Pass) -> Step {
+        let a = self.operand_value(&pass.rct, uop.src1);
+        let b = self.operand_value(&pass.rct, uop.src2);
+        if let (Some(a), Some(b)) = (a, b) {
+            if let Some(v) = scc_isa::eval_complex(uop.op, a, b) {
+                if self.config.constant_fits(v) {
+                    if let Some(dst) = uop.dst {
+                        pass.rct.set(dst, v, false);
+                    }
+                    self.count_elim(pass, |bd| &mut bd.fold);
+                    return Step::Eliminated;
+                }
+            }
+        }
+        self.keep(uop, vp, pass, true)
+    }
+
+    /// Branch path: folding, control-invariant identification, or stop.
+    fn step_branch(&mut self, uop: &Uop, bp: &(impl BranchProbe + ?Sized), pass: &mut Pass) -> Step {
+        pass.branches += 1;
+        // Stop condition (c): more than `max_branches` branches in the
+        // stream.
+        if pass.branches > self.config.max_branches {
+            return Step::StopBefore;
+        }
+        let fallthrough = uop.next_addr();
+        match uop.op {
+            Op::Jmp => {
+                let target = uop.target.expect("jmp has target");
+                if self.config.opts.branch_fold {
+                    self.count_elim(pass, |bd| &mut bd.branch_fold);
+                    Step::ElimAndPivot(target)
+                } else {
+                    let mut s = StreamUop::plain(uop.clone());
+                    s.branch_next = Some(target);
+                    Step::KeepAndPivot(s, target)
+                }
+            }
+            Op::Call => {
+                let target = uop.target.expect("call has target");
+                let link = uop.dst.expect("call has link dst");
+                let ret_addr = fallthrough as i64;
+                if self.config.opts.branch_fold && self.config.constant_fits(ret_addr) {
+                    pass.rct.set(link, ret_addr, false);
+                    self.count_elim(pass, |bd| &mut bd.branch_fold);
+                    Step::ElimAndPivot(target)
+                } else {
+                    pass.rct.set(link, ret_addr, true);
+                    let mut s = StreamUop::plain(uop.clone());
+                    s.branch_next = Some(target);
+                    Step::KeepAndPivot(s, target)
+                }
+            }
+            Op::Ret | Op::JmpInd => {
+                if let Some(v) = self.operand_value(&pass.rct, uop.src1) {
+                    // Speculative branch folding of an indirect transfer
+                    // whose target value is speculatively known.
+                    if self.config.opts.branch_fold {
+                        self.count_elim(pass, |bd| &mut bd.branch_fold);
+                        return Step::ElimAndPivot(v as Addr);
+                    }
+                    let mut s = self.rewrite_operands(uop, pass);
+                    s.branch_next = Some(v as Addr);
+                    return Step::KeepAndPivot(s, v as Addr);
+                }
+                self.control_invariant(uop, bp, pass)
+            }
+            Op::BrCc => {
+                if self.config.opts.cc_tracking {
+                    if let Some((flags, _)) = pass.rct.cc() {
+                        let taken = eval_cond(uop.cond.expect("brcc cond"), flags);
+                        let dest =
+                            if taken { uop.target.expect("brcc target") } else { fallthrough };
+                        if self.config.opts.branch_fold {
+                            // Speculative branch folding (paper Fig. 3(b)).
+                            self.count_elim(pass, |bd| &mut bd.branch_fold);
+                            return Step::ElimAndPivot(dest);
+                        }
+                        let mut s = self.rewrite_operands(uop, pass);
+                        s.branch_next = Some(dest);
+                        return Step::KeepAndPivot(s, dest);
+                    }
+                }
+                self.control_invariant(uop, bp, pass)
+            }
+            Op::CmpBr => {
+                let a = self.operand_value(&pass.rct, uop.src1);
+                let b = self.operand_value(&pass.rct, uop.src2);
+                if let (Some(a), Some(b)) = (a, b) {
+                    let taken = eval_cond(
+                        uop.cond.expect("cmpbr cond"),
+                        scc_isa::CcFlags::from_cmp(a, b),
+                    );
+                    let dest = if taken { uop.target.expect("cmpbr target") } else { fallthrough };
+                    if self.config.opts.branch_fold {
+                        self.count_elim(pass, |bd| &mut bd.branch_fold);
+                        return Step::ElimAndPivot(dest);
+                    }
+                    let mut s = self.rewrite_operands(uop, pass);
+                    s.branch_next = Some(dest);
+                    return Step::KeepAndPivot(s, dest);
+                }
+                self.control_invariant(uop, bp, pass)
+            }
+            _ => unreachable!("step_branch on non-branch"),
+        }
+    }
+
+    /// Speculative control-invariant identification: keep the branch as a
+    /// prediction source and pivot to the predicted target.
+    fn control_invariant(
+        &mut self,
+        uop: &Uop,
+        bp: &(impl BranchProbe + ?Sized),
+        pass: &mut Pass,
+    ) -> Step {
+        if !self.config.opts.control_invariants
+            || pass.ctrl_inv >= self.config.max_control_invariants
+        {
+            return Step::StopBefore;
+        }
+        let pred = bp.probe_branch(uop);
+        let (Some(target), true) =
+            (pred.target, pred.confidence >= self.config.confidence_threshold)
+        else {
+            return Step::StopBefore;
+        };
+        let mut s = self.rewrite_operands(uop, pass);
+        // A prediction source carries all pending live-outs (paper §IV:
+        // they must be visible at rename even if this source mispredicts).
+        self.attach_pending_live_outs(&mut s, pass);
+        s.pred_source = Some(pass.invariants.len());
+        s.branch_next = Some(target);
+        pass.invariants.push(TaggedInvariant::new(
+            Invariant::Control { pc: uop.macro_addr, taken: pred.taken, target },
+            pred.confidence,
+        ));
+        pass.ctrl_inv += 1;
+        pass.crossed_block = true;
+        Step::KeepAndPivot(s, target)
+    }
+
+    /// Common path for micro-ops that stay in the stream.
+    ///
+    /// `try_data_invariant` gates value-predictor probing (folding
+    /// candidates that merely had unknown inputs also come through here
+    /// and are allowed to probe).
+    fn keep(
+        &mut self,
+        uop: &Uop,
+        vp: &(impl ValueProbe + ?Sized),
+        pass: &mut Pass,
+        _is_complex: bool,
+    ) -> Step {
+        // Write-buffer capacity: stop before overflowing (the stream ends
+        // and fetch resumes at this micro-op from another source).
+        if pass.out.len() >= self.config.write_buffer_uops {
+            return Step::StopBefore;
+        }
+        let mut s = self.rewrite_operands(uop, pass);
+        // Self-modifying-code detection: a store whose speculatively known
+        // address lands in the region being optimized aborts the pass.
+        if uop.op == Op::Store {
+            if let Some(base) = self.operand_value(&pass.rct, s.uop.src1) {
+                let addr = (base.wrapping_add(s.uop.offset)) as Addr;
+                if region(addr) == pass.home_region {
+                    return Step::Abort(AbortReason::SelfModifyingCode);
+                }
+            }
+        }
+        // Speculative data-invariant identification: probe the value
+        // predictor for this micro-op's outcome (paper Fig. 3(a)).
+        let wants_value = uop
+            .dst
+            .map(|d| d.is_int() && !uop.op.is_fp() && uop.op != Op::Store)
+            .unwrap_or(false);
+        if wants_value
+            && self.config.opts.data_invariants
+            && pass.data_inv < self.config.max_data_invariants
+        {
+            if let Some(pred) = vp.probe_value(uop.macro_addr) {
+                // Only *recurring* predictions qualify as invariants; a
+                // confidently striding value (a loop counter) is the
+                // opposite of an invariant and would go stale before the
+                // stream could ever be streamed.
+                if pred.stable && pred.confidence >= self.config.confidence_threshold {
+                    self.attach_pending_live_outs(&mut s, pass);
+                    s.pred_source = Some(pass.invariants.len());
+                    pass.invariants.push(TaggedInvariant::new(
+                        Invariant::Data {
+                            pc: uop.macro_addr,
+                            slot: uop.slot,
+                            value: pred.value,
+                        },
+                        pred.confidence,
+                    ));
+                    pass.data_inv += 1;
+                    // The source itself writes the (predicted) value at
+                    // execute: materialized.
+                    pass.rct.set(uop.dst.expect("checked"), pred.value, true);
+                    if uop.writes_cc {
+                        pass.rct.invalidate_cc();
+                    }
+                    return Step::Keep(s);
+                }
+            }
+        }
+        // Unpredicted kept micro-op: its outputs become unknown.
+        if let Some(dst) = uop.dst {
+            pass.rct.invalidate(dst);
+        }
+        if uop.writes_cc {
+            pass.rct.invalidate_cc();
+        }
+        Step::Keep(s)
+    }
+
+    /// Speculative constant propagation plus the live-out fallback:
+    /// rewrites known register operands to immediates, or — when
+    /// propagation is disabled or the constant is too wide — attaches a
+    /// live-out so the reader still sees the right value at rename.
+    fn rewrite_operands(&mut self, uop: &Uop, pass: &mut Pass) -> StreamUop {
+        let mut s = StreamUop::plain(uop.clone());
+        let mut propagated = false;
+        for operand in [&mut s.uop.src1, &mut s.uop.src2] {
+            let Operand::Reg(r) = *operand else { continue };
+            let Some(v) = pass.rct.get(r) else { continue };
+            if self.config.opts.const_prop && self.config.constant_fits(v.value) {
+                *operand = Operand::Imm(v.value);
+                propagated = true;
+            } else if !v.materialized {
+                // The reader still names the register: materialize the
+                // eliminated producer's value via rename-time inlining.
+                s.live_outs.push((r, v.value));
+                pass.rct.materialize(r);
+            }
+        }
+        if propagated {
+            pass.breakdown.propagated += 1;
+        }
+        if uop.op.reads_cc() {
+            if let Some((flags, false)) = pass.rct.cc() {
+                s.live_out_cc = Some(flags);
+                pass.rct.materialize_cc();
+            }
+        }
+        s
+    }
+
+    /// Attaches every pending live-out to a prediction source.
+    fn attach_pending_live_outs(&mut self, s: &mut StreamUop, pass: &mut Pass) {
+        for (r, v) in pass.rct.pending_live_outs() {
+            if !s.live_outs.iter().any(|(lr, _)| *lr == r) {
+                s.live_outs.push((r, v));
+            }
+        }
+        if s.live_out_cc.is_none() {
+            s.live_out_cc = pass.rct.pending_cc_live_out();
+        }
+        pass.rct.materialize_all_pending();
+    }
+}

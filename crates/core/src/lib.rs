@@ -1,0 +1,75 @@
+//! Speculative Code Compaction (SCC): the primary contribution of
+//! Moody et al., *"Speculative Code Compaction: Eliminating Dead Code via
+//! Speculative Microcode Transformations"* (MICRO 2022).
+//!
+//! SCC is a hardware-only, front-end dynamic optimizer. When a micro-op
+//! cache line gets hot, a small compaction unit — one simple integer ALU
+//! plus a register context table — walks the cached micro-op sequence in
+//! program order, one micro-op per cycle, and applies a single pass of
+//! *speculative* peephole optimizations driven by predicted data and
+//! control invariants:
+//!
+//! * **speculative data-invariant identification** (value-predictor probe;
+//!   the micro-op becomes a *prediction source* and must stay),
+//! * **speculative constant folding** (all sources known → evaluate on the
+//!   front-end ALU, delete the micro-op),
+//! * **speculative constant propagation** (some sources known → rewrite
+//!   register operands to immediates),
+//! * **speculative branch folding** (direction and target deducible →
+//!   delete the branch and pivot),
+//! * **speculative control-invariant identification** (branch-predictor
+//!   probe; the branch stays as a prediction source, compaction pivots to
+//!   the predicted target), and
+//! * **live-out inlining** (values of eliminated micro-ops are
+//!   materialized at prediction sources and stream end via rename-time
+//!   physical-register inlining, so a squash always recovers a consistent
+//!   register state).
+//!
+//! The result is a [`CompactedStream`](scc_uopcache::CompactedStream)
+//! committed to the optimized micro-op cache partition, from which the
+//! fetch engine streams when the [`ProfitabilityUnit`] deems it safe and
+//! profitable.
+//!
+//! # Example
+//!
+//! ```
+//! use scc_core::{CompactionEngine, CompactionOutcome, SccConfig};
+//! use scc_isa::{ProgramBuilder, Reg};
+//! use scc_predictors::LastValue;
+//!
+//! // movi r1, 10 ; addi r2, r1, 2 ; add r3, r2, r5 — fold the first two,
+//! // propagate 12 into the third (the paper's Figure 3(a) shape).
+//! let mut b = ProgramBuilder::new(0x1000);
+//! let (r1, r2, r3, r5) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(5));
+//! b.mov_imm(r1, 10);
+//! b.add_imm(r2, r1, 2);
+//! b.add(r3, r2, r5);
+//! b.halt();
+//! let program = b.build();
+//!
+//! let mut engine = CompactionEngine::new(SccConfig::full());
+//! let vp = LastValue::new(); // untrained: no data invariants, pure folding
+//! let outcome = engine.compact(0x1000, &program, &vp, &scc_core::NoBranchProbe);
+//! let stream = match outcome {
+//!     CompactionOutcome::Committed(s) => s,
+//!     o => panic!("expected commit, got {o:?}"),
+//! };
+//! assert_eq!(stream.shrinkage(), 2); // movi and addi both folded away
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alu;
+mod config;
+mod engine;
+mod probes;
+mod profit;
+mod regfile;
+
+pub use alu::SccAlu;
+pub use config::{OptFlags, SccConfig};
+pub use engine::{AbortReason, CompactionEngine, CompactionOutcome, CompactionRequest, RequestQueue};
+pub use probes::{BranchProbe, NoBranchProbe, NoValueProbe, UopSource, ValueProbe};
+pub use profit::{MispredictCause, ProfitabilityUnit, RecoveryDecision, StreamChoice};
+pub use regfile::{RegContextTable, SccValue};

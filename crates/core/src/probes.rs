@@ -1,0 +1,120 @@
+//! Probe traits through which the SCC unit consults the rest of the
+//! front-end: the micro-op source (unoptimized partition), the value
+//! predictor, and the branch predictor.
+//!
+//! The paper doubles the predictors' read-port width so SCC can probe in
+//! parallel with fetch; here the decoupling is expressed as traits, so the
+//! compaction engine is testable against a bare [`Program`] and plain
+//! predictor instances, while the pipeline wires in the real structures.
+
+use scc_isa::{Addr, Program, Uop};
+use scc_predictors::{PredictedBranch, ValuePrediction, ValuePredictor};
+
+/// Where the SCC unit reads decoded micro-ops from.
+pub trait UopSource {
+    /// The micro-op expansion of the macro-instruction at `addr`, if it is
+    /// available to the SCC unit (i.e. resident in the micro-op cache).
+    fn macro_uops(&self, addr: Addr) -> Option<&[Uop]>;
+}
+
+/// Ideal source: the whole program is "resident". Used by tests and the
+/// compaction-explorer example; the pipeline supplies a cache-accurate
+/// implementation.
+impl UopSource for Program {
+    fn macro_uops(&self, addr: Addr) -> Option<&[Uop]> {
+        self.inst_at(addr).map(|m| m.uops.as_slice())
+    }
+}
+
+/// Value-predictor probe for speculative data-invariant identification.
+pub trait ValueProbe {
+    /// Predicted outcome of the micro-op at `pc`, if any.
+    fn probe_value(&self, pc: Addr) -> Option<ValuePrediction>;
+
+    /// Predicted outcome of the `n`-th next dynamic instance of `pc`
+    /// (phase-aware predictors adjust for in-flight instances).
+    fn probe_value_nth(&self, pc: Addr, n: u64) -> Option<ValuePrediction> {
+        let _ = n;
+        self.probe_value(pc)
+    }
+}
+
+impl<T: ValuePredictor + ?Sized> ValueProbe for T {
+    fn probe_value(&self, pc: Addr) -> Option<ValuePrediction> {
+        self.predict(pc)
+    }
+
+    fn probe_value_nth(&self, pc: Addr, n: u64) -> Option<ValuePrediction> {
+        self.predict_nth(pc, n)
+    }
+}
+
+/// A probe that never predicts (disables data invariants).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoValueProbe;
+
+impl ValueProbe for NoValueProbe {
+    fn probe_value(&self, _pc: Addr) -> Option<ValuePrediction> {
+        None
+    }
+}
+
+/// Branch-predictor probe for speculative control-invariant
+/// identification.
+pub trait BranchProbe {
+    /// Predicted direction/target/confidence for the branch micro-op.
+    fn probe_branch(&self, uop: &Uop) -> PredictedBranch;
+}
+
+impl BranchProbe for scc_predictors::BranchPredictorUnit {
+    fn probe_branch(&self, uop: &Uop) -> PredictedBranch {
+        self.probe(uop)
+    }
+}
+
+/// A probe with no opinion (disables control invariants).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoBranchProbe;
+
+impl BranchProbe for NoBranchProbe {
+    fn probe_branch(&self, _uop: &Uop) -> PredictedBranch {
+        PredictedBranch { taken: false, target: None, confidence: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_isa::{Op, ProgramBuilder, Reg};
+    use scc_predictors::LastValue;
+
+    #[test]
+    fn program_is_an_ideal_uop_source() {
+        let mut b = ProgramBuilder::new(0x100);
+        b.mov_imm(Reg::int(0), 1);
+        b.halt();
+        let p = b.build();
+        let uops = p.macro_uops(0x100).unwrap();
+        assert_eq!(uops.len(), 1);
+        assert_eq!(uops[0].op, Op::MovImm);
+        assert!(p.macro_uops(0x101).is_none());
+    }
+
+    #[test]
+    fn value_predictors_are_probes() {
+        let mut vp = LastValue::new();
+        vp.train(0x40, 7);
+        vp.train(0x40, 7);
+        let pr = ValueProbe::probe_value(&vp, 0x40).unwrap();
+        assert_eq!(pr.value, 7);
+        assert!(NoValueProbe.probe_value(0x40).is_none());
+    }
+
+    #[test]
+    fn no_branch_probe_is_unconfident() {
+        let u = Uop::new(Op::CmpBr);
+        let p = NoBranchProbe.probe_branch(&u);
+        assert_eq!(p.confidence, 0);
+        assert_eq!(p.target, None);
+    }
+}

@@ -1,0 +1,386 @@
+//! The profitability analysis unit and misspeculation recovery policy
+//! (paper §V, "The Fetch State Machine").
+
+use crate::config::SccConfig;
+use crate::probes::ValueProbe;
+use scc_uopcache::{CompactedStream, Invariant};
+
+/// Which stream (if any) the fetch engine should use at a lookup with
+/// multiple candidates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamChoice {
+    /// Stream the candidate with this `stream_id`.
+    Optimized {
+        /// The chosen stream's id.
+        stream_id: u64,
+    },
+    /// No candidate passed the profitability checks: use the unoptimized
+    /// partition (or the decode pipeline).
+    Unoptimized,
+}
+
+/// Why an instruction squashed, as seen by the recovery policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MispredictCause {
+    /// A speculative data invariant failed validation (value
+    /// misprediction of a prediction source).
+    DataInvariant,
+    /// A speculative control invariant failed (branch from a compacted
+    /// stream resolved off the encoded path).
+    ControlInvariant,
+    /// An ordinary branch misprediction unrelated to SCC.
+    PlainBranch,
+    /// Memory-order or other squash unrelated to SCC speculation (the
+    /// paper's example: "speculative memory disambiguation").
+    Other,
+}
+
+/// What the fetch engine should do after a squash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryDecision {
+    /// Redirect fetch to the unoptimized version of the offending region
+    /// (and stop streaming the stale optimized line).
+    pub force_unoptimized: bool,
+}
+
+/// The dynamically adjusted control-invariant confidence threshold
+/// ("a dynamically identified threshold of mispredictions that is tuned on
+/// the basis of the rate at which mispredictions increase or decrease",
+/// paper §V; enabled by `--enableDynamicThreshold`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct DynamicThreshold {
+    value: u8,
+    min: u8,
+    max: u8,
+}
+
+impl DynamicThreshold {
+    fn on_squash(&mut self) {
+        self.value = (self.value + 1).min(self.max);
+    }
+
+    fn on_good_stream(&mut self) {
+        if self.value > self.min {
+            self.value -= 1;
+        }
+    }
+}
+
+/// Counters for the profitability unit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProfitStats {
+    /// Lookups where an optimized stream was chosen.
+    pub chose_optimized: u64,
+    /// Lookups with candidates where all were rejected.
+    pub rejected_all: u64,
+    /// Rejections because a data invariant no longer matches the value
+    /// predictor.
+    pub stale_data: u64,
+    /// Rejections on the confidence threshold.
+    pub low_confidence: u64,
+    /// Rejections on hotness.
+    pub cold: u64,
+}
+
+/// The fetch engine's profitability analysis unit.
+///
+/// Decides, per lookup, whether streaming a speculatively optimized line
+/// beats the unoptimized one, "examining all three heuristics in unison":
+/// compaction potential, invariant confidence, and hotness.
+#[derive(Clone, Debug)]
+pub struct ProfitabilityUnit {
+    config: SccConfig,
+    threshold: DynamicThreshold,
+    hotness_floor: u32,
+    stats: ProfitStats,
+}
+
+impl ProfitabilityUnit {
+    /// Creates a unit with the paper's tuning: the dynamic confidence
+    /// threshold starts at the SCC probe threshold (5) and moves with the
+    /// squash rate; streams must be at least warm (hotness ≥ 1).
+    pub fn new(config: SccConfig) -> ProfitabilityUnit {
+        ProfitabilityUnit {
+            threshold: DynamicThreshold { value: config.confidence_threshold, min: 1, max: 12 },
+            hotness_floor: 1,
+            config,
+            stats: ProfitStats::default(),
+        }
+    }
+
+    /// Current dynamic confidence threshold.
+    pub fn threshold(&self) -> u8 {
+        self.threshold.value
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ProfitStats {
+        self.stats
+    }
+
+    /// Chooses among candidate streams for one fetch lookup.
+    ///
+    /// `hotness_of` supplies each candidate's current hotness counter;
+    /// `vp` is the live value predictor the data invariants are re-checked
+    /// against.
+    pub fn choose(
+        &mut self,
+        candidates: &[&CompactedStream],
+        hotness_of: impl Fn(u64) -> u32,
+        vp: &(impl ValueProbe + ?Sized),
+    ) -> StreamChoice {
+        self.choose_with_inflight(candidates, hotness_of, vp, |_| 0)
+    }
+
+    /// Like [`choose`](Self::choose), with the number of in-flight
+    /// (fetched but uncommitted) instances of each PC, so data invariants
+    /// are compared against the dynamic instance they will validate
+    /// against (phase-aware predictors need this for oscillating values).
+    pub fn choose_with_inflight(
+        &mut self,
+        candidates: &[&CompactedStream],
+        hotness_of: impl Fn(u64) -> u32,
+        vp: &(impl ValueProbe + ?Sized),
+        inflight: impl Fn(scc_isa::Addr) -> u64,
+    ) -> StreamChoice {
+        let mut best: Option<(&CompactedStream, (u32, u32))> = None;
+        for s in candidates {
+            if !self.stream_ok(s, hotness_of(s.stream_id), vp, &inflight) {
+                continue;
+            }
+            // "the instruction stream that has the highest data invariant
+            // confidence and provides the greatest compaction is chosen"
+            let data_conf: u32 = s
+                .invariants
+                .iter()
+                .filter(|t| t.invariant.is_data())
+                .map(|t| t.confidence.get() as u32)
+                .sum();
+            let rank = (data_conf, s.shrinkage());
+            if best.map_or(true, |(_, r)| rank > r) {
+                best = Some((s, rank));
+            }
+        }
+        match best {
+            Some((s, _)) => {
+                self.stats.chose_optimized += 1;
+                StreamChoice::Optimized { stream_id: s.stream_id }
+            }
+            None => {
+                if !candidates.is_empty() {
+                    self.stats.rejected_all += 1;
+                }
+                StreamChoice::Unoptimized
+            }
+        }
+    }
+
+    fn stream_ok(
+        &mut self,
+        s: &CompactedStream,
+        hotness: u32,
+        vp: &(impl ValueProbe + ?Sized),
+        inflight: &impl Fn(scc_isa::Addr) -> u64,
+    ) -> bool {
+        // 1. Control invariants above the dynamic misprediction threshold.
+        let ctrl_ok = s
+            .invariants
+            .iter()
+            .filter(|t| !t.invariant.is_data())
+            .all(|t| t.confidence.get() >= self.threshold.value);
+        if !ctrl_ok {
+            self.stats.low_confidence += 1;
+            return false;
+        }
+        // 2. Data invariants must "match up with the current state of the
+        // value predictor" — and their own confidence counters must not
+        // have been driven to zero by validation failures (the reward/
+        // penalize feedback that phases out misbehaving streams).
+        for t in &s.invariants {
+            if let Invariant::Data { pc, value, .. } = t.invariant {
+                if t.confidence.get() == 0 {
+                    self.stats.low_confidence += 1;
+                    return false;
+                }
+                match vp.probe_value_nth(pc, inflight(pc) + 1) {
+                    Some(p) if p.value == value => {}
+                    _ => {
+                        self.stats.stale_data += 1;
+                        return false;
+                    }
+                }
+            }
+        }
+        // 3. High compaction potential.
+        if s.shrinkage() < self.config.compaction_threshold {
+            return false;
+        }
+        // 4. Hotness.
+        if hotness < self.hotness_floor {
+            self.stats.cold += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Feedback after a squash caused by a stream this unit chose: raises
+    /// the dynamic threshold.
+    pub fn on_squash(&mut self) {
+        self.threshold.on_squash();
+    }
+
+    /// Feedback after a stream retires cleanly: relaxes the dynamic
+    /// threshold.
+    pub fn on_good_stream(&mut self) {
+        self.threshold.on_good_stream();
+    }
+
+    /// The paper's two-condition recovery policy: redirect fetch to the
+    /// unoptimized partition iff the offending instruction (a) issued from
+    /// the optimized partition as a valid prediction source, and (b) the
+    /// misspeculation is due to an SCC-related speculative feature.
+    pub fn recovery(
+        &self,
+        from_optimized_partition: bool,
+        was_prediction_source: bool,
+        cause: MispredictCause,
+    ) -> RecoveryDecision {
+        let scc_related =
+            matches!(cause, MispredictCause::DataInvariant | MispredictCause::ControlInvariant);
+        RecoveryDecision {
+            force_unoptimized: from_optimized_partition && was_prediction_source && scc_related,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probes::NoValueProbe;
+    use scc_isa::{Addr, Op, Uop};
+    use scc_predictors::{LastValue, ValuePredictor};
+    use scc_uopcache::{StreamUop, TaggedInvariant};
+
+    fn stream(id: u64, shrink: u32, invariants: Vec<TaggedInvariant>) -> CompactedStream {
+        CompactedStream {
+            region: 0x40,
+            entry: 0x40,
+            uops: vec![StreamUop::plain(Uop::new(Op::Nop)); 2],
+            final_live_outs: vec![],
+            final_live_out_cc: None,
+            invariants,
+            exit: 0x60,
+            orig_len: 2 + shrink,
+            breakdown: Default::default(),
+            stream_id: id,
+        }
+    }
+
+    fn data_inv(pc: Addr, value: i64, conf: u8) -> TaggedInvariant {
+        TaggedInvariant::new(Invariant::Data { pc, slot: 0, value }, conf)
+    }
+
+    fn ctrl_inv(conf: u8) -> TaggedInvariant {
+        TaggedInvariant::new(Invariant::Control { pc: 0x44, taken: true, target: 0x80 }, conf)
+    }
+
+    #[test]
+    fn chooses_profitable_stream() {
+        let mut pu = ProfitabilityUnit::new(SccConfig::full());
+        let s = stream(7, 4, vec![ctrl_inv(10)]);
+        let choice = pu.choose(&[&s], |_| 5, &NoValueProbe);
+        assert_eq!(choice, StreamChoice::Optimized { stream_id: 7 });
+        assert_eq!(pu.stats().chose_optimized, 1);
+    }
+
+    #[test]
+    fn rejects_low_control_confidence() {
+        let mut pu = ProfitabilityUnit::new(SccConfig::full());
+        let s = stream(7, 4, vec![ctrl_inv(2)]); // below threshold 5
+        assert_eq!(pu.choose(&[&s], |_| 5, &NoValueProbe), StreamChoice::Unoptimized);
+        assert_eq!(pu.stats().low_confidence, 1);
+        assert_eq!(pu.stats().rejected_all, 1);
+    }
+
+    #[test]
+    fn rejects_stale_data_invariants() {
+        let mut pu = ProfitabilityUnit::new(SccConfig::full());
+        let s = stream(7, 4, vec![data_inv(0x44, 100, 10)]);
+        let mut vp = LastValue::new();
+        // Predictor now says 200, stream was built on 100: stale.
+        for _ in 0..5 {
+            vp.train(0x44, 200);
+        }
+        assert_eq!(pu.choose(&[&s], |_| 5, &vp), StreamChoice::Unoptimized);
+        assert_eq!(pu.stats().stale_data, 1);
+        // Matching predictor state: accepted.
+        let s2 = stream(8, 4, vec![data_inv(0x44, 200, 10)]);
+        assert_eq!(pu.choose(&[&s2], |_| 5, &vp), StreamChoice::Optimized { stream_id: 8 });
+    }
+
+    #[test]
+    fn rejects_cold_streams() {
+        let mut pu = ProfitabilityUnit::new(SccConfig::full());
+        let s = stream(7, 4, vec![]);
+        assert_eq!(pu.choose(&[&s], |_| 0, &NoValueProbe), StreamChoice::Unoptimized);
+        assert_eq!(pu.stats().cold, 1);
+    }
+
+    #[test]
+    fn picks_highest_data_confidence_then_compaction() {
+        let mut pu = ProfitabilityUnit::new(SccConfig::full());
+        let a = stream(1, 6, vec![data_inv(0x44, 5, 8)]);
+        let b = stream(2, 3, vec![data_inv(0x44, 5, 14)]);
+        let mut vp = LastValue::new();
+        for _ in 0..5 {
+            vp.train(0x44, 5);
+        }
+        // b has higher data confidence despite less compaction.
+        assert_eq!(pu.choose(&[&a, &b], |_| 5, &vp), StreamChoice::Optimized { stream_id: 2 });
+        // Equal confidence: compaction breaks the tie.
+        let c = stream(3, 6, vec![data_inv(0x44, 5, 14)]);
+        assert_eq!(
+            pu.choose(&[&b, &c], |_| 5, &vp),
+            StreamChoice::Optimized { stream_id: 3 }
+        );
+    }
+
+    #[test]
+    fn dynamic_threshold_tracks_squashes() {
+        let mut pu = ProfitabilityUnit::new(SccConfig::full());
+        let t0 = pu.threshold();
+        pu.on_squash();
+        pu.on_squash();
+        assert_eq!(pu.threshold(), t0 + 2);
+        for _ in 0..50 {
+            pu.on_good_stream();
+        }
+        assert_eq!(pu.threshold(), 1, "floors at min");
+        for _ in 0..50 {
+            pu.on_squash();
+        }
+        assert_eq!(pu.threshold(), 12, "caps at max");
+    }
+
+    #[test]
+    fn recovery_requires_both_conditions() {
+        let pu = ProfitabilityUnit::new(SccConfig::full());
+        assert!(
+            pu.recovery(true, true, MispredictCause::DataInvariant).force_unoptimized
+        );
+        assert!(
+            pu.recovery(true, true, MispredictCause::ControlInvariant).force_unoptimized
+        );
+        assert!(!pu.recovery(false, true, MispredictCause::DataInvariant).force_unoptimized);
+        assert!(!pu.recovery(true, false, MispredictCause::DataInvariant).force_unoptimized);
+        assert!(!pu.recovery(true, true, MispredictCause::PlainBranch).force_unoptimized);
+        assert!(!pu.recovery(true, true, MispredictCause::Other).force_unoptimized);
+    }
+
+    #[test]
+    fn empty_candidates_are_not_a_rejection() {
+        let mut pu = ProfitabilityUnit::new(SccConfig::full());
+        assert_eq!(pu.choose(&[], |_| 5, &NoValueProbe), StreamChoice::Unoptimized);
+        assert_eq!(pu.stats().rejected_all, 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! The SCC register context table.
+//!
+//! "The SCC unit itself includes: (1) a register file to track
+//! speculatively identified live integer and condition-code registers"
+//! (paper §III). Each entry carries the speculative value plus whether a
+//! *kept* micro-op in the compacted stream materializes it at execution
+//! time — non-materialized values must be inlined as live-outs at
+//! prediction sources and stream end.
+
+use scc_isa::{CcFlags, Reg, NUM_INT_REGS};
+
+/// A speculatively known register value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SccValue {
+    /// The known value.
+    pub value: i64,
+    /// True when a kept micro-op in the stream writes this value at
+    /// execution time (prediction sources, constant-propagated survivors).
+    /// False when its producer was eliminated — then the value must be
+    /// materialized via live-out inlining.
+    pub materialized: bool,
+}
+
+/// The register context table: 16 integer entries plus condition codes.
+///
+/// Floating-point registers are deliberately absent — the SCC front-end
+/// ALU "forgoes optimization of floating-point arithmetic" (paper §III).
+#[derive(Clone, Debug, Default)]
+pub struct RegContextTable {
+    regs: [Option<SccValue>; NUM_INT_REGS],
+    cc: Option<SccValue2>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SccValue2 {
+    flags: CcFlags,
+    materialized: bool,
+}
+
+impl RegContextTable {
+    /// Creates an empty table.
+    pub fn new() -> RegContextTable {
+        RegContextTable::default()
+    }
+
+    /// The known value of `r`, if tracked. FP registers are never
+    /// tracked.
+    pub fn get(&self, r: Reg) -> Option<SccValue> {
+        if r.is_int() {
+            self.regs[r.index()]
+        } else {
+            None
+        }
+    }
+
+    /// Records a speculative value for `r`. FP registers are ignored.
+    pub fn set(&mut self, r: Reg, value: i64, materialized: bool) {
+        if r.is_int() {
+            self.regs[r.index()] = Some(SccValue { value, materialized });
+        }
+    }
+
+    /// Marks `r` unknown (a kept micro-op with unpredictable output wrote
+    /// it).
+    pub fn invalidate(&mut self, r: Reg) {
+        if r.is_int() {
+            self.regs[r.index()] = None;
+        }
+    }
+
+    /// Marks `r`'s tracked value as materialized (a live-out was emitted
+    /// for it, or a kept micro-op now produces it).
+    pub fn materialize(&mut self, r: Reg) {
+        if r.is_int() {
+            if let Some(v) = &mut self.regs[r.index()] {
+                v.materialized = true;
+            }
+        }
+    }
+
+    /// Known condition codes, if tracked: `(flags, materialized)`.
+    pub fn cc(&self) -> Option<(CcFlags, bool)> {
+        self.cc.map(|c| (c.flags, c.materialized))
+    }
+
+    /// Records known condition codes.
+    pub fn set_cc(&mut self, flags: CcFlags, materialized: bool) {
+        self.cc = Some(SccValue2 { flags, materialized });
+    }
+
+    /// Marks the condition codes unknown.
+    pub fn invalidate_cc(&mut self) {
+        self.cc = None;
+    }
+
+    /// Marks the tracked condition codes as materialized.
+    pub fn materialize_cc(&mut self) {
+        if let Some(c) = &mut self.cc {
+            c.materialized = true;
+        }
+    }
+
+    /// All currently known, *non-materialized* register values — the
+    /// live-out set to inline at a prediction source or stream end.
+    pub fn pending_live_outs(&self) -> Vec<(Reg, i64)> {
+        Reg::all_int()
+            .filter_map(|r| {
+                self.regs[r.index()]
+                    .filter(|v| !v.materialized)
+                    .map(|v| (r, v.value))
+            })
+            .collect()
+    }
+
+    /// The pending condition-code live-out, if the flags' last writer was
+    /// eliminated.
+    pub fn pending_cc_live_out(&self) -> Option<CcFlags> {
+        self.cc.filter(|c| !c.materialized).map(|c| c.flags)
+    }
+
+    /// Marks every pending live-out as materialized (call after emitting
+    /// them).
+    pub fn materialize_all_pending(&mut self) {
+        for v in self.regs.iter_mut().flatten() {
+            v.materialized = true;
+        }
+        self.materialize_cc();
+    }
+
+    /// Number of tracked registers (tests/reports).
+    pub fn tracked(&self) -> usize {
+        self.regs.iter().filter(|v| v.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_invalidate() {
+        let mut t = RegContextTable::new();
+        let r3 = Reg::int(3);
+        assert_eq!(t.get(r3), None);
+        t.set(r3, 42, false);
+        assert_eq!(t.get(r3), Some(SccValue { value: 42, materialized: false }));
+        t.invalidate(r3);
+        assert_eq!(t.get(r3), None);
+    }
+
+    #[test]
+    fn fp_registers_are_never_tracked() {
+        let mut t = RegContextTable::new();
+        let f0 = Reg::fp(0);
+        t.set(f0, 1, false);
+        assert_eq!(t.get(f0), None);
+        assert_eq!(t.tracked(), 0);
+    }
+
+    #[test]
+    fn pending_live_outs_exclude_materialized() {
+        let mut t = RegContextTable::new();
+        t.set(Reg::int(1), 10, false);
+        t.set(Reg::int(2), 20, true);
+        t.set(Reg::int(3), 30, false);
+        let mut pending = t.pending_live_outs();
+        pending.sort_by_key(|(r, _)| r.index());
+        assert_eq!(pending, vec![(Reg::int(1), 10), (Reg::int(3), 30)]);
+        t.materialize(Reg::int(1));
+        assert_eq!(t.pending_live_outs(), vec![(Reg::int(3), 30)]);
+        t.materialize_all_pending();
+        assert!(t.pending_live_outs().is_empty());
+    }
+
+    #[test]
+    fn cc_tracking() {
+        let mut t = RegContextTable::new();
+        assert_eq!(t.cc(), None);
+        assert_eq!(t.pending_cc_live_out(), None);
+        let flags = CcFlags::from_cmp(1, 1);
+        t.set_cc(flags, false);
+        assert_eq!(t.cc(), Some((flags, false)));
+        assert_eq!(t.pending_cc_live_out(), Some(flags));
+        t.materialize_cc();
+        assert_eq!(t.pending_cc_live_out(), None);
+        t.invalidate_cc();
+        assert_eq!(t.cc(), None);
+    }
+
+    #[test]
+    fn overwrite_replaces_materialization_state() {
+        let mut t = RegContextTable::new();
+        let r = Reg::int(5);
+        t.set(r, 1, true);
+        t.set(r, 2, false);
+        assert_eq!(t.get(r), Some(SccValue { value: 2, materialized: false }));
+        assert_eq!(t.pending_live_outs(), vec![(r, 2)]);
+    }
+}

@@ -1,0 +1,544 @@
+//! Behavioural tests for the compaction engine: one per paper mechanism.
+
+use scc_core::{
+    AbortReason, CompactionEngine, CompactionOutcome, CompactionRequest, NoBranchProbe,
+    NoValueProbe, OptFlags, RequestQueue, SccConfig, UopSource,
+};
+use scc_isa::{Addr, Cond, Op, Program, ProgramBuilder, Reg, Uop};
+use scc_predictors::{BranchPredictorKind, BranchPredictorUnit, LastValue, ValuePredictor};
+use scc_uopcache::{CompactedStream, Invariant};
+
+fn r(n: u8) -> Reg {
+    Reg::int(n)
+}
+
+fn commit(outcome: CompactionOutcome) -> CompactedStream {
+    match outcome {
+        CompactionOutcome::Committed(s) => s,
+        o => panic!("expected committed stream, got {o:?}"),
+    }
+}
+
+/// A micro-op source that only exposes chosen regions (cache-resident
+/// view).
+struct PartialSource<'p> {
+    program: &'p Program,
+    resident: Vec<Addr>,
+}
+
+impl UopSource for PartialSource<'_> {
+    fn macro_uops(&self, addr: Addr) -> Option<&[Uop]> {
+        if self.resident.contains(&scc_isa::region(addr)) {
+            self.program.macro_uops(addr)
+        } else {
+            None
+        }
+    }
+}
+
+#[test]
+fn figure_3a_data_invariant_fold_and_propagate() {
+    // ld t1 <- [a]; addi t2 = t1 + 2; add t4 = t2 + t5
+    // With the load predicted to produce 10: the load becomes a prediction
+    // source, the addi folds to t2 = 12, and the add becomes t4 = 12 + t5.
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(0), 0x9000); // pointer setup (folds too: movi)
+    b.load(r(1), r(0), 0);
+    b.add_imm(r(2), r(1), 2);
+    b.add(r(4), r(2), r(5));
+    b.halt();
+    let p = b.build();
+
+    let mut vp = LastValue::new();
+    let load_pc = p.insts()[1].addr;
+    for _ in 0..10 {
+        vp.train(load_pc, 10);
+    }
+
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    let s = commit(engine.compact(0x1000, &p, &vp, &NoBranchProbe));
+
+    // movi folded (move elim), addi folded, load + add + halt kept.
+    assert_eq!(s.orig_len, 5);
+    assert_eq!(s.uops.len(), 3);
+    assert_eq!(s.shrinkage(), 2);
+    assert_eq!(s.breakdown.move_elim, 1);
+    assert_eq!(s.breakdown.fold, 1);
+
+    // The load is a prediction source with a data invariant of 10.
+    let load = &s.uops[0];
+    assert_eq!(load.uop.op, Op::Load);
+    let inv_idx = load.pred_source.expect("load is a prediction source");
+    match s.invariants[inv_idx].invariant {
+        Invariant::Data { pc, value, .. } => {
+            assert_eq!(pc, load_pc);
+            assert_eq!(value, 10);
+        }
+        other => panic!("expected data invariant, got {other:?}"),
+    }
+    // Constant propagation rewrote the add's t2 operand to 12.
+    let add = &s.uops[1];
+    assert_eq!(add.uop.op, Op::Add);
+    assert_eq!(add.uop.src1, scc_isa::Operand::Imm(12));
+    assert_eq!(add.uop.src2, scc_isa::Operand::Reg(r(5)));
+    assert_eq!(s.breakdown.propagated, 2, "load base and add source both rewritten");
+    // The folded t2 (and the folded r0) appear as live-outs.
+    let all_live_outs: Vec<_> = s
+        .uops
+        .iter()
+        .flat_map(|u| u.live_outs.iter().copied())
+        .chain(s.final_live_outs.iter().copied())
+        .collect();
+    assert!(all_live_outs.contains(&(r(2), 12)), "t2=12 must be materialized: {all_live_outs:?}");
+    assert!(all_live_outs.contains(&(r(0), 0x9000)));
+}
+
+#[test]
+fn pure_constant_chain_folds_completely() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(1), 6);
+    b.mov_imm(r(2), 7);
+    b.add(r(3), r(1), r(2));
+    b.shl_imm(r(4), r(3), 2);
+    b.halt();
+    let p = b.build();
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    let s = commit(engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe));
+    assert_eq!(s.shrinkage(), 4);
+    assert_eq!(s.uops.len(), 1, "only halt survives");
+    assert_eq!(s.uops[0].uop.op, Op::Halt);
+    let mut fl = s.final_live_outs.clone();
+    fl.sort_by_key(|(reg, _)| reg.index());
+    assert_eq!(fl, vec![(r(1), 6), (r(2), 7), (r(3), 13), (r(4), 52)]);
+}
+
+#[test]
+fn move_elim_only_level_uses_live_out_fallback() {
+    // Level 3: movi folds, but const-prop is off, so the reader keeps its
+    // register operand and carries a live-out instead.
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(1), 42);
+    b.mul(r(2), r(1), r(3)); // mul is never foldable; reads r1
+    b.halt();
+    let p = b.build();
+    let mut engine = CompactionEngine::new(SccConfig::with_opts(OptFlags::move_elim_only()));
+    let s = commit(engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe));
+    assert_eq!(s.breakdown.move_elim, 1);
+    assert_eq!(s.breakdown.propagated, 0);
+    let mul = &s.uops[0];
+    assert_eq!(mul.uop.op, Op::Mul);
+    assert_eq!(mul.uop.src1, scc_isa::Operand::Reg(r(1)), "no propagation at level 3");
+    assert_eq!(mul.live_outs, vec![(r(1), 42)], "live-out materializes the eliminated movi");
+    assert!(s.final_live_outs.is_empty(), "r1 already materialized at the reader");
+}
+
+#[test]
+fn no_opts_level_changes_nothing() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(1), 42);
+    b.add(r(2), r(1), r(3));
+    b.halt();
+    let p = b.build();
+    let mut engine = CompactionEngine::new(SccConfig::with_opts(OptFlags::none()));
+    match engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe) {
+        CompactionOutcome::Discarded { shrinkage, orig_len } => {
+            assert_eq!(shrinkage, 0);
+            assert_eq!(orig_len, 3);
+        }
+        o => panic!("expected discard, got {o:?}"),
+    }
+}
+
+#[test]
+fn constant_width_restriction_blocks_wide_folds() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(1), 100_000); // does not fit in 16 bits
+    b.mov_imm(r(2), 7); // fits
+    b.halt();
+    let p = b.build();
+    let mut cfg = SccConfig::full();
+    cfg.max_constant_width = Some(16);
+    let mut engine = CompactionEngine::new(cfg);
+    let s = commit(engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe));
+    assert_eq!(s.shrinkage(), 1, "only the narrow constant is eliminable");
+    assert_eq!(s.uops[0].uop.op, Op::MovImm);
+    assert_eq!(s.uops[0].uop.src1, scc_isa::Operand::Imm(100_000));
+}
+
+#[test]
+fn branch_folding_follows_the_computed_path() {
+    // r1 = 5; if r1 == 5 goto taken; (dead movi); taken: r3 = r1 + 1
+    let mut b = ProgramBuilder::new(0x1000);
+    let taken = b.label();
+    b.mov_imm(r(1), 5);
+    b.cmp_br_imm(Cond::Eq, r(1), 5, taken);
+    b.mov_imm(r(9), 111); // skipped by the fold
+    b.bind(taken);
+    b.add_imm(r(3), r(1), 1);
+    b.halt();
+    let p = b.build();
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    let s = commit(engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe));
+    assert_eq!(s.breakdown.branch_fold, 1);
+    // movi folded, cmpbr folded, dead movi skipped entirely, addi folded.
+    assert_eq!(s.uops.len(), 1, "only halt survives: {:?}", s.uops);
+    assert!(s.final_live_outs.contains(&(r(3), 6)));
+    assert!(!s.final_live_outs.iter().any(|(reg, _)| *reg == r(9)), "dead path not executed");
+    assert!(s.invariants.is_empty(), "folding on known values needs no invariant");
+}
+
+#[test]
+fn cc_tracking_folds_cmp_and_brcc() {
+    let mut b = ProgramBuilder::new(0x1000);
+    let t = b.label();
+    b.mov_imm(r(1), 3);
+    b.cmp_imm(r(1), 10);
+    b.br(Cond::Lt, t);
+    b.mov_imm(r(9), 1); // dead
+    b.bind(t);
+    b.halt();
+    let p = b.build();
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    let s = commit(engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe));
+    // movi + cmp fold; brcc folds through tracked CC.
+    assert_eq!(s.uops.len(), 1);
+    assert_eq!(s.breakdown.branch_fold, 1);
+    assert!(s.final_live_out_cc.is_some(), "folded cmp leaves a CC live-out");
+    let cc = s.final_live_out_cc.unwrap();
+    assert!(!cc.zf && cc.sf, "3 - 10 is negative and nonzero");
+}
+
+#[test]
+fn cc_tracking_disabled_stops_at_brcc() {
+    let mut cfg = SccConfig::full();
+    cfg.opts.cc_tracking = false;
+    cfg.opts.control_invariants = false;
+    let mut b = ProgramBuilder::new(0x1000);
+    let t = b.label();
+    b.mov_imm(r(1), 3);
+    b.cmp_imm(r(1), 10);
+    b.br(Cond::Lt, t);
+    b.bind(t);
+    b.halt();
+    let p = b.build();
+    let brcc_addr = p.insts()[2].addr;
+    let mut engine = CompactionEngine::new(cfg);
+    let s = commit(engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe));
+    assert_eq!(s.exit, brcc_addr, "stream ends before the unresolvable branch");
+}
+
+#[test]
+fn control_invariant_crosses_basic_blocks() {
+    // An unknown-condition branch, strongly predicted taken, becomes a
+    // prediction source; compaction continues at the predicted target.
+    let mut b = ProgramBuilder::new(0x1000);
+    let t = b.label();
+    b.cmp_br_imm(Cond::Eq, r(7), 0, t); // r7 unknown
+    b.mov_imm(r(9), 1); // not on predicted path
+    b.bind(t);
+    b.mov_imm(r(2), 5);
+    b.add_imm(r(3), r(2), 1);
+    b.halt();
+    let p = b.build();
+    let branch_pc = p.insts()[0].addr;
+
+    let mut bp = BranchPredictorUnit::new(BranchPredictorKind::TageLite);
+    // Train the branch heavily taken.
+    {
+        let branch = &p.insts()[0].uops[0];
+        let target = branch.target.unwrap();
+        for _ in 0..64 {
+            bp.update(branch, true, target, false);
+        }
+    }
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    let s = commit(engine.compact(0x1000, &p, &NoValueProbe, &bp));
+    assert_eq!(s.uops.len(), 2, "kept branch + halt: {:?}", s.uops);
+    let br = &s.uops[0];
+    assert_eq!(br.uop.op, Op::CmpBr);
+    let idx = br.pred_source.expect("branch is a control prediction source");
+    match s.invariants[idx].invariant {
+        Invariant::Control { pc, taken, .. } => {
+            assert_eq!(pc, branch_pc);
+            assert!(taken);
+        }
+        other => panic!("expected control invariant, got {other:?}"),
+    }
+    // Eliminations past the predicted branch count as cross-block.
+    assert_eq!(s.breakdown.cross_block, 2);
+    assert!(s.final_live_outs.contains(&(r(3), 6)));
+}
+
+#[test]
+fn low_confidence_branch_stops_compaction() {
+    let mut b = ProgramBuilder::new(0x1000);
+    let t = b.label();
+    b.mov_imm(r(1), 1);
+    b.cmp_br_imm(Cond::Eq, r(7), 0, t); // r7 unknown, untrained predictor
+    b.bind(t);
+    b.halt();
+    let p = b.build();
+    let branch_pc = p.insts()[1].addr;
+    let bp = BranchPredictorUnit::new(BranchPredictorKind::TageLite);
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    let s = commit(engine.compact(0x1000, &p, &NoValueProbe, &bp));
+    assert_eq!(s.exit, branch_pc);
+    assert!(s.invariants.is_empty());
+}
+
+#[test]
+fn third_branch_stops_the_stream() {
+    let mut b = ProgramBuilder::new(0x1000);
+    let l1 = b.label();
+    let l2 = b.label();
+    let l3 = b.label();
+    b.mov_imm(r(1), 1);
+    b.cmp_br_imm(Cond::Eq, r(1), 0, l1); // branch 1: not taken (folds)
+    b.bind(l1);
+    b.cmp_br_imm(Cond::Eq, r(1), 0, l2); // branch 2: not taken (folds)
+    b.bind(l2);
+    b.cmp_br_imm(Cond::Eq, r(1), 0, l3); // branch 3: stop here
+    b.bind(l3);
+    b.halt();
+    let p = b.build();
+    let third = p.insts()[3].addr;
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    let s = commit(engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe));
+    assert_eq!(s.exit, third, "stop condition (c): more than two branches");
+    assert_eq!(s.breakdown.branch_fold, 2);
+}
+
+#[test]
+fn self_looping_macro_aborts() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(1), 4);
+    b.mov_imm(r(2), 0x8000);
+    b.rep_store(r(1), r(2), r(3));
+    b.halt();
+    let p = b.build();
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    assert_eq!(
+        engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe),
+        CompactionOutcome::Aborted(AbortReason::SelfLoopingMacro)
+    );
+    assert_eq!(engine.stats().aborted_self_loop, 1);
+}
+
+#[test]
+fn store_into_own_region_aborts_as_smc() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(1), 0x1000); // base = this very region
+    b.store(r(2), r(1), 8);
+    b.halt();
+    let p = b.build();
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    assert_eq!(
+        engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe),
+        CompactionOutcome::Aborted(AbortReason::SelfModifyingCode)
+    );
+    assert_eq!(engine.stats().aborted_smc, 1);
+
+    // A store elsewhere is fine.
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(1), 0x9000);
+    b.store(r(2), r(1), 8);
+    b.halt();
+    let p = b.build();
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    assert!(matches!(
+        engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe),
+        CompactionOutcome::Committed(_)
+    ));
+}
+
+#[test]
+fn write_buffer_caps_stream_length() {
+    let mut b = ProgramBuilder::new(0x1000);
+    // 30 unfoldable uops in one walk (multiple regions are fine if
+    // sequential? no — region end stops. Keep them in one region: 32
+    // bytes / 3-byte ops ≈ 10 per region. Use pivoting jmps? Simplest:
+    // mul chains at 3 bytes each, then check the region-end stop first.)
+    for i in 0..10 {
+        b.mul(r((i % 8) as u8), r(8), r(9));
+    }
+    b.halt();
+    let p = b.build();
+    let mut cfg = SccConfig::full();
+    cfg.write_buffer_uops = 4;
+    cfg.compaction_threshold = 0;
+    let mut engine = CompactionEngine::new(cfg);
+    let s = commit(engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe));
+    assert_eq!(s.uops.len(), 4, "write buffer bounds the stream");
+    assert_eq!(s.exit, p.insts()[4].addr);
+}
+
+#[test]
+fn sequential_region_end_stops() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mul(r(1), r(8), r(9));
+    b.align_region(); // pad to 0x1020 with nops
+    b.mul(r(2), r(8), r(9)); // next region
+    b.halt();
+    let p = b.build();
+    let mut cfg = SccConfig::full();
+    cfg.compaction_threshold = 0;
+    let mut engine = CompactionEngine::new(cfg);
+    let s = commit(engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe));
+    assert_eq!(s.exit, 0x1020, "stop condition (a): end of the 32-byte region");
+    assert_eq!(s.uops.len(), 1, "nop padding folds away, next region untouched");
+}
+
+#[test]
+fn uop_cache_miss_stops() {
+    // A folded branch pivots to a region that is not cache-resident.
+    let mut b = ProgramBuilder::new(0x1000);
+    let far = b.label();
+    b.mov_imm(r(1), 5);
+    b.cmp_br_imm(Cond::Eq, r(1), 5, far);
+    b.align_region();
+    b.align_region();
+    b.bind(far);
+    b.mov_imm(r(2), 1);
+    b.halt();
+    let p = b.build();
+    let far_addr = p.inst_at(p.insts().iter().find(|m| m.addr >= 0x1020).unwrap().addr);
+    let _ = far_addr;
+    let target = p
+        .insts()
+        .iter()
+        .find(|m| m.uops[0].op == Op::MovImm && m.addr >= 0x1020)
+        .unwrap()
+        .addr;
+    let source = PartialSource { program: &p, resident: vec![0x1000] };
+    let mut cfg = SccConfig::full();
+    cfg.compaction_threshold = 0;
+    let mut engine = CompactionEngine::new(cfg);
+    let s = commit(engine.compact(0x1000, &source, &NoValueProbe, &NoBranchProbe));
+    assert_eq!(s.exit, target, "stop condition (b): pivot target not resident");
+    assert_eq!(s.breakdown.branch_fold, 1, "the branch itself still folded");
+}
+
+#[test]
+fn fully_folded_stream_gets_an_anchor() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(1), 1);
+    b.mov_imm(r(2), 2);
+    b.align_region();
+    b.halt();
+    let p = b.build();
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    let s = commit(engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe));
+    assert_eq!(s.uops.len(), 1);
+    assert_eq!(s.uops[0].uop.op, Op::Nop);
+    assert!(s.shrinkage() >= 2);
+    assert!(s.final_live_outs.contains(&(r(1), 1)));
+    assert!(s.final_live_outs.contains(&(r(2), 2)));
+}
+
+#[test]
+fn call_and_ret_fold_through_link_register() {
+    let mut b = ProgramBuilder::new(0x1000);
+    let f = b.label();
+    b.call(f, r(15));
+    b.halt();
+    b.bind(f);
+    b.mov_imm(r(1), 7);
+    b.ret(r(15));
+    let p = b.build();
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    let s = commit(engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe));
+    // call folded, movi folded, ret folded (link known), halt kept.
+    assert_eq!(s.uops.len(), 1);
+    assert_eq!(s.uops[0].uop.op, Op::Halt);
+    assert_eq!(s.breakdown.branch_fold, 2, "call and ret both folded");
+    assert!(s.final_live_outs.iter().any(|&(reg, _)| reg == r(15)), "link is a live-out");
+}
+
+#[test]
+fn data_invariant_budget_is_enforced() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(0), 0x9000);
+    for i in 1..=6u8 {
+        b.load(r(i), r(0), 8 * i as i64);
+    }
+    b.halt();
+    let p = b.build();
+    let mut vp = LastValue::new();
+    for m in p.insts() {
+        if m.uops[0].op == Op::Load {
+            for _ in 0..10 {
+                vp.train(m.addr, 5);
+            }
+        }
+    }
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    let s = commit(engine.compact(0x1000, &p, &vp, &NoBranchProbe));
+    assert_eq!(s.data_invariants(), 4, "paper: at most four data invariants");
+}
+
+#[test]
+fn request_queue_coalesces_and_bounds() {
+    let mut q = RequestQueue::new(2);
+    assert!(q.is_empty());
+    q.push(CompactionRequest { region: 0x40, entry: 0x40 });
+    q.push(CompactionRequest { region: 0x40, entry: 0x48 }); // coalesced
+    assert_eq!(q.len(), 1);
+    q.push(CompactionRequest { region: 0x80, entry: 0x80 });
+    q.push(CompactionRequest { region: 0xC0, entry: 0xC0 }); // dropped
+    assert_eq!(q.len(), 2);
+    assert_eq!(q.drops(), 1);
+    assert_eq!(q.pop().unwrap().region, 0x40);
+    assert_eq!(q.pop().unwrap().region, 0x80);
+    assert!(q.pop().is_none());
+}
+
+#[test]
+fn engine_counts_cycles_one_uop_per_cycle() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(1), 1);
+    b.mov_imm(r(2), 2);
+    b.halt();
+    let p = b.build();
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    let _ = engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe);
+    // 3 uops scanned + 1 commit cycle.
+    assert_eq!(engine.last_cycles(), 4);
+    assert!(engine.alu_ops() >= 2);
+}
+
+#[test]
+fn future_work_complex_alu_folds_mul_div() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(1), 6);
+    b.mov_imm(r(2), 7);
+    b.mul(r(3), r(1), r(2));
+    b.div(r(4), r(3), r(1));
+    b.halt();
+    let p = b.build();
+    // Paper-faithful config keeps mul/div (the ALU is restricted)...
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    let s = commit(engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe));
+    assert!(s.uops.iter().any(|u| u.uop.op == Op::Mul));
+    assert!(s.uops.iter().any(|u| u.uop.op == Op::Div));
+    // ...the future-work extension folds them too.
+    let mut engine = CompactionEngine::new(SccConfig::with_opts(OptFlags::future_work()));
+    let s = commit(engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe));
+    assert_eq!(s.uops.len(), 1, "only halt survives: {:?}", s.uops);
+    assert!(s.final_live_outs.contains(&(r(3), 42)));
+    assert!(s.final_live_outs.contains(&(r(4), 7)));
+}
+
+#[test]
+fn future_work_div_by_speculative_zero_matches_backend() {
+    // Folded division by zero must match the backend's 0-result
+    // convention exactly (no trap, no panic).
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(1), 9);
+    b.mov_imm(r(2), 0);
+    b.div(r(3), r(1), r(2));
+    b.halt();
+    let p = b.build();
+    let mut engine = CompactionEngine::new(SccConfig::with_opts(OptFlags::future_work()));
+    let s = commit(engine.compact(0x1000, &p, &NoValueProbe, &NoBranchProbe));
+    assert!(s.final_live_outs.contains(&(r(3), 0)));
+}

@@ -1,0 +1,141 @@
+//! Property-based tests: compaction-engine invariants over random
+//! programs and random predictor states.
+
+use proptest::prelude::*;
+use scc_core::{CompactionEngine, CompactionOutcome, NoBranchProbe, SccConfig};
+use scc_isa::rand_prog::{random_program, RandProgConfig};
+use scc_isa::Machine;
+use scc_predictors::{LastValue, ValuePredictor};
+
+fn trained_vp(program: &scc_isa::Program) -> LastValue {
+    // Train the predictor exactly as commits would: replay the program in
+    // the interpreter and feed load/ALU results per PC.
+    let mut vp = LastValue::new();
+    let mut m = Machine::new(program);
+    // Step macro-by-macro and train on integer destinations.
+    while !m.is_halted() {
+        let pc = m.pc();
+        let Some(inst) = program.inst_at(pc) else { break };
+        let dsts: Vec<_> = inst
+            .uops
+            .iter()
+            .filter_map(|u| u.dst.filter(|d| d.is_int()).map(|d| (u.macro_addr, d)))
+            .collect();
+        if m.step_macro(10_000).is_err() {
+            break;
+        }
+        for (addr, d) in dsts {
+            vp.train(addr, m.reg(d));
+        }
+        if m.uop_count() > 200_000 {
+            break;
+        }
+    }
+    vp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compaction_bookkeeping_is_consistent(seed in 0u64..3000) {
+        let cfg = RandProgConfig { with_string_ops: false, ..RandProgConfig::default() };
+        let program = random_program(seed, &cfg);
+        let vp = trained_vp(&program);
+        let mut engine = CompactionEngine::new(SccConfig::full());
+        // Compact from several entry points.
+        for inst in program.insts().iter().step_by(7) {
+            match engine.compact(inst.addr, &program, &vp, &NoBranchProbe) {
+                CompactionOutcome::Committed(s) => {
+                    let scc = SccConfig::full();
+                    // Shrinkage accounting: originals = survivors +
+                    // eliminated, except that a fully-folded stream gains
+                    // one synthetic anchor nop to carry its live-outs.
+                    let accounted = s.uops.len() + s.breakdown.eliminated() as usize;
+                    prop_assert!(
+                        accounted == s.orig_len as usize
+                            || (accounted == s.orig_len as usize + 1
+                                && s.uops.len() == 1
+                                && s.uops[0].uop.op == scc_isa::Op::Nop),
+                        "uop accounting broke (seed {}): orig {} vs {}",
+                        seed, s.orig_len, accounted
+                    );
+                    // Budget limits.
+                    prop_assert!(s.uops.len() <= scc.write_buffer_uops + 1);
+                    prop_assert!(s.data_invariants() <= scc.max_data_invariants);
+                    prop_assert!(s.control_invariants() <= scc.max_control_invariants);
+                    // Every prediction source index is valid.
+                    for su in &s.uops {
+                        if let Some(i) = su.pred_source {
+                            prop_assert!(i < s.invariants.len());
+                        }
+                    }
+                    // The stream's home region matches its entry.
+                    prop_assert_eq!(s.region, scc_isa::region(s.entry));
+                }
+                CompactionOutcome::Discarded { shrinkage, orig_len } => {
+                    prop_assert!(shrinkage <= orig_len);
+                }
+                CompactionOutcome::Aborted(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn live_outs_respect_the_width_restriction(seed in 0u64..500, width in prop::sample::select(vec![8u32, 16, 32])) {
+        let cfg = RandProgConfig { with_string_ops: false, ..RandProgConfig::default() };
+        let program = random_program(seed, &cfg);
+        let vp = trained_vp(&program);
+        let mut scc = SccConfig::full();
+        scc.max_constant_width = Some(width);
+        let mut engine = CompactionEngine::new(scc);
+        for inst in program.insts().iter().step_by(11) {
+            if let CompactionOutcome::Committed(s) =
+                engine.compact(inst.addr, &program, &vp, &NoBranchProbe)
+            {
+                let min = -(1i64 << (width - 1));
+                let max = (1i64 << (width - 1)) - 1;
+                for (_, v) in s
+                    .uops
+                    .iter()
+                    .flat_map(|u| u.live_outs.iter())
+                    .chain(s.final_live_outs.iter())
+                {
+                    prop_assert!(
+                        (min..=max).contains(v),
+                        "live-out {} exceeds {}-bit budget (seed {})", v, width, seed
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_is_deterministic(seed in 0u64..500) {
+        let cfg = RandProgConfig::default();
+        let program = random_program(seed, &cfg);
+        let vp = trained_vp(&program);
+        let mut e1 = CompactionEngine::new(SccConfig::full());
+        let mut e2 = CompactionEngine::new(SccConfig::full());
+        let o1 = e1.compact(program.entry(), &program, &vp, &NoBranchProbe);
+        let o2 = e2.compact(program.entry(), &program, &vp, &NoBranchProbe);
+        prop_assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn disabled_levels_never_eliminate(seed in 0u64..300) {
+        use scc_core::OptFlags;
+        let cfg = RandProgConfig { with_string_ops: false, ..RandProgConfig::default() };
+        let program = random_program(seed, &cfg);
+        let vp = trained_vp(&program);
+        let mut engine = CompactionEngine::new(SccConfig::with_opts(OptFlags::none()));
+        for inst in program.insts().iter().step_by(9) {
+            match engine.compact(inst.addr, &program, &vp, &NoBranchProbe) {
+                CompactionOutcome::Committed(s) => {
+                    prop_assert_eq!(s.shrinkage(), 0, "no-opt level must not shrink");
+                }
+                _ => {}
+            }
+        }
+    }
+}

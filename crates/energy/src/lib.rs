@@ -1,0 +1,453 @@
+//! McPAT-like event-based energy and area model for the SCC reproduction.
+//!
+//! The paper models power with McPAT and area with CACTI on a 2.4 GHz
+//! Ice Lake-class core, reporting chip-wide energy (Figure 8) and the SCC
+//! additions' overheads: **1.5 % area and 0.62 % peak power** (§VII-B).
+//! Neither tool is available here, so this crate substitutes an
+//! analytical model: each microarchitectural event carries a fixed energy
+//! (values chosen to preserve McPAT's *relative* magnitudes — an
+//! instruction-cache access costs ~5× a micro-op cache access, DRAM ~60×
+//! an L1 hit, and the out-of-order backend dominates per-instruction
+//! energy), plus a static (leakage + clock) power charged per cycle.
+//! Figure 8's shape falls out of exactly these relativities: SCC saves
+//! energy by (a) eliminating micro-ops that would otherwise traverse
+//! rename/scheduler/execute/commit and (b) converting instruction-cache
+//! traffic into micro-op cache hits.
+//!
+//! # Example
+//!
+//! ```
+//! use scc_energy::{EnergyEvents, EnergyModel};
+//!
+//! let model = EnergyModel::icelake();
+//! let mut ev = EnergyEvents::default();
+//! ev.cycles = 1_000;
+//! ev.committed_uops = 2_000;
+//! ev.alu_ops = 1_500;
+//! let e = model.energy(&ev);
+//! assert!(e.total_pj() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Event counts feeding the energy model (one simulation's worth).
+///
+/// Decoupled from the pipeline's stats type so this crate stands alone;
+/// the simulator maps its counters into this struct.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnergyEvents {
+    /// Cycles simulated (static energy).
+    pub cycles: u64,
+    /// Instruction-cache accesses.
+    pub icache_accesses: u64,
+    /// Micro-op cache line reads (both partitions).
+    pub uopcache_accesses: u64,
+    /// Macro-instructions decoded on the legacy path.
+    pub decoded_macros: u64,
+    /// Branch predictor lookups.
+    pub bp_lookups: u64,
+    /// Value predictor probes + trains.
+    pub vp_accesses: u64,
+    /// Micro-ops renamed (rename + ROB write).
+    pub renamed_uops: u64,
+    /// Live-out ghost installs (rename-structure writes only).
+    pub ghost_installs: u64,
+    /// Simple integer ALU executions.
+    pub alu_ops: u64,
+    /// Integer multiply/divide executions.
+    pub muldiv_ops: u64,
+    /// FP/SIMD executions.
+    pub fp_ops: u64,
+    /// L1D accesses.
+    pub l1d_accesses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L3 accesses.
+    pub l3_accesses: u64,
+    /// DRAM accesses.
+    pub dram_accesses: u64,
+    /// Committed micro-ops (commit/retire bookkeeping).
+    pub committed_uops: u64,
+    /// SCC front-end ALU operations.
+    pub scc_alu_ops: u64,
+    /// Cycles the SCC unit was busy (its own small static/clock cost).
+    pub scc_busy_cycles: u64,
+}
+
+/// Per-event energies in picojoules, plus static power per cycle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyParams {
+    /// I-cache read (32 KB, 8-way).
+    pub icache_pj: f64,
+    /// Micro-op cache line read.
+    pub uopcache_pj: f64,
+    /// x86 macro decode.
+    pub decode_pj: f64,
+    /// Branch predictor lookup.
+    pub bp_pj: f64,
+    /// Value predictor access.
+    pub vp_pj: f64,
+    /// Rename + ROB write per micro-op.
+    pub rename_pj: f64,
+    /// Rename-structure constant install (physical register inlining).
+    pub ghost_pj: f64,
+    /// Scheduler wakeup + ALU execute.
+    pub alu_pj: f64,
+    /// Multiply/divide execute.
+    pub muldiv_pj: f64,
+    /// FP/SIMD execute.
+    pub fp_pj: f64,
+    /// L1D access.
+    pub l1d_pj: f64,
+    /// L2 access.
+    pub l2_pj: f64,
+    /// L3 access.
+    pub l3_pj: f64,
+    /// DRAM access.
+    pub dram_pj: f64,
+    /// Commit per micro-op.
+    pub commit_pj: f64,
+    /// SCC front-end ALU op (simple ALU, small operand latch).
+    pub scc_alu_pj: f64,
+    /// Static (leakage + clock tree) energy per core cycle.
+    pub static_pj_per_cycle: f64,
+}
+
+impl EnergyParams {
+    /// Ice Lake-class relative energies (pJ) at 2.4 GHz.
+    pub fn icelake() -> EnergyParams {
+        EnergyParams {
+            icache_pj: 60.0,
+            uopcache_pj: 12.0,
+            decode_pj: 18.0,
+            bp_pj: 6.0,
+            vp_pj: 6.0,
+            rename_pj: 22.0,
+            ghost_pj: 3.0,
+            alu_pj: 16.0,
+            muldiv_pj: 45.0,
+            fp_pj: 30.0,
+            l1d_pj: 28.0,
+            l2_pj: 120.0,
+            l3_pj: 420.0,
+            dram_pj: 1900.0,
+            commit_pj: 9.0,
+            scc_alu_pj: 6.0,
+            static_pj_per_cycle: 480.0,
+        }
+    }
+}
+
+/// Energy broken down by pipeline section, in picojoules.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Front end: icache, decode, micro-op cache, predictors, SCC unit.
+    pub frontend_pj: f64,
+    /// Back end: rename, execute, commit.
+    pub backend_pj: f64,
+    /// Memory: L1D/L2/L3/DRAM.
+    pub memory_pj: f64,
+    /// Static/leakage.
+    pub static_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.frontend_pj + self.backend_pj + self.memory_pj + self.static_pj
+    }
+
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.total_pj() / 1e9
+    }
+}
+
+/// The event-based energy model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    params: EnergyParams,
+}
+
+impl EnergyModel {
+    /// Creates a model with explicit parameters.
+    pub fn new(params: EnergyParams) -> EnergyModel {
+        EnergyModel { params }
+    }
+
+    /// The default Ice Lake-class model.
+    pub fn icelake() -> EnergyModel {
+        EnergyModel::new(EnergyParams::icelake())
+    }
+
+    /// The model's parameters.
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    /// Computes the energy breakdown for one run's events.
+    pub fn energy(&self, ev: &EnergyEvents) -> EnergyBreakdown {
+        let p = &self.params;
+        let n = |c: u64| c as f64;
+        let frontend = n(ev.icache_accesses) * p.icache_pj
+            + n(ev.uopcache_accesses) * p.uopcache_pj
+            + n(ev.decoded_macros) * p.decode_pj
+            + n(ev.bp_lookups) * p.bp_pj
+            + n(ev.vp_accesses) * p.vp_pj
+            + n(ev.scc_alu_ops) * p.scc_alu_pj
+            + n(ev.scc_busy_cycles) * 0.5; // SCC unit clocking while busy
+        let backend = n(ev.renamed_uops) * p.rename_pj
+            + n(ev.ghost_installs) * p.ghost_pj
+            + n(ev.alu_ops) * p.alu_pj
+            + n(ev.muldiv_ops) * p.muldiv_pj
+            + n(ev.fp_ops) * p.fp_pj
+            + n(ev.committed_uops) * p.commit_pj;
+        let memory = n(ev.l1d_accesses) * p.l1d_pj
+            + n(ev.l2_accesses) * p.l2_pj
+            + n(ev.l3_accesses) * p.l3_pj
+            + n(ev.dram_accesses) * p.dram_pj;
+        let static_e = n(ev.cycles) * p.static_pj_per_cycle;
+        EnergyBreakdown {
+            frontend_pj: frontend,
+            backend_pj: backend,
+            memory_pj: memory,
+            static_pj: static_e,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Renders a McPAT-style detailed report: per-component dynamic
+    /// energy, shares, and totals.
+    pub fn detailed_report(&self, ev: &EnergyEvents) -> String {
+        let p = &self.params;
+        let rows: &[(&str, u64, f64)] = &[
+            ("icache reads", ev.icache_accesses, p.icache_pj),
+            ("uop cache reads", ev.uopcache_accesses, p.uopcache_pj),
+            ("legacy decode", ev.decoded_macros, p.decode_pj),
+            ("branch predictor", ev.bp_lookups, p.bp_pj),
+            ("value predictor", ev.vp_accesses, p.vp_pj),
+            ("SCC front-end ALU", ev.scc_alu_ops, p.scc_alu_pj),
+            ("rename + ROB", ev.renamed_uops, p.rename_pj),
+            ("live-out inlining", ev.ghost_installs, p.ghost_pj),
+            ("int ALU execute", ev.alu_ops, p.alu_pj),
+            ("mul/div execute", ev.muldiv_ops, p.muldiv_pj),
+            ("FP/SIMD execute", ev.fp_ops, p.fp_pj),
+            ("commit", ev.committed_uops, p.commit_pj),
+            ("L1D", ev.l1d_accesses, p.l1d_pj),
+            ("L2", ev.l2_accesses, p.l2_pj),
+            ("L3", ev.l3_accesses, p.l3_pj),
+            ("DRAM", ev.dram_accesses, p.dram_pj),
+        ];
+        let breakdown = self.energy(ev);
+        let total = breakdown.total_pj().max(f64::MIN_POSITIVE);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22} {:>14} {:>10} {:>14} {:>7}\n",
+            "component", "events", "pJ/event", "energy (pJ)", "share"
+        ));
+        for (name, count, per) in rows {
+            let e = *count as f64 * per;
+            out.push_str(&format!(
+                "{name:<22} {count:>14} {per:>10.1} {e:>14.0} {:>6.1}%\n",
+                100.0 * e / total
+            ));
+        }
+        out.push_str(&format!(
+            "{:<22} {:>14} {:>10.1} {:>14.0} {:>6.1}%\n",
+            "static/leakage",
+            ev.cycles,
+            p.static_pj_per_cycle,
+            breakdown.static_pj,
+            100.0 * breakdown.static_pj / total
+        ));
+        out.push_str(&format!(
+            "{:<22} {:>14} {:>10} {:>14.0} {:>7}\n",
+            "TOTAL", "-", "-", total, "100.0%"
+        ));
+        out
+    }
+}
+
+/// Area model for the core and the SCC additions.
+///
+/// Mirrors the paper's CACTI/McPAT accounting: the SCC structures are a
+/// simple integer ALU, the register context table, the doubled predictor
+/// read ports, the extended tag arrays (lock bits + confidence counters),
+/// the 6-entry request queue, and the 18-micro-op write buffer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaModel {
+    /// Baseline core area in mm² (per-core slice incl. private caches).
+    pub core_mm2: f64,
+    /// SCC front-end ALU.
+    pub scc_alu_mm2: f64,
+    /// Register context table (16×64-bit + flags).
+    pub scc_rct_mm2: f64,
+    /// Doubled predictor read ports and wiring.
+    pub pred_ports_mm2: f64,
+    /// Extended micro-op cache tag arrays (lock + confidence bits).
+    pub tag_ext_mm2: f64,
+    /// Request queue + write buffer.
+    pub buffers_mm2: f64,
+    /// Baseline core peak power in watts.
+    pub core_peak_w: f64,
+    /// SCC additions' peak power in watts.
+    pub scc_peak_w: f64,
+}
+
+impl AreaModel {
+    /// Ice Lake-class per-core accounting calibrated to the paper's
+    /// reported overheads (≈1.5 % area, ≈0.62 % peak power).
+    pub fn icelake() -> AreaModel {
+        AreaModel {
+            core_mm2: 7.10,
+            scc_alu_mm2: 0.018,
+            scc_rct_mm2: 0.006,
+            pred_ports_mm2: 0.046,
+            tag_ext_mm2: 0.024,
+            buffers_mm2: 0.012,
+            core_peak_w: 13.5,
+            scc_peak_w: 0.084,
+        }
+    }
+
+    /// Total SCC area in mm².
+    pub fn scc_mm2(&self) -> f64 {
+        self.scc_alu_mm2
+            + self.scc_rct_mm2
+            + self.pred_ports_mm2
+            + self.tag_ext_mm2
+            + self.buffers_mm2
+    }
+
+    /// SCC area overhead as a fraction of the core.
+    pub fn area_overhead(&self) -> f64 {
+        self.scc_mm2() / self.core_mm2
+    }
+
+    /// SCC peak-power overhead as a fraction of the core.
+    pub fn peak_power_overhead(&self) -> f64 {
+        self.scc_peak_w / self.core_peak_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events() -> EnergyEvents {
+        EnergyEvents {
+            cycles: 1000,
+            icache_accesses: 10,
+            uopcache_accesses: 500,
+            decoded_macros: 50,
+            bp_lookups: 300,
+            vp_accesses: 100,
+            renamed_uops: 2000,
+            ghost_installs: 20,
+            alu_ops: 1200,
+            muldiv_ops: 50,
+            fp_ops: 100,
+            l1d_accesses: 400,
+            l2_accesses: 40,
+            l3_accesses: 10,
+            dram_accesses: 2,
+            committed_uops: 1900,
+            scc_alu_ops: 60,
+            scc_busy_cycles: 80,
+        }
+    }
+
+    #[test]
+    fn energy_is_positive_and_additive() {
+        let m = EnergyModel::icelake();
+        let e = m.energy(&events());
+        assert!(e.frontend_pj > 0.0);
+        assert!(e.backend_pj > 0.0);
+        assert!(e.memory_pj > 0.0);
+        assert!(e.static_pj > 0.0);
+        let total = e.frontend_pj + e.backend_pj + e.memory_pj + e.static_pj;
+        assert!((e.total_pj() - total).abs() < 1e-9);
+        assert!((e.total_mj() - total / 1e9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn eliminating_uops_saves_backend_energy() {
+        let m = EnergyModel::icelake();
+        let base = events();
+        let mut scc = base;
+        scc.renamed_uops -= 500;
+        scc.alu_ops -= 400;
+        scc.committed_uops -= 500;
+        let eb = m.energy(&base);
+        let es = m.energy(&scc);
+        assert!(es.backend_pj < eb.backend_pj);
+        assert!(es.total_pj() < eb.total_pj());
+    }
+
+    #[test]
+    fn icache_traffic_is_much_pricier_than_uopcache() {
+        let p = EnergyParams::icelake();
+        assert!(p.icache_pj >= 4.0 * p.uopcache_pj, "paper: uop cache saves the icache trip");
+        assert!(p.dram_pj >= 50.0 * p.l1d_pj);
+    }
+
+    #[test]
+    fn zero_events_cost_nothing_dynamic() {
+        let m = EnergyModel::icelake();
+        let e = m.energy(&EnergyEvents::default());
+        assert_eq!(e.total_pj(), 0.0);
+    }
+
+    #[test]
+    fn area_overhead_matches_paper() {
+        let a = AreaModel::icelake();
+        let area = a.area_overhead();
+        let power = a.peak_power_overhead();
+        assert!((0.013..=0.017).contains(&area), "≈1.5% area, got {:.3}%", 100.0 * area);
+        assert!((0.005..=0.008).contains(&power), "≈0.62% power, got {:.3}%", 100.0 * power);
+    }
+
+    #[test]
+    fn scc_structures_are_individually_tiny() {
+        let a = AreaModel::icelake();
+        for part in [a.scc_alu_mm2, a.scc_rct_mm2, a.pred_ports_mm2, a.tag_ext_mm2, a.buffers_mm2] {
+            assert!(part < 0.05, "every SCC structure is sub-0.05 mm²");
+        }
+        assert!(a.scc_mm2() < 0.15);
+    }
+}
+
+#[cfg(test)]
+mod report_tests {
+    use super::*;
+
+    #[test]
+    fn detailed_report_accounts_for_everything() {
+        let m = EnergyModel::icelake();
+        let ev = EnergyEvents {
+            cycles: 100,
+            icache_accesses: 5,
+            uopcache_accesses: 50,
+            renamed_uops: 200,
+            alu_ops: 150,
+            committed_uops: 190,
+            l1d_accesses: 40,
+            dram_accesses: 1,
+            ..EnergyEvents::default()
+        };
+        let report = m.detailed_report(&ev);
+        assert!(report.contains("icache reads"));
+        assert!(report.contains("TOTAL"));
+        assert!(report.contains("100.0%"));
+        // Shares parse and sum to ~100 (excluding header/total lines).
+        let share_sum: f64 = report
+            .lines()
+            .skip(1)
+            .filter(|l| !l.starts_with("TOTAL"))
+            .filter_map(|l| l.rsplit_once(' ').and_then(|(_, s)| s.trim_end_matches('%').parse::<f64>().ok()))
+            .sum();
+        assert!((share_sum - 100.0).abs() < 1.5, "shares sum to {share_sum}");
+    }
+}

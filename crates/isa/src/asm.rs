@@ -1,0 +1,564 @@
+//! Program builder: a tiny assembler with labels and x86-like instruction
+//! lengths.
+//!
+//! Every emitter creates one macro-instruction and advances the address
+//! cursor by a realistic byte length, so that the 32-byte-region structure
+//! of the resulting code resembles compiled x86: a region typically holds
+//! 5–10 macro-instructions, matching the paper's "roughly 18 fused
+//! micro-ops or a 32-byte native x86 code region".
+
+use crate::macroop::{MacroInst, MacroKind};
+use crate::program::{Program, ProgramError};
+use crate::reg::Reg;
+use crate::uop::{Addr, Cond, Op, Operand, Uop};
+
+/// A forward-referenceable code label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builds a [`Program`] instruction by instruction.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    insts: Vec<MacroInst>,
+    cursor: Addr,
+    entry: Addr,
+    labels: Vec<Option<Addr>>,
+    // (instruction index, uop index, label) needing target patch
+    patches: Vec<(usize, usize, Label)>,
+    data: Vec<(u64, i64)>,
+}
+
+impl ProgramBuilder {
+    /// Starts building at `entry`.
+    pub fn new(entry: Addr) -> ProgramBuilder {
+        ProgramBuilder {
+            insts: Vec::new(),
+            cursor: entry,
+            entry,
+            labels: Vec::new(),
+            patches: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Current cursor address.
+    pub fn cursor(&self) -> Addr {
+        self.cursor
+    }
+
+    /// Creates an unbound label for later [`bind`](Self::bind).
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current cursor address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.cursor);
+    }
+
+    /// Creates a label bound to the current cursor address.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Moves the cursor forward to `addr` (leaving a gap, like padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is behind the cursor.
+    pub fn seek(&mut self, addr: Addr) {
+        assert!(addr >= self.cursor, "cannot seek backwards");
+        self.cursor = addr;
+    }
+
+    /// Aligns the cursor up to the next 32-byte region boundary by emitting
+    /// single-byte `nop` padding (no-op if already aligned), exactly like a
+    /// compiler aligning a loop head — so sequential fall-through across the
+    /// boundary still works.
+    pub fn align_region(&mut self) {
+        while self.cursor % crate::REGION_BYTES != 0 {
+            self.nop();
+        }
+    }
+
+    /// Adds an initial-memory word.
+    pub fn word(&mut self, addr: u64, value: i64) {
+        self.data.push((addr, value));
+    }
+
+    /// Adds consecutive 8-byte-strided initial-memory words starting at
+    /// `base`.
+    pub fn words(&mut self, base: u64, values: &[i64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.data.push((base + 8 * i as u64, v));
+        }
+    }
+
+    fn emit(&mut self, len: u8, kind: MacroKind, uops: Vec<Uop>) -> usize {
+        let m = MacroInst::new(self.cursor, len, kind, uops);
+        self.cursor = m.next_addr();
+        self.insts.push(m);
+        self.insts.len() - 1
+    }
+
+    fn emit1(&mut self, len: u8, uop: Uop) -> usize {
+        self.emit(len, MacroKind::Simple, vec![uop])
+    }
+
+    // --- moves ---
+
+    /// `dst = imm`.
+    pub fn mov_imm(&mut self, dst: Reg, imm: i64) {
+        let mut u = Uop::new(Op::MovImm);
+        u.dst = Some(dst);
+        u.src1 = Operand::Imm(imm);
+        self.emit1(5, u);
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) {
+        let mut u = Uop::new(Op::Mov);
+        u.dst = Some(dst);
+        u.src1 = Operand::Reg(src);
+        self.emit1(3, u);
+    }
+
+    // --- integer ALU ---
+
+    fn alu3(&mut self, op: Op, dst: Reg, a: Operand, b: Operand, len: u8) {
+        let mut u = Uop::new(op);
+        u.dst = Some(dst);
+        u.src1 = a;
+        u.src2 = b;
+        self.emit1(len, u);
+    }
+
+    /// `dst = a + b`.
+    pub fn add(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu3(Op::Add, dst, a.into(), b.into(), 3);
+    }
+
+    /// `dst = a + imm`.
+    pub fn add_imm(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.alu3(Op::Add, dst, a.into(), imm.into(), 4);
+    }
+
+    /// `dst = a - b`.
+    pub fn sub(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu3(Op::Sub, dst, a.into(), b.into(), 3);
+    }
+
+    /// `dst = a - imm`.
+    pub fn sub_imm(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.alu3(Op::Sub, dst, a.into(), imm.into(), 4);
+    }
+
+    /// `dst = a & b`.
+    pub fn and(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu3(Op::And, dst, a.into(), b.into(), 3);
+    }
+
+    /// `dst = a & imm`.
+    pub fn and_imm(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.alu3(Op::And, dst, a.into(), imm.into(), 4);
+    }
+
+    /// `dst = a | b`.
+    pub fn or(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu3(Op::Or, dst, a.into(), b.into(), 3);
+    }
+
+    /// `dst = a | imm`.
+    pub fn or_imm(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.alu3(Op::Or, dst, a.into(), imm.into(), 4);
+    }
+
+    /// `dst = a ^ b`.
+    pub fn xor(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu3(Op::Xor, dst, a.into(), b.into(), 3);
+    }
+
+    /// `dst = a ^ imm`.
+    pub fn xor_imm(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.alu3(Op::Xor, dst, a.into(), imm.into(), 4);
+    }
+
+    /// `dst = a << b`.
+    pub fn shl(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu3(Op::Shl, dst, a.into(), b.into(), 3);
+    }
+
+    /// `dst = a << imm`.
+    pub fn shl_imm(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.alu3(Op::Shl, dst, a.into(), imm.into(), 4);
+    }
+
+    /// `dst = a >> b` (logical).
+    pub fn shr(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu3(Op::Shr, dst, a.into(), b.into(), 3);
+    }
+
+    /// `dst = a >> imm` (logical).
+    pub fn shr_imm(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.alu3(Op::Shr, dst, a.into(), imm.into(), 4);
+    }
+
+    /// `dst = a >> b` (arithmetic).
+    pub fn sar(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu3(Op::Sar, dst, a.into(), b.into(), 3);
+    }
+
+    /// `dst = a >> imm` (arithmetic).
+    pub fn sar_imm(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.alu3(Op::Sar, dst, a.into(), imm.into(), 4);
+    }
+
+    /// `dst = !a`.
+    pub fn not(&mut self, dst: Reg, a: Reg) {
+        self.alu3(Op::Not, dst, a.into(), Operand::None, 3);
+    }
+
+    /// `dst = -a`.
+    pub fn neg(&mut self, dst: Reg, a: Reg) {
+        self.alu3(Op::Neg, dst, a.into(), Operand::None, 3);
+    }
+
+    /// `dst = a * b` (not SCC-foldable).
+    pub fn mul(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu3(Op::Mul, dst, a.into(), b.into(), 4);
+    }
+
+    /// `dst = a / b` (not SCC-foldable; 0 on division by zero).
+    pub fn div(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu3(Op::Div, dst, a.into(), b.into(), 4);
+    }
+
+    /// `dst = a % b` (not SCC-foldable; 0 on division by zero).
+    pub fn rem(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.alu3(Op::Rem, dst, a.into(), b.into(), 4);
+    }
+
+    // --- flags ---
+
+    /// Compare `a` with `b`, setting condition codes.
+    pub fn cmp(&mut self, a: Reg, b: Reg) {
+        let mut u = Uop::new(Op::Cmp);
+        u.src1 = a.into();
+        u.src2 = b.into();
+        self.emit1(3, u);
+    }
+
+    /// Compare `a` with an immediate, setting condition codes.
+    pub fn cmp_imm(&mut self, a: Reg, imm: i64) {
+        let mut u = Uop::new(Op::Cmp);
+        u.src1 = a.into();
+        u.src2 = imm.into();
+        self.emit1(4, u);
+    }
+
+    /// Test `a & b`, setting condition codes.
+    pub fn test(&mut self, a: Reg, b: Reg) {
+        let mut u = Uop::new(Op::Test);
+        u.src1 = a.into();
+        u.src2 = b.into();
+        self.emit1(3, u);
+    }
+
+    /// `dst = cond ? 1 : 0` from current condition codes.
+    pub fn setcc(&mut self, cond: Cond, dst: Reg) {
+        let mut u = Uop::new(Op::SetCc);
+        u.dst = Some(dst);
+        u.cond = Some(cond);
+        self.emit1(4, u);
+    }
+
+    // --- memory ---
+
+    /// `dst = mem[base + offset]`. `dst` may be an integer or FP register.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) {
+        let mut u = Uop::new(Op::Load);
+        u.dst = Some(dst);
+        u.src1 = base.into();
+        u.offset = offset;
+        self.emit1(4, u);
+    }
+
+    /// `mem[base + offset] = src`. `src` may be an integer or FP register.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) {
+        let mut u = Uop::new(Op::Store);
+        u.src1 = base.into();
+        u.src2 = src.into();
+        u.offset = offset;
+        self.emit1(4, u);
+    }
+
+    /// `mem[base + offset] = imm`.
+    pub fn store_imm(&mut self, imm: i64, base: Reg, offset: i64) {
+        let mut u = Uop::new(Op::Store);
+        u.src1 = base.into();
+        u.src2 = imm.into();
+        u.offset = offset;
+        self.emit1(6, u);
+    }
+
+    // --- floating point / SIMD ---
+
+    fn fp3(&mut self, op: Op, dst: Reg, a: Reg, b: Reg, len: u8) {
+        assert!(dst.is_fp() && a.is_fp() && b.is_fp(), "FP ops require FP registers");
+        let mut u = Uop::new(op);
+        u.dst = Some(dst);
+        u.src1 = a.into();
+        u.src2 = b.into();
+        self.emit1(len, u);
+    }
+
+    /// `dst = a + b` (FP).
+    pub fn fadd(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.fp3(Op::FpAdd, dst, a, b, 4);
+    }
+
+    /// `dst = a - b` (FP).
+    pub fn fsub(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.fp3(Op::FpSub, dst, a, b, 4);
+    }
+
+    /// `dst = a * b` (FP).
+    pub fn fmul(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.fp3(Op::FpMul, dst, a, b, 4);
+    }
+
+    /// `dst = a / b` (FP).
+    pub fn fdiv(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.fp3(Op::FpDiv, dst, a, b, 4);
+    }
+
+    /// `dst = a` (FP move).
+    pub fn fmov(&mut self, dst: Reg, a: Reg) {
+        assert!(dst.is_fp() && a.is_fp(), "FP ops require FP registers");
+        let mut u = Uop::new(Op::FpMov);
+        u.dst = Some(dst);
+        u.src1 = a.into();
+        self.emit1(3, u);
+    }
+
+    /// Coarse SIMD stand-in operating on FP registers.
+    pub fn simd(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.fp3(Op::Simd, dst, a, b, 5);
+    }
+
+    // --- control flow ---
+
+    fn emit_branch(&mut self, len: u8, kind: MacroKind, mut uop: Uop, label: Label) {
+        uop.target = Some(0); // patched at build
+        let idx = self.emit(len, kind, vec![uop]);
+        let slot = self.insts[idx].uops.len() - 1;
+        self.patches.push((idx, slot, label));
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) {
+        self.emit_branch(2, MacroKind::Simple, Uop::new(Op::Jmp), label);
+    }
+
+    /// Indirect jump to the address in `reg`.
+    pub fn jmp_ind(&mut self, reg: Reg) {
+        let mut u = Uop::new(Op::JmpInd);
+        u.src1 = reg.into();
+        self.emit1(3, u);
+    }
+
+    /// Conditional branch on condition codes to `label`.
+    pub fn br(&mut self, cond: Cond, label: Label) {
+        let mut u = Uop::new(Op::BrCc);
+        u.cond = Some(cond);
+        self.emit_branch(2, MacroKind::Simple, u, label);
+    }
+
+    /// Macro-fused compare-and-branch: `if a cond b goto label`.
+    pub fn cmp_br(&mut self, cond: Cond, a: Reg, b: Reg, label: Label) {
+        let mut u = Uop::new(Op::CmpBr);
+        u.cond = Some(cond);
+        u.src1 = a.into();
+        u.src2 = b.into();
+        self.emit_branch(5, MacroKind::Fused, u, label);
+    }
+
+    /// Macro-fused compare-immediate-and-branch: `if a cond imm goto label`.
+    pub fn cmp_br_imm(&mut self, cond: Cond, a: Reg, imm: i64, label: Label) {
+        let mut u = Uop::new(Op::CmpBr);
+        u.cond = Some(cond);
+        u.src1 = a.into();
+        u.src2 = imm.into();
+        self.emit_branch(6, MacroKind::Fused, u, label);
+    }
+
+    /// Call `label`, writing the return address to `link`.
+    pub fn call(&mut self, label: Label, link: Reg) {
+        let mut u = Uop::new(Op::Call);
+        u.dst = Some(link);
+        self.emit_branch(5, MacroKind::Simple, u, label);
+    }
+
+    /// Return through the address in `link`.
+    pub fn ret(&mut self, link: Reg) {
+        let mut u = Uop::new(Op::Ret);
+        u.src1 = link.into();
+        self.emit1(1, u);
+    }
+
+    // --- microcoded string op ---
+
+    /// A microcoded string-store (x86 `rep stos` style): stores `val` to
+    /// `count` consecutive 8-byte-strided cells starting at `base`,
+    /// advancing `base` and decrementing `count` in place.
+    ///
+    /// Decodes to four micro-ops, the last a self-looping branch — the
+    /// pattern that forces SCC to abort compaction (paper §III).
+    pub fn rep_store(&mut self, count: Reg, base: Reg, val: Reg) {
+        let addr = self.cursor;
+        let mut st = Uop::new(Op::Store);
+        st.src1 = base.into();
+        st.src2 = val.into();
+        let mut adv = Uop::new(Op::Add);
+        adv.dst = Some(base);
+        adv.src1 = base.into();
+        adv.src2 = Operand::Imm(8);
+        let mut dec = Uop::new(Op::Sub);
+        dec.dst = Some(count);
+        dec.src1 = count.into();
+        dec.src2 = Operand::Imm(1);
+        let mut br = Uop::new(Op::CmpBr);
+        br.cond = Some(Cond::Ne);
+        br.src1 = count.into();
+        br.src2 = Operand::Imm(0);
+        br.target = Some(addr);
+        self.emit(3, MacroKind::StringOp, vec![st, adv, dec, br]);
+    }
+
+    // --- misc ---
+
+    /// No-operation.
+    pub fn nop(&mut self) {
+        self.emit1(1, Uop::new(Op::Nop));
+    }
+
+    /// Stop the machine.
+    pub fn halt(&mut self) {
+        self.emit1(1, Uop::new(Op::Halt));
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound, or on structural
+    /// errors ([`ProgramError`]) — builder misuse is a programming error in
+    /// the workload generator, not a runtime condition.
+    pub fn build(self) -> Program {
+        self.try_build().expect("program assembly failed")
+    }
+
+    /// Finalizes the program, returning structural errors instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] on overlapping instructions, dangling
+    /// branch targets, or a bad entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never bound.
+    pub fn try_build(mut self) -> Result<Program, ProgramError> {
+        for (inst, slot, label) in std::mem::take(&mut self.patches) {
+            let addr = self.labels[label.0].expect("label referenced but never bound");
+            self.insts[inst].uops[slot].target = Some(addr);
+        }
+        Program::new(self.insts, self.entry, self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_labels_are_patched() {
+        let mut b = ProgramBuilder::new(0);
+        let done = b.label();
+        b.mov_imm(Reg::int(0), 1);
+        b.jmp(done);
+        b.mov_imm(Reg::int(0), 2);
+        b.bind(done);
+        b.halt();
+        let p = b.build();
+        let jmp = &p.insts()[1];
+        let target = jmp.uops[0].target.unwrap();
+        assert_eq!(target, p.insts()[3].addr);
+    }
+
+    #[test]
+    fn lengths_advance_cursor() {
+        let mut b = ProgramBuilder::new(0x100);
+        b.mov_imm(Reg::int(0), 5);
+        assert_eq!(b.cursor(), 0x105);
+        b.add(Reg::int(0), Reg::int(0), Reg::int(0));
+        assert_eq!(b.cursor(), 0x108);
+    }
+
+    #[test]
+    fn align_region_rounds_up() {
+        let mut b = ProgramBuilder::new(0x100);
+        b.nop();
+        b.align_region();
+        assert_eq!(b.cursor(), 0x120);
+        b.align_region();
+        assert_eq!(b.cursor(), 0x120);
+    }
+
+    #[test]
+    fn rep_store_is_self_looping() {
+        let mut b = ProgramBuilder::new(0);
+        b.rep_store(Reg::int(0), Reg::int(1), Reg::int(2));
+        b.halt();
+        let p = b.build();
+        assert!(p.insts()[0].is_self_looping());
+        assert_eq!(p.insts()[0].uop_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new(0);
+        let l = b.label();
+        b.jmp(l);
+        b.halt();
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "FP ops require FP registers")]
+    fn fp_op_rejects_int_regs() {
+        let mut b = ProgramBuilder::new(0);
+        b.fadd(Reg::int(0), Reg::fp(0), Reg::fp(1));
+    }
+
+    #[test]
+    fn words_stride_by_eight() {
+        let mut b = ProgramBuilder::new(0);
+        b.words(0x1000, &[10, 20, 30]);
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.init_data(), &[(0x1000, 10), (0x1008, 20), (0x1010, 30)]);
+    }
+}

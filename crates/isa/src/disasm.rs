@@ -1,0 +1,147 @@
+//! Human-readable rendering of micro-ops and programs, for debugging and
+//! for the compaction-explorer example (the paper's Figure 4 shows exactly
+//! this kind of before/after listing).
+
+use crate::program::Program;
+use crate::uop::{Op, Operand, Uop};
+use std::fmt;
+use std::fmt::Write as _;
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::None => f.write_str("_"),
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "${v}"),
+        }
+    }
+}
+
+impl fmt::Display for Uop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        if let Some(c) = self.cond {
+            write!(f, ".{c}")?;
+        }
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+        }
+        match self.op {
+            Op::Load => write!(f, " <- [{}{}]", self.src1, fmt_offset(self.offset))?,
+            Op::Store => {
+                write!(f, " [{}{}] <- {}", self.src1, fmt_offset(self.offset), self.src2)?
+            }
+            _ => {
+                if self.src1.is_some() {
+                    write!(f, " {}", self.src1)?;
+                }
+                if self.src2.is_some() {
+                    write!(f, ", {}", self.src2)?;
+                }
+            }
+        }
+        if let Some(t) = self.target {
+            write!(f, " -> {t:#x}")?;
+        }
+        if self.self_loop {
+            f.write_str(" (self-loop)")?;
+        }
+        if self.fused_with_next {
+            f.write_str(" (+fused)")?;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_offset(off: i64) -> String {
+    if off == 0 {
+        String::new()
+    } else if off > 0 {
+        format!("+{off}")
+    } else {
+        format!("{off}")
+    }
+}
+
+/// Renders a whole program as an address-annotated listing.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    let mut last_region = u64::MAX;
+    for m in program.insts() {
+        let region = crate::region(m.addr);
+        if region != last_region {
+            let _ = writeln!(out, "; --- region {region:#x} ---");
+            last_region = region;
+        }
+        for (i, u) in m.uops.iter().enumerate() {
+            if i == 0 {
+                let _ = writeln!(out, "{:#06x}: {u}", m.addr);
+            } else {
+                let _ = writeln!(out, "        .{u}");
+            }
+        }
+    }
+    out
+}
+
+/// Renders a micro-op slice as an indented listing (used to show compacted
+/// streams next to their unoptimized originals).
+pub fn render_uops(uops: &[Uop]) -> String {
+    let mut out = String::new();
+    for u in uops {
+        let _ = writeln!(out, "  {:#06x}.{}: {u}", u.macro_addr, u.slot);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::ProgramBuilder;
+    use crate::reg::Reg;
+    use crate::uop::Cond;
+
+    #[test]
+    fn uop_display_forms() {
+        let mut b = ProgramBuilder::new(0x20);
+        b.mov_imm(Reg::int(1), 42);
+        b.load(Reg::int(2), Reg::int(1), 8);
+        b.store(Reg::int(2), Reg::int(1), -8);
+        let top = b.here();
+        b.cmp_br_imm(Cond::Ne, Reg::int(2), 0, top);
+        b.halt();
+        let p = b.build();
+        let texts: Vec<String> =
+            p.insts().iter().map(|m| m.uops[0].to_string()).collect();
+        assert_eq!(texts[0], "movi r1 $42");
+        assert_eq!(texts[1], "ld r2 <- [r1+8]");
+        assert_eq!(texts[2], "st [r1-8] <- r2");
+        assert!(texts[3].starts_with("cmpbr.ne r2, $0 -> "));
+        assert_eq!(texts[4], "halt");
+    }
+
+    #[test]
+    fn disassembly_groups_regions() {
+        let mut b = ProgramBuilder::new(0);
+        b.mov_imm(Reg::int(0), 1);
+        b.align_region();
+        b.mov_imm(Reg::int(1), 2);
+        b.halt();
+        let p = b.build();
+        let text = disassemble(&p);
+        assert!(text.contains("; --- region 0x0 ---"));
+        assert!(text.contains("; --- region 0x20 ---"));
+    }
+
+    #[test]
+    fn render_uops_includes_slots() {
+        let mut b = ProgramBuilder::new(0);
+        b.rep_store(Reg::int(0), Reg::int(1), Reg::int(2));
+        b.halt();
+        let p = b.build();
+        let text = render_uops(&p.insts()[0].uops);
+        assert!(text.contains(".0:"));
+        assert!(text.contains(".3:"));
+        assert!(text.contains("(self-loop)"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Micro-fusion detection (the artifact's `--enable-micro-fusion`).
+//!
+//! Intel front-ends fuse a load with its consuming ALU micro-op into one
+//! *fused* micro-op for fetch, micro-op cache, and rename bandwidth
+//! purposes; the pair splits again at the scheduler. Table I sizes the
+//! machine in "fused µops" and the paper's artifact enables fusion in
+//! both baseline and SCC runs.
+//!
+//! The model here is occupancy-only: [`fuse_pairs`] marks a load whose
+//! destination feeds the *immediately following* simple integer micro-op
+//! (and is not needed afterwards — we conservatively require the consumer
+//! to overwrite it or it to be the consumer's only use site in the pair),
+//! and slot accounting in the micro-op cache and fetch counts the pair as
+//! one. Execution is unchanged: the pair still issues as two operations,
+//! exactly like the real pipeline after un-lamination.
+
+use crate::uop::{Op, Uop};
+
+/// True if `consumer` can micro-fuse with a preceding load that writes
+/// `loaded`: a simple single-cycle integer op reading the loaded value.
+fn can_consume(consumer: &Uop, loaded: crate::Reg) -> bool {
+    let simple = matches!(
+        consumer.op,
+        Op::Add | Op::Sub | Op::And | Op::Or | Op::Xor | Op::Shl | Op::Shr | Op::Sar
+            | Op::Cmp | Op::Test | Op::Mov
+    );
+    simple && consumer.src_regs().any(|r| r == loaded)
+}
+
+/// Marks fusible load+op pairs in a decoded micro-op sequence by setting
+/// [`Uop::fused_with_next`] on the load. Pairs never overlap: a micro-op
+/// participates in at most one pair.
+///
+/// Returns the number of pairs fused.
+pub fn fuse_pairs(uops: &mut [Uop]) -> usize {
+    let mut fused = 0;
+    let mut i = 0;
+    while i + 1 < uops.len() {
+        let fusible = uops[i].op == Op::Load
+            && !uops[i].fused_with_next
+            && uops[i]
+                .dst
+                .is_some_and(|d| d.is_int() && can_consume(&uops[i + 1], d));
+        if fusible {
+            uops[i].fused_with_next = true;
+            fused += 1;
+            i += 2; // the consumer cannot also start a pair
+        } else {
+            i += 1;
+        }
+    }
+    fused
+}
+
+/// Number of front-end slots a micro-op sequence occupies with fusion:
+/// each fused pair counts once.
+pub fn slot_count(uops: &[Uop]) -> usize {
+    let mut slots = 0;
+    let mut skip = false;
+    for u in uops {
+        if skip {
+            skip = false;
+            continue;
+        }
+        slots += 1;
+        skip = u.fused_with_next;
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::ProgramBuilder;
+    use crate::reg::Reg;
+
+    fn decoded(b: ProgramBuilder) -> Vec<Uop> {
+        b.try_build()
+            .expect("valid program")
+            .insts()
+            .iter()
+            .flat_map(|m| m.uops.iter().cloned())
+            .collect()
+    }
+
+    #[test]
+    fn load_feeding_next_alu_fuses() {
+        let r = Reg::int;
+        let mut b = ProgramBuilder::new(0);
+        b.load(r(1), r(0), 8);
+        b.add(r(2), r(1), r(3)); // consumes the load
+        b.load(r(4), r(0), 16);
+        b.mul(r(5), r(4), r(4)); // mul is not fusible
+        b.halt();
+        let mut uops = decoded(b);
+        assert_eq!(fuse_pairs(&mut uops), 1);
+        assert!(uops[0].fused_with_next);
+        assert!(!uops[2].fused_with_next, "mul consumer does not fuse");
+        assert_eq!(slot_count(&uops), 4, "5 uops, one pair");
+    }
+
+    #[test]
+    fn unrelated_neighbor_does_not_fuse() {
+        let r = Reg::int;
+        let mut b = ProgramBuilder::new(0);
+        b.load(r(1), r(0), 8);
+        b.add(r(2), r(3), r(4)); // does not read r1
+        b.halt();
+        let mut uops = decoded(b);
+        assert_eq!(fuse_pairs(&mut uops), 0);
+        assert_eq!(slot_count(&uops), 3);
+    }
+
+    #[test]
+    fn pairs_do_not_overlap_or_chain() {
+        let r = Reg::int;
+        let mut b = ProgramBuilder::new(0);
+        b.load(r(1), r(0), 0);
+        b.load(r(2), r(1), 0); // consumes r1, but loads never consume
+        b.add(r(3), r(2), r(2));
+        b.halt();
+        let mut uops = decoded(b);
+        // Only the second load + add fuse (a load is not a fusible consumer).
+        assert_eq!(fuse_pairs(&mut uops), 1);
+        assert!(!uops[0].fused_with_next);
+        assert!(uops[1].fused_with_next);
+    }
+
+    #[test]
+    fn fp_destinations_do_not_fuse() {
+        let r = Reg::int;
+        let mut b = ProgramBuilder::new(0);
+        b.load(Reg::fp(0), r(0), 0);
+        b.fadd(Reg::fp(1), Reg::fp(0), Reg::fp(2));
+        b.halt();
+        let mut uops = decoded(b);
+        assert_eq!(fuse_pairs(&mut uops), 0);
+    }
+
+    #[test]
+    fn idempotent() {
+        let r = Reg::int;
+        let mut b = ProgramBuilder::new(0);
+        b.load(r(1), r(0), 8);
+        b.xor(r(2), r(1), r(1));
+        b.halt();
+        let mut uops = decoded(b);
+        assert_eq!(fuse_pairs(&mut uops), 1);
+        assert_eq!(fuse_pairs(&mut uops), 0, "second pass finds nothing new");
+        assert_eq!(slot_count(&uops), 2);
+    }
+}

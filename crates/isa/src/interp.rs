@@ -1,0 +1,570 @@
+//! In-order reference interpreter: the correctness oracle.
+//!
+//! The out-of-order pipeline (with or without SCC) must finish any program
+//! in an architectural state identical to this interpreter's; that
+//! equivalence is property-tested across random programs in the
+//! integration suite.
+
+use crate::program::Program;
+use crate::reg::{CcFlags, Reg, NUM_REGS};
+use crate::semantics::{branch_of, eval_alu, eval_complex, eval_fp};
+use crate::uop::{Addr, Op, Operand, Uop};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Simulated data memory: sparse, zero-default, 8-byte cells named by byte
+/// address.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Memory {
+    cells: HashMap<u64, i64>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Creates a memory seeded from `(address, value)` pairs.
+    pub fn from_image(image: &[(u64, i64)]) -> Memory {
+        Memory { cells: image.iter().copied().collect() }
+    }
+
+    /// Reads the cell at `addr` (zero if never written).
+    pub fn read(&self, addr: u64) -> i64 {
+        self.cells.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes the cell at `addr`.
+    pub fn write(&mut self, addr: u64, value: i64) {
+        if value == 0 {
+            self.cells.remove(&addr);
+        } else {
+            self.cells.insert(addr, value);
+        }
+    }
+
+    /// Number of non-zero cells (for tests and stats).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no cell holds a non-zero value.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// A canonical, sorted dump of all non-zero cells.
+    pub fn dump(&self) -> Vec<(u64, i64)> {
+        let mut v: Vec<_> = self.cells.iter().map(|(&a, &x)| (a, x)).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// A comparable snapshot of architectural state: registers, condition
+/// codes, and memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArchSnapshot {
+    /// All 32 architectural registers.
+    pub regs: [i64; NUM_REGS],
+    /// Condition codes.
+    pub cc: CcFlags,
+    /// Canonical memory dump.
+    pub mem: Vec<(u64, i64)>,
+}
+
+/// Errors raised during interpretation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// Control reached an address with no instruction.
+    InvalidPc(Addr),
+    /// The micro-op budget was exhausted before `halt`.
+    OutOfBudget {
+        /// Micro-ops executed before giving up.
+        executed: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::InvalidPc(a) => write!(f, "control reached invalid address {a:#x}"),
+            RunError::OutOfBudget { executed } => {
+                write!(f, "micro-op budget exhausted after {executed} micro-ops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Summary of a completed (or budget-bounded) run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunResult {
+    /// Dynamic micro-op count executed (excluding the final `halt`).
+    pub uops: u64,
+    /// Dynamic macro-instruction count executed.
+    pub macros: u64,
+    /// Whether the program reached `halt`.
+    pub halted: bool,
+}
+
+/// Per-macro-step trace information, for tests and debugging.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepInfo {
+    /// Address of the executed macro-instruction.
+    pub addr: Addr,
+    /// Number of micro-ops executed for it (string ops may repeat).
+    pub uops: u64,
+    /// Next PC after the instruction.
+    pub next_pc: Addr,
+}
+
+/// The in-order reference machine.
+#[derive(Clone, Debug)]
+pub struct Machine<'p> {
+    program: &'p Program,
+    regs: [i64; NUM_REGS],
+    cc: CcFlags,
+    mem: Memory,
+    pc: Addr,
+    halted: bool,
+    uops: u64,
+    macros: u64,
+    op_counts: HashMap<Op, u64>,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine at the program's entry with zeroed registers and
+    /// the program's initial memory image.
+    pub fn new(program: &'p Program) -> Machine<'p> {
+        Machine {
+            program,
+            regs: [0; NUM_REGS],
+            cc: CcFlags::default(),
+            mem: Memory::from_image(program.init_data()),
+            pc: program.entry(),
+            halted: false,
+            uops: 0,
+            macros: 0,
+            op_counts: HashMap::new(),
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> Addr {
+        self.pc
+    }
+
+    /// True once `halt` has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> i64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register (useful for test setup).
+    pub fn set_reg(&mut self, r: Reg, v: i64) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Current condition codes.
+    pub fn cc(&self) -> CcFlags {
+        self.cc
+    }
+
+    /// The data memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to data memory (test setup).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Takes a comparable snapshot of the architectural state.
+    pub fn snapshot(&self) -> ArchSnapshot {
+        ArchSnapshot { regs: self.regs, cc: self.cc, mem: self.mem.dump() }
+    }
+
+    fn operand_value(&self, op: Operand) -> i64 {
+        match op {
+            Operand::None => 0,
+            Operand::Reg(r) => self.regs[r.index()],
+            Operand::Imm(v) => v,
+        }
+    }
+
+    /// Executes a single micro-op against the architectural state,
+    /// returning the next PC if the micro-op redirected control.
+    fn exec_uop(&mut self, uop: &Uop) -> Option<Addr> {
+        let a = self.operand_value(uop.src1);
+        let b = self.operand_value(uop.src2);
+        match uop.op {
+            Op::Nop => None,
+            Op::Halt => {
+                self.halted = true;
+                None
+            }
+            Op::Load => {
+                let addr = (a.wrapping_add(uop.offset)) as u64;
+                let v = self.mem.read(addr);
+                self.regs[uop.dst.expect("load has dst").index()] = v;
+                None
+            }
+            Op::Store => {
+                let addr = (a.wrapping_add(uop.offset)) as u64;
+                self.mem.write(addr, b);
+                None
+            }
+            Op::Mul | Op::Div | Op::Rem => {
+                let v = eval_complex(uop.op, a, b).expect("complex op");
+                self.regs[uop.dst.expect("complex op has dst").index()] = v;
+                None
+            }
+            op if op.is_fp() => {
+                let v = eval_fp(op, a, b).expect("fp op");
+                self.regs[uop.dst.expect("fp op has dst").index()] = v;
+                None
+            }
+            op if op.is_branch() => {
+                if op == Op::Call {
+                    self.regs[uop.dst.expect("call has link dst").index()] =
+                        uop.next_addr() as i64;
+                }
+                let out = branch_of(uop, a, b, self.cc).expect("branch op");
+                if out.taken || out.next != uop.next_addr() {
+                    Some(out.next)
+                } else {
+                    // Not-taken conditional branch: fall through, but only
+                    // redirect if this is the last uop of its macro (it
+                    // always is in our decoder).
+                    None
+                }
+            }
+            op => {
+                let r = eval_alu(op, a, b, self.cc, uop.cond).expect("alu op");
+                if let Some(v) = r.value {
+                    self.regs[uop.dst.expect("alu op with value has dst").index()] = v;
+                }
+                if let Some(cc) = r.cc {
+                    if uop.writes_cc {
+                        self.cc = cc;
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Executes one macro-instruction (all of its micro-ops, including
+    /// string-op self-loop iterations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::InvalidPc`] if the PC does not name an
+    /// instruction, and [`RunError::OutOfBudget`] if a single
+    /// macro-instruction exceeds `uop_budget` micro-ops (a runaway string
+    /// op).
+    pub fn step_macro(&mut self, uop_budget: u64) -> Result<StepInfo, RunError> {
+        let inst = self.program.inst_at(self.pc).ok_or(RunError::InvalidPc(self.pc))?;
+        let addr = inst.addr;
+        let mut executed: u64 = 0;
+        let mut next_pc = inst.next_addr();
+        // Execute the expansion; a self-looping branch restarts it.
+        'expansion: loop {
+            for uop in &inst.uops {
+                executed += 1;
+                self.uops += 1;
+                *self.op_counts.entry(uop.op).or_insert(0) += 1;
+                if executed > uop_budget {
+                    return Err(RunError::OutOfBudget { executed });
+                }
+                if let Some(target) = self.exec_uop(uop) {
+                    if uop.self_loop && target == addr {
+                        continue 'expansion;
+                    }
+                    next_pc = target;
+                    break 'expansion;
+                }
+                if self.halted {
+                    next_pc = inst.next_addr();
+                    break 'expansion;
+                }
+            }
+            break;
+        }
+        self.macros += 1;
+        self.pc = next_pc;
+        Ok(StepInfo { addr, uops: executed, next_pc })
+    }
+
+    /// Runs until `halt` or until `max_uops` micro-ops have executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::InvalidPc`] if control escapes the program.
+    /// Exhausting the budget is reported through `halted == false`, not an
+    /// error, so bounded smoke runs are easy to write.
+    pub fn run(&mut self, max_uops: u64) -> Result<RunResult, RunError> {
+        while !self.halted && self.uops < max_uops {
+            match self.step_macro(max_uops.saturating_sub(self.uops).max(1)) {
+                Ok(_) => {}
+                Err(RunError::OutOfBudget { .. }) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(RunResult { uops: self.uops, macros: self.macros, halted: self.halted })
+    }
+
+    /// Total micro-ops executed so far.
+    pub fn uop_count(&self) -> u64 {
+        self.uops
+    }
+
+    /// Total macro-instructions executed so far.
+    pub fn macro_count(&self) -> u64 {
+        self.macros
+    }
+
+    /// Dynamic execution count of one operation kind.
+    pub fn op_count_of(&self, op: Op) -> u64 {
+        self.op_counts.get(&op).copied().unwrap_or(0)
+    }
+
+    /// Dynamic count of floating-point/SIMD micro-ops executed (including
+    /// loads/stores whose destination or source is an FP register).
+    pub fn fp_uop_count(&self) -> u64 {
+        self.op_counts
+            .iter()
+            .filter(|(op, _)| op.is_fp())
+            .map(|(_, c)| *c)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::ProgramBuilder;
+    use crate::uop::Cond;
+
+    fn r(n: u8) -> Reg {
+        Reg::int(n)
+    }
+
+    #[test]
+    fn memory_zero_default_and_canonical_dump() {
+        let mut m = Memory::new();
+        assert_eq!(m.read(0x1000), 0);
+        m.write(0x1000, 7);
+        m.write(0x0800, 3);
+        assert_eq!(m.dump(), vec![(0x0800, 3), (0x1000, 7)]);
+        m.write(0x1000, 0);
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut b = ProgramBuilder::new(0);
+        b.mov_imm(r(1), 6);
+        b.mov_imm(r(2), 7);
+        b.mul(r(3), r(1), r(2));
+        b.add_imm(r(3), r(3), 100);
+        b.halt();
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        let res = m.run(100).unwrap();
+        assert!(res.halted);
+        assert_eq!(m.reg(r(3)), 142);
+        assert_eq!(res.macros, 5);
+        assert_eq!(res.uops, 5);
+    }
+
+    #[test]
+    fn loop_with_fused_branch() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.mov_imm(r(0), 0);
+        b.mov_imm(r(1), 10);
+        let top = b.here();
+        b.add(r(0), r(0), r(1));
+        b.sub_imm(r(1), r(1), 1);
+        b.cmp_br_imm(Cond::Ne, r(1), 0, top);
+        b.halt();
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        m.run(10_000).unwrap();
+        assert_eq!(m.reg(r(0)), 55);
+        assert_eq!(m.reg(r(1)), 0);
+    }
+
+    #[test]
+    fn cc_branch_and_setcc() {
+        let mut b = ProgramBuilder::new(0);
+        let less = b.label();
+        b.mov_imm(r(1), 3);
+        b.mov_imm(r(2), 5);
+        b.cmp(r(1), r(2));
+        b.br(Cond::Lt, less);
+        b.mov_imm(r(3), 111); // skipped
+        b.bind(less);
+        b.setcc(Cond::Lt, r(4));
+        b.halt();
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        m.run(100).unwrap();
+        assert_eq!(m.reg(r(3)), 0);
+        assert_eq!(m.reg(r(4)), 1, "flags survive the branch");
+    }
+
+    #[test]
+    fn loads_stores_and_init_image() {
+        let mut b = ProgramBuilder::new(0);
+        b.words(0x4000, &[11, 22]);
+        b.mov_imm(r(1), 0x4000);
+        b.load(r(2), r(1), 0);
+        b.load(r(3), r(1), 8);
+        b.add(r(4), r(2), r(3));
+        b.store(r(4), r(1), 16);
+        b.halt();
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        m.run(100).unwrap();
+        assert_eq!(m.reg(r(4)), 33);
+        assert_eq!(m.mem().read(0x4010), 33);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let mut b = ProgramBuilder::new(0);
+        let func = b.label();
+        let link = r(15);
+        b.mov_imm(r(1), 1);
+        b.call(func, link);
+        b.add_imm(r(1), r(1), 100); // after return
+        b.halt();
+        b.bind(func);
+        b.add_imm(r(1), r(1), 10);
+        b.ret(link);
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        let res = m.run(100).unwrap();
+        assert!(res.halted);
+        assert_eq!(m.reg(r(1)), 111);
+    }
+
+    #[test]
+    fn indirect_jump() {
+        let mut b = ProgramBuilder::new(0);
+        let t = b.label();
+        b.mov_imm(r(1), 0); // patched below via address math
+        // We need the target address; bind after emitting and use a second pass:
+        // simpler: jump indirect through a register loaded with a label we
+        // compute by building a jump table in data memory.
+        b.jmp_ind(r(1));
+        b.bind(t);
+        b.mov_imm(r(2), 42);
+        b.halt();
+        let p = {
+            // Rebuild with the known target address of `t`.
+            let taddr = b.try_build().unwrap().insts()[1].next_addr();
+            let mut b2 = ProgramBuilder::new(0);
+            let t2 = b2.label();
+            b2.mov_imm(r(1), taddr as i64);
+            b2.jmp_ind(r(1));
+            b2.bind(t2);
+            b2.mov_imm(r(2), 42);
+            b2.halt();
+            b2.build()
+        };
+        let mut m = Machine::new(&p);
+        m.run(100).unwrap();
+        assert_eq!(m.reg(r(2)), 42);
+    }
+
+    #[test]
+    fn string_op_iterates() {
+        let mut b = ProgramBuilder::new(0);
+        b.mov_imm(r(1), 4); // count
+        b.mov_imm(r(2), 0x8000); // base
+        b.mov_imm(r(3), 9); // value
+        b.rep_store(r(1), r(2), r(3));
+        b.halt();
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        let res = m.run(1000).unwrap();
+        assert!(res.halted);
+        for i in 0..4 {
+            assert_eq!(m.mem().read(0x8000 + 8 * i), 9);
+        }
+        assert_eq!(m.mem().read(0x8020), 0);
+        assert_eq!(m.reg(r(1)), 0);
+        // One macro, 16 uops (4 iterations x 4 uops).
+        assert_eq!(m.macro_count(), 4 + 1); // 3 movs + rep + halt
+    }
+
+    #[test]
+    fn budget_exhaustion_is_not_an_error() {
+        let mut b = ProgramBuilder::new(0);
+        let top = b.here();
+        b.add_imm(r(0), r(0), 1);
+        b.jmp(top);
+        b.halt();
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        let res = m.run(10).unwrap();
+        assert!(!res.halted);
+        assert!(res.uops >= 10);
+    }
+
+    #[test]
+    fn invalid_pc_is_reported() {
+        let mut b = ProgramBuilder::new(0);
+        b.nop();
+        // No halt: control runs off the end.
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        let err = m.run(100).unwrap_err();
+        assert!(matches!(err, RunError::InvalidPc(_)));
+    }
+
+    #[test]
+    fn snapshot_equality() {
+        let mut b = ProgramBuilder::new(0);
+        b.mov_imm(r(1), 5);
+        b.store(r(1), r(0), 0x100);
+        b.halt();
+        let p = b.build();
+        let mut m1 = Machine::new(&p);
+        let mut m2 = Machine::new(&p);
+        m1.run(100).unwrap();
+        m2.run(100).unwrap();
+        assert_eq!(m1.snapshot(), m2.snapshot());
+    }
+
+    #[test]
+    fn fp_pipeline_smoke() {
+        let mut b = ProgramBuilder::new(0);
+        let f0 = Reg::fp(0);
+        let f1 = Reg::fp(1);
+        let f2 = Reg::fp(2);
+        b.word(0x100, 2.5f64.to_bits() as i64);
+        b.word(0x108, 4.0f64.to_bits() as i64);
+        b.mov_imm(r(1), 0x100);
+        b.load(f0, r(1), 0);
+        b.load(f1, r(1), 8);
+        b.fmul(f2, f0, f1);
+        b.store(f2, r(1), 16);
+        b.halt();
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        m.run(100).unwrap();
+        assert_eq!(f64::from_bits(m.mem().read(0x110) as u64), 10.0);
+    }
+}

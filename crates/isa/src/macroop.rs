@@ -1,0 +1,131 @@
+//! Macro-instructions: the "x86 instruction" level of the model.
+//!
+//! Programs are sequences of macro-instructions with byte addresses and
+//! lengths. Each macro-instruction decodes into one or more micro-ops; the
+//! micro-op cache, SCC, and the fetch engine all reason about the macro
+//! level through the byte addresses carried on the micro-ops.
+
+use crate::uop::{Addr, Uop};
+use std::fmt;
+
+/// Classification of a macro-instruction, used by the decoder, the fetch
+/// engine, and SCC's abort conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum MacroKind {
+    /// An ordinary instruction.
+    #[default]
+    Simple,
+    /// A macro-fused pair (e.g. `cmp` + `jcc` fused to one micro-op),
+    /// occupying the byte footprint of both original instructions.
+    Fused,
+    /// A microcoded string-style instruction whose expansion contains a
+    /// branch micro-op targeting the instruction's own address (x86
+    /// `rep movs` style). SCC aborts compaction on these (paper §III).
+    StringOp,
+}
+
+/// A macro-instruction: address, byte length, and micro-op expansion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MacroInst {
+    /// Byte address of the instruction.
+    pub addr: Addr,
+    /// Byte length (1–15, like x86).
+    pub len: u8,
+    /// Micro-op expansion, in program order.
+    pub uops: Vec<Uop>,
+    /// Classification.
+    pub kind: MacroKind,
+}
+
+impl MacroInst {
+    /// Creates a macro-instruction, stamping `macro_addr`, `macro_len`, and
+    /// `slot` onto every micro-op of the expansion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uops` is empty, if `len` is zero or exceeds 15 (the x86
+    /// maximum), or if the expansion exceeds 255 micro-ops.
+    pub fn new(addr: Addr, len: u8, kind: MacroKind, mut uops: Vec<Uop>) -> MacroInst {
+        assert!(!uops.is_empty(), "macro-instruction must decode to at least one micro-op");
+        assert!(len >= 1 && len <= 15, "macro-instruction length {len} out of x86 range");
+        assert!(uops.len() <= u8::MAX as usize, "micro-op expansion too long");
+        for (i, u) in uops.iter_mut().enumerate() {
+            u.macro_addr = addr;
+            u.macro_len = len;
+            u.slot = i as u8;
+            if kind == MacroKind::StringOp && u.op.is_branch() && u.target == Some(addr) {
+                u.self_loop = true;
+            }
+        }
+        MacroInst { addr, len, uops, kind }
+    }
+
+    /// Address of the next sequential macro-instruction.
+    pub fn next_addr(&self) -> Addr {
+        self.addr + self.len as Addr
+    }
+
+    /// Number of micro-ops in the expansion.
+    pub fn uop_count(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// True if any micro-op in the expansion is a self-looping branch.
+    pub fn is_self_looping(&self) -> bool {
+        self.uops.iter().any(|u| u.self_loop)
+    }
+}
+
+impl fmt::Display for MacroInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#06x}+{} ({:?}, {} uops)", self.addr, self.len, self.kind, self.uops.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::{Op, Uop};
+
+    #[test]
+    fn new_stamps_uops() {
+        let m = MacroInst::new(0x40, 5, MacroKind::Simple, vec![Uop::new(Op::Nop), Uop::new(Op::Nop)]);
+        assert_eq!(m.uops[0].macro_addr, 0x40);
+        assert_eq!(m.uops[1].macro_len, 5);
+        assert_eq!(m.uops[0].slot, 0);
+        assert_eq!(m.uops[1].slot, 1);
+        assert_eq!(m.next_addr(), 0x45);
+        assert_eq!(m.uop_count(), 2);
+    }
+
+    #[test]
+    fn string_op_marks_self_loop() {
+        let mut br = Uop::new(Op::CmpBr);
+        br.target = Some(0x80);
+        br.cond = Some(crate::Cond::Ne);
+        let m = MacroInst::new(0x80, 3, MacroKind::StringOp, vec![Uop::new(Op::Store), br]);
+        assert!(m.is_self_looping());
+        assert!(m.uops[1].self_loop);
+        assert!(!m.uops[0].self_loop);
+    }
+
+    #[test]
+    fn non_string_branch_not_marked() {
+        let mut br = Uop::new(Op::Jmp);
+        br.target = Some(0x80);
+        let m = MacroInst::new(0x80, 2, MacroKind::Simple, vec![br]);
+        assert!(!m.is_self_looping());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one micro-op")]
+    fn empty_expansion_panics() {
+        let _ = MacroInst::new(0, 1, MacroKind::Simple, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of x86 range")]
+    fn oversized_length_panics() {
+        let _ = MacroInst::new(0, 16, MacroKind::Simple, vec![Uop::new(Op::Nop)]);
+    }
+}

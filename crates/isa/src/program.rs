@@ -1,0 +1,220 @@
+//! Executable programs: an address-indexed collection of macro-instructions
+//! plus an initial memory image.
+
+use crate::macroop::MacroInst;
+use crate::uop::Addr;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors detected while assembling a [`Program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// Two macro-instructions overlap in the address space.
+    Overlap {
+        /// Address of the first instruction.
+        first: Addr,
+        /// Address of the overlapping instruction.
+        second: Addr,
+    },
+    /// A direct branch targets an address where no instruction starts.
+    DanglingTarget {
+        /// Address of the branching instruction.
+        from: Addr,
+        /// The missing target.
+        target: Addr,
+    },
+    /// The entry point is not the address of an instruction.
+    BadEntry(Addr),
+    /// The program contains no instructions.
+    Empty,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Overlap { first, second } => {
+                write!(f, "instruction at {second:#x} overlaps instruction at {first:#x}")
+            }
+            ProgramError::DanglingTarget { from, target } => {
+                write!(f, "branch at {from:#x} targets {target:#x} where no instruction starts")
+            }
+            ProgramError::BadEntry(a) => write!(f, "entry point {a:#x} is not an instruction"),
+            ProgramError::Empty => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// An executable program.
+///
+/// Instructions are looked up by byte address (the fetch engine, the
+/// micro-op cache, and SCC all address code this way). The initial memory
+/// image seeds the simulated data memory; cells not listed read as zero.
+#[derive(Clone, Debug)]
+pub struct Program {
+    insts: Vec<MacroInst>,
+    index: HashMap<Addr, usize>,
+    entry: Addr,
+    init_data: Vec<(u64, i64)>,
+}
+
+impl Program {
+    /// Assembles a program from macro-instructions, an entry point, and an
+    /// initial data image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] if instructions overlap, a direct branch
+    /// target does not start an instruction, or the entry is invalid.
+    pub fn new(
+        mut insts: Vec<MacroInst>,
+        entry: Addr,
+        init_data: Vec<(u64, i64)>,
+    ) -> Result<Program, ProgramError> {
+        if insts.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        insts.sort_by_key(|m| m.addr);
+        let mut index = HashMap::with_capacity(insts.len());
+        for (i, m) in insts.iter().enumerate() {
+            if i > 0 {
+                let prev = &insts[i - 1];
+                if m.addr < prev.next_addr() {
+                    return Err(ProgramError::Overlap { first: prev.addr, second: m.addr });
+                }
+            }
+            index.insert(m.addr, i);
+        }
+        for m in &insts {
+            for u in &m.uops {
+                if let Some(t) = u.target {
+                    if !index.contains_key(&t) {
+                        return Err(ProgramError::DanglingTarget { from: m.addr, target: t });
+                    }
+                }
+            }
+        }
+        if !index.contains_key(&entry) {
+            return Err(ProgramError::BadEntry(entry));
+        }
+        Ok(Program { insts, index, entry, init_data })
+    }
+
+    /// The entry-point address.
+    pub fn entry(&self) -> Addr {
+        self.entry
+    }
+
+    /// Looks up the macro-instruction starting at `addr`.
+    pub fn inst_at(&self, addr: Addr) -> Option<&MacroInst> {
+        self.index.get(&addr).map(|&i| &self.insts[i])
+    }
+
+    /// All macro-instructions, sorted by address.
+    pub fn insts(&self) -> &[MacroInst] {
+        &self.insts
+    }
+
+    /// The macro-instruction following `addr` in address order, if any.
+    pub fn inst_after(&self, addr: Addr) -> Option<&MacroInst> {
+        let i = *self.index.get(&addr)?;
+        self.insts.get(i + 1)
+    }
+
+    /// The initial memory image as `(address, value)` pairs.
+    pub fn init_data(&self) -> &[(u64, i64)] {
+        &self.init_data
+    }
+
+    /// Total number of micro-ops across all macro-instructions (static
+    /// count).
+    pub fn static_uop_count(&self) -> usize {
+        self.insts.iter().map(|m| m.uops.len()).sum()
+    }
+
+    /// Number of distinct 32-byte code regions the program touches.
+    pub fn region_count(&self) -> usize {
+        let mut regions: Vec<u64> = self.insts.iter().map(|m| crate::region(m.addr)).collect();
+        regions.sort_unstable();
+        regions.dedup();
+        regions.len()
+    }
+
+    /// Iterates over the macro-instructions whose first byte lies in the
+    /// 32-byte region starting at `region_base`, in address order.
+    pub fn insts_in_region(&self, region_base: Addr) -> impl Iterator<Item = &MacroInst> {
+        debug_assert_eq!(region_base % crate::REGION_BYTES, 0);
+        self.insts
+            .iter()
+            .skip_while(move |m| m.addr < region_base)
+            .take_while(move |m| m.addr < region_base + crate::REGION_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::macroop::MacroKind;
+    use crate::uop::{Op, Uop};
+
+    fn nop_at(addr: Addr, len: u8) -> MacroInst {
+        MacroInst::new(addr, len, MacroKind::Simple, vec![Uop::new(Op::Nop)])
+    }
+
+    #[test]
+    fn lookup_by_address() {
+        let p = Program::new(vec![nop_at(0x10, 4), nop_at(0x14, 2)], 0x10, vec![]).unwrap();
+        assert!(p.inst_at(0x10).is_some());
+        assert!(p.inst_at(0x14).is_some());
+        assert!(p.inst_at(0x12).is_none());
+        assert_eq!(p.inst_after(0x10).unwrap().addr, 0x14);
+        assert!(p.inst_after(0x14).is_none());
+        assert_eq!(p.entry(), 0x10);
+        assert_eq!(p.static_uop_count(), 2);
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        let err = Program::new(vec![nop_at(0x10, 4), nop_at(0x12, 2)], 0x10, vec![]).unwrap_err();
+        assert_eq!(err, ProgramError::Overlap { first: 0x10, second: 0x12 });
+    }
+
+    #[test]
+    fn rejects_dangling_target() {
+        let mut j = Uop::new(Op::Jmp);
+        j.target = Some(0x999);
+        let jmp = MacroInst::new(0x10, 2, MacroKind::Simple, vec![j]);
+        let err = Program::new(vec![jmp], 0x10, vec![]).unwrap_err();
+        assert_eq!(err, ProgramError::DanglingTarget { from: 0x10, target: 0x999 });
+    }
+
+    #[test]
+    fn rejects_bad_entry_and_empty() {
+        assert_eq!(Program::new(vec![], 0, vec![]).unwrap_err(), ProgramError::Empty);
+        let err = Program::new(vec![nop_at(0x10, 2)], 0x0, vec![]).unwrap_err();
+        assert_eq!(err, ProgramError::BadEntry(0));
+    }
+
+    #[test]
+    fn region_queries() {
+        let p = Program::new(
+            vec![nop_at(0x00, 8), nop_at(0x08, 8), nop_at(0x20, 4)],
+            0x00,
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(p.region_count(), 2);
+        let in_first: Vec<_> = p.insts_in_region(0).map(|m| m.addr).collect();
+        assert_eq!(in_first, vec![0x00, 0x08]);
+        let in_second: Vec<_> = p.insts_in_region(0x20).map(|m| m.addr).collect();
+        assert_eq!(in_second, vec![0x20]);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ProgramError::Overlap { first: 1, second: 2 };
+        assert!(e.to_string().contains("overlaps"));
+        assert!(ProgramError::Empty.to_string().contains("no instructions"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Architectural registers and condition codes.
+
+use std::fmt;
+
+/// Number of integer architectural registers (`r0`–`r15`).
+pub const NUM_INT_REGS: usize = 16;
+
+/// Total number of architectural registers: 16 integer + 16 floating-point.
+///
+/// Floating-point registers hold `f64` values bit-cast into the common
+/// `i64` value representation; SCC never tracks or folds them (the paper's
+/// front-end ALU handles "only simple integer arithmetic, logic, and shift
+/// operations").
+pub const NUM_REGS: usize = 32;
+
+/// An architectural register identifier.
+///
+/// Indices `0..16` are integer registers, `16..32` are floating-point
+/// registers. The distinction matters to SCC: only integer registers are
+/// eligible for the register context table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates the `n`-th integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 16`.
+    pub fn int(n: u8) -> Reg {
+        assert!((n as usize) < NUM_INT_REGS, "integer register out of range: {n}");
+        Reg(n)
+    }
+
+    /// Creates the `n`-th floating-point register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 16`.
+    pub fn fp(n: u8) -> Reg {
+        assert!((n as usize) < NUM_REGS - NUM_INT_REGS, "fp register out of range: {n}");
+        Reg(n + NUM_INT_REGS as u8)
+    }
+
+    /// Raw index into a 32-entry register file.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True for integer registers (`r0`–`r15`), the only ones SCC tracks.
+    pub fn is_int(self) -> bool {
+        (self.0 as usize) < NUM_INT_REGS
+    }
+
+    /// True for floating-point registers (`f0`–`f15`).
+    pub fn is_fp(self) -> bool {
+        !self.is_int()
+    }
+
+    /// Iterator over all integer registers.
+    pub fn all_int() -> impl Iterator<Item = Reg> {
+        (0..NUM_INT_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_int() {
+            write!(f, "r{}", self.0)
+        } else {
+            write!(f, "f{}", self.0 - NUM_INT_REGS as u8)
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// x86-style condition codes produced by `cmp`/`test` and CC-writing ALU
+/// micro-ops, consumed by `brcc`/`setcc`.
+///
+/// SCC tracks these in its register context table (the paper's
+/// `usingCCTracking` knob): folding a CC-writing micro-op records the
+/// resulting flags so that a dependent conditional branch can itself be
+/// folded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct CcFlags {
+    /// Zero flag: result was zero.
+    pub zf: bool,
+    /// Sign flag: result was negative.
+    pub sf: bool,
+    /// Overflow flag: signed overflow occurred.
+    pub of: bool,
+    /// Carry flag: unsigned borrow/carry occurred.
+    pub cf: bool,
+}
+
+impl CcFlags {
+    /// Flags resulting from comparing `a` with `b` (i.e. computing `a - b`).
+    pub fn from_cmp(a: i64, b: i64) -> CcFlags {
+        let (res, of) = a.overflowing_sub(b);
+        CcFlags {
+            zf: res == 0,
+            sf: res < 0,
+            of,
+            cf: (a as u64) < (b as u64),
+        }
+    }
+
+    /// Flags resulting from testing `a & b` (x86 `test`).
+    pub fn from_test(a: i64, b: i64) -> CcFlags {
+        let res = a & b;
+        CcFlags { zf: res == 0, sf: res < 0, of: false, cf: false }
+    }
+
+    /// Flags resulting from a plain ALU result (logic ops and moves clear
+    /// overflow/carry).
+    pub fn from_result(res: i64) -> CcFlags {
+        CcFlags { zf: res == 0, sf: res < 0, of: false, cf: false }
+    }
+}
+
+impl fmt::Display for CcFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}{}{}{}]",
+            if self.zf { 'Z' } else { '-' },
+            if self.sf { 'S' } else { '-' },
+            if self.of { 'O' } else { '-' },
+            if self.cf { 'C' } else { '-' }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_registers_are_distinct() {
+        let r3 = Reg::int(3);
+        let f3 = Reg::fp(3);
+        assert_ne!(r3, f3);
+        assert!(r3.is_int());
+        assert!(f3.is_fp());
+        assert_eq!(r3.index(), 3);
+        assert_eq!(f3.index(), 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "integer register out of range")]
+    fn int_register_out_of_range_panics() {
+        let _ = Reg::int(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "fp register out of range")]
+    fn fp_register_out_of_range_panics() {
+        let _ = Reg::fp(16);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::int(0).to_string(), "r0");
+        assert_eq!(Reg::fp(15).to_string(), "f15");
+    }
+
+    #[test]
+    fn cmp_flags_equal() {
+        let cc = CcFlags::from_cmp(5, 5);
+        assert!(cc.zf);
+        assert!(!cc.sf);
+        assert!(!cc.cf);
+    }
+
+    #[test]
+    fn cmp_flags_unsigned_borrow() {
+        let cc = CcFlags::from_cmp(1, 2);
+        assert!(cc.cf, "1 < 2 unsigned should set carry");
+        assert!(cc.sf);
+        let cc = CcFlags::from_cmp(-1, 1);
+        assert!(!cc.cf, "-1 as u64 is huge, no borrow");
+        assert!(cc.sf);
+    }
+
+    #[test]
+    fn cmp_flags_signed_overflow() {
+        let cc = CcFlags::from_cmp(i64::MIN, 1);
+        assert!(cc.of);
+    }
+
+    #[test]
+    fn test_flags() {
+        let cc = CcFlags::from_test(0b1010, 0b0101);
+        assert!(cc.zf);
+        let cc = CcFlags::from_test(-1, -1);
+        assert!(cc.sf);
+        assert!(!cc.zf);
+    }
+
+    #[test]
+    fn all_int_covers_sixteen() {
+        assert_eq!(Reg::all_int().count(), 16);
+        assert!(Reg::all_int().all(|r| r.is_int()));
+    }
+}

@@ -1,0 +1,321 @@
+//! Single-source-of-truth execution semantics for micro-ops.
+//!
+//! Both the in-order reference interpreter ([`crate::Machine`]) and the
+//! out-of-order pipeline's execute stage evaluate micro-ops through the
+//! functions in this module, and crucially so does the SCC unit's front-end
+//! ALU — so a speculatively folded result is bit-identical to what the
+//! backend would have computed, and any divergence is a *prediction* error,
+//! never a semantics mismatch.
+
+use crate::reg::CcFlags;
+use crate::uop::{Cond, Op, Uop};
+
+/// The result of evaluating an ALU micro-op: the value written to the
+/// destination (if any) and the resulting condition codes (if written).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AluResult {
+    /// Destination value, when the op produces one.
+    pub value: Option<i64>,
+    /// New condition codes, when the op writes them.
+    pub cc: Option<CcFlags>,
+}
+
+/// True if `op` is one of the "simple integer arithmetic, logic, and shift
+/// operations" the SCC front-end ALU may evaluate (paper §III). Loads,
+/// stores, floating point, and complex integer ops (`mul`/`div`/`rem`) are
+/// excluded.
+pub fn is_foldable_int(op: Op) -> bool {
+    matches!(
+        op,
+        Op::MovImm
+            | Op::Mov
+            | Op::Add
+            | Op::Sub
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Shl
+            | Op::Shr
+            | Op::Sar
+            | Op::Not
+            | Op::Neg
+            | Op::Cmp
+            | Op::Test
+            | Op::SetCc
+    )
+}
+
+/// True if `op` transfers control. Re-exported convenience over
+/// [`Op::is_branch`].
+pub fn is_branch(op: Op) -> bool {
+    op.is_branch()
+}
+
+/// Evaluates an integer ALU operation on concrete operand values.
+///
+/// `a` is the first source, `b` the second (ignored for unary ops), `cc`
+/// the incoming condition codes (used by `SetCc`). Returns `None` for ops
+/// that are not integer-ALU evaluable (memory, FP, branches, mul/div —
+/// mul/div *are* evaluable by the backend but not here; the backend uses
+/// [`eval_complex`]).
+pub fn eval_alu(op: Op, a: i64, b: i64, cc: CcFlags, cond: Option<Cond>) -> Option<AluResult> {
+    let r = |v: i64| AluResult { value: Some(v), cc: None };
+    let rc = |v: i64| AluResult { value: Some(v), cc: Some(CcFlags::from_result(v)) };
+    Some(match op {
+        Op::MovImm | Op::Mov => r(a),
+        Op::Add => {
+            let v = a.wrapping_add(b);
+            let (_, of) = a.overflowing_add(b);
+            AluResult {
+                value: Some(v),
+                cc: Some(CcFlags {
+                    zf: v == 0,
+                    sf: v < 0,
+                    of,
+                    cf: (a as u64).checked_add(b as u64).is_none(),
+                }),
+            }
+        }
+        Op::Sub => AluResult { value: Some(a.wrapping_sub(b)), cc: Some(CcFlags::from_cmp(a, b)) },
+        Op::And => rc(a & b),
+        Op::Or => rc(a | b),
+        Op::Xor => rc(a ^ b),
+        Op::Shl => r(a.wrapping_shl((b & 63) as u32)),
+        Op::Shr => r(((a as u64) >> (b & 63) as u32) as i64),
+        Op::Sar => r(a >> ((b & 63) as u32)),
+        Op::Not => r(!a),
+        Op::Neg => rc(a.wrapping_neg()),
+        Op::Cmp => AluResult { value: None, cc: Some(CcFlags::from_cmp(a, b)) },
+        Op::Test => AluResult { value: None, cc: Some(CcFlags::from_test(a, b)) },
+        Op::SetCc => r(if eval_cond(cond.expect("setcc requires a condition"), cc) { 1 } else { 0 }),
+        _ => return None,
+    })
+}
+
+/// Evaluates complex integer ops (`mul`/`div`/`rem`). Division by zero
+/// yields 0 rather than trapping, so random programs always terminate.
+pub fn eval_complex(op: Op, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        Op::Mul => a.wrapping_mul(b),
+        Op::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        Op::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// Evaluates floating-point ops on bit-cast `f64` operands, returning a
+/// bit-cast result. NaNs are canonicalized through the bit-cast round trip
+/// exactly as the hardware register file would hold them.
+pub fn eval_fp(op: Op, a: i64, b: i64) -> Option<i64> {
+    let fa = f64::from_bits(a as u64);
+    let fb = f64::from_bits(b as u64);
+    let v = match op {
+        Op::FpAdd => fa + fb,
+        Op::FpSub => fa - fb,
+        Op::FpMul => fa * fb,
+        Op::FpDiv => fa / fb,
+        Op::FpMov => fa,
+        // Stand-in SIMD op: a fused multiply-add-like reduction, chosen only
+        // to consume FP execution bandwidth like packed x86 SSE work.
+        Op::Simd => fa.mul_add(fb, fa),
+        _ => return None,
+    };
+    Some(v.to_bits() as i64)
+}
+
+/// Evaluates a branch condition against condition codes.
+pub fn eval_cond(cond: Cond, cc: CcFlags) -> bool {
+    match cond {
+        Cond::Eq => cc.zf,
+        Cond::Ne => !cc.zf,
+        Cond::Lt => cc.sf != cc.of,
+        Cond::Ge => cc.sf == cc.of,
+        Cond::Le => cc.zf || cc.sf != cc.of,
+        Cond::Gt => !cc.zf && cc.sf == cc.of,
+        Cond::B => cc.cf,
+        Cond::Ae => !cc.cf,
+    }
+}
+
+/// Branch outcome: taken or not, and where control goes next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchOutcome {
+    /// Whether the branch was taken.
+    pub taken: bool,
+    /// The next macro-instruction address.
+    pub next: u64,
+}
+
+/// Resolves a control-transfer micro-op given concrete operand values and
+/// incoming condition codes.
+///
+/// `a`/`b` are the values of `src1`/`src2` (used by `JmpInd`/`Ret` for the
+/// target, and by `CmpBr` for the comparison). Returns `None` if `uop` is
+/// not a branch.
+pub fn branch_of(uop: &Uop, a: i64, b: i64, cc: CcFlags) -> Option<BranchOutcome> {
+    let fallthrough = uop.next_addr();
+    Some(match uop.op {
+        Op::Jmp | Op::Call => BranchOutcome {
+            taken: true,
+            next: uop.target.expect("direct jump requires target"),
+        },
+        Op::JmpInd | Op::Ret => BranchOutcome { taken: true, next: a as u64 },
+        Op::BrCc => {
+            let taken = eval_cond(uop.cond.expect("brcc requires cond"), cc);
+            BranchOutcome {
+                taken,
+                next: if taken { uop.target.expect("brcc requires target") } else { fallthrough },
+            }
+        }
+        Op::CmpBr => {
+            let taken = eval_cond(uop.cond.expect("cmpbr requires cond"), CcFlags::from_cmp(a, b));
+            BranchOutcome {
+                taken,
+                next: if taken { uop.target.expect("cmpbr requires target") } else { fallthrough },
+            }
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+    use crate::uop::Operand;
+
+    #[test]
+    fn foldable_set_matches_paper_restrictions() {
+        for op in [Op::Add, Op::Sub, Op::And, Op::Or, Op::Xor, Op::Shl, Op::Shr, Op::Sar, Op::Mov, Op::MovImm, Op::Not, Op::Neg, Op::Cmp, Op::Test, Op::SetCc] {
+            assert!(is_foldable_int(op), "{op} should be foldable");
+        }
+        for op in [Op::Mul, Op::Div, Op::Rem, Op::Load, Op::Store, Op::FpAdd, Op::Simd, Op::Jmp, Op::BrCc, Op::CmpBr] {
+            assert!(!is_foldable_int(op), "{op} should not be foldable");
+        }
+    }
+
+    #[test]
+    fn alu_add_wraps_and_sets_flags() {
+        let r = eval_alu(Op::Add, i64::MAX, 1, CcFlags::default(), None).unwrap();
+        assert_eq!(r.value, Some(i64::MIN));
+        let cc = r.cc.unwrap();
+        assert!(cc.of);
+        assert!(cc.sf);
+        assert!(!cc.zf);
+    }
+
+    #[test]
+    fn alu_shifts_mask_amount() {
+        let r = eval_alu(Op::Shl, 1, 65, CcFlags::default(), None).unwrap();
+        assert_eq!(r.value, Some(2));
+        let r = eval_alu(Op::Shr, -1, 63, CcFlags::default(), None).unwrap();
+        assert_eq!(r.value, Some(1));
+        let r = eval_alu(Op::Sar, -8, 2, CcFlags::default(), None).unwrap();
+        assert_eq!(r.value, Some(-2));
+    }
+
+    #[test]
+    fn alu_setcc_reads_cc() {
+        let cc = CcFlags::from_cmp(3, 3);
+        let r = eval_alu(Op::SetCc, 0, 0, cc, Some(Cond::Eq)).unwrap();
+        assert_eq!(r.value, Some(1));
+        let r = eval_alu(Op::SetCc, 0, 0, cc, Some(Cond::Ne)).unwrap();
+        assert_eq!(r.value, Some(0));
+    }
+
+    #[test]
+    fn alu_rejects_non_alu_ops() {
+        assert!(eval_alu(Op::Load, 0, 0, CcFlags::default(), None).is_none());
+        assert!(eval_alu(Op::Mul, 0, 0, CcFlags::default(), None).is_none());
+        assert!(eval_alu(Op::FpAdd, 0, 0, CcFlags::default(), None).is_none());
+    }
+
+    #[test]
+    fn complex_div_by_zero_is_zero() {
+        assert_eq!(eval_complex(Op::Div, 7, 0), Some(0));
+        assert_eq!(eval_complex(Op::Rem, 7, 0), Some(0));
+        assert_eq!(eval_complex(Op::Div, 7, 2), Some(3));
+        assert_eq!(eval_complex(Op::Mul, 3, -4), Some(-12));
+        assert_eq!(eval_complex(Op::Div, i64::MIN, -1), Some(i64::MIN.wrapping_div(-1).wrapping_neg().wrapping_neg()));
+    }
+
+    #[test]
+    fn complex_min_div_neg1_does_not_panic() {
+        // i64::MIN / -1 overflows with a plain `/`; wrapping_div handles it.
+        assert_eq!(eval_complex(Op::Div, i64::MIN, -1), Some(i64::MIN));
+        assert_eq!(eval_complex(Op::Rem, i64::MIN, -1), Some(0));
+    }
+
+    #[test]
+    fn fp_roundtrips_bits() {
+        let a = 1.5f64.to_bits() as i64;
+        let b = 2.25f64.to_bits() as i64;
+        let r = eval_fp(Op::FpAdd, a, b).unwrap();
+        assert_eq!(f64::from_bits(r as u64), 3.75);
+        assert!(eval_fp(Op::Add, a, b).is_none());
+    }
+
+    #[test]
+    fn cond_evaluation_matches_cmp() {
+        let cases: [(i64, i64); 6] = [(1, 2), (2, 1), (5, 5), (-3, 4), (-1, -1), (i64::MIN, 1)];
+        for (a, b) in cases {
+            let cc = CcFlags::from_cmp(a, b);
+            assert_eq!(eval_cond(Cond::Eq, cc), a == b, "{a} eq {b}");
+            assert_eq!(eval_cond(Cond::Ne, cc), a != b, "{a} ne {b}");
+            assert_eq!(eval_cond(Cond::Lt, cc), a < b, "{a} lt {b}");
+            assert_eq!(eval_cond(Cond::Ge, cc), a >= b, "{a} ge {b}");
+            assert_eq!(eval_cond(Cond::Le, cc), a <= b, "{a} le {b}");
+            assert_eq!(eval_cond(Cond::Gt, cc), a > b, "{a} gt {b}");
+            assert_eq!(eval_cond(Cond::B, cc), (a as u64) < (b as u64), "{a} b {b}");
+            assert_eq!(eval_cond(Cond::Ae, cc), (a as u64) >= (b as u64), "{a} ae {b}");
+        }
+    }
+
+    fn branch_uop(op: Op, cond: Option<Cond>, target: Option<u64>) -> Uop {
+        let mut u = Uop::new(op);
+        u.cond = cond;
+        u.target = target;
+        u.macro_addr = 0x100;
+        u.macro_len = 2;
+        u.src1 = Operand::Reg(Reg::int(0));
+        u.src2 = Operand::Reg(Reg::int(1));
+        u
+    }
+
+    #[test]
+    fn branch_resolution() {
+        let j = branch_uop(Op::Jmp, None, Some(0x200));
+        assert_eq!(branch_of(&j, 0, 0, CcFlags::default()).unwrap(), BranchOutcome { taken: true, next: 0x200 });
+
+        let ji = branch_uop(Op::JmpInd, None, None);
+        assert_eq!(branch_of(&ji, 0x300, 0, CcFlags::default()).unwrap().next, 0x300);
+
+        let cb = branch_uop(Op::CmpBr, Some(Cond::Lt), Some(0x400));
+        let taken = branch_of(&cb, 1, 2, CcFlags::default()).unwrap();
+        assert!(taken.taken);
+        assert_eq!(taken.next, 0x400);
+        let not = branch_of(&cb, 3, 2, CcFlags::default()).unwrap();
+        assert!(!not.taken);
+        assert_eq!(not.next, 0x102);
+
+        let bc = branch_uop(Op::BrCc, Some(Cond::Eq), Some(0x500));
+        let cc = CcFlags::from_cmp(9, 9);
+        assert!(branch_of(&bc, 0, 0, cc).unwrap().taken);
+        assert!(!branch_of(&bc, 0, 0, CcFlags::from_cmp(1, 9)).unwrap().taken);
+
+        let add = Uop::new(Op::Add);
+        assert!(branch_of(&add, 0, 0, CcFlags::default()).is_none());
+    }
+}

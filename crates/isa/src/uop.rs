@@ -1,0 +1,409 @@
+//! Micro-op (uop) definitions.
+
+use crate::reg::Reg;
+use std::fmt;
+
+/// A code address in bytes. Macro-instructions occupy `[addr, addr+len)`.
+pub type Addr = u64;
+
+/// A micro-op source operand.
+///
+/// SCC's *speculative constant propagation* rewrites `Reg` operands into
+/// `Imm` operands ("conversion from register-register to register-immediate
+/// format"), so operands must be mutable in place on decoded micro-ops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Operand {
+    /// No operand in this slot.
+    #[default]
+    None,
+    /// A register operand.
+    Reg(Reg),
+    /// An immediate operand.
+    Imm(i64),
+}
+
+impl Operand {
+    /// The register named by this operand, if any.
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The immediate carried by this operand, if any.
+    pub fn imm(self) -> Option<i64> {
+        match self {
+            Operand::Imm(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True if the operand slot is used.
+    pub fn is_some(self) -> bool {
+        !matches!(self, Operand::None)
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+/// Branch conditions, evaluated against [`crate::CcFlags`] (or directly by
+/// the fused compare-and-branch micro-op).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal (`zf`).
+    Eq,
+    /// Not equal (`!zf`).
+    Ne,
+    /// Signed less-than (`sf != of`).
+    Lt,
+    /// Signed greater-or-equal (`sf == of`).
+    Ge,
+    /// Signed less-or-equal (`zf || sf != of`).
+    Le,
+    /// Signed greater-than (`!zf && sf == of`).
+    Gt,
+    /// Unsigned below (`cf`).
+    B,
+    /// Unsigned above-or-equal (`!cf`).
+    Ae,
+}
+
+impl Cond {
+    /// The condition with inverted sense (`Eq` ↔ `Ne`, etc.).
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::B => Cond::Ae,
+            Cond::Ae => Cond::B,
+        }
+    }
+
+    /// All conditions, for exhaustive tests.
+    pub fn all() -> [Cond; 8] {
+        [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Le, Cond::Gt, Cond::B, Cond::Ae]
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::B => "b",
+            Cond::Ae => "ae",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Micro-op operations.
+///
+/// The split matters to SCC: `Add`..`Neg` plus the moves are "simple
+/// integer arithmetic, logic, and shift operations" the front-end ALU can
+/// evaluate; `Mul`/`Div`/`Rem`, all memory ops, and all floating-point ops
+/// are explicitly outside its reach (paper §III).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// No operation.
+    Nop,
+    /// Stop the machine. Used to terminate workloads.
+    Halt,
+    /// `dst = imm` (register-immediate move).
+    MovImm,
+    /// `dst = src1` (register-register move).
+    Mov,
+    /// `dst = src1 + src2`.
+    Add,
+    /// `dst = src1 - src2`.
+    Sub,
+    /// `dst = src1 & src2`.
+    And,
+    /// `dst = src1 | src2`.
+    Or,
+    /// `dst = src1 ^ src2`.
+    Xor,
+    /// `dst = src1 << (src2 & 63)`.
+    Shl,
+    /// `dst = (src1 as u64) >> (src2 & 63)` (logical).
+    Shr,
+    /// `dst = src1 >> (src2 & 63)` (arithmetic).
+    Sar,
+    /// `dst = !src1`.
+    Not,
+    /// `dst = -src1`.
+    Neg,
+    /// `dst = src1 * src2` (complex integer: not SCC-foldable).
+    Mul,
+    /// `dst = src1 / src2`, 0 on divide-by-zero (complex: not SCC-foldable).
+    Div,
+    /// `dst = src1 % src2`, 0 on divide-by-zero (complex: not SCC-foldable).
+    Rem,
+    /// Compare `src1` with `src2`; writes condition codes only.
+    Cmp,
+    /// Test `src1 & src2`; writes condition codes only.
+    Test,
+    /// `dst = cond(CC) ? 1 : 0`.
+    SetCc,
+    /// `dst = mem[src1 + offset]`.
+    Load,
+    /// `mem[src1 + offset] = src2`.
+    Store,
+    /// Floating-point add on FP registers (bit-cast `f64`).
+    FpAdd,
+    /// Floating-point subtract.
+    FpSub,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide.
+    FpDiv,
+    /// FP register move.
+    FpMov,
+    /// Coarse stand-in for a SIMD operation (multi-cycle FP work).
+    Simd,
+    /// Unconditional direct jump to `target`.
+    Jmp,
+    /// Indirect jump to the address in `src1`.
+    JmpInd,
+    /// Conditional branch on CC to `target`.
+    BrCc,
+    /// Macro-fused compare-and-branch: compare `src1`,`src2`, branch on
+    /// `cond` to `target`.
+    CmpBr,
+    /// Direct call: `dst = return address`, jump to `target`.
+    Call,
+    /// Return: indirect jump to the address in `src1`.
+    Ret,
+}
+
+impl Op {
+    /// True if the op writes condition codes.
+    pub fn writes_cc(self) -> bool {
+        matches!(
+            self,
+            Op::Cmp | Op::Test | Op::Add | Op::Sub | Op::And | Op::Or | Op::Xor | Op::Neg
+        )
+    }
+
+    /// True if the op reads condition codes.
+    pub fn reads_cc(self) -> bool {
+        matches!(self, Op::BrCc | Op::SetCc)
+    }
+
+    /// True for any control-transfer op.
+    pub fn is_branch(self) -> bool {
+        matches!(self, Op::Jmp | Op::JmpInd | Op::BrCc | Op::CmpBr | Op::Call | Op::Ret)
+    }
+
+    /// True for conditional control transfers.
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Op::BrCc | Op::CmpBr)
+    }
+
+    /// True for memory operations.
+    pub fn is_mem(self) -> bool {
+        matches!(self, Op::Load | Op::Store)
+    }
+
+    /// True for floating-point / SIMD operations.
+    pub fn is_fp(self) -> bool {
+        matches!(self, Op::FpAdd | Op::FpSub | Op::FpMul | Op::FpDiv | Op::FpMov | Op::Simd)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::Nop => "nop",
+            Op::Halt => "halt",
+            Op::MovImm => "movi",
+            Op::Mov => "mov",
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Xor => "xor",
+            Op::Shl => "shl",
+            Op::Shr => "shr",
+            Op::Sar => "sar",
+            Op::Not => "not",
+            Op::Neg => "neg",
+            Op::Mul => "mul",
+            Op::Div => "div",
+            Op::Rem => "rem",
+            Op::Cmp => "cmp",
+            Op::Test => "test",
+            Op::SetCc => "setcc",
+            Op::Load => "ld",
+            Op::Store => "st",
+            Op::FpAdd => "fadd",
+            Op::FpSub => "fsub",
+            Op::FpMul => "fmul",
+            Op::FpDiv => "fdiv",
+            Op::FpMov => "fmov",
+            Op::Simd => "simd",
+            Op::Jmp => "jmp",
+            Op::JmpInd => "jmpi",
+            Op::BrCc => "brcc",
+            Op::CmpBr => "cmpbr",
+            Op::Call => "call",
+            Op::Ret => "ret",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A decoded micro-op.
+///
+/// Micro-ops are the currency of the whole simulator: the decoder produces
+/// them, the micro-op cache stores them, SCC rewrites them, and the
+/// out-of-order backend executes them. Each micro-op remembers the byte
+/// address and length of its owning macro-instruction so region membership
+/// and next-PC computation work everywhere.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Uop {
+    /// Operation.
+    pub op: Op,
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+    /// First source operand.
+    pub src1: Operand,
+    /// Second source operand.
+    pub src2: Operand,
+    /// Memory displacement (for `Load`/`Store`).
+    pub offset: i64,
+    /// Direct branch target, if any.
+    pub target: Option<Addr>,
+    /// Branch/set condition, if any.
+    pub cond: Option<Cond>,
+    /// Whether this op updates condition codes (set from [`Op::writes_cc`]
+    /// at decode; SCC may clear it when folding proves the flags dead — we
+    /// keep it faithful and never clear it).
+    pub writes_cc: bool,
+    /// Byte address of the owning macro-instruction.
+    pub macro_addr: Addr,
+    /// Byte length of the owning macro-instruction.
+    pub macro_len: u8,
+    /// True if this is a branch whose target lies inside its own
+    /// macro-instruction (x86 string-op style). Compaction aborts on these
+    /// (paper §III).
+    pub self_loop: bool,
+    /// Index of this micro-op within its macro-instruction's expansion.
+    pub slot: u8,
+    /// Micro-fused with the next micro-op in decode order: the pair
+    /// occupies one fetch / micro-op cache slot (Table I counts "fused
+    /// µops"). Execution still issues both halves.
+    pub fused_with_next: bool,
+}
+
+impl Uop {
+    /// Creates a micro-op with the given operation and all other fields
+    /// empty; builders fill in the rest.
+    pub fn new(op: Op) -> Uop {
+        Uop {
+            op,
+            dst: None,
+            src1: Operand::None,
+            src2: Operand::None,
+            offset: 0,
+            target: None,
+            cond: None,
+            writes_cc: op.writes_cc(),
+            macro_addr: 0,
+            macro_len: 0,
+            self_loop: false,
+            slot: 0,
+            fused_with_next: false,
+        }
+    }
+
+    /// Address of the next sequential macro-instruction.
+    pub fn next_addr(&self) -> Addr {
+        self.macro_addr + self.macro_len as Addr
+    }
+
+    /// Registers read by this micro-op (at most 2).
+    pub fn src_regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        [self.src1.reg(), self.src2.reg()].into_iter().flatten()
+    }
+
+    /// True if this is the last micro-op of its macro-instruction's
+    /// expansion — callers use this to advance the macro-level PC.
+    pub fn is_last_in_macro(&self, macro_uop_count: u8) -> bool {
+        self.slot + 1 == macro_uop_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_conversions() {
+        let r = Reg::int(4);
+        assert_eq!(Operand::from(r).reg(), Some(r));
+        assert_eq!(Operand::from(42i64).imm(), Some(42));
+        assert!(!Operand::None.is_some());
+        assert!(Operand::from(r).is_some());
+        assert_eq!(Operand::None.reg(), None);
+        assert_eq!(Operand::Reg(r).imm(), None);
+    }
+
+    #[test]
+    fn cond_negation_is_involutive() {
+        for c in Cond::all() {
+            assert_eq!(c.negate().negate(), c);
+            assert_ne!(c.negate(), c);
+        }
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(Op::Cmp.writes_cc());
+        assert!(Op::BrCc.reads_cc());
+        assert!(!Op::Mov.writes_cc());
+        assert!(Op::CmpBr.is_branch());
+        assert!(Op::CmpBr.is_cond_branch());
+        assert!(!Op::Jmp.is_cond_branch());
+        assert!(Op::Load.is_mem());
+        assert!(Op::Simd.is_fp());
+        assert!(!Op::Add.is_mem());
+        assert!(Op::Ret.is_branch());
+    }
+
+    #[test]
+    fn uop_src_regs() {
+        let mut u = Uop::new(Op::Add);
+        u.src1 = Reg::int(1).into();
+        u.src2 = Operand::Imm(3);
+        let regs: Vec<_> = u.src_regs().collect();
+        assert_eq!(regs, vec![Reg::int(1)]);
+    }
+
+    #[test]
+    fn next_addr_uses_macro_len() {
+        let mut u = Uop::new(Op::Nop);
+        u.macro_addr = 0x1000;
+        u.macro_len = 3;
+        assert_eq!(u.next_addr(), 0x1003);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for ISA semantics and the reference interpreter.
+
+use proptest::prelude::*;
+use scc_isa::rand_prog::{random_program, RandProgConfig};
+use scc_isa::{eval_alu, eval_cond, CcFlags, Cond, Machine, Op, ProgramBuilder, Reg};
+
+proptest! {
+    #[test]
+    fn alu_add_sub_match_wrapping(a in any::<i64>(), b in any::<i64>()) {
+        let add = eval_alu(Op::Add, a, b, CcFlags::default(), None).unwrap();
+        prop_assert_eq!(add.value, Some(a.wrapping_add(b)));
+        let sub = eval_alu(Op::Sub, a, b, CcFlags::default(), None).unwrap();
+        prop_assert_eq!(sub.value, Some(a.wrapping_sub(b)));
+    }
+
+    #[test]
+    fn cond_negation_complements(a in any::<i64>(), b in any::<i64>()) {
+        let cc = CcFlags::from_cmp(a, b);
+        for c in Cond::all() {
+            prop_assert_eq!(eval_cond(c, cc), !eval_cond(c.negate(), cc));
+        }
+    }
+
+    #[test]
+    fn cmp_flags_encode_all_orderings(a in any::<i64>(), b in any::<i64>()) {
+        let cc = CcFlags::from_cmp(a, b);
+        prop_assert_eq!(eval_cond(Cond::Lt, cc), a < b);
+        prop_assert_eq!(eval_cond(Cond::Eq, cc), a == b);
+        prop_assert_eq!(eval_cond(Cond::B, cc), (a as u64) < (b as u64));
+    }
+
+    #[test]
+    fn shifts_are_masked(a in any::<i64>(), amt in 0i64..256) {
+        let shl = eval_alu(Op::Shl, a, amt, CcFlags::default(), None).unwrap();
+        prop_assert_eq!(shl.value, Some(a.wrapping_shl((amt & 63) as u32)));
+    }
+
+    #[test]
+    fn straight_line_sum_program(vals in proptest::collection::vec(-10_000i64..10_000, 1..20)) {
+        // An accumulation program computes the same sum the host does.
+        let mut b = ProgramBuilder::new(0);
+        let acc = Reg::int(0);
+        let tmp = Reg::int(1);
+        b.mov_imm(acc, 0);
+        for &v in &vals {
+            b.mov_imm(tmp, v);
+            b.add(acc, acc, tmp);
+        }
+        b.halt();
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        let res = m.run(1_000_000).unwrap();
+        prop_assert!(res.halted);
+        prop_assert_eq!(m.reg(acc), vals.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn memory_roundtrip_program(cells in proptest::collection::vec((0u64..64, -1000i64..1000), 1..16)) {
+        let mut b = ProgramBuilder::new(0);
+        let base = Reg::int(1);
+        let v = Reg::int(2);
+        b.mov_imm(base, 0x9000);
+        for &(cell, val) in &cells {
+            b.mov_imm(v, val);
+            b.store(v, base, 8 * cell as i64);
+        }
+        b.halt();
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        m.run(1_000_000).unwrap();
+        // Last write to each cell wins.
+        let mut expected = std::collections::HashMap::new();
+        for &(cell, val) in &cells {
+            expected.insert(0x9000u64 + 8 * cell, val);
+        }
+        for (addr, val) in expected {
+            prop_assert_eq!(m.mem().read(addr), val);
+        }
+    }
+
+    #[test]
+    fn random_programs_halt_deterministically(seed in 0u64..512) {
+        let cfg = RandProgConfig::default();
+        let p = random_program(seed, &cfg);
+        let mut m1 = Machine::new(&p);
+        let mut m2 = Machine::new(&p);
+        let r1 = m1.run(2_000_000).unwrap();
+        prop_assert!(r1.halted);
+        m2.run(2_000_000).unwrap();
+        prop_assert_eq!(m1.snapshot(), m2.snapshot());
+    }
+
+    #[test]
+    fn counted_loop_runs_exact_trip_count(trips in 1i64..200) {
+        let mut b = ProgramBuilder::new(0);
+        let (cnt, acc) = (Reg::int(1), Reg::int(0));
+        b.mov_imm(acc, 0);
+        b.mov_imm(cnt, trips);
+        let top = b.here();
+        b.add_imm(acc, acc, 1);
+        b.sub_imm(cnt, cnt, 1);
+        b.cmp_br_imm(Cond::Ne, cnt, 0, top);
+        b.halt();
+        let p = b.build();
+        let mut m = Machine::new(&p);
+        m.run(10_000_000).unwrap();
+        prop_assert_eq!(m.reg(acc), trips);
+    }
+}

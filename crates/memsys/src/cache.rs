@@ -1,0 +1,273 @@
+//! A generic set-associative cache with pluggable replacement.
+
+/// Replacement policy for a cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used (Table I: L1/L2).
+    #[default]
+    Lru,
+    /// Pseudo-random (Table I: L3).
+    Random,
+}
+
+/// Geometry and behaviour of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Replacement policy.
+    pub replacement: ReplacementPolicy,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (capacity not divisible into
+    /// `ways × line_bytes` power-of-two sets).
+    pub fn sets(&self) -> usize {
+        assert!(self.ways > 0 && self.line_bytes > 0, "degenerate cache geometry");
+        let sets = self.size_bytes / (self.ways * self.line_bytes);
+        assert!(sets > 0, "cache smaller than one set");
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        sets
+    }
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// LRU timestamp (higher = more recent).
+    stamp: u64,
+}
+
+/// A set-associative cache over byte addresses.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: usize,
+    lines: Vec<Line>, // sets * ways
+    clock: u64,
+    rng: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Cache {
+        let sets = config.sets();
+        Cache {
+            config,
+            sets,
+            lines: vec![Line { tag: 0, valid: false, stamp: 0 }; sets * config.ways],
+            clock: 0,
+            rng: 0x1234_5678_9ABC_DEF0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// This cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line_bytes as u64;
+        ((line as usize) & (self.sets - 1), line / self.sets as u64)
+    }
+
+    /// Accesses `addr`; returns true on hit. On a miss the line is filled
+    /// (evicting per policy).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.config.ways;
+        let ways = &mut self.lines[base..base + self.config.ways];
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.stamp = self.clock;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        let victim = match self.config.replacement {
+            ReplacementPolicy::Lru => ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| if l.valid { l.stamp } else { 0 })
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+            ReplacementPolicy::Random => {
+                if let Some(i) = ways.iter().position(|l| !l.valid) {
+                    i
+                } else {
+                    // xorshift
+                    self.rng ^= self.rng << 13;
+                    self.rng ^= self.rng >> 7;
+                    self.rng ^= self.rng << 17;
+                    (self.rng as usize) % self.config.ways
+                }
+            }
+        };
+        ways[victim] = Line { tag, valid: true, stamp: self.clock };
+        false
+    }
+
+    /// True if `addr` is resident, without updating replacement state or
+    /// stats.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.config.ways;
+        self.lines[base..base + self.config.ways].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates the line holding `addr`, if resident.
+    pub fn invalidate(&mut self, addr: u64) {
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.config.ways;
+        for l in &mut self.lines[base..base + self.config.ways] {
+            if l.valid && l.tag == tag {
+                l.valid = false;
+            }
+        }
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(ways: usize, policy: ReplacementPolicy) -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 64 * ways * 4, // 4 sets
+            ways,
+            line_bytes: 64,
+            replacement: policy,
+        })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            replacement: ReplacementPolicy::Lru,
+        };
+        assert_eq!(c.sets(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let c = CacheConfig {
+            size_bytes: 3 * 64,
+            ways: 1,
+            line_bytes: 64,
+            replacement: ReplacementPolicy::Lru,
+        };
+        let _ = c.sets();
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small(2, ReplacementPolicy::Lru);
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1001), "same line");
+        assert!(!c.access(0x1040), "next line misses");
+        assert_eq!(c.stats(), CacheStats { hits: 2, misses: 2 });
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small(2, ReplacementPolicy::Lru);
+        // Three lines mapping to the same set (4 sets, 64B lines: stride 256).
+        c.access(0x0000);
+        c.access(0x0100);
+        c.access(0x0000); // refresh 0x0000
+        c.access(0x0200); // evicts 0x0100
+        assert!(c.probe(0x0000));
+        assert!(!c.probe(0x0100));
+        assert!(c.probe(0x0200));
+    }
+
+    #[test]
+    fn random_fills_invalid_first() {
+        let mut c = small(4, ReplacementPolicy::Random);
+        for i in 0..4 {
+            c.access(0x100 * i);
+        }
+        for i in 0..4 {
+            assert!(c.probe(0x100 * i), "all four ways should be resident");
+        }
+        // Fifth line evicts exactly one of them.
+        c.access(0x400);
+        let resident = (0..5).filter(|&i| c.probe(0x100 * i)).count();
+        assert_eq!(resident, 4);
+    }
+
+    #[test]
+    fn probe_does_not_count() {
+        let mut c = small(2, ReplacementPolicy::Lru);
+        c.access(0x0);
+        let s = c.stats();
+        let _ = c.probe(0x0);
+        let _ = c.probe(0x40);
+        assert_eq!(c.stats(), s);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small(2, ReplacementPolicy::Lru);
+        c.access(0x0);
+        assert!(c.probe(0x0));
+        c.invalidate(0x0);
+        assert!(!c.probe(0x0));
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = small(2, ReplacementPolicy::Lru);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.access(0x0);
+        c.access(0x0);
+        c.access(0x0);
+        assert!((c.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

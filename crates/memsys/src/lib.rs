@@ -1,0 +1,32 @@
+//! Cache hierarchy and DRAM latency model for the SCC reproduction.
+//!
+//! Models the conventional memory system of Table I: L1I 32 KB/8-way,
+//! L1D 48 KB/12-way, L2 512 KB/8-way (LRU), L3 8 MB/16-way (random
+//! replacement), DDR4-class main memory as a fixed latency. The model is
+//! *latency-functional*: each access walks the hierarchy, updates
+//! replacement state, fills lines inclusively, and returns the total
+//! latency plus which levels were touched (the energy model charges per
+//! touch). Bandwidth contention and MSHRs are not modeled — DESIGN.md §4
+//! records this substitution; the paper's figures depend on hit/miss
+//! behaviour and relative level costs, both of which are modeled.
+//!
+//! # Example
+//!
+//! ```
+//! use scc_memsys::{MemoryHierarchy, HierarchyConfig};
+//!
+//! let mut mem = MemoryHierarchy::new(&HierarchyConfig::icelake());
+//! let cold = mem.data_access(0x1000, false);
+//! let warm = mem.data_access(0x1000, false);
+//! assert!(cold.latency > warm.latency);
+//! assert_eq!(warm.latency, mem.config().l1_latency);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod hierarchy;
+
+pub use cache::{Cache, CacheConfig, CacheStats, ReplacementPolicy};
+pub use hierarchy::{AccessResult, HierarchyConfig, HierarchyStats, Level, MemoryHierarchy};

@@ -1,0 +1,202 @@
+//! Pipeline configuration.
+
+use scc_core::SccConfig;
+use scc_memsys::HierarchyConfig;
+use scc_predictors::{BranchPredictorKind, ValuePredictorKind};
+use scc_uopcache::UopCacheConfig;
+
+/// Core (backend) sizing and latencies, defaulting to Ice Lake-like
+/// values per Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreParams {
+    /// Fused micro-ops fetched per cycle (Table I: 6).
+    pub fetch_width: usize,
+    /// Macro-instructions the legacy decoder handles per cycle.
+    pub decode_width: usize,
+    /// Micro-ops renamed/dispatched per cycle.
+    pub rename_width: usize,
+    /// Micro-ops committed per cycle.
+    pub commit_width: usize,
+    /// Reorder buffer entries (Ice Lake: 352).
+    pub rob_entries: usize,
+    /// Instruction decode queue (IDQ) entries (Table I: 140).
+    pub idq_entries: usize,
+    /// Unified scheduler window entries.
+    pub sched_entries: usize,
+    /// Integer ALU ports.
+    pub alu_ports: usize,
+    /// Load ports.
+    pub load_ports: usize,
+    /// Store ports.
+    pub store_ports: usize,
+    /// FP/SIMD ports.
+    pub fp_ports: usize,
+    /// Extra pipeline latency of the legacy decode path versus the
+    /// micro-op cache path, in cycles.
+    pub decode_latency: u64,
+    /// Front-end refill penalty on a squash, in cycles.
+    pub mispredict_penalty: u64,
+    /// Integer multiply latency.
+    pub mul_latency: u64,
+    /// Integer divide latency.
+    pub div_latency: u64,
+    /// FP operation latency.
+    pub fp_latency: u64,
+    /// SIMD stand-in operation latency.
+    pub simd_latency: u64,
+    /// Micro-fusion at decode (the artifact's `--enable-micro-fusion`):
+    /// load+consumer pairs occupy one fetch / micro-op cache slot.
+    pub micro_fusion: bool,
+}
+
+impl Default for CoreParams {
+    fn default() -> CoreParams {
+        CoreParams {
+            fetch_width: 6,
+            decode_width: 5,
+            rename_width: 6,
+            commit_width: 8,
+            rob_entries: 352,
+            idq_entries: 140,
+            sched_entries: 160,
+            alu_ports: 4,
+            load_ports: 2,
+            store_ports: 1,
+            fp_ports: 2,
+            decode_latency: 5,
+            mispredict_penalty: 12,
+            mul_latency: 3,
+            div_latency: 18,
+            fp_latency: 4,
+            simd_latency: 5,
+            micro_fusion: true,
+        }
+    }
+}
+
+/// Front-end organization: the unpartitioned baseline or the SCC design.
+#[derive(Clone, Debug)]
+pub enum FrontendMode {
+    /// Conventional single micro-op cache, no SCC.
+    Baseline {
+        /// Micro-op cache geometry.
+        uop_cache: UopCacheConfig,
+    },
+    /// Partitioned micro-op cache with the SCC unit.
+    Scc {
+        /// Unoptimized partition geometry.
+        unopt: UopCacheConfig,
+        /// Optimized partition geometry.
+        opt: UopCacheConfig,
+        /// SCC unit configuration (enabled optimizations, thresholds).
+        scc: SccConfig,
+    },
+}
+
+impl FrontendMode {
+    /// The paper's baseline: 48-set unpartitioned cache.
+    pub fn baseline() -> FrontendMode {
+        FrontendMode::Baseline { uop_cache: UopCacheConfig::baseline() }
+    }
+
+    /// The paper's best SCC split: 24-set unoptimized + 24-set optimized
+    /// partitions (appendix flags).
+    pub fn scc(scc: SccConfig) -> FrontendMode {
+        FrontendMode::Scc {
+            unopt: UopCacheConfig::unopt_partition(24),
+            opt: UopCacheConfig::opt_partition(24),
+            scc,
+        }
+    }
+
+    /// True when the SCC unit is present.
+    pub fn has_scc(&self) -> bool {
+        matches!(self, FrontendMode::Scc { .. })
+    }
+}
+
+/// Complete pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Backend sizing.
+    pub core: CoreParams,
+    /// Cache hierarchy.
+    pub hierarchy: HierarchyConfig,
+    /// Front-end organization.
+    pub frontend: FrontendMode,
+    /// Branch direction predictor.
+    pub branch_predictor: BranchPredictorKind,
+    /// Value predictor (`--lvpredType`).
+    pub value_predictor: ValuePredictorKind,
+    /// Cycles a region stays forced to the unoptimized partition after an
+    /// SCC-caused squash.
+    pub force_unopt_window: u64,
+    /// Classic value-prediction forwarding at rename (the paper's
+    /// baseline runs with `--enableValuePredForwinding
+    /// --predictionConfidenceThreshold=15`): loads whose value the
+    /// predictor forecasts with at least this confidence hand the
+    /// predicted value to their dependents at rename, validating at
+    /// execute. `None` disables forwarding (the SCC configurations use
+    /// the predictor through the compaction engine instead).
+    pub vp_forwarding: Option<u8>,
+}
+
+impl PipelineConfig {
+    /// Baseline machine.
+    pub fn baseline() -> PipelineConfig {
+        PipelineConfig {
+            core: CoreParams::default(),
+            hierarchy: HierarchyConfig::icelake(),
+            frontend: FrontendMode::baseline(),
+            branch_predictor: BranchPredictorKind::TageLite,
+            value_predictor: ValuePredictorKind::Eves,
+            force_unopt_window: 64,
+            vp_forwarding: None,
+        }
+    }
+
+    /// Baseline with classic value-prediction forwarding at the paper's
+    /// conservative threshold (15 of 15).
+    pub fn baseline_with_vp_forwarding() -> PipelineConfig {
+        PipelineConfig { vp_forwarding: Some(15), ..PipelineConfig::baseline() }
+    }
+
+    /// Full-SCC machine with the paper's defaults.
+    pub fn scc_full() -> PipelineConfig {
+        PipelineConfig {
+            frontend: FrontendMode::scc(SccConfig::full()),
+            ..PipelineConfig::baseline()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_one() {
+        let c = CoreParams::default();
+        assert_eq!(c.fetch_width, 6);
+        assert_eq!(c.rob_entries, 352);
+        assert_eq!(c.idq_entries, 140);
+    }
+
+    #[test]
+    fn frontend_modes() {
+        assert!(!FrontendMode::baseline().has_scc());
+        let m = FrontendMode::scc(SccConfig::full());
+        assert!(m.has_scc());
+        if let FrontendMode::Scc { unopt, opt, .. } = m {
+            assert_eq!(unopt.sets, 24);
+            assert_eq!(opt.sets, 24);
+            assert_eq!(opt.ways, 4);
+        }
+    }
+
+    #[test]
+    fn config_constructors() {
+        assert!(!PipelineConfig::baseline().frontend.has_scc());
+        assert!(PipelineConfig::scc_full().frontend.has_scc());
+    }
+}

@@ -1,0 +1,41 @@
+//! Cycle-level out-of-order core integrating the SCC front-end.
+//!
+//! This crate is the timing substrate of the reproduction: a superscalar
+//! out-of-order pipeline modeled after Intel's Ice Lake (Table I of the
+//! paper) with
+//!
+//! * a fetch engine whose state machine switches between the legacy
+//!   decode pipeline, the unoptimized micro-op cache partition, and —
+//!   when SCC is enabled and the profitability unit approves — the
+//!   optimized partition holding compacted streams (paper Figure 5);
+//! * rename with rename-time inlining of SCC live-outs (physical register
+//!   inlining), a reorder buffer, a unified scheduler with per-class
+//!   execution ports, conservative memory disambiguation with
+//!   store-to-load forwarding, and in-order commit;
+//! * full squash/recovery, including the paper's two-condition SCC
+//!   recovery policy (redirect to the unoptimized partition when a
+//!   prediction source from the optimized partition misspeculates);
+//! * invariant validation: data-invariant prediction sources compare their
+//!   executed result against the predicted value, control-invariant
+//!   branches compare their resolved target against the encoded stream
+//!   path, and confidence counters are rewarded/penalized exactly as §V
+//!   describes.
+//!
+//! The architectural contract — checked by differential tests against the
+//! in-order reference interpreter — is that squash-and-reexecute makes all
+//! SCC speculation architecturally invisible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod pipeline;
+mod rob;
+mod stats;
+pub mod trace;
+
+pub use config::{CoreParams, FrontendMode, PipelineConfig};
+pub use pipeline::{Pipeline, PipelineResult, RunOutcome};
+pub use rob::FetchSource;
+pub use stats::PipelineStats;
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,1223 @@
+//! The cycle loop: fetch → rename → issue/execute → commit, with SCC
+//! compaction running beside fetch and full squash recovery.
+
+use crate::config::{FrontendMode, PipelineConfig};
+use crate::rob::{
+    CcProvider, CcSrcState, FetchSource, PortClass, Provider, RenameMap, RobEntry, SrcState,
+};
+use crate::stats::PipelineStats;
+use crate::trace::{Trace, TraceEvent};
+use scc_core::{
+    CompactionEngine, CompactionOutcome, CompactionRequest, MispredictCause, ProfitabilityUnit,
+    RequestQueue, StreamChoice, UopSource,
+};
+use scc_isa::{
+    branch_of, eval_alu, eval_complex, eval_fp, region, Addr, ArchSnapshot, CcFlags, Memory, Op,
+    Operand, Program, Reg, Uop, NUM_REGS,
+};
+use scc_memsys::MemoryHierarchy;
+use scc_predictors::{BranchPredictorUnit, ValuePredictor};
+use scc_uopcache::{CompactedStream, Invariant, OptPartition, UnoptPartition};
+use std::collections::{HashMap, VecDeque};
+
+/// One entry of the instruction decode queue.
+#[derive(Clone, Debug)]
+struct IdqEntry {
+    uop: Uop,
+    predicted_next: Option<Addr>,
+    blocks_fetch: bool,
+    source: FetchSource,
+    pre_writes: Vec<(Reg, i64)>,
+    pre_cc: Option<CcFlags>,
+    is_ghost: bool,
+    pred_source: Option<(u64, usize, Invariant)>,
+    stream_id: Option<u64>,
+    stream_end: bool,
+    stream_shrinkage: u32,
+}
+
+impl IdqEntry {
+    fn plain(uop: Uop, source: FetchSource) -> IdqEntry {
+        IdqEntry {
+            uop,
+            predicted_next: None,
+            blocks_fetch: false,
+            source,
+            pre_writes: Vec::new(),
+            pre_cc: None,
+            is_ghost: false,
+            pred_source: None,
+            stream_id: None,
+            stream_end: false,
+            stream_shrinkage: 0,
+        }
+    }
+}
+
+/// SCC front-end state: the compaction engine, its request queue, and the
+/// profitability analysis unit.
+struct SccState {
+    engine: CompactionEngine,
+    queue: RequestQueue,
+    profit: ProfitabilityUnit,
+    /// The stream produced by the in-flight compaction, committed to the
+    /// optimized partition when `busy_until` passes (the unit processes
+    /// one micro-op per cycle).
+    pending: Option<(Addr, CompactedStream)>,
+    busy_until: u64,
+}
+
+/// Cache-accurate micro-op source for the SCC unit: only regions resident
+/// in the unoptimized partition are visible.
+struct CacheView<'a> {
+    unopt: &'a UnoptPartition,
+}
+
+impl UopSource for CacheView<'_> {
+    fn macro_uops(&self, addr: Addr) -> Option<&[Uop]> {
+        let uops = self.unopt.peek(region(addr))?;
+        let start = uops.iter().position(|u| u.macro_addr == addr)?;
+        let len = uops[start..].iter().take_while(|u| u.macro_addr == addr).count();
+        Some(&uops[start..start + len])
+    }
+}
+
+/// Why a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The program's `halt` committed.
+    Halted,
+    /// The cycle budget ran out first.
+    CyclesExhausted,
+}
+
+/// Results of one simulation.
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+    /// Event counters.
+    pub stats: PipelineStats,
+    /// Final architectural state (compare against the reference
+    /// interpreter).
+    pub snapshot: ArchSnapshot,
+}
+
+/// The out-of-order core.
+pub struct Pipeline<'p> {
+    program: &'p Program,
+    cfg: PipelineConfig,
+    cycle: u64,
+    // Architectural state.
+    arch_regs: [i64; NUM_REGS],
+    arch_cc: CcFlags,
+    mem: Memory,
+    halted: bool,
+    // Front end.
+    fetch_pc: Addr,
+    /// Micro-op slot within the macro at `fetch_pc` to resume from (fetch
+    /// can split a multi-uop macro-instruction across cycles).
+    fetch_slot: u8,
+    fetch_stall_until: u64,
+    fetch_halted: bool,
+    fetch_blocked: bool,
+    pending_decode: Option<(Addr, u64)>,
+    active_stream: VecDeque<IdqEntry>,
+    idq: VecDeque<IdqEntry>,
+    bp: BranchPredictorUnit,
+    vp: Box<dyn ValuePredictor>,
+    hier: MemoryHierarchy,
+    unopt: UnoptPartition,
+    opt: Option<OptPartition>,
+    scc: Option<SccState>,
+    force_unopt: HashMap<Addr, u64>,
+    // Back end.
+    rob: VecDeque<RobEntry>,
+    rmap: RenameMap,
+    next_seq: u64,
+    stats: PipelineStats,
+    trace: Option<Trace>,
+}
+
+impl<'p> Pipeline<'p> {
+    /// Creates a pipeline over `program` with the given configuration.
+    pub fn new(program: &'p Program, cfg: PipelineConfig) -> Pipeline<'p> {
+        let (unopt, opt, scc) = match &cfg.frontend {
+            FrontendMode::Baseline { uop_cache } => (UnoptPartition::new(*uop_cache), None, None),
+            FrontendMode::Scc { unopt, opt, scc } => (
+                UnoptPartition::new(*unopt),
+                Some(OptPartition::new(*opt)),
+                Some(SccState {
+                    engine: CompactionEngine::new(*scc),
+                    queue: RequestQueue::new(scc.request_queue_len),
+                    profit: ProfitabilityUnit::new(*scc),
+                    pending: None,
+                    busy_until: 0,
+                }),
+            ),
+        };
+        let arch_regs = [0i64; NUM_REGS];
+        Pipeline {
+            fetch_pc: program.entry(),
+            fetch_slot: 0,
+            mem: Memory::from_image(program.init_data()),
+            rmap: RenameMap::from_arch(&arch_regs, CcFlags::default()),
+            arch_regs,
+            arch_cc: CcFlags::default(),
+            halted: false,
+            cycle: 0,
+            fetch_stall_until: 0,
+            fetch_halted: false,
+            fetch_blocked: false,
+            pending_decode: None,
+            active_stream: VecDeque::new(),
+            idq: VecDeque::new(),
+            bp: BranchPredictorUnit::new(cfg.branch_predictor),
+            vp: cfg.value_predictor.build(),
+            hier: MemoryHierarchy::new(&cfg.hierarchy),
+            unopt,
+            opt,
+            scc,
+            force_unopt: HashMap::new(),
+            rob: VecDeque::new(),
+            next_seq: 1,
+            stats: PipelineStats::default(),
+            trace: None,
+            program,
+            cfg,
+        }
+    }
+
+    /// Enables high-level tracing (commits, squashes, stream choices,
+    /// compaction outcomes), keeping the most recent `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// Takes the recorded trace, disabling tracing.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Creates a pipeline that starts from an architectural checkpoint
+    /// (registers, flags, memory) at `pc` instead of the program entry —
+    /// the SimPoint methodology's fast-forward. Microarchitectural state
+    /// (caches, predictors, SCC streams) starts cold, as in
+    /// checkpoint-based sampling without warmup.
+    pub fn new_at(
+        program: &'p Program,
+        cfg: PipelineConfig,
+        checkpoint: &ArchSnapshot,
+        pc: Addr,
+    ) -> Pipeline<'p> {
+        let mut p = Pipeline::new(program, cfg);
+        p.arch_regs = checkpoint.regs;
+        p.arch_cc = checkpoint.cc;
+        p.mem = Memory::from_image(&checkpoint.mem);
+        p.rmap = RenameMap::from_arch(&p.arch_regs, p.arch_cc);
+        p.fetch_pc = pc;
+        p
+    }
+
+    /// Runs until `halt` commits or `max_cycles` elapse.
+    pub fn run(&mut self, max_cycles: u64) -> PipelineResult {
+        while !self.halted && self.cycle < max_cycles {
+            self.step();
+        }
+        self.finish()
+    }
+
+    /// Runs until at least `uops` micro-ops have committed (or `halt`, or
+    /// the cycle budget) — one SimPoint interval's worth of simulation.
+    pub fn run_until_commits(&mut self, uops: u64, max_cycles: u64) -> PipelineResult {
+        while !self.halted && self.cycle < max_cycles && self.stats.committed_uops < uops {
+            self.step();
+        }
+        self.finish()
+    }
+
+    /// Runs until at least `uops` of *program distance* have committed
+    /// (committed micro-ops plus SCC-eliminated ones), so intervals mean
+    /// the same thing at every optimization level.
+    pub fn run_until_program_uops(&mut self, uops: u64, max_cycles: u64) -> PipelineResult {
+        while !self.halted && self.cycle < max_cycles && self.stats.program_uops < uops {
+            self.step();
+        }
+        self.finish()
+    }
+
+    /// Advances one cycle.
+    pub fn step(&mut self) {
+        self.commit();
+        self.complete();
+        self.issue();
+        self.rename();
+        self.scc_step();
+        self.fetch();
+        self.unopt.tick(self.cycle);
+        if let Some(opt) = &mut self.opt {
+            opt.tick(self.cycle);
+        }
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+    }
+
+    fn finish(&mut self) -> PipelineResult {
+        self.stats.hierarchy = self.hier.stats();
+        self.stats.unopt = self.unopt.stats();
+        if let Some(opt) = &self.opt {
+            self.stats.opt = opt.stats();
+        }
+        if let Some(scc) = &self.scc {
+            self.stats.scc_alu_ops = scc.engine.alu_ops();
+            let es = scc.engine.stats();
+            self.stats.streams_committed = es.committed;
+            self.stats.compactions_discarded = es.discarded;
+            self.stats.compactions_aborted = es.aborted_self_loop + es.aborted_smc;
+            self.stats.compactions =
+                es.committed + es.discarded + es.aborted_self_loop + es.aborted_smc;
+        }
+        PipelineResult {
+            outcome: if self.halted { RunOutcome::Halted } else { RunOutcome::CyclesExhausted },
+            stats: self.stats.clone(),
+            snapshot: ArchSnapshot {
+                regs: self.arch_regs,
+                cc: self.arch_cc,
+                mem: self.mem.dump(),
+            },
+        }
+    }
+
+    /// Current cycle (tests).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.core.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.done {
+                break;
+            }
+            let e = self.rob.pop_front().expect("checked non-empty");
+            // Live-out inlining: architecturally older than the entry.
+            for &(r, v) in &e.pre_writes {
+                self.arch_regs[r.index()] = v;
+                self.stats.live_out_writes += 1;
+            }
+            if let Some(f) = e.pre_cc {
+                self.arch_cc = f;
+            }
+            if e.is_ghost {
+                self.stats.committed_ghosts += 1;
+                self.stats.program_uops += e.stream_shrinkage as u64;
+                if e.stream_end {
+                    if let Some(scc) = &mut self.scc {
+                        scc.profit.on_good_stream();
+                    }
+                }
+                continue;
+            }
+            if let (Some(dst), Some(v)) = (e.uop.dst, e.result) {
+                self.arch_regs[dst.index()] = v;
+                // The producer leaves the ROB: repoint the rename map at
+                // the committed value so later consumers don't wait on a
+                // sequence number that no longer exists.
+                if self.rmap.get(dst) == Provider::Rob(e.seq) {
+                    self.rmap.set_value(dst, v);
+                }
+            }
+            if e.uop.writes_cc {
+                if let Some(f) = e.out_cc {
+                    self.arch_cc = f;
+                    if matches!(self.rmap.cc(), CcProvider::Rob(s) if s == e.seq) {
+                        self.rmap.set_cc_value(f);
+                    }
+                }
+            }
+            if e.uop.op == Op::Store {
+                let addr = e.mem_addr.expect("committed store has address");
+                let v = e.store_value.expect("committed store has value");
+                self.mem.write(addr, v);
+                self.hier.data_access(addr, true);
+                self.stats.exec_stores += 1;
+                // Runtime self-modifying-code handling: invalidate cached
+                // micro-ops of a written code region.
+                let r = region(addr);
+                if self.unopt.contains(r) {
+                    self.unopt.invalidate(r);
+                    if let Some(opt) = &mut self.opt {
+                        opt.invalidate(r);
+                    }
+                }
+            }
+            // Train the value predictor with committed results (the paper
+            // keeps predictor state current even for optimized streams).
+            if let (Some(dst), Some(v)) = (e.uop.dst, e.result) {
+                if dst.is_int()
+                    && !e.uop.op.is_fp()
+                    && !e.uop.op.is_branch()
+                    && e.uop.op != Op::MovImm
+                {
+                    self.vp.train(e.uop.macro_addr, v);
+                    self.stats.vp_trains += 1;
+                }
+            }
+            // Invariant confidence reward for validated prediction
+            // sources.
+            if let Some((sid, idx, _)) = e.pred_source {
+                // A mismatched source still commits (the squash removes
+                // only younger entries); its penalty was applied at
+                // resolution, so only clean sources earn a reward.
+                if !e.mispredicted {
+                    if let Some(opt) = &mut self.opt {
+                        opt.reward(sid, idx);
+                        self.stats.invariants_validated += 1;
+                    }
+                }
+            }
+            if e.stream_end {
+                if let Some(scc) = &mut self.scc {
+                    scc.profit.on_good_stream();
+                }
+            }
+            if let Some(tr) = &mut self.trace {
+                tr.push(TraceEvent::Commit {
+                    cycle: self.cycle,
+                    seq: e.seq,
+                    pc: e.uop.macro_addr,
+                    uop: e.uop.to_string(),
+                    source: e.source,
+                });
+            }
+            self.stats.committed_uops += 1;
+            self.stats.program_uops += 1 + e.stream_shrinkage as u64;
+            if e.uop.op == Op::Halt {
+                self.halted = true;
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execute: completion, validation, resolution
+    // ------------------------------------------------------------------
+
+    fn complete(&mut self) {
+        let mut squash: Option<(u64, Addr, MispredictCause, Option<(u64, usize)>)> = None;
+        let mut resolved: Vec<(usize, i64, i64)> = Vec::new();
+        for i in 0..self.rob.len() {
+            let e = &self.rob[i];
+            if e.done || !e.executing || e.complete_cycle > self.cycle {
+                continue;
+            }
+            let a = e.src1.value().unwrap_or(0);
+            let b = e.src2.value().unwrap_or(0);
+            resolved.push((i, a, b));
+        }
+        for (i, a, b) in resolved {
+            let seq = self.rob[i].seq;
+            // Mark done and broadcast.
+            let (result, out_cc) = (self.rob[i].result, self.rob[i].out_cc);
+            self.rob[i].done = true;
+            self.wake(seq, result, out_cc);
+            // Branch resolution.
+            if self.rob[i].uop.op.is_branch() {
+                let e = &self.rob[i];
+                let cc = match e.cc_src {
+                    Some(CcSrcState::Ready(f)) => f,
+                    _ => CcFlags::default(),
+                };
+                let outcome = branch_of(&e.uop, a, b, cc).expect("branch resolves");
+                let is_cond = e.uop.op.is_cond_branch();
+                let predicted = e.predicted_next;
+                let blocks = e.blocks_fetch;
+                let pred_source = e.pred_source;
+                let uop = e.uop.clone();
+                let mispredicted = predicted.map_or(false, |p| p != outcome.next);
+                if is_cond {
+                    self.stats.branches_resolved += 1;
+                    if mispredicted {
+                        self.stats.branches_mispredicted += 1;
+                    }
+                }
+                self.bp.update(&uop, outcome.taken, outcome.next, mispredicted);
+                if blocks {
+                    // Fetch stalled awaiting this target: redirect without
+                    // a squash (nothing wrong-path was fetched).
+                    self.fetch_pc = outcome.next;
+                    self.fetch_slot = 0;
+                    self.fetch_blocked = false;
+                    self.fetch_halted = false;
+                } else if mispredicted && squash.map_or(true, |(s, ..)| seq < s) {
+                    let (cause, pen) = match pred_source {
+                        Some((sid, idx, _)) => {
+                            (MispredictCause::ControlInvariant, Some((sid, idx)))
+                        }
+                        None => (MispredictCause::PlainBranch, None),
+                    };
+                    self.rob[i].mispredicted = true;
+                    squash = Some((seq, outcome.next, cause, pen));
+                }
+            } else if let Some(v) = self.rob[i].vp_forwarded {
+                // Classic VP-forwarding validation.
+                let actual = self.rob[i].result.expect("forwarded load has result");
+                if actual != v {
+                    self.stats.vp_forward_fails += 1;
+                    self.rob[i].mispredicted = true;
+                    let resume = self.rob[i].uop.next_addr();
+                    if squash.map_or(true, |(s, ..)| seq < s) {
+                        squash = Some((seq, resume, MispredictCause::Other, None));
+                    }
+                }
+            } else if let Some((sid, idx, Invariant::Data { value, .. })) =
+                self.rob[i].pred_source
+            {
+                // Data-invariant validation: compare the executed result
+                // with the predicted invariant.
+                let actual = self.rob[i].result.expect("value-producing source has result");
+                if actual != value {
+                    self.stats.invariants_failed += 1;
+                    self.rob[i].mispredicted = true;
+                    let resume = self.rob[i].uop.next_addr();
+                    if squash.map_or(true, |(s, ..)| seq < s) {
+                        squash =
+                            Some((seq, resume, MispredictCause::DataInvariant, Some((sid, idx))));
+                    }
+                }
+            }
+        }
+        if let Some((seq, new_pc, cause, penalty)) = squash {
+            self.handle_mispredict(seq, new_pc, cause, penalty);
+        }
+    }
+
+    fn wake(&mut self, seq: u64, result: Option<i64>, out_cc: Option<CcFlags>) {
+        for e in &mut self.rob {
+            if let SrcState::Wait(s) = e.src1 {
+                if s == seq {
+                    e.src1 = SrcState::Ready(result.unwrap_or(0));
+                }
+            }
+            if let SrcState::Wait(s) = e.src2 {
+                if s == seq {
+                    e.src2 = SrcState::Ready(result.unwrap_or(0));
+                }
+            }
+            if let Some(CcSrcState::Wait(s)) = e.cc_src {
+                if s == seq {
+                    e.cc_src = Some(CcSrcState::Ready(out_cc.unwrap_or_default()));
+                }
+            }
+        }
+    }
+
+    fn handle_mispredict(
+        &mut self,
+        seq: u64,
+        new_pc: Addr,
+        cause: MispredictCause,
+        stream_penalty: Option<(u64, usize)>,
+    ) {
+        // Penalize the stream's invariant confidence and decide recovery.
+        let offender = self
+            .rob
+            .iter()
+            .find(|e| e.seq == seq)
+            .expect("offender still in ROB");
+        let from_opt = offender.source == FetchSource::Opt;
+        let was_source = offender.pred_source.is_some();
+        let offender_region = region(offender.uop.macro_addr);
+        if let (Some((sid, idx)), Some(opt)) = (stream_penalty, self.opt.as_mut()) {
+            opt.penalize(sid, idx);
+            // Streams whose invariants have been penalized to zero are
+            // stale: drop them so the partition refills with fresh
+            // versions (paper §V's gradual phase-out).
+            opt.phase_out(offender_region, 1);
+        }
+        if let Some(scc) = &mut self.scc {
+            let decision = scc.profit.recovery(from_opt, was_source, cause);
+            if decision.force_unoptimized {
+                self.force_unopt
+                    .insert(offender_region, self.cycle + self.cfg.force_unopt_window);
+                scc.profit.on_squash();
+            }
+        }
+        match cause {
+            MispredictCause::DataInvariant => self.stats.scc_data_squashes += 1,
+            MispredictCause::ControlInvariant => self.stats.scc_control_squashes += 1,
+            MispredictCause::PlainBranch => self.stats.branch_squashes += 1,
+            MispredictCause::Other => {}
+        }
+        self.squash_after(seq, new_pc);
+    }
+
+    /// Flushes everything younger than `seq` and redirects fetch.
+    fn squash_after(&mut self, seq: u64, new_pc: Addr) {
+        self.stats.squashes += 1;
+        let squashed_rob = self.rob.iter().filter(|e| e.seq > seq && !e.is_ghost).count() as u64;
+        let squashed_q = (self.idq.iter().filter(|e| !e.is_ghost).count()
+            + self.active_stream.iter().filter(|e| !e.is_ghost).count())
+            as u64;
+        self.stats.squashed_uops += squashed_rob + squashed_q;
+        if let Some(tr) = &mut self.trace {
+            tr.push(TraceEvent::Squash {
+                cycle: self.cycle,
+                at_seq: seq,
+                new_pc,
+                cause: "mispredict",
+                flushed: squashed_rob + squashed_q,
+            });
+        }
+        self.rob.retain(|e| e.seq <= seq);
+        self.idq.clear();
+        self.active_stream.clear();
+        self.bp.on_squash();
+        self.rmap = RenameMap::rebuild(&self.arch_regs, self.arch_cc, self.rob.iter());
+        self.fetch_pc = new_pc;
+        self.fetch_slot = 0;
+        self.fetch_stall_until = self.cycle + self.cfg.core.mispredict_penalty;
+        self.fetch_halted = false;
+        self.fetch_blocked = false;
+        self.pending_decode = None;
+    }
+
+    // ------------------------------------------------------------------
+    // Issue
+    // ------------------------------------------------------------------
+
+    fn issue(&mut self) {
+        let mut alu = self.cfg.core.alu_ports;
+        let mut load = self.cfg.core.load_ports;
+        let mut store = self.cfg.core.store_ports;
+        let mut fp = self.cfg.core.fp_ports;
+        for i in 0..self.rob.len() {
+            if alu == 0 && load == 0 && store == 0 && fp == 0 {
+                break;
+            }
+            let e = &self.rob[i];
+            if e.done || e.executing || !e.inputs_ready() {
+                continue;
+            }
+            let class = e.port_class();
+            let port = match class {
+                PortClass::None => {
+                    // Nops/halt complete without a port.
+                    let seq = self.rob[i].seq;
+                    self.rob[i].executing = true;
+                    self.rob[i].complete_cycle = self.cycle + 1;
+                    let _ = seq;
+                    continue;
+                }
+                PortClass::Alu => &mut alu,
+                PortClass::Load => &mut load,
+                PortClass::Store => &mut store,
+                PortClass::Fp => &mut fp,
+            };
+            if *port == 0 {
+                continue;
+            }
+            if class == PortClass::Load && !self.load_may_issue(i) {
+                continue;
+            }
+            *port -= 1;
+            self.execute_entry(i);
+        }
+    }
+
+    /// Conservative disambiguation: a load issues only when every older
+    /// store has a computed address.
+    fn load_may_issue(&self, idx: usize) -> bool {
+        let seq = self.rob[idx].seq;
+        self.rob
+            .iter()
+            .filter(|e| e.seq < seq && e.uop.op == Op::Store)
+            .all(|e| e.mem_addr.is_some())
+    }
+
+    fn execute_entry(&mut self, i: usize) {
+        let e = &self.rob[i];
+        let a = e.src1.value().expect("ready");
+        let b = e.src2.value().expect("ready");
+        let cc = match e.cc_src {
+            Some(CcSrcState::Ready(f)) => f,
+            _ => CcFlags::default(),
+        };
+        let op = e.uop.op;
+        let core = self.cfg.core;
+        let (result, out_cc, latency, mem_addr, store_value) = match op {
+            Op::Load => {
+                let addr = (a.wrapping_add(e.uop.offset)) as u64;
+                let seq = e.seq;
+                // Store-to-load forwarding from the nearest older store.
+                let forward = self
+                    .rob
+                    .iter()
+                    .filter(|s| {
+                        s.seq < seq && s.uop.op == Op::Store && s.mem_addr == Some(addr)
+                    })
+                    .max_by_key(|s| s.seq)
+                    .map(|s| s.store_value.expect("issued store has value"));
+                let (value, lat) = match forward {
+                    Some(v) => (v, self.cfg.hierarchy.l1_latency),
+                    None => {
+                        let r = self.hier.data_access(addr, false);
+                        (self.mem.read(addr), r.latency)
+                    }
+                };
+                self.stats.exec_loads += 1;
+                (Some(value), None, lat, Some(addr), None)
+            }
+            Op::Store => {
+                let addr = (a.wrapping_add(e.uop.offset)) as u64;
+                (None, None, 1, Some(addr), Some(b))
+            }
+            Op::Mul => {
+                self.stats.exec_muldiv += 1;
+                (eval_complex(op, a, b), None, core.mul_latency, None, None)
+            }
+            Op::Div | Op::Rem => {
+                self.stats.exec_muldiv += 1;
+                (eval_complex(op, a, b), None, core.div_latency, None, None)
+            }
+            op if op.is_fp() => {
+                self.stats.exec_fp += 1;
+                let lat = if op == Op::Simd { core.simd_latency } else { core.fp_latency };
+                (eval_fp(op, a, b), None, lat, None, None)
+            }
+            op if op.is_branch() => {
+                self.stats.exec_alu += 1;
+                let link = if op == Op::Call { Some(e.uop.next_addr() as i64) } else { None };
+                (link, None, 1, None, None)
+            }
+            _ => {
+                self.stats.exec_alu += 1;
+                match eval_alu(op, a, b, cc, e.uop.cond) {
+                    Some(r) => (r.value, r.cc, 1, None, None),
+                    None => (None, None, 1, None, None), // nop/halt
+                }
+            }
+        };
+        let e = &mut self.rob[i];
+        e.result = result;
+        e.out_cc = if e.uop.writes_cc { out_cc } else { None };
+        e.mem_addr = mem_addr;
+        e.store_value = store_value;
+        e.executing = true;
+        e.complete_cycle = self.cycle + latency.max(1);
+    }
+
+    // ------------------------------------------------------------------
+    // Rename / dispatch
+    // ------------------------------------------------------------------
+
+    fn window_occupancy(&self) -> usize {
+        self.rob.iter().filter(|e| !e.done).count()
+    }
+
+    fn rename(&mut self) {
+        let mut window = self.window_occupancy();
+        let mut slots = self.cfg.core.rename_width;
+        let mut fused_free = false;
+        while slots > 0 || fused_free {
+            if self.idq.is_empty()
+                || self.rob.len() >= self.cfg.core.rob_entries
+                || window >= self.cfg.core.sched_entries
+            {
+                break;
+            }
+            let e = self.idq.pop_front().expect("checked");
+            // Rename bandwidth is counted in fused micro-ops (Table I):
+            // the second half of a micro-fused pair rides free.
+            if !fused_free {
+                slots -= 1;
+            }
+            fused_free = e.uop.fused_with_next;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            // Rename-time live-out inlining (physical register inlining):
+            // install constants in the map before resolving this entry's
+            // own sources.
+            for &(r, v) in &e.pre_writes {
+                self.rmap.set_value(r, v);
+            }
+            if let Some(f) = e.pre_cc {
+                self.rmap.set_cc_value(f);
+            }
+            if e.is_ghost {
+                self.rob.push_back(RobEntry {
+                    seq,
+                    uop: e.uop,
+                    src1: SrcState::Ready(0),
+                    src2: SrcState::Ready(0),
+                    cc_src: None,
+                    result: None,
+                    out_cc: None,
+                    mem_addr: None,
+                    store_value: None,
+                    executing: true,
+                    complete_cycle: self.cycle,
+                    done: true,
+                    predicted_next: None,
+                    pre_writes: e.pre_writes,
+                    pre_cc: e.pre_cc,
+                    is_ghost: true,
+                    pred_source: None,
+                    source: e.source,
+                    stream_id: e.stream_id,
+                    stream_end: e.stream_end,
+                    blocks_fetch: false,
+                    mispredicted: false,
+                    vp_forwarded: None,
+                    stream_shrinkage: e.stream_shrinkage,
+                });
+                continue;
+            }
+            let resolve = |map: &RenameMap, rob: &VecDeque<RobEntry>, op: Operand| match op {
+                Operand::None => SrcState::Ready(0),
+                Operand::Imm(v) => SrcState::Ready(v),
+                Operand::Reg(r) => match map.get(r) {
+                    Provider::Value(v) => SrcState::Ready(v),
+                    Provider::Rob(s) => match rob.iter().find(|p| p.seq == s) {
+                        Some(p) if p.done => SrcState::Ready(p.result.unwrap_or(0)),
+                        _ => SrcState::Wait(s),
+                    },
+                },
+            };
+            let src1 = resolve(&self.rmap, &self.rob, e.uop.src1);
+            let src2 = resolve(&self.rmap, &self.rob, e.uop.src2);
+            let cc_src = if e.uop.op.reads_cc() {
+                Some(match self.rmap.cc() {
+                    CcProvider::Value(f) => CcSrcState::Ready(f),
+                    CcProvider::Rob(s) => match self.rob.iter().find(|p| p.seq == s) {
+                        Some(p) if p.done => CcSrcState::Ready(p.out_cc.unwrap_or_default()),
+                        _ => CcSrcState::Wait(s),
+                    },
+                })
+            } else {
+                None
+            };
+            if let Some(dst) = e.uop.dst {
+                self.rmap.set_rob(dst, seq);
+            }
+            if e.uop.writes_cc {
+                self.rmap.set_cc_rob(seq);
+            }
+            // Classic value-prediction forwarding (baseline feature,
+            // appendix: --enableValuePredForwinding at confidence 15):
+            // dependents of a confidently predicted load read the
+            // predicted value at rename; the load validates at execute.
+            let mut vp_forwarded = None;
+            if let (Some(th), Some(dst)) = (self.cfg.vp_forwarding, e.uop.dst) {
+                if e.uop.op == Op::Load && dst.is_int() && e.pred_source.is_none() {
+                    self.stats.vp_probes += 1;
+                    if let Some(p) = self.vp.predict(e.uop.macro_addr) {
+                        if p.stable && p.confidence >= th {
+                            self.rmap.set_value(dst, p.value);
+                            vp_forwarded = Some(p.value);
+                            self.stats.vp_forwards += 1;
+                        }
+                    }
+                }
+            }
+            let instant = matches!(e.uop.op, Op::Nop | Op::Halt);
+            self.rob.push_back(RobEntry {
+                seq,
+                uop: e.uop,
+                src1,
+                src2,
+                cc_src,
+                result: None,
+                out_cc: None,
+                mem_addr: None,
+                store_value: None,
+                executing: instant,
+                complete_cycle: self.cycle,
+                done: instant,
+                predicted_next: e.predicted_next,
+                pre_writes: e.pre_writes,
+                pre_cc: e.pre_cc,
+                is_ghost: false,
+                pred_source: e.pred_source,
+                source: e.source,
+                stream_id: e.stream_id,
+                stream_end: e.stream_end,
+                blocks_fetch: e.blocks_fetch,
+                mispredicted: false,
+                vp_forwarded,
+                stream_shrinkage: e.stream_shrinkage,
+            });
+            self.stats.renamed_uops += 1;
+            if !instant {
+                window += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SCC compaction step
+    // ------------------------------------------------------------------
+
+    fn scc_step(&mut self) {
+        let Some(scc) = &mut self.scc else { return };
+        // Finish an in-flight compaction.
+        if scc.busy_until <= self.cycle {
+            if let Some((home, stream)) = scc.pending.take() {
+                self.unopt.unlock(home);
+                if let Some(opt) = &mut self.opt {
+                    opt.insert(stream, self.cycle);
+                }
+            }
+            // Dispatch the next request.
+            if let Some(req) = scc.queue.pop() {
+                if self.unopt.contains(req.region) {
+                    self.unopt.lock(req.region);
+                    let view = CacheView { unopt: &self.unopt };
+                    self.stats.vp_probes += 1;
+                    let outcome =
+                        scc.engine.compact(req.entry, &view, self.vp.as_ref(), &self.bp);
+                    scc.busy_until = self.cycle + scc.engine.last_cycles();
+                    self.stats.scc_busy_cycles += scc.engine.last_cycles();
+                    let (label, shrinkage) = match &outcome {
+                        CompactionOutcome::Committed(s) => ("committed", s.shrinkage()),
+                        CompactionOutcome::Discarded { .. } => ("discarded", 0),
+                        CompactionOutcome::Aborted(_) => ("aborted", 0),
+                    };
+                    if let Some(tr) = &mut self.trace {
+                        tr.push(TraceEvent::Compaction {
+                            cycle: self.cycle,
+                            region: req.region,
+                            outcome: label,
+                            shrinkage,
+                        });
+                    }
+                    match outcome {
+                        CompactionOutcome::Committed(stream) => {
+                            scc.pending = Some((req.region, stream));
+                        }
+                        CompactionOutcome::Discarded { .. } => {
+                            self.unopt.unlock(req.region);
+                            // Let the region re-heat and retry later with
+                            // better-trained predictors.
+                            self.unopt.reset_hotness(req.region);
+                        }
+                        CompactionOutcome::Aborted(_) => {
+                            self.unopt.unlock(req.region);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn fetch(&mut self) {
+        if self.halted || self.fetch_halted || self.fetch_blocked {
+            return;
+        }
+        if self.cycle < self.fetch_stall_until {
+            return;
+        }
+        // A legacy decode in flight?
+        if let Some((reg, ready)) = self.pending_decode {
+            if self.cycle < ready {
+                return;
+            }
+            self.pending_decode = None;
+            self.finish_decode(reg);
+            return;
+        }
+        let mut budget = self.cfg.core.fetch_width;
+        let mut fused_free = false;
+        while budget > 0 && self.idq.len() < self.cfg.core.idq_entries {
+            if self.fetch_halted || self.fetch_blocked {
+                return;
+            }
+            // Drain the active compacted stream first.
+            if let Some(e) = self.active_stream.pop_front() {
+                if !e.is_ghost {
+                    // The second half of a micro-fused pair rides free.
+                    if !fused_free {
+                        budget -= 1;
+                    }
+                    fused_free = e.uop.fused_with_next;
+                    self.stats.uops_from_opt += 1;
+                }
+                if e.uop.op == Op::Halt {
+                    self.fetch_halted = true;
+                }
+                self.idq.push_back(e);
+                continue;
+            }
+            let pc = self.fetch_pc;
+            let reg = region(pc);
+            // Try the optimized partition.
+            if self.try_stream_optimized(pc) {
+                continue;
+            }
+            // Try the unoptimized partition.
+            self.stats.uopcache_lookups += 1;
+            let threshold = self.unopt.config().hotness_threshold;
+            let lookup = self.unopt.lookup(reg, self.cycle);
+            if let Some(lk) = lookup {
+                // Request compaction when the line first crosses the
+                // hotness threshold, and periodically re-request while it
+                // stays hot — this retries discarded passes once the
+                // predictors have trained, and refreshes stale streams
+                // with newly predicted invariants (the paper's
+                // multi-version co-hosting).
+                let retrigger = lk.hotness >= threshold && (lk.hotness - threshold) % 64 == 0;
+                let became_hot = lk.became_hot;
+                // Loop stream detector hint (paper §III lists it among
+                // SCC's hint sources): code inside a detected hot loop
+                // qualifies at half the hotness threshold.
+                let lsd_hot = lk.hotness >= threshold / 2 && lk.hotness < threshold;
+                let uops: Vec<Uop> = lk.uops.to_vec();
+                if became_hot
+                    || retrigger
+                    || (lsd_hot && self.bp.loop_detector().contains(pc))
+                {
+                    if let Some(scc) = &mut self.scc {
+                        scc.queue.push(CompactionRequest { region: reg, entry: pc });
+                    }
+                }
+                if !self.deliver_sequential(&uops, FetchSource::Unopt, &mut budget) {
+                    return; // bogus speculative pc: wait for a squash
+                }
+                continue;
+            }
+            // Legacy decode path.
+            self.start_decode(pc, reg);
+            return;
+        }
+    }
+
+    /// Checks the optimized partition at `pc`; on a profitable hit, loads
+    /// the chosen stream into the active-stream buffer. Returns true if a
+    /// stream was activated.
+    fn try_stream_optimized(&mut self, pc: Addr) -> bool {
+        let reg = region(pc);
+        if self.opt.is_none() {
+            return false;
+        }
+        // Regions recently squashed by SCC are forced to the unoptimized
+        // partition for a window.
+        match self.force_unopt.get(&reg) {
+            Some(&until) if until > self.cycle => return false,
+            Some(_) => {
+                self.force_unopt.remove(&reg);
+            }
+            None => {}
+        }
+        let opt = self.opt.as_mut().expect("checked");
+        let scc = self.scc.as_mut().expect("opt implies scc");
+        self.stats.uopcache_lookups += 1;
+        let candidate_ids: Vec<u64> =
+            opt.lookup(pc, self.cycle).iter().map(|s| s.stream_id).collect();
+        if candidate_ids.is_empty() {
+            return false;
+        }
+        self.stats.vp_probes += 1;
+        // Snapshot hotness first; then re-borrow the candidates immutably.
+        let hot: HashMap<u64, u32> =
+            candidate_ids.iter().map(|&id| (id, opt.hotness(id))).collect();
+        let candidates = opt.peek(pc);
+        // In-flight instances of each invariant's PC: fetched (IDQ/stream
+        // buffer) or renamed (ROB) but not yet committed+trained. Phase-
+        // aware predictors use this to line the re-check up with the
+        // dynamic instance the stream will actually validate against.
+        let (rob, idq, act) = (&self.rob, &self.idq, &self.active_stream);
+        let inflight = |addr: Addr| -> u64 {
+            rob.iter().filter(|e| !e.is_ghost && e.uop.macro_addr == addr).count() as u64
+                + idq.iter().filter(|e| !e.is_ghost && e.uop.macro_addr == addr).count() as u64
+                + act.iter().filter(|e| !e.is_ghost && e.uop.macro_addr == addr).count() as u64
+        };
+        let choice = scc.profit.choose_with_inflight(
+            &candidates,
+            |id| hot.get(&id).copied().unwrap_or(0),
+            self.vp.as_ref(),
+            inflight,
+        );
+        let StreamChoice::Optimized { stream_id } = choice else {
+            return false;
+        };
+        let stream = candidates
+            .into_iter()
+            .find(|s| s.stream_id == stream_id)
+            .expect("chosen stream exists")
+            .clone();
+        self.activate_stream(stream);
+        true
+    }
+
+    fn activate_stream(&mut self, stream: CompactedStream) {
+        if let Some(tr) = &mut self.trace {
+            tr.push(TraceEvent::StreamChosen {
+                cycle: self.cycle,
+                stream_id: stream.stream_id,
+                pc: stream.entry,
+                len: stream.uops.len(),
+            });
+        }
+        let n = stream.uops.len();
+        for (i, su) in stream.uops.iter().enumerate() {
+            let next_real = stream
+                .uops
+                .get(i + 1)
+                .map(|nu| nu.uop.macro_addr)
+                .unwrap_or(stream.exit);
+            let mut e = IdqEntry::plain(su.uop.clone(), FetchSource::Opt);
+            e.pre_writes = su.live_outs.clone();
+            e.pre_cc = su.live_out_cc;
+            e.stream_id = Some(stream.stream_id);
+            e.pred_source = su
+                .pred_source
+                .map(|idx| (stream.stream_id, idx, stream.invariants[idx].invariant));
+            if su.uop.op.is_branch() {
+                // Validate against the architectural path the compaction
+                // followed; the next surviving micro-op may be far past
+                // folded code.
+                e.predicted_next = Some(su.branch_next.unwrap_or(next_real));
+            }
+            let has_final_ghost =
+                !stream.final_live_outs.is_empty() || stream.final_live_out_cc.is_some();
+            if i + 1 == n && !has_final_ghost {
+                e.stream_end = true;
+                e.stream_shrinkage = stream.shrinkage();
+            }
+            self.active_stream.push_back(e);
+        }
+        if !stream.final_live_outs.is_empty() || stream.final_live_out_cc.is_some() {
+            let mut anchor = Uop::new(Op::Nop);
+            anchor.macro_addr = stream.exit;
+            anchor.macro_len = 0;
+            let mut ghost = IdqEntry::plain(anchor, FetchSource::Opt);
+            ghost.is_ghost = true;
+            ghost.pre_writes = stream.final_live_outs.clone();
+            ghost.pre_cc = stream.final_live_out_cc;
+            ghost.stream_id = Some(stream.stream_id);
+            ghost.stream_end = true;
+            ghost.stream_shrinkage = stream.shrinkage();
+            self.active_stream.push_back(ghost);
+        }
+        self.fetch_pc = stream.exit;
+        self.fetch_slot = 0;
+    }
+
+    /// Streams decoded micro-ops sequentially from `fetch_pc` within a
+    /// cached region's micro-ops, predicting branches. Returns false when
+    /// `fetch_pc` does not name a macro boundary in the slice (bogus
+    /// speculative target).
+    fn deliver_sequential(
+        &mut self,
+        uops: &[Uop],
+        source: FetchSource,
+        budget: &mut usize,
+    ) -> bool {
+        let start = match uops
+            .iter()
+            .position(|u| u.macro_addr == self.fetch_pc && u.slot == self.fetch_slot)
+        {
+            Some(i) => i,
+            // A stale slot (after an external redirect) falls back to the
+            // macro boundary.
+            None => match uops.iter().position(|u| u.macro_addr == self.fetch_pc) {
+                Some(i) => i,
+                None => return false,
+            },
+        };
+        let mut fused_free = false;
+        for (j, u) in uops.iter().enumerate().skip(start) {
+            if (*budget == 0 && !fused_free) || self.idq.len() >= self.cfg.core.idq_entries {
+                self.fetch_pc = u.macro_addr;
+                self.fetch_slot = u.slot;
+                return true;
+            }
+            let last_in_macro =
+                uops.get(j + 1).map_or(true, |n| n.macro_addr != u.macro_addr);
+            let mut e = IdqEntry::plain(u.clone(), source);
+            match source {
+                FetchSource::Icache => self.stats.uops_from_icache += 1,
+                FetchSource::Unopt => self.stats.uops_from_unopt += 1,
+                FetchSource::Opt => {}
+            }
+            if fused_free {
+                fused_free = false;
+            } else {
+                *budget -= 1;
+            }
+            fused_free = fused_free || u.fused_with_next;
+            if u.op == Op::Halt {
+                self.fetch_halted = true;
+                self.idq.push_back(e);
+                return true;
+            }
+            if u.op.is_branch() {
+                let pred = self.bp.predict(u);
+                self.stats.bp_lookups += 1;
+                match pred.target {
+                    Some(t) => {
+                        e.predicted_next = Some(t);
+                        self.idq.push_back(e);
+                        self.fetch_pc = t;
+                        self.fetch_slot = 0;
+                        if pred.taken || t != u.next_addr() {
+                            // Taken prediction ends the fetch group.
+                            return true;
+                        }
+                        continue;
+                    }
+                    None => {
+                        // No target source: stall fetch until resolution.
+                        e.blocks_fetch = true;
+                        self.fetch_blocked = true;
+                        self.idq.push_back(e);
+                        return true;
+                    }
+                }
+            }
+            self.idq.push_back(e);
+            if last_in_macro {
+                self.fetch_pc = u.next_addr();
+                self.fetch_slot = 0;
+            } else {
+                self.fetch_pc = u.macro_addr;
+                self.fetch_slot = u.slot + 1;
+            }
+        }
+        true
+    }
+
+    fn start_decode(&mut self, pc: Addr, reg: Addr) {
+        // Does the program even have code here? If not, fetch idles on a
+        // bogus speculative target until a squash redirects it.
+        let has_code = self.program.insts_in_region(reg).next().is_some();
+        if !has_code {
+            return;
+        }
+        let access = self.hier.instr_access(pc);
+        let latency = access.latency + self.cfg.core.decode_latency;
+        self.pending_decode = Some((reg, self.cycle + latency));
+    }
+
+    fn finish_decode(&mut self, reg: Addr) {
+        let macros: Vec<&scc_isa::MacroInst> = self.program.insts_in_region(reg).collect();
+        self.stats.decoded_macros += macros.len() as u64;
+        let mut uops: Vec<Uop> = macros.iter().flat_map(|m| m.uops.iter().cloned()).collect();
+        if self.cfg.core.micro_fusion {
+            scc_isa::fusion::fuse_pairs(&mut uops);
+        }
+        // Fill the unoptimized partition (regions wider than 3 ways stay
+        // uncacheable and will take the decode path every time).
+        self.unopt.fill(reg, uops.clone(), self.cycle);
+        let mut budget = self.cfg.core.fetch_width;
+        let _ = self.deliver_sequential(&uops, FetchSource::Icache, &mut budget);
+    }
+}

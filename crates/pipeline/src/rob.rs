@@ -1,0 +1,339 @@
+//! Reorder buffer entries and the rename map.
+
+use scc_isa::{Addr, CcFlags, Op, Reg, Uop, NUM_REGS};
+use scc_uopcache::Invariant;
+
+/// Which front-end source supplied a micro-op (Figure 7's three bars).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FetchSource {
+    /// Legacy decode pipeline fed by the instruction cache.
+    Icache,
+    /// Unoptimized micro-op cache partition (or the baseline's single
+    /// cache).
+    Unopt,
+    /// Optimized (compacted-stream) partition.
+    Opt,
+}
+
+/// A renamed source operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SrcState {
+    /// Value available.
+    Ready(i64),
+    /// Waiting on the producer with this sequence number.
+    Wait(u64),
+}
+
+impl SrcState {
+    /// The value, if ready.
+    pub fn value(self) -> Option<i64> {
+        match self {
+            SrcState::Ready(v) => Some(v),
+            SrcState::Wait(_) => None,
+        }
+    }
+}
+
+/// A renamed condition-code source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CcSrcState {
+    /// Flags available.
+    Ready(CcFlags),
+    /// Waiting on the flag-writing producer.
+    Wait(u64),
+}
+
+/// One in-flight micro-op (or live-out ghost) in the reorder buffer.
+#[derive(Clone, Debug)]
+pub struct RobEntry {
+    /// Age-ordered sequence number.
+    pub seq: u64,
+    /// The micro-op (ghosts carry a `Nop`).
+    pub uop: Uop,
+    /// Renamed sources.
+    pub src1: SrcState,
+    /// Renamed sources.
+    pub src2: SrcState,
+    /// Renamed condition-code source (only for CC readers).
+    pub cc_src: Option<CcSrcState>,
+    /// Destination value once executed.
+    pub result: Option<i64>,
+    /// Flags produced once executed (CC writers).
+    pub out_cc: Option<CcFlags>,
+    /// Memory address once computed (loads/stores).
+    pub mem_addr: Option<u64>,
+    /// Store data value once ready.
+    pub store_value: Option<i64>,
+    /// True once issued to an execution port.
+    pub executing: bool,
+    /// Cycle at which execution completes.
+    pub complete_cycle: u64,
+    /// True once executed (result visible).
+    pub done: bool,
+    /// Where fetch continued after this micro-op (branches only).
+    pub predicted_next: Option<Addr>,
+    /// SCC live-outs installed at rename *with* this entry, architecturally
+    /// older than it (they survive this entry's own misprediction).
+    pub pre_writes: Vec<(Reg, i64)>,
+    /// CC live-out installed with this entry.
+    pub pre_cc: Option<CcFlags>,
+    /// Pure live-out ghost (stream-end finals): completes at rename,
+    /// consumes no execution resources, not counted as a committed
+    /// micro-op.
+    pub is_ghost: bool,
+    /// Prediction-source metadata: (stream id, invariant index, invariant).
+    pub pred_source: Option<(u64, usize, Invariant)>,
+    /// Front-end source.
+    pub source: FetchSource,
+    /// Compacted stream this came from (diagnostics).
+    #[allow(dead_code)]
+    pub stream_id: Option<u64>,
+    /// Last element of its compacted stream (profitability feedback).
+    pub stream_end: bool,
+    /// Fetch stalled on this branch (no target prediction available);
+    /// resolution redirects fetch without a squash.
+    pub blocks_fetch: bool,
+    /// This entry's own speculation (branch direction or data invariant)
+    /// failed at resolution.
+    pub mispredicted: bool,
+    /// Classic value-prediction forwarding: the value handed to
+    /// dependents at rename, validated against the executed result.
+    pub vp_forwarded: Option<i64>,
+    /// Micro-ops SCC eliminated from this entry's stream, credited at the
+    /// stream's final element for program-distance accounting.
+    pub stream_shrinkage: u32,
+}
+
+impl RobEntry {
+    /// True when every input (sources, CC, store data) is ready.
+    pub fn inputs_ready(&self) -> bool {
+        self.src1.value().is_some()
+            && self.src2.value().is_some()
+            && !matches!(self.cc_src, Some(CcSrcState::Wait(_)))
+    }
+
+    /// Execution-port class of this entry.
+    pub fn port_class(&self) -> PortClass {
+        if self.is_ghost {
+            return PortClass::None;
+        }
+        match self.uop.op {
+            Op::Nop | Op::Halt => PortClass::None,
+            Op::Load => PortClass::Load,
+            Op::Store => PortClass::Store,
+            op if op.is_fp() => PortClass::Fp,
+            _ => PortClass::Alu, // branches share ALU ports
+        }
+    }
+}
+
+/// Execution-port classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortClass {
+    /// No port needed (nops, ghosts, halt).
+    None,
+    /// Integer ALU / branch.
+    Alu,
+    /// Load pipe.
+    Load,
+    /// Store pipe.
+    Store,
+    /// FP/SIMD pipe.
+    Fp,
+}
+
+/// Who currently provides an architectural register (or the flags).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Provider {
+    /// A committed (or rename-time-inlined) value.
+    Value(i64),
+    /// The in-flight producer with this sequence number.
+    Rob(u64),
+}
+
+/// The speculative rename map: architectural register → provider.
+#[derive(Clone, Debug)]
+pub struct RenameMap {
+    regs: [Provider; NUM_REGS],
+    cc: CcProvider,
+}
+
+/// Provider for the condition codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CcProvider {
+    /// Known flags.
+    Value(CcFlags),
+    /// In-flight flag writer.
+    Rob(u64),
+}
+
+impl RenameMap {
+    /// A map where every register reads the given architectural state.
+    pub fn from_arch(regs: &[i64; NUM_REGS], cc: CcFlags) -> RenameMap {
+        let mut map = RenameMap { regs: [Provider::Value(0); NUM_REGS], cc: CcProvider::Value(cc) };
+        for (i, &v) in regs.iter().enumerate() {
+            map.regs[i] = Provider::Value(v);
+        }
+        map
+    }
+
+    /// Current provider of `r`.
+    pub fn get(&self, r: Reg) -> Provider {
+        self.regs[r.index()]
+    }
+
+    /// Points `r` at an in-flight producer.
+    pub fn set_rob(&mut self, r: Reg, seq: u64) {
+        self.regs[r.index()] = Provider::Rob(seq);
+    }
+
+    /// Installs a known value for `r` (commit bypass or live-out
+    /// inlining).
+    pub fn set_value(&mut self, r: Reg, v: i64) {
+        self.regs[r.index()] = Provider::Value(v);
+    }
+
+    /// Current provider of the flags.
+    pub fn cc(&self) -> CcProvider {
+        self.cc
+    }
+
+    /// Points the flags at an in-flight producer.
+    pub fn set_cc_rob(&mut self, seq: u64) {
+        self.cc = CcProvider::Rob(seq);
+    }
+
+    /// Installs known flags.
+    pub fn set_cc_value(&mut self, flags: CcFlags) {
+        self.cc = CcProvider::Value(flags);
+    }
+
+    /// Rebuilds the map after a squash: start from the architectural
+    /// state, then replay every surviving in-flight entry in age order.
+    pub fn rebuild<'a>(
+        arch_regs: &[i64; NUM_REGS],
+        arch_cc: CcFlags,
+        survivors: impl Iterator<Item = &'a RobEntry>,
+    ) -> RenameMap {
+        let mut map = RenameMap::from_arch(arch_regs, arch_cc);
+        for e in survivors {
+            for &(r, v) in &e.pre_writes {
+                map.set_value(r, v);
+            }
+            if let Some(f) = e.pre_cc {
+                map.set_cc_value(f);
+            }
+            if !e.is_ghost {
+                if let Some(dst) = e.uop.dst {
+                    match e.result {
+                        Some(v) if e.done => map.set_value(dst, v),
+                        _ => map.set_rob(dst, e.seq),
+                    }
+                }
+                if e.uop.writes_cc {
+                    match e.out_cc {
+                        Some(f) if e.done => map.set_cc_value(f),
+                        _ => map.set_cc_rob(e.seq),
+                    }
+                }
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64, op: Op, dst: Option<Reg>) -> RobEntry {
+        let mut uop = Uop::new(op);
+        uop.dst = dst;
+        RobEntry {
+            seq,
+            uop,
+            src1: SrcState::Ready(0),
+            src2: SrcState::Ready(0),
+            cc_src: None,
+            result: None,
+            out_cc: None,
+            mem_addr: None,
+            store_value: None,
+            executing: false,
+            complete_cycle: 0,
+            done: false,
+            predicted_next: None,
+            pre_writes: vec![],
+            pre_cc: None,
+            is_ghost: false,
+            pred_source: None,
+            source: FetchSource::Unopt,
+            stream_id: None,
+            stream_end: false,
+            blocks_fetch: false,
+            mispredicted: false,
+            vp_forwarded: None,
+            stream_shrinkage: 0,
+        }
+    }
+
+    #[test]
+    fn src_state_values() {
+        assert_eq!(SrcState::Ready(5).value(), Some(5));
+        assert_eq!(SrcState::Wait(3).value(), None);
+    }
+
+    #[test]
+    fn port_classes() {
+        assert_eq!(entry(0, Op::Add, None).port_class(), PortClass::Alu);
+        assert_eq!(entry(0, Op::Load, None).port_class(), PortClass::Load);
+        assert_eq!(entry(0, Op::Store, None).port_class(), PortClass::Store);
+        assert_eq!(entry(0, Op::FpMul, None).port_class(), PortClass::Fp);
+        assert_eq!(entry(0, Op::CmpBr, None).port_class(), PortClass::Alu);
+        assert_eq!(entry(0, Op::Nop, None).port_class(), PortClass::None);
+        let mut g = entry(0, Op::Add, None);
+        g.is_ghost = true;
+        assert_eq!(g.port_class(), PortClass::None);
+    }
+
+    #[test]
+    fn rebuild_replays_in_flight_producers() {
+        let arch = [7i64; NUM_REGS];
+        let r1 = Reg::int(1);
+        let r2 = Reg::int(2);
+        let mut done = entry(10, Op::Add, Some(r1));
+        done.done = true;
+        done.result = Some(42);
+        let pending = entry(11, Op::Mul, Some(r2));
+        let map = RenameMap::rebuild(&arch, CcFlags::default(), [&done, &pending].into_iter());
+        assert_eq!(map.get(r1), Provider::Value(42));
+        assert_eq!(map.get(r2), Provider::Rob(11));
+        assert_eq!(map.get(Reg::int(3)), Provider::Value(7));
+    }
+
+    #[test]
+    fn rebuild_applies_ghost_and_pre_writes() {
+        let arch = [0i64; NUM_REGS];
+        let r5 = Reg::int(5);
+        let mut e = entry(3, Op::Load, Some(Reg::int(6)));
+        e.pre_writes = vec![(r5, 99)];
+        e.pre_cc = Some(CcFlags::from_cmp(1, 1));
+        let map = RenameMap::rebuild(&arch, CcFlags::default(), [&e].into_iter());
+        assert_eq!(map.get(r5), Provider::Value(99));
+        assert_eq!(map.get(Reg::int(6)), Provider::Rob(3));
+        assert!(matches!(map.cc(), CcProvider::Value(f) if f.zf));
+    }
+
+    #[test]
+    fn inputs_ready_checks_all_slots() {
+        let mut e = entry(0, Op::Add, None);
+        assert!(e.inputs_ready());
+        e.src2 = SrcState::Wait(9);
+        assert!(!e.inputs_ready());
+        e.src2 = SrcState::Ready(1);
+        e.cc_src = Some(CcSrcState::Wait(4));
+        assert!(!e.inputs_ready());
+        e.cc_src = Some(CcSrcState::Ready(CcFlags::default()));
+        assert!(e.inputs_ready());
+    }
+}

@@ -1,0 +1,204 @@
+//! High-level execution tracing.
+//!
+//! Records the *narrative* events of a run — commits, squashes, compacted
+//! streams being chosen, compaction outcomes — into a bounded ring, so a
+//! user can ask "what did SCC actually do to my loop?" without drowning
+//! in per-cycle detail. Enabled per pipeline via
+//! [`Pipeline::enable_trace`](crate::Pipeline::enable_trace).
+
+use crate::rob::FetchSource;
+use scc_isa::Addr;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One traced event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A micro-op committed.
+    Commit {
+        /// Cycle of the commit.
+        cycle: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Program counter (macro address).
+        pc: Addr,
+        /// Rendered micro-op.
+        uop: String,
+        /// Which front-end source supplied it.
+        source: FetchSource,
+    },
+    /// The pipeline squashed.
+    Squash {
+        /// Cycle of the squash.
+        cycle: u64,
+        /// Oldest surviving sequence number.
+        at_seq: u64,
+        /// Redirect target.
+        new_pc: Addr,
+        /// Human-readable cause.
+        cause: &'static str,
+        /// Micro-ops thrown away.
+        flushed: u64,
+    },
+    /// The fetch engine chose a compacted stream.
+    StreamChosen {
+        /// Cycle of the choice.
+        cycle: u64,
+        /// Stream id.
+        stream_id: u64,
+        /// Entry PC.
+        pc: Addr,
+        /// Micro-ops in the stream.
+        len: usize,
+    },
+    /// The SCC unit finished a compaction pass.
+    Compaction {
+        /// Cycle the pass finished.
+        cycle: u64,
+        /// Home region.
+        region: Addr,
+        /// "committed" / "discarded" / "aborted".
+        outcome: &'static str,
+        /// Micro-ops eliminated (committed streams only).
+        shrinkage: u32,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Commit { cycle, seq, pc, uop, source } => {
+                write!(f, "[{cycle:>8}] commit  #{seq} {pc:#x} {uop} ({source:?})")
+            }
+            TraceEvent::Squash { cycle, at_seq, new_pc, cause, flushed } => write!(
+                f,
+                "[{cycle:>8}] SQUASH  after #{at_seq} -> {new_pc:#x} ({cause}, {flushed} uops)"
+            ),
+            TraceEvent::StreamChosen { cycle, stream_id, pc, len } => write!(
+                f,
+                "[{cycle:>8}] stream  id {stream_id} at {pc:#x} ({len} uops)"
+            ),
+            TraceEvent::Compaction { cycle, region, outcome, shrinkage } => write!(
+                f,
+                "[{cycle:>8}] compact region {region:#x}: {outcome} (shrinkage {shrinkage})"
+            ),
+        }
+    }
+}
+
+/// A bounded event ring: old events fall off the front.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace keeping at most `capacity` events.
+    pub fn new(capacity: usize) -> Trace {
+        Trace { events: VecDeque::new(), capacity: capacity.max(1), dropped: 0 }
+    }
+
+    /// Records an event.
+    pub fn push(&mut self, e: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(e);
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events that aged out of the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained events, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier events dropped ...\n", self.dropped));
+        }
+        for e in &self.events {
+            out.push_str(&format!("{e}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn commit(cycle: u64) -> TraceEvent {
+        TraceEvent::Commit {
+            cycle,
+            seq: cycle,
+            pc: 0x1000,
+            uop: "add r1 r1, $1".into(),
+            source: FetchSource::Unopt,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut t = Trace::new(3);
+        for c in 0..5 {
+            t.push(commit(c));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let first = t.events().next().unwrap();
+        assert!(matches!(first, TraceEvent::Commit { cycle: 2, .. }));
+    }
+
+    #[test]
+    fn render_is_line_oriented() {
+        let mut t = Trace::new(8);
+        t.push(commit(1));
+        t.push(TraceEvent::Squash {
+            cycle: 2,
+            at_seq: 1,
+            new_pc: 0x2000,
+            cause: "data-invariant",
+            flushed: 9,
+        });
+        t.push(TraceEvent::StreamChosen { cycle: 3, stream_id: 7, pc: 0x1020, len: 5 });
+        t.push(TraceEvent::Compaction {
+            cycle: 4,
+            region: 0x1020,
+            outcome: "committed",
+            shrinkage: 4,
+        });
+        let s = t.render();
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("SQUASH"));
+        assert!(s.contains("stream  id 7"));
+        assert!(s.contains("compact region 0x1020: committed"));
+    }
+
+    #[test]
+    fn dropped_note_appears() {
+        let mut t = Trace::new(1);
+        t.push(commit(1));
+        t.push(commit(2));
+        assert!(t.render().starts_with("... 1 earlier events dropped"));
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,414 @@
+//! Targeted behavioural tests of the pipeline's SCC machinery: hot-loop
+//! compaction, fetch-source migration, validation squashes, recovery, and
+//! the partitioned front-end.
+
+use scc_core::SccConfig;
+use scc_isa::{Cond, Machine, Program, ProgramBuilder, Reg};
+use scc_pipeline::{FrontendMode, Pipeline, PipelineConfig, PipelineResult, RunOutcome};
+
+fn r(n: u8) -> Reg {
+    Reg::int(n)
+}
+
+/// A hot, fetch-bound loop with perfectly invariant loads: SCC's best
+/// case. The body is wide (10 micro-ops) so the baseline is limited by
+/// fetch/rename bandwidth and eliminating micro-ops buys real cycles.
+fn invariant_loop(trips: i64) -> Program {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.words(0x9000, &[10, 3]);
+    b.mov_imm(r(0), 0x9000); // table base
+    b.mov_imm(r(1), 0); // acc
+    b.mov_imm(r(2), trips); // counter
+    b.align_region();
+    let top = b.here();
+    b.load(r(3), r(0), 0); // invariant load: always 10
+    b.add_imm(r(4), r(3), 2); // folds under the invariant (12)
+    b.shl_imm(r(5), r(4), 1); // folds (24)
+    b.load(r(6), r(0), 8); // invariant load: always 3
+    b.xor(r(7), r(5), r(6)); // folds (27)
+    b.and_imm(r(8), r(7), 0xFF); // folds (27)
+    b.add(r(1), r(1), r(8)); // acc += 27 (live chain)
+    b.sub_imm(r(2), r(2), 1);
+    b.cmp_br_imm(Cond::Ne, r(2), 0, top);
+    b.halt();
+    b.build()
+}
+
+fn run(p: &Program, cfg: PipelineConfig) -> PipelineResult {
+    let mut pipe = Pipeline::new(p, cfg);
+    let res = pipe.run(10_000_000);
+    assert_eq!(res.outcome, RunOutcome::Halted, "must halt");
+    res
+}
+
+#[test]
+fn hot_invariant_loop_is_compacted_and_streamed() {
+    let p = invariant_loop(2000);
+    let res = run(&p, PipelineConfig::scc_full());
+    assert!(res.stats.streams_committed >= 1, "the hot loop must be compacted");
+    assert!(
+        res.stats.uops_from_opt > res.stats.uops_from_unopt,
+        "steady state should stream from the optimized partition: opt={} unopt={}",
+        res.stats.uops_from_opt,
+        res.stats.uops_from_unopt
+    );
+    // Architectural result is exact.
+    let acc = res.snapshot.regs[1];
+    assert_eq!(acc, 2000 * 27);
+}
+
+#[test]
+fn scc_reduces_committed_uops_and_cycles() {
+    let p = invariant_loop(2000);
+    let base = run(&p, PipelineConfig::baseline());
+    let scc = run(&p, PipelineConfig::scc_full());
+    assert!(
+        scc.stats.committed_uops < base.stats.committed_uops,
+        "SCC must eliminate committed micro-ops: {} vs {}",
+        scc.stats.committed_uops,
+        base.stats.committed_uops
+    );
+    assert!(
+        scc.stats.cycles < base.stats.cycles,
+        "SCC should speed up the invariant loop: {} vs {} cycles",
+        scc.stats.cycles,
+        base.stats.cycles
+    );
+    assert_eq!(scc.snapshot, base.snapshot, "same architectural result");
+}
+
+#[test]
+fn dataset_change_triggers_validation_squash_and_recovery() {
+    // Phase 1 trains an invariant (table[0] = 10); phase 2 changes the
+    // value mid-run via a store, so streamed invariants go stale.
+    let mut b = ProgramBuilder::new(0x1000);
+    b.word(0x9000, 10);
+    b.mov_imm(r(0), 0x9000);
+    b.mov_imm(r(1), 0);
+    b.mov_imm(r(2), 1500); // phase 1 trips
+    b.align_region();
+    let top1 = b.here();
+    b.load(r(3), r(0), 0);
+    b.add(r(1), r(1), r(3));
+    b.sub_imm(r(2), r(2), 1);
+    b.cmp_br_imm(Cond::Ne, r(2), 0, top1);
+    // Dataset change.
+    b.mov_imm(r(5), 77);
+    b.store(r(5), r(0), 0);
+    b.mov_imm(r(2), 1500); // phase 2 trips
+    b.align_region();
+    let top2 = b.here();
+    b.load(r(3), r(0), 0);
+    b.add(r(1), r(1), r(3));
+    b.sub_imm(r(2), r(2), 1);
+    b.cmp_br_imm(Cond::Ne, r(2), 0, top2);
+    b.halt();
+    let p = b.build();
+
+    let res = run(&p, PipelineConfig::scc_full());
+    // Correct final sum despite speculation on a changed dataset.
+    assert_eq!(res.snapshot.regs[1], 1500 * 10 + 1500 * 77);
+    // The reference interpreter agrees.
+    let mut m = Machine::new(&p);
+    m.run(10_000_000).unwrap();
+    assert_eq!(res.snapshot, m.snapshot());
+}
+
+#[test]
+fn move_elim_only_level_still_helps_mov_heavy_code() {
+    // A loop dominated by immediate moves (the paper's exchange2/vips
+    // observation: speedup from move elimination alone).
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(2), 3000);
+    b.align_region();
+    let top = b.here();
+    b.mov_imm(r(3), 7);
+    b.mov_imm(r(4), 9);
+    b.mov(r(5), r(3));
+    b.sub_imm(r(2), r(2), 1);
+    b.cmp_br_imm(Cond::Ne, r(2), 0, top);
+    b.halt();
+    let p = b.build();
+
+    let base = run(&p, PipelineConfig::baseline());
+    let cfg = PipelineConfig {
+        frontend: FrontendMode::scc(SccConfig::with_opts(scc_core::OptFlags::move_elim_only())),
+        ..PipelineConfig::baseline()
+    };
+    let l3 = run(&p, cfg);
+    assert!(l3.stats.committed_uops < base.stats.committed_uops);
+    assert_eq!(l3.snapshot, base.snapshot);
+}
+
+#[test]
+fn string_op_loops_are_never_compacted() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(2), 200);
+    b.align_region();
+    let top = b.here();
+    b.mov_imm(r(3), 4);
+    b.mov_imm(r(4), 0x8000);
+    b.rep_store(r(3), r(4), r(5));
+    b.sub_imm(r(2), r(2), 1);
+    b.cmp_br_imm(Cond::Ne, r(2), 0, top);
+    b.halt();
+    let p = b.build();
+    let res = run(&p, PipelineConfig::scc_full());
+    assert_eq!(res.stats.streams_committed, 0, "self-looping macro aborts compaction");
+    assert!(res.stats.compactions_aborted > 0);
+    assert_eq!(res.stats.uops_from_opt, 0);
+}
+
+#[test]
+fn fp_heavy_loops_get_little_compaction() {
+    // The lbm/wrf/x264 effect: FP work is not optimizable.
+    let f = Reg::fp;
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(2), 1000);
+    b.align_region();
+    let top = b.here();
+    b.fadd(f(0), f(1), f(2));
+    b.fmul(f(3), f(0), f(1));
+    b.simd(f(4), f(3), f(2));
+    b.sub_imm(r(2), r(2), 1);
+    b.cmp_br_imm(Cond::Ne, r(2), 0, top);
+    b.halt();
+    let p = b.build();
+    let base = run(&p, PipelineConfig::baseline());
+    let scc = run(&p, PipelineConfig::scc_full());
+    let reduction = 1.0
+        - scc.stats.committed_uops as f64 / base.stats.committed_uops as f64;
+    assert!(
+        reduction < 0.05,
+        "FP loop should see <5% uop reduction, got {:.1}%",
+        100.0 * reduction
+    );
+}
+
+#[test]
+fn partitioned_baseline_behaves_like_baseline() {
+    // Appendix level (2): partitioning alone (SCC with no optimizations
+    // enabled) must not change architectural results and should perform in
+    // the same ballpark.
+    let p = invariant_loop(1000);
+    let base = run(&p, PipelineConfig::baseline());
+    let cfg = PipelineConfig {
+        frontend: FrontendMode::scc(SccConfig::with_opts(scc_core::OptFlags::none())),
+        ..PipelineConfig::baseline()
+    };
+    let part = run(&p, cfg);
+    assert_eq!(part.snapshot, base.snapshot);
+    assert_eq!(part.stats.committed_uops, base.stats.committed_uops);
+    assert_eq!(part.stats.uops_from_opt, 0, "nothing to stream without optimizations");
+}
+
+#[test]
+fn fig7_fetch_sources_shift_toward_opt_partition() {
+    let p = invariant_loop(3000);
+    let base = run(&p, PipelineConfig::baseline());
+    let scc = run(&p, PipelineConfig::scc_full());
+    // Baseline: everything from the single (unopt) cache after warmup.
+    assert!(base.stats.uops_from_unopt > base.stats.uops_from_icache);
+    assert_eq!(base.stats.uops_from_opt, 0);
+    // SCC: the optimized partition dominates.
+    assert!(scc.stats.uops_from_opt > scc.stats.uops_from_unopt);
+}
+
+#[test]
+fn live_outs_are_rare_relative_to_instructions() {
+    // §VII-C: ~0.78% of dynamic instructions carry live-outs. Our loop is
+    // compaction-heavy so the ratio is higher, but ghost installs must
+    // stay a small fraction of committed work.
+    let p = invariant_loop(2000);
+    let res = run(&p, PipelineConfig::scc_full());
+    assert!(res.stats.committed_ghosts > 0, "stream-end live-outs exist");
+    assert!(
+        res.stats.committed_ghosts <= res.stats.committed_uops / 2,
+        "ghosts are bookkeeping, not the instruction stream"
+    );
+}
+
+#[test]
+fn squash_overhead_is_bounded_on_predictable_code() {
+    let p = invariant_loop(2000);
+    let res = run(&p, PipelineConfig::scc_full());
+    assert!(
+        res.stats.squash_overhead() < 0.35,
+        "predictable loop should not thrash: {}",
+        res.stats.squash_overhead()
+    );
+}
+
+#[test]
+fn oscillating_values_favor_h3vp() {
+    // A load alternating between two values: H3VP captures period-2
+    // patterns, the stride component of EVES does not.
+    use scc_predictors::ValuePredictorKind;
+    let mut b = ProgramBuilder::new(0x1000);
+    b.word(0x9000, 5);
+    b.word(0x9008, 9);
+    b.mov_imm(r(0), 0x9000);
+    b.mov_imm(r(1), 0);
+    b.mov_imm(r(2), 3000);
+    b.mov_imm(r(6), 0); // toggle
+    b.align_region();
+    let top = b.here();
+    b.shl_imm(r(7), r(6), 3); // offset 0 or 8
+    b.add(r(8), r(0), r(7));
+    b.load(r(3), r(8), 0); // alternates 5, 9
+    b.add(r(1), r(1), r(3));
+    b.xor_imm(r(6), r(6), 1);
+    b.sub_imm(r(2), r(2), 1);
+    b.cmp_br_imm(Cond::Ne, r(2), 0, top);
+    b.halt();
+    let p = b.build();
+
+    let mk = |vp| PipelineConfig { value_predictor: vp, ..PipelineConfig::scc_full() };
+    let h3 = run(&p, mk(ValuePredictorKind::H3vp));
+    let ev = run(&p, mk(ValuePredictorKind::Eves));
+    assert_eq!(h3.snapshot, ev.snapshot);
+    assert_eq!(h3.snapshot.regs[1], 3000 / 2 * (5 + 9));
+}
+
+#[test]
+fn classic_vp_forwarding_breaks_load_latency_chains() {
+    // A serial pointer-to-constant chain: every iteration reloads the same
+    // cell and feeds the (long-latency) dependent op. Forwarding the
+    // predicted value at rename collapses the wait.
+    let mut b = ProgramBuilder::new(0x1000);
+    b.word(0x9000, 3);
+    b.mov_imm(r(0), 0x9000);
+    b.mov_imm(r(2), 3000);
+    b.align_region();
+    let top = b.here();
+    b.load(r(3), r(0), 0); // invariant load: always 3
+    b.mul(r(1), r(1), r(3)); // serial chain through the loaded value
+    b.add(r(1), r(1), r(3));
+    b.sub_imm(r(2), r(2), 1);
+    b.cmp_br_imm(Cond::Ne, r(2), 0, top);
+    b.halt();
+    let p = b.build();
+
+    let plain = run(&p, PipelineConfig::baseline());
+    let fwd = run(&p, PipelineConfig::baseline_with_vp_forwarding());
+    assert_eq!(plain.snapshot, fwd.snapshot, "forwarding is architecturally invisible");
+    assert!(fwd.stats.vp_forwards > 0, "the invariant load must be forwarded");
+    assert!(
+        fwd.stats.cycles <= plain.stats.cycles,
+        "forwarding must not slow the chain down: {} vs {}",
+        fwd.stats.cycles,
+        plain.stats.cycles
+    );
+}
+
+#[test]
+fn vp_forwarding_misprediction_recovers_correctly() {
+    // ONE shared inner loop whose hot cell changes between outer phases:
+    // the first phase-2 forward validates false, squashes, and the
+    // architectural result stays exact.
+    let mut b = ProgramBuilder::new(0x1000);
+    b.words(0x8000, &[10, 99]); // per-phase values
+    b.word(0x9000, 0);
+    b.mov_imm(r(0), 0x9000);
+    b.mov_imm(r(1), 0);
+    b.mov_imm(r(11), 0x8000);
+    b.mov_imm(r(12), 2); // phases
+    b.align_region();
+    let outer = b.here();
+    b.load(r(5), r(11), 0);
+    b.store(r(5), r(0), 0); // dataset change
+    b.add_imm(r(11), r(11), 8);
+    b.mov_imm(r(2), 800);
+    b.align_region();
+    let inner = b.here();
+    b.load(r(3), r(0), 0);
+    b.add(r(1), r(1), r(3));
+    b.sub_imm(r(2), r(2), 1);
+    b.cmp_br_imm(Cond::Ne, r(2), 0, inner);
+    b.sub_imm(r(12), r(12), 1);
+    b.cmp_br_imm(Cond::Ne, r(12), 0, outer);
+    b.halt();
+    let p = b.build();
+
+    let fwd = run(&p, PipelineConfig::baseline_with_vp_forwarding());
+    assert_eq!(fwd.snapshot.regs[1], 800 * 10 + 800 * 99);
+    assert!(fwd.stats.vp_forwards > 0);
+    assert!(fwd.stats.vp_forward_fails >= 1, "the stale forward must be caught: {:?}",
+        (fwd.stats.vp_forwards, fwd.stats.vp_forward_fails));
+}
+
+#[test]
+fn trace_records_the_compaction_narrative() {
+    use scc_pipeline::TraceEvent;
+    let p = invariant_loop(1500);
+    let mut pipe = Pipeline::new(&p, PipelineConfig::scc_full());
+    pipe.enable_trace(100_000);
+    let res = pipe.run(10_000_000);
+    assert_eq!(res.outcome, RunOutcome::Halted);
+    let trace = pipe.take_trace().expect("trace enabled");
+    assert!(!trace.is_empty());
+    let mut commits = 0;
+    let mut compactions = 0;
+    let mut streams = 0;
+    for e in trace.events() {
+        match e {
+            TraceEvent::Commit { .. } => commits += 1,
+            TraceEvent::Compaction { outcome: "committed", shrinkage, .. } => {
+                compactions += 1;
+                assert!(*shrinkage > 0);
+            }
+            TraceEvent::Compaction { .. } => {}
+            TraceEvent::StreamChosen { len, .. } => {
+                streams += 1;
+                assert!(*len >= 1);
+            }
+            // A squash can flush zero micro-ops when fetch had stalled.
+            TraceEvent::Squash { .. } => {}
+        }
+    }
+    assert!(commits > 1000, "commits traced: {commits}");
+    assert!(compactions >= 1, "compaction outcomes traced");
+    assert!(streams > 10, "stream choices traced: {streams}");
+    // Render is line-oriented and mentions the loop region.
+    let text = trace.render();
+    assert!(text.contains("compact region"));
+    // Tracing is off after take_trace.
+    assert!(pipe.take_trace().is_none());
+}
+
+#[test]
+fn micro_fusion_saves_fetch_slots() {
+    // 8 micro-ops per iteration balanced so no execution port is the
+    // bottleneck (2 loads, 4 int-ALU, 2 FP): unfused the loop needs two
+    // 6-wide fetch groups per iteration, fused (2 load+op pairs) it fits
+    // in one.
+    let f = Reg::fp;
+    let mut b = ProgramBuilder::new(0x1000);
+    b.words(0x9000, &[3, 5]);
+    b.mov_imm(r(0), 0x9000);
+    b.mov_imm(r(2), 3000);
+    b.align_region();
+    let top = b.here();
+    b.load(r(3), r(0), 0);
+    b.add(r(1), r(1), r(3)); // fuses with the load
+    b.load(r(4), r(0), 8);
+    b.xor(r(5), r(5), r(4)); // fuses
+    b.fadd(f(0), f(1), f(2));
+    b.fadd(f(3), f(4), f(5));
+    b.sub_imm(r(2), r(2), 1);
+    b.cmp_br_imm(Cond::Ne, r(2), 0, top);
+    b.halt();
+    let p = b.build();
+
+    let mut no_fusion = PipelineConfig::baseline();
+    no_fusion.core.micro_fusion = false;
+    let plain = run(&p, no_fusion);
+    let fused = run(&p, PipelineConfig::baseline());
+    assert_eq!(plain.snapshot, fused.snapshot, "fusion is occupancy-only");
+    assert!(
+        fused.stats.cycles < plain.stats.cycles,
+        "fusion should relieve the fetch bottleneck: {} vs {}",
+        fused.stats.cycles,
+        plain.stats.cycles
+    );
+}

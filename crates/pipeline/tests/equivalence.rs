@@ -1,0 +1,177 @@
+//! Differential correctness: the out-of-order pipeline — baseline and
+//! with full SCC — must finish every program in an architectural state
+//! identical to the in-order reference interpreter. This is the linchpin
+//! property of the reproduction: all SCC speculation must be
+//! architecturally invisible.
+
+use scc_isa::rand_prog::{random_program, RandProgConfig};
+use scc_isa::{ArchSnapshot, Machine, Program};
+use scc_pipeline::{Pipeline, PipelineConfig, RunOutcome};
+
+fn reference(p: &Program) -> ArchSnapshot {
+    let mut m = Machine::new(p);
+    let r = m.run(5_000_000).expect("reference run");
+    assert!(r.halted, "reference must halt");
+    m.snapshot()
+}
+
+fn pipeline_snapshot(p: &Program, cfg: PipelineConfig) -> ArchSnapshot {
+    let mut pipe = Pipeline::new(p, cfg);
+    let r = pipe.run(20_000_000);
+    assert_eq!(r.outcome, RunOutcome::Halted, "pipeline must halt");
+    r.snapshot
+}
+
+#[test]
+fn baseline_matches_reference_on_random_programs() {
+    let cfg = RandProgConfig::default();
+    for seed in 0..40 {
+        let p = random_program(seed, &cfg);
+        let want = reference(&p);
+        let got = pipeline_snapshot(&p, PipelineConfig::baseline());
+        assert_eq!(got, want, "baseline diverged on seed {seed}");
+    }
+}
+
+#[test]
+fn scc_matches_reference_on_random_programs() {
+    let cfg = RandProgConfig::default();
+    for seed in 0..40 {
+        let p = random_program(seed, &cfg);
+        let want = reference(&p);
+        let got = pipeline_snapshot(&p, PipelineConfig::scc_full());
+        assert_eq!(got, want, "SCC diverged on seed {seed}");
+    }
+}
+
+#[test]
+fn scc_matches_reference_on_loopy_programs() {
+    // Hot loops are where compaction actually triggers; crank trip counts
+    // so regions cross the hotness threshold and streams execute.
+    let cfg = RandProgConfig {
+        blocks: 4,
+        block_len: 6,
+        max_trips: 200,
+        ..RandProgConfig::default()
+    };
+    for seed in 100..120 {
+        let p = random_program(seed, &cfg);
+        let want = reference(&p);
+        let got = pipeline_snapshot(&p, PipelineConfig::scc_full());
+        assert_eq!(got, want, "SCC diverged on loopy seed {seed}");
+    }
+}
+
+#[test]
+fn scc_actually_compacts_on_loopy_programs() {
+    // Guard against the equivalence tests passing vacuously: across the
+    // loopy corpus, SCC must commit streams and fetch from the optimized
+    // partition.
+    let cfg = RandProgConfig {
+        blocks: 4,
+        block_len: 6,
+        max_trips: 400,
+        with_string_ops: false,
+        ..RandProgConfig::default()
+    };
+    let mut total_opt_uops = 0;
+    let mut total_streams = 0;
+    for seed in 200..210 {
+        let p = random_program(seed, &cfg);
+        let mut pipe = Pipeline::new(&p, PipelineConfig::scc_full());
+        let r = pipe.run(20_000_000);
+        assert_eq!(r.outcome, RunOutcome::Halted);
+        total_opt_uops += r.stats.uops_from_opt;
+        total_streams += r.stats.streams_committed;
+    }
+    assert!(total_streams > 0, "no compacted streams were ever committed");
+    assert!(total_opt_uops > 0, "no micro-ops were ever fetched from the optimized partition");
+}
+
+#[test]
+fn all_opt_levels_match_reference() {
+    use scc_core::{OptFlags, SccConfig};
+    use scc_pipeline::FrontendMode;
+    let prog_cfg = RandProgConfig { max_trips: 100, ..RandProgConfig::default() };
+    let levels = [
+        OptFlags::none(),
+        OptFlags::move_elim_only(),
+        OptFlags::fold_prop(),
+        OptFlags::branch_fold(),
+        OptFlags::full(),
+    ];
+    for seed in 300..310 {
+        let p = random_program(seed, &prog_cfg);
+        let want = reference(&p);
+        for (i, flags) in levels.iter().enumerate() {
+            let cfg = PipelineConfig {
+                frontend: FrontendMode::scc(SccConfig::with_opts(*flags)),
+                ..PipelineConfig::baseline()
+            };
+            let got = pipeline_snapshot(&p, cfg);
+            assert_eq!(got, want, "level {i} diverged on seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn constant_width_restrictions_preserve_correctness() {
+    use scc_core::SccConfig;
+    use scc_pipeline::FrontendMode;
+    let prog_cfg = RandProgConfig { max_trips: 100, ..RandProgConfig::default() };
+    for width in [8u32, 16, 32, 64] {
+        for seed in 400..406 {
+            let p = random_program(seed, &prog_cfg);
+            let want = reference(&p);
+            let mut scc = SccConfig::full();
+            scc.max_constant_width = Some(width);
+            let cfg = PipelineConfig {
+                frontend: FrontendMode::scc(scc),
+                ..PipelineConfig::baseline()
+            };
+            let got = pipeline_snapshot(&p, cfg);
+            assert_eq!(got, want, "width {width} diverged on seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn vp_forwarding_matches_reference_on_random_programs() {
+    let cfg = RandProgConfig { max_trips: 120, ..RandProgConfig::default() };
+    for seed in 500..530 {
+        let p = random_program(seed, &cfg);
+        let want = reference(&p);
+        let got = pipeline_snapshot(&p, PipelineConfig::baseline_with_vp_forwarding());
+        assert_eq!(got, want, "vp forwarding diverged on seed {seed}");
+    }
+}
+
+#[test]
+fn scc_plus_vp_forwarding_matches_reference() {
+    use scc_pipeline::PipelineConfig as PC;
+    let cfg = RandProgConfig { max_trips: 120, ..RandProgConfig::default() };
+    for seed in 600..620 {
+        let p = random_program(seed, &cfg);
+        let want = reference(&p);
+        let combo = PC { vp_forwarding: Some(15), ..PC::scc_full() };
+        let got = pipeline_snapshot(&p, combo);
+        assert_eq!(got, want, "SCC+forwarding diverged on seed {seed}");
+    }
+}
+
+#[test]
+fn future_work_complex_alu_matches_reference() {
+    use scc_core::{OptFlags, SccConfig};
+    use scc_pipeline::FrontendMode;
+    let cfg = RandProgConfig { max_trips: 150, ..RandProgConfig::default() };
+    for seed in 700..725 {
+        let p = random_program(seed, &cfg);
+        let want = reference(&p);
+        let pc = PipelineConfig {
+            frontend: FrontendMode::scc(SccConfig::with_opts(OptFlags::future_work())),
+            ..PipelineConfig::baseline()
+        };
+        let got = pipeline_snapshot(&p, pc);
+        assert_eq!(got, want, "future-work config diverged on seed {seed}");
+    }
+}

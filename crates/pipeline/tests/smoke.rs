@@ -1,0 +1,75 @@
+//! Smallest-possible pipeline smoke tests, useful for debugging the cycle
+//! loop in isolation before the differential suite runs.
+
+use scc_isa::{Cond, ProgramBuilder, Reg};
+use scc_pipeline::{Pipeline, PipelineConfig, RunOutcome};
+
+fn r(n: u8) -> Reg {
+    Reg::int(n)
+}
+
+#[test]
+fn straight_line_halts() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(1), 6);
+    b.mov_imm(r(2), 7);
+    b.mul(r(3), r(1), r(2));
+    b.halt();
+    let p = b.build();
+    let mut pipe = Pipeline::new(&p, PipelineConfig::baseline());
+    let res = pipe.run(10_000);
+    assert_eq!(res.outcome, RunOutcome::Halted, "stats: {:?}", res.stats);
+    assert_eq!(res.snapshot.regs[3], 42);
+}
+
+#[test]
+fn tiny_loop_halts_baseline() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(0), 0);
+    b.mov_imm(r(1), 5);
+    let top = b.here();
+    b.add(r(0), r(0), r(1));
+    b.sub_imm(r(1), r(1), 1);
+    b.cmp_br_imm(Cond::Ne, r(1), 0, top);
+    b.halt();
+    let p = b.build();
+    let mut pipe = Pipeline::new(&p, PipelineConfig::baseline());
+    let res = pipe.run(100_000);
+    assert_eq!(res.outcome, RunOutcome::Halted, "stats: {:?}", res.stats);
+    assert_eq!(res.snapshot.regs[0], 15);
+}
+
+#[test]
+fn tiny_loop_halts_scc() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(0), 0);
+    b.mov_imm(r(1), 50);
+    let top = b.here();
+    b.add_imm(r(0), r(0), 2);
+    b.sub_imm(r(1), r(1), 1);
+    b.cmp_br_imm(Cond::Ne, r(1), 0, top);
+    b.halt();
+    let p = b.build();
+    let mut pipe = Pipeline::new(&p, PipelineConfig::scc_full());
+    let res = pipe.run(1_000_000);
+    assert_eq!(res.outcome, RunOutcome::Halted, "stats: {:?}", res.stats);
+    assert_eq!(res.snapshot.regs[0], 100);
+}
+
+#[test]
+fn loads_and_stores_work() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.word(0x9000, 11);
+    b.mov_imm(r(1), 0x9000);
+    b.load(r(2), r(1), 0);
+    b.add_imm(r(2), r(2), 1);
+    b.store(r(2), r(1), 8);
+    b.load(r(3), r(1), 8);
+    b.halt();
+    let p = b.build();
+    let mut pipe = Pipeline::new(&p, PipelineConfig::baseline());
+    let res = pipe.run(100_000);
+    assert_eq!(res.outcome, RunOutcome::Halted, "stats: {:?}", res.stats);
+    assert_eq!(res.snapshot.regs[3], 12, "store-to-load forwarding");
+    assert!(res.snapshot.mem.contains(&(0x9008, 12)));
+}

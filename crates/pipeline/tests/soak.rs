@@ -1,0 +1,86 @@
+//! Long-running differential soak: hundreds of random programs across
+//! every configuration axis. Run explicitly with
+//!
+//! ```text
+//! cargo test --release -p scc-pipeline --test soak -- --ignored
+//! ```
+
+use scc_core::{OptFlags, SccConfig};
+use scc_isa::rand_prog::{random_program, RandProgConfig};
+use scc_isa::{ArchSnapshot, Machine, Program};
+use scc_pipeline::{FrontendMode, Pipeline, PipelineConfig, RunOutcome};
+
+fn reference(p: &Program) -> ArchSnapshot {
+    let mut m = Machine::new(p);
+    let r = m.run(20_000_000).expect("reference run");
+    assert!(r.halted);
+    m.snapshot()
+}
+
+fn check(p: &Program, cfg: PipelineConfig, want: &ArchSnapshot, label: &str, seed: u64) {
+    let mut pipe = Pipeline::new(p, cfg);
+    let r = pipe.run(100_000_000);
+    assert_eq!(r.outcome, RunOutcome::Halted, "{label} hung on seed {seed}");
+    assert_eq!(&r.snapshot, want, "{label} diverged on seed {seed}");
+}
+
+#[test]
+#[ignore = "soak test: ~minutes; run with -- --ignored"]
+fn five_hundred_seeds_every_axis() {
+    let corpus = [
+        RandProgConfig::default(),
+        RandProgConfig { blocks: 3, block_len: 14, max_trips: 300, ..RandProgConfig::default() },
+        RandProgConfig { with_fp: false, max_trips: 50, ..RandProgConfig::default() },
+        RandProgConfig { with_calls: false, with_string_ops: false, ..RandProgConfig::default() },
+    ];
+    for seed in 0..500u64 {
+        let cfg = &corpus[(seed % corpus.len() as u64) as usize];
+        let p = random_program(seed * 7 + 1, cfg);
+        let want = reference(&p);
+        check(&p, PipelineConfig::baseline(), &want, "baseline", seed);
+        check(&p, PipelineConfig::scc_full(), &want, "scc", seed);
+        match seed % 5 {
+            0 => check(
+                &p,
+                PipelineConfig::baseline_with_vp_forwarding(),
+                &want,
+                "vpfwd",
+                seed,
+            ),
+            1 => {
+                let mut scc = SccConfig::full();
+                scc.max_constant_width = Some(8);
+                check(
+                    &p,
+                    PipelineConfig {
+                        frontend: FrontendMode::scc(scc),
+                        ..PipelineConfig::baseline()
+                    },
+                    &want,
+                    "width8",
+                    seed,
+                );
+            }
+            2 => check(
+                &p,
+                PipelineConfig {
+                    frontend: FrontendMode::scc(SccConfig::with_opts(OptFlags::future_work())),
+                    ..PipelineConfig::baseline()
+                },
+                &want,
+                "future-work",
+                seed,
+            ),
+            3 => {
+                let mut no_fusion = PipelineConfig::scc_full();
+                no_fusion.core.micro_fusion = false;
+                check(&p, no_fusion, &want, "no-fusion", seed);
+            }
+            _ => {
+                let mut h3 = PipelineConfig::scc_full();
+                h3.value_predictor = scc_predictors::ValuePredictorKind::H3vp;
+                check(&p, h3, &want, "h3vp", seed);
+            }
+        }
+    }
+}

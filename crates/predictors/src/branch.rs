@@ -1,0 +1,368 @@
+//! Branch direction predictors: bimodal, gshare, and a TAGE-lite.
+
+use crate::counter::SatCounter;
+use scc_isa::Addr;
+
+/// A direction prediction with confidence on the 0–15 scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DirectionPrediction {
+    /// Predicted direction.
+    pub taken: bool,
+    /// Confidence, 0 (none) to 15 (saturated).
+    pub confidence: u8,
+}
+
+/// A conditional-branch direction predictor.
+///
+/// History is maintained inside the predictor and advanced at
+/// [`update`](Self::update) time (i.e. with committed outcomes). This is a
+/// deliberate simplification over fetch-time speculative history with
+/// repair; the paper itself leans on the fact that SCC probes predictors
+/// "based on the current execution state" and re-validates at streaming
+/// time.
+pub trait DirectionPredictor {
+    /// Predicts the direction of the branch at `pc`.
+    fn predict(&self, pc: Addr) -> DirectionPrediction;
+
+    /// Trains with the resolved outcome of the branch at `pc`.
+    fn update(&mut self, pc: Addr, taken: bool);
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn hash_pc(pc: Addr) -> u64 {
+    // Branch PCs are byte addresses with low entropy in the low bits; mix.
+    let x = pc.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^ (x >> 29)
+}
+
+/// Classic per-PC 2-bit-counter predictor.
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    table: Vec<SatCounter>,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `entries` counters (rounded up to a
+    /// power of two).
+    pub fn new(entries: usize) -> Bimodal {
+        let n = entries.next_power_of_two().max(2);
+        Bimodal { table: vec![SatCounter::two_bit(); n] }
+    }
+
+    fn idx(&self, pc: Addr) -> usize {
+        (hash_pc(pc) as usize) & (self.table.len() - 1)
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&self, pc: Addr) -> DirectionPrediction {
+        let c = self.table[self.idx(pc)];
+        DirectionPrediction {
+            taken: c.is_high(),
+            // Map counter extremity onto 0-15: strong states are confident.
+            confidence: match c.get() {
+                0 | 3 => 12,
+                _ => 4,
+            },
+        }
+    }
+
+    fn update(&mut self, pc: Addr, taken: bool) {
+        let i = self.idx(pc);
+        if taken {
+            self.table[i].inc();
+        } else {
+            self.table[i].dec();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bimodal"
+    }
+}
+
+/// Gshare: global history XOR PC indexing into 2-bit counters.
+#[derive(Clone, Debug)]
+pub struct GShare {
+    table: Vec<SatCounter>,
+    ghr: u64,
+    hist_bits: u32,
+}
+
+impl GShare {
+    /// Creates a gshare predictor with `entries` counters and
+    /// `hist_bits` bits of global history.
+    pub fn new(entries: usize, hist_bits: u32) -> GShare {
+        let n = entries.next_power_of_two().max(2);
+        GShare { table: vec![SatCounter::two_bit(); n], ghr: 0, hist_bits: hist_bits.min(63) }
+    }
+
+    fn idx(&self, pc: Addr) -> usize {
+        let h = self.ghr & ((1 << self.hist_bits) - 1);
+        ((hash_pc(pc) ^ h) as usize) & (self.table.len() - 1)
+    }
+}
+
+impl DirectionPredictor for GShare {
+    fn predict(&self, pc: Addr) -> DirectionPrediction {
+        let c = self.table[self.idx(pc)];
+        DirectionPrediction {
+            taken: c.is_high(),
+            confidence: match c.get() {
+                0 | 3 => 12,
+                _ => 4,
+            },
+        }
+    }
+
+    fn update(&mut self, pc: Addr, taken: bool) {
+        let i = self.idx(pc);
+        if taken {
+            self.table[i].inc();
+        } else {
+            self.table[i].dec();
+        }
+        self.ghr = (self.ghr << 1) | taken as u64;
+    }
+
+    fn name(&self) -> &'static str {
+        "gshare"
+    }
+}
+
+/// One tagged TAGE component.
+#[derive(Clone, Debug)]
+struct TageTable {
+    entries: Vec<TageEntry>,
+    hist_len: u32,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct TageEntry {
+    tag: u16,
+    /// Signed 3-bit counter in [-4, 3]; >= 0 predicts taken.
+    ctr: i8,
+    useful: u8,
+}
+
+/// A compact TAGE-style predictor: a bimodal base plus four tagged tables
+/// with geometric history lengths, the class of predictor in Ice Lake-era
+/// front-ends (Table I's branch predictor row).
+#[derive(Clone, Debug)]
+pub struct TageLite {
+    base: Bimodal,
+    tables: Vec<TageTable>,
+    ghr: u64,
+    tick: u32,
+}
+
+impl TageLite {
+    /// Creates a TAGE-lite with per-table `entries` (rounded to a power of
+    /// two) and history lengths 4, 8, 16, 32.
+    pub fn new(entries: usize) -> TageLite {
+        let n = entries.next_power_of_two().max(2);
+        TageLite {
+            base: Bimodal::new(n * 2),
+            tables: [4u32, 8, 16, 32]
+                .into_iter()
+                .map(|hist_len| TageTable {
+                    entries: vec![TageEntry::default(); n],
+                    hist_len,
+                })
+                .collect(),
+            ghr: 0,
+            tick: 0,
+        }
+    }
+
+    fn fold_history(&self, bits: u32, out_bits: u32) -> u64 {
+        let mut h = self.ghr & if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mut folded = 0u64;
+        while h != 0 {
+            folded ^= h & ((1 << out_bits) - 1);
+            h >>= out_bits;
+        }
+        folded
+    }
+
+    fn index(&self, t: usize, pc: Addr) -> usize {
+        let table = &self.tables[t];
+        let bits = table.entries.len().trailing_zeros();
+        let h = self.fold_history(table.hist_len, bits);
+        ((hash_pc(pc) ^ h ^ (t as u64).wrapping_mul(0x5851_F42D)) as usize)
+            & (table.entries.len() - 1)
+    }
+
+    fn tag(&self, t: usize, pc: Addr) -> u16 {
+        let h = self.fold_history(self.tables[t].hist_len, 8);
+        ((hash_pc(pc) >> 7) as u16 ^ (h as u16) ^ (t as u16 * 0x9D)) & 0xFF | 0x100
+    }
+
+    /// The provider component (longest history with a tag hit), if any.
+    fn provider(&self, pc: Addr) -> Option<(usize, usize)> {
+        (0..self.tables.len()).rev().find_map(|t| {
+            let i = self.index(t, pc);
+            (self.tables[t].entries[i].tag == self.tag(t, pc)).then_some((t, i))
+        })
+    }
+}
+
+impl DirectionPredictor for TageLite {
+    fn predict(&self, pc: Addr) -> DirectionPrediction {
+        if let Some((t, i)) = self.provider(pc) {
+            let e = self.tables[t].entries[i];
+            DirectionPrediction {
+                taken: e.ctr >= 0,
+                // |2c+1| magnitude in [1,7] scaled to 0-15.
+                confidence: (((2 * e.ctr as i32 + 1).unsigned_abs() * 15) / 7) as u8,
+            }
+        } else {
+            self.base.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: Addr, taken: bool) {
+        let provider = self.provider(pc);
+        let pred = self.predict(pc).taken;
+        match provider {
+            Some((t, i)) => {
+                let e = &mut self.tables[t].entries[i];
+                if taken {
+                    e.ctr = (e.ctr + 1).min(3);
+                } else {
+                    e.ctr = (e.ctr - 1).max(-4);
+                }
+                if pred == taken {
+                    e.useful = (e.useful + 1).min(3);
+                } else {
+                    e.useful = e.useful.saturating_sub(1);
+                }
+            }
+            None => self.base.update(pc, taken),
+        }
+        // Allocate a longer-history entry on a misprediction.
+        if pred != taken {
+            let start = provider.map_or(0, |(t, _)| t + 1);
+            let mut allocated = false;
+            for t in start..self.tables.len() {
+                let i = self.index(t, pc);
+                let tag = self.tag(t, pc);
+                let e = &mut self.tables[t].entries[i];
+                if e.useful == 0 {
+                    *e = TageEntry { tag, ctr: if taken { 0 } else { -1 }, useful: 0 };
+                    allocated = true;
+                    break;
+                }
+            }
+            if !allocated {
+                // Periodically age useful bits so allocation can't starve.
+                self.tick += 1;
+                if self.tick % 64 == 0 {
+                    for t in &mut self.tables {
+                        for e in &mut t.entries {
+                            e.useful = e.useful.saturating_sub(1);
+                        }
+                    }
+                }
+            }
+        }
+        if provider.is_some() {
+            // Keep the base warm as fallback.
+            self.base.update(pc, taken);
+        }
+        self.ghr = (self.ghr << 1) | taken as u64;
+    }
+
+    fn name(&self) -> &'static str {
+        "tage-lite"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accuracy<P: DirectionPredictor>(p: &mut P, seq: impl Iterator<Item = (Addr, bool)>) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (pc, taken) in seq {
+            if p.predict(pc).taken == taken {
+                correct += 1;
+            }
+            p.update(pc, taken);
+            total += 1;
+        }
+        correct as f64 / total as f64
+    }
+
+    #[test]
+    fn bimodal_learns_biased_branch() {
+        let mut p = Bimodal::new(256);
+        let acc = accuracy(&mut p, (0..1000).map(|_| (0x40u64, true)));
+        assert!(acc > 0.99, "always-taken should be near-perfect, got {acc}");
+    }
+
+    #[test]
+    fn bimodal_confidence_reflects_strength() {
+        let mut p = Bimodal::new(64);
+        for _ in 0..8 {
+            p.update(0x10, true);
+        }
+        assert!(p.predict(0x10).confidence >= 12);
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern() {
+        // T,N,T,N is hopeless for bimodal but trivial with history.
+        let mut g = GShare::new(1024, 8);
+        let acc = accuracy(&mut g, (0..2000).map(|i| (0x80u64, i % 2 == 0)));
+        assert!(acc > 0.9, "gshare should learn alternation, got {acc}");
+        let mut b = Bimodal::new(1024);
+        let acc_b = accuracy(&mut b, (0..2000).map(|i| (0x80u64, i % 2 == 0)));
+        assert!(acc_b < 0.7, "bimodal cannot learn alternation, got {acc_b}");
+    }
+
+    #[test]
+    fn tage_learns_long_period_pattern() {
+        // Period-7 loop-exit pattern: 6 taken then 1 not-taken.
+        let mut t = TageLite::new(1024);
+        let acc = accuracy(&mut t, (0..8000).map(|i| (0x33u64, i % 7 != 6)));
+        assert!(acc > 0.93, "tage should learn period-7, got {acc}");
+    }
+
+    #[test]
+    fn tage_beats_bimodal_on_correlated_branches() {
+        // Branch B follows branch A's last outcome.
+        let seq = |n: usize| {
+            (0..n).flat_map(|i| {
+                let a = (i / 3) % 2 == 0;
+                [(0x100u64, a), (0x200u64, a)]
+            })
+        };
+        let mut t = TageLite::new(1024);
+        let mut b = Bimodal::new(2048);
+        let at = accuracy(&mut t, seq(4000));
+        let ab = accuracy(&mut b, seq(4000));
+        assert!(at > ab, "tage {at} should beat bimodal {ab}");
+    }
+
+    #[test]
+    fn predictors_handle_many_pcs() {
+        let mut t = TageLite::new(256);
+        for pc in (0..4096u64).step_by(4) {
+            t.update(pc, pc % 8 == 0);
+        }
+        // Just exercise aliasing paths; no panic and sane outputs.
+        let p = t.predict(0x40);
+        assert!(p.confidence <= 15);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Bimodal::new(2).name(), "bimodal");
+        assert_eq!(GShare::new(2, 4).name(), "gshare");
+        assert_eq!(TageLite::new(2).name(), "tage-lite");
+    }
+}

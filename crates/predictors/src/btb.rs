@@ -1,0 +1,197 @@
+//! Branch target buffer, indirect-target predictor, and return-address
+//! stack.
+
+use scc_isa::Addr;
+
+/// A tagged, direct-mapped branch target buffer.
+///
+/// The fetch engine needs a target before the branch decodes; SCC's
+/// control-invariant identification also needs the *predicted target* to
+/// pivot compaction across basic blocks.
+#[derive(Clone, Debug)]
+pub struct Btb {
+    entries: Vec<Option<(Addr, Addr)>>, // (branch pc, target)
+    hits: u64,
+    misses: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` slots (rounded up to a power of two).
+    pub fn new(entries: usize) -> Btb {
+        Btb { entries: vec![None; entries.next_power_of_two().max(2)], hits: 0, misses: 0 }
+    }
+
+    fn idx(&self, pc: Addr) -> usize {
+        (pc.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) as usize & (self.entries.len() - 1)
+    }
+
+    /// Looks up the predicted target for the branch at `pc`.
+    pub fn lookup(&mut self, pc: Addr) -> Option<Addr> {
+        match self.entries[self.idx(pc)] {
+            Some((tag, target)) if tag == pc => {
+                self.hits += 1;
+                Some(target)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Non-counting peek, for SCC probes that should not perturb stats.
+    pub fn peek(&self, pc: Addr) -> Option<Addr> {
+        match self.entries[self.idx(pc)] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Installs or updates the target for the branch at `pc`.
+    pub fn update(&mut self, pc: Addr, target: Addr) {
+        let i = self.idx(pc);
+        self.entries[i] = Some((pc, target));
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// Last-target indirect branch predictor (per-PC).
+#[derive(Clone, Debug)]
+pub struct IndirectPredictor {
+    entries: Vec<Option<(Addr, Addr, u8)>>, // (pc, target, confidence)
+}
+
+impl IndirectPredictor {
+    /// Creates an indirect predictor with `entries` slots.
+    pub fn new(entries: usize) -> IndirectPredictor {
+        IndirectPredictor { entries: vec![None; entries.next_power_of_two().max(2)] }
+    }
+
+    fn idx(&self, pc: Addr) -> usize {
+        (pc.wrapping_mul(0xD6E8_FEB8_6659_FD93) >> 13) as usize & (self.entries.len() - 1)
+    }
+
+    /// Predicted target and 0–15 confidence for the indirect branch at
+    /// `pc`.
+    pub fn predict(&self, pc: Addr) -> Option<(Addr, u8)> {
+        match self.entries[self.idx(pc)] {
+            Some((tag, target, conf)) if tag == pc => Some((target, conf)),
+            _ => None,
+        }
+    }
+
+    /// Trains with the resolved target.
+    pub fn update(&mut self, pc: Addr, target: Addr) {
+        let i = self.idx(pc);
+        match &mut self.entries[i] {
+            Some((tag, t, conf)) if *tag == pc => {
+                if *t == target {
+                    *conf = (*conf + 1).min(crate::MAX_CONFIDENCE);
+                } else {
+                    *t = target;
+                    *conf = 0;
+                }
+            }
+            e => *e = Some((pc, target, 0)),
+        }
+    }
+}
+
+/// A bounded return-address stack.
+///
+/// Overflow wraps (oldest entry lost), underflow returns `None`; both
+/// match hardware RAS behaviour under deep recursion.
+#[derive(Clone, Debug)]
+pub struct ReturnAddressStack {
+    stack: Vec<Addr>,
+    capacity: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS holding up to `capacity` return addresses.
+    pub fn new(capacity: usize) -> ReturnAddressStack {
+        ReturnAddressStack { stack: Vec::with_capacity(capacity), capacity: capacity.max(1) }
+    }
+
+    /// Pushes a return address (on call).
+    pub fn push(&mut self, addr: Addr) {
+        if self.stack.len() == self.capacity {
+            self.stack.remove(0);
+        }
+        self.stack.push(addr);
+    }
+
+    /// Pops the predicted return address (on return).
+    pub fn pop(&mut self) -> Option<Addr> {
+        self.stack.pop()
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btb_hit_after_update() {
+        let mut btb = Btb::new(64);
+        assert_eq!(btb.lookup(0x100), None);
+        btb.update(0x100, 0x400);
+        assert_eq!(btb.lookup(0x100), Some(0x400));
+        assert_eq!(btb.peek(0x100), Some(0x400));
+        assert_eq!(btb.stats(), (1, 1));
+    }
+
+    #[test]
+    fn btb_tag_rejects_aliases() {
+        let mut btb = Btb::new(2);
+        btb.update(0x100, 0x400);
+        // Find an aliasing pc that maps to the same index but has a
+        // different tag; with 2 entries most PCs alias.
+        let alias = (0..0x10000u64)
+            .map(|i| 0x104 + i * 4)
+            .find(|&pc| {
+                let i1 = (0x100u64.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) as usize & 1;
+                let i2 = (pc.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) as usize & 1;
+                i1 == i2
+            })
+            .unwrap();
+        assert_eq!(btb.peek(alias), None, "aliased lookup must miss on tag");
+    }
+
+    #[test]
+    fn indirect_confidence_builds_and_resets() {
+        let mut ip = IndirectPredictor::new(32);
+        assert_eq!(ip.predict(0x50), None);
+        for _ in 0..5 {
+            ip.update(0x50, 0x900);
+        }
+        let (t, c) = ip.predict(0x50).unwrap();
+        assert_eq!(t, 0x900);
+        assert_eq!(c, 4);
+        ip.update(0x50, 0xA00);
+        let (t, c) = ip.predict(0x50).unwrap();
+        assert_eq!(t, 0xA00);
+        assert_eq!(c, 0, "target change resets confidence");
+    }
+
+    #[test]
+    fn ras_lifo_and_overflow() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // evicts 1
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None);
+    }
+}

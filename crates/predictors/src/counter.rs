@@ -1,0 +1,154 @@
+//! Saturating counters, the currency of confidence tracking.
+
+/// A saturating up/down counter with a configurable ceiling.
+///
+/// The paper uses 4-bit saturating counters ("allowing us to track a large
+/// spectrum of confidence levels") per predicted invariant in the optimized
+/// micro-op cache partition's tag array; predictors use 2- and 3-bit
+/// variants internally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SatCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SatCounter {
+    /// Creates a counter at zero saturating at `max`.
+    pub fn new(max: u8) -> SatCounter {
+        SatCounter { value: 0, max }
+    }
+
+    /// Creates the paper's 4-bit confidence counter (saturates at 15).
+    pub fn four_bit() -> SatCounter {
+        SatCounter::new(crate::MAX_CONFIDENCE)
+    }
+
+    /// Creates a classic 2-bit counter initialized to weakly-not-taken (1).
+    pub fn two_bit() -> SatCounter {
+        SatCounter { value: 1, max: 3 }
+    }
+
+    /// Creates a counter at a given starting value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value > max`.
+    pub fn with_value(value: u8, max: u8) -> SatCounter {
+        assert!(value <= max, "counter value {value} above ceiling {max}");
+        SatCounter { value, max }
+    }
+
+    /// Current value.
+    pub fn get(self) -> u8 {
+        self.value
+    }
+
+    /// Ceiling.
+    pub fn max(self) -> u8 {
+        self.max
+    }
+
+    /// Increments, saturating at the ceiling.
+    pub fn inc(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Decrements, saturating at zero.
+    pub fn dec(&mut self) {
+        self.value = self.value.saturating_sub(1);
+    }
+
+    /// Decrements by `n`, saturating at zero — used by the profitability
+    /// unit to penalize misbehaving streams faster than it rewards.
+    pub fn dec_by(&mut self, n: u8) {
+        self.value = self.value.saturating_sub(n);
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// True when at or above the midpoint (the classic "predict taken"
+    /// test for 2-bit counters).
+    pub fn is_high(self) -> bool {
+        self.value > self.max / 2
+    }
+
+    /// True when saturated.
+    pub fn is_saturated(self) -> bool {
+        self.value == self.max
+    }
+
+    /// Confidence rescaled to the paper's 0–15 range, regardless of the
+    /// counter's native width.
+    pub fn confidence(self) -> u8 {
+        if self.max == 0 {
+            0
+        } else {
+            ((self.value as u16 * crate::MAX_CONFIDENCE as u16) / self.max as u16) as u8
+        }
+    }
+}
+
+impl Default for SatCounter {
+    fn default() -> SatCounter {
+        SatCounter::four_bit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_both_ends() {
+        let mut c = SatCounter::new(3);
+        c.dec();
+        assert_eq!(c.get(), 0);
+        for _ in 0..10 {
+            c.inc();
+        }
+        assert_eq!(c.get(), 3);
+        assert!(c.is_saturated());
+    }
+
+    #[test]
+    fn two_bit_midpoint() {
+        let mut c = SatCounter::two_bit();
+        assert!(!c.is_high(), "weakly-not-taken starts low");
+        c.inc();
+        assert!(c.is_high());
+    }
+
+    #[test]
+    fn dec_by_clamps() {
+        let mut c = SatCounter::with_value(3, 15);
+        c.dec_by(10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn confidence_rescales() {
+        assert_eq!(SatCounter::with_value(3, 3).confidence(), 15);
+        assert_eq!(SatCounter::with_value(0, 3).confidence(), 0);
+        assert_eq!(SatCounter::with_value(7, 7).confidence(), 15);
+        assert_eq!(SatCounter::with_value(15, 15).confidence(), 15);
+        assert!(SatCounter::with_value(1, 3).confidence() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "above ceiling")]
+    fn with_value_validates() {
+        let _ = SatCounter::with_value(4, 3);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut c = SatCounter::with_value(9, 15);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Branch and value predictors for the SCC reproduction.
+//!
+//! SCC (Moody et al., MICRO 2022) is *prediction-driven*: the compaction
+//! unit probes the branch predictor for speculative control invariants and
+//! the value predictor for speculative data invariants, and the
+//! profitability analysis unit re-checks predicted invariants against the
+//! live predictor state before streaming an optimized line. This crate
+//! provides those predictors:
+//!
+//! * direction predictors — [`Bimodal`], [`GShare`], and [`TageLite`];
+//! * a branch target buffer, indirect-target predictor, and return-address
+//!   stack, composed with a direction predictor into a
+//!   [`BranchPredictorUnit`];
+//! * a loop stream detector ([`LoopDetector`]), one of the paper's listed
+//!   hint sources;
+//! * value predictors — [`LastValue`], [`Stride`], and the two CVP-2019
+//!   finalists the paper integrates: [`Eves`] (enhanced stride + context)
+//!   and [`H3vp`] (3-period predictor for oscillating patterns).
+//!
+//! Confidence is reported on the paper's 4-bit scale (0–15) everywhere;
+//! the paper's `predictionConfidenceThreshold` flags (15 for baseline value
+//! forwarding, 5 for SCC probing) are applied by the *callers*.
+//!
+//! # Example
+//!
+//! ```
+//! use scc_predictors::{Eves, ValuePredictor};
+//!
+//! let mut vp = Eves::default_size();
+//! for i in 0..32 {
+//!     vp.train(0x400, 100 + 8 * i); // a strided load
+//! }
+//! let p = vp.predict(0x400).expect("stride locked in");
+//! assert_eq!(p.value, 100 + 8 * 32);
+//! assert!(p.confidence >= 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod btb;
+mod counter;
+mod eves;
+mod h3vp;
+mod loopdet;
+mod loopexit;
+mod unit;
+mod value;
+
+pub use branch::{Bimodal, DirectionPrediction, DirectionPredictor, GShare, TageLite};
+pub use btb::{Btb, IndirectPredictor, ReturnAddressStack};
+pub use counter::SatCounter;
+pub use eves::Eves;
+pub use h3vp::H3vp;
+pub use loopdet::LoopDetector;
+pub use loopexit::LoopExitPredictor;
+pub use unit::{BranchPredictorKind, BranchPredictorUnit, PredictedBranch};
+pub use value::{LastValue, Stride, ValuePrediction, ValuePredictor, ValuePredictorKind};
+
+/// Maximum confidence on the paper's 4-bit saturating-counter scale.
+pub const MAX_CONFIDENCE: u8 = 15;

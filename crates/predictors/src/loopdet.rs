@@ -1,0 +1,137 @@
+//! Loop stream detector.
+//!
+//! Intel front-ends detect short hot loops and stream them from the IDQ
+//! without re-fetching; the paper lists the loop stream detector among the
+//! hint sources SCC consults ("leveraging hints from in-processor features
+//! such as the branch predictor, loop stream detector, and value
+//! predictor"). Here it (a) tells the fetch engine a loop is streaming and
+//! (b) gives SCC a strong hotness hint for the loop body's regions.
+
+use scc_isa::Addr;
+
+/// Tracks backward taken branches to detect steady loops.
+#[derive(Clone, Debug)]
+pub struct LoopDetector {
+    /// (branch pc, target) of the candidate loop-ending branch.
+    candidate: Option<(Addr, Addr)>,
+    /// Consecutive taken occurrences of the candidate.
+    streak: u32,
+    /// Streak needed to declare a loop.
+    threshold: u32,
+    /// Loop body size limit in bytes (IDQ-streamable loops are small).
+    max_body_bytes: u64,
+}
+
+impl LoopDetector {
+    /// Creates a detector that declares a loop after `threshold`
+    /// consecutive iterations of a backward branch spanning at most
+    /// `max_body_bytes`.
+    pub fn new(threshold: u32, max_body_bytes: u64) -> LoopDetector {
+        LoopDetector { candidate: None, streak: 0, threshold, max_body_bytes }
+    }
+
+    /// Default sizing: 16 iterations, 256-byte bodies.
+    pub fn default_size() -> LoopDetector {
+        LoopDetector::new(16, 256)
+    }
+
+    /// Observes a resolved branch.
+    pub fn observe(&mut self, pc: Addr, target: Addr, taken: bool) {
+        let backward = taken && target < pc && pc - target <= self.max_body_bytes;
+        match (backward, self.candidate) {
+            (true, Some((cpc, ctgt))) if cpc == pc && ctgt == target => {
+                self.streak = self.streak.saturating_add(1);
+            }
+            (true, _) => {
+                self.candidate = Some((pc, target));
+                self.streak = 1;
+            }
+            (false, Some((cpc, _))) if cpc == pc => {
+                // The candidate fell through: loop exit.
+                self.candidate = None;
+                self.streak = 0;
+            }
+            _ => {}
+        }
+    }
+
+    /// True once a loop is confidently detected.
+    pub fn in_loop(&self) -> bool {
+        self.streak >= self.threshold
+    }
+
+    /// The detected loop's `(branch pc, target)`, if streaming.
+    pub fn loop_bounds(&self) -> Option<(Addr, Addr)> {
+        self.in_loop().then_some(self.candidate).flatten()
+    }
+
+    /// True if `addr` lies inside the detected loop body.
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.loop_bounds().is_some_and(|(pc, tgt)| addr >= tgt && addr <= pc)
+    }
+
+    /// Current iteration streak (SCC hotness hint).
+    pub fn streak(&self) -> u32 {
+        self.streak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_steady_loop() {
+        let mut d = LoopDetector::new(4, 256);
+        for _ in 0..3 {
+            d.observe(0x140, 0x100, true);
+            assert!(!d.in_loop());
+        }
+        d.observe(0x140, 0x100, true);
+        assert!(d.in_loop());
+        assert_eq!(d.loop_bounds(), Some((0x140, 0x100)));
+        assert!(d.contains(0x120));
+        assert!(!d.contains(0x180));
+    }
+
+    #[test]
+    fn exit_clears_detection() {
+        let mut d = LoopDetector::new(2, 256);
+        d.observe(0x140, 0x100, true);
+        d.observe(0x140, 0x100, true);
+        assert!(d.in_loop());
+        d.observe(0x140, 0x100, false);
+        assert!(!d.in_loop());
+        assert_eq!(d.streak(), 0);
+    }
+
+    #[test]
+    fn forward_branches_ignored() {
+        let mut d = LoopDetector::new(1, 256);
+        for _ in 0..10 {
+            d.observe(0x100, 0x200, true);
+        }
+        assert!(!d.in_loop());
+    }
+
+    #[test]
+    fn oversized_bodies_ignored() {
+        let mut d = LoopDetector::new(1, 64);
+        for _ in 0..10 {
+            d.observe(0x1000, 0x100, true);
+        }
+        assert!(!d.in_loop());
+    }
+
+    #[test]
+    fn new_candidate_replaces_old() {
+        let mut d = LoopDetector::new(3, 256);
+        d.observe(0x140, 0x100, true);
+        d.observe(0x240, 0x200, true); // different loop
+        assert_eq!(d.streak(), 1);
+        d.observe(0x240, 0x200, true);
+        d.observe(0x240, 0x200, true);
+        assert!(d.in_loop());
+        assert_eq!(d.loop_bounds(), Some((0x240, 0x200)));
+    }
+}

@@ -1,0 +1,340 @@
+//! The composed branch prediction unit used by the fetch engine and SCC.
+
+use crate::branch::{Bimodal, DirectionPredictor, GShare, TageLite};
+use crate::btb::{Btb, IndirectPredictor, ReturnAddressStack};
+use crate::loopdet::LoopDetector;
+use crate::loopexit::LoopExitPredictor;
+use scc_isa::{Addr, Op, Uop};
+
+/// Which direction predictor backs the unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum BranchPredictorKind {
+    /// Per-PC 2-bit counters.
+    Bimodal,
+    /// Global-history gshare.
+    GShare,
+    /// TAGE-lite (the default; Table I models an LTAGE-class predictor).
+    #[default]
+    TageLite,
+}
+
+impl std::fmt::Display for BranchPredictorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BranchPredictorKind::Bimodal => "bimodal",
+            BranchPredictorKind::GShare => "gshare",
+            BranchPredictorKind::TageLite => "tage-lite",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A full branch prediction: direction, target when known, confidence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PredictedBranch {
+    /// Predicted direction (always true for unconditional transfers).
+    pub taken: bool,
+    /// Predicted next PC; `None` when no target source (BTB/RAS/indirect)
+    /// has one.
+    pub target: Option<Addr>,
+    /// Direction confidence on the 0–15 scale (15 for unconditional
+    /// branches with a known target).
+    pub confidence: u8,
+}
+
+/// Composite branch prediction unit: direction predictor + BTB + indirect
+/// predictor + return-address stack + loop stream detector.
+///
+/// The paper doubles "the prediction width (along with the associated
+/// logic) to allow the fetch engine to simultaneously read two predictor
+/// entries at once" so SCC can probe while fetch predicts; the energy
+/// model charges for that. Here both consumers simply call into this one
+/// unit — probes use [`probe`](Self::probe) so they do not perturb stats.
+pub struct BranchPredictorUnit {
+    direction: Box<dyn DirectionPredictor>,
+    btb: Btb,
+    indirect: IndirectPredictor,
+    ras: ReturnAddressStack,
+    loops: LoopDetector,
+    loop_exit: LoopExitPredictor,
+    lookups: u64,
+    mispredicts: u64,
+}
+
+impl std::fmt::Debug for BranchPredictorUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BranchPredictorUnit")
+            .field("direction", &self.direction.name())
+            .field("lookups", &self.lookups)
+            .field("mispredicts", &self.mispredicts)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BranchPredictorUnit {
+    /// Creates a unit with the chosen direction predictor at default
+    /// Ice Lake-ish sizes.
+    pub fn new(kind: BranchPredictorKind) -> BranchPredictorUnit {
+        let direction: Box<dyn DirectionPredictor> = match kind {
+            BranchPredictorKind::Bimodal => Box::new(Bimodal::new(8192)),
+            BranchPredictorKind::GShare => Box::new(GShare::new(8192, 12)),
+            BranchPredictorKind::TageLite => Box::new(TageLite::new(2048)),
+        };
+        BranchPredictorUnit {
+            direction,
+            btb: Btb::new(4096),
+            indirect: IndirectPredictor::new(1024),
+            ras: ReturnAddressStack::new(32),
+            loops: LoopDetector::default_size(),
+            loop_exit: LoopExitPredictor::default_size(),
+            lookups: 0,
+            mispredicts: 0,
+        }
+    }
+
+    /// Predicts a branch micro-op at fetch. Advances the RAS for
+    /// call/return, and counts a lookup.
+    pub fn predict(&mut self, uop: &Uop) -> PredictedBranch {
+        self.lookups += 1;
+        match uop.op {
+            Op::Jmp => PredictedBranch { taken: true, target: uop.target, confidence: 15 },
+            Op::Call => {
+                self.ras.push(uop.next_addr());
+                PredictedBranch { taken: true, target: uop.target, confidence: 15 }
+            }
+            Op::Ret => {
+                let t = self.ras.pop();
+                PredictedBranch { taken: true, target: t, confidence: if t.is_some() { 15 } else { 0 } }
+            }
+            Op::JmpInd => {
+                let (target, confidence) = match self.indirect.predict(uop.macro_addr) {
+                    Some((t, c)) => (Some(t), c),
+                    None => (None, 0),
+                };
+                PredictedBranch { taken: true, target, confidence }
+            }
+            Op::BrCc | Op::CmpBr => {
+                // The loop-exit component (the "L" in L-TAGE) overrides the
+                // direction predictor when it confidently knows the trip
+                // count; otherwise TAGE decides.
+                let (taken, confidence) = match self.loop_exit.predict(uop.macro_addr) {
+                    Some(t) => (t, 15),
+                    None => {
+                        let d = self.direction.predict(uop.macro_addr);
+                        (d.taken, d.confidence)
+                    }
+                };
+                let target = if taken {
+                    uop.target.or_else(|| self.btb.lookup(uop.macro_addr))
+                } else {
+                    Some(uop.next_addr())
+                };
+                PredictedBranch { taken, target, confidence }
+            }
+            _ => panic!("predict called on non-branch uop {}", uop.op),
+        }
+    }
+
+    /// Non-mutating probe for SCC's control-invariant identification:
+    /// direction + confidence + target, with no stat or RAS side effects.
+    pub fn probe(&self, uop: &Uop) -> PredictedBranch {
+        match uop.op {
+            Op::Jmp | Op::Call => {
+                PredictedBranch { taken: true, target: uop.target, confidence: 15 }
+            }
+            Op::Ret | Op::JmpInd => {
+                let (target, confidence) = match self.indirect.predict(uop.macro_addr) {
+                    Some((t, c)) => (Some(t), c),
+                    None => (None, 0),
+                };
+                PredictedBranch { taken: true, target, confidence }
+            }
+            Op::BrCc | Op::CmpBr => {
+                let d = self.direction.predict(uop.macro_addr);
+                let target = if d.taken {
+                    uop.target.or_else(|| self.btb.peek(uop.macro_addr))
+                } else {
+                    Some(uop.next_addr())
+                };
+                PredictedBranch { taken: d.taken, target, confidence: d.confidence }
+            }
+            _ => panic!("probe called on non-branch uop {}", uop.op),
+        }
+    }
+
+    /// Trains with a resolved branch: actual direction and target.
+    /// `was_mispredicted` feeds the unit's accuracy stats.
+    pub fn update(&mut self, uop: &Uop, taken: bool, target: Addr, was_mispredicted: bool) {
+        if was_mispredicted {
+            self.mispredicts += 1;
+        }
+        match uop.op {
+            Op::BrCc | Op::CmpBr => {
+                self.direction.update(uop.macro_addr, taken);
+                self.loop_exit.update(uop.macro_addr, taken);
+                if taken {
+                    self.btb.update(uop.macro_addr, target);
+                }
+            }
+            Op::JmpInd | Op::Ret => self.indirect.update(uop.macro_addr, target),
+            Op::Jmp | Op::Call => {}
+            _ => panic!("update called on non-branch uop {}", uop.op),
+        }
+        self.loops.observe(uop.macro_addr, target, taken);
+    }
+
+    /// The loop stream detector, for fetch and SCC hotness hints.
+    pub fn loop_detector(&self) -> &LoopDetector {
+        &self.loops
+    }
+
+    /// Repairs speculative predictor state (loop-exit iteration counts)
+    /// after a squash.
+    pub fn on_squash(&mut self) {
+        self.loop_exit.on_squash();
+    }
+
+    /// The loop-exit component, for tests and reports.
+    pub fn loop_exit(&self) -> &LoopExitPredictor {
+        &self.loop_exit
+    }
+
+    /// (lookups, mispredicts).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.lookups, self.mispredicts)
+    }
+
+    /// Name of the underlying direction predictor.
+    pub fn direction_name(&self) -> &'static str {
+        self.direction.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_isa::{Cond, Operand, Reg};
+
+    fn cond_branch(pc: Addr, target: Addr) -> Uop {
+        let mut u = Uop::new(Op::CmpBr);
+        u.cond = Some(Cond::Ne);
+        u.src1 = Operand::Reg(Reg::int(0));
+        u.src2 = Operand::Imm(0);
+        u.target = Some(target);
+        u.macro_addr = pc;
+        u.macro_len = 5;
+        u
+    }
+
+    fn branch(op: Op, pc: Addr, target: Option<Addr>) -> Uop {
+        let mut u = Uop::new(op);
+        u.target = target;
+        u.macro_addr = pc;
+        u.macro_len = 5;
+        if matches!(op, Op::Ret | Op::JmpInd) {
+            u.src1 = Operand::Reg(Reg::int(15));
+        }
+        if op == Op::Call {
+            u.dst = Some(Reg::int(15));
+        }
+        u
+    }
+
+    #[test]
+    fn unconditional_jump_is_certain() {
+        let mut bp = BranchPredictorUnit::new(BranchPredictorKind::TageLite);
+        let j = branch(Op::Jmp, 0x100, Some(0x400));
+        let p = bp.predict(&j);
+        assert_eq!(p, PredictedBranch { taken: true, target: Some(0x400), confidence: 15 });
+    }
+
+    #[test]
+    fn call_ret_pair_uses_ras() {
+        let mut bp = BranchPredictorUnit::new(BranchPredictorKind::Bimodal);
+        let call = branch(Op::Call, 0x100, Some(0x800));
+        bp.predict(&call);
+        let ret = branch(Op::Ret, 0x810, None);
+        let p = bp.predict(&ret);
+        assert_eq!(p.target, Some(0x105), "return to call.next_addr()");
+        // Second return with empty RAS: no target.
+        let p2 = bp.predict(&ret);
+        assert_eq!(p2.target, None);
+        assert_eq!(p2.confidence, 0);
+    }
+
+    #[test]
+    fn conditional_branch_trains_toward_taken() {
+        let mut bp = BranchPredictorUnit::new(BranchPredictorKind::TageLite);
+        let b = cond_branch(0x200, 0x180);
+        for _ in 0..50 {
+            bp.update(&b, true, 0x180, false);
+        }
+        let p = bp.predict(&b);
+        assert!(p.taken);
+        assert_eq!(p.target, Some(0x180));
+        assert!(p.confidence >= 10);
+    }
+
+    #[test]
+    fn not_taken_prediction_targets_fallthrough() {
+        let mut bp = BranchPredictorUnit::new(BranchPredictorKind::Bimodal);
+        let b = cond_branch(0x200, 0x180);
+        for _ in 0..20 {
+            bp.update(&b, false, 0x205, false);
+        }
+        let p = bp.predict(&b);
+        assert!(!p.taken);
+        assert_eq!(p.target, Some(0x205));
+    }
+
+    #[test]
+    fn probe_has_no_side_effects() {
+        let mut bp = BranchPredictorUnit::new(BranchPredictorKind::TageLite);
+        let b = cond_branch(0x300, 0x280);
+        bp.update(&b, true, 0x280, false);
+        let before = bp.stats();
+        let _ = bp.probe(&b);
+        let _ = bp.probe(&b);
+        assert_eq!(bp.stats(), before, "probes must not count as lookups");
+    }
+
+    #[test]
+    fn indirect_branch_learns_target() {
+        let mut bp = BranchPredictorUnit::new(BranchPredictorKind::GShare);
+        let j = branch(Op::JmpInd, 0x500, None);
+        assert_eq!(bp.predict(&j).target, None);
+        for _ in 0..4 {
+            bp.update(&j, true, 0x1234, false);
+        }
+        let p = bp.predict(&j);
+        assert_eq!(p.target, Some(0x1234));
+        assert!(p.confidence >= 3);
+    }
+
+    #[test]
+    fn loop_detector_is_fed() {
+        let mut bp = BranchPredictorUnit::new(BranchPredictorKind::TageLite);
+        let b = cond_branch(0x240, 0x200);
+        for _ in 0..20 {
+            bp.update(&b, true, 0x200, false);
+        }
+        assert!(bp.loop_detector().in_loop());
+        assert!(bp.loop_detector().contains(0x220));
+    }
+
+    #[test]
+    fn mispredict_stats() {
+        let mut bp = BranchPredictorUnit::new(BranchPredictorKind::Bimodal);
+        let b = cond_branch(0x200, 0x180);
+        bp.predict(&b);
+        bp.update(&b, true, 0x180, true);
+        assert_eq!(bp.stats(), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-branch")]
+    fn predict_rejects_alu() {
+        let mut bp = BranchPredictorUnit::new(BranchPredictorKind::Bimodal);
+        bp.predict(&Uop::new(Op::Add));
+    }
+}

@@ -1,0 +1,265 @@
+//! Value prediction: trait and the simple baseline predictors.
+//!
+//! Value prediction is SCC's primary mechanism for identifying speculative
+//! data invariants: during compaction, each micro-op whose sources are not
+//! already known is looked up in the value predictor, and a sufficiently
+//! confident prediction becomes a data invariant (paper §IV).
+
+use scc_isa::Addr;
+use std::collections::HashMap;
+
+/// A value prediction with confidence on the paper's 0–15 scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ValuePrediction {
+    /// Predicted result value of the instruction.
+    pub value: i64,
+    /// Confidence, 0 (none) to 15 (saturated).
+    pub confidence: u8,
+    /// True when the predictor's hypothesis implies the value *recurs*
+    /// (zero stride, repeating pattern) rather than following a moving
+    /// sequence. SCC only adopts recurring predictions as speculative
+    /// data invariants — a striding loop counter is confidently
+    /// predictable but is the opposite of an invariant.
+    pub stable: bool,
+}
+
+/// A per-PC value predictor.
+///
+/// `predict` is non-mutating so SCC can probe it freely during compaction
+/// and the profitability unit can re-check invariants against "the current
+/// state of the value predictor" (paper §V) without perturbing training.
+pub trait ValuePredictor {
+    /// Predicts the next result of the instruction at `pc`.
+    fn predict(&self, pc: Addr) -> Option<ValuePrediction>;
+
+    /// Predicts the result of the `n`-th next execution of `pc` (`n = 1`
+    /// is [`predict`](Self::predict)). Real CVP predictors adjust for
+    /// in-flight, not-yet-trained instances exactly this way; SCC's
+    /// profitability re-check uses it so a streamed invariant is compared
+    /// against the dynamic instance it will actually validate against.
+    /// The default is phase-insensitive (returns `predict`).
+    fn predict_nth(&self, pc: Addr, n: u64) -> Option<ValuePrediction> {
+        let _ = n;
+        self.predict(pc)
+    }
+
+    /// Trains with the committed result of the instruction at `pc`.
+    fn train(&mut self, pc: Addr, actual: i64);
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Which value predictor to instantiate — the paper's Figure 9 sensitivity
+/// axis plus the simple baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ValuePredictorKind {
+    /// Last-value predictor.
+    LastValue,
+    /// Stride predictor.
+    Stride,
+    /// EVES (enhanced stride + context), the paper's default
+    /// (`--lvpredType=eves`).
+    #[default]
+    Eves,
+    /// H3VP, the 3-period oscillating-pattern predictor.
+    H3vp,
+}
+
+impl ValuePredictorKind {
+    /// Instantiates the predictor at its default size.
+    pub fn build(self) -> Box<dyn ValuePredictor> {
+        match self {
+            ValuePredictorKind::LastValue => Box::new(LastValue::new()),
+            ValuePredictorKind::Stride => Box::new(Stride::new()),
+            ValuePredictorKind::Eves => Box::new(crate::Eves::default_size()),
+            ValuePredictorKind::H3vp => Box::new(crate::H3vp::default_size()),
+        }
+    }
+
+    /// All kinds, for sweeps.
+    pub fn all() -> [ValuePredictorKind; 4] {
+        [
+            ValuePredictorKind::LastValue,
+            ValuePredictorKind::Stride,
+            ValuePredictorKind::Eves,
+            ValuePredictorKind::H3vp,
+        ]
+    }
+}
+
+impl std::fmt::Display for ValuePredictorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ValuePredictorKind::LastValue => "last-value",
+            ValuePredictorKind::Stride => "stride",
+            ValuePredictorKind::Eves => "eves",
+            ValuePredictorKind::H3vp => "h3vp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Predicts that an instruction produces the same value it produced last
+/// time; confidence builds with repetition.
+#[derive(Clone, Debug, Default)]
+pub struct LastValue {
+    table: HashMap<Addr, (i64, u8)>,
+}
+
+impl LastValue {
+    /// Creates an empty last-value predictor.
+    pub fn new() -> LastValue {
+        LastValue::default()
+    }
+}
+
+impl ValuePredictor for LastValue {
+    fn predict(&self, pc: Addr) -> Option<ValuePrediction> {
+        self.table
+            .get(&pc)
+            .map(|&(value, confidence)| ValuePrediction { value, confidence, stable: true })
+    }
+
+    fn train(&mut self, pc: Addr, actual: i64) {
+        let e = self.table.entry(pc).or_insert((actual, 0));
+        if e.0 == actual {
+            e.1 = (e.1 + 1).min(crate::MAX_CONFIDENCE);
+        } else {
+            *e = (actual, 0);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "last-value"
+    }
+}
+
+/// Classic stride predictor: learns `value[n+1] = value[n] + stride`.
+#[derive(Clone, Debug, Default)]
+pub struct Stride {
+    table: HashMap<Addr, StrideEntry>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct StrideEntry {
+    last: i64,
+    stride: i64,
+    confidence: u8,
+}
+
+impl Stride {
+    /// Creates an empty stride predictor.
+    pub fn new() -> Stride {
+        Stride::default()
+    }
+}
+
+impl ValuePredictor for Stride {
+    fn predict(&self, pc: Addr) -> Option<ValuePrediction> {
+        self.table.get(&pc).map(|e| ValuePrediction {
+            value: e.last.wrapping_add(e.stride),
+            confidence: e.confidence,
+            stable: e.stride == 0,
+        })
+    }
+
+    fn train(&mut self, pc: Addr, actual: i64) {
+        match self.table.get_mut(&pc) {
+            Some(e) => {
+                let observed = actual.wrapping_sub(e.last);
+                if observed == e.stride {
+                    e.confidence = (e.confidence + 1).min(crate::MAX_CONFIDENCE);
+                } else {
+                    e.stride = observed;
+                    e.confidence = 0;
+                }
+                e.last = actual;
+            }
+            None => {
+                self.table.insert(pc, StrideEntry { last: actual, stride: 0, confidence: 0 });
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "stride"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_constant_stream() {
+        let mut p = LastValue::new();
+        assert!(p.predict(1).is_none());
+        for _ in 0..20 {
+            p.train(1, 42);
+        }
+        let pr = p.predict(1).unwrap();
+        assert_eq!(pr.value, 42);
+        assert_eq!(pr.confidence, 15);
+    }
+
+    #[test]
+    fn last_value_change_resets_confidence() {
+        let mut p = LastValue::new();
+        for _ in 0..10 {
+            p.train(1, 42);
+        }
+        p.train(1, 43);
+        let pr = p.predict(1).unwrap();
+        assert_eq!(pr.value, 43);
+        assert_eq!(pr.confidence, 0);
+    }
+
+    #[test]
+    fn stride_learns_arithmetic_sequence() {
+        let mut p = Stride::new();
+        for i in 0..10 {
+            p.train(7, i * 8);
+        }
+        let pr = p.predict(7).unwrap();
+        assert_eq!(pr.value, 80);
+        assert!(pr.confidence >= 8);
+    }
+
+    #[test]
+    fn stride_zero_is_last_value() {
+        let mut p = Stride::new();
+        for _ in 0..5 {
+            p.train(7, 99);
+        }
+        assert_eq!(p.predict(7).unwrap().value, 99);
+    }
+
+    #[test]
+    fn stride_handles_wrapping() {
+        let mut p = Stride::new();
+        p.train(3, i64::MAX - 1);
+        p.train(3, i64::MAX);
+        let pr = p.predict(3).unwrap();
+        assert_eq!(pr.value, i64::MIN); // wraps, never panics
+    }
+
+    #[test]
+    fn kinds_build_and_name() {
+        for k in ValuePredictorKind::all() {
+            let p = k.build();
+            assert!(!p.name().is_empty());
+            assert_eq!(k.to_string().is_empty(), false);
+        }
+        assert_eq!(ValuePredictorKind::default(), ValuePredictorKind::Eves);
+    }
+
+    #[test]
+    fn separate_pcs_are_independent() {
+        let mut p = LastValue::new();
+        p.train(1, 10);
+        p.train(2, 20);
+        assert_eq!(p.predict(1).unwrap().value, 10);
+        assert_eq!(p.predict(2).unwrap().value, 20);
+    }
+}

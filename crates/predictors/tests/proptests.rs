@@ -1,0 +1,114 @@
+//! Property-based tests: predictor invariants that must hold for any
+//! training sequence.
+
+use proptest::prelude::*;
+use scc_predictors::{
+    Bimodal, DirectionPredictor, Eves, GShare, H3vp, LastValue, Stride, TageLite, ValuePredictor,
+    MAX_CONFIDENCE,
+};
+
+fn all_value_predictors() -> Vec<Box<dyn ValuePredictor>> {
+    vec![
+        Box::new(LastValue::new()),
+        Box::new(Stride::new()),
+        Box::new(Eves::default_size()),
+        Box::new(H3vp::default_size()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn value_predictor_confidence_stays_in_range(
+        values in proptest::collection::vec(any::<i64>(), 1..200),
+        pcs in proptest::collection::vec(0u64..8, 1..200),
+    ) {
+        for mut p in all_value_predictors() {
+            for (v, pc) in values.iter().zip(pcs.iter().cycle()) {
+                p.train(*pc, *v);
+                if let Some(pred) = p.predict(*pc) {
+                    prop_assert!(pred.confidence <= MAX_CONFIDENCE);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_streams_converge_to_stable_high_confidence(v in any::<i64>()) {
+        for mut p in all_value_predictors() {
+            for _ in 0..32 {
+                p.train(9, v);
+            }
+            let pred = p.predict(9).unwrap_or_else(|| panic!("{} lost a constant", p.name()));
+            prop_assert_eq!(pred.value, v, "{} wrong value", p.name());
+            prop_assert!(pred.stable, "{} must mark constants stable", p.name());
+            prop_assert!(pred.confidence >= 8, "{} low confidence on constant", p.name());
+        }
+    }
+
+    #[test]
+    fn predict_nth_of_constant_is_constant(v in any::<i64>(), n in 1u64..20) {
+        for mut p in all_value_predictors() {
+            for _ in 0..32 {
+                p.train(5, v);
+            }
+            if let Some(pred) = p.predict_nth(5, n) {
+                prop_assert_eq!(pred.value, v, "{} at depth {}", p.name(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn h3vp_predict_nth_tracks_oscillation_phase(
+        a in any::<i64>(), b in any::<i64>(), n in 1u64..12,
+    ) {
+        prop_assume!(a != b);
+        let mut p = H3vp::default_size();
+        for _ in 0..24 {
+            p.train(3, a);
+            p.train(3, b);
+        }
+        // Last trained value is `b`; the n-th next value alternates.
+        let expect = if n % 2 == 1 { a } else { b };
+        let pred = p.predict_nth(3, n).expect("period-2 locked");
+        prop_assert_eq!(pred.value, expect, "phase {} of ({}, {})", n, a, b);
+    }
+
+    #[test]
+    fn direction_predictors_never_panic_and_learn_bias(
+        outcomes in proptest::collection::vec(any::<bool>(), 50..300),
+        pc in 0u64..1_000_000,
+    ) {
+        let mut preds: Vec<Box<dyn DirectionPredictor>> = vec![
+            Box::new(Bimodal::new(256)),
+            Box::new(GShare::new(256, 8)),
+            Box::new(TageLite::new(256)),
+        ];
+        for p in &mut preds {
+            for &t in &outcomes {
+                let d = p.predict(pc);
+                prop_assert!(d.confidence <= 15);
+                p.update(pc, t);
+            }
+        }
+        // A fully biased tail must win out.
+        for p in &mut preds {
+            for _ in 0..64 {
+                p.update(pc, true);
+            }
+            prop_assert!(p.predict(pc).taken, "{} failed to learn bias", p.name());
+        }
+    }
+
+    #[test]
+    fn stride_predictions_advance_linearly(start in -1_000_000i64..1_000_000, stride in 1i64..5_000, n in 1u64..16) {
+        let mut p = Eves::default_size();
+        for i in 0..24 {
+            p.train(7, start + i * stride);
+        }
+        let pred = p.predict_nth(7, n).expect("stride locked");
+        prop_assert_eq!(pred.value, start + 23 * stride + n as i64 * stride);
+        prop_assert!(!pred.stable, "nonzero strides are not invariants");
+    }
+}

@@ -1,0 +1,121 @@
+//! Artifact-compatible command-line driver.
+//!
+//! Accepts the flag names from the paper's artifact appendix (its gem5
+//! `se.py` invocations), so the README's experiment recipes translate
+//! almost verbatim:
+//!
+//! ```text
+//! cargo run --release -p scc-sim --bin se -- \
+//!     --workload freqmine --iters 4000 \
+//!     --enable-superoptimization --lvpredType=eves \
+//!     --predictionConfidenceThreshold=5 \
+//!     --usingControlTracking=1 --usingCCTracking=1 \
+//!     --uopCacheNumSets=24 --specCacheNumSets=24 --specCacheNumWays=4
+//! ```
+//!
+//! Omitting `--enable-superoptimization` runs the baseline (optionally
+//! with `--enableValuePredForwinding`, like the paper's baseline). Flags
+//! the simulator does not model (`--caches`, `--mem-type`, …) are
+//! accepted and ignored, with a note.
+
+use scc_core::{OptFlags, SccConfig};
+use scc_pipeline::{FrontendMode, Pipeline, PipelineConfig};
+use scc_sim::cli::{parse_se_args, SeArgs, SeParse};
+use scc_uopcache::UopCacheConfig;
+use scc_workloads::{all_workloads, workload, Scale};
+
+fn usage() -> String {
+    "usage: se --workload NAME [--iters N] [--enable-superoptimization]\n\
+     \t[--lvpredType=eves|h3vp|stride|lvp] [--predictionConfidenceThreshold=N]\n\
+     \t[--usingControlTracking=0|1] [--usingCCTracking=0|1]\n\
+     \t[--uopCacheNumSets=N] [--specCacheNumSets=N] [--specCacheNumWays=N]\n\
+     \t[--enableValuePredForwinding] [--list-workloads]\n\
+     Unmodeled artifact flags (--caches, --mem-type, ...) are accepted and ignored."
+        .into()
+}
+
+fn config_for(args: &SeArgs) -> PipelineConfig {
+    let frontend = if args.superopt {
+        let mut flags = OptFlags::full();
+        flags.control_invariants = args.control_tracking;
+        flags.cc_tracking = args.cc_tracking;
+        let mut scc = SccConfig::with_opts(flags);
+        scc.confidence_threshold = args.confidence;
+        FrontendMode::Scc {
+            unopt: UopCacheConfig::unopt_partition(args.uop_sets),
+            opt: UopCacheConfig {
+                ways: args.spec_ways,
+                ..UopCacheConfig::opt_partition(args.spec_sets)
+            },
+            scc,
+        }
+    } else {
+        FrontendMode::Baseline {
+            uop_cache: UopCacheConfig::unopt_partition(args.uop_sets.max(1)),
+        }
+    };
+    PipelineConfig {
+        frontend,
+        value_predictor: args.lvpred,
+        vp_forwarding: if args.vp_forwarding { Some(args.confidence) } else { None },
+        ..PipelineConfig::baseline()
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut notes = Vec::new();
+    let args = match parse_se_args(&argv, &mut notes) {
+        SeParse::Run(a) => a,
+        SeParse::Help => {
+            println!("{}", usage());
+            return;
+        }
+        SeParse::Error(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    for n in &notes {
+        eprintln!("note: {n}");
+    }
+    if args.list {
+        for w in all_workloads(Scale::custom(1)) {
+            println!("{:<14} {:?}  {}", w.name, w.suite, w.description);
+        }
+        return;
+    }
+    let w = workload(&args.workload, Scale::custom(args.iters)).unwrap_or_else(|| {
+        eprintln!("error: unknown workload {} (try --list-workloads)", args.workload);
+        std::process::exit(2);
+    });
+    let mut pipe = Pipeline::new(&w.program, config_for(&args));
+    let res = pipe.run(args.max_cycles);
+    let s = &res.stats;
+    // gem5-flavored stats dump.
+    println!("---------- Begin Simulation Statistics ----------");
+    println!("sim_cycles                     {:>14}", s.cycles);
+    println!("committed_uops                 {:>14}", s.committed_uops);
+    println!("program_uops                   {:>14}", s.program_uops);
+    println!("ipc                            {:>14.4}", s.ipc());
+    println!("fetch.uops_from_icache         {:>14}", s.uops_from_icache);
+    println!("fetch.uops_from_uop_cache      {:>14}", s.uops_from_unopt);
+    println!("fetch.uops_from_spec_cache     {:>14}", s.uops_from_opt);
+    println!("squashes                       {:>14}", s.squashes);
+    println!("squashed_uops                  {:>14}", s.squashed_uops);
+    println!("branch.resolved                {:>14}", s.branches_resolved);
+    println!("branch.mispredicted            {:>14}", s.branches_mispredicted);
+    println!("scc.compactions                {:>14}", s.compactions);
+    println!("scc.streams_committed          {:>14}", s.streams_committed);
+    println!("scc.invariants_validated       {:>14}", s.invariants_validated);
+    println!("scc.invariants_failed          {:>14}", s.invariants_failed);
+    println!("scc.live_out_writes            {:>14}", s.live_out_writes);
+    println!("vp.forwards                    {:>14}", s.vp_forwards);
+    println!("vp.forward_fails               {:>14}", s.vp_forward_fails);
+    println!("l1i.hit_rate                   {:>14.4}", s.hierarchy.l1i.hit_rate());
+    println!("l1d.hit_rate                   {:>14.4}", s.hierarchy.l1d.hit_rate());
+    println!("dram.accesses                  {:>14}", s.hierarchy.dram);
+    let energy = scc_energy::EnergyModel::icelake().energy(&scc_sim::energy_events(s));
+    println!("energy.total_mj                {:>14.6}", energy.total_mj());
+    println!("---------- End Simulation Statistics   ----------");
+}

@@ -1,0 +1,247 @@
+//! Parsing for the artifact-compatible `se` command line.
+//!
+//! Lives in the library (rather than the binary) so flag handling is unit
+//! tested; the `se` binary is a thin wrapper.
+
+use scc_predictors::ValuePredictorKind;
+
+/// Parsed `se` arguments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeArgs {
+    /// Workload name.
+    pub workload: String,
+    /// Workload scale (base loop iterations).
+    pub iters: i64,
+    /// `--enable-superoptimization`: run SCC instead of the baseline.
+    pub superopt: bool,
+    /// `--lvpredType`.
+    pub lvpred: ValuePredictorKind,
+    /// `--predictionConfidenceThreshold` (defaults: 15 baseline, 5 SCC).
+    pub confidence: u8,
+    /// `--usingControlTracking`.
+    pub control_tracking: bool,
+    /// `--usingCCTracking`.
+    pub cc_tracking: bool,
+    /// `--enableValuePredForwinding` (sic — the artifact's spelling is
+    /// accepted too).
+    pub vp_forwarding: bool,
+    /// `--uopCacheNumSets` (unoptimized partition / baseline cache).
+    pub uop_sets: usize,
+    /// `--specCacheNumSets` (optimized partition).
+    pub spec_sets: usize,
+    /// `--specCacheNumWays`.
+    pub spec_ways: usize,
+    /// `--max-cycles` safety net.
+    pub max_cycles: u64,
+    /// `--list-workloads`.
+    pub list: bool,
+}
+
+impl Default for SeArgs {
+    fn default() -> SeArgs {
+        SeArgs {
+            workload: "freqmine".into(),
+            iters: 4000,
+            superopt: false,
+            lvpred: ValuePredictorKind::Eves,
+            confidence: 15,
+            control_tracking: true,
+            cc_tracking: true,
+            vp_forwarding: false,
+            uop_sets: 24,
+            spec_sets: 24,
+            spec_ways: 4,
+            max_cycles: 400_000_000,
+            list: false,
+        }
+    }
+}
+
+/// Outcome of parsing: arguments, a help request, or an error message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SeParse {
+    /// Parsed successfully.
+    Run(SeArgs),
+    /// `--help` was requested.
+    Help,
+    /// A flag was malformed or unknown.
+    Error(String),
+}
+
+/// Artifact flags that are accepted but fixed by the model; flags paired
+/// with `true` consume a value.
+const UNMODELED: &[(&str, bool)] = &[
+    ("--caches", false),
+    ("--l2cache", false),
+    ("--l3cache", false),
+    ("--enable-micro-op-cache", false),
+    ("--enable-micro-fusion", false),
+    ("--forceNoTSO", false),
+    ("--enableDynamicThreshold", false),
+    ("--lvpLookahead", false),
+    ("--predictingArithmetic", true),
+    ("--uopCacheNumWays", true),
+    ("--uopCacheNumUops", true),
+    ("--specCacheNumUops", true),
+    ("--cpu-type", true),
+    ("--mem-type", true),
+    ("--mem-size", true),
+    ("--mem-channels", true),
+];
+
+/// Parses `se` arguments (excluding `argv[0]`). Notes about accepted but
+/// unmodeled flags are appended to `notes`.
+pub fn parse_se_args(argv: &[String], notes: &mut Vec<String>) -> SeParse {
+    let mut a = SeArgs::default();
+    let mut saw_confidence = false;
+    let mut it = argv.iter().peekable();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        macro_rules! value {
+            () => {
+                match inline.clone().or_else(|| it.next().cloned()) {
+                    Some(v) => v,
+                    None => return SeParse::Error(format!("{flag} needs a value")),
+                }
+            };
+        }
+        macro_rules! parse_num {
+            ($t:ty) => {
+                match value!().parse::<$t>() {
+                    Ok(v) => v,
+                    Err(e) => return SeParse::Error(format!("{flag}: {e}")),
+                }
+            };
+        }
+        match flag {
+            "--workload" => a.workload = value!(),
+            "--iters" => a.iters = parse_num!(i64),
+            "--max-cycles" => a.max_cycles = parse_num!(u64),
+            "--enable-superoptimization" => a.superopt = true,
+            "--enableValuePredForwinding" | "--enableValuePredForwarding" => {
+                a.vp_forwarding = true
+            }
+            "--lvpredType" => {
+                a.lvpred = match value!().as_str() {
+                    "eves" => ValuePredictorKind::Eves,
+                    "h3vp" => ValuePredictorKind::H3vp,
+                    "stride" => ValuePredictorKind::Stride,
+                    "lvp" | "last-value" => ValuePredictorKind::LastValue,
+                    other => return SeParse::Error(format!("unknown --lvpredType {other}")),
+                }
+            }
+            "--predictionConfidenceThreshold" => {
+                a.confidence = parse_num!(u8);
+                saw_confidence = true;
+            }
+            "--usingControlTracking" => a.control_tracking = value!() != "0",
+            "--usingCCTracking" => a.cc_tracking = value!() != "0",
+            "--uopCacheNumSets" => a.uop_sets = parse_num!(usize),
+            "--specCacheNumSets" => a.spec_sets = parse_num!(usize),
+            "--specCacheNumWays" => a.spec_ways = parse_num!(usize),
+            "--list-workloads" => a.list = true,
+            "--help" | "-h" => return SeParse::Help,
+            other => match UNMODELED.iter().find(|(f, _)| *f == other) {
+                Some((f, takes_value)) => {
+                    if *takes_value && inline.is_none() {
+                        let _ = it.next();
+                    }
+                    notes.push(format!("{f} accepted (behaviour fixed by the model)"));
+                }
+                None => return SeParse::Error(format!("unknown flag {other}")),
+            },
+        }
+    }
+    if a.superopt && !saw_confidence {
+        // The appendix's SCC runs use the aggressive threshold.
+        a.confidence = 5;
+    }
+    SeParse::Run(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> SeParse {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_se_args(&argv, &mut Vec::new())
+    }
+
+    fn run(args: &[&str]) -> SeArgs {
+        match parse(args) {
+            SeParse::Run(a) => a,
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn appendix_scc_invocation_parses() {
+        let a = run(&[
+            "--workload", "freqmine", "--enable-superoptimization",
+            "--lvpredType=eves", "--usingControlTracking=1", "--usingCCTracking=1",
+            "--uopCacheNumSets=24", "--specCacheNumSets=24", "--specCacheNumWays=4",
+        ]);
+        assert!(a.superopt);
+        assert_eq!(a.lvpred, ValuePredictorKind::Eves);
+        assert_eq!(a.confidence, 5, "SCC default threshold");
+        assert_eq!((a.uop_sets, a.spec_sets, a.spec_ways), (24, 24, 4));
+    }
+
+    #[test]
+    fn appendix_baseline_invocation_parses() {
+        let a = run(&[
+            "--lvpredType=eves", "--predictionConfidenceThreshold=15",
+            "--enableValuePredForwinding", "--uopCacheNumSets=48",
+        ]);
+        assert!(!a.superopt);
+        assert!(a.vp_forwarding);
+        assert_eq!(a.confidence, 15);
+        assert_eq!(a.uop_sets, 48);
+    }
+
+    #[test]
+    fn inline_and_space_separated_values_both_work() {
+        let a = run(&["--iters", "1234"]);
+        assert_eq!(a.iters, 1234);
+        let b = run(&["--iters=1234"]);
+        assert_eq!(b.iters, 1234);
+    }
+
+    #[test]
+    fn unmodeled_flags_are_noted_not_fatal() {
+        let argv: Vec<String> =
+            ["--caches", "--mem-type", "DDR4_2400_16x4", "--predictingArithmetic", "1"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let mut notes = Vec::new();
+        assert!(matches!(parse_se_args(&argv, &mut notes), SeParse::Run(_)));
+        assert_eq!(notes.len(), 3);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(parse(&["--bogus"]), SeParse::Error(_)));
+        assert!(matches!(parse(&["--iters"]), SeParse::Error(_)));
+        assert!(matches!(parse(&["--iters", "abc"]), SeParse::Error(_)));
+        assert!(matches!(parse(&["--lvpredType=quantum"]), SeParse::Error(_)));
+        assert_eq!(parse(&["--help"]), SeParse::Help);
+    }
+
+    #[test]
+    fn explicit_confidence_wins_over_scc_default() {
+        let a = run(&["--enable-superoptimization", "--predictionConfidenceThreshold=9"]);
+        assert_eq!(a.confidence, 9);
+    }
+
+    #[test]
+    fn control_and_cc_tracking_toggle() {
+        let a = run(&["--usingControlTracking=0", "--usingCCTracking=0"]);
+        assert!(!a.control_tracking);
+        assert!(!a.cc_tracking);
+    }
+}

@@ -1,0 +1,457 @@
+//! A self-contained SimPoint implementation.
+//!
+//! The paper samples each benchmark with "the SimPoint methodology …
+//! multiple simpoints that include representative runs of 100 million
+//! dynamic instruction intervals" (§VI). SimPoint itself is another
+//! substrate this reproduction has to build: execution is divided into
+//! fixed-length intervals, each summarized by a basic-block vector (BBV),
+//! the BBVs are clustered with k-means, and one representative interval
+//! per cluster — weighted by cluster population — stands in for the whole
+//! run.
+//!
+//! Here BBVs count committed micro-ops per 32-byte code region (the same
+//! granularity the micro-op cache and SCC use), hashed into a fixed-width
+//! dense vector; clustering is classic k-means with farthest-point
+//! initialization, deterministic for a given seed.
+//!
+//! # Example
+//!
+//! ```
+//! use scc_sim::simpoint::{choose_simpoints, SimpointConfig};
+//! use scc_workloads::{workload, Scale};
+//!
+//! let w = workload("perlbench", Scale::custom(400)).unwrap();
+//! let cfg = SimpointConfig { interval_uops: 5_000, k: 3, ..SimpointConfig::default() };
+//! let sp = choose_simpoints(&w.program, &cfg).unwrap();
+//! assert!(!sp.points.is_empty());
+//! let total: f64 = sp.points.iter().map(|p| p.weight).sum();
+//! assert!((total - 1.0).abs() < 1e-9);
+//! ```
+
+use crate::{energy_events, OptLevel, SimOptions, SimResult};
+use scc_energy::EnergyModel;
+use scc_isa::{region, ArchSnapshot, Machine, Program, RunError};
+use scc_pipeline::Pipeline;
+use scc_workloads::Workload;
+
+/// Dimensionality of the hashed BBV projection.
+const BBV_DIMS: usize = 64;
+
+/// SimPoint methodology parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimpointConfig {
+    /// Interval length in committed micro-ops (the paper uses 100 M on
+    /// real benchmarks; synthetic runs use much shorter intervals).
+    pub interval_uops: u64,
+    /// Number of clusters (maxK in SimPoint terms).
+    pub k: usize,
+    /// K-means iteration budget.
+    pub max_iters: usize,
+    /// Deterministic seed for initialization.
+    pub seed: u64,
+    /// Micro-ops simulated before measurement starts, warming caches,
+    /// predictors, and the SCC partitions (checkpoint state is
+    /// architectural only). Standard checkpoint-sampling practice.
+    pub warmup_uops: u64,
+}
+
+impl Default for SimpointConfig {
+    fn default() -> SimpointConfig {
+        SimpointConfig {
+            interval_uops: 100_000,
+            k: 4,
+            max_iters: 50,
+            seed: 42,
+            warmup_uops: 50_000,
+        }
+    }
+}
+
+/// One chosen simpoint: a representative interval plus its weight.
+#[derive(Clone, Debug)]
+pub struct Simpoint {
+    /// Index of the interval in execution order.
+    pub interval: usize,
+    /// Fraction of all intervals its cluster covers (weights sum to 1).
+    pub weight: f64,
+    /// Architectural checkpoint at the interval's start.
+    pub checkpoint: ArchSnapshot,
+    /// PC at the interval's start.
+    pub start_pc: u64,
+}
+
+/// The chosen simpoints for one program.
+#[derive(Clone, Debug)]
+pub struct Simpoints {
+    /// Representative intervals, one per (non-empty) cluster.
+    pub points: Vec<Simpoint>,
+    /// Total intervals profiled.
+    pub intervals: usize,
+    /// Interval length used.
+    pub interval_uops: u64,
+}
+
+/// Errors from simpoint selection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimpointError {
+    /// The profiling run failed (invalid control flow).
+    Profile(RunError),
+    /// The program is shorter than one interval.
+    TooShort,
+}
+
+impl std::fmt::Display for SimpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimpointError::Profile(e) => write!(f, "profiling run failed: {e}"),
+            SimpointError::TooShort => write!(f, "program shorter than one interval"),
+        }
+    }
+}
+
+impl std::error::Error for SimpointError {}
+
+fn hash_region(r: u64) -> usize {
+    ((r.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 40) as usize % BBV_DIMS
+}
+
+fn normalize(v: &mut [f64; BBV_DIMS]) {
+    let sum: f64 = v.iter().sum();
+    if sum > 0.0 {
+        for x in v.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+fn dist2(a: &[f64; BBV_DIMS], b: &[f64; BBV_DIMS]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Profiles the program into per-interval BBVs and start checkpoints.
+fn profile(
+    program: &Program,
+    interval_uops: u64,
+) -> Result<(Vec<[f64; BBV_DIMS]>, Vec<(ArchSnapshot, u64)>), SimpointError> {
+    let mut m = Machine::new(program);
+    let mut bbvs = Vec::new();
+    let mut starts = Vec::new();
+    let mut current = [0.0f64; BBV_DIMS];
+    let mut interval_start = m.uop_count();
+    starts.push((m.snapshot(), m.pc()));
+    while !m.is_halted() {
+        let step = match m.step_macro(10 * interval_uops.max(1)) {
+            Ok(s) => s,
+            Err(RunError::OutOfBudget { .. }) => break,
+            Err(e) => return Err(SimpointError::Profile(e)),
+        };
+        current[hash_region(region(step.addr))] += step.uops as f64;
+        if m.uop_count() - interval_start >= interval_uops && !m.is_halted() {
+            normalize(&mut current);
+            bbvs.push(current);
+            current = [0.0; BBV_DIMS];
+            interval_start = m.uop_count();
+            starts.push((m.snapshot(), m.pc()));
+        }
+    }
+    // The final (possibly partial) interval.
+    normalize(&mut current);
+    bbvs.push(current);
+    if bbvs.len() < 2 && m.uop_count() < interval_uops {
+        return Err(SimpointError::TooShort);
+    }
+    Ok((bbvs, starts))
+}
+
+/// Deterministic k-means over the BBVs; returns per-interval cluster ids.
+fn kmeans(bbvs: &[[f64; BBV_DIMS]], k: usize, max_iters: usize, seed: u64) -> Vec<usize> {
+    let k = k.min(bbvs.len()).max(1);
+    // Farthest-point initialization from a seeded start.
+    let mut centroids: Vec<[f64; BBV_DIMS]> = Vec::with_capacity(k);
+    centroids.push(bbvs[(seed as usize) % bbvs.len()]);
+    while centroids.len() < k {
+        let far = bbvs
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                let da: f64 =
+                    centroids.iter().map(|c| dist2(a, c)).fold(f64::MAX, f64::min);
+                let db: f64 =
+                    centroids.iter().map(|c| dist2(b, c)).fold(f64::MAX, f64::min);
+                da.partial_cmp(&db).expect("distances are finite")
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        centroids.push(bbvs[far]);
+    }
+    let mut assignment = vec![0usize; bbvs.len()];
+    for _ in 0..max_iters {
+        let mut changed = false;
+        for (i, v) in bbvs.iter().enumerate() {
+            let best = (0..centroids.len())
+                .min_by(|&a, &b| {
+                    dist2(v, &centroids[a])
+                        .partial_cmp(&dist2(v, &centroids[b]))
+                        .expect("finite")
+                })
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Recompute centroids.
+        let mut sums = vec![[0.0f64; BBV_DIMS]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, v) in bbvs.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for d in 0..BBV_DIMS {
+                sums[assignment[i]][d] += v[d];
+            }
+        }
+        for (c, (sum, n)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *n > 0 {
+                for d in 0..BBV_DIMS {
+                    c[d] = sum[d] / *n as f64;
+                }
+            }
+        }
+    }
+    assignment
+}
+
+/// Profiles `program` and selects weighted representative intervals.
+///
+/// # Errors
+///
+/// Returns [`SimpointError`] if the profiling run fails or the program is
+/// shorter than one interval.
+pub fn choose_simpoints(
+    program: &Program,
+    cfg: &SimpointConfig,
+) -> Result<Simpoints, SimpointError> {
+    let (bbvs, starts) = profile(program, cfg.interval_uops)?;
+    let assignment = kmeans(&bbvs, cfg.k, cfg.max_iters, cfg.seed);
+    let clusters = assignment.iter().max().map_or(1, |m| m + 1);
+    // Centroids for representative selection.
+    let mut points = Vec::new();
+    for c in 0..clusters {
+        let members: Vec<usize> =
+            (0..bbvs.len()).filter(|&i| assignment[i] == c).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let mut centroid = [0.0f64; BBV_DIMS];
+        for &i in &members {
+            for d in 0..BBV_DIMS {
+                centroid[d] += bbvs[i][d];
+            }
+        }
+        for d in 0..BBV_DIMS {
+            centroid[d] /= members.len() as f64;
+        }
+        let rep = members
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                dist2(&bbvs[a], &centroid)
+                    .partial_cmp(&dist2(&bbvs[b], &centroid))
+                    .expect("finite")
+            })
+            .expect("non-empty cluster");
+        let (checkpoint, start_pc) = starts[rep].clone();
+        points.push(Simpoint {
+            interval: rep,
+            weight: members.len() as f64 / bbvs.len() as f64,
+            checkpoint,
+            start_pc,
+        });
+    }
+    points.sort_by_key(|p| p.interval);
+    Ok(Simpoints { points, intervals: bbvs.len(), interval_uops: cfg.interval_uops })
+}
+
+/// A simpoint-estimated result: weighted cycles/energy plus the points
+/// used.
+#[derive(Clone, Debug)]
+pub struct SimpointEstimate {
+    /// Weighted cycles-per-interval × interval count (estimated whole-run
+    /// cycles).
+    pub estimated_cycles: f64,
+    /// Weighted committed micro-ops (≈ intervals × interval length).
+    pub estimated_uops: f64,
+    /// Weighted energy in picojoules.
+    pub estimated_energy_pj: f64,
+    /// Per-point measured results.
+    pub per_point: Vec<(Simpoint, SimResult)>,
+}
+
+/// Runs only the simpoints of `workload` under `opts` and extrapolates
+/// whole-run cycles/energy — the paper's measurement loop.
+///
+/// # Errors
+///
+/// Returns [`SimpointError`] if simpoint selection fails.
+pub fn run_simpoints(
+    workload: &Workload,
+    opts: &SimOptions,
+    cfg: &SimpointConfig,
+) -> Result<SimpointEstimate, SimpointError> {
+    let sp = choose_simpoints(&workload.program, cfg)?;
+    let mut estimated_cycles = 0.0;
+    let mut estimated_uops = 0.0;
+    let mut estimated_energy = 0.0;
+    let mut per_point = Vec::new();
+    for point in &sp.points {
+        let mut pipe = Pipeline::new_at(
+            &workload.program,
+            opts.to_pipeline_config(),
+            &point.checkpoint,
+            point.start_pc,
+        );
+        // Warm the microarchitectural state, then measure the interval as
+        // a delta past the warmup point.
+        let warm = pipe.run_until_program_uops(cfg.warmup_uops, opts.max_cycles);
+        let res = pipe
+            .run_until_program_uops(cfg.warmup_uops + cfg.interval_uops, opts.max_cycles);
+        let model = EnergyModel::icelake();
+        let e_total = model.energy(&energy_events(&res.stats));
+        let e_warm = model.energy(&energy_events(&warm.stats));
+        let interval_cycles = res.stats.cycles.saturating_sub(warm.stats.cycles);
+        let interval_prog =
+            res.stats.program_uops.saturating_sub(warm.stats.program_uops);
+        let interval_committed =
+            res.stats.committed_uops.saturating_sub(warm.stats.committed_uops);
+        let interval_energy = (e_total.frontend_pj + e_total.backend_pj + e_total.memory_pj
+            + e_total.static_pj)
+            - (e_warm.frontend_pj + e_warm.backend_pj + e_warm.memory_pj + e_warm.static_pj);
+        let energy = e_total;
+        let scale = point.weight * sp.intervals as f64;
+        // Extrapolate per-program-uop rates: the measured window may be
+        // truncated when warmup + interval run past the program's end,
+        // and SCC commits fewer micro-ops per unit of program distance.
+        let measured = interval_prog.max(1) as f64;
+        let cpi = interval_cycles as f64 / measured;
+        let energy_per_uop = (interval_energy / measured).max(0.0);
+        estimated_cycles += scale * cpi * cfg.interval_uops as f64;
+        estimated_uops +=
+            scale * (interval_committed as f64 / measured) * cfg.interval_uops as f64;
+        estimated_energy += scale * energy_per_uop * cfg.interval_uops as f64;
+        per_point.push((
+            point.clone(),
+            SimResult {
+                workload: workload.name.to_string(),
+                level: opts.level,
+                stats: res.stats,
+                energy,
+                snapshot: res.snapshot,
+                halted: true,
+            },
+        ));
+    }
+    Ok(SimpointEstimate {
+        estimated_cycles,
+        estimated_uops,
+        estimated_energy_pj: estimated_energy,
+        per_point,
+    })
+}
+
+/// Convenience: simpoint-estimated speedup of `opts` over the baseline.
+///
+/// # Errors
+///
+/// Returns [`SimpointError`] if simpoint selection fails.
+pub fn simpoint_speedup(
+    workload: &Workload,
+    opts: &SimOptions,
+    cfg: &SimpointConfig,
+) -> Result<f64, SimpointError> {
+    let base = run_simpoints(workload, &SimOptions::new(OptLevel::Baseline), cfg)?;
+    let new = run_simpoints(workload, opts, cfg)?;
+    Ok(base.estimated_cycles / new.estimated_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_workloads::{workload, Scale};
+
+    #[test]
+    fn weights_sum_to_one_and_points_are_ordered() {
+        let w = workload("bodytrack", Scale::custom(600)).unwrap();
+        let cfg = SimpointConfig { interval_uops: 8_000, k: 4, ..SimpointConfig::default() };
+        let sp = choose_simpoints(&w.program, &cfg).unwrap();
+        let total: f64 = sp.points.iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights: {total}");
+        assert!(sp.points.len() <= 4);
+        assert!(sp.points.windows(2).all(|w| w[0].interval < w[1].interval));
+        assert!(sp.intervals >= sp.points.len());
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let w = workload("gcc", Scale::custom(400)).unwrap();
+        let cfg = SimpointConfig { interval_uops: 10_000, k: 3, ..SimpointConfig::default() };
+        let a = choose_simpoints(&w.program, &cfg).unwrap();
+        let b = choose_simpoints(&w.program, &cfg).unwrap();
+        let ia: Vec<_> = a.points.iter().map(|p| (p.interval, p.weight.to_bits())).collect();
+        let ib: Vec<_> = b.points.iter().map(|p| (p.interval, p.weight.to_bits())).collect();
+        assert_eq!(ia, ib);
+    }
+
+    #[test]
+    fn phased_programs_get_distinct_clusters() {
+        // perlbench is three kernels back-to-back: phases should separate.
+        let w = workload("perlbench", Scale::custom(800)).unwrap();
+        let cfg = SimpointConfig { interval_uops: 6_000, k: 3, ..SimpointConfig::default() };
+        let sp = choose_simpoints(&w.program, &cfg).unwrap();
+        assert!(sp.points.len() >= 2, "distinct phases expected: {:?}",
+            sp.points.iter().map(|p| p.interval).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn estimate_tracks_the_full_run_at_both_levels() {
+        let w = workload("perlbench", Scale::custom(3000)).unwrap();
+        let cfg = SimpointConfig {
+            interval_uops: 10_000,
+            warmup_uops: 5_000,
+            k: 6,
+            ..SimpointConfig::default()
+        };
+        for level in [OptLevel::Baseline, OptLevel::Full] {
+            let opts = SimOptions::new(level);
+            let full = crate::run_workload(&w, &opts);
+            let est = run_simpoints(&w, &opts, &cfg).unwrap();
+            let ratio = est.estimated_cycles / full.cycles() as f64;
+            assert!(
+                (0.85..=1.2).contains(&ratio),
+                "{level}: simpoint estimate off by {:.1}%",
+                100.0 * (ratio - 1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn simpoint_speedup_agrees_with_full_run_direction() {
+        let w = workload("freqmine", Scale::custom(1500)).unwrap();
+        let cfg = SimpointConfig {
+            interval_uops: 10_000,
+            warmup_uops: 5_000,
+            k: 4,
+            ..SimpointConfig::default()
+        };
+        let s = simpoint_speedup(&w, &SimOptions::new(OptLevel::Full), &cfg).unwrap();
+        assert!(s > 1.05, "SCC should win on freqmine via simpoints too: {s}");
+    }
+
+    #[test]
+    fn too_short_programs_are_rejected() {
+        let w = workload("lbm", Scale::custom(2)).unwrap();
+        let cfg = SimpointConfig { interval_uops: 10_000_000, ..SimpointConfig::default() };
+        assert_eq!(choose_simpoints(&w.program, &cfg).unwrap_err(), SimpointError::TooShort);
+    }
+}

@@ -1,0 +1,124 @@
+//! Micro-op cache geometry and tuning.
+
+/// Geometry and tuning of one micro-op cache partition.
+///
+/// The paper's baseline is 48 sets × 8 ways × 6 micro-ops (2304 total);
+/// SCC's best configuration splits that into a 24-set unoptimized and a
+/// 24-set, 4-way optimized partition (appendix flags `--uopCacheNumSets=24
+/// --specCacheNumSets=24 --specCacheNumWays=4`), with Figure 10 sweeping
+/// 12/24/36-set splits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UopCacheConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Ways per set.
+    pub ways: usize,
+    /// Micro-ops per way (line).
+    pub uops_per_line: usize,
+    /// Maximum ways one 32-byte region may occupy (paper: 3, i.e. 18
+    /// fused micro-ops).
+    pub max_ways_per_region: usize,
+    /// Hotness at which an unoptimized line triggers a compaction request.
+    pub hotness_threshold: u32,
+    /// Cycles between hotness decays (paper: 28 unoptimized, 3 optimized).
+    pub decay_period: u64,
+}
+
+impl UopCacheConfig {
+    /// The paper's baseline unpartitioned geometry: 48×8×6.
+    pub fn baseline() -> UopCacheConfig {
+        UopCacheConfig {
+            sets: 48,
+            ways: 8,
+            uops_per_line: 6,
+            max_ways_per_region: 3,
+            hotness_threshold: 8,
+            decay_period: 28,
+        }
+    }
+
+    /// The SCC unoptimized partition at `sets` sets (8 ways × 6 uops).
+    pub fn unopt_partition(sets: usize) -> UopCacheConfig {
+        UopCacheConfig { sets, ..UopCacheConfig::baseline() }
+    }
+
+    /// The SCC optimized partition at `sets` sets (4 ways × 6 uops,
+    /// 3-cycle decay).
+    pub fn opt_partition(sets: usize) -> UopCacheConfig {
+        UopCacheConfig {
+            sets,
+            ways: 4,
+            uops_per_line: 6,
+            max_ways_per_region: 3,
+            hotness_threshold: 8,
+            decay_period: 3,
+        }
+    }
+
+    /// Total micro-op capacity.
+    pub fn capacity_uops(&self) -> usize {
+        self.sets * self.ways * self.uops_per_line
+    }
+
+    /// Maximum micro-ops cacheable for one region.
+    pub fn region_capacity_uops(&self) -> usize {
+        self.max_ways_per_region * self.uops_per_line
+    }
+
+    /// The set index for a region base address.
+    pub fn set_of(&self, region: u64) -> usize {
+        ((region / scc_isa::REGION_BYTES) % self.sets as u64) as usize
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry (zero sets/ways/uops).
+    pub fn validate(&self) {
+        assert!(self.sets > 0 && self.ways > 0 && self.uops_per_line > 0, "degenerate geometry");
+        assert!(
+            self.max_ways_per_region >= 1 && self.max_ways_per_region <= self.ways,
+            "region span must fit in a set"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_one() {
+        let c = UopCacheConfig::baseline();
+        assert_eq!(c.capacity_uops(), 2304);
+        assert_eq!(c.region_capacity_uops(), 18);
+        c.validate();
+    }
+
+    #[test]
+    fn partition_splits() {
+        assert_eq!(UopCacheConfig::unopt_partition(24).sets, 24);
+        let o = UopCacheConfig::opt_partition(24);
+        assert_eq!(o.ways, 4);
+        assert_eq!(o.decay_period, 3);
+        o.validate();
+    }
+
+    #[test]
+    fn set_mapping_wraps() {
+        let c = UopCacheConfig::baseline();
+        assert_eq!(c.set_of(0), 0);
+        assert_eq!(c.set_of(32), 1);
+        assert_eq!(c.set_of(32 * 48), 0);
+        assert_eq!(c.set_of(32 * 49), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_sets_panics() {
+        let mut c = UopCacheConfig::baseline();
+        c.sets = 0;
+        c.validate();
+    }
+}

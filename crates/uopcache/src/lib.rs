@@ -1,0 +1,35 @@
+//! Baseline and partitioned micro-op caches for the SCC reproduction.
+//!
+//! The paper's central storage structure is a micro-op cache (2304 micro-ops:
+//! 48 sets × 8 ways × 6 micro-ops, Table I) extended in three ways:
+//!
+//! 1. **Partitioning** into an *unoptimized* partition holding decoded
+//!    micro-op lines and an *optimized* partition co-hosting one or more
+//!    speculatively compacted versions of the same code region.
+//! 2. An **extended tag array**: per-line lock bits (lines under
+//!    compaction must not be evicted) on the unoptimized side, and a set
+//!    of 4-bit saturating confidence counters — one per predicted
+//!    invariant — on the optimized side.
+//! 3. **Hotness-based replacement** (after Ren et al.): every access
+//!    increments a line's hotness; hotness decays periodically (every 28
+//!    cycles for unoptimized lines, every 3 for optimized ones — the
+//!    paper's tuned values), and the coldest line is the victim.
+//!
+//! This crate also defines [`CompactedStream`], the exchange type between
+//! the SCC engine (`scc-core`, which produces streams), this cache (which
+//! stores them), and the pipeline's fetch engine (which streams them).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod opt;
+mod stream;
+mod unopt;
+
+pub use config::UopCacheConfig;
+pub use opt::{OptPartition, OptPartitionStats};
+pub use stream::{
+    CompactedStream, ElimBreakdown, Invariant, StreamUop, TaggedInvariant,
+};
+pub use unopt::{UnoptLookup, UnoptPartition, UnoptPartitionStats};

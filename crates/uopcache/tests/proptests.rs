@@ -1,0 +1,173 @@
+//! Property-based tests: micro-op cache structural invariants under
+//! arbitrary fill/lookup/evict sequences.
+
+use proptest::prelude::*;
+use scc_isa::{Op, Uop};
+use scc_uopcache::{
+    CompactedStream, Invariant, OptPartition, StreamUop, TaggedInvariant, UnoptPartition,
+    UopCacheConfig,
+};
+
+fn uops(n: usize) -> Vec<Uop> {
+    (0..n)
+        .map(|i| {
+            let mut u = Uop::new(Op::Nop);
+            u.macro_addr = i as u64;
+            u.macro_len = 1;
+            u
+        })
+        .collect()
+}
+
+fn stream(region: u64, id: u64, n: usize, conf: u8) -> CompactedStream {
+    CompactedStream {
+        region,
+        entry: region,
+        uops: vec![StreamUop::plain(Uop::new(Op::Nop)); n],
+        final_live_outs: vec![],
+        final_live_out_cc: None,
+        invariants: vec![TaggedInvariant::new(
+            Invariant::Data { pc: region, slot: 0, value: 1 },
+            conf,
+        )],
+        exit: region + 32,
+        orig_len: n as u32 + 2,
+        breakdown: Default::default(),
+        stream_id: id,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unopt_partition_never_loses_track_of_residency(
+        ops in proptest::collection::vec((0u64..32, 1usize..19, any::<bool>()), 1..200),
+    ) {
+        let mut p = UnoptPartition::new(UopCacheConfig {
+            sets: 4,
+            ways: 8,
+            uops_per_line: 6,
+            max_ways_per_region: 3,
+            hotness_threshold: 4,
+            decay_period: 28,
+        });
+        let mut now = 0u64;
+        for (slot, len, lookup_first) in ops {
+            now += 1;
+            let region = slot * 32;
+            if lookup_first {
+                // Lookups of resident regions must return their uops.
+                if p.contains(region) {
+                    let lk = p.lookup(region, now).expect("resident region hits");
+                    prop_assert!(!lk.uops.is_empty());
+                }
+            }
+            let _ = p.fill(region, uops(len), now);
+            // Residency is consistent between peek and contains.
+            prop_assert_eq!(p.contains(region), p.peek(region).is_some());
+        }
+        // Capacity: residents cannot exceed sets*ways single-way regions.
+        prop_assert!(p.resident_regions() <= 4 * 8);
+    }
+
+    #[test]
+    fn unopt_hotness_is_monotone_in_lookups_between_decays(
+        lookups in 1u64..40,
+    ) {
+        let mut p = UnoptPartition::new(UopCacheConfig::baseline());
+        p.fill(0x40, uops(3), 0);
+        let mut last = p.hotness(0x40);
+        for t in 1..=lookups {
+            p.lookup(0x40, t); // within one decay period
+            let h = p.hotness(0x40);
+            prop_assert!(h >= last);
+            last = h;
+        }
+    }
+
+    #[test]
+    fn opt_partition_respects_way_capacity(
+        inserts in proptest::collection::vec((0u64..8, 1usize..19, 0u8..16), 1..100),
+    ) {
+        let cfg = UopCacheConfig::opt_partition(4); // 4 sets x 4 ways
+        let mut p = OptPartition::new(cfg);
+        for (i, (slot, n, conf)) in inserts.into_iter().enumerate() {
+            let region = slot * 32;
+            let _ = p.insert(stream(region, i as u64 + 1, n, conf), i as u64);
+        }
+        // Total ways used per set can never exceed the configured ways;
+        // resident streams each need >= 1 way, so the count is bounded.
+        prop_assert!(p.resident_streams() <= 4 * 4);
+    }
+
+    #[test]
+    fn opt_reward_penalize_keep_counters_bounded(
+        events in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut p = OptPartition::new(UopCacheConfig::opt_partition(4));
+        p.insert(stream(0x40, 1, 3, 8), 0);
+        for reward in events {
+            if reward {
+                p.reward(1, 0);
+            } else {
+                p.penalize(1, 0);
+            }
+            let c = p.peek(0x40)[0].invariants[0].confidence.get();
+            prop_assert!(c <= 15);
+        }
+    }
+
+    #[test]
+    fn phase_out_only_drops_below_threshold(
+        confs in proptest::collection::vec(0u8..16, 1..8),
+        floor in 0u8..16,
+    ) {
+        let mut p = OptPartition::new(UopCacheConfig::opt_partition(8));
+        for (i, &c) in confs.iter().enumerate() {
+            // Distinct entry PCs so streams co-host rather than replace.
+            let mut s = stream(0x40, i as u64 + 1, 1, c);
+            s.entry = 0x40 + i as u64;
+            p.insert(s, i as u64);
+        }
+        let before = p.resident_streams();
+        let dropped = p.phase_out(0x40, floor);
+        prop_assert_eq!(before - dropped, p.resident_streams());
+        // Everything left meets the floor.
+        for i in 0..confs.len() {
+            for s in p.peek(0x40 + i as u64) {
+                prop_assert!(s.min_confidence() >= floor);
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_pairs_increase_region_capacity() {
+    // 24 micro-ops normally exceed the 18-slot (3-way) region budget, but
+    // 12 fused pairs fit in 12 slots (2 ways).
+    use scc_isa::{Op, Operand, Reg};
+    let mut fused = Vec::new();
+    for i in 0..12 {
+        let mut ld = Uop::new(Op::Load);
+        ld.dst = Some(Reg::int(1));
+        ld.src1 = Operand::Reg(Reg::int(0));
+        ld.macro_addr = i * 2;
+        ld.macro_len = 1;
+        ld.fused_with_next = true;
+        let mut add = Uop::new(Op::Add);
+        add.dst = Some(Reg::int(2));
+        add.src1 = Operand::Reg(Reg::int(1));
+        add.src2 = Operand::Imm(1);
+        add.macro_addr = i * 2 + 1;
+        add.macro_len = 1;
+        fused.push(ld);
+        fused.push(add);
+    }
+    let mut p = UnoptPartition::new(UopCacheConfig::baseline());
+    assert!(p.fill(0x40, fused, 0), "24 uops as 12 fused slots must fit");
+    // The same 24 micro-ops unfused are rejected.
+    let unfused = uops(24);
+    let mut p2 = UnoptPartition::new(UopCacheConfig::baseline());
+    assert!(!p2.fill(0x40, unfused, 0), "24 unfused slots exceed 3 ways");
+}

@@ -1,0 +1,284 @@
+//! Kernel generators: parameterized loops with controlled dynamic
+//! characteristics (value predictability, branch behaviour, memory
+//! footprint, ILP, FP intensity).
+//!
+//! Each SPEC/PARSEC stand-in composes a few of these kernels so that the
+//! properties SCC is sensitive to match what the paper reports for the
+//! real benchmark (see DESIGN.md §4 for the substitution argument).
+
+use scc_isa::rand_prog::SplitMix64;
+use scc_isa::{Cond, ProgramBuilder, Reg};
+
+fn r(n: u8) -> Reg {
+    Reg::int(n)
+}
+
+fn f(n: u8) -> Reg {
+    Reg::fp(n)
+}
+
+/// Loop counter register shared by all kernels.
+const CNT: u8 = 14;
+/// Data base pointer register.
+const BASE: u8 = 13;
+
+/// A hot loop reading invariant values from a read-only table and doing
+/// foldable integer arithmetic on them — SCC's best case (xalancbmk,
+/// perlbench, freqmine style).
+pub fn invariant_int(b: &mut ProgramBuilder, base: u64, iters: i64) {
+    // Mixed-width invariants: the first table value needs 11 bits and the
+    // second 17, so folds are progressively lost under Figure 11's
+    // 8/16-bit constant restrictions.
+    b.words(base, &[1200, -40_000, 100, 3]);
+    b.mov_imm(r(BASE), base as i64);
+    b.mov_imm(r(CNT), iters);
+    b.align_region();
+    let top = b.here();
+    b.load(r(1), r(BASE), 0); // invariant: 1200 (11 bits)
+    b.add_imm(r(2), r(1), 3); // folds under the invariant
+    b.shl_imm(r(3), r(2), 1);
+    b.load(r(4), r(BASE), 8); // invariant: -40000 (wide)
+    b.xor(r(5), r(3), r(4));
+    b.add(r(6), r(6), r(5)); // live accumulator
+    b.sub_imm(r(CNT), r(CNT), 1);
+    b.cmp_br_imm(Cond::Ne, r(CNT), 0, top);
+}
+
+/// A loop whose hot load oscillates between two values with period 2 —
+/// the pattern H3VP captures and plain stride prediction cannot
+/// (xalancbmk's H3VP advantage).
+pub fn oscillating_values(b: &mut ProgramBuilder, base: u64, iters: i64) {
+    b.words(base, &[5, 9]);
+    b.mov_imm(r(BASE), base as i64);
+    b.mov_imm(r(CNT), iters);
+    b.mov_imm(r(7), 0); // toggle
+    b.align_region();
+    let top = b.here();
+    b.shl_imm(r(8), r(7), 3);
+    b.add(r(9), r(BASE), r(8));
+    b.load(r(1), r(9), 0); // 5, 9, 5, 9, ...
+    b.add(r(6), r(6), r(1));
+    b.xor_imm(r(7), r(7), 1);
+    b.sub_imm(r(CNT), r(CNT), 1);
+    b.cmp_br_imm(Cond::Ne, r(CNT), 0, top);
+}
+
+/// A pointer chase over `cells` 8-byte nodes laid out as a random cycle —
+/// latency-bound, defeating both the caches (when sized past L2) and the
+/// value predictor (mcf, canneal, xz style).
+pub fn pointer_chase(b: &mut ProgramBuilder, base: u64, cells: u64, iters: i64, seed: u64) {
+    // Build a random cyclic permutation: node i points to perm[i].
+    let mut rng = SplitMix64::new(seed);
+    let mut order: Vec<u64> = (0..cells).collect();
+    for i in (1..cells as usize).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        order.swap(i, j);
+    }
+    for w in 0..cells as usize {
+        let from = order[w];
+        let to = order[(w + 1) % cells as usize];
+        b.word(base + 8 * from, (base + 8 * to) as i64);
+    }
+    b.mov_imm(r(1), (base + 8 * order[0]) as i64);
+    b.mov_imm(r(CNT), iters);
+    b.align_region();
+    let top = b.here();
+    b.load(r(1), r(1), 0); // serial dependent load
+    b.add_imm(r(6), r(6), 1); // a little foldable work per node
+    b.and_imm(r(5), r(6), 0xFF);
+    b.sub_imm(r(CNT), r(CNT), 1);
+    b.cmp_br_imm(Cond::Ne, r(CNT), 0, top);
+}
+
+/// A floating-point stencil: FP loads and a multiply-add chain, nothing
+/// SCC can touch (lbm, wrf, cactuBSSN style).
+pub fn fp_stencil(b: &mut ProgramBuilder, base: u64, iters: i64) {
+    for i in 0..8u64 {
+        b.word(base + 8 * i, (1.0 + i as f64 * 0.25).to_bits() as i64);
+    }
+    b.mov_imm(r(BASE), base as i64);
+    b.mov_imm(r(CNT), iters);
+    b.align_region();
+    let top = b.here();
+    b.load(f(0), r(BASE), 0);
+    b.load(f(1), r(BASE), 8);
+    b.fmul(f(2), f(0), f(1));
+    b.fadd(f(3), f(2), f(1));
+    b.simd(f(4), f(3), f(0));
+    b.fadd(f(5), f(5), f(4));
+    b.sub_imm(r(CNT), r(CNT), 1);
+    b.cmp_br_imm(Cond::Ne, r(CNT), 0, top);
+}
+
+/// A serial integer dependency chain through multiplies — low ILP, ROB
+/// pressure (leela, swaptions style). The chain is an LCG-style
+/// recurrence, so its values are chaotic: no value predictor can turn it
+/// into invariants.
+pub fn dependency_chain(b: &mut ProgramBuilder, iters: i64) {
+    b.mov_imm(r(1), 0x243F_6A88);
+    b.mov_imm(r(2), 6_364_136_223_846_793_005);
+    b.mov_imm(r(CNT), iters);
+    b.align_region();
+    let top = b.here();
+    b.mul(r(1), r(1), r(2)); // serial: each depends on the last
+    b.add_imm(r(1), r(1), 1_442_695_041);
+    b.shr_imm(r(3), r(1), 17);
+    b.xor(r(1), r(1), r(3));
+    b.sub_imm(r(CNT), r(CNT), 1);
+    b.cmp_br_imm(Cond::Ne, r(CNT), 0, top);
+}
+
+/// Independent accumulators — high ILP, scheduler-bound (deepsjeng,
+/// streamcluster style).
+pub fn parallel_int(b: &mut ProgramBuilder, iters: i64) {
+    for i in 1..=6u8 {
+        b.mov_imm(r(i), i as i64);
+    }
+    b.mov_imm(r(CNT), iters);
+    b.align_region();
+    let top = b.here();
+    b.add_imm(r(1), r(1), 1);
+    b.add_imm(r(2), r(2), 2);
+    b.xor_imm(r(3), r(3), 5);
+    b.add_imm(r(4), r(4), 3);
+    b.sub_imm(r(5), r(5), 1);
+    b.or_imm(r(6), r(6), 2);
+    b.sub_imm(r(CNT), r(CNT), 1);
+    b.cmp_br_imm(Cond::Ne, r(CNT), 0, top);
+}
+
+/// Register-shuffling and immediate moves — the move-elimination
+/// goldmine (exchange2, vips style).
+pub fn mov_heavy(b: &mut ProgramBuilder, iters: i64) {
+    b.mov_imm(r(CNT), iters);
+    b.mov_imm(r(9), 0x5DEECE66);
+    b.align_region();
+    let top = b.here();
+    b.mov_imm(r(1), 7);
+    b.mov_imm(r(2), 12);
+    b.mov(r(3), r(1));
+    b.mov(r(4), r(2));
+    b.add(r(6), r(6), r(3)); // live accumulate
+    b.mul(r(8), r(6), r(9)); // live, unpredictable
+    b.xor(r(7), r(7), r(8)); // live
+    b.mov(r(5), r(4));
+    b.sub_imm(r(CNT), r(CNT), 1);
+    b.cmp_br_imm(Cond::Ne, r(CNT), 0, top);
+}
+
+/// A data-dependent branch whose direction comes from a table:
+/// `predictable` fills the table with a constant pattern, otherwise with
+/// noise (gcc's mixed behaviour; also the control-invariant stressor).
+pub fn branchy(b: &mut ProgramBuilder, base: u64, iters: i64, predictable: bool, seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    let cells = 64u64;
+    for i in 0..cells {
+        let v = if predictable { 1 } else { rng.below(2) as i64 };
+        b.word(base + 8 * i, v);
+    }
+    b.mov_imm(r(BASE), base as i64);
+    b.mov_imm(r(CNT), iters);
+    b.mov_imm(r(7), 0); // index
+    b.align_region();
+    let top = b.here();
+    let skip = b.label();
+    b.shl_imm(r(8), r(7), 3);
+    b.add(r(9), r(BASE), r(8));
+    b.load(r(1), r(9), 0);
+    b.cmp_br_imm(Cond::Eq, r(1), 0, skip);
+    b.add_imm(r(6), r(6), 5);
+    b.xor_imm(r(6), r(6), 3);
+    b.bind(skip);
+    b.add_imm(r(7), r(7), 1);
+    b.and_imm(r(7), r(7), (cells - 1) as i64);
+    b.sub_imm(r(CNT), r(CNT), 1);
+    b.cmp_br_imm(Cond::Ne, r(CNT), 0, top);
+}
+
+/// Loads whose values follow a clean arithmetic stride — EVES territory.
+pub fn strided_values(b: &mut ProgramBuilder, base: u64, iters: i64) {
+    let cells = 64u64;
+    for i in 0..cells {
+        b.word(base + 8 * i, 100 + 8 * i as i64);
+    }
+    b.mov_imm(r(BASE), base as i64);
+    b.mov_imm(r(CNT), iters);
+    b.mov_imm(r(7), 0);
+    b.align_region();
+    let top = b.here();
+    b.shl_imm(r(8), r(7), 3);
+    b.add(r(9), r(BASE), r(8));
+    b.load(r(1), r(9), 0);
+    b.add(r(6), r(6), r(1));
+    b.add_imm(r(7), r(7), 1);
+    b.and_imm(r(7), r(7), (cells - 1) as i64);
+    b.sub_imm(r(CNT), r(CNT), 1);
+    b.cmp_br_imm(Cond::Ne, r(CNT), 0, top);
+}
+
+/// Loads of effectively random values — hostile to every value predictor;
+/// aggressive speculation here causes squashes (the gcc EVES-vs-H3VP
+/// discriminator).
+pub fn noisy_values(b: &mut ProgramBuilder, base: u64, iters: i64, seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    let cells = 128u64;
+    for i in 0..cells {
+        b.word(base + 8 * i, rng.imm().wrapping_mul(13).wrapping_add(i as i64 * 7919));
+    }
+    b.mov_imm(r(BASE), base as i64);
+    b.mov_imm(r(CNT), iters);
+    b.mov_imm(r(7), 0);
+    b.align_region();
+    let top = b.here();
+    b.shl_imm(r(8), r(7), 3);
+    b.add(r(9), r(BASE), r(8));
+    b.load(r(1), r(9), 0);
+    b.xor(r(6), r(6), r(1));
+    b.add_imm(r(7), r(7), 13);
+    b.and_imm(r(7), r(7), (cells - 1) as i64);
+    b.sub_imm(r(CNT), r(CNT), 1);
+    b.cmp_br_imm(Cond::Ne, r(CNT), 0, top);
+}
+
+/// A code footprint of `regions` warm regions executed round-robin —
+/// micro-op cache pressure (the x264 conflict/capacity scenario). Each
+/// region carries ~11 micro-ops (cacheable: 2 ways) of which roughly half
+/// are foldable constants, so SCC's compacted versions occupy fewer ways
+/// and partitioning effectively grows front-end capacity (the paper's
+/// hit-rate observation on x264).
+pub fn code_footprint(b: &mut ProgramBuilder, regions: usize, iters: i64) {
+    b.mov_imm(r(CNT), iters);
+    b.align_region();
+    let top = b.here();
+    for i in 0..regions {
+        // Exactly 32 bytes of real instructions per region — executed
+        // padding would distort the baseline (compilers only execute
+        // alignment padding once, on loop entry).
+        b.mov_imm(r(1), i as i64); // 5B, foldable
+        b.add_imm(r(2), r(1), 37); // 4B, foldable
+        b.xor(r(3), r(2), r(6)); // 3B, live (depends on r6)
+        b.shl_imm(r(5), r(3), 2); // 4B, live
+        b.and_imm(r(5), r(5), 255); // 4B, live
+        b.or(r(6), r(6), r(5)); // 3B, live
+        b.add_imm(r(4), r(4), 1); // 4B, live
+        b.or_imm(r(4), r(4), 1); // 4B, live
+        b.nop(); // 1B: 32 total
+        debug_assert_eq!(b.cursor() % 32, 0, "footprint region must be exactly 32 bytes");
+    }
+    b.sub_imm(r(CNT), r(CNT), 1);
+    b.cmp_br_imm(Cond::Ne, r(CNT), 0, top);
+}
+
+/// Microcoded string work (rep-store style) — compaction-proof by
+/// construction.
+pub fn string_ops(b: &mut ProgramBuilder, base: u64, iters: i64) {
+    b.mov_imm(r(CNT), iters);
+    b.align_region();
+    let top = b.here();
+    b.mov_imm(r(1), 8); // elements per rep
+    b.mov_imm(r(2), base as i64);
+    b.mov_imm(r(3), 0xAB);
+    b.rep_store(r(1), r(2), r(3));
+    b.sub_imm(r(CNT), r(CNT), 1);
+    b.cmp_br_imm(Cond::Ne, r(CNT), 0, top);
+}

@@ -1,0 +1,104 @@
+//! Per-benchmark characteristic checks: each stand-in must actually
+//! exhibit the dynamic property DESIGN.md §4 claims justifies the
+//! substitution.
+
+use scc_isa::{Machine, Op};
+use scc_workloads::{all_workloads, workload, Scale};
+
+fn run(name: &str) -> (Machine<'static>, u64) {
+    // Leak the program so the machine can borrow it for the test's life.
+    let w = Box::leak(Box::new(
+        workload(name, Scale::test()).unwrap_or_else(|| panic!("unknown {name}")),
+    ));
+    let mut m = Machine::new(&w.program);
+    let r = m.run(100_000_000).expect("runs");
+    assert!(r.halted, "{name} halts");
+    (m, r.uops)
+}
+
+#[test]
+fn memory_bound_benchmarks_are_load_heavy_with_big_footprints() {
+    for name in ["mcf", "canneal", "xz"] {
+        let (m, uops) = run(name);
+        let mem = m.op_count_of(Op::Load) + m.op_count_of(Op::Store);
+        assert!(
+            mem * 6 > uops,
+            "{name}: memory ops should be >16% of the stream ({mem}/{uops})"
+        );
+    }
+}
+
+#[test]
+fn string_op_benchmark_exercises_microcoded_loops() {
+    let (m, _) = run("xz");
+    assert!(m.op_count_of(Op::Store) > 0, "xz's rep-store kernel runs");
+}
+
+#[test]
+fn mov_heavy_benchmarks_are_mov_heavy() {
+    for name in ["exchange", "vips"] {
+        let (m, uops) = run(name);
+        let movs = m.op_count_of(Op::Mov) + m.op_count_of(Op::MovImm);
+        assert!(
+            movs * 6 > uops,
+            "{name}: moves should be >16% of the stream ({movs}/{uops})"
+        );
+    }
+}
+
+#[test]
+fn high_ilp_benchmarks_avoid_serial_multiplies() {
+    for name in ["deepsjeng", "streamcluster"] {
+        let (m, uops) = run(name);
+        let muldiv = m.op_count_of(Op::Mul) + m.op_count_of(Op::Div);
+        assert!(
+            muldiv * 10 < uops,
+            "{name}: mul/div should be rare ({muldiv}/{uops})"
+        );
+    }
+}
+
+#[test]
+fn low_ilp_benchmarks_are_multiply_chained() {
+    for name in ["leela", "swaptions"] {
+        let (m, uops) = run(name);
+        let mul = m.op_count_of(Op::Mul);
+        assert!(
+            mul * 20 > uops,
+            "{name}: serial multiplies should be >5% ({mul}/{uops})"
+        );
+    }
+}
+
+#[test]
+fn branchy_benchmarks_branch_often() {
+    for name in ["gcc", "perlbench", "deepsjeng"] {
+        let (m, uops) = run(name);
+        let branches = m.op_count_of(Op::CmpBr) + m.op_count_of(Op::BrCc);
+        assert!(
+            branches * 12 > uops,
+            "{name}: conditional branches should be >8% ({branches}/{uops})"
+        );
+    }
+}
+
+#[test]
+fn dynamic_lengths_are_comparable_across_the_suite() {
+    // SimPoints are equal-length; our stand-ins should at least be the
+    // same order of magnitude so suite means aren't dominated by one
+    // benchmark's length.
+    let lens: Vec<(String, u64)> = all_workloads(Scale::test())
+        .iter()
+        .map(|w| {
+            let mut m = Machine::new(&w.program);
+            let r = m.run(100_000_000).expect("runs");
+            (w.name.to_string(), r.uops)
+        })
+        .collect();
+    let min = lens.iter().map(|(_, n)| *n).min().unwrap();
+    let max = lens.iter().map(|(_, n)| *n).max().unwrap();
+    assert!(
+        max < min * 40,
+        "dynamic length spread too wide: {lens:?}"
+    );
+}

@@ -1,0 +1,87 @@
+//! SCC's adaptability claim: unlike profile-guided optimizers, SCC keys
+//! its optimizations to *predicted* invariants. When the dataset changes
+//! mid-run, the streams built for the old value mispredict, get penalized
+//! and phased out, and fresh streams keyed to the new value replace them —
+//! the *same* code region is re-optimized, with zero profiling and zero
+//! correctness risk.
+//!
+//! ```text
+//! cargo run --release -p scc-sim --example adaptive_datasets
+//! ```
+
+use scc_isa::{Cond, Machine, ProgramBuilder, Reg};
+use scc_pipeline::{Pipeline, PipelineConfig};
+
+fn main() {
+    let r = Reg::int;
+    let n_phases: i64 = 3;
+    let trips_per_phase: i64 = 6_000;
+
+    // Phase table: the "dataset" value for each phase.
+    let phases: [i64; 3] = [11, 500, -7];
+
+    let mut b = ProgramBuilder::new(0x1000);
+    b.words(0x8000, &phases);
+    b.word(0x9000, 0); // the hot cell the inner loop reads
+    b.mov_imm(r(0), 0x9000);
+    b.mov_imm(r(1), 0); // acc
+    b.mov_imm(r(11), 0x8000); // phase cursor
+    b.mov_imm(r(12), n_phases);
+    b.align_region();
+    let outer = b.here();
+    // Dataset change: install this phase's value into the hot cell.
+    b.load(r(5), r(11), 0);
+    b.store(r(5), r(0), 0);
+    b.add_imm(r(11), r(11), 8);
+    b.mov_imm(r(2), trips_per_phase);
+    b.align_region();
+    // ONE inner loop, shared by all phases — its streams go stale at
+    // every phase boundary and must be rebuilt.
+    let inner = b.here();
+    b.load(r(3), r(0), 0); // invariant *within* a phase
+    b.add_imm(r(4), r(3), 1); // folds against the current phase's value
+    b.shl_imm(r(6), r(4), 1); // folds
+    b.xor_imm(r(7), r(6), 5); // folds
+    b.add(r(1), r(1), r(7)); // live accumulate
+    b.sub_imm(r(2), r(2), 1);
+    b.cmp_br_imm(Cond::Ne, r(2), 0, inner);
+    b.sub_imm(r(12), r(12), 1);
+    b.cmp_br_imm(Cond::Ne, r(12), 0, outer);
+    b.halt();
+    let program = b.build();
+
+    // Reference result.
+    let mut m = Machine::new(&program);
+    m.run(200_000_000).expect("reference");
+    let expected: i64 =
+        phases.iter().map(|&v| (((v + 1) << 1) ^ 5) * trips_per_phase).sum();
+    assert_eq!(m.reg(r(1)), expected);
+
+    let mut pipe = Pipeline::new(&program, PipelineConfig::scc_full());
+    let res = pipe.run(200_000_000);
+    assert_eq!(res.snapshot.regs[1], expected, "speculation never corrupts state");
+
+    println!("three dataset phases over ONE loop: table value = {phases:?}");
+    println!("final acc = {} (exact)", res.snapshot.regs[1]);
+    println!(
+        "streams committed {} (fresh versions after each phase change), phased out {}",
+        res.stats.streams_committed, res.stats.opt.phased_out
+    );
+    println!(
+        "data-invariant squashes at phase changes: {} (of {} total squashes)",
+        res.stats.scc_data_squashes, res.stats.squashes
+    );
+    println!(
+        "uops streamed from optimized partition: {} ({:.0}% of fetch)",
+        res.stats.uops_from_opt,
+        100.0 * res.stats.uops_from_opt as f64
+            / (res.stats.uops_from_opt + res.stats.uops_from_unopt + res.stats.uops_from_icache)
+                as f64
+    );
+    let mut base = Pipeline::new(&program, PipelineConfig::baseline());
+    let base_res = base.run(200_000_000);
+    println!(
+        "speedup across all three phases: {:+.1}%",
+        100.0 * (base_res.stats.cycles as f64 / res.stats.cycles as f64 - 1.0)
+    );
+}

@@ -1,0 +1,84 @@
+//! Compaction explorer: shows a code region before and after speculative
+//! code compaction, like the paper's Figure 4 (unoptimized micro-ops vs
+//! the compacted stream, with invariants and live-outs annotated).
+//!
+//! ```text
+//! cargo run --release -p scc-sim --example compaction_explorer
+//! ```
+
+use scc_core::{CompactionEngine, CompactionOutcome, SccConfig};
+use scc_isa::{disasm, Cond, ProgramBuilder, Reg};
+use scc_predictors::{LastValue, ValuePredictor};
+
+fn main() {
+    let r = Reg::int;
+    // A compiler-optimized-looking basic block, xalancbmk-style (paper
+    // Fig. 4): a hot load, dependent arithmetic, a guard branch.
+    let mut b = ProgramBuilder::new(0x1000);
+    let taken = b.label();
+    b.load(r(1), r(0), 0x40); // hot, effectively invariant load
+    b.add_imm(r(2), r(1), 4);
+    b.shl_imm(r(3), r(2), 1);
+    b.cmp_imm(r(3), 100);
+    b.br(Cond::Lt, taken);
+    b.mov_imm(r(9), 1); // dead under the invariant
+    b.bind(taken);
+    b.xor_imm(r(4), r(3), 0xF);
+    b.add(r(5), r(5), r(4));
+    b.halt();
+    let program = b.build();
+
+    println!("== unoptimized micro-ops ==");
+    print!("{}", disasm::disassemble(&program));
+
+    // Train the value predictor as commits would: the load always sees 7.
+    let mut vp = LastValue::new();
+    for _ in 0..12 {
+        vp.train(0x1000, 7);
+    }
+
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    match engine.compact(0x1000, &program, &vp, &scc_core::NoBranchProbe) {
+        CompactionOutcome::Committed(s) => {
+            println!("\n== compacted stream (entry {:#x}, exit {:#x}) ==", s.entry, s.exit);
+            for su in &s.uops {
+                let tag = match su.pred_source {
+                    Some(i) => format!("  <- prediction source, validates {:?}",
+                        s.invariants[i].invariant),
+                    None => String::new(),
+                };
+                println!("  {}{}", su.uop, tag);
+                for (reg, v) in &su.live_outs {
+                    println!("    (live-out at rename: {reg} = {v})");
+                }
+                if let Some(cc) = su.live_out_cc {
+                    println!("    (live-out flags: {cc})");
+                }
+            }
+            if !s.final_live_outs.is_empty() || s.final_live_out_cc.is_some() {
+                println!("  -- stream-end live-outs --");
+                for (reg, v) in &s.final_live_outs {
+                    println!("    {reg} = {v}");
+                }
+                if let Some(cc) = s.final_live_out_cc {
+                    println!("    flags = {cc}");
+                }
+            }
+            println!(
+                "\n{} original micro-ops -> {} in the stream (shrinkage {})",
+                s.orig_len,
+                s.uops.len(),
+                s.shrinkage()
+            );
+            println!(
+                "breakdown: {} move-elim, {} folds, {} branch folds, {} cross-block, {} propagated",
+                s.breakdown.move_elim,
+                s.breakdown.fold,
+                s.breakdown.branch_fold,
+                s.breakdown.cross_block,
+                s.breakdown.propagated
+            );
+        }
+        other => println!("compaction did not commit: {other:?}"),
+    }
+}

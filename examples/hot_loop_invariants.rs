@@ -1,0 +1,85 @@
+//! The paper's motivating scenario: a kernel that repeatedly reloads hot,
+//! rarely-updated configuration values (an interpreter's dispatch
+//! constants, a solver's scale factors) and recomputes thresholds from
+//! them every iteration. The compiler cannot fold these — the values are
+//! only known at run time — but SCC can, because the value predictor
+//! exposes them as *speculative data invariants*.
+//!
+//! ```text
+//! cargo run --release -p scc-sim --example hot_loop_invariants
+//! ```
+
+use scc_isa::{Cond, ProgramBuilder, Reg};
+use scc_sim::{run_workload, OptLevel, SimOptions};
+use scc_workloads::{Suite, Workload};
+
+/// `y[i] = x[i] + ((alpha << 4) | beta)` over a vector, where `alpha` and
+/// `beta` live in memory (runtime configuration), and — as compilers
+/// readily do under register pressure — the derived constant is
+/// recomputed from memory in every iteration.
+fn threshold_kernel(n: i64, reps: i64) -> Workload {
+    let r = Reg::int;
+    let mut b = ProgramBuilder::new(0x1000);
+    b.words(0x8000, &[3, 9]); // alpha, beta: fixed for the whole run
+    for i in 0..n {
+        b.word(0x2_0000 + 8 * i as u64, i * 7);
+    }
+    b.mov_imm(r(0), 0x8000);
+    b.mov_imm(r(10), reps);
+    b.align_region();
+    let outer = b.here();
+    b.mov_imm(r(1), 0x2_0000); // x cursor
+    b.mov_imm(r(2), 0x4_0000); // y cursor
+    b.mov_imm(r(3), n);
+    b.align_region();
+    let inner = b.here();
+    b.load(r(4), r(0), 0); // alpha: invariant -> prediction source
+    b.shl_imm(r(5), r(4), 4); // folds to 48
+    b.load(r(6), r(0), 8); // beta: invariant -> prediction source
+    b.or(r(5), r(5), r(6)); // folds to 57
+    b.load(r(7), r(1), 0); // x[i]: varies
+    b.add(r(8), r(7), r(5)); // becomes x[i] + $57
+    b.store(r(8), r(2), 0);
+    b.add_imm(r(1), r(1), 8);
+    b.add_imm(r(2), r(2), 8);
+    b.sub_imm(r(3), r(3), 1);
+    b.cmp_br_imm(Cond::Ne, r(3), 0, inner);
+    b.sub_imm(r(10), r(10), 1);
+    b.cmp_br_imm(Cond::Ne, r(10), 0, outer);
+    b.halt();
+    Workload {
+        name: "threshold-kernel",
+        suite: Suite::SpecInt,
+        program: b.build(),
+        description: "y = x + f(alpha, beta) with runtime-constant alpha/beta",
+    }
+}
+
+fn main() {
+    let w = threshold_kernel(64, 600);
+    let base = run_workload(&w, &SimOptions::new(OptLevel::Baseline));
+    let scc = run_workload(&w, &SimOptions::new(OptLevel::Full));
+    assert_eq!(base.snapshot, scc.snapshot);
+
+    println!("workload: {} ({})", w.name, w.description);
+    println!(
+        "the alpha/beta loads became prediction sources: {} invariant validations, {} failures",
+        scc.stats.invariants_validated, scc.stats.invariants_failed
+    );
+    println!(
+        "baseline {} cycles / {} uops  |  SCC {} cycles / {} uops",
+        base.cycles(),
+        base.uops(),
+        scc.cycles(),
+        scc.uops()
+    );
+    println!(
+        "speedup {:+.1}%, uop reduction {:+.1}%, energy {:+.1}%",
+        100.0 * (base.cycles() as f64 / scc.cycles() as f64 - 1.0),
+        100.0 * (1.0 - scc.uops() as f64 / base.uops() as f64),
+        100.0 * (1.0 - scc.energy_pj() / base.energy_pj()),
+    );
+    // Verify the math: y[i] = 7i + ((3 << 4) | 9) = 7i + 57.
+    let y_17 = scc.snapshot.mem.iter().find(|&&(a, _)| a == 0x4_0000 + 8 * 17).map(|&(_, v)| v);
+    println!("spot check: y[17] = {:?} (expected {})", y_17, 7 * 17 + 57);
+}

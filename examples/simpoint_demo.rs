@@ -1,0 +1,51 @@
+//! SimPoint methodology demo (paper §VI): profile a benchmark into
+//! intervals, cluster the basic-block vectors, pick weighted
+//! representatives, and compare the simpoint-estimated cycles against the
+//! full run — for both the baseline and SCC.
+//!
+//! ```text
+//! cargo run --release -p scc-sim --example simpoint_demo
+//! ```
+
+use scc_sim::simpoint::{choose_simpoints, run_simpoints, SimpointConfig};
+use scc_sim::{run_workload, OptLevel, SimOptions};
+use scc_workloads::{workload, Scale};
+
+fn main() {
+    let w = workload("perlbench", Scale::custom(6000)).expect("known workload");
+    // ~36 intervals: enough for the phases to cluster cleanly. (The paper
+    // uses 100M-uop intervals over billions of instructions.)
+    let cfg = SimpointConfig {
+        interval_uops: 10_000,
+        warmup_uops: 5_000,
+        k: 6,
+        ..SimpointConfig::default()
+    };
+
+    let sp = choose_simpoints(&w.program, &cfg).expect("profiling succeeds");
+    println!(
+        "{}: {} intervals of {} uops -> {} simpoints",
+        w.name,
+        sp.intervals,
+        sp.interval_uops,
+        sp.points.len()
+    );
+    for p in &sp.points {
+        println!(
+            "  interval {:>3}  weight {:.2}  start pc {:#x}",
+            p.interval, p.weight, p.start_pc
+        );
+    }
+
+    for level in [OptLevel::Baseline, OptLevel::Full] {
+        let opts = SimOptions::new(level);
+        let full = run_workload(&w, &opts);
+        let est = run_simpoints(&w, &opts, &cfg).expect("simpoints run");
+        println!(
+            "{level:<12} full {:>9} cycles | simpoint estimate {:>11.0} ({:+.1}% error)",
+            full.cycles(),
+            est.estimated_cycles,
+            100.0 * (est.estimated_cycles / full.cycles() as f64 - 1.0)
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Watch SCC work in real time: run a phase-changing loop with tracing
+//! enabled and print the narrative — compactions, stream choices,
+//! validation squashes at the phase boundary, and recompaction.
+//!
+//! ```text
+//! cargo run --release -p scc-sim --example trace_viewer
+//! ```
+
+use scc_isa::{Cond, ProgramBuilder, Reg};
+use scc_pipeline::{Pipeline, PipelineConfig, TraceEvent};
+
+fn main() {
+    let r = Reg::int;
+    let mut b = ProgramBuilder::new(0x1000);
+    b.words(0x8000, &[7, 300]);
+    b.word(0x9000, 0);
+    b.mov_imm(r(0), 0x9000);
+    b.mov_imm(r(11), 0x8000);
+    b.mov_imm(r(12), 2); // phases
+    b.align_region();
+    let outer = b.here();
+    b.load(r(5), r(11), 0);
+    b.store(r(5), r(0), 0);
+    b.add_imm(r(11), r(11), 8);
+    b.mov_imm(r(2), 400);
+    b.align_region();
+    let inner = b.here();
+    b.load(r(3), r(0), 0);
+    b.add_imm(r(4), r(3), 1);
+    b.add(r(1), r(1), r(4));
+    b.sub_imm(r(2), r(2), 1);
+    b.cmp_br_imm(Cond::Ne, r(2), 0, inner);
+    b.sub_imm(r(12), r(12), 1);
+    b.cmp_br_imm(Cond::Ne, r(12), 0, outer);
+    b.halt();
+    let program = b.build();
+
+    let mut pipe = Pipeline::new(&program, PipelineConfig::scc_full());
+    pipe.enable_trace(1_000_000);
+    let res = pipe.run(50_000_000);
+    let trace = pipe.take_trace().expect("trace enabled");
+
+    // Print everything except per-uop commits; collapse repeated stream
+    // choices into a count.
+    let mut commits = 0u64;
+    let mut run: Option<(u64, u64)> = None; // (stream_id, count)
+    let flush_run = |run: &mut Option<(u64, u64)>| {
+        if let Some((id, n)) = run.take() {
+            println!("           stream  id {id} chosen {n}x");
+        }
+    };
+    for e in trace.events() {
+        match e {
+            TraceEvent::Commit { .. } => commits += 1,
+            TraceEvent::StreamChosen { stream_id, .. } => match &mut run {
+                Some((id, n)) if *id == *stream_id => *n += 1,
+                _ => {
+                    flush_run(&mut run);
+                    run = Some((*stream_id, 1));
+                }
+            },
+            other => {
+                flush_run(&mut run);
+                println!("{other}");
+            }
+        }
+    }
+    flush_run(&mut run);
+    println!("... plus {commits} commit events ...");
+    println!(
+        "\nfinal acc = {}, {} cycles, squashes {} (data {}, control {})",
+        res.snapshot.regs[1],
+        res.stats.cycles,
+        res.stats.squashes,
+        res.stats.scc_data_squashes,
+        res.stats.scc_control_squashes
+    );
+}
