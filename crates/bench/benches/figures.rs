@@ -1,54 +1,53 @@
-//! Criterion benches regenerating (small-scale) figure data — one bench
-//! per table/figure so `cargo bench` exercises every experiment path, and
+//! Benches regenerating (small-scale) figure data — one timing per
+//! table/figure so `cargo bench` exercises every experiment path, and
 //! prints each report once so the numbers are visible in bench logs.
+//!
+//! Plain `fn main()` harness (no external bench framework) so the
+//! workspace builds with zero registry dependencies.
 //!
 //! Full-scale reports come from the `fig6`…`fig11`, `table1`, and
 //! `area_power` binaries (`cargo run --release -p scc-bench --bin fig6`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use scc_workloads::Scale;
 use std::hint::black_box;
-use std::sync::Once;
-use std::time::Duration;
+use std::time::Instant;
 
 /// Small but non-trivial scale so `cargo bench` stays minutes, not hours.
 fn scale() -> Scale {
     Scale::custom(800)
 }
 
-static PRINT_ONCE: Once = Once::new();
-
 fn print_reports() {
-    PRINT_ONCE.call_once(|| {
-        let s = scale();
-        println!("{}", scc_sim::table1());
-        println!("{}", scc_bench::fig6_report(s));
-        println!("{}", scc_bench::fig7_report(s));
-        println!("{}", scc_bench::fig8_report(s));
-        println!("{}", scc_bench::fig9_report(s));
-        println!("{}", scc_bench::fig10_report(s));
-        println!("{}", scc_bench::fig11_report(s));
-        println!("{}", scc_bench::area_power_report());
-    });
+    let s = scale();
+    println!("{}", scc_sim::table1());
+    println!("{}", scc_bench::fig6_report(s));
+    println!("{}", scc_bench::fig7_report(s));
+    println!("{}", scc_bench::fig8_report(s));
+    println!("{}", scc_bench::fig9_report(s));
+    println!("{}", scc_bench::fig10_report(s));
+    println!("{}", scc_bench::fig11_report(s));
+    println!("{}", scc_bench::area_power_report());
 }
 
-fn bench_figures(c: &mut Criterion) {
+fn bench<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed() / iters;
+    println!("figures/{name:<12} {per:>12.2?}/iter  ({iters} iters)");
+}
+
+fn main() {
     print_reports();
     let tiny = Scale::custom(100);
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(8));
-    g.warm_up_time(Duration::from_secs(1));
-    g.bench_function("table1", |b| b.iter(|| black_box(scc_sim::table1())));
-    g.bench_function("fig6", |b| b.iter(|| black_box(scc_bench::fig6_report(tiny))));
-    g.bench_function("fig7", |b| b.iter(|| black_box(scc_bench::fig7_report(tiny))));
-    g.bench_function("fig8", |b| b.iter(|| black_box(scc_bench::fig8_report(tiny))));
-    g.bench_function("fig9", |b| b.iter(|| black_box(scc_bench::fig9_report(tiny))));
-    g.bench_function("fig10", |b| b.iter(|| black_box(scc_bench::fig10_report(tiny))));
-    g.bench_function("fig11", |b| b.iter(|| black_box(scc_bench::fig11_report(tiny))));
-    g.bench_function("area_power", |b| b.iter(|| black_box(scc_bench::area_power_report())));
-    g.finish();
+    bench("table1", 3, || drop(black_box(scc_sim::table1())));
+    bench("fig6", 3, || drop(black_box(scc_bench::fig6_report(tiny))));
+    bench("fig7", 3, || drop(black_box(scc_bench::fig7_report(tiny))));
+    bench("fig8", 3, || drop(black_box(scc_bench::fig8_report(tiny))));
+    bench("fig9", 3, || drop(black_box(scc_bench::fig9_report(tiny))));
+    bench("fig10", 3, || drop(black_box(scc_bench::fig10_report(tiny))));
+    bench("fig11", 3, || drop(black_box(scc_bench::fig11_report(tiny))));
+    bench("area_power", 3, || drop(black_box(scc_bench::area_power_report())));
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

@@ -1,9 +1,10 @@
-//! Criterion microbenchmarks of the simulator's own components: the
-//! compaction engine, the predictors, the micro-op cache, and end-to-end
-//! cycles/second — the numbers a downstream user cares about when sizing
-//! experiments.
+//! Microbenchmarks of the simulator's own components: the compaction
+//! engine, the predictors, and end-to-end cycles/second — the numbers a
+//! downstream user cares about when sizing experiments.
+//!
+//! Plain `fn main()` harness (no external bench framework) so the
+//! workspace builds with zero registry dependencies.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use scc_core::{CompactionEngine, NoBranchProbe, SccConfig};
 use scc_isa::rand_prog::{random_program, RandProgConfig};
 use scc_isa::Machine;
@@ -11,71 +12,66 @@ use scc_pipeline::{Pipeline, PipelineConfig};
 use scc_predictors::{Eves, H3vp, LastValue, ValuePredictor};
 use scc_workloads::{workload, Scale};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_compaction_engine(c: &mut Criterion) {
+/// Time `iters` runs of `f` and print mean wall-time per iteration.
+fn bench<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    // One warmup iteration so lazy init doesn't skew the mean.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed() / iters;
+    println!("{name:<28} {per:>12.2?}/iter  ({iters} iters)");
+}
+
+fn bench_compaction_engine() {
     let w = workload("freqmine", Scale::custom(100)).expect("workload");
     let vp = LastValue::new();
     let entry = w.program.entry();
-    let mut g = c.benchmark_group("compaction");
-    g.bench_function("single_pass", |b| {
-        b.iter(|| {
-            let mut engine = CompactionEngine::new(SccConfig::full());
-            black_box(engine.compact(entry, &w.program, &vp, &NoBranchProbe))
-        })
+    bench("compaction/single_pass", 50, || {
+        let mut engine = CompactionEngine::new(SccConfig::full());
+        black_box(engine.compact(entry, &w.program, &vp, &NoBranchProbe));
     });
-    g.finish();
 }
 
-fn bench_value_predictors(c: &mut Criterion) {
-    let mut g = c.benchmark_group("value_predictors");
-    g.throughput(Throughput::Elements(1000));
-    g.bench_function("eves_train_predict", |b| {
-        b.iter(|| {
-            let mut p = Eves::default_size();
-            for i in 0..1000i64 {
-                p.train(0x40 + (i % 16) as u64, i * 8);
-                black_box(p.predict(0x40 + (i % 16) as u64));
-            }
-        })
+fn bench_value_predictors() {
+    bench("value_predictors/eves", 200, || {
+        let mut p = Eves::default_size();
+        for i in 0..1000i64 {
+            p.train(0x40 + (i % 16) as u64, i * 8);
+            black_box(p.predict(0x40 + (i % 16) as u64));
+        }
     });
-    g.bench_function("h3vp_train_predict", |b| {
-        b.iter(|| {
-            let mut p = H3vp::default_size();
-            for i in 0..1000i64 {
-                p.train(0x40 + (i % 16) as u64, i % 3);
-                black_box(p.predict(0x40 + (i % 16) as u64));
-            }
-        })
+    bench("value_predictors/h3vp", 200, || {
+        let mut p = H3vp::default_size();
+        for i in 0..1000i64 {
+            p.train(0x40 + (i % 16) as u64, i % 3);
+            black_box(p.predict(0x40 + (i % 16) as u64));
+        }
     });
-    g.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_end_to_end() {
     let cfg = RandProgConfig::default();
     let p = random_program(7, &cfg);
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(20);
-    g.measurement_time(std::time::Duration::from_secs(8));
-    g.bench_function("interpreter", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(&p);
-            black_box(m.run(2_000_000).expect("runs"))
-        })
+    bench("end_to_end/interpreter", 10, || {
+        let mut m = Machine::new(&p);
+        black_box(m.run(2_000_000).expect("runs"));
     });
-    g.bench_function("pipeline_baseline", |b| {
-        b.iter(|| {
-            let mut pipe = Pipeline::new(&p, PipelineConfig::baseline());
-            black_box(pipe.run(20_000_000))
-        })
+    bench("end_to_end/pipeline_baseline", 5, || {
+        let mut pipe = Pipeline::new(&p, PipelineConfig::baseline());
+        black_box(pipe.run(20_000_000));
     });
-    g.bench_function("pipeline_scc", |b| {
-        b.iter(|| {
-            let mut pipe = Pipeline::new(&p, PipelineConfig::scc_full());
-            black_box(pipe.run(20_000_000))
-        })
+    bench("end_to_end/pipeline_scc", 5, || {
+        let mut pipe = Pipeline::new(&p, PipelineConfig::scc_full());
+        black_box(pipe.run(20_000_000));
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_compaction_engine, bench_value_predictors, bench_end_to_end);
-criterion_main!(benches);
+fn main() {
+    bench_compaction_engine();
+    bench_value_predictors();
+    bench_end_to_end();
+}

@@ -4,4 +4,5 @@
 fn main() {
     let scale = scc_bench::bench_scale();
     print!("{}", scc_bench::ablations::full_report(scale));
+    scc_bench::emit_throughput();
 }

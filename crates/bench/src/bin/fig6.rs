@@ -2,4 +2,5 @@
 fn main() {
     let scale = scc_bench::bench_scale();
     print!("{}", scc_bench::fig6_report(scale));
+    scc_bench::emit_throughput();
 }

@@ -6,7 +6,9 @@
 //!
 //! Workload dynamic length is controlled by the `SCC_ITERS` environment
 //! variable (default 6000 base loop iterations ≈ 0.5–2M micro-ops per
-//! benchmark).
+//! benchmark); simulation parallelism by `SCC_JOBS` (default: available
+//! cores). All harnesses share one process-wide result cache, so runs
+//! common to several figures (e.g. the 19 baselines) are simulated once.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,9 +17,11 @@ pub mod ablations;
 
 use scc_energy::AreaModel;
 use scc_sim::report::{geomean, reduction_pct, speedup_pct, Table};
-use scc_sim::{run_workload, OptLevel, SimOptions, SimResult};
+use scc_sim::runner::{Job, Runner};
+use scc_sim::{OptLevel, SimOptions, SimResult};
 use scc_predictors::ValuePredictorKind;
 use scc_workloads::{all_workloads, Scale, Suite, Workload};
+use std::sync::Arc;
 
 /// The workload scale used by the harness (`SCC_ITERS`, default 6000).
 pub fn bench_scale() -> Scale {
@@ -28,18 +32,39 @@ pub fn bench_scale() -> Scale {
     Scale::custom(iters)
 }
 
+/// Writes the accumulated simulation-throughput log to
+/// `results/BENCH_throughput.json` (the figure binaries call this after
+/// printing their report).
+pub fn emit_throughput() {
+    match scc_sim::runner::write_throughput_json("results/BENCH_throughput.json") {
+        Ok(_) => eprintln!("wrote results/BENCH_throughput.json"),
+        Err(e) => eprintln!("could not write results/BENCH_throughput.json: {e}"),
+    }
+}
+
 /// Runs every workload at the given levels; results indexed
 /// `[workload][level]`.
-pub fn run_levels(scale: Scale, levels: &[OptLevel]) -> Vec<(Workload, Vec<SimResult>)> {
-    all_workloads(scale)
+pub fn run_levels(scale: Scale, levels: &[OptLevel]) -> Vec<(Workload, Vec<Arc<SimResult>>)> {
+    run_levels_with(&Runner::new(), scale, levels)
+}
+
+/// [`run_levels`] on an explicit runner (the determinism tests pass a
+/// serial uncached one).
+pub fn run_levels_with(
+    runner: &Runner,
+    scale: Scale,
+    levels: &[OptLevel],
+) -> Vec<(Workload, Vec<Arc<SimResult>>)> {
+    let workloads = all_workloads(scale);
+    let jobs: Vec<Job> = workloads
+        .iter()
+        .flat_map(|w| levels.iter().map(move |&level| Job::new(w, &SimOptions::new(level))))
+        .collect();
+    let results = runner.run(&jobs);
+    workloads
         .into_iter()
-        .map(|w| {
-            let results = levels
-                .iter()
-                .map(|&level| run_workload(&w, &SimOptions::new(level)))
-                .collect();
-            (w, results)
-        })
+        .zip(results.chunks(levels.len()))
+        .map(|(w, chunk)| (w, chunk.to_vec()))
         .collect()
 }
 
@@ -67,8 +92,13 @@ fn suite_filter(w: &Workload, suite: Option<Suite>) -> bool {
 /// normalized execution time, and squash overhead for each optimization
 /// level relative to the baseline.
 pub fn fig6_report(scale: Scale) -> String {
+    fig6_report_with(&Runner::new(), scale)
+}
+
+/// [`fig6_report`] on an explicit runner.
+pub fn fig6_report_with(runner: &Runner, scale: Scale) -> String {
     let levels = OptLevel::all();
-    let data = run_levels(scale, &levels);
+    let data = run_levels_with(runner, scale, &levels);
     let mut out = String::new();
 
     out.push_str("== Figure 6 (top): committed micro-op reduction vs baseline ==\n");
@@ -105,8 +135,8 @@ pub fn fig6_report(scale: Scale) -> String {
     for (w, rs) in &data {
         let base = rs[0].cycles() as f64;
         let mut row = vec![w.name.to_string()];
-        for i in 1..6 {
-            row.push(format!("{:.3}", rs[i].cycles() as f64 / base));
+        for r in &rs[1..6] {
+            row.push(format!("{:.3}", r.cycles() as f64 / base));
         }
         t.row(&row);
     }
@@ -142,7 +172,12 @@ pub fn fig6_report(scale: Scale) -> String {
 /// Figure 7: micro-ops delivered by each front-end source, baseline vs
 /// full SCC.
 pub fn fig7_report(scale: Scale) -> String {
-    let data = run_levels(scale, &[OptLevel::Baseline, OptLevel::Full]);
+    fig7_report_with(&Runner::new(), scale)
+}
+
+/// [`fig7_report`] on an explicit runner.
+pub fn fig7_report_with(runner: &Runner, scale: Scale) -> String {
+    let data = run_levels_with(runner, scale, &[OptLevel::Baseline, OptLevel::Full]);
     let mut out = String::new();
     out.push_str("== Figure 7: uops by fetch source (baseline | SCC) ==\n");
     let mut t = Table::new(&[
@@ -167,7 +202,12 @@ pub fn fig7_report(scale: Scale) -> String {
 
 /// Figure 8: normalized energy, baseline vs full SCC.
 pub fn fig8_report(scale: Scale) -> String {
-    let data = run_levels(scale, &[OptLevel::Baseline, OptLevel::Full]);
+    fig8_report_with(&Runner::new(), scale)
+}
+
+/// [`fig8_report`] on an explicit runner.
+pub fn fig8_report_with(runner: &Runner, scale: Scale) -> String {
+    let data = run_levels_with(runner, scale, &[OptLevel::Baseline, OptLevel::Full]);
     let mut out = String::new();
     out.push_str("== Figure 8: normalized energy (SCC / baseline, lower is better) ==\n");
     let mut t = Table::new(&["benchmark", "baseline mJ", "scc mJ", "normalized", "savings"]);
@@ -202,6 +242,11 @@ pub fn fig8_report(scale: Scale) -> String {
 /// Figure 9: H3VP vs EVES under full SCC — speedup over baseline,
 /// invariant validation failures, squash overhead.
 pub fn fig9_report(scale: Scale) -> String {
+    fig9_report_with(&Runner::new(), scale)
+}
+
+/// [`fig9_report`] on an explicit runner.
+pub fn fig9_report_with(runner: &Runner, scale: Scale) -> String {
     let workloads = all_workloads(scale);
     let mut out = String::new();
     out.push_str("== Figure 9: value predictor sensitivity (full SCC) ==\n");
@@ -209,14 +254,23 @@ pub fn fig9_report(scale: Scale) -> String {
         "benchmark", "eves-speedup", "h3vp-speedup", "eves-vpfail", "h3vp-vpfail",
         "eves-squash", "h3vp-squash",
     ]);
-    for w in &workloads {
-        let base = run_workload(w, &SimOptions::new(OptLevel::Baseline));
-        let mut eves = SimOptions::new(OptLevel::Full);
-        eves.value_predictor = ValuePredictorKind::Eves;
-        let mut h3vp = SimOptions::new(OptLevel::Full);
-        h3vp.value_predictor = ValuePredictorKind::H3vp;
-        let re = run_workload(w, &eves);
-        let rh = run_workload(w, &h3vp);
+    let mut eves = SimOptions::new(OptLevel::Full);
+    eves.value_predictor = ValuePredictorKind::Eves;
+    let mut h3vp = SimOptions::new(OptLevel::Full);
+    h3vp.value_predictor = ValuePredictorKind::H3vp;
+    let jobs: Vec<Job> = workloads
+        .iter()
+        .flat_map(|w| {
+            [
+                Job::new(w, &SimOptions::new(OptLevel::Baseline)),
+                Job::new(w, &eves),
+                Job::new(w, &h3vp),
+            ]
+        })
+        .collect();
+    let results = runner.run(&jobs);
+    for (w, rs) in workloads.iter().zip(results.chunks(3)) {
+        let (base, re, rh) = (&rs[0], &rs[1], &rs[2]);
         t.row(&[
             w.name.to_string(),
             pct(speedup_pct(base.cycles(), re.cycles())),
@@ -233,19 +287,34 @@ pub fn fig9_report(scale: Scale) -> String {
 
 /// Figure 10: optimized-partition size sensitivity (12/24/36 of 48 sets).
 pub fn fig10_report(scale: Scale) -> String {
+    fig10_report_with(&Runner::new(), scale)
+}
+
+/// [`fig10_report`] on an explicit runner.
+pub fn fig10_report_with(runner: &Runner, scale: Scale) -> String {
     let workloads = all_workloads(scale);
     let splits = [12usize, 24, 36];
     let mut out = String::new();
     out.push_str("== Figure 10: optimized-partition size (normalized time vs baseline) ==\n");
     let mut t = Table::new(&["benchmark", "opt=12", "opt=24", "opt=36"]);
     let mut sums = vec![Vec::new(); splits.len()];
-    for w in &workloads {
-        let base = run_workload(w, &SimOptions::new(OptLevel::Baseline));
+    let jobs: Vec<Job> = workloads
+        .iter()
+        .flat_map(|w| {
+            std::iter::once(Job::new(w, &SimOptions::new(OptLevel::Baseline))).chain(
+                splits.iter().map(move |&sets| {
+                    let mut o = SimOptions::new(OptLevel::Full);
+                    o.opt_partition_sets = sets;
+                    Job::new(w, &o)
+                }),
+            )
+        })
+        .collect();
+    let results = runner.run(&jobs);
+    for (w, rs) in workloads.iter().zip(results.chunks(1 + splits.len())) {
+        let base = &rs[0];
         let mut row = vec![w.name.to_string()];
-        for (i, &sets) in splits.iter().enumerate() {
-            let mut o = SimOptions::new(OptLevel::Full);
-            o.opt_partition_sets = sets;
-            let r = run_workload(w, &o);
+        for (i, r) in rs[1..].iter().enumerate() {
             let norm = r.cycles() as f64 / base.cycles() as f64;
             sums[i].push(norm);
             row.push(format!("{norm:.3}"));
@@ -265,27 +334,40 @@ pub fn fig10_report(scale: Scale) -> String {
 /// unrestricted): micro-op reduction and normalized time, plus live-out
 /// carry rates (§VII-C).
 pub fn fig11_report(scale: Scale) -> String {
+    fig11_report_with(&Runner::new(), scale)
+}
+
+/// [`fig11_report`] on an explicit runner.
+pub fn fig11_report_with(runner: &Runner, scale: Scale) -> String {
     let workloads = all_workloads(scale);
     let widths: [Option<u32>; 4] = [Some(8), Some(16), Some(32), None];
-    let labels = ["w8", "w16", "w32", "unrestricted"];
     let mut out = String::new();
     out.push_str("== Figure 11: constant width restriction (full SCC) ==\n");
     let mut t = Table::new(&[
         "benchmark", "red.w8", "red.w16", "red.w32", "red.unres", "time.w8", "time.w16",
         "time.w32", "time.unres", "liveout%",
     ]);
-    let _ = labels;
     let mut norm_time = vec![Vec::new(); widths.len()];
     let mut reductions = vec![Vec::new(); widths.len()];
-    for w in &workloads {
-        let base = run_workload(w, &SimOptions::new(OptLevel::Baseline));
+    let jobs: Vec<Job> = workloads
+        .iter()
+        .flat_map(|w| {
+            std::iter::once(Job::new(w, &SimOptions::new(OptLevel::Baseline))).chain(
+                widths.iter().map(move |&width| {
+                    let mut o = SimOptions::new(OptLevel::Full);
+                    o.max_constant_width = width;
+                    Job::new(w, &o)
+                }),
+            )
+        })
+        .collect();
+    let results = runner.run(&jobs);
+    for (w, rs) in workloads.iter().zip(results.chunks(1 + widths.len())) {
+        let base = &rs[0];
         let mut row = vec![w.name.to_string()];
         let mut times = Vec::new();
         let mut liveout_pct = 0.0;
-        for (i, &width) in widths.iter().enumerate() {
-            let mut o = SimOptions::new(OptLevel::Full);
-            o.max_constant_width = width;
-            let r = run_workload(w, &o);
+        for (i, (&width, r)) in widths.iter().zip(&rs[1..]).enumerate() {
             let red = reduction_pct(base.uops(), r.uops());
             reductions[i].push(r.uops() as f64 / base.uops() as f64);
             row.push(pct(red));

@@ -1,0 +1,37 @@
+//! Tier-1 guarantees of the parallel experiment engine: figure output
+//! from the parallel cached path is byte-identical to a serial uncached
+//! run, and cached results equal fresh re-runs field for field.
+
+use scc_sim::runner::Runner;
+use scc_sim::{run_workload, Job, OptLevel, SimOptions};
+use scc_workloads::{workload, Scale};
+
+#[test]
+fn fig6_parallel_output_is_byte_identical_to_serial() {
+    let scale = Scale::custom(350);
+    let serial = scc_bench::fig6_report_with(&Runner::serial_uncached(), scale);
+    let parallel = scc_bench::fig6_report_with(&Runner::with_jobs(4), scale);
+    assert_eq!(serial, parallel, "worker scheduling must not leak into the report");
+    // A second parallel run resolves entirely from the result cache and
+    // must still render the same bytes.
+    let cached = scc_bench::fig6_report_with(&Runner::with_jobs(4), scale);
+    assert_eq!(serial, cached);
+}
+
+#[test]
+fn cached_results_equal_fresh_runs() {
+    let scale = Scale::custom(360);
+    let w = workload("freqmine", scale).unwrap();
+    let opts = SimOptions::new(OptLevel::Full);
+    let runner = Runner::new();
+    let first = runner.run(&[Job::new(&w, &opts)]);
+    let second = runner.run(&[Job::new(&w, &opts)]); // cache hit
+    let fresh = run_workload(&w, &opts);
+    for r in [&first[0], &second[0]] {
+        assert_eq!(r.stats, fresh.stats);
+        assert_eq!(r.snapshot, fresh.snapshot);
+        assert_eq!(r.energy, fresh.energy);
+        assert_eq!(r.level, fresh.level);
+        assert_eq!(r.workload, fresh.workload);
+    }
+}

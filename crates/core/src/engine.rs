@@ -411,7 +411,7 @@ impl CompactionEngine {
         if let (Some(a), Some(b), true, true) = (a, b, cc_ok, flag_enabled) {
             let cc_in = cc.map(|(f, _)| f).unwrap_or_default();
             if let Some(result) = self.alu.eval(uop.op, a, b, cc_in, uop.cond) {
-                let width_ok = result.value.map_or(true, |v| self.config.constant_fits(v));
+                let width_ok = result.value.is_none_or(|v| self.config.constant_fits(v));
                 if width_ok {
                     // Speculative constant folding / move elimination: the
                     // micro-op is dead; its effects live on in the RCT.

@@ -143,9 +143,28 @@ impl ProfitabilityUnit {
         vp: &(impl ValueProbe + ?Sized),
         inflight: impl Fn(scc_isa::Addr) -> u64,
     ) -> StreamChoice {
+        self.choose_candidates(
+            candidates.iter().map(|s| (*s, hotness_of(s.stream_id))),
+            vp,
+            inflight,
+        )
+    }
+
+    /// Like [`choose_with_inflight`](Self::choose_with_inflight), but
+    /// consuming `(stream, hotness)` pairs directly — the fetch engine
+    /// feeds this from the optimized partition's candidate iterator
+    /// without building a candidate list or hotness map per lookup.
+    pub fn choose_candidates<'a>(
+        &mut self,
+        candidates: impl IntoIterator<Item = (&'a CompactedStream, u32)>,
+        vp: &(impl ValueProbe + ?Sized),
+        inflight: impl Fn(scc_isa::Addr) -> u64,
+    ) -> StreamChoice {
         let mut best: Option<(&CompactedStream, (u32, u32))> = None;
-        for s in candidates {
-            if !self.stream_ok(s, hotness_of(s.stream_id), vp, &inflight) {
+        let mut seen = false;
+        for (s, hotness) in candidates {
+            seen = true;
+            if !self.stream_ok(s, hotness, vp, &inflight) {
                 continue;
             }
             // "the instruction stream that has the highest data invariant
@@ -157,7 +176,7 @@ impl ProfitabilityUnit {
                 .map(|t| t.confidence.get() as u32)
                 .sum();
             let rank = (data_conf, s.shrinkage());
-            if best.map_or(true, |(_, r)| rank > r) {
+            if best.is_none_or(|(_, r)| rank > r) {
                 best = Some((s, rank));
             }
         }
@@ -167,7 +186,7 @@ impl ProfitabilityUnit {
                 StreamChoice::Optimized { stream_id: s.stream_id }
             }
             None => {
-                if !candidates.is_empty() {
+                if seen {
                     self.stats.rejected_all += 1;
                 }
                 StreamChoice::Unoptimized

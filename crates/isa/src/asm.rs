@@ -86,7 +86,7 @@ impl ProgramBuilder {
     /// compiler aligning a loop head — so sequential fall-through across the
     /// boundary still works.
     pub fn align_region(&mut self) {
-        while self.cursor % crate::REGION_BYTES != 0 {
+        while !self.cursor.is_multiple_of(crate::REGION_BYTES) {
             self.nop();
         }
     }

@@ -1,0 +1,107 @@
+//! A fast, deterministic hasher for hot-path maps keyed by addresses and
+//! stream ids (the FxHash function from the Firefox/rustc lineage).
+//!
+//! `std`'s default SipHash is DoS-resistant but costs tens of cycles per
+//! lookup and seeds itself per-process via `RandomState`, which both slows
+//! the simulator's per-fetch maps and makes iteration order
+//! process-dependent. FxHash is a couple of multiplies, and with the
+//! default (zero) seed every process hashes identically — a requirement
+//! for byte-identical report output across serial and parallel runs.
+//! Simulator keys are trusted (addresses, ids), so hash-flooding
+//! resistance is not needed.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash streaming hasher: rotate, xor, multiply per word.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero per-instance state, so maps start
+/// identical in every process).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut m1: FxHashMap<u64, u32> = FxHashMap::default();
+        let mut m2: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m1.insert(i * 64, i as u32);
+            m2.insert(i * 64, i as u32);
+        }
+        let k1: Vec<_> = m1.keys().copied().collect();
+        let k2: Vec<_> = m2.keys().copied().collect();
+        assert_eq!(k1, k2, "iteration order must match between instances");
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        use std::hash::BuildHasher;
+        let bh = FxBuildHasher::default();
+        let hash = |k: u64| bh.hash_one(k);
+        // Sequential region addresses (the hot key shape) must not collide.
+        let hashes: FxHashSet<u64> = (0..10_000u64).map(|i| hash(i * 32)).collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+}

@@ -38,6 +38,7 @@
 mod asm;
 pub mod disasm;
 pub mod fusion;
+pub mod fxhash;
 mod interp;
 mod macroop;
 mod program;
@@ -47,6 +48,7 @@ mod semantics;
 mod uop;
 
 pub use asm::{Label, ProgramBuilder};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use interp::{ArchSnapshot, Machine, Memory, RunError, RunResult, StepInfo};
 pub use macroop::{MacroInst, MacroKind};
 pub use program::{Program, ProgramError};

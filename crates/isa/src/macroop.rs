@@ -47,7 +47,7 @@ impl MacroInst {
     /// maximum), or if the expansion exceeds 255 micro-ops.
     pub fn new(addr: Addr, len: u8, kind: MacroKind, mut uops: Vec<Uop>) -> MacroInst {
         assert!(!uops.is_empty(), "macro-instruction must decode to at least one micro-op");
-        assert!(len >= 1 && len <= 15, "macro-instruction length {len} out of x86 range");
+        assert!((1..=15).contains(&len), "macro-instruction length {len} out of x86 range");
         assert!(uops.len() <= u8::MAX as usize, "micro-op expansion too long");
         for (i, u) in uops.iter_mut().enumerate() {
             u.macro_addr = addr;

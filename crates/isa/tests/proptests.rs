@@ -1,42 +1,71 @@
-//! Property-based tests for ISA semantics and the reference interpreter.
+//! Property-style tests for ISA semantics and the reference interpreter,
+//! driven by the in-crate SplitMix64 generator (no registry dependencies)
+//! so they run identically in offline environments.
 
-use proptest::prelude::*;
-use scc_isa::rand_prog::{random_program, RandProgConfig};
+use scc_isa::rand_prog::{random_program, RandProgConfig, SplitMix64};
 use scc_isa::{eval_alu, eval_cond, CcFlags, Cond, Machine, Op, ProgramBuilder, Reg};
 
-proptest! {
-    #[test]
-    fn alu_add_sub_match_wrapping(a in any::<i64>(), b in any::<i64>()) {
-        let add = eval_alu(Op::Add, a, b, CcFlags::default(), None).unwrap();
-        prop_assert_eq!(add.value, Some(a.wrapping_add(b)));
-        let sub = eval_alu(Op::Sub, a, b, CcFlags::default(), None).unwrap();
-        prop_assert_eq!(sub.value, Some(a.wrapping_sub(b)));
+fn i64_cases(seed: u64, n: usize) -> Vec<(i64, i64)> {
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::with_capacity(n + 8);
+    // Edge values first, then random pairs.
+    let edges = [i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX];
+    for &a in &edges {
+        out.push((a, a.wrapping_mul(3)));
     }
+    for _ in 0..n {
+        out.push((rng.next_u64() as i64, rng.next_u64() as i64));
+    }
+    out
+}
 
-    #[test]
-    fn cond_negation_complements(a in any::<i64>(), b in any::<i64>()) {
+#[test]
+fn alu_add_sub_match_wrapping() {
+    for (a, b) in i64_cases(1, 256) {
+        let add = eval_alu(Op::Add, a, b, CcFlags::default(), None).unwrap();
+        assert_eq!(add.value, Some(a.wrapping_add(b)));
+        let sub = eval_alu(Op::Sub, a, b, CcFlags::default(), None).unwrap();
+        assert_eq!(sub.value, Some(a.wrapping_sub(b)));
+    }
+}
+
+#[test]
+fn cond_negation_complements() {
+    for (a, b) in i64_cases(2, 256) {
         let cc = CcFlags::from_cmp(a, b);
         for c in Cond::all() {
-            prop_assert_eq!(eval_cond(c, cc), !eval_cond(c.negate(), cc));
+            assert_eq!(eval_cond(c, cc), !eval_cond(c.negate(), cc));
         }
     }
+}
 
-    #[test]
-    fn cmp_flags_encode_all_orderings(a in any::<i64>(), b in any::<i64>()) {
+#[test]
+fn cmp_flags_encode_all_orderings() {
+    for (a, b) in i64_cases(3, 256) {
         let cc = CcFlags::from_cmp(a, b);
-        prop_assert_eq!(eval_cond(Cond::Lt, cc), a < b);
-        prop_assert_eq!(eval_cond(Cond::Eq, cc), a == b);
-        prop_assert_eq!(eval_cond(Cond::B, cc), (a as u64) < (b as u64));
+        assert_eq!(eval_cond(Cond::Lt, cc), a < b);
+        assert_eq!(eval_cond(Cond::Eq, cc), a == b);
+        assert_eq!(eval_cond(Cond::B, cc), (a as u64) < (b as u64));
     }
+}
 
-    #[test]
-    fn shifts_are_masked(a in any::<i64>(), amt in 0i64..256) {
+#[test]
+fn shifts_are_masked() {
+    let mut rng = SplitMix64::new(4);
+    for _ in 0..256 {
+        let a = rng.next_u64() as i64;
+        let amt = rng.below(256) as i64;
         let shl = eval_alu(Op::Shl, a, amt, CcFlags::default(), None).unwrap();
-        prop_assert_eq!(shl.value, Some(a.wrapping_shl((amt & 63) as u32)));
+        assert_eq!(shl.value, Some(a.wrapping_shl((amt & 63) as u32)));
     }
+}
 
-    #[test]
-    fn straight_line_sum_program(vals in proptest::collection::vec(-10_000i64..10_000, 1..20)) {
+#[test]
+fn straight_line_sum_program() {
+    let mut rng = SplitMix64::new(5);
+    for _ in 0..24 {
+        let len = 1 + rng.below(19) as usize;
+        let vals: Vec<i64> = (0..len).map(|_| rng.below(20_001) as i64 - 10_000).collect();
         // An accumulation program computes the same sum the host does.
         let mut b = ProgramBuilder::new(0);
         let acc = Reg::int(0);
@@ -50,12 +79,18 @@ proptest! {
         let p = b.build();
         let mut m = Machine::new(&p);
         let res = m.run(1_000_000).unwrap();
-        prop_assert!(res.halted);
-        prop_assert_eq!(m.reg(acc), vals.iter().sum::<i64>());
+        assert!(res.halted);
+        assert_eq!(m.reg(acc), vals.iter().sum::<i64>());
     }
+}
 
-    #[test]
-    fn memory_roundtrip_program(cells in proptest::collection::vec((0u64..64, -1000i64..1000), 1..16)) {
+#[test]
+fn memory_roundtrip_program() {
+    let mut rng = SplitMix64::new(6);
+    for _ in 0..24 {
+        let len = 1 + rng.below(15) as usize;
+        let cells: Vec<(u64, i64)> =
+            (0..len).map(|_| (rng.below(64), rng.below(2000) as i64 - 1000)).collect();
         let mut b = ProgramBuilder::new(0);
         let base = Reg::int(1);
         let v = Reg::int(2);
@@ -74,24 +109,31 @@ proptest! {
             expected.insert(0x9000u64 + 8 * cell, val);
         }
         for (addr, val) in expected {
-            prop_assert_eq!(m.mem().read(addr), val);
+            assert_eq!(m.mem().read(addr), val);
         }
     }
+}
 
-    #[test]
-    fn random_programs_halt_deterministically(seed in 0u64..512) {
-        let cfg = RandProgConfig::default();
+#[test]
+fn random_programs_halt_deterministically() {
+    let cfg = RandProgConfig::default();
+    for seed in (0..512).step_by(7) {
         let p = random_program(seed, &cfg);
         let mut m1 = Machine::new(&p);
         let mut m2 = Machine::new(&p);
         let r1 = m1.run(2_000_000).unwrap();
-        prop_assert!(r1.halted);
+        assert!(r1.halted, "seed {seed} did not halt");
         m2.run(2_000_000).unwrap();
-        prop_assert_eq!(m1.snapshot(), m2.snapshot());
+        assert_eq!(m1.snapshot(), m2.snapshot(), "seed {seed} nondeterministic");
     }
+}
 
-    #[test]
-    fn counted_loop_runs_exact_trip_count(trips in 1i64..200) {
+#[test]
+fn counted_loop_runs_exact_trip_count() {
+    let mut rng = SplitMix64::new(7);
+    let mut trips: Vec<i64> = vec![1, 2, 199];
+    trips.extend((0..12).map(|_| 1 + rng.below(199) as i64));
+    for trips in trips {
         let mut b = ProgramBuilder::new(0);
         let (cnt, acc) = (Reg::int(1), Reg::int(0));
         b.mov_imm(acc, 0);
@@ -104,6 +146,6 @@ proptest! {
         let p = b.build();
         let mut m = Machine::new(&p);
         m.run(10_000_000).unwrap();
-        prop_assert_eq!(m.reg(acc), trips);
+        assert_eq!(m.reg(acc), trips);
     }
 }

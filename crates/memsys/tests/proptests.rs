@@ -1,7 +1,8 @@
-//! Property-based tests: cache and hierarchy invariants under arbitrary
-//! access streams.
+//! Property-style tests: cache and hierarchy invariants under arbitrary
+//! access streams, driven by a deterministic SplitMix64 generator (no
+//! registry dependencies) so they run identically offline.
 
-use proptest::prelude::*;
+use scc_isa::rand_prog::SplitMix64;
 use scc_memsys::{Cache, CacheConfig, HierarchyConfig, Level, MemoryHierarchy, ReplacementPolicy};
 
 fn small_cache(ways: usize, policy: ReplacementPolicy) -> Cache {
@@ -13,87 +14,103 @@ fn small_cache(ways: usize, policy: ReplacementPolicy) -> Cache {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn hits_plus_misses_equals_accesses(
-        addrs in proptest::collection::vec(0u64..1_000_000, 1..500),
-        ways in 1usize..8,
-    ) {
+#[test]
+fn hits_plus_misses_equals_accesses() {
+    let mut rng = SplitMix64::new(11);
+    for case in 0..64 {
+        let ways = 1 + (case % 7);
+        let len = 1 + rng.below(499) as usize;
+        let addrs: Vec<u64> = (0..len).map(|_| rng.below(1_000_000)).collect();
         let mut c = small_cache(ways, ReplacementPolicy::Lru);
         for &a in &addrs {
             c.access(a);
         }
         let s = c.stats();
-        prop_assert_eq!(s.accesses(), addrs.len() as u64);
-        prop_assert!(s.hit_rate() >= 0.0 && s.hit_rate() <= 1.0);
+        assert_eq!(s.accesses(), addrs.len() as u64);
+        assert!(s.hit_rate() >= 0.0 && s.hit_rate() <= 1.0);
     }
+}
 
-    #[test]
-    fn repeat_access_always_hits(addr in any::<u64>(), ways in 1usize..8) {
+#[test]
+fn repeat_access_always_hits() {
+    let mut rng = SplitMix64::new(12);
+    for case in 0..64 {
+        let ways = 1 + (case % 7);
+        let addr = rng.next_u64();
         for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Random] {
             let mut c = small_cache(ways, policy);
             c.access(addr);
-            prop_assert!(c.access(addr), "immediate re-access must hit");
-            prop_assert!(c.probe(addr));
+            assert!(c.access(addr), "immediate re-access must hit");
+            assert!(c.probe(addr));
         }
     }
+}
 
-    #[test]
-    fn working_set_within_capacity_never_misses_twice(
-        set_lines in 1usize..4,
-        rounds in 2usize..6,
-    ) {
-        // Touch `set_lines` distinct lines per set (≤ ways): after the
-        // first round everything hits forever under LRU.
-        let ways = 4;
-        let mut c = small_cache(ways, ReplacementPolicy::Lru);
-        let sets = 8u64;
-        let lines: Vec<u64> = (0..sets)
-            .flat_map(|s| (0..set_lines as u64).map(move |w| (s + w * sets) * 64))
-            .collect();
-        for _ in 0..rounds {
-            for &a in &lines {
-                c.access(a);
+#[test]
+fn working_set_within_capacity_never_misses_twice() {
+    for set_lines in 1usize..4 {
+        for rounds in 2usize..6 {
+            // Touch `set_lines` distinct lines per set (≤ ways): after the
+            // first round everything hits forever under LRU.
+            let ways = 4;
+            let mut c = small_cache(ways, ReplacementPolicy::Lru);
+            let sets = 8u64;
+            let lines: Vec<u64> = (0..sets)
+                .flat_map(|s| (0..set_lines as u64).map(move |w| (s + w * sets) * 64))
+                .collect();
+            for _ in 0..rounds {
+                for &a in &lines {
+                    c.access(a);
+                }
             }
+            let s = c.stats();
+            assert_eq!(s.misses, lines.len() as u64, "only compulsory misses");
         }
-        let s = c.stats();
-        prop_assert_eq!(s.misses, lines.len() as u64, "only compulsory misses");
     }
+}
 
-    #[test]
-    fn hierarchy_latency_is_monotone_in_level(addr in 0u64..10_000_000) {
+#[test]
+fn hierarchy_latency_is_monotone_in_level() {
+    let mut rng = SplitMix64::new(13);
+    for _ in 0..64 {
+        let addr = rng.below(10_000_000);
         let cfg = HierarchyConfig::icelake();
         let mut m = MemoryHierarchy::new(&cfg);
         let first = m.data_access(addr, false);
-        prop_assert_eq!(first.supplied_by, Level::Dram);
+        assert_eq!(first.supplied_by, Level::Dram);
         let second = m.data_access(addr, false);
-        prop_assert!(second.latency < first.latency);
-        prop_assert_eq!(second.latency, cfg.l1_latency);
+        assert!(second.latency < first.latency);
+        assert_eq!(second.latency, cfg.l1_latency);
         // The touch lists are ordered inner -> outer.
-        prop_assert_eq!(first.touched.first().copied(), Some(Level::L1D));
-        prop_assert_eq!(first.touched.last().copied(), Some(Level::Dram));
+        assert_eq!(first.touched.first().copied(), Some(Level::L1D));
+        assert_eq!(first.touched.last().copied(), Some(Level::Dram));
     }
+}
 
-    #[test]
-    fn instruction_side_is_isolated_from_data_side(
-        addrs in proptest::collection::vec(0u64..100_000, 1..100),
-    ) {
+#[test]
+fn instruction_side_is_isolated_from_data_side() {
+    let mut rng = SplitMix64::new(14);
+    for _ in 0..32 {
+        let len = 1 + rng.below(99) as usize;
+        let addrs: Vec<u64> = (0..len).map(|_| rng.below(100_000)).collect();
         let mut m = MemoryHierarchy::new(&HierarchyConfig::icelake());
         for &a in &addrs {
             m.instr_access(a);
         }
         let s = m.stats();
-        prop_assert_eq!(s.l1d.accesses(), 0, "instruction fetch never touches L1D");
-        prop_assert_eq!(s.l1i.accesses(), addrs.len() as u64);
+        assert_eq!(s.l1d.accesses(), 0, "instruction fetch never touches L1D");
+        assert_eq!(s.l1i.accesses(), addrs.len() as u64);
     }
+}
 
-    #[test]
-    fn invalidate_forces_next_access_to_miss_l1(addr in 0u64..1_000_000) {
+#[test]
+fn invalidate_forces_next_access_to_miss_l1() {
+    let mut rng = SplitMix64::new(15);
+    for _ in 0..64 {
+        let addr = rng.below(1_000_000);
         let mut c = small_cache(4, ReplacementPolicy::Lru);
         c.access(addr);
         c.invalidate(addr);
-        prop_assert!(!c.access(addr), "invalidation must evict");
+        assert!(!c.access(addr), "invalidation must evict");
     }
 }

@@ -12,13 +12,13 @@ use scc_core::{
     RequestQueue, StreamChoice, UopSource,
 };
 use scc_isa::{
-    branch_of, eval_alu, eval_complex, eval_fp, region, Addr, ArchSnapshot, CcFlags, Memory, Op,
-    Operand, Program, Reg, Uop, NUM_REGS,
+    branch_of, eval_alu, eval_complex, eval_fp, region, Addr, ArchSnapshot, CcFlags, FxHashMap,
+    Memory, Op, Operand, Program, Reg, Uop, NUM_REGS,
 };
 use scc_memsys::MemoryHierarchy;
 use scc_predictors::{BranchPredictorUnit, ValuePredictor};
 use scc_uopcache::{CompactedStream, Invariant, OptPartition, UnoptPartition};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One entry of the instruction decode queue.
 #[derive(Clone, Debug)]
@@ -130,7 +130,11 @@ pub struct Pipeline<'p> {
     unopt: UnoptPartition,
     opt: Option<OptPartition>,
     scc: Option<SccState>,
-    force_unopt: HashMap<Addr, u64>,
+    force_unopt: FxHashMap<Addr, u64>,
+    /// Non-ghost micro-ops per macro address currently in flight (stream
+    /// buffer, IDQ, or ROB), maintained incrementally so the profitability
+    /// unit's phase lookup is O(1) instead of a scan of all three queues.
+    inflight: FxHashMap<Addr, u32>,
     // Back end.
     rob: VecDeque<RobEntry>,
     rmap: RenameMap,
@@ -178,7 +182,8 @@ impl<'p> Pipeline<'p> {
             unopt,
             opt,
             scc,
-            force_unopt: HashMap::new(),
+            force_unopt: FxHashMap::default(),
+            inflight: FxHashMap::default(),
             rob: VecDeque::new(),
             next_seq: 1,
             stats: PipelineStats::default(),
@@ -258,6 +263,13 @@ impl<'p> Pipeline<'p> {
         if let Some(opt) = &mut self.opt {
             opt.tick(self.cycle);
         }
+        // Expired force-unopt windows are otherwise only removed when
+        // their region is re-probed, so one-shot regions would leak map
+        // entries for the rest of the run.
+        if self.cycle & 0xfff == 0 && !self.force_unopt.is_empty() {
+            let now = self.cycle;
+            self.force_unopt.retain(|_, &mut until| until > now);
+        }
         self.cycle += 1;
         self.stats.cycles = self.cycle;
     }
@@ -304,6 +316,9 @@ impl<'p> Pipeline<'p> {
                 break;
             }
             let e = self.rob.pop_front().expect("checked non-empty");
+            if !e.is_ghost {
+                self.inflight_dec(e.uop.macro_addr);
+            }
             // Live-out inlining: architecturally older than the entry.
             for &(r, v) in &e.pre_writes {
                 self.arch_regs[r.index()] = v;
@@ -408,7 +423,9 @@ impl<'p> Pipeline<'p> {
     // ------------------------------------------------------------------
 
     fn complete(&mut self) {
-        let mut squash: Option<(u64, Addr, MispredictCause, Option<(u64, usize)>)> = None;
+        // (sequence, redirect target, cause, stream squash bookkeeping)
+        type PendingSquash = (u64, Addr, MispredictCause, Option<(u64, usize)>);
+        let mut squash: Option<PendingSquash> = None;
         let mut resolved: Vec<(usize, i64, i64)> = Vec::new();
         for i in 0..self.rob.len() {
             let e = &self.rob[i];
@@ -438,7 +455,7 @@ impl<'p> Pipeline<'p> {
                 let blocks = e.blocks_fetch;
                 let pred_source = e.pred_source;
                 let uop = e.uop.clone();
-                let mispredicted = predicted.map_or(false, |p| p != outcome.next);
+                let mispredicted = predicted.is_some_and(|p| p != outcome.next);
                 if is_cond {
                     self.stats.branches_resolved += 1;
                     if mispredicted {
@@ -453,7 +470,7 @@ impl<'p> Pipeline<'p> {
                     self.fetch_slot = 0;
                     self.fetch_blocked = false;
                     self.fetch_halted = false;
-                } else if mispredicted && squash.map_or(true, |(s, ..)| seq < s) {
+                } else if mispredicted && squash.is_none_or(|(s, ..)| seq < s) {
                     let (cause, pen) = match pred_source {
                         Some((sid, idx, _)) => {
                             (MispredictCause::ControlInvariant, Some((sid, idx)))
@@ -470,7 +487,7 @@ impl<'p> Pipeline<'p> {
                     self.stats.vp_forward_fails += 1;
                     self.rob[i].mispredicted = true;
                     let resume = self.rob[i].uop.next_addr();
-                    if squash.map_or(true, |(s, ..)| seq < s) {
+                    if squash.is_none_or(|(s, ..)| seq < s) {
                         squash = Some((seq, resume, MispredictCause::Other, None));
                     }
                 }
@@ -484,7 +501,7 @@ impl<'p> Pipeline<'p> {
                     self.stats.invariants_failed += 1;
                     self.rob[i].mispredicted = true;
                     let resume = self.rob[i].uop.next_addr();
-                    if squash.map_or(true, |(s, ..)| seq < s) {
+                    if squash.is_none_or(|(s, ..)| seq < s) {
                         squash =
                             Some((seq, resume, MispredictCause::DataInvariant, Some((sid, idx))));
                     }
@@ -572,6 +589,26 @@ impl<'p> Pipeline<'p> {
                 cause: "mispredict",
                 flushed: squashed_rob + squashed_q,
             });
+        }
+        {
+            let inflight = &mut self.inflight;
+            let mut dec = |addr: Addr| {
+                if let Some(c) = inflight.get_mut(&addr) {
+                    *c -= 1;
+                    if *c == 0 {
+                        inflight.remove(&addr);
+                    }
+                }
+            };
+            for e in self.rob.iter().filter(|e| e.seq > seq && !e.is_ghost) {
+                dec(e.uop.macro_addr);
+            }
+            for e in self.idq.iter().filter(|e| !e.is_ghost) {
+                dec(e.uop.macro_addr);
+            }
+            for e in self.active_stream.iter().filter(|e| !e.is_ghost) {
+                dec(e.uop.macro_addr);
+            }
         }
         self.rob.retain(|e| e.seq <= seq);
         self.idq.clear();
@@ -973,13 +1010,15 @@ impl<'p> Pipeline<'p> {
                 // predictors have trained, and refreshes stale streams
                 // with newly predicted invariants (the paper's
                 // multi-version co-hosting).
-                let retrigger = lk.hotness >= threshold && (lk.hotness - threshold) % 64 == 0;
+                let retrigger = lk.hotness >= threshold && (lk.hotness - threshold).is_multiple_of(64);
                 let became_hot = lk.became_hot;
                 // Loop stream detector hint (paper §III lists it among
                 // SCC's hint sources): code inside a detected hot loop
                 // qualifies at half the hotness threshold.
                 let lsd_hot = lk.hotness >= threshold / 2 && lk.hotness < threshold;
-                let uops: Vec<Uop> = lk.uops.to_vec();
+                // The lookup shares the cache line (`Arc`), so delivery
+                // needs no per-fetch copy of the micro-ops.
+                let uops = lk.uops;
                 if became_hot
                     || retrigger
                     || (lsd_hot && self.bp.loop_detector().contains(pc))
@@ -999,6 +1038,38 @@ impl<'p> Pipeline<'p> {
         }
     }
 
+    #[inline]
+    fn inflight_inc(&mut self, addr: Addr) {
+        *self.inflight.entry(addr).or_insert(0) += 1;
+    }
+
+    #[inline]
+    fn inflight_dec(&mut self, addr: Addr) {
+        match self.inflight.get_mut(&addr) {
+            Some(c) => {
+                *c -= 1;
+                if *c == 0 {
+                    self.inflight.remove(&addr);
+                }
+            }
+            None => debug_assert!(false, "inflight underflow at {addr:#x}"),
+        }
+    }
+
+    /// Debug-build cross-check: the incremental per-address counter must
+    /// equal a fresh scan of the stream buffer, IDQ, and ROB.
+    #[cfg(debug_assertions)]
+    fn assert_inflight_consistent(&self) {
+        let mut scan: FxHashMap<Addr, u32> = FxHashMap::default();
+        for e in self.rob.iter().filter(|e| !e.is_ghost) {
+            *scan.entry(e.uop.macro_addr).or_insert(0) += 1;
+        }
+        for e in self.idq.iter().chain(self.active_stream.iter()).filter(|e| !e.is_ghost) {
+            *scan.entry(e.uop.macro_addr).or_insert(0) += 1;
+        }
+        assert_eq!(scan, self.inflight, "incremental in-flight counter diverged from queue scan");
+    }
+
     /// Checks the optimized partition at `pc`; on a profitable hit, loads
     /// the chosen stream into the active-stream buffer. Returns true if a
     /// stream was activated.
@@ -1016,43 +1087,35 @@ impl<'p> Pipeline<'p> {
             }
             None => {}
         }
+        #[cfg(debug_assertions)]
+        if self.cycle & 0x3ff == 0 {
+            self.assert_inflight_consistent();
+        }
         let opt = self.opt.as_mut().expect("checked");
         let scc = self.scc.as_mut().expect("opt implies scc");
         self.stats.uopcache_lookups += 1;
-        let candidate_ids: Vec<u64> =
-            opt.lookup(pc, self.cycle).iter().map(|s| s.stream_id).collect();
-        if candidate_ids.is_empty() {
+        // Record the lookup (stats + hotness) without materializing the
+        // candidate list; the selection below walks the set in place.
+        if opt.touch(pc, self.cycle) == 0 {
             return false;
         }
         self.stats.vp_probes += 1;
-        // Snapshot hotness first; then re-borrow the candidates immutably.
-        let hot: HashMap<u64, u32> =
-            candidate_ids.iter().map(|&id| (id, opt.hotness(id))).collect();
-        let candidates = opt.peek(pc);
         // In-flight instances of each invariant's PC: fetched (IDQ/stream
         // buffer) or renamed (ROB) but not yet committed+trained. Phase-
         // aware predictors use this to line the re-check up with the
         // dynamic instance the stream will actually validate against.
-        let (rob, idq, act) = (&self.rob, &self.idq, &self.active_stream);
-        let inflight = |addr: Addr| -> u64 {
-            rob.iter().filter(|e| !e.is_ghost && e.uop.macro_addr == addr).count() as u64
-                + idq.iter().filter(|e| !e.is_ghost && e.uop.macro_addr == addr).count() as u64
-                + act.iter().filter(|e| !e.is_ghost && e.uop.macro_addr == addr).count() as u64
-        };
-        let choice = scc.profit.choose_with_inflight(
-            &candidates,
-            |id| hot.get(&id).copied().unwrap_or(0),
-            self.vp.as_ref(),
-            inflight,
-        );
+        let inflight_counts = &self.inflight;
+        let inflight =
+            |addr: Addr| -> u64 { inflight_counts.get(&addr).copied().unwrap_or(0) as u64 };
+        let choice = scc.profit.choose_candidates(opt.candidates(pc), self.vp.as_ref(), inflight);
         let StreamChoice::Optimized { stream_id } = choice else {
             return false;
         };
-        let stream = candidates
-            .into_iter()
-            .find(|s| s.stream_id == stream_id)
-            .expect("chosen stream exists")
-            .clone();
+        let stream = opt
+            .candidates(pc)
+            .find(|(s, _)| s.stream_id == stream_id)
+            .map(|(s, _)| s.clone())
+            .expect("chosen stream exists");
         self.activate_stream(stream);
         true
     }
@@ -1074,6 +1137,7 @@ impl<'p> Pipeline<'p> {
                 .map(|nu| nu.uop.macro_addr)
                 .unwrap_or(stream.exit);
             let mut e = IdqEntry::plain(su.uop.clone(), FetchSource::Opt);
+            self.inflight_inc(su.uop.macro_addr);
             e.pre_writes = su.live_outs.clone();
             e.pre_cc = su.live_out_cc;
             e.stream_id = Some(stream.stream_id);
@@ -1141,8 +1205,9 @@ impl<'p> Pipeline<'p> {
                 return true;
             }
             let last_in_macro =
-                uops.get(j + 1).map_or(true, |n| n.macro_addr != u.macro_addr);
+                uops.get(j + 1).is_none_or(|n| n.macro_addr != u.macro_addr);
             let mut e = IdqEntry::plain(u.clone(), source);
+            self.inflight_inc(u.macro_addr);
             match source {
                 FetchSource::Icache => self.stats.uops_from_icache += 1,
                 FetchSource::Unopt => self.stats.uops_from_unopt += 1,

@@ -259,7 +259,7 @@ impl DirectionPredictor for TageLite {
             if !allocated {
                 // Periodically age useful bits so allocation can't starve.
                 self.tick += 1;
-                if self.tick % 64 == 0 {
+                if self.tick.is_multiple_of(64) {
                     for t in &mut self.tables {
                         for e in &mut t.entries {
                             e.useful = e.useful.saturating_sub(1);

@@ -43,7 +43,7 @@ impl H3Entry {
 
     fn best_period(&self) -> Option<usize> {
         (0..MAX_PERIOD)
-            .filter(|&p| self.filled as usize >= p + 1)
+            .filter(|&p| self.filled as usize > p)
             .max_by_key(|&p| (self.confidence[p], std::cmp::Reverse(p)))
             .filter(|&p| self.confidence[p] > 0)
     }

@@ -249,7 +249,7 @@ mod tests {
         for k in ValuePredictorKind::all() {
             let p = k.build();
             assert!(!p.name().is_empty());
-            assert_eq!(k.to_string().is_empty(), false);
+            assert!(!k.to_string().is_empty());
         }
         assert_eq!(ValuePredictorKind::default(), ValuePredictorKind::Eves);
     }

@@ -1,7 +1,8 @@
-//! Property-based tests: predictor invariants that must hold for any
-//! training sequence.
+//! Property-style tests: predictor invariants that must hold for any
+//! training sequence, driven by a deterministic SplitMix64 generator (no
+//! registry dependencies) so they run identically offline.
 
-use proptest::prelude::*;
+use scc_isa::rand_prog::SplitMix64;
 use scc_predictors::{
     Bimodal, DirectionPredictor, Eves, GShare, H3vp, LastValue, Stride, TageLite, ValuePredictor,
     MAX_CONFIDENCE,
@@ -16,54 +17,69 @@ fn all_value_predictors() -> Vec<Box<dyn ValuePredictor>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn value_predictor_confidence_stays_in_range(
-        values in proptest::collection::vec(any::<i64>(), 1..200),
-        pcs in proptest::collection::vec(0u64..8, 1..200),
-    ) {
+#[test]
+fn value_predictor_confidence_stays_in_range() {
+    let mut rng = SplitMix64::new(21);
+    for _ in 0..32 {
+        let n = 1 + rng.below(199) as usize;
+        let values: Vec<i64> = (0..n).map(|_| rng.next_u64() as i64).collect();
+        let pcs: Vec<u64> = (0..n).map(|_| rng.below(8)).collect();
         for mut p in all_value_predictors() {
             for (v, pc) in values.iter().zip(pcs.iter().cycle()) {
                 p.train(*pc, *v);
                 if let Some(pred) = p.predict(*pc) {
-                    prop_assert!(pred.confidence <= MAX_CONFIDENCE);
+                    assert!(pred.confidence <= MAX_CONFIDENCE);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn constant_streams_converge_to_stable_high_confidence(v in any::<i64>()) {
+#[test]
+fn constant_streams_converge_to_stable_high_confidence() {
+    let mut rng = SplitMix64::new(22);
+    let mut vals = vec![i64::MIN, -1, 0, 1, i64::MAX];
+    vals.extend((0..27).map(|_| rng.next_u64() as i64));
+    for v in vals {
         for mut p in all_value_predictors() {
             for _ in 0..32 {
                 p.train(9, v);
             }
             let pred = p.predict(9).unwrap_or_else(|| panic!("{} lost a constant", p.name()));
-            prop_assert_eq!(pred.value, v, "{} wrong value", p.name());
-            prop_assert!(pred.stable, "{} must mark constants stable", p.name());
-            prop_assert!(pred.confidence >= 8, "{} low confidence on constant", p.name());
+            assert_eq!(pred.value, v, "{} wrong value", p.name());
+            assert!(pred.stable, "{} must mark constants stable", p.name());
+            assert!(pred.confidence >= 8, "{} low confidence on constant", p.name());
         }
     }
+}
 
-    #[test]
-    fn predict_nth_of_constant_is_constant(v in any::<i64>(), n in 1u64..20) {
+#[test]
+fn predict_nth_of_constant_is_constant() {
+    let mut rng = SplitMix64::new(23);
+    for _ in 0..32 {
+        let v = rng.next_u64() as i64;
+        let n = 1 + rng.below(19);
         for mut p in all_value_predictors() {
             for _ in 0..32 {
                 p.train(5, v);
             }
             if let Some(pred) = p.predict_nth(5, n) {
-                prop_assert_eq!(pred.value, v, "{} at depth {}", p.name(), n);
+                assert_eq!(pred.value, v, "{} at depth {}", p.name(), n);
             }
         }
     }
+}
 
-    #[test]
-    fn h3vp_predict_nth_tracks_oscillation_phase(
-        a in any::<i64>(), b in any::<i64>(), n in 1u64..12,
-    ) {
-        prop_assume!(a != b);
+#[test]
+fn h3vp_predict_nth_tracks_oscillation_phase() {
+    let mut rng = SplitMix64::new(24);
+    for _ in 0..48 {
+        let a = rng.next_u64() as i64;
+        let b = rng.next_u64() as i64;
+        let n = 1 + rng.below(11);
+        if a == b {
+            continue;
+        }
         let mut p = H3vp::default_size();
         for _ in 0..24 {
             p.train(3, a);
@@ -72,14 +88,17 @@ proptest! {
         // Last trained value is `b`; the n-th next value alternates.
         let expect = if n % 2 == 1 { a } else { b };
         let pred = p.predict_nth(3, n).expect("period-2 locked");
-        prop_assert_eq!(pred.value, expect, "phase {} of ({}, {})", n, a, b);
+        assert_eq!(pred.value, expect, "phase {} of ({}, {})", n, a, b);
     }
+}
 
-    #[test]
-    fn direction_predictors_never_panic_and_learn_bias(
-        outcomes in proptest::collection::vec(any::<bool>(), 50..300),
-        pc in 0u64..1_000_000,
-    ) {
+#[test]
+fn direction_predictors_never_panic_and_learn_bias() {
+    let mut rng = SplitMix64::new(25);
+    for _ in 0..16 {
+        let n = 50 + rng.below(250) as usize;
+        let outcomes: Vec<bool> = (0..n).map(|_| rng.chance(1, 2)).collect();
+        let pc = rng.below(1_000_000);
         let mut preds: Vec<Box<dyn DirectionPredictor>> = vec![
             Box::new(Bimodal::new(256)),
             Box::new(GShare::new(256, 8)),
@@ -88,7 +107,7 @@ proptest! {
         for p in &mut preds {
             for &t in &outcomes {
                 let d = p.predict(pc);
-                prop_assert!(d.confidence <= 15);
+                assert!(d.confidence <= 15);
                 p.update(pc, t);
             }
         }
@@ -97,18 +116,24 @@ proptest! {
             for _ in 0..64 {
                 p.update(pc, true);
             }
-            prop_assert!(p.predict(pc).taken, "{} failed to learn bias", p.name());
+            assert!(p.predict(pc).taken, "{} failed to learn bias", p.name());
         }
     }
+}
 
-    #[test]
-    fn stride_predictions_advance_linearly(start in -1_000_000i64..1_000_000, stride in 1i64..5_000, n in 1u64..16) {
+#[test]
+fn stride_predictions_advance_linearly() {
+    let mut rng = SplitMix64::new(26);
+    for _ in 0..48 {
+        let start = rng.below(2_000_000) as i64 - 1_000_000;
+        let stride = 1 + rng.below(4_999) as i64;
+        let n = 1 + rng.below(15);
         let mut p = Eves::default_size();
         for i in 0..24 {
             p.train(7, start + i * stride);
         }
         let pred = p.predict_nth(7, n).expect("stride locked");
-        prop_assert_eq!(pred.value, start + 23 * stride + n as i64 * stride);
-        prop_assert!(!pred.stable, "nonzero strides are not invariants");
+        assert_eq!(pred.value, start + 23 * stride + n as i64 * stride);
+        assert!(!pred.stable, "nonzero strides are not invariants");
     }
 }

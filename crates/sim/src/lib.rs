@@ -20,6 +20,7 @@
 
 pub mod cli;
 pub mod report;
+pub mod runner;
 pub mod simpoint;
 
 use scc_core::{OptFlags, SccConfig};
@@ -29,6 +30,8 @@ use scc_pipeline::{FrontendMode, Pipeline, PipelineConfig, PipelineStats, RunOut
 use scc_predictors::{BranchPredictorKind, ValuePredictorKind};
 use scc_uopcache::UopCacheConfig;
 use scc_workloads::Workload;
+
+pub use runner::{scc_jobs, Job, Runner};
 
 /// The appendix's six experiment levels, cumulative.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -339,10 +342,12 @@ mod tests {
 
     #[test]
     fn energy_event_mapping_is_complete() {
-        let mut stats = PipelineStats::default();
-        stats.cycles = 10;
-        stats.committed_uops = 5;
-        stats.exec_alu = 3;
+        let stats = PipelineStats {
+            cycles: 10,
+            committed_uops: 5,
+            exec_alu: 3,
+            ..PipelineStats::default()
+        };
         let ev = energy_events(&stats);
         assert_eq!(ev.cycles, 10);
         assert_eq!(ev.committed_uops, 5);

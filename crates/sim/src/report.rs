@@ -92,6 +92,107 @@ impl Table {
     }
 }
 
+/// Wall-clock accounting for one simulation run, as recorded by the
+/// parallel experiment runner ([`crate::runner`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunTiming {
+    /// Workload name.
+    pub workload: String,
+    /// Optimization-level label of the run.
+    pub level: &'static str,
+    /// Host wall-clock seconds the simulation took (0 for cache hits).
+    pub wall_secs: f64,
+    /// Committed micro-ops the run simulated.
+    pub uops: u64,
+    /// True when the result came from the cross-figure result cache
+    /// instead of a fresh simulation.
+    pub cached: bool,
+}
+
+impl RunTiming {
+    /// Simulated micro-ops per host second (0 for cache hits).
+    pub fn uops_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.uops as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders per-run, per-workload, and aggregate simulation throughput
+/// (simulated micro-ops per host second) as a JSON document — the payload
+/// of `results/BENCH_throughput.json`.
+///
+/// Cache hits are listed per run but excluded from the throughput rates,
+/// since they cost no simulation time.
+pub fn throughput_json(timings: &[RunTiming]) -> String {
+    let mut out = String::from("{\n  \"runs\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"level\": \"{}\", \"wall_secs\": {:.6}, \
+             \"uops\": {}, \"uops_per_sec\": {:.1}, \"cached\": {}}}{}\n",
+            json_escape(&t.workload),
+            json_escape(t.level),
+            t.wall_secs,
+            t.uops,
+            t.uops_per_sec(),
+            t.cached,
+            if i + 1 < timings.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"per_workload\": [\n");
+    // Group fresh runs by workload, preserving first-seen order.
+    let mut names: Vec<&str> = Vec::new();
+    for t in timings {
+        if !names.contains(&t.workload.as_str()) {
+            names.push(&t.workload);
+        }
+    }
+    for (i, name) in names.iter().enumerate() {
+        let fresh: Vec<&RunTiming> =
+            timings.iter().filter(|t| t.workload == *name && !t.cached).collect();
+        let secs: f64 = fresh.iter().map(|t| t.wall_secs).sum();
+        let uops: u64 = fresh.iter().map(|t| t.uops).sum();
+        let rate = if secs > 0.0 { uops as f64 / secs } else { 0.0 };
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"runs\": {}, \"wall_secs\": {:.6}, \
+             \"uops\": {}, \"uops_per_sec\": {:.1}}}{}\n",
+            json_escape(name),
+            fresh.len(),
+            secs,
+            uops,
+            rate,
+            if i + 1 < names.len() { "," } else { "" },
+        ));
+    }
+    let fresh: Vec<&RunTiming> = timings.iter().filter(|t| !t.cached).collect();
+    let secs: f64 = fresh.iter().map(|t| t.wall_secs).sum();
+    let uops: u64 = fresh.iter().map(|t| t.uops).sum();
+    let rate = if secs > 0.0 { uops as f64 / secs } else { 0.0 };
+    out.push_str(&format!(
+        "  ],\n  \"aggregate\": {{\"runs\": {}, \"cached_hits\": {}, \"wall_secs\": {:.6}, \
+         \"uops\": {}, \"uops_per_sec\": {:.1}}}\n}}\n",
+        fresh.len(),
+        timings.len() - fresh.len(),
+        secs,
+        uops,
+        rate,
+    ));
+    out
+}
+
 /// Summarizes a set of per-workload results against their baselines,
 /// returning `(mean speedup %, max speedup %, mean uop reduction %)`.
 pub fn summarize(pairs: &[(&SimResult, &SimResult)]) -> (f64, f64, f64) {
@@ -150,5 +251,51 @@ mod tests {
     fn table_validates_width() {
         let mut t = Table::new(&["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn throughput_json_aggregates_fresh_runs_only() {
+        let timings = vec![
+            RunTiming {
+                workload: "gcc".into(),
+                level: "baseline",
+                wall_secs: 2.0,
+                uops: 1_000_000,
+                cached: false,
+            },
+            RunTiming {
+                workload: "gcc".into(),
+                level: "full-scc",
+                wall_secs: 0.0,
+                uops: 900_000,
+                cached: true,
+            },
+            RunTiming {
+                workload: "mcf".into(),
+                level: "baseline",
+                wall_secs: 2.0,
+                uops: 3_000_000,
+                cached: false,
+            },
+        ];
+        let j = throughput_json(&timings);
+        assert!(j.contains("\"aggregate\": {\"runs\": 2, \"cached_hits\": 1"));
+        // 4M uops over 4 seconds of fresh simulation.
+        assert!(j.contains("\"wall_secs\": 4.000000, \"uops\": 4000000, \"uops_per_sec\": 1000000.0"));
+        assert!(j.contains("\"workload\": \"gcc\", \"runs\": 1"));
+    }
+
+    #[test]
+    fn run_timing_rate() {
+        let t = RunTiming {
+            workload: "x".into(),
+            level: "baseline",
+            wall_secs: 2.0,
+            uops: 10,
+            cached: false,
+        };
+        assert_eq!(t.uops_per_sec(), 5.0);
+        let hit = RunTiming { wall_secs: 0.0, cached: true, ..t };
+        assert_eq!(hit.uops_per_sec(), 0.0);
     }
 }

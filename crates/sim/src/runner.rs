@@ -1,0 +1,385 @@
+//! Parallel experiment engine with a cross-figure result cache.
+//!
+//! Every figure and table in the evaluation boils down to the same unit
+//! of work: *simulate one workload under one pipeline configuration*.
+//! The runner fans those jobs out over a scoped worker pool (plain
+//! `std::thread::scope`, no external dependencies) and memoizes each
+//! result in a process-wide content-keyed cache, so e.g. the 19 baseline
+//! runs that Figures 6, 9, 10, and 11 all need are simulated exactly
+//! once per process.
+//!
+//! Determinism: each simulation is single-threaded and fully
+//! deterministic, and results are returned in job order regardless of
+//! which worker finished first — so report output is byte-identical to
+//! the serial path (`tests/` assert this).
+//!
+//! Worker count comes from the `SCC_JOBS` environment variable
+//! (default: available parallelism), mirroring the `SCC_ITERS` scale
+//! convention. Wall-clock throughput of every fresh simulation is
+//! recorded and can be emitted as `results/BENCH_throughput.json` via
+//! [`write_throughput_json`].
+
+use crate::report::RunTiming;
+use crate::{energy_events, OptLevel, SimOptions, SimResult};
+use scc_energy::EnergyModel;
+use scc_pipeline::{Pipeline, PipelineConfig, RunOutcome};
+use scc_workloads::Workload;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// One simulation job: a workload under a concrete pipeline
+/// configuration.
+///
+/// Jobs borrow their workload, so batches can be built over a locally
+/// generated suite without cloning programs.
+#[derive(Clone, Debug)]
+pub struct Job<'a> {
+    /// The workload to simulate.
+    pub workload: &'a Workload,
+    /// The exact pipeline configuration to run it under.
+    pub config: PipelineConfig,
+    /// Cycle budget (safety net; workloads halt well before).
+    pub max_cycles: u64,
+    /// Level label recorded on the result (and in throughput logs).
+    pub level: OptLevel,
+}
+
+impl<'a> Job<'a> {
+    /// A job described by high-level [`SimOptions`] (the common case for
+    /// the figure harnesses).
+    pub fn new(workload: &'a Workload, opts: &SimOptions) -> Job<'a> {
+        Job {
+            workload,
+            config: opts.to_pipeline_config(),
+            max_cycles: opts.max_cycles,
+            level: opts.level,
+        }
+    }
+
+    /// A job with an explicit raw [`PipelineConfig`] (the ablation
+    /// sweeps mutate configs directly). Uses the default cycle budget.
+    pub fn from_config(
+        workload: &'a Workload,
+        config: PipelineConfig,
+        level: OptLevel,
+    ) -> Job<'a> {
+        Job { workload, config, max_cycles: 400_000_000, level }
+    }
+
+    /// The content key identifying this job's result.
+    ///
+    /// Workload generation is deterministic, so `(name, scale)` pins the
+    /// program; the `Debug` rendering of the full [`PipelineConfig`]
+    /// pins every knob of the machine. Two jobs with equal keys are
+    /// guaranteed to produce identical results.
+    fn key(&self) -> String {
+        format!(
+            "{}|iters={}|{}|max={}|{:?}",
+            self.workload.name, self.workload.scale.iters, self.level, self.max_cycles, self.config
+        )
+    }
+}
+
+/// Worker count: `SCC_JOBS` if set to a positive integer, otherwise the
+/// host's available parallelism.
+pub fn scc_jobs() -> usize {
+    std::env::var("SCC_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+fn cache() -> &'static Mutex<HashMap<String, Arc<SimResult>>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<SimResult>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn timing_log() -> &'static Mutex<Vec<RunTiming>> {
+    static LOG: OnceLock<Mutex<Vec<RunTiming>>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Runs one job to completion (the same semantics as
+/// [`crate::run_workload`], but from a raw config).
+///
+/// # Panics
+///
+/// Panics if the workload exhausts the cycle budget without halting —
+/// that is a harness bug, not a measurement.
+fn execute(job: &Job<'_>) -> SimResult {
+    let mut pipe = Pipeline::new(&job.workload.program, job.config.clone());
+    let res = pipe.run(job.max_cycles);
+    assert_eq!(
+        res.outcome,
+        RunOutcome::Halted,
+        "{} did not halt within {} cycles at {}",
+        job.workload.name,
+        job.max_cycles,
+        job.level
+    );
+    let energy = EnergyModel::icelake().energy(&energy_events(&res.stats));
+    SimResult {
+        workload: job.workload.name.to_string(),
+        level: job.level,
+        stats: res.stats,
+        energy,
+        snapshot: res.snapshot,
+        halted: true,
+    }
+}
+
+/// The experiment runner: a worker pool plus the shared result cache.
+#[derive(Clone, Copy, Debug)]
+pub struct Runner {
+    jobs: usize,
+    use_cache: bool,
+}
+
+impl Default for Runner {
+    fn default() -> Runner {
+        Runner::new()
+    }
+}
+
+impl Runner {
+    /// The standard runner: `SCC_JOBS` workers, shared cache.
+    pub fn new() -> Runner {
+        Runner { jobs: scc_jobs(), use_cache: true }
+    }
+
+    /// A runner with an explicit worker count (still cached).
+    pub fn with_jobs(jobs: usize) -> Runner {
+        Runner { jobs: jobs.max(1), use_cache: true }
+    }
+
+    /// A single-threaded runner that bypasses the cache entirely —
+    /// the reference path the determinism tests compare against.
+    pub fn serial_uncached() -> Runner {
+        Runner { jobs: 1, use_cache: false }
+    }
+
+    /// Worker count this runner fans out to.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs a batch of jobs, returning results in job order.
+    ///
+    /// Cache hits are resolved up front; misses are deduplicated by
+    /// content key and simulated on the worker pool. Results land back
+    /// in their submission slots, so output ordering (and therefore any
+    /// report built from it) is independent of worker scheduling.
+    pub fn run(&self, jobs: &[Job<'_>]) -> Vec<Arc<SimResult>> {
+        let keys: Vec<String> = jobs.iter().map(Job::key).collect();
+        let mut out: Vec<Option<Arc<SimResult>>> = vec![None; jobs.len()];
+        let mut hits: Vec<RunTiming> = Vec::new();
+
+        // Resolve cache hits and collect the unique misses.
+        let mut misses: Vec<(usize, &str)> = Vec::new(); // (job index, key)
+        {
+            let cached = if self.use_cache { Some(cache().lock().unwrap()) } else { None };
+            let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+            for (i, key) in keys.iter().enumerate() {
+                if let Some(r) = cached.as_ref().and_then(|c| c.get(key.as_str())) {
+                    hits.push(RunTiming {
+                        workload: r.workload.clone(),
+                        level: r.level.label(),
+                        wall_secs: 0.0,
+                        uops: r.stats.committed_uops,
+                        cached: true,
+                    });
+                    out[i] = Some(Arc::clone(r));
+                } else if seen.insert(key.as_str()) {
+                    misses.push((i, key));
+                }
+            }
+        }
+
+        // Fan the misses out over the pool. Workers pull indices from a
+        // shared counter; each simulation is independent.
+        let done: Mutex<Vec<(usize, SimResult, f64)>> = Mutex::new(Vec::new());
+        if !misses.is_empty() {
+            let next = AtomicUsize::new(0);
+            let workers = self.jobs.min(misses.len());
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let m = next.fetch_add(1, Ordering::Relaxed);
+                        if m >= misses.len() {
+                            break;
+                        }
+                        let job = &jobs[misses[m].0];
+                        let t0 = Instant::now();
+                        let r = execute(job);
+                        let secs = t0.elapsed().as_secs_f64();
+                        done.lock().unwrap().push((m, r, secs));
+                    });
+                }
+            });
+        }
+
+        // Publish results in deterministic (submission) order.
+        let mut done = done.into_inner().unwrap();
+        done.sort_by_key(|(m, _, _)| *m);
+        let mut fresh: Vec<RunTiming> = Vec::new();
+        for (m, r, secs) in done {
+            fresh.push(RunTiming {
+                workload: r.workload.clone(),
+                level: r.level.label(),
+                wall_secs: secs,
+                uops: r.stats.committed_uops,
+                cached: false,
+            });
+            let r = Arc::new(r);
+            if self.use_cache {
+                cache().lock().unwrap().insert(keys[misses[m].0].clone(), Arc::clone(&r));
+            }
+            out[misses[m].0] = Some(r);
+        }
+
+        // Duplicate keys within the batch resolve off the freshly
+        // computed results.
+        for i in 0..out.len() {
+            if out[i].is_none() {
+                let donor =
+                    misses.iter().find(|(_, key)| *key == keys[i]).map(|(j, _)| *j);
+                out[i] = donor.and_then(|j| out[j].clone());
+            }
+        }
+
+        if self.use_cache {
+            let mut log = timing_log().lock().unwrap();
+            log.extend(fresh);
+            log.extend(hits);
+        }
+        out.into_iter().map(|r| r.expect("every job resolved")).collect()
+    }
+}
+
+/// Snapshot of the process-wide throughput log (one entry per run the
+/// cached runners performed or resolved from cache).
+pub fn timings() -> Vec<RunTiming> {
+    timing_log().lock().unwrap().clone()
+}
+
+/// Number of results currently in the cross-figure cache.
+pub fn cache_len() -> usize {
+    cache().lock().unwrap().len()
+}
+
+/// Writes the throughput log as JSON (see
+/// [`crate::report::throughput_json`]) to `path`, creating parent
+/// directories as needed. Returns the rendered JSON.
+pub fn write_throughput_json(path: impl AsRef<Path>) -> std::io::Result<String> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let json = crate::report::throughput_json(&timings());
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(json.as_bytes())?;
+    Ok(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_workloads::{workload, Scale};
+
+    #[test]
+    fn scc_jobs_is_positive() {
+        assert!(scc_jobs() >= 1);
+    }
+
+    #[test]
+    fn batch_results_are_in_job_order() {
+        let scale = Scale::custom(200);
+        let ws: Vec<_> =
+            ["exchange", "freqmine", "leela"].iter().map(|n| workload(n, scale).unwrap()).collect();
+        let jobs: Vec<Job> = ws
+            .iter()
+            .map(|w| Job::new(w, &SimOptions::new(OptLevel::Baseline)))
+            .collect();
+        let rs = Runner::with_jobs(3).run(&jobs);
+        assert_eq!(rs.len(), 3);
+        for (w, r) in ws.iter().zip(&rs) {
+            assert_eq!(r.workload, w.name);
+        }
+    }
+
+    #[test]
+    fn duplicate_jobs_in_one_batch_share_a_simulation() {
+        let scale = Scale::custom(210);
+        let w = workload("exchange", scale).unwrap();
+        let opts = SimOptions::new(OptLevel::Baseline);
+        let jobs = vec![Job::new(&w, &opts), Job::new(&w, &opts)];
+        let rs = Runner::serial_uncached().run(&jobs);
+        assert_eq!(rs[0].stats, rs[1].stats);
+        assert!(Arc::ptr_eq(&rs[0], &rs[1]), "one simulation serves both slots");
+    }
+
+    #[test]
+    fn cached_results_match_fresh_runs_exactly() {
+        let scale = Scale::custom(220);
+        let w = workload("freqmine", scale).unwrap();
+        let opts = SimOptions::new(OptLevel::Full);
+        let runner = Runner::with_jobs(2);
+        let first = runner.run(&[Job::new(&w, &opts)]);
+        let second = runner.run(&[Job::new(&w, &opts)]);
+        assert!(Arc::ptr_eq(&first[0], &second[0]), "second run must be a cache hit");
+        let fresh = crate::run_workload(&w, &opts);
+        assert_eq!(first[0].stats, fresh.stats);
+        assert_eq!(first[0].snapshot, fresh.snapshot);
+        assert_eq!(first[0].energy, fresh.energy);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let scale = Scale::custom(230);
+        let ws: Vec<_> = ["exchange", "gcc", "lbm", "vips"]
+            .iter()
+            .map(|n| workload(n, scale).unwrap())
+            .collect();
+        fn build(ws: &[Workload]) -> Vec<Job<'_>> {
+            ws.iter()
+                .flat_map(|w| {
+                    [OptLevel::Baseline, OptLevel::Full]
+                        .into_iter()
+                        .map(move |l| Job::new(w, &SimOptions::new(l)))
+                })
+                .collect()
+        }
+        let serial = Runner::serial_uncached().run(&build(&ws));
+        let parallel = Runner::serial_uncached().run(&build(&ws)); // uncached: fresh again
+        let wide = Runner::with_jobs(4).run(&build(&ws));
+        for ((a, b), c) in serial.iter().zip(&parallel).zip(&wide) {
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.stats, c.stats);
+            assert_eq!(a.snapshot, c.snapshot);
+        }
+    }
+
+    #[test]
+    fn timings_record_fresh_and_cached_runs() {
+        let scale = Scale::custom(240);
+        let w = workload("leela", scale).unwrap();
+        let opts = SimOptions::new(OptLevel::Baseline);
+        let runner = Runner::with_jobs(1);
+        runner.run(&[Job::new(&w, &opts)]);
+        runner.run(&[Job::new(&w, &opts)]);
+        let log = timings();
+        let mine: Vec<_> = log
+            .iter()
+            .filter(|t| t.workload == "leela" && t.uops > 0)
+            .collect();
+        assert!(mine.iter().any(|t| !t.cached), "fresh run recorded");
+        assert!(mine.iter().any(|t| t.cached), "cache hit recorded");
+    }
+}

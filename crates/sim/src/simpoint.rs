@@ -128,11 +128,12 @@ fn dist2(a: &[f64; BBV_DIMS], b: &[f64; BBV_DIMS]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
+/// Per-interval BBVs plus the (snapshot, start uop) checkpoint of each
+/// interval.
+type ProfileData = (Vec<[f64; BBV_DIMS]>, Vec<(ArchSnapshot, u64)>);
+
 /// Profiles the program into per-interval BBVs and start checkpoints.
-fn profile(
-    program: &Program,
-    interval_uops: u64,
-) -> Result<(Vec<[f64; BBV_DIMS]>, Vec<(ArchSnapshot, u64)>), SimpointError> {
+fn profile(program: &Program, interval_uops: u64) -> Result<ProfileData, SimpointError> {
     let mut m = Machine::new(program);
     let mut bbvs = Vec::new();
     let mut starts = Vec::new();
@@ -250,8 +251,8 @@ pub fn choose_simpoints(
                 centroid[d] += bbvs[i][d];
             }
         }
-        for d in 0..BBV_DIMS {
-            centroid[d] /= members.len() as f64;
+        for c in &mut centroid {
+            *c /= members.len() as f64;
         }
         let rep = members
             .iter()

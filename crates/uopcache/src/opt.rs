@@ -101,6 +101,43 @@ impl OptPartition {
             .collect()
     }
 
+    /// Records one fetch lookup at `pc` — hit/miss stats plus a hotness
+    /// bump on every matching candidate, exactly as [`lookup`](Self::lookup)
+    /// does — but without materializing the candidate list. Returns the
+    /// candidate count; pair with [`candidates`](Self::candidates) for an
+    /// allocation-free fetch path.
+    pub fn touch(&mut self, pc: Addr, now: u64) -> usize {
+        let region = scc_isa::region(pc);
+        let set = self.config.set_of(region);
+        let mut n = 0usize;
+        for e in &mut self.sets[set] {
+            if e.stream.region == region && e.stream.entry == pc {
+                e.hotness = e.hotness.saturating_add(1);
+                e.last_touch = now;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        n
+    }
+
+    /// Iterates the candidate streams whose entry point is `pc`, each with
+    /// its current hotness counter, without touching stats, hotness, or the
+    /// heap. A set holds at most `ways` streams, so the scan is a few tag
+    /// compares.
+    pub fn candidates(&self, pc: Addr) -> impl Iterator<Item = (&CompactedStream, u32)> {
+        let region = scc_isa::region(pc);
+        let set = self.config.set_of(region);
+        self.sets[set]
+            .iter()
+            .filter(move |e| e.stream.region == region && e.stream.entry == pc)
+            .map(|e| (&e.stream, e.hotness))
+    }
+
     /// Non-mutating candidate scan (profitability re-checks, tests).
     pub fn peek(&self, pc: Addr) -> Vec<&CompactedStream> {
         let region = scc_isa::region(pc);

@@ -8,11 +8,12 @@
 
 use crate::config::UopCacheConfig;
 use scc_isa::{Addr, Uop};
+use std::sync::Arc;
 
 #[derive(Clone, Debug)]
 struct RegionEntry {
     region: Addr,
-    uops: Vec<Uop>,
+    uops: Arc<[Uop]>,
     ways: usize,
     hotness: u32,
     locked: bool,
@@ -21,9 +22,11 @@ struct RegionEntry {
 
 /// Result of a successful unoptimized-partition lookup.
 #[derive(Debug)]
-pub struct UnoptLookup<'a> {
-    /// All cached micro-ops of the region, in program order.
-    pub uops: &'a [Uop],
+pub struct UnoptLookup {
+    /// All cached micro-ops of the region, in program order. Shared with
+    /// the cache line itself (`Arc`), so the fetch engine can keep
+    /// delivering from it without copying the micro-ops out per fetch.
+    pub uops: Arc<[Uop]>,
     /// Hotness after this access.
     pub hotness: u32,
     /// True exactly when this access pushed the line across the hotness
@@ -88,7 +91,7 @@ impl UnoptPartition {
 
     /// Looks up `region`; on a hit, bumps hotness and reports whether the
     /// hotness threshold was just crossed.
-    pub fn lookup(&mut self, region: Addr, now: u64) -> Option<UnoptLookup<'_>> {
+    pub fn lookup(&mut self, region: Addr, now: u64) -> Option<UnoptLookup> {
         let set = self.config.set_of(region);
         let threshold = self.config.hotness_threshold;
         match self.sets[set].iter_mut().find(|e| e.region == region) {
@@ -98,7 +101,7 @@ impl UnoptPartition {
                 e.last_touch = now;
                 let became_hot = !was_hot && e.hotness >= threshold;
                 self.stats.hits += 1;
-                Some(UnoptLookup { uops: &e.uops, hotness: e.hotness, became_hot })
+                Some(UnoptLookup { uops: Arc::clone(&e.uops), hotness: e.hotness, became_hot })
             }
             None => {
                 self.stats.misses += 1;
@@ -111,7 +114,7 @@ impl UnoptPartition {
     /// stats (used by the SCC unit while compacting).
     pub fn peek(&self, region: Addr) -> Option<&[Uop]> {
         let set = self.config.set_of(region);
-        self.sets[set].iter().find(|e| e.region == region).map(|e| e.uops.as_slice())
+        self.sets[set].iter().find(|e| e.region == region).map(|e| &e.uops[..])
     }
 
     /// True if the region is fully resident.
@@ -162,7 +165,7 @@ impl UnoptPartition {
         }
         self.sets[set].push(RegionEntry {
             region,
-            uops,
+            uops: uops.into(),
             ways: needed,
             hotness: 1,
             locked: false,

@@ -1,7 +1,8 @@
-//! Property-based tests: micro-op cache structural invariants under
-//! arbitrary fill/lookup/evict sequences.
+//! Property-style tests: micro-op cache structural invariants under
+//! arbitrary fill/lookup/evict sequences, driven by a deterministic
+//! SplitMix64 generator (no registry dependencies).
 
-use proptest::prelude::*;
+use scc_isa::rand_prog::SplitMix64;
 use scc_isa::{Op, Uop};
 use scc_uopcache::{
     CompactedStream, Invariant, OptPartition, StreamUop, TaggedInvariant, UnoptPartition,
@@ -37,13 +38,11 @@ fn stream(region: u64, id: u64, n: usize, conf: u8) -> CompactedStream {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn unopt_partition_never_loses_track_of_residency(
-        ops in proptest::collection::vec((0u64..32, 1usize..19, any::<bool>()), 1..200),
-    ) {
+#[test]
+fn unopt_partition_never_loses_track_of_residency() {
+    let mut rng = SplitMix64::new(31);
+    for _ in 0..16 {
+        let n = 1 + rng.below(199) as usize;
         let mut p = UnoptPartition::new(UopCacheConfig {
             sets: 4,
             ways: 8,
@@ -53,76 +52,89 @@ proptest! {
             decay_period: 28,
         });
         let mut now = 0u64;
-        for (slot, len, lookup_first) in ops {
+        for _ in 0..n {
+            let slot = rng.below(32);
+            let len = 1 + rng.below(18) as usize;
+            let lookup_first = rng.chance(1, 2);
             now += 1;
             let region = slot * 32;
             if lookup_first {
                 // Lookups of resident regions must return their uops.
                 if p.contains(region) {
                     let lk = p.lookup(region, now).expect("resident region hits");
-                    prop_assert!(!lk.uops.is_empty());
+                    assert!(!lk.uops.is_empty());
                 }
             }
             let _ = p.fill(region, uops(len), now);
             // Residency is consistent between peek and contains.
-            prop_assert_eq!(p.contains(region), p.peek(region).is_some());
+            assert_eq!(p.contains(region), p.peek(region).is_some());
         }
         // Capacity: residents cannot exceed sets*ways single-way regions.
-        prop_assert!(p.resident_regions() <= 4 * 8);
+        assert!(p.resident_regions() <= 4 * 8);
     }
+}
 
-    #[test]
-    fn unopt_hotness_is_monotone_in_lookups_between_decays(
-        lookups in 1u64..40,
-    ) {
+#[test]
+fn unopt_hotness_is_monotone_in_lookups_between_decays() {
+    for lookups in 1u64..40 {
         let mut p = UnoptPartition::new(UopCacheConfig::baseline());
         p.fill(0x40, uops(3), 0);
         let mut last = p.hotness(0x40);
         for t in 1..=lookups {
             p.lookup(0x40, t); // within one decay period
             let h = p.hotness(0x40);
-            prop_assert!(h >= last);
+            assert!(h >= last);
             last = h;
         }
     }
+}
 
-    #[test]
-    fn opt_partition_respects_way_capacity(
-        inserts in proptest::collection::vec((0u64..8, 1usize..19, 0u8..16), 1..100),
-    ) {
+#[test]
+fn opt_partition_respects_way_capacity() {
+    let mut rng = SplitMix64::new(32);
+    for _ in 0..32 {
+        let n = 1 + rng.below(99) as usize;
         let cfg = UopCacheConfig::opt_partition(4); // 4 sets x 4 ways
         let mut p = OptPartition::new(cfg);
-        for (i, (slot, n, conf)) in inserts.into_iter().enumerate() {
+        for i in 0..n {
+            let slot = rng.below(8);
+            let len = 1 + rng.below(18) as usize;
+            let conf = rng.below(16) as u8;
             let region = slot * 32;
-            let _ = p.insert(stream(region, i as u64 + 1, n, conf), i as u64);
+            let _ = p.insert(stream(region, i as u64 + 1, len, conf), i as u64);
         }
         // Total ways used per set can never exceed the configured ways;
         // resident streams each need >= 1 way, so the count is bounded.
-        prop_assert!(p.resident_streams() <= 4 * 4);
+        assert!(p.resident_streams() <= 4 * 4);
     }
+}
 
-    #[test]
-    fn opt_reward_penalize_keep_counters_bounded(
-        events in proptest::collection::vec(any::<bool>(), 1..100),
-    ) {
+#[test]
+fn opt_reward_penalize_keep_counters_bounded() {
+    let mut rng = SplitMix64::new(33);
+    for _ in 0..16 {
+        let n = 1 + rng.below(99) as usize;
         let mut p = OptPartition::new(UopCacheConfig::opt_partition(4));
         p.insert(stream(0x40, 1, 3, 8), 0);
-        for reward in events {
-            if reward {
+        for _ in 0..n {
+            if rng.chance(1, 2) {
                 p.reward(1, 0);
             } else {
                 p.penalize(1, 0);
             }
             let c = p.peek(0x40)[0].invariants[0].confidence.get();
-            prop_assert!(c <= 15);
+            assert!(c <= 15);
         }
     }
+}
 
-    #[test]
-    fn phase_out_only_drops_below_threshold(
-        confs in proptest::collection::vec(0u8..16, 1..8),
-        floor in 0u8..16,
-    ) {
+#[test]
+fn phase_out_only_drops_below_threshold() {
+    let mut rng = SplitMix64::new(34);
+    for _ in 0..48 {
+        let k = 1 + rng.below(7) as usize;
+        let confs: Vec<u8> = (0..k).map(|_| rng.below(16) as u8).collect();
+        let floor = rng.below(16) as u8;
         let mut p = OptPartition::new(UopCacheConfig::opt_partition(8));
         for (i, &c) in confs.iter().enumerate() {
             // Distinct entry PCs so streams co-host rather than replace.
@@ -132,11 +144,11 @@ proptest! {
         }
         let before = p.resident_streams();
         let dropped = p.phase_out(0x40, floor);
-        prop_assert_eq!(before - dropped, p.resident_streams());
+        assert_eq!(before - dropped, p.resident_streams());
         // Everything left meets the floor.
         for i in 0..confs.len() {
             for s in p.peek(0x40 + i as u64) {
-                prop_assert!(s.min_confidence() >= floor);
+                assert!(s.min_confidence() >= floor);
             }
         }
     }

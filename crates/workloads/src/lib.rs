@@ -82,6 +82,11 @@ pub struct Workload {
     pub program: Program,
     /// What this stand-in models and why.
     pub description: &'static str,
+    /// The scale the program was generated at. Together with `name` this
+    /// identifies the program exactly (generation is deterministic), so
+    /// result caches can key on `(name, scale)` instead of hashing the
+    /// whole program.
+    pub scale: Scale,
 }
 
 const DATA: u64 = 0x10_0000;
@@ -102,6 +107,7 @@ macro_rules! workload_fn {
                 suite: $suite,
                 program: finish($b),
                 description: $desc,
+                scale: $s,
             }
         }
     };

@@ -11,7 +11,7 @@
 
 use scc_isa::{Cond, ProgramBuilder, Reg};
 use scc_sim::{run_workload, OptLevel, SimOptions};
-use scc_workloads::{Suite, Workload};
+use scc_workloads::{Scale, Suite, Workload};
 
 /// `y[i] = x[i] + ((alpha << 4) | beta)` over a vector, where `alpha` and
 /// `beta` live in memory (runtime configuration), and — as compilers
@@ -52,6 +52,7 @@ fn threshold_kernel(n: i64, reps: i64) -> Workload {
         suite: Suite::SpecInt,
         program: b.build(),
         description: "y = x + f(alpha, beta) with runtime-constant alpha/beta",
+        scale: Scale::custom(reps),
     }
 }
 
