@@ -1,0 +1,305 @@
+//! Differential correctness harness for the SCC simulator.
+//!
+//! SCC's entire premise is that aggressive speculative rewriting of the
+//! micro-op stream is *architecturally invisible*: every optimization
+//! level, predictor choice, and partition split must produce exactly the
+//! state the ISA's reference interpreter produces. This crate turns that
+//! premise into a fuzzable property:
+//!
+//! 1. [`scc_isa::rand_prog`] generates seeded, always-terminating
+//!    programs weighted toward the engine's riskiest paths (aliasing
+//!    stores, indirect jumps, fused compare-and-branch, mask-boundary
+//!    shifts, division edge operands).
+//! 2. [`check_program`] runs one program through the whole
+//!    [`config_matrix`] — the appendix's six optimization levels plus
+//!    configuration ablations — and compares each run's final
+//!    [`ArchSnapshot`] and its `program_uops` program-distance counter
+//!    against the in-order [`Machine`] oracle.
+//! 3. On a failure, [`minimize`](crate::minimize::minimize) shrinks the
+//!    program while the divergence reproduces, and the `scc-check`
+//!    binary writes the result to `check/repros/` as a deterministic
+//!    regression test replayed by `tests/repros.rs`.
+//!
+//! The pipeline's internal invariant checkers (a `scc-pipeline` feature
+//! this crate enables by default) run during fuzzing; their panics are
+//! caught and reported as [`DivergenceKind::Panic`] findings with the
+//! assertion message preserved.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod minimize;
+pub mod serialize;
+
+use scc_isa::{ArchSnapshot, Machine, Program, NUM_INT_REGS};
+use scc_pipeline::{Pipeline, PipelineConfig, RunOutcome};
+use scc_predictors::{BranchPredictorKind, ValuePredictorKind};
+use scc_sim::{OptLevel, SimOptions};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+
+/// Default pipeline cycle budget per configuration. Generated programs
+/// halt within tens of thousands of cycles; a run that reaches this
+/// budget is a hang, reported as [`DivergenceKind::Outcome`].
+pub const DEFAULT_MAX_CYCLES: u64 = 5_000_000;
+
+/// Micro-op budget for the reference interpreter. Generated programs are
+/// terminating by construction, so exhausting this means the *program*
+/// (e.g. a hand-edited reproducer) is broken, not the pipeline.
+pub const ORACLE_UOP_BUDGET: u64 = 20_000_000;
+
+/// The configurations one program is checked under: the appendix's six
+/// optimization levels (in order, so `matrix[0]` is the no-SCC baseline
+/// that anchors the counter comparison), and with `ablations` the
+/// full-SCC design re-checked under every configuration axis the
+/// experiments sweep — value/branch predictor, partition split, constant
+/// width, micro-fusion, and classic value-prediction forwarding.
+pub fn config_matrix(ablations: bool) -> Vec<(String, PipelineConfig)> {
+    let mut out: Vec<(String, PipelineConfig)> = OptLevel::all()
+        .into_iter()
+        .map(|l| (l.label().to_string(), SimOptions::new(l).to_pipeline_config()))
+        .collect();
+    if ablations {
+        let full = |edit: fn(&mut SimOptions)| {
+            let mut o = SimOptions::new(OptLevel::Full);
+            edit(&mut o);
+            o.to_pipeline_config()
+        };
+        out.push(("full+vpfwd".into(), full(|o| o.vp_forwarding = Some(15))));
+        out.push(("full+h3vp".into(), full(|o| o.value_predictor = ValuePredictorKind::H3vp)));
+        out.push((
+            "full+bimodal".into(),
+            full(|o| o.branch_predictor = BranchPredictorKind::Bimodal),
+        ));
+        out.push(("full+sets12".into(), full(|o| o.opt_partition_sets = 12)));
+        out.push(("full+cw8".into(), full(|o| o.max_constant_width = Some(8))));
+        let mut nofuse = SimOptions::new(OptLevel::Full).to_pipeline_config();
+        nofuse.core.micro_fusion = false;
+        out.push(("full+nofuse".into(), nofuse));
+        let mut basevp = SimOptions::new(OptLevel::Baseline).to_pipeline_config();
+        basevp.vp_forwarding = Some(15);
+        out.push(("baseline+vpfwd".into(), basevp));
+    }
+    out
+}
+
+/// How one configuration's run disagreed with the oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// The run did not halt within the cycle budget.
+    Outcome,
+    /// The final architectural state differs from the interpreter's.
+    Snapshot,
+    /// `program_uops` differs from the reference configuration's —
+    /// program distance is documented as invariant across levels.
+    Counter,
+    /// The pipeline panicked (an internal invariant checker fired).
+    Panic,
+}
+
+/// One configuration's disagreement with the oracle.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Label from [`config_matrix`].
+    pub config: String,
+    /// Classification.
+    pub kind: DivergenceKind,
+    /// Human-readable specifics (first differing register, assertion
+    /// message, ...).
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}] {}: {}", self.kind, self.config, self.detail)
+    }
+}
+
+/// Runs the reference interpreter to completion.
+///
+/// Returns the final architectural state and the number of micro-ops
+/// executed, or a description of why the oracle could not finish (which
+/// disqualifies the *program*, not the pipeline).
+pub fn run_oracle(p: &Program, max_uops: u64) -> Result<(ArchSnapshot, u64), String> {
+    let mut m = Machine::new(p);
+    match m.run(max_uops) {
+        Ok(r) if r.halted => Ok((m.snapshot(), r.uops)),
+        Ok(r) => Err(format!("oracle stopped after {} uops without halting", r.uops)),
+        Err(e) => Err(format!("oracle failed: {e:?}")),
+    }
+}
+
+/// Runs one pipeline configuration, converting panics (the in-pipeline
+/// invariant checkers) into errors carrying the assertion message.
+fn run_config(
+    p: &Program,
+    cfg: &PipelineConfig,
+    max_cycles: u64,
+) -> Result<(RunOutcome, ArchSnapshot, u64), String> {
+    panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut pipe = Pipeline::new(p, cfg.clone());
+        let res = pipe.run(max_cycles);
+        (res.outcome, res.snapshot, res.stats.program_uops)
+    }))
+    .map_err(|e| {
+        if let Some(s) = e.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = e.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+/// Checks one program under every configuration in `configs`.
+///
+/// Returns the list of divergences (empty means every configuration
+/// matched the oracle exactly), or `Err` when the oracle itself cannot
+/// run the program — the caller's signal that the program is invalid as
+/// a test case (minimization uses this to reject mutations that break
+/// termination).
+///
+/// The first configuration that halts cleanly anchors the
+/// `program_uops` cross-configuration comparison, so callers should put
+/// a known-good reference (conventionally the plain baseline) first.
+pub fn check_program(
+    p: &Program,
+    configs: &[(String, PipelineConfig)],
+    max_cycles: u64,
+) -> Result<Vec<Divergence>, String> {
+    let (oracle, _oracle_uops) = run_oracle(p, ORACLE_UOP_BUDGET)?;
+    let mut divs = Vec::new();
+    let mut reference: Option<(&str, u64)> = None;
+    for (name, cfg) in configs {
+        match run_config(p, cfg, max_cycles) {
+            Err(msg) => divs.push(Divergence {
+                config: name.clone(),
+                kind: DivergenceKind::Panic,
+                detail: msg,
+            }),
+            Ok((outcome, snap, program_uops)) => {
+                if outcome != RunOutcome::Halted {
+                    divs.push(Divergence {
+                        config: name.clone(),
+                        kind: DivergenceKind::Outcome,
+                        detail: format!("did not halt within {max_cycles} cycles"),
+                    });
+                    continue;
+                }
+                if let Some(detail) = snapshot_diff(&oracle, &snap) {
+                    divs.push(Divergence {
+                        config: name.clone(),
+                        kind: DivergenceKind::Snapshot,
+                        detail,
+                    });
+                }
+                match reference {
+                    None => reference = Some((name, program_uops)),
+                    Some((ref_name, ref_uops)) if program_uops != ref_uops => {
+                        divs.push(Divergence {
+                            config: name.clone(),
+                            kind: DivergenceKind::Counter,
+                            detail: format!(
+                                "program_uops {program_uops} != {ref_uops} ({ref_name})"
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    Ok(divs)
+}
+
+/// First difference between the oracle's snapshot and a pipeline's, or
+/// `None` when they are identical.
+pub fn snapshot_diff(oracle: &ArchSnapshot, got: &ArchSnapshot) -> Option<String> {
+    if oracle == got {
+        return None;
+    }
+    for (i, (o, g)) in oracle.regs.iter().zip(got.regs.iter()).enumerate() {
+        if o != g {
+            let name = if i < NUM_INT_REGS {
+                format!("r{i}")
+            } else {
+                format!("f{}", i - NUM_INT_REGS)
+            };
+            return Some(format!("reg {name}: oracle {o}, got {g}"));
+        }
+    }
+    if oracle.cc != got.cc {
+        return Some(format!("cc: oracle {:?}, got {:?}", oracle.cc, got.cc));
+    }
+    let om: BTreeMap<u64, i64> = oracle.mem.iter().copied().collect();
+    let gm: BTreeMap<u64, i64> = got.mem.iter().copied().collect();
+    for (addr, o) in &om {
+        match gm.get(addr) {
+            Some(g) if g != o => return Some(format!("mem[{addr:#x}]: oracle {o}, got {g}")),
+            None if *o != 0 => return Some(format!("mem[{addr:#x}]: oracle {o}, got absent")),
+            _ => {}
+        }
+    }
+    for (addr, g) in &gm {
+        if !om.contains_key(addr) && *g != 0 {
+            return Some(format!("mem[{addr:#x}]: oracle absent, got {g}"));
+        }
+    }
+    Some("snapshots differ only in zero-valued memory representation".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_isa::rand_prog::{random_program, RandProgConfig};
+
+    #[test]
+    fn matrix_labels_are_unique_and_baseline_leads() {
+        let m = config_matrix(true);
+        assert_eq!(m[0].0, "baseline");
+        assert!(!m[0].1.frontend.has_scc());
+        assert_eq!(m.len(), 13);
+        let names: std::collections::HashSet<&str> =
+            m.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names.len(), m.len(), "duplicate config labels");
+    }
+
+    #[test]
+    fn fuzz_smoke_clean_on_first_seeds() {
+        // A miniature of the release fuzz run: a few seeds, all six
+        // levels. Debug builds also exercise the in-pipeline checkers.
+        let matrix = config_matrix(false);
+        let cfg = RandProgConfig::default();
+        for seed in 0..4u64 {
+            let p = random_program(seed, &cfg);
+            let divs = check_program(&p, &matrix, DEFAULT_MAX_CYCLES)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(divs.is_empty(), "seed {seed}: {divs:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_diff_pinpoints_first_difference() {
+        let a = ArchSnapshot { regs: [0; scc_isa::NUM_REGS], cc: Default::default(), mem: vec![] };
+        let mut b = a.clone();
+        assert_eq!(snapshot_diff(&a, &b), None);
+        b.regs[5] = 7;
+        assert_eq!(snapshot_diff(&a, &b).unwrap(), "reg r5: oracle 0, got 7");
+        let mut c = a.clone();
+        c.mem.push((0x40, 9));
+        assert_eq!(snapshot_diff(&c, &a).unwrap(), "mem[0x40]: oracle 9, got absent");
+    }
+
+    #[test]
+    fn oracle_rejects_non_terminating_programs() {
+        use scc_isa::ProgramBuilder;
+        let mut b = ProgramBuilder::new(0x100);
+        let top = b.here();
+        b.jmp(top);
+        b.halt();
+        let p = b.build();
+        assert!(run_oracle(&p, 10_000).is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! `scc-check`: the differential correctness harness CLI.
+//!
+//! ```text
+//! scc-check fuzz [--seeds N] [--start S] [--workers W] [--profile wide|narrow]
+//!                [--no-ablations] [--no-minimize] [--max-cycles N] [--out DIR]
+//! scc-check repro FILE...
+//! scc-check minimize FILE
+//! ```
+
+use scc_check::serialize::{dump_program, parse_program};
+use scc_check::{check_program, config_matrix, minimize::minimize, Divergence, DEFAULT_MAX_CYCLES};
+use scc_isa::rand_prog::{random_program, RandProgConfig};
+use scc_isa::Program;
+use scc_pipeline::PipelineConfig;
+use scc_sim::parallel_map;
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "\
+scc-check: fuzz every SCC optimization level against the reference interpreter
+
+USAGE:
+  scc-check fuzz [--seeds N] [--start S] [--workers W] [--profile wide|narrow]
+                 [--no-ablations] [--no-minimize] [--max-cycles N] [--out DIR]
+  scc-check repro FILE...
+  scc-check minimize FILE
+
+COMMANDS:
+  fuzz      Generate seeded random programs and check each one under the
+            six optimization levels (plus configuration ablations unless
+            --no-ablations). Failures are minimized and written to
+            --out (default check/repros) as .sccprog reproducers.
+  repro     Re-check committed .sccprog reproducers; exit 1 on any
+            divergence.
+  minimize  Minimize a diverging .sccprog further; prints the result.
+";
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("repro") => cmd_repro(&args[1..]),
+        Some("minimize") => cmd_minimize(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            if args.is_empty() {
+                2
+            } else {
+                0
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            2
+        }
+    }
+}
+
+struct FuzzArgs {
+    seeds: u64,
+    start: u64,
+    workers: usize,
+    profile: String,
+    ablations: bool,
+    minimize: bool,
+    max_cycles: u64,
+    out: PathBuf,
+}
+
+fn parse_fuzz_args(args: &[String]) -> Result<FuzzArgs, String> {
+    let mut fa = FuzzArgs {
+        seeds: 1000,
+        start: 0,
+        workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        profile: "wide".to_string(),
+        ablations: true,
+        minimize: true,
+        max_cycles: DEFAULT_MAX_CYCLES,
+        out: PathBuf::from("check/repros"),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{a} needs a value"));
+        match a.as_str() {
+            "--seeds" => fa.seeds = value()?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--start" => fa.start = value()?.parse().map_err(|e| format!("--start: {e}"))?,
+            "--workers" => {
+                fa.workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--profile" => {
+                fa.profile = value()?.clone();
+                if fa.profile != "wide" && fa.profile != "narrow" {
+                    return Err(format!("--profile must be wide or narrow, got {}", fa.profile));
+                }
+            }
+            "--no-ablations" => fa.ablations = false,
+            "--no-minimize" => fa.minimize = false,
+            "--max-cycles" => {
+                fa.max_cycles = value()?.parse().map_err(|e| format!("--max-cycles: {e}"))?
+            }
+            "--out" => fa.out = PathBuf::from(value()?),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(fa)
+}
+
+/// One seed's verdict, computed on a worker thread.
+struct SeedFailure {
+    seed: u64,
+    divergences: Vec<Divergence>,
+    /// Serialized minimized reproducer (header comments included).
+    reproducer: String,
+}
+
+fn cmd_fuzz(args: &[String]) -> i32 {
+    let fa = match parse_fuzz_args(args) {
+        Ok(fa) => fa,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    let gen_cfg = match fa.profile.as_str() {
+        "narrow" => RandProgConfig::narrow(),
+        _ => RandProgConfig::default(),
+    };
+    let matrix = config_matrix(fa.ablations);
+    println!(
+        "fuzzing {} seeds ({}..{}) x {} configs, profile {}, {} workers",
+        fa.seeds,
+        fa.start,
+        fa.start + fa.seeds,
+        matrix.len(),
+        fa.profile,
+        fa.workers
+    );
+    // The in-pipeline invariant checkers abort via panic; during fuzzing
+    // those are expected findings, so silence the default backtrace spew
+    // (the message itself is preserved through catch_unwind).
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let seeds: Vec<u64> = (fa.start..fa.start + fa.seeds).collect();
+    let results = parallel_map(fa.workers, &seeds, |&seed| {
+        fuzz_one(seed, &fa.profile, &gen_cfg, &matrix, fa.max_cycles, fa.minimize)
+    });
+    std::panic::set_hook(prev_hook);
+
+    let failures: Vec<&SeedFailure> = results.iter().flatten().collect();
+    if failures.is_empty() {
+        println!(
+            "OK: {} programs x {} configs, zero divergences",
+            fa.seeds,
+            matrix.len()
+        );
+        return 0;
+    }
+    if let Err(e) = std::fs::create_dir_all(&fa.out) {
+        eprintln!("cannot create {}: {e}", fa.out.display());
+        return 2;
+    }
+    for f in &failures {
+        let path = fa.out.join(format!("seed-{:05}-{}.sccprog", f.seed, fa.profile));
+        println!("FAIL seed {} -> {}", f.seed, path.display());
+        for d in &f.divergences {
+            println!("  {d}");
+        }
+        if let Err(e) = std::fs::write(&path, &f.reproducer) {
+            eprintln!("  cannot write {}: {e}", path.display());
+        }
+    }
+    println!(
+        "{} of {} seeds diverged; reproducers in {}",
+        failures.len(),
+        fa.seeds,
+        fa.out.display()
+    );
+    1
+}
+
+fn fuzz_one(
+    seed: u64,
+    profile: &str,
+    gen_cfg: &RandProgConfig,
+    matrix: &[(String, PipelineConfig)],
+    max_cycles: u64,
+    do_minimize: bool,
+) -> Option<SeedFailure> {
+    let p = random_program(seed, gen_cfg);
+    let divergences = match check_program(&p, matrix, max_cycles) {
+        Ok(d) if d.is_empty() => return None,
+        Ok(d) => d,
+        Err(e) => vec![Divergence {
+            config: "oracle".to_string(),
+            kind: scc_check::DivergenceKind::Outcome,
+            detail: e,
+        }],
+    };
+    let minimized = if do_minimize && divergences.iter().all(|d| d.config != "oracle") {
+        let subset = failing_subset(matrix, &divergences);
+        let pred = |q: &Program| {
+            check_program(q, &subset, max_cycles).map(|d| !d.is_empty()).unwrap_or(false)
+        };
+        minimize(&p, pred, 6)
+    } else {
+        p.clone()
+    };
+    let mut text = String::new();
+    text.push_str("# scc-check reproducer\n");
+    text.push_str(&format!("# seed: {seed}  profile: {profile}\n"));
+    for d in &divergences {
+        text.push_str(&format!("# divergence: {d}\n"));
+    }
+    text.push_str(&dump_program(&minimized));
+    Some(SeedFailure { seed, divergences, reproducer: text })
+}
+
+/// The reference configuration plus every configuration that diverged —
+/// the cheapest matrix that can still reproduce the failure.
+fn failing_subset(
+    matrix: &[(String, PipelineConfig)],
+    divs: &[Divergence],
+) -> Vec<(String, PipelineConfig)> {
+    matrix
+        .iter()
+        .enumerate()
+        .filter(|(i, (name, _))| *i == 0 || divs.iter().any(|d| &d.config == name))
+        .map(|(_, c)| c.clone())
+        .collect()
+}
+
+fn load_program(path: &Path) -> Result<Program, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_program(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn cmd_repro(args: &[String]) -> i32 {
+    if args.is_empty() {
+        eprintln!("repro needs at least one .sccprog file\n\n{USAGE}");
+        return 2;
+    }
+    let matrix = config_matrix(true);
+    let mut bad = 0usize;
+    for a in args {
+        let path = Path::new(a);
+        let p = match load_program(path) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                bad += 1;
+                continue;
+            }
+        };
+        match check_program(&p, &matrix, DEFAULT_MAX_CYCLES) {
+            Ok(divs) if divs.is_empty() => println!("OK   {}", path.display()),
+            Ok(divs) => {
+                println!("FAIL {}", path.display());
+                for d in &divs {
+                    println!("  {d}");
+                }
+                bad += 1;
+            }
+            Err(e) => {
+                println!("FAIL {} (oracle: {e})", path.display());
+                bad += 1;
+            }
+        }
+    }
+    if bad == 0 {
+        0
+    } else {
+        1
+    }
+}
+
+fn cmd_minimize(args: &[String]) -> i32 {
+    let [file] = args else {
+        eprintln!("minimize needs exactly one .sccprog file\n\n{USAGE}");
+        return 2;
+    };
+    let p = match load_program(Path::new(file)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let matrix = config_matrix(true);
+    let divs = match check_program(&p, &matrix, DEFAULT_MAX_CYCLES) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("oracle cannot run this program: {e}");
+            return 2;
+        }
+    };
+    if divs.is_empty() {
+        eprintln!("program does not diverge; nothing to minimize");
+        return 1;
+    }
+    let subset = failing_subset(&matrix, &divs);
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let min = minimize(
+        &p,
+        |q| {
+            check_program(q, &subset, DEFAULT_MAX_CYCLES)
+                .map(|d| !d.is_empty())
+                .unwrap_or(false)
+        },
+        6,
+    );
+    std::panic::set_hook(prev_hook);
+    for d in &divs {
+        println!("# divergence: {d}");
+    }
+    print!("{}", dump_program(&min));
+    0
+}

@@ -1,0 +1,261 @@
+//! Failure minimization: shrink a diverging program while the
+//! divergence keeps reproducing.
+//!
+//! Programs are position-rigid — [`Program::new`] validates that every
+//! branch target starts an instruction, and region membership is
+//! computed from byte addresses — so the minimizer never moves or
+//! deletes instructions. Instead it *neutralizes* them: an instruction
+//! is replaced by a single-`nop` expansion with the same address and
+//! byte length, which preserves the address map (and therefore every
+//! branch target) while emptying the semantics. Passes run
+//! delta-debugging style, halving chunk sizes, then drop initial data
+//! words and simplify surviving operands, looping to a fixpoint.
+//!
+//! The interestingness predicate is supplied by the caller and is
+//! expected to (a) return `false` for programs the oracle cannot finish
+//! — mutations must not trade a miscompaction for a hang — and (b)
+//! return `true` only when the original divergence still shows. The
+//! `scc-check` binary builds it from [`crate::check_program`] over the
+//! reference configuration plus the configurations that failed.
+
+use scc_isa::{MacroInst, MacroKind, Op, Operand, Program, Uop};
+
+/// The neutral replacement: one `nop`, same address and byte length.
+fn neutralized(m: &MacroInst) -> MacroInst {
+    MacroInst::new(m.addr, m.len, MacroKind::Simple, vec![Uop::new(Op::Nop)])
+}
+
+fn is_neutral(m: &MacroInst) -> bool {
+    m.uops.len() == 1 && m.uops[0].op == Op::Nop
+}
+
+fn contains_halt(m: &MacroInst) -> bool {
+    m.uops.iter().any(|u| u.op == Op::Halt)
+}
+
+/// Rebuilds a program from parts; `None` when validation rejects it
+/// (cannot happen for neutralization, but operand edits go through the
+/// same path).
+fn rebuild(insts: Vec<MacroInst>, template: &Program) -> Option<Program> {
+    Program::new(insts, template.entry(), template.init_data().to_vec()).ok()
+}
+
+/// Minimizes `p` while `interesting` holds, returning the smallest
+/// variant found. `interesting(p)` must be `true` on entry — otherwise
+/// the input is returned unchanged.
+pub fn minimize<F>(p: &Program, interesting: F, max_rounds: usize) -> Program
+where
+    F: Fn(&Program) -> bool,
+{
+    if !interesting(p) {
+        return p.clone();
+    }
+    let mut cur = p.clone();
+    for _ in 0..max_rounds.max(1) {
+        let mut changed = false;
+        changed |= neutralize_pass(&mut cur, &interesting);
+        changed |= drop_data_pass(&mut cur, &interesting);
+        changed |= simplify_operands_pass(&mut cur, &interesting);
+        if !changed {
+            break;
+        }
+    }
+    cur
+}
+
+/// Delta-debugging over instructions: neutralize whole chunks, halving
+/// the chunk size down to single instructions.
+fn neutralize_pass<F: Fn(&Program) -> bool>(cur: &mut Program, interesting: &F) -> bool {
+    let mut changed = false;
+    let mut size = cur.insts().len();
+    while size >= 1 {
+        let candidates: Vec<usize> = cur
+            .insts()
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !is_neutral(m) && !contains_halt(m))
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        for chunk in candidates.chunks(size) {
+            let mut insts = cur.insts().to_vec();
+            for &i in chunk {
+                insts[i] = neutralized(&insts[i]);
+            }
+            let Some(candidate) = rebuild(insts, cur) else { continue };
+            if interesting(&candidate) {
+                *cur = candidate;
+                changed = true;
+            }
+        }
+        if size == 1 {
+            break;
+        }
+        size /= 2;
+    }
+    changed
+}
+
+/// Drops initial data words (chunked, then singly): cells the failure
+/// does not depend on default to zero.
+fn drop_data_pass<F: Fn(&Program) -> bool>(cur: &mut Program, interesting: &F) -> bool {
+    let mut changed = false;
+    let mut size = cur.init_data().len();
+    while size >= 1 {
+        let n = cur.init_data().len();
+        if n == 0 {
+            break;
+        }
+        let indices: Vec<usize> = (0..n).collect();
+        for chunk in indices.chunks(size) {
+            let data: Vec<(u64, i64)> = cur
+                .init_data()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !chunk.contains(i))
+                .map(|(_, &w)| w)
+                .collect();
+            if data.len() == cur.init_data().len() {
+                continue;
+            }
+            let Ok(candidate) = Program::new(cur.insts().to_vec(), cur.entry(), data) else {
+                continue;
+            };
+            if interesting(&candidate) {
+                *cur = candidate;
+                changed = true;
+                break; // indices are stale after a removal; redo this size
+            }
+        }
+        if size == 1 {
+            break;
+        }
+        size /= 2;
+    }
+    changed
+}
+
+/// Per-operand simplification on the surviving instructions: zero
+/// nonzero immediates and memory displacements, and demote register
+/// sources to `#0`. Each accepted edit strictly simplifies the program
+/// text, so this terminates.
+fn simplify_operands_pass<F: Fn(&Program) -> bool>(cur: &mut Program, interesting: &F) -> bool {
+    let mut changed = false;
+    let n = cur.insts().len();
+    for i in 0..n {
+        if is_neutral(&cur.insts()[i]) {
+            continue;
+        }
+        let uop_count = cur.insts()[i].uops.len();
+        for slot in 0..uop_count {
+            for edit in 0..3u8 {
+                let m = &cur.insts()[i];
+                let u = &m.uops[slot];
+                let mut nu = u.clone();
+                let applies = match edit {
+                    0 => {
+                        // Zero a nonzero immediate.
+                        match (nu.src1, nu.src2) {
+                            (Operand::Imm(v), _) if v != 0 => {
+                                nu.src1 = Operand::Imm(0);
+                                true
+                            }
+                            (_, Operand::Imm(v)) if v != 0 => {
+                                nu.src2 = Operand::Imm(0);
+                                true
+                            }
+                            _ => false,
+                        }
+                    }
+                    1 => {
+                        // Zero a memory displacement.
+                        if nu.offset != 0 {
+                            nu.offset = 0;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    _ => {
+                        // Demote a second register source to `#0`
+                        // (never the base of a memory op or the target
+                        // of an indirect branch, both of which live in
+                        // src1 and whose loss usually changes the
+                        // failure class).
+                        if let Operand::Reg(_) = nu.src2 {
+                            nu.src2 = Operand::Imm(0);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                };
+                if !applies {
+                    continue;
+                }
+                let mut uops = m.uops.clone();
+                uops[slot] = nu;
+                let mut insts = cur.insts().to_vec();
+                insts[i] = MacroInst::new(m.addr, m.len, m.kind, uops);
+                let Some(candidate) = rebuild(insts, cur) else { continue };
+                if interesting(&candidate) {
+                    *cur = candidate;
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_isa::{ProgramBuilder, Reg};
+
+    /// A deliberately "buggy-looking" predicate: the failure reproduces
+    /// iff the program still writes 7 into r3 somewhere. The minimizer
+    /// should strip everything else.
+    #[test]
+    fn shrinks_to_the_interesting_core() {
+        let mut b = ProgramBuilder::new(0x1000);
+        for i in 0..24 {
+            b.word(0x9000 + 8 * i, i as i64);
+        }
+        b.mov_imm(Reg::int(0), 1);
+        b.mov_imm(Reg::int(1), 2);
+        b.mov_imm(Reg::int(3), 7); // the core
+        b.add(Reg::int(2), Reg::int(0), Reg::int(1));
+        b.mov_imm(Reg::int(5), 99);
+        b.halt();
+        let p = b.build();
+
+        let interesting = |q: &Program| {
+            let Ok((snap, _)) = crate::run_oracle(q, 100_000) else { return false };
+            snap.regs[3] == 7
+        };
+        let min = minimize(&p, interesting, 8);
+        assert!(interesting(&min));
+        // Everything except the mov and the halt neutralizes; data drops.
+        let live: Vec<_> = min.insts().iter().filter(|m| !is_neutral(m)).collect();
+        assert_eq!(live.len(), 2, "{:?}", live);
+        assert!(live.iter().any(|m| contains_halt(m)));
+        assert!(min.init_data().is_empty());
+        // Same address map as the original: nothing moved.
+        assert_eq!(min.insts().len(), p.insts().len());
+        for (a, b) in min.insts().iter().zip(p.insts()) {
+            assert_eq!((a.addr, a.len), (b.addr, b.len));
+        }
+    }
+
+    #[test]
+    fn uninteresting_input_is_returned_unchanged() {
+        let mut b = ProgramBuilder::new(0x1000);
+        b.halt();
+        let p = b.build();
+        let min = minimize(&p, |_| false, 4);
+        assert_eq!(min.insts(), p.insts());
+    }
+}

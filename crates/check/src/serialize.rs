@@ -1,0 +1,330 @@
+//! The `.sccprog` reproducer format: a line-oriented text serialization
+//! of [`Program`]s.
+//!
+//! Failures the fuzzer minimizes are committed under `check/repros/` in
+//! this format and replayed as deterministic regression tests, so the
+//! format favors diff-friendliness and hand-editability over density:
+//! one line per data word and per micro-op, every field explicit.
+//!
+//! ```text
+//! sccprog v1
+//! entry 0x1000
+//! data 0x100000 -42
+//! inst 0x1000 4 simple
+//!   movi r0 #7 - 0 - - 0 0
+//! ```
+//!
+//! Micro-op lines carry nine fields: `op dst src1 src2 offset target
+//! cond writes_cc fused_with_next`. Registers print as `r<n>`/`f<n>`,
+//! immediates as `#<value>`, and absent fields as `-`. `self_loop` and
+//! `slot` are not serialized — [`MacroInst::new`] re-derives them, which
+//! keeps a hand-edited reproducer impossible to de-synchronize.
+
+use scc_isa::{Addr, Cond, MacroInst, MacroKind, Op, Operand, Program, Reg, Uop};
+
+/// Serializes a program to `.sccprog` text.
+pub fn dump_program(p: &Program) -> String {
+    let mut out = String::new();
+    out.push_str("sccprog v1\n");
+    out.push_str(&format!("entry {:#x}\n", p.entry()));
+    for &(addr, value) in p.init_data() {
+        out.push_str(&format!("data {addr:#x} {value}\n"));
+    }
+    for m in p.insts() {
+        let kind = match m.kind {
+            MacroKind::Simple => "simple",
+            MacroKind::Fused => "fused",
+            MacroKind::StringOp => "stringop",
+        };
+        out.push_str(&format!("inst {:#x} {} {kind}\n", m.addr, m.len));
+        for u in &m.uops {
+            out.push_str(&format!(
+                "  {} {} {} {} {} {} {} {} {}\n",
+                u.op,
+                dump_reg_opt(u.dst),
+                dump_operand(u.src1),
+                dump_operand(u.src2),
+                u.offset,
+                match u.target {
+                    Some(t) => format!("{t:#x}"),
+                    None => "-".to_string(),
+                },
+                match u.cond {
+                    Some(c) => c.to_string(),
+                    None => "-".to_string(),
+                },
+                u.writes_cc as u8,
+                u.fused_with_next as u8,
+            ));
+        }
+    }
+    out
+}
+
+/// Parses `.sccprog` text back into a validated [`Program`].
+///
+/// Lines starting with `#` and blank lines are ignored, so reproducers
+/// can carry a comment header describing the seed and the divergence.
+pub fn parse_program(text: &str) -> Result<Program, String> {
+    let mut entry: Option<Addr> = None;
+    let mut data: Vec<(u64, i64)> = Vec::new();
+    let mut insts: Vec<MacroInst> = Vec::new();
+    // (addr, len, kind, uops) of the instruction being collected.
+    let mut open: Option<(Addr, u8, MacroKind, Vec<Uop>)> = None;
+    let mut saw_magic = false;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        let at = |msg: String| format!("line {}: {msg}", i + 1);
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        if !saw_magic {
+            if line.trim() != "sccprog v1" {
+                return Err(at(format!("expected `sccprog v1` header, got `{line}`")));
+            }
+            saw_magic = true;
+            continue;
+        }
+        if line.starts_with("  ") {
+            let Some((_, _, _, uops)) = open.as_mut() else {
+                return Err(at("micro-op line outside an `inst` block".to_string()));
+            };
+            uops.push(parse_uop_line(line.trim()).map_err(at)?);
+            continue;
+        }
+        // A non-indented line closes any open instruction.
+        if let Some((addr, len, kind, uops)) = open.take() {
+            if uops.is_empty() {
+                return Err(at(format!("instruction {addr:#x} has no micro-ops")));
+            }
+            insts.push(MacroInst::new(addr, len, kind, uops));
+        }
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some("entry") => {
+                let a = tok.next().ok_or_else(|| at("entry needs an address".into()))?;
+                entry = Some(parse_addr(a).map_err(at)?);
+            }
+            Some("data") => {
+                let a = tok.next().ok_or_else(|| at("data needs an address".into()))?;
+                let v = tok.next().ok_or_else(|| at("data needs a value".into()))?;
+                let value: i64 =
+                    v.parse().map_err(|_| at(format!("bad data value `{v}`")))?;
+                data.push((parse_addr(a).map_err(at)?, value));
+            }
+            Some("inst") => {
+                let a = tok.next().ok_or_else(|| at("inst needs an address".into()))?;
+                let l = tok.next().ok_or_else(|| at("inst needs a length".into()))?;
+                let k = tok.next().ok_or_else(|| at("inst needs a kind".into()))?;
+                let len: u8 = l.parse().map_err(|_| at(format!("bad length `{l}`")))?;
+                let kind = match k {
+                    "simple" => MacroKind::Simple,
+                    "fused" => MacroKind::Fused,
+                    "stringop" => MacroKind::StringOp,
+                    other => return Err(at(format!("unknown macro kind `{other}`"))),
+                };
+                open = Some((parse_addr(a).map_err(at)?, len, kind, Vec::new()));
+            }
+            Some(other) => return Err(at(format!("unknown directive `{other}`"))),
+            None => unreachable!("blank lines are skipped above"),
+        }
+    }
+    if let Some((addr, len, kind, uops)) = open.take() {
+        if uops.is_empty() {
+            return Err(format!("instruction {addr:#x} has no micro-ops"));
+        }
+        insts.push(MacroInst::new(addr, len, kind, uops));
+    }
+    let entry = entry.ok_or_else(|| "missing `entry` line".to_string())?;
+    Program::new(insts, entry, data).map_err(|e| format!("invalid program: {e:?}"))
+}
+
+fn parse_uop_line(line: &str) -> Result<Uop, String> {
+    let tok: Vec<&str> = line.split_whitespace().collect();
+    if tok.len() != 9 {
+        return Err(format!("micro-op line needs 9 fields, got {}: `{line}`", tok.len()));
+    }
+    let mut u = Uop::new(parse_op(tok[0])?);
+    u.dst = parse_reg_opt(tok[1])?;
+    u.src1 = parse_operand(tok[2])?;
+    u.src2 = parse_operand(tok[3])?;
+    u.offset = tok[4].parse().map_err(|_| format!("bad offset `{}`", tok[4]))?;
+    u.target = match tok[5] {
+        "-" => None,
+        t => Some(parse_addr(t)?),
+    };
+    u.cond = match tok[6] {
+        "-" => None,
+        c => Some(parse_cond(c)?),
+    };
+    u.writes_cc = parse_bool(tok[7])?;
+    u.fused_with_next = parse_bool(tok[8])?;
+    Ok(u)
+}
+
+fn parse_addr(s: &str) -> Result<Addr, String> {
+    let body = s.strip_prefix("0x").ok_or_else(|| format!("address `{s}` must be 0x-hex"))?;
+    Addr::from_str_radix(body, 16).map_err(|_| format!("bad address `{s}`"))
+}
+
+fn parse_bool(s: &str) -> Result<bool, String> {
+    match s {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        other => Err(format!("bad flag `{other}` (want 0 or 1)")),
+    }
+}
+
+fn dump_reg(r: Reg) -> String {
+    if r.is_int() {
+        format!("r{}", r.index())
+    } else {
+        format!("f{}", r.index() - scc_isa::NUM_INT_REGS)
+    }
+}
+
+fn dump_reg_opt(r: Option<Reg>) -> String {
+    r.map_or_else(|| "-".to_string(), dump_reg)
+}
+
+fn dump_operand(o: Operand) -> String {
+    match o {
+        Operand::None => "-".to_string(),
+        Operand::Reg(r) => dump_reg(r),
+        Operand::Imm(v) => format!("#{v}"),
+    }
+}
+
+fn parse_reg(s: &str) -> Result<Reg, String> {
+    let (ctor, body): (fn(u8) -> Reg, &str) = if let Some(b) = s.strip_prefix('r') {
+        (Reg::int, b)
+    } else if let Some(b) = s.strip_prefix('f') {
+        (Reg::fp, b)
+    } else {
+        return Err(format!("bad register `{s}`"));
+    };
+    let n: u8 = body.parse().map_err(|_| format!("bad register `{s}`"))?;
+    if n as usize >= scc_isa::NUM_INT_REGS {
+        return Err(format!("register index out of range `{s}`"));
+    }
+    Ok(ctor(n))
+}
+
+fn parse_reg_opt(s: &str) -> Result<Option<Reg>, String> {
+    if s == "-" {
+        Ok(None)
+    } else {
+        parse_reg(s).map(Some)
+    }
+}
+
+fn parse_operand(s: &str) -> Result<Operand, String> {
+    if s == "-" {
+        return Ok(Operand::None);
+    }
+    if let Some(body) = s.strip_prefix('#') {
+        let v: i64 = body.parse().map_err(|_| format!("bad immediate `{s}`"))?;
+        return Ok(Operand::Imm(v));
+    }
+    parse_reg(s).map(Operand::Reg)
+}
+
+fn parse_op(s: &str) -> Result<Op, String> {
+    Ok(match s {
+        "nop" => Op::Nop,
+        "halt" => Op::Halt,
+        "movi" => Op::MovImm,
+        "mov" => Op::Mov,
+        "add" => Op::Add,
+        "sub" => Op::Sub,
+        "and" => Op::And,
+        "or" => Op::Or,
+        "xor" => Op::Xor,
+        "shl" => Op::Shl,
+        "shr" => Op::Shr,
+        "sar" => Op::Sar,
+        "not" => Op::Not,
+        "neg" => Op::Neg,
+        "mul" => Op::Mul,
+        "div" => Op::Div,
+        "rem" => Op::Rem,
+        "cmp" => Op::Cmp,
+        "test" => Op::Test,
+        "setcc" => Op::SetCc,
+        "ld" => Op::Load,
+        "st" => Op::Store,
+        "fadd" => Op::FpAdd,
+        "fsub" => Op::FpSub,
+        "fmul" => Op::FpMul,
+        "fdiv" => Op::FpDiv,
+        "fmov" => Op::FpMov,
+        "simd" => Op::Simd,
+        "jmp" => Op::Jmp,
+        "jmpi" => Op::JmpInd,
+        "brcc" => Op::BrCc,
+        "cmpbr" => Op::CmpBr,
+        "call" => Op::Call,
+        "ret" => Op::Ret,
+        other => return Err(format!("unknown op `{other}`")),
+    })
+}
+
+fn parse_cond(s: &str) -> Result<Cond, String> {
+    for c in Cond::all() {
+        if c.to_string() == s {
+            return Ok(c);
+        }
+    }
+    Err(format!("unknown condition `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_isa::rand_prog::{random_program, RandProgConfig};
+
+    #[test]
+    fn roundtrips_random_programs_exactly() {
+        let cfg = RandProgConfig::default();
+        for seed in 0..40u64 {
+            let p = random_program(seed, &cfg);
+            let text = dump_program(&p);
+            let q = parse_program(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: parse failed: {e}\n{text}"));
+            assert_eq!(p.entry(), q.entry(), "seed {seed}");
+            assert_eq!(p.init_data(), q.init_data(), "seed {seed}");
+            assert_eq!(p.insts(), q.insts(), "seed {seed}");
+            // And a second hop is bit-identical text.
+            assert_eq!(text, dump_program(&q), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# scc-check reproducer\n# seed: 7\n\nsccprog v1\nentry 0x10\n\
+                    inst 0x10 1 simple\n  halt - - - 0 - - 0 0\n";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.entry(), 0x10);
+        assert_eq!(p.insts().len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let text = "sccprog v1\nentry 0x10\nbogus 1 2\n";
+        let err = parse_program(text).unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        assert!(err.contains("bogus"), "{err}");
+        let text = "sccprog v1\nentry 0x10\ninst 0x10 1 simple\n  frobnicate - - - 0 - - 0 0\n";
+        let err = parse_program(text).unwrap_err();
+        assert!(err.contains("unknown op"), "{err}");
+    }
+
+    #[test]
+    fn validation_still_applies_after_parse() {
+        // A dangling branch target must be rejected by Program::new.
+        let text = "sccprog v1\nentry 0x10\ninst 0x10 2 simple\n  jmp - - - 0 0x999 - 0 0\n";
+        let err = parse_program(text).unwrap_err();
+        assert!(err.contains("invalid program"), "{err}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Replays every committed reproducer in `check/repros/` against the
+//! full configuration matrix.
+//!
+//! Reproducers are minimized programs that once exposed a divergence;
+//! they are committed together with the fix, so each must now match the
+//! oracle under every configuration. A failure here is a regression of
+//! a previously fixed miscompaction.
+
+use scc_check::serialize::parse_program;
+use scc_check::{check_program, config_matrix, DEFAULT_MAX_CYCLES};
+use std::path::PathBuf;
+
+fn repro_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../check/repros")
+}
+
+#[test]
+fn committed_reproducers_stay_fixed() {
+    let dir = repro_dir();
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(_) => return, // no reproducers committed yet
+    };
+    let matrix = config_matrix(true);
+    let mut checked = 0usize;
+    for entry in entries {
+        let path = entry.expect("readable directory entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("sccprog") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let p = parse_program(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let divs = check_program(&p, &matrix, DEFAULT_MAX_CYCLES)
+            .unwrap_or_else(|e| panic!("{}: oracle failed: {e}", path.display()));
+        assert!(
+            divs.is_empty(),
+            "{} regressed:\n{}",
+            path.display(),
+            divs.iter().map(|d| format!("  {d}\n")).collect::<String>()
+        );
+        checked += 1;
+    }
+    eprintln!("replayed {checked} reproducers from {}", dir.display());
+}

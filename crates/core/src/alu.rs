@@ -78,7 +78,20 @@ mod tests {
         // The linchpin: SCC folding computes bit-identical results to the
         // execute stage for every supported op and tricky inputs.
         let mut alu = SccAlu::new();
-        let inputs = [(i64::MAX, 1), (i64::MIN, -1), (0, 0), (-5, 63), (7, 65)];
+        let inputs = [
+            (i64::MAX, 1),
+            (i64::MIN, -1),
+            (0, 0),
+            // The full `& 63` mask boundary: 62..65 plus the wrap cases
+            // a shift-amount generator drawing from `below(8)` never
+            // reaches.
+            (-5, 62),
+            (-5, 63),
+            (-5, 64),
+            (7, 65),
+            (i64::MIN, 127),
+            (1, -1),
+        ];
         for op in [Op::Add, Op::Sub, Op::And, Op::Or, Op::Xor, Op::Shl, Op::Shr, Op::Sar] {
             for (a, b) in inputs {
                 let scc = alu.eval(op, a, b, CcFlags::default(), None).unwrap();

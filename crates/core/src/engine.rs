@@ -230,6 +230,9 @@ impl CompactionEngine {
         };
         let mut cursor = entry;
         let mut cycles: u64 = 0;
+        // Eliminations since the last surviving micro-op, stamped onto the
+        // next survivor as `elided_before` for program-distance accounting.
+        let mut pending_elided: u32 = 0;
         let exit: Addr;
         'walk: loop {
             // Stop condition (b): micro-op cache miss at the cursor.
@@ -246,19 +249,23 @@ impl CompactionEngine {
                 match self.step(uop, vp, bp, &mut pass) {
                     Step::Eliminated => {
                         pass.orig_len += 1;
+                        pending_elided += 1;
                     }
-                    Step::Keep(s) => {
+                    Step::Keep(mut s) => {
                         pass.orig_len += 1;
+                        s.elided_before = std::mem::take(&mut pending_elided);
                         pass.out.push(s);
                     }
-                    Step::KeepAndPivot(s, target) => {
+                    Step::KeepAndPivot(mut s, target) => {
                         pass.orig_len += 1;
+                        s.elided_before = std::mem::take(&mut pending_elided);
                         pass.out.push(s);
                         cursor = target;
                         continue 'walk;
                     }
                     Step::ElimAndPivot(target) => {
                         pass.orig_len += 1;
+                        pending_elided += 1;
                         cursor = target;
                         continue 'walk;
                     }
@@ -266,8 +273,9 @@ impl CompactionEngine {
                         exit = uop.macro_addr;
                         break 'walk;
                     }
-                    Step::StopAfterKeep(s) => {
+                    Step::StopAfterKeep(mut s) => {
                         pass.orig_len += 1;
+                        s.elided_before = std::mem::take(&mut pending_elided);
                         pass.out.push(s);
                         exit = macro_next;
                         break 'walk;

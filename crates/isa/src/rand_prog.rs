@@ -2,10 +2,18 @@
 //!
 //! Produces structurally varied but *always-terminating* programs: loops
 //! are counted down-counters with fixed trip counts, calls are to leaf
-//! functions, and memory traffic stays in a bounded window. The
-//! out-of-order pipeline's equivalence tests run these against the
+//! functions (optionally one level of nesting), indirect jumps only ever
+//! target addresses laid down earlier in the build, and memory traffic
+//! stays in a bounded window. The out-of-order pipeline's equivalence
+//! tests and the `scc-check` differential harness run these against the
 //! reference interpreter, which is the linchpin correctness argument for
 //! SCC (mis-speculation must be architecturally invisible).
+//!
+//! The generator is *weighted*: the riskiest engine paths — indirect
+//! control flow, aliasing stores, fused CMP+Jcc, shift amounts at the
+//! `& 63` mask boundary, division edge operands — are emitted at tuned
+//! rates and can be toggled per feature so a failure minimizer can rule
+//! whole feature classes in or out.
 //!
 //! A tiny SplitMix64 generator keeps this module dependency-free and
 //! reproducible across platforms.
@@ -50,6 +58,11 @@ impl SplitMix64 {
     pub fn chance(&mut self, num: u64, den: u64) -> bool {
         self.below(den) < num
     }
+
+    /// A uniformly chosen element of `xs`.
+    pub fn pick<T: Copy>(&mut self, xs: &[T]) -> T {
+        xs[self.below(xs.len() as u64) as usize]
+    }
 }
 
 /// Tuning knobs for random program generation.
@@ -71,6 +84,22 @@ pub struct RandProgConfig {
     pub with_string_ops: bool,
     /// Include call/return pairs.
     pub with_calls: bool,
+    /// Include nested (depth-2) call/ret chains.
+    pub with_call_chains: bool,
+    /// Include indirect jumps (`jmp_ind`) through registers and in-memory
+    /// jump tables, including data-dependent two-target dispatch.
+    pub with_indirect: bool,
+    /// Include aliasing store/load clusters that address the same cell
+    /// through different base registers (store-to-load forwarding stress).
+    pub with_aliasing: bool,
+    /// Include macro-fused reg-reg CMP+Jcc and split cmp/br pairs.
+    pub with_fused_cmp: bool,
+    /// Include directed division/remainder edge operands
+    /// (0, ±1, `i64::MIN`, `i64::MAX`).
+    pub with_div_edges: bool,
+    /// Include shift amounts at and beyond the `& 63` mask boundary
+    /// (62/63/64/65, negatives) and register-amount shifts.
+    pub with_boundary_shifts: bool,
 }
 
 impl Default for RandProgConfig {
@@ -84,145 +113,449 @@ impl Default for RandProgConfig {
             with_fp: true,
             with_string_ops: true,
             with_calls: true,
+            with_call_chains: true,
+            with_indirect: true,
+            with_aliasing: true,
+            with_fused_cmp: true,
+            with_div_edges: true,
+            with_boundary_shifts: true,
         }
     }
 }
+
+impl RandProgConfig {
+    /// The narrow pre-harness surface: straight-line ALU/memory code,
+    /// direct branches, and leaf calls only. The differential harness
+    /// uses this to bisect failures down to a feature class.
+    pub fn narrow() -> RandProgConfig {
+        RandProgConfig {
+            with_call_chains: false,
+            with_indirect: false,
+            with_aliasing: false,
+            with_fused_cmp: false,
+            with_div_edges: false,
+            with_boundary_shifts: false,
+            ..RandProgConfig::default()
+        }
+    }
+}
+
+/// Shift amounts stressing the `& 63` mask boundary in
+/// [`crate::semantics::eval_alu`].
+const BOUNDARY_SHIFTS: [i64; 12] = [0, 1, 7, 31, 32, 33, 62, 63, 64, 65, 127, -1];
+
+/// Division/remainder edge operands (numerators).
+const DIV_NUMS: [i64; 6] = [0, 1, -1, i64::MIN, i64::MAX, 7];
+
+/// Division/remainder edge operands (denominators): zero, the overflow
+/// pair for `i64::MIN / -1`, and small values.
+const DIV_DENS: [i64; 5] = [0, 1, -1, 2, i64::MIN];
 
 /// Generates a random, always-terminating program from `seed`.
 ///
 /// Register conventions: `r14` is the loop counter, `r15` the call link
-/// register, and `r13` the data-window base pointer; generated bodies use
-/// `r0`–`r12` and `f0`–`f7` freely.
+/// register (with `r12` as the inner link of nested call chains), and
+/// `r13` the data-window base pointer; generated bodies use `r0`–`r12`
+/// and `f0`–`f7` freely.
 pub fn random_program(seed: u64, cfg: &RandProgConfig) -> Program {
-    let mut rng = SplitMix64::new(seed);
-    let mut b = ProgramBuilder::new(0x1000);
-    let base = Reg::int(13);
-    let counter = Reg::int(14);
-    let link = Reg::int(15);
+    let mut g = Gen {
+        b: ProgramBuilder::new(0x1000),
+        rng: SplitMix64::new(seed),
+        cfg,
+        base: Reg::int(13),
+        counter: Reg::int(14),
+        link: Reg::int(15),
+        table_next: 0,
+    };
 
     // Seed the data window with deterministic values.
     for i in 0..cfg.data_cells {
-        b.word(cfg.data_base + 8 * i, (rng.imm()).wrapping_mul(3).wrapping_add(i as i64));
+        g.b.word(cfg.data_base + 8 * i, (g.rng.imm()).wrapping_mul(3).wrapping_add(i as i64));
     }
-    b.mov_imm(base, cfg.data_base as i64);
+    g.b.mov_imm(g.base, cfg.data_base as i64);
     // Seed a few live registers.
     for n in 0..6u8 {
-        b.mov_imm(Reg::int(n), rng.imm());
+        let v = g.rng.imm();
+        g.b.mov_imm(Reg::int(n), v);
     }
 
     for _ in 0..cfg.blocks {
-        let looped = rng.chance(1, 2);
+        let looped = g.rng.chance(1, 2);
         if looped {
-            let trips = 1 + rng.below(cfg.max_trips) as i64;
-            b.mov_imm(counter, trips);
-            let top = b.here();
-            emit_block(&mut b, &mut rng, cfg, base, link);
-            b.sub_imm(counter, counter, 1);
-            b.cmp_br_imm(Cond::Ne, counter, 0, top);
+            let trips = 1 + g.rng.below(cfg.max_trips) as i64;
+            g.b.mov_imm(g.counter, trips);
+            let top = g.b.here();
+            g.emit_block();
+            let counter = g.counter;
+            g.b.sub_imm(counter, counter, 1);
+            g.b.cmp_br_imm(Cond::Ne, counter, 0, top);
         } else {
-            emit_block(&mut b, &mut rng, cfg, base, link);
+            g.emit_block();
         }
-        if rng.chance(1, 3) {
-            b.align_region();
+        if g.rng.chance(1, 3) {
+            g.b.align_region();
         }
     }
-    b.halt();
-    b.build()
+    g.b.halt();
+    g.b.build()
 }
 
-fn emit_block(
-    b: &mut ProgramBuilder,
-    rng: &mut SplitMix64,
-    cfg: &RandProgConfig,
+/// Generation state: the builder, the PRNG, and the jump-table cursor.
+struct Gen<'c> {
+    b: ProgramBuilder,
+    rng: SplitMix64,
+    cfg: &'c RandProgConfig,
     base: Reg,
+    counter: Reg,
     link: Reg,
-) {
-    // Occasionally emit a leaf call around the block.
-    let call_here = cfg.with_calls && rng.chance(1, 6);
-    if call_here {
-        let func = b.label();
-        let after = b.label();
-        b.call(func, link);
-        b.jmp(after);
-        b.bind(func);
-        for _ in 0..3 {
-            emit_simple(b, rng, cfg, base);
-        }
-        b.ret(link);
-        b.bind(after);
-        return;
-    }
-    for _ in 0..cfg.block_len {
-        emit_simple(b, rng, cfg, base);
-    }
-    // Occasionally a short forward skip over a couple of instructions.
-    if rng.chance(1, 3) {
-        let skip = b.label();
-        let ra = Reg::int(rng.below(13) as u8);
-        b.cmp_br_imm(rand_cond(rng), ra, rng.imm(), skip);
-        emit_simple(b, rng, cfg, base);
-        emit_simple(b, rng, cfg, base);
-        b.bind(skip);
-    }
-    if cfg.with_string_ops && rng.chance(1, 8) {
-        let cnt = Reg::int(12);
-        let ptr = Reg::int(11);
-        let val = Reg::int(rng.below(8) as u8);
-        b.mov_imm(cnt, 1 + rng.below(4) as i64);
-        b.mov_imm(ptr, (cfg.data_base + 8 * rng.below(cfg.data_cells / 2)) as i64);
-        b.rep_store(cnt, ptr, val);
-    }
+    /// Next free jump-table slot, placed *above* the random-store window
+    /// so data traffic can never redirect an indirect jump off the
+    /// instruction map.
+    table_next: u64,
 }
 
-fn rand_cond(rng: &mut SplitMix64) -> Cond {
-    Cond::all()[rng.below(8) as usize]
-}
+impl Gen<'_> {
+    fn rand_cond(&mut self) -> Cond {
+        Cond::all()[self.rng.below(8) as usize]
+    }
 
-fn emit_simple(b: &mut ProgramBuilder, rng: &mut SplitMix64, cfg: &RandProgConfig, base: Reg) {
-    let rd = Reg::int(rng.below(13) as u8);
-    let ra = Reg::int(rng.below(13) as u8);
-    let rb = Reg::int(rng.below(13) as u8);
-    match rng.below(16) {
-        0 => b.mov_imm(rd, rng.imm()),
-        1 => b.mov(rd, ra),
-        2 => b.add(rd, ra, rb),
-        3 => b.add_imm(rd, ra, rng.imm()),
-        4 => b.sub(rd, ra, rb),
-        5 => b.xor(rd, ra, rb),
-        6 => b.and_imm(rd, ra, rng.imm()),
-        7 => b.or_imm(rd, ra, rng.imm()),
-        8 => b.shl_imm(rd, ra, rng.below(8) as i64),
-        9 => b.sar_imm(rd, ra, rng.below(8) as i64),
-        10 => b.mul(rd, ra, rb),
-        11 => b.div(rd, ra, rb),
-        12 => {
-            let off = 8 * rng.below(cfg.data_cells) as i64;
-            b.load(rd, base, off);
+    /// A body register `r0..r{max-1}`; `max = 13` is the full body set,
+    /// `max = 12` keeps `r12` free for the inner call link.
+    fn reg(&mut self, max: u64) -> Reg {
+        Reg::int(self.rng.below(max) as u8)
+    }
+
+    /// A shift amount: mostly small, but with the boundary set mixed in
+    /// when enabled (satellite: `below(8)` never exercised the `& 63`
+    /// mask at 63/64/65).
+    fn shift_amount(&mut self) -> i64 {
+        if self.cfg.with_boundary_shifts && self.rng.chance(1, 2) {
+            self.rng.pick(&BOUNDARY_SHIFTS)
+        } else {
+            self.rng.below(8) as i64
         }
-        13 => {
-            let off = 8 * rng.below(cfg.data_cells) as i64;
-            b.store(ra, base, off);
+    }
+
+    fn emit_block(&mut self) {
+        // Occasionally emit a call around the block: a leaf function, or
+        // a depth-2 chain when enabled.
+        if self.cfg.with_calls && self.rng.chance(1, 6) {
+            self.emit_call();
+            return;
         }
-        14 => {
-            b.cmp_imm(ra, rng.imm());
-            b.setcc(rand_cond(rng), rd);
+        for _ in 0..self.cfg.block_len {
+            self.emit_simple(13);
         }
-        _ => {
-            if cfg.with_fp {
-                let fd = Reg::fp(rng.below(8) as u8);
-                let fa = Reg::fp(rng.below(8) as u8);
-                let fb = Reg::fp(rng.below(8) as u8);
-                match rng.below(4) {
-                    0 => b.fadd(fd, fa, fb),
-                    1 => b.fmul(fd, fa, fb),
-                    2 => b.simd(fd, fa, fb),
-                    _ => {
-                        let off = 8 * rng.below(cfg.data_cells) as i64;
-                        b.load(fd, base, off);
-                    }
+        // Occasionally a short forward skip over a couple of
+        // instructions: fused reg-reg CMP+Jcc, a split cmp/br pair (CC
+        // tracked across the gap), or the legacy reg-imm fused form.
+        if self.rng.chance(1, 3) {
+            let skip = self.b.label();
+            let ra = self.reg(13);
+            let cond = self.rand_cond();
+            if self.cfg.with_fused_cmp && self.rng.chance(1, 2) {
+                let rb = self.reg(13);
+                if self.rng.chance(1, 2) {
+                    self.b.cmp_br(cond, ra, rb, skip);
+                } else {
+                    self.b.cmp(ra, rb);
+                    self.emit_simple_no_cc(13);
+                    self.b.br(cond, skip);
                 }
             } else {
-                b.add_imm(rd, ra, 1);
+                let imm = self.rng.imm();
+                self.b.cmp_br_imm(cond, ra, imm, skip);
+            }
+            self.emit_simple(13);
+            self.emit_simple(13);
+            self.b.bind(skip);
+        }
+        if self.cfg.with_indirect && self.rng.chance(1, 4) {
+            self.emit_indirect();
+        }
+        if self.cfg.with_aliasing && self.rng.chance(1, 3) {
+            self.emit_aliasing();
+        }
+        if self.cfg.with_div_edges && self.rng.chance(1, 4) {
+            self.emit_div_edge();
+        }
+        if self.cfg.with_string_ops && self.rng.chance(1, 8) {
+            let cnt = Reg::int(12);
+            let ptr = Reg::int(11);
+            let val = self.reg(8);
+            let n = 1 + self.rng.below(4) as i64;
+            let p = (self.cfg.data_base + 8 * self.rng.below(self.cfg.data_cells / 2)) as i64;
+            self.b.mov_imm(cnt, n);
+            self.b.mov_imm(ptr, p);
+            self.b.rep_store(cnt, ptr, val);
+        }
+    }
+
+    /// A call around the block: `call f; ...; f: body; ret`. With
+    /// chains enabled, `f` itself calls a second leaf through `r12` (the
+    /// bodies of chained functions avoid writing `r12` so the inner
+    /// return address survives).
+    fn emit_call(&mut self) {
+        let func = self.b.label();
+        let after = self.b.label();
+        let link = self.link;
+        self.b.call(func, link);
+        self.b.jmp(after);
+        self.b.bind(func);
+        if self.cfg.with_call_chains && self.rng.chance(1, 2) {
+            let inner = self.b.label();
+            let mid = self.b.label();
+            let link2 = Reg::int(12);
+            for _ in 0..2 {
+                self.emit_simple(12);
+            }
+            self.b.call(inner, link2);
+            self.b.jmp(mid);
+            self.b.bind(inner);
+            for _ in 0..2 {
+                self.emit_simple(12);
+            }
+            self.b.ret(link2);
+            self.b.bind(mid);
+            self.emit_simple(12);
+            self.b.ret(link);
+        } else {
+            for _ in 0..3 {
+                self.emit_simple(13);
+            }
+            self.b.ret(link);
+        }
+        self.b.bind(after);
+    }
+
+    /// An indirect jump whose landing pads are laid down *before* the
+    /// `jmp_ind`, so every architecturally reachable target is a real
+    /// instruction address. Three shapes: a register target, a target
+    /// loaded from an in-memory jump table, and a data-dependent
+    /// two-target dispatch (indirect-BTB stress).
+    fn emit_indirect(&mut self) {
+        let over = self.b.label();
+        let join = self.b.label();
+        self.b.jmp(over);
+        let pad0 = self.b.cursor();
+        self.emit_simple(13);
+        self.b.jmp(join);
+        let two_way = self.rng.chance(1, 3);
+        let pad1 = if two_way {
+            let p = self.b.cursor();
+            self.emit_simple(13);
+            self.b.jmp(join);
+            Some(p)
+        } else {
+            None
+        };
+        self.b.bind(over);
+        let scratch = self.reg(13);
+        match pad1 {
+            Some(p1) => {
+                let use0 = self.b.label();
+                let rx = self.reg(13);
+                let cond = self.rand_cond();
+                let imm = self.rng.imm();
+                self.b.mov_imm(scratch, pad0 as i64);
+                self.b.cmp_br_imm(cond, rx, imm, use0);
+                self.b.mov_imm(scratch, p1 as i64);
+                self.b.bind(use0);
+            }
+            None if self.rng.chance(1, 2) => {
+                // Jump table: the slot lives above the random-store
+                // window, so no generated store can corrupt it.
+                let slot = self.cfg.data_cells + self.table_next;
+                self.table_next += 1;
+                self.b.word(self.cfg.data_base + 8 * slot, pad0 as i64);
+                let base = self.base;
+                self.b.load(scratch, base, 8 * slot as i64);
+            }
+            None => {
+                self.b.mov_imm(scratch, pad0 as i64);
+            }
+        }
+        self.b.jmp_ind(scratch);
+        self.b.bind(join);
+    }
+
+    /// Aliasing store/load cluster: the same cell addressed through the
+    /// window base and through a computed pointer, so disambiguation and
+    /// store-to-load forwarding must see through different base
+    /// registers.
+    fn emit_aliasing(&mut self) {
+        let cell = self.rng.below(self.cfg.data_cells - 2);
+        let ai = self.rng.below(13) as u8;
+        let alias = Reg::int(ai);
+        let mut rd = self.reg(13);
+        if rd == alias {
+            rd = Reg::int((ai + 1) % 13);
+        }
+        let ra = self.reg(13);
+        let base = self.base;
+        self.b.add_imm(alias, base, (8 * cell) as i64);
+        self.b.store(ra, alias, 8);
+        self.b.load(rd, base, (8 * (cell + 1)) as i64);
+        if self.rng.chance(1, 2) && rd != alias {
+            let imm = self.rng.imm();
+            self.b.store_imm(imm, base, (8 * cell) as i64);
+            self.b.load(rd, alias, 0);
+        }
+    }
+
+    /// Directed division/remainder edges: divide-by-zero and the
+    /// `i64::MIN / -1` overflow pair, which the backend defines (0 and
+    /// wrapping respectively) and any folding path must match exactly.
+    fn emit_div_edge(&mut self) {
+        let rd = self.reg(13);
+        let ai = self.rng.below(13) as u8;
+        let ra = Reg::int(ai);
+        let mut rb = self.reg(13);
+        if rb == ra {
+            rb = Reg::int((ai + 1) % 13);
+        }
+        let num = self.rng.pick(&DIV_NUMS);
+        let den = self.rng.pick(&DIV_DENS);
+        self.b.mov_imm(ra, num);
+        self.b.mov_imm(rb, den);
+        if self.rng.chance(1, 2) {
+            self.b.div(rd, ra, rb);
+        } else {
+            self.b.rem(rd, ra, rb);
+        }
+    }
+
+    /// One weighted simple instruction. `max_rd` bounds the destination
+    /// register (12 keeps `r12` free inside call chains); sources read
+    /// the full body set.
+    fn emit_simple(&mut self, max_rd: u64) {
+        let rd = self.reg(max_rd);
+        let ra = self.reg(13);
+        let rb = self.reg(13);
+        match self.rng.below(20) {
+            0 => {
+                let v = self.rng.imm();
+                self.b.mov_imm(rd, v);
+            }
+            1 => self.b.mov(rd, ra),
+            2 => self.b.add(rd, ra, rb),
+            3 => {
+                let v = self.rng.imm();
+                self.b.add_imm(rd, ra, v);
+            }
+            4 => self.b.sub(rd, ra, rb),
+            5 => self.b.xor(rd, ra, rb),
+            6 => {
+                let v = self.rng.imm();
+                self.b.and_imm(rd, ra, v);
+            }
+            7 => {
+                let v = self.rng.imm();
+                self.b.or_imm(rd, ra, v);
+            }
+            8 => {
+                let s = self.shift_amount();
+                self.b.shl_imm(rd, ra, s);
+            }
+            9 => {
+                let s = self.shift_amount();
+                self.b.sar_imm(rd, ra, s);
+            }
+            10 => {
+                let s = self.shift_amount();
+                self.b.shr_imm(rd, ra, s);
+            }
+            11 => {
+                // Register-amount shifts: the amount register holds an
+                // arbitrary runtime value, so masking is exercised on
+                // both the execute and any folding path.
+                if self.cfg.with_boundary_shifts {
+                    match self.rng.below(3) {
+                        0 => self.b.shl(rd, ra, rb),
+                        1 => self.b.shr(rd, ra, rb),
+                        _ => self.b.sar(rd, ra, rb),
+                    }
+                } else {
+                    self.b.add_imm(rd, ra, 1);
+                }
+            }
+            12 => self.b.mul(rd, ra, rb),
+            13 => {
+                if self.rng.chance(1, 2) {
+                    self.b.div(rd, ra, rb);
+                } else {
+                    self.b.rem(rd, ra, rb);
+                }
+            }
+            14 => {
+                let off = 8 * self.rng.below(self.cfg.data_cells) as i64;
+                let base = self.base;
+                self.b.load(rd, base, off);
+            }
+            15 => {
+                let off = 8 * self.rng.below(self.cfg.data_cells) as i64;
+                let base = self.base;
+                self.b.store(ra, base, off);
+            }
+            16 => {
+                let off = 8 * self.rng.below(self.cfg.data_cells) as i64;
+                let v = self.rng.imm();
+                let base = self.base;
+                self.b.store_imm(v, base, off);
+            }
+            17 => {
+                let v = self.rng.imm();
+                let cond = self.rand_cond();
+                self.b.cmp_imm(ra, v);
+                self.b.setcc(cond, rd);
+            }
+            18 => {
+                if self.rng.chance(1, 2) {
+                    self.b.not(rd, ra);
+                } else {
+                    self.b.neg(rd, ra);
+                }
+            }
+            _ => {
+                if self.cfg.with_fp {
+                    let fd = Reg::fp(self.rng.below(8) as u8);
+                    let fa = Reg::fp(self.rng.below(8) as u8);
+                    let fb = Reg::fp(self.rng.below(8) as u8);
+                    match self.rng.below(4) {
+                        0 => self.b.fadd(fd, fa, fb),
+                        1 => self.b.fmul(fd, fa, fb),
+                        2 => self.b.simd(fd, fa, fb),
+                        _ => {
+                            let off = 8 * self.rng.below(self.cfg.data_cells) as i64;
+                            let base = self.base;
+                            self.b.load(fd, base, off);
+                        }
+                    }
+                } else {
+                    self.b.add_imm(rd, ra, 1);
+                }
+            }
+        }
+    }
+
+    /// A simple instruction guaranteed not to clobber the condition
+    /// codes, for the gap of a split cmp/br pair.
+    fn emit_simple_no_cc(&mut self, max_rd: u64) {
+        let rd = self.reg(max_rd);
+        let ra = self.reg(13);
+        match self.rng.below(4) {
+            0 => {
+                let v = self.rng.imm();
+                self.b.mov_imm(rd, v);
+            }
+            1 => self.b.mov(rd, ra),
+            2 => {
+                let s = self.shift_amount();
+                self.b.shl_imm(rd, ra, s);
+            }
+            _ => {
+                let rb = self.reg(13);
+                self.b.mul(rd, ra, rb);
             }
         }
     }
@@ -232,6 +565,7 @@ fn emit_simple(b: &mut ProgramBuilder, rng: &mut SplitMix64, cfg: &RandProgConfi
 mod tests {
     use super::*;
     use crate::interp::Machine;
+    use crate::uop::Op;
 
     #[test]
     fn generated_programs_halt_and_are_deterministic() {
@@ -276,5 +610,72 @@ mod tests {
             assert!(rng.below(13) < 13);
         }
         assert!((-1000..=1000).contains(&rng.imm()));
+    }
+
+    #[test]
+    fn narrow_config_excludes_widened_features() {
+        let cfg = RandProgConfig::narrow();
+        for seed in 0..10 {
+            let p = random_program(seed, &cfg);
+            for m in p.insts() {
+                for u in &m.uops {
+                    assert_ne!(u.op, Op::JmpInd, "seed {seed} emitted jmp_ind under narrow");
+                    if matches!(u.op, Op::Shl | Op::Shr | Op::Sar) {
+                        if let Some(s) = u.src2.imm() {
+                            assert!((0..8).contains(&s), "seed {seed}: narrow shift {s}");
+                        } else {
+                            panic!("seed {seed}: register-amount shift under narrow");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn widened_features_appear_across_seeds() {
+        // Not every seed hits every feature, but across a modest batch
+        // all the hard paths must show up — otherwise the fuzzer is
+        // quietly not testing them.
+        let cfg = RandProgConfig::default();
+        let (mut ind, mut boundary, mut reg_shift, mut fused_rr, mut div0) =
+            (false, false, false, false, false);
+        for seed in 0..40 {
+            let p = random_program(seed, &cfg);
+            for m in p.insts() {
+                for u in &m.uops {
+                    match u.op {
+                        Op::JmpInd => ind = true,
+                        Op::Shl | Op::Shr | Op::Sar => match u.src2.imm() {
+                            Some(s) if !(0..8).contains(&s) => boundary = true,
+                            None => reg_shift = true,
+                            _ => {}
+                        },
+                        Op::CmpBr if u.src2.reg().is_some() => fused_rr = true,
+                        Op::MovImm if u.src1.imm() == Some(i64::MIN) => div0 = true,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert!(ind, "no indirect jumps generated");
+        assert!(boundary, "no boundary shift amounts generated");
+        assert!(reg_shift, "no register-amount shifts generated");
+        assert!(fused_rr, "no reg-reg fused cmp+branch generated");
+        assert!(div0, "no i64::MIN div edge generated");
+    }
+
+    #[test]
+    fn indirect_targets_always_land_on_instructions() {
+        // Every jmp_ind target that can be architecturally reached is an
+        // address the builder laid an instruction at; run through the
+        // interpreter to prove no indirect jump escapes the program.
+        let cfg = RandProgConfig { blocks: 8, ..RandProgConfig::default() };
+        for seed in 100..130 {
+            let p = random_program(seed, &cfg);
+            let mut m = Machine::new(&p);
+            let r = m.run(2_000_000).unwrap();
+            assert!(r.halted, "seed {seed} did not halt");
+        }
     }
 }

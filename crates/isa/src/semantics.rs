@@ -318,4 +318,28 @@ mod tests {
         let add = Uop::new(Op::Add);
         assert!(branch_of(&add, 0, 0, CcFlags::default()).is_none());
     }
+
+    #[test]
+    fn shift_mask_boundary_is_mod_64() {
+        // The `& 63` mask: amounts 63, 64, and 65 must behave as 63, 0,
+        // and 1 — for all three shift ops, on positive and negative
+        // inputs. This is the semantics any speculative folding path
+        // must reproduce bit-for-bit.
+        let cc = CcFlags::default();
+        for a in [1i64, -1, i64::MIN, i64::MAX, 0x1234_5678_9abc_def0u64 as i64] {
+            for (amt, eff) in [(62i64, 62u32), (63, 63), (64, 0), (65, 1), (127, 63), (-1, 63)] {
+                let shl = eval_alu(Op::Shl, a, amt, cc, None).unwrap().value.unwrap();
+                assert_eq!(shl, a.wrapping_shl(eff), "shl {a} by {amt}");
+                let shr = eval_alu(Op::Shr, a, amt, cc, None).unwrap().value.unwrap();
+                assert_eq!(shr, ((a as u64) >> eff) as i64, "shr {a} by {amt}");
+                let sar = eval_alu(Op::Sar, a, amt, cc, None).unwrap().value.unwrap();
+                assert_eq!(sar, a >> eff, "sar {a} by {amt}");
+            }
+        }
+        // Amount 64 is the identity for every shift op.
+        for op in [Op::Shl, Op::Shr, Op::Sar] {
+            let r = eval_alu(op, -5, 64, cc, None).unwrap();
+            assert_eq!(r.value, Some(-5), "{op} by 64 must be identity");
+        }
+    }
 }

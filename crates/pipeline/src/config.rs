@@ -168,6 +168,155 @@ impl PipelineConfig {
             ..PipelineConfig::baseline()
         }
     }
+
+    /// A stable content key naming every knob of this configuration.
+    ///
+    /// Result caches key simulations on this string, so it must be a
+    /// *complete* identity: two configs produce equal keys iff they are
+    /// field-for-field identical. Unlike a `Debug` rendering (whose
+    /// format is not a stability guarantee and silently drops fields
+    /// marked `#[allow]`/skipped in custom impls), the exhaustive
+    /// destructuring below stops compiling when a field is added,
+    /// forcing the key to stay complete.
+    pub fn content_key(&self) -> String {
+        use scc_core::OptFlags;
+        use scc_memsys::{CacheConfig, ReplacementPolicy};
+        use std::fmt::Write as _;
+        let PipelineConfig {
+            core,
+            hierarchy,
+            frontend,
+            branch_predictor,
+            value_predictor,
+            force_unopt_window,
+            vp_forwarding,
+        } = self;
+        let CoreParams {
+            fetch_width,
+            decode_width,
+            rename_width,
+            commit_width,
+            rob_entries,
+            idq_entries,
+            sched_entries,
+            alu_ports,
+            load_ports,
+            store_ports,
+            fp_ports,
+            decode_latency,
+            mispredict_penalty,
+            mul_latency,
+            div_latency,
+            fp_latency,
+            simd_latency,
+            micro_fusion,
+        } = core;
+        let mut k = String::with_capacity(320);
+        write!(
+            k,
+            "core:{fetch_width},{decode_width},{rename_width},{commit_width},{rob_entries},\
+             {idq_entries},{sched_entries},{alu_ports},{load_ports},{store_ports},{fp_ports},\
+             {decode_latency},{mispredict_penalty},{mul_latency},{div_latency},{fp_latency},\
+             {simd_latency},{micro_fusion};"
+        )
+        .expect("writing to String cannot fail");
+        let HierarchyConfig { l1i, l1d, l2, l3, l1_latency, l2_latency, l3_latency, dram_latency } =
+            hierarchy;
+        for (name, c) in [("l1i", l1i), ("l1d", l1d), ("l2", l2), ("l3", l3)] {
+            let CacheConfig { size_bytes, ways, line_bytes, replacement } = c;
+            let rep = match replacement {
+                ReplacementPolicy::Lru => "lru",
+                ReplacementPolicy::Random => "rand",
+            };
+            write!(k, "{name}:{size_bytes},{ways},{line_bytes},{rep};")
+                .expect("writing to String cannot fail");
+        }
+        write!(k, "memlat:{l1_latency},{l2_latency},{l3_latency},{dram_latency};")
+            .expect("writing to String cannot fail");
+        fn push_uop_cache(k: &mut String, name: &str, c: &UopCacheConfig) {
+            let UopCacheConfig {
+                sets,
+                ways,
+                uops_per_line,
+                max_ways_per_region,
+                hotness_threshold,
+                decay_period,
+            } = c;
+            write!(
+                k,
+                "{name}:{sets},{ways},{uops_per_line},{max_ways_per_region},{hotness_threshold},\
+                 {decay_period};"
+            )
+            .expect("writing to String cannot fail");
+        }
+        match frontend {
+            FrontendMode::Baseline { uop_cache } => {
+                k.push_str("fe:baseline;");
+                push_uop_cache(&mut k, "uc", uop_cache);
+            }
+            FrontendMode::Scc { unopt, opt, scc } => {
+                k.push_str("fe:scc;");
+                push_uop_cache(&mut k, "unopt", unopt);
+                push_uop_cache(&mut k, "opt", opt);
+                let SccConfig {
+                    opts,
+                    confidence_threshold,
+                    max_data_invariants,
+                    max_control_invariants,
+                    max_branches,
+                    write_buffer_uops,
+                    compaction_threshold,
+                    max_constant_width,
+                    request_queue_len,
+                } = scc;
+                let OptFlags {
+                    move_elim,
+                    const_fold,
+                    const_prop,
+                    data_invariants,
+                    branch_fold,
+                    control_invariants,
+                    cc_tracking,
+                    complex_alu,
+                } = opts;
+                write!(
+                    k,
+                    "opts:{move_elim},{const_fold},{const_prop},{data_invariants},{branch_fold},\
+                     {control_invariants},{cc_tracking},{complex_alu};"
+                )
+                .expect("writing to String cannot fail");
+                let mcw = match max_constant_width {
+                    Some(w) => w.to_string(),
+                    None => "none".to_string(),
+                };
+                write!(
+                    k,
+                    "scc:{confidence_threshold},{max_data_invariants},{max_control_invariants},\
+                     {max_branches},{write_buffer_uops},{compaction_threshold},{mcw},\
+                     {request_queue_len};"
+                )
+                .expect("writing to String cannot fail");
+            }
+        }
+        let bp = match branch_predictor {
+            BranchPredictorKind::Bimodal => "bimodal",
+            BranchPredictorKind::GShare => "gshare",
+            BranchPredictorKind::TageLite => "tage",
+        };
+        let vp = match value_predictor {
+            ValuePredictorKind::LastValue => "lastvalue",
+            ValuePredictorKind::Stride => "stride",
+            ValuePredictorKind::Eves => "eves",
+            ValuePredictorKind::H3vp => "h3vp",
+        };
+        let vpf = match vp_forwarding {
+            Some(t) => t.to_string(),
+            None => "none".to_string(),
+        };
+        write!(k, "bp:{bp};vp:{vp};fuw:{force_unopt_window};vpf:{vpf}")
+            .expect("writing to String cannot fail");
+        k
+    }
 }
 
 #[cfg(test)]
@@ -198,5 +347,59 @@ mod tests {
     fn config_constructors() {
         assert!(!PipelineConfig::baseline().frontend.has_scc());
         assert!(PipelineConfig::scc_full().frontend.has_scc());
+    }
+
+    #[test]
+    fn content_key_is_collision_free_across_single_field_edits() {
+        // The cache-identity property: flipping any one knob must change
+        // the key, and identical configs must produce identical keys.
+        let base = PipelineConfig::scc_full();
+        assert_eq!(base.content_key(), PipelineConfig::scc_full().content_key());
+        let mut variants: Vec<PipelineConfig> = Vec::new();
+        macro_rules! variant {
+            ($edit:expr) => {{
+                let mut v = base.clone();
+                #[allow(clippy::redundant_closure_call)]
+                ($edit)(&mut v);
+                variants.push(v);
+            }};
+        }
+        variant!(|v: &mut PipelineConfig| v.core.fetch_width = 7);
+        variant!(|v: &mut PipelineConfig| v.core.rob_entries = 64);
+        variant!(|v: &mut PipelineConfig| v.core.commit_width = 2);
+        variant!(|v: &mut PipelineConfig| v.core.div_latency += 1);
+        variant!(|v: &mut PipelineConfig| v.core.micro_fusion = false);
+        variant!(|v: &mut PipelineConfig| v.hierarchy.l1_latency += 1);
+        variant!(|v: &mut PipelineConfig| v.hierarchy.l1d.ways *= 2);
+        variant!(|v: &mut PipelineConfig| v.branch_predictor = BranchPredictorKind::Bimodal);
+        variant!(|v: &mut PipelineConfig| v.value_predictor = ValuePredictorKind::Stride);
+        variant!(|v: &mut PipelineConfig| v.force_unopt_window = 65);
+        variant!(|v: &mut PipelineConfig| v.vp_forwarding = Some(15));
+        variant!(|v: &mut PipelineConfig| {
+            if let FrontendMode::Scc { scc, .. } = &mut v.frontend {
+                scc.opts.branch_fold = false;
+            }
+        });
+        variant!(|v: &mut PipelineConfig| {
+            if let FrontendMode::Scc { scc, .. } = &mut v.frontend {
+                scc.max_constant_width = Some(8);
+            }
+        });
+        variant!(|v: &mut PipelineConfig| {
+            if let FrontendMode::Scc { scc, .. } = &mut v.frontend {
+                scc.confidence_threshold += 1;
+            }
+        });
+        variant!(|v: &mut PipelineConfig| {
+            if let FrontendMode::Scc { unopt, .. } = &mut v.frontend {
+                unopt.sets = 12;
+            }
+        });
+        variant!(|v: &mut PipelineConfig| v.frontend = FrontendMode::baseline());
+        let mut keys: Vec<String> = variants.iter().map(PipelineConfig::content_key).collect();
+        keys.push(base.content_key());
+        let unique: std::collections::HashSet<&str> =
+            keys.iter().map(String::as_str).collect();
+        assert_eq!(unique.len(), keys.len(), "content keys collided: {keys:#?}");
     }
 }

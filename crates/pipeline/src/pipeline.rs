@@ -15,6 +15,8 @@ use scc_isa::{
     branch_of, eval_alu, eval_complex, eval_fp, region, Addr, ArchSnapshot, CcFlags, FxHashMap,
     Memory, Op, Operand, Program, Reg, Uop, NUM_REGS,
 };
+#[cfg(any(debug_assertions, feature = "strict-invariants"))]
+use scc_isa::NUM_INT_REGS;
 use scc_memsys::MemoryHierarchy;
 use scc_predictors::{BranchPredictorUnit, ValuePredictor};
 use scc_uopcache::{CompactedStream, Invariant, OptPartition, UnoptPartition};
@@ -34,6 +36,7 @@ struct IdqEntry {
     stream_id: Option<u64>,
     stream_end: bool,
     stream_shrinkage: u32,
+    stream_tail: u32,
 }
 
 impl IdqEntry {
@@ -50,6 +53,7 @@ impl IdqEntry {
             stream_id: None,
             stream_end: false,
             stream_shrinkage: 0,
+            stream_tail: 0,
         }
     }
 }
@@ -329,7 +333,7 @@ impl<'p> Pipeline<'p> {
             }
             if e.is_ghost {
                 self.stats.committed_ghosts += 1;
-                self.stats.program_uops += e.stream_shrinkage as u64;
+                self.stats.program_uops += (e.stream_shrinkage + e.stream_tail) as u64;
                 if e.stream_end {
                     if let Some(scc) = &mut self.scc {
                         scc.profit.on_good_stream();
@@ -410,7 +414,11 @@ impl<'p> Pipeline<'p> {
                 });
             }
             self.stats.committed_uops += 1;
-            self.stats.program_uops += 1 + e.stream_shrinkage as u64;
+            // A mispredicted final element's tail covers the *assumed*
+            // post-entry path; the squash re-fetches the real one, which
+            // counts itself.
+            let tail = if e.mispredicted { 0 } else { e.stream_tail };
+            self.stats.program_uops += 1 + (e.stream_shrinkage + tail) as u64;
             if e.uop.op == Op::Halt {
                 self.halted = true;
                 break;
@@ -621,6 +629,8 @@ impl<'p> Pipeline<'p> {
         self.fetch_halted = false;
         self.fetch_blocked = false;
         self.pending_decode = None;
+        #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+        self.assert_squash_consistent(seq);
     }
 
     // ------------------------------------------------------------------
@@ -678,6 +688,10 @@ impl<'p> Pipeline<'p> {
 
     fn execute_entry(&mut self, i: usize) {
         let e = &self.rob[i];
+        // Folded micro-ops exist only as live-out ghosts, done at rename;
+        // one reaching an execution port would double-apply its effects.
+        #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+        assert!(!e.is_ghost, "live-out ghost (seq {}) reached execute", e.seq);
         let a = e.src1.value().expect("ready");
         let b = e.src2.value().expect("ready");
         let cc = match e.cc_src {
@@ -811,6 +825,7 @@ impl<'p> Pipeline<'p> {
                     mispredicted: false,
                     vp_forwarded: None,
                     stream_shrinkage: e.stream_shrinkage,
+                    stream_tail: e.stream_tail,
                 });
                 continue;
             }
@@ -887,6 +902,7 @@ impl<'p> Pipeline<'p> {
                 mispredicted: false,
                 vp_forwarded,
                 stream_shrinkage: e.stream_shrinkage,
+                stream_tail: e.stream_tail,
             });
             self.stats.renamed_uops += 1;
             if !instant {
@@ -1058,7 +1074,7 @@ impl<'p> Pipeline<'p> {
 
     /// Debug-build cross-check: the incremental per-address counter must
     /// equal a fresh scan of the stream buffer, IDQ, and ROB.
-    #[cfg(debug_assertions)]
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
     fn assert_inflight_consistent(&self) {
         let mut scan: FxHashMap<Addr, u32> = FxHashMap::default();
         for e in self.rob.iter().filter(|e| !e.is_ghost) {
@@ -1068,6 +1084,128 @@ impl<'p> Pipeline<'p> {
             *scan.entry(e.uop.macro_addr).or_insert(0) += 1;
         }
         assert_eq!(scan, self.inflight, "incremental in-flight counter diverged from queue scan");
+    }
+
+    /// Debug-build post-squash audit: after `squash_after(seq, _)` nothing
+    /// younger than `seq` may survive anywhere — not in the ROB (live-out
+    /// ghosts die with younger squashes like any other entry), not in the
+    /// IDQ or stream buffer, and not in the rename map. A stale rename-map
+    /// pointer into squashed state would resurrect a dead value on the
+    /// recovery path.
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    fn assert_squash_consistent(&self, seq: u64) {
+        assert!(self.idq.is_empty(), "IDQ drains on squash");
+        assert!(self.active_stream.is_empty(), "stream buffer drains on squash");
+        if let Some(e) = self.rob.iter().find(|e| e.seq > seq) {
+            panic!(
+                "entry seq {} (ghost: {}) survived squash_after({seq})",
+                e.seq, e.is_ghost
+            );
+        }
+        self.assert_inflight_consistent();
+        // Every ROB pointer in the rebuilt rename map must name the
+        // youngest surviving writer of its register, still in flight, with
+        // no younger inlined live-out shadowing it.
+        let fp_regs = (0..(NUM_REGS - NUM_INT_REGS) as u8).map(Reg::fp);
+        for r in Reg::all_int().chain(fp_regs) {
+            let Provider::Rob(s) = self.rmap.get(r) else { continue };
+            let youngest = self
+                .rob
+                .iter()
+                .filter(|e| !e.is_ghost && e.uop.dst == Some(r))
+                .max_by_key(|e| e.seq)
+                .unwrap_or_else(|| panic!("rename map for {r} points at seq {s}, not in ROB"));
+            assert_eq!(youngest.seq, s, "rename map for {r} must track the youngest writer");
+            assert!(!youngest.done, "done writers rebuild as values, not ROB pointers ({r})");
+            assert!(
+                !self
+                    .rob
+                    .iter()
+                    .any(|e| e.seq > s && e.pre_writes.iter().any(|&(pr, _)| pr == r)),
+                "inlined live-out for {r} is younger than its ROB pointer (seq {s})"
+            );
+        }
+        if let CcProvider::Rob(s) = self.rmap.cc() {
+            let youngest = self
+                .rob
+                .iter()
+                .filter(|e| !e.is_ghost && e.uop.writes_cc)
+                .max_by_key(|e| e.seq)
+                .unwrap_or_else(|| panic!("cc rename map points at seq {s}, not in ROB"));
+            assert_eq!(youngest.seq, s, "cc rename map must track the youngest flag writer");
+            assert!(!youngest.done, "done flag writers rebuild as values");
+            assert!(
+                !self.rob.iter().any(|e| e.seq > s && e.pre_cc.is_some()),
+                "inlined cc live-out is younger than the cc ROB pointer (seq {s})"
+            );
+        }
+    }
+
+    /// Debug-build stream audit at activation: the compaction engine's
+    /// output must be internally consistent before fetch trusts it. Every
+    /// prediction-source index lands in the invariant table, data sources
+    /// sit on the exact micro-op (`pc`, `slot`) they validate, and control
+    /// sources carry a `branch_next` that agrees with the invariant's
+    /// predicted target — commit validates the resolved branch against
+    /// `predicted_next`, so a disagreement here would squash a correct
+    /// prediction or, worse, commit a wrong one.
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    fn assert_stream_well_formed(&self, stream: &CompactedStream) {
+        assert!(
+            stream.credited_elided() <= stream.shrinkage(),
+            "stream {} credits {} eliminations across {} of total shrinkage",
+            stream.stream_id,
+            stream.credited_elided(),
+            stream.shrinkage()
+        );
+        for su in &stream.uops {
+            let Some(idx) = su.pred_source else { continue };
+            let inv = stream
+                .invariants
+                .get(idx)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "stream {}: pred_source index {idx} outside {} invariants",
+                        stream.stream_id,
+                        stream.invariants.len()
+                    )
+                })
+                .invariant;
+            match inv {
+                Invariant::Data { pc, slot, .. } => {
+                    assert_eq!(
+                        (su.uop.macro_addr, su.uop.slot),
+                        (pc, slot),
+                        "stream {}: data invariant anchored at {pc:#x}/{slot} rides the \
+                         micro-op at {:#x}/{}",
+                        stream.stream_id,
+                        su.uop.macro_addr,
+                        su.uop.slot
+                    );
+                }
+                Invariant::Control { pc, target, .. } => {
+                    assert!(
+                        su.uop.op.is_branch(),
+                        "stream {}: control invariant on non-branch {}",
+                        stream.stream_id,
+                        su.uop.op
+                    );
+                    assert_eq!(
+                        su.uop.macro_addr, pc,
+                        "stream {}: control invariant anchored at {pc:#x} rides the branch \
+                         at {:#x}",
+                        stream.stream_id, su.uop.macro_addr
+                    );
+                    assert_eq!(
+                        su.branch_next,
+                        Some(target),
+                        "stream {}: control source at {pc:#x} must validate against the \
+                         invariant target",
+                        stream.stream_id
+                    );
+                }
+            }
+        }
     }
 
     /// Checks the optimized partition at `pc`; on a profitable hit, loads
@@ -1087,7 +1225,7 @@ impl<'p> Pipeline<'p> {
             }
             None => {}
         }
-        #[cfg(debug_assertions)]
+        #[cfg(any(debug_assertions, feature = "strict-invariants"))]
         if self.cycle & 0x3ff == 0 {
             self.assert_inflight_consistent();
         }
@@ -1121,6 +1259,8 @@ impl<'p> Pipeline<'p> {
     }
 
     fn activate_stream(&mut self, stream: CompactedStream) {
+        #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+        self.assert_stream_well_formed(&stream);
         if let Some(tr) = &mut self.trace {
             tr.push(TraceEvent::StreamChosen {
                 cycle: self.cycle,
@@ -1130,6 +1270,13 @@ impl<'p> Pipeline<'p> {
             });
         }
         let n = stream.uops.len();
+        // Program-distance accounting: each surviving element carries the
+        // eliminations between its predecessor and itself, and the final
+        // element (ghost or not) carries the tail past the last survivor.
+        // A mid-flight squash therefore counts exactly the eliminated
+        // micro-ops its committed prefix covers; the re-fetched
+        // unoptimized path re-counts the rest one by one.
+        let tail_elided = stream.shrinkage().saturating_sub(stream.credited_elided());
         for (i, su) in stream.uops.iter().enumerate() {
             let next_real = stream
                 .uops
@@ -1150,11 +1297,12 @@ impl<'p> Pipeline<'p> {
                 // folded code.
                 e.predicted_next = Some(su.branch_next.unwrap_or(next_real));
             }
+            e.stream_shrinkage = su.elided_before;
             let has_final_ghost =
                 !stream.final_live_outs.is_empty() || stream.final_live_out_cc.is_some();
             if i + 1 == n && !has_final_ghost {
                 e.stream_end = true;
-                e.stream_shrinkage = stream.shrinkage();
+                e.stream_tail = tail_elided;
             }
             self.active_stream.push_back(e);
         }
@@ -1168,7 +1316,7 @@ impl<'p> Pipeline<'p> {
             ghost.pre_cc = stream.final_live_out_cc;
             ghost.stream_id = Some(stream.stream_id);
             ghost.stream_end = true;
-            ghost.stream_shrinkage = stream.shrinkage();
+            ghost.stream_tail = tail_elided;
             self.active_stream.push_back(ghost);
         }
         self.fetch_pc = stream.exit;

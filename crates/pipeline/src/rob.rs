@@ -99,9 +99,15 @@ pub struct RobEntry {
     /// Classic value-prediction forwarding: the value handed to
     /// dependents at rename, validated against the executed result.
     pub vp_forwarded: Option<i64>,
-    /// Micro-ops SCC eliminated from this entry's stream, credited at the
-    /// stream's final element for program-distance accounting.
+    /// Micro-ops SCC eliminated between this entry's stream predecessor
+    /// and this entry, committed into `program_uops` so program distance
+    /// stays exact even when a squash kills the stream's tail.
     pub stream_shrinkage: u32,
+    /// On the stream's final element only: micro-ops eliminated *after*
+    /// the last survivor. Counted at commit unless this entry itself
+    /// mispredicted — then the post-entry path was wrong and the
+    /// re-fetched unoptimized path re-counts the real continuation.
+    pub stream_tail: u32,
 }
 
 impl RobEntry {
@@ -274,6 +280,7 @@ mod tests {
             mispredicted: false,
             vp_forwarded: None,
             stream_shrinkage: 0,
+            stream_tail: 0,
         }
     }
 

@@ -338,6 +338,66 @@ fn vp_forwarding_misprediction_recovers_correctly() {
 }
 
 #[test]
+fn data_mispredict_with_pending_live_outs_recovers_exactly() {
+    // Deterministic regression for misprediction recovery under
+    // compaction. The loop trains data invariants over a folded chain
+    // whose dead values surface as live-outs — pending at the prediction
+    // source, final at the stream's trailing ghost. A *branchless*
+    // in-loop store flips the hot cell at iteration 900, so the value
+    // changes while the compacted stream is in flight: the streamed
+    // prediction-source load forwards the new value from the older
+    // in-flight store and resolves against the stale invariant, while
+    // the activation-time re-check (which consults the value predictor,
+    // still trained on the old value) cannot reject the stream first.
+    // Recovery must kill the pending live-outs and the trailing ghost,
+    // rebuild the rename map (the debug-build `assert_squash_consistent`
+    // audit runs on every squash here), and replay down the correct path
+    // to the exact architectural result.
+    let mut b = ProgramBuilder::new(0x1000);
+    b.word(0x9000, 10);
+    b.mov_imm(r(0), 0x9000);
+    b.mov_imm(r(1), 0); // acc
+    b.mov_imm(r(2), 0); // i
+    b.mov_imm(r(8), 67);
+    b.align_region();
+    let top = b.here();
+    b.load(r(3), r(0), 0); // data prediction source once compacted
+    b.add_imm(r(4), r(3), 2); // folds under the invariant
+    b.shl_imm(r(5), r(4), 1); // folds; dead value surfaces as a live-out
+    b.add(r(1), r(1), r(5)); // live chain
+    b.cmp_imm(r(2), 900);
+    b.setcc(Cond::Ge, r(6));
+    b.mul(r(7), r(6), r(8)); // 0 before iteration 900, 67 after
+    b.add_imm(r(9), r(7), 10);
+    b.store(r(9), r(0), 0); // branchless dataset flip at i == 900
+    b.add_imm(r(2), r(2), 1);
+    b.cmp_br_imm(Cond::Ne, r(2), 1800, top);
+    b.halt();
+    let p = b.build();
+
+    let res = run(&p, PipelineConfig::scc_full());
+    assert!(res.stats.streams_committed >= 1, "the loop must be compacted");
+    assert!(
+        res.stats.scc_data_squashes >= 1,
+        "the stale data invariant must be caught at validation: {:?}",
+        res.stats.scc_data_squashes
+    );
+    assert!(res.stats.invariants_failed >= 1, "validation failure must be counted");
+    assert!(res.stats.committed_ghosts > 0, "trailing live-out ghosts must commit");
+    // Exact architectural result: iterations 0..=900 load 10 (the flip
+    // stored at i == 900 is seen one iteration later), 901..1800 load 77.
+    assert_eq!(res.snapshot.regs[1], 901 * 24 + 899 * 158);
+    let mut m = Machine::new(&p);
+    m.run(10_000_000).unwrap();
+    assert_eq!(res.snapshot, m.snapshot(), "recovery must reconverge with the oracle");
+    // The whole scenario is deterministic: a second run reproduces the
+    // squash schedule cycle-for-cycle.
+    let again = run(&p, PipelineConfig::scc_full());
+    assert_eq!(again.stats, res.stats);
+    assert_eq!(again.snapshot, res.snapshot);
+}
+
+#[test]
 fn trace_records_the_compaction_narrative() {
     use scc_pipeline::TraceEvent;
     let p = invariant_loop(1500);

@@ -31,7 +31,7 @@ use scc_predictors::{BranchPredictorKind, ValuePredictorKind};
 use scc_uopcache::UopCacheConfig;
 use scc_workloads::Workload;
 
-pub use runner::{scc_jobs, Job, Runner};
+pub use runner::{parallel_map, scc_jobs, Job, JobError, Runner};
 
 /// The appendix's six experiment levels, cumulative.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

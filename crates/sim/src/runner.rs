@@ -73,16 +73,50 @@ impl<'a> Job<'a> {
     /// The content key identifying this job's result.
     ///
     /// Workload generation is deterministic, so `(name, scale)` pins the
-    /// program; the `Debug` rendering of the full [`PipelineConfig`]
-    /// pins every knob of the machine. Two jobs with equal keys are
-    /// guaranteed to produce identical results.
+    /// program; [`PipelineConfig::content_key`] pins every knob of the
+    /// machine by explicit field-by-field serialization (a `Debug`
+    /// rendering is *not* a stable identity — format changes or skipped
+    /// fields would silently alias or split cache entries). Two jobs
+    /// with equal keys are guaranteed to produce identical results.
     fn key(&self) -> String {
         format!(
-            "{}|iters={}|{}|max={}|{:?}",
-            self.workload.name, self.workload.scale.iters, self.level, self.max_cycles, self.config
+            "{}|iters={}|{}|max={}|{}",
+            self.workload.name,
+            self.workload.scale.iters,
+            self.level,
+            self.max_cycles,
+            self.config.content_key()
         )
     }
 }
+
+/// A job that could not produce a measurement: the workload exhausted its
+/// cycle budget without halting. Carries enough identity (workload,
+/// level, full config key) to reproduce the run.
+#[derive(Clone, Debug)]
+pub struct JobError {
+    /// Workload name.
+    pub workload: String,
+    /// Optimization level label of the failing job.
+    pub level: OptLevel,
+    /// The cycle budget that was exhausted.
+    pub max_cycles: u64,
+    /// Stable content key of the pipeline configuration (see
+    /// [`PipelineConfig::content_key`]).
+    pub config_key: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "workload `{}` did not halt within {} cycles at {} (config {})",
+            self.workload, self.max_cycles, self.level, self.config_key
+        )
+    }
+}
+
+impl std::error::Error for JobError {}
 
 /// Worker count: `SCC_JOBS` if set to a positive integer, otherwise the
 /// host's available parallelism.
@@ -107,30 +141,64 @@ fn timing_log() -> &'static Mutex<Vec<RunTiming>> {
 /// Runs one job to completion (the same semantics as
 /// [`crate::run_workload`], but from a raw config).
 ///
-/// # Panics
-///
-/// Panics if the workload exhausts the cycle budget without halting —
-/// that is a harness bug, not a measurement.
-fn execute(job: &Job<'_>) -> SimResult {
+/// A workload that exhausts its cycle budget without halting returns a
+/// [`JobError`] instead of panicking: a panic inside a scoped worker
+/// would abort the whole pool mid-run, whereas the error propagates to
+/// the submitting thread with the job's identity attached.
+fn execute(job: &Job<'_>) -> Result<SimResult, JobError> {
     let mut pipe = Pipeline::new(&job.workload.program, job.config.clone());
     let res = pipe.run(job.max_cycles);
-    assert_eq!(
-        res.outcome,
-        RunOutcome::Halted,
-        "{} did not halt within {} cycles at {}",
-        job.workload.name,
-        job.max_cycles,
-        job.level
-    );
+    if res.outcome != RunOutcome::Halted {
+        return Err(JobError {
+            workload: job.workload.name.to_string(),
+            level: job.level,
+            max_cycles: job.max_cycles,
+            config_key: job.config.content_key(),
+        });
+    }
     let energy = EnergyModel::icelake().energy(&energy_events(&res.stats));
-    SimResult {
+    Ok(SimResult {
         workload: job.workload.name.to_string(),
         level: job.level,
         stats: res.stats,
         energy,
         snapshot: res.snapshot,
         halted: true,
+    })
+}
+
+/// Fans `items` out over up to `workers` scoped threads, applying `f`
+/// to each and returning the results in item order regardless of which
+/// worker finished first. This is the pool underneath [`Runner::run`],
+/// exported so other harnesses (the `scc-check` differential driver)
+/// share one worker-pool implementation.
+pub fn parallel_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
     }
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    let next = AtomicUsize::new(0);
+    let workers = workers.clamp(1, items.len());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                done.lock().unwrap().push((i, r));
+            });
+        }
+    });
+    let mut done = done.into_inner().unwrap();
+    done.sort_by_key(|(i, _)| *i);
+    done.into_iter().map(|(_, r)| r).collect()
 }
 
 /// The experiment runner: a worker pool plus the shared result cache.
@@ -170,11 +238,28 @@ impl Runner {
 
     /// Runs a batch of jobs, returning results in job order.
     ///
+    /// # Panics
+    ///
+    /// Panics on the submitting thread if any job fails to halt within
+    /// its cycle budget, naming the workload and config; use
+    /// [`Runner::try_run`] to handle the failure instead.
+    pub fn run(&self, jobs: &[Job<'_>]) -> Vec<Arc<SimResult>> {
+        self.try_run(jobs).unwrap_or_else(|e| panic!("simulation job failed: {e}"))
+    }
+
+    /// Runs a batch of jobs, returning results in job order.
+    ///
     /// Cache hits are resolved up front; misses are deduplicated by
     /// content key and simulated on the worker pool. Results land back
     /// in their submission slots, so output ordering (and therefore any
     /// report built from it) is independent of worker scheduling.
-    pub fn run(&self, jobs: &[Job<'_>]) -> Vec<Arc<SimResult>> {
+    ///
+    /// A job whose workload does not halt within its cycle budget does
+    /// not panic inside the pool (which would abort every in-flight
+    /// worker); the failure propagates here as a [`JobError`] carrying
+    /// the workload name and full config key. Successfully simulated
+    /// jobs from the same batch still enter the cache.
+    pub fn try_run(&self, jobs: &[Job<'_>]) -> Result<Vec<Arc<SimResult>>, JobError> {
         let keys: Vec<String> = jobs.iter().map(Job::key).collect();
         let mut out: Vec<Option<Arc<SimResult>>> = vec![None; jobs.len()];
         let mut hits: Vec<RunTiming> = Vec::new();
@@ -200,34 +285,30 @@ impl Runner {
             }
         }
 
-        // Fan the misses out over the pool. Workers pull indices from a
-        // shared counter; each simulation is independent.
-        let done: Mutex<Vec<(usize, SimResult, f64)>> = Mutex::new(Vec::new());
-        if !misses.is_empty() {
-            let next = AtomicUsize::new(0);
-            let workers = self.jobs.min(misses.len());
-            std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| loop {
-                        let m = next.fetch_add(1, Ordering::Relaxed);
-                        if m >= misses.len() {
-                            break;
-                        }
-                        let job = &jobs[misses[m].0];
-                        let t0 = Instant::now();
-                        let r = execute(job);
-                        let secs = t0.elapsed().as_secs_f64();
-                        done.lock().unwrap().push((m, r, secs));
-                    });
-                }
+        // Fan the misses out over the shared pool; each simulation is
+        // independent and results come back in submission order.
+        let computed: Vec<(Result<SimResult, JobError>, f64)> =
+            parallel_map(self.jobs, &misses, |&(ji, _)| {
+                let t0 = Instant::now();
+                let r = execute(&jobs[ji]);
+                (r, t0.elapsed().as_secs_f64())
             });
-        }
 
-        // Publish results in deterministic (submission) order.
-        let mut done = done.into_inner().unwrap();
-        done.sort_by_key(|(m, _, _)| *m);
+        // Publish results in deterministic (submission) order. The good
+        // results of a batch with one bad job still land in the cache;
+        // the first error (by submission order) propagates after.
+        let mut first_err: Option<JobError> = None;
         let mut fresh: Vec<RunTiming> = Vec::new();
-        for (m, r, secs) in done {
+        for (&(ji, _), (res, secs)) in misses.iter().zip(computed) {
+            let r = match res {
+                Ok(r) => r,
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    continue;
+                }
+            };
             fresh.push(RunTiming {
                 workload: r.workload.clone(),
                 level: r.level.label(),
@@ -237,9 +318,17 @@ impl Runner {
             });
             let r = Arc::new(r);
             if self.use_cache {
-                cache().lock().unwrap().insert(keys[misses[m].0].clone(), Arc::clone(&r));
+                cache().lock().unwrap().insert(keys[ji].clone(), Arc::clone(&r));
             }
-            out[misses[m].0] = Some(r);
+            out[ji] = Some(r);
+        }
+        if self.use_cache {
+            let mut log = timing_log().lock().unwrap();
+            log.extend(fresh);
+            log.extend(hits);
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
 
         // Duplicate keys within the batch resolve off the freshly
@@ -252,12 +341,7 @@ impl Runner {
             }
         }
 
-        if self.use_cache {
-            let mut log = timing_log().lock().unwrap();
-            log.extend(fresh);
-            log.extend(hits);
-        }
-        out.into_iter().map(|r| r.expect("every job resolved")).collect()
+        Ok(out.into_iter().map(|r| r.expect("every job resolved")).collect())
     }
 }
 
@@ -364,6 +448,53 @@ mod tests {
             assert_eq!(a.stats, c.stats);
             assert_eq!(a.snapshot, c.snapshot);
         }
+    }
+
+    #[test]
+    fn job_keys_are_explicit_and_distinct() {
+        let scale = Scale::custom(250);
+        let w = workload("exchange", scale).unwrap();
+        let opts = SimOptions::new(OptLevel::Baseline);
+        let a = Job::new(&w, &opts);
+        let b = Job::new(&w, &opts);
+        assert_eq!(a.key(), b.key(), "identical jobs share a key");
+        let mut c = Job::new(&w, &opts);
+        c.config.core.rob_entries = 16;
+        assert_ne!(a.key(), c.key(), "a config edit must change the cache key");
+        let mut d = Job::new(&w, &opts);
+        d.max_cycles = 123;
+        assert_ne!(a.key(), d.key(), "the cycle budget is part of the key");
+    }
+
+    #[test]
+    fn budget_exhaustion_propagates_as_error_not_pool_abort() {
+        let scale = Scale::custom(260);
+        let ws: Vec<_> =
+            ["exchange", "freqmine"].iter().map(|n| workload(n, scale).unwrap()).collect();
+        let opts = SimOptions::new(OptLevel::Baseline);
+        let mut bad = Job::new(&ws[0], &opts);
+        bad.max_cycles = 2; // cannot halt in two cycles
+        let good = Job::new(&ws[1], &opts);
+        let runner = Runner::with_jobs(2);
+        let err = runner.try_run(&[bad, good.clone()]).unwrap_err();
+        assert_eq!(err.workload, "exchange");
+        assert_eq!(err.max_cycles, 2);
+        let msg = err.to_string();
+        assert!(msg.contains("did not halt within 2 cycles"), "{msg}");
+        assert!(msg.contains("core:"), "error must name the config: {msg}");
+        // The good job from the poisoned batch still completed and was
+        // cached; a retry without the bad job succeeds immediately.
+        let again = runner.try_run(&[good]).expect("good job survives the bad batch");
+        assert_eq!(again[0].workload, "freqmine");
+    }
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(8, &items, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(4, &empty, |&x: &u64| x).is_empty());
     }
 
     #[test]

@@ -91,6 +91,16 @@ pub struct StreamUop {
     /// validates the resolved branch against this — not against the next
     /// surviving micro-op's address, which skips folded code.
     pub branch_next: Option<Addr>,
+    /// Micro-ops the engine eliminated between the previous surviving
+    /// element and this one, in scan order. Program-distance accounting
+    /// credits eliminated work to the *oldest* surviving micro-op at or
+    /// after it, so a stream squashed mid-flight still counts exactly
+    /// the eliminated micro-ops its committed prefix covers (the
+    /// resumed unoptimized fetch re-executes — and re-counts — the
+    /// rest). Eliminations after the last surviving element are the
+    /// stream's tail: `shrinkage() - Σ elided_before`, credited at the
+    /// final element.
+    pub elided_before: u32,
 }
 
 impl StreamUop {
@@ -102,6 +112,7 @@ impl StreamUop {
             live_outs: Vec::new(),
             live_out_cc: None,
             branch_next: None,
+            elided_before: 0,
         }
     }
 }
@@ -167,6 +178,14 @@ impl CompactedStream {
     /// instructions").
     pub fn shrinkage(&self) -> u32 {
         self.orig_len.saturating_sub(self.uops.len() as u32)
+    }
+
+    /// Eliminated micro-ops credited to surviving elements via
+    /// [`StreamUop::elided_before`]; never exceeds [`shrinkage`]
+    /// (Self::shrinkage), and the difference is the tail credited at
+    /// the stream's final element.
+    pub fn credited_elided(&self) -> u32 {
+        self.uops.iter().map(|su| su.elided_before).sum()
     }
 
     /// Sum of all invariant confidence counters — one half of the
