@@ -35,12 +35,12 @@ fn scc_cfg(mutate: impl Fn(&mut SccConfig)) -> PipelineConfig {
 /// as one batch, then renders the usual normalized-time table (one
 /// column per variant, GEOMEAN row at the bottom).
 fn normalized_sweep(
+    runner: &Runner,
     scale: Scale,
     title: &str,
     header: &[&str],
     variants: &dyn Fn(&Workload) -> Vec<PipelineConfig>,
 ) -> String {
-    let runner = Runner::new();
     let ws = subset(scale);
     let nvar = header.len() - 1;
     let mut jobs: Vec<Job> = Vec::new();
@@ -84,8 +84,14 @@ fn normalized_sweep(
 /// reports "the best performance benefits are derived through aggressive
 /// speculation".
 pub fn ablate_confidence_threshold(scale: Scale) -> String {
+    ablate_confidence_threshold_with(&Runner::new(), scale)
+}
+
+/// [`ablate_confidence_threshold`] on an explicit runner.
+pub fn ablate_confidence_threshold_with(runner: &Runner, scale: Scale) -> String {
     let thresholds = [3u8, 5, 9, 15];
     normalized_sweep(
+        runner,
         scale,
         "== Ablation: SCC confidence threshold (normalized time vs baseline) ==\n",
         &["benchmark", "t=3", "t=5 (paper)", "t=9", "t=15"],
@@ -102,8 +108,14 @@ pub fn ablate_confidence_threshold(scale: Scale) -> String {
 /// queue with as low as 6 entries is capable of identifying several hot
 /// code regions".
 pub fn ablate_request_queue(scale: Scale) -> String {
+    ablate_request_queue_with(&Runner::new(), scale)
+}
+
+/// [`ablate_request_queue`] on an explicit runner.
+pub fn ablate_request_queue_with(runner: &Runner, scale: Scale) -> String {
     let depths = [1usize, 2, 6, 16];
     normalized_sweep(
+        runner,
         scale,
         "== Ablation: request queue depth (normalized time vs baseline) ==\n",
         &["benchmark", "q=1", "q=2", "q=6 (paper)", "q=16"],
@@ -114,8 +126,14 @@ pub fn ablate_request_queue(scale: Scale) -> String {
 /// Sweeps the write-buffer (maximum stream length) size; the paper sizes
 /// it at 18 micro-ops, the 3-way region capacity.
 pub fn ablate_write_buffer(scale: Scale) -> String {
+    ablate_write_buffer_with(&Runner::new(), scale)
+}
+
+/// [`ablate_write_buffer`] on an explicit runner.
+pub fn ablate_write_buffer_with(runner: &Runner, scale: Scale) -> String {
     let sizes = [6usize, 12, 18, 30];
     normalized_sweep(
+        runner,
         scale,
         "== Ablation: write buffer size (normalized time vs baseline) ==\n",
         &["benchmark", "wb=6", "wb=12", "wb=18 (paper)", "wb=30"],
@@ -126,8 +144,14 @@ pub fn ablate_write_buffer(scale: Scale) -> String {
 /// Sweeps the optimized partition's hotness decay period (paper: tuned
 /// to 3 cycles for optimized lines, 28 for unoptimized).
 pub fn ablate_hotness_decay(scale: Scale) -> String {
+    ablate_hotness_decay_with(&Runner::new(), scale)
+}
+
+/// [`ablate_hotness_decay`] on an explicit runner.
+pub fn ablate_hotness_decay_with(runner: &Runner, scale: Scale) -> String {
     let periods = [1u64, 3, 9, 28];
     normalized_sweep(
+        runner,
         scale,
         "== Ablation: optimized-partition hotness decay (normalized time) ==\n",
         &["benchmark", "d=1", "d=3 (paper)", "d=9", "d=28"],
@@ -154,7 +178,13 @@ pub fn ablate_hotness_decay(scale: Scale) -> String {
 /// the plain baseline vs SCC — quantifies how much of SCC's win plain
 /// forwarding could claim.
 pub fn ablate_vp_forwarding(scale: Scale) -> String {
+    ablate_vp_forwarding_with(&Runner::new(), scale)
+}
+
+/// [`ablate_vp_forwarding`] on an explicit runner.
+pub fn ablate_vp_forwarding_with(runner: &Runner, scale: Scale) -> String {
     normalized_sweep(
+        runner,
         scale,
         "== Ablation: classic VP forwarding vs SCC (normalized time) ==\n",
         &["benchmark", "baseline+vpfwd", "full-scc", "scc+vpfwd"],
@@ -171,8 +201,14 @@ pub fn ablate_vp_forwarding(scale: Scale) -> String {
 /// The paper's future-work extension: folding complex integer operations
 /// (`mul`/`div`/`rem`) in the front-end ALU.
 pub fn ablate_future_work(scale: Scale) -> String {
+    ablate_future_work_with(&Runner::new(), scale)
+}
+
+/// [`ablate_future_work`] on an explicit runner.
+pub fn ablate_future_work_with(runner: &Runner, scale: Scale) -> String {
     use scc_core::OptFlags;
     normalized_sweep(
+        runner,
         scale,
         "== Ablation: future-work complex-ALU folding (normalized time) ==\n",
         &["benchmark", "full-scc (paper)", "+complex-alu"],
@@ -183,7 +219,13 @@ pub fn ablate_future_work(scale: Scale) -> String {
 /// Micro-fusion on/off (the artifact's `--enable-micro-fusion`), for the
 /// baseline and for full SCC.
 pub fn ablate_micro_fusion(scale: Scale) -> String {
+    ablate_micro_fusion_with(&Runner::new(), scale)
+}
+
+/// [`ablate_micro_fusion`] on an explicit runner.
+pub fn ablate_micro_fusion_with(runner: &Runner, scale: Scale) -> String {
     normalized_sweep(
+        runner,
         scale,
         "== Ablation: micro-fusion (normalized time vs fused baseline) ==\n",
         &["benchmark", "base-nofuse", "scc-fused", "scc-nofuse"],
@@ -199,14 +241,19 @@ pub fn ablate_micro_fusion(scale: Scale) -> String {
 
 /// All ablations, concatenated.
 pub fn full_report(scale: Scale) -> String {
+    full_report_with(&Runner::new(), scale)
+}
+
+/// [`full_report`] on an explicit runner.
+pub fn full_report_with(runner: &Runner, scale: Scale) -> String {
     [
-        ablate_confidence_threshold(scale),
-        ablate_request_queue(scale),
-        ablate_write_buffer(scale),
-        ablate_hotness_decay(scale),
-        ablate_vp_forwarding(scale),
-        ablate_future_work(scale),
-        ablate_micro_fusion(scale),
+        ablate_confidence_threshold_with(runner, scale),
+        ablate_request_queue_with(runner, scale),
+        ablate_write_buffer_with(runner, scale),
+        ablate_hotness_decay_with(runner, scale),
+        ablate_vp_forwarding_with(runner, scale),
+        ablate_future_work_with(runner, scale),
+        ablate_micro_fusion_with(runner, scale),
     ]
     .join("\n")
 }

@@ -2,7 +2,7 @@
 //! (confidence threshold, request queue, write buffer, hotness decay,
 //! classic VP forwarding) on a representative workload subset.
 fn main() {
-    let scale = scc_bench::bench_scale();
-    print!("{}", scc_bench::ablations::full_report(scale));
+    let cfg = scc_bench::BenchConfig::from_env();
+    print!("{}", scc_bench::ablations::full_report_with(&cfg.runner(), cfg.scale));
     scc_bench::emit_throughput();
 }

@@ -1,6 +1,6 @@
 //! Regenerates the paper's Figure 6 from the synthetic suite.
 fn main() {
-    let scale = scc_bench::bench_scale();
-    print!("{}", scc_bench::fig6_report(scale));
+    let cfg = scc_bench::BenchConfig::from_env();
+    print!("{}", scc_bench::fig6_report_with(&cfg.runner(), cfg.scale));
     scc_bench::emit_throughput();
 }

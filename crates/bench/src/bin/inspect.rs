@@ -6,8 +6,15 @@
 //!
 //! Levels: baseline | partitioned | move-elim | fold+prop | branch-fold |
 //! full-scc (default full-scc).
+//!
+//! `--audit` re-runs the chosen level with an [`scc_core::AuditLog`]
+//! attached and prints the SCC decision histogram plus per-stream
+//! assumption counts, reconciled against the pipeline stats. A
+//! reconciliation mismatch exits non-zero.
 
-use scc_sim::{run_workload, OptLevel, SimOptions};
+use scc_core::AuditLog;
+use scc_isa::trace::shared;
+use scc_sim::{run_workload, run_workload_observed, OptLevel, SimOptions};
 use scc_workloads::{workload, Scale};
 
 fn parse_level(s: &str) -> OptLevel {
@@ -25,8 +32,13 @@ fn main() {
     let iters = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2000);
     let w = workload(name, Scale::custom(iters))
         .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let auditing = std::env::args().any(|a| a == "--audit");
     let base = run_workload(&w, &SimOptions::new(OptLevel::Baseline));
-    let r = run_workload(&w, &SimOptions::new(level));
+    let audit = auditing.then(|| shared(AuditLog::new()));
+    let r = match &audit {
+        Some(log) => run_workload_observed(&w, &SimOptions::new(level), log.clone()),
+        None => run_workload(&w, &SimOptions::new(level)),
+    };
     let s = &r.stats;
     println!("workload {name} @ {level} (iters {iters}) — {}", w.description);
     println!("cycles            {:>12} (baseline {}, norm {:.3})", s.cycles, base.stats.cycles,
@@ -61,5 +73,29 @@ fn main() {
         println!("\n== detailed energy (McPAT-style) ==");
         let model = scc_energy::EnergyModel::icelake();
         print!("{}", model.detailed_report(&scc_sim::energy_events(s)));
+    }
+    if let Some(log) = &audit {
+        let log = log.borrow();
+        println!("\n== SCC decision audit ==");
+        println!("uops scanned      {:>12}", log.decisions());
+        for (label, count) in log.decision_histogram() {
+            println!("  {label:<15} {count:>12}");
+        }
+        println!("assumption outcomes by stream (validated / failed-data / failed-control):");
+        for (stream, c) in log.per_stream() {
+            println!("  stream {stream:#x}: {} / {} / {}", c.validated, c.failed_data,
+                c.failed_control);
+        }
+        let ok = log.validated() == s.invariants_validated
+            && log.failed_data() == s.invariants_failed
+            && log.failed_control() == s.scc_control_squashes;
+        println!(
+            "reconciliation    validated {} vs {}, failed-data {} vs {}, failed-control {} vs {} — {}",
+            log.validated(), s.invariants_validated, log.failed_data(), s.invariants_failed,
+            log.failed_control(), s.scc_control_squashes,
+            if ok { "OK" } else { "MISMATCH" });
+        if !ok {
+            std::process::exit(1);
+        }
     }
 }

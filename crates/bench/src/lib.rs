@@ -23,13 +23,44 @@ use scc_predictors::ValuePredictorKind;
 use scc_workloads::{all_workloads, Scale, Suite, Workload};
 use std::sync::Arc;
 
-/// The workload scale used by the harness (`SCC_ITERS`, default 6000).
-pub fn bench_scale() -> Scale {
-    let iters = std::env::var("SCC_ITERS")
-        .ok()
-        .and_then(|v| v.parse::<i64>().ok())
-        .unwrap_or(6000);
-    Scale::custom(iters)
+/// The harness knobs that used to be ambient environment reads, as an
+/// explicit config. The `SCC_ITERS` / `SCC_JOBS` environment variables
+/// are consulted exactly once, by [`BenchConfig::from_env`] at each
+/// binary's edge — library code (and any embedder) works only with the
+/// explicit fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BenchConfig {
+    /// Workload scale in base loop iterations (`SCC_ITERS`).
+    pub scale: Scale,
+    /// Worker-pool size (`SCC_JOBS`).
+    pub jobs: usize,
+}
+
+impl BenchConfig {
+    /// Default workload scale (≈ 0.5–2M micro-ops per benchmark).
+    pub const DEFAULT_ITERS: i64 = 6000;
+
+    /// An explicit configuration (no environment involved).
+    pub fn new(scale: Scale, jobs: usize) -> BenchConfig {
+        BenchConfig { scale, jobs: jobs.max(1) }
+    }
+
+    /// Resolves `SCC_ITERS` (default [`Self::DEFAULT_ITERS`]) and
+    /// `SCC_JOBS` (default: available cores) — the binaries' single
+    /// environment read.
+    pub fn from_env() -> BenchConfig {
+        let iters = std::env::var("SCC_ITERS")
+            .ok()
+            .and_then(|v| v.parse::<i64>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(Self::DEFAULT_ITERS);
+        BenchConfig { scale: Scale::custom(iters), jobs: scc_sim::scc_jobs() }
+    }
+
+    /// The cached runner sized to this config.
+    pub fn runner(&self) -> Runner {
+        Runner::with_jobs(self.jobs)
+    }
 }
 
 /// Writes the accumulated simulation-throughput log to
@@ -430,8 +461,15 @@ mod tests {
     }
 
     #[test]
-    fn bench_scale_env_override() {
-        // Not set in tests: default.
-        assert!(bench_scale().iters >= 1);
+    fn bench_config_resolves_env_once_with_sane_defaults() {
+        // Not set in tests: defaults apply.
+        let cfg = BenchConfig::from_env();
+        assert!(cfg.scale.iters >= 1);
+        assert!(cfg.jobs >= 1);
+        assert_eq!(cfg.runner().jobs(), cfg.jobs);
+        // Explicit construction never touches the environment.
+        let explicit = BenchConfig::new(Scale::custom(123), 0);
+        assert_eq!(explicit.scale.iters, 123);
+        assert_eq!(explicit.jobs, 1, "worker count is clamped to at least 1");
     }
 }

@@ -21,6 +21,7 @@ use crate::alu::SccAlu;
 use crate::config::SccConfig;
 use crate::probes::{BranchProbe, UopSource, ValueProbe};
 use crate::regfile::RegContextTable;
+use scc_isa::trace::{Transformation, UopDecision};
 use scc_isa::{eval_cond, region, Addr, Op, Operand, Uop};
 use scc_uopcache::{CompactedStream, ElimBreakdown, Invariant, StreamUop, TaggedInvariant};
 use std::collections::VecDeque;
@@ -138,6 +139,8 @@ pub struct CompactionEngine {
     next_stream_id: u64,
     stats: EngineStats,
     last_cycles: u64,
+    audit: bool,
+    audit_log: Vec<UopDecision>,
 }
 
 // Per-pass mutable context.
@@ -152,6 +155,8 @@ struct Pass {
     orig_len: u32,
     crossed_block: bool,
     home_region: Addr,
+    // Per-uop decision records, collected only when audit is on.
+    audit: Option<Vec<UopDecision>>,
 }
 
 enum Step {
@@ -180,7 +185,31 @@ impl CompactionEngine {
             next_stream_id: 1,
             stats: EngineStats::default(),
             last_cycles: 0,
+            audit: false,
+            audit_log: Vec::new(),
         }
+    }
+
+    /// Turns per-micro-op decision recording on or off. When on, every
+    /// [`compact`](Self::compact) call records one [`UopDecision`] per
+    /// consumed micro-op, retrievable with
+    /// [`take_decisions`](Self::take_decisions).
+    pub fn set_audit(&mut self, enabled: bool) {
+        self.audit = enabled;
+        if !enabled {
+            self.audit_log.clear();
+        }
+    }
+
+    /// True when decision recording is on.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit
+    }
+
+    /// Drains the decision records of the most recent
+    /// [`compact`](Self::compact) call (empty unless audit is on).
+    pub fn take_decisions(&mut self) -> Vec<UopDecision> {
+        std::mem::take(&mut self.audit_log)
     }
 
     /// The engine's configuration.
@@ -227,6 +256,7 @@ impl CompactionEngine {
             orig_len: 0,
             crossed_block: false,
             home_region: region(entry),
+            audit: self.audit.then(Vec::new),
         };
         let mut cursor = entry;
         let mut cycles: u64 = 0;
@@ -286,6 +316,7 @@ impl CompactionEngine {
                             AbortReason::SelfLoopingMacro => self.stats.aborted_self_loop += 1,
                             AbortReason::SelfModifyingCode => self.stats.aborted_smc += 1,
                         }
+                        self.audit_log = pass.audit.take().unwrap_or_default();
                         return CompactionOutcome::Aborted(reason);
                     }
                 }
@@ -299,7 +330,21 @@ impl CompactionEngine {
             cursor = macro_next;
         }
         self.last_cycles = cycles + 1; // +1 to commit the write buffer
+        self.audit_log = pass.audit.take().unwrap_or_default();
         self.finish(pass, entry, exit)
+    }
+
+    // Records the decision for one consumed micro-op (no-op unless audit
+    // is on).
+    fn note(&self, pass: &mut Pass, uop: &Uop, action: Transformation) {
+        if let Some(log) = pass.audit.as_mut() {
+            log.push(UopDecision {
+                pc: uop.macro_addr,
+                slot: uop.slot,
+                op: uop.op.to_string(),
+                action,
+            });
+        }
     }
 
     fn finish(&mut self, mut pass: Pass, entry: Addr, exit: Addr) -> CompactionOutcome {
@@ -386,10 +431,14 @@ impl CompactionEngine {
             return Step::StopBefore;
         }
         match uop.op {
-            Op::Halt => Step::StopAfterKeep(StreamUop::plain(uop.clone())),
+            Op::Halt => {
+                self.note(pass, uop, Transformation::Kept);
+                Step::StopAfterKeep(StreamUop::plain(uop.clone()))
+            }
             Op::Nop => {
                 if self.config.opts.const_fold {
                     self.count_elim(pass, |b| &mut b.fold);
+                    self.note(pass, uop, Transformation::Fold);
                     Step::Eliminated
                 } else {
                     self.keep(uop, vp, pass, false)
@@ -434,8 +483,10 @@ impl CompactionEngine {
                     }
                     if is_move {
                         self.count_elim(pass, |bd| &mut bd.move_elim);
+                        self.note(pass, uop, Transformation::MoveElim);
                     } else {
                         self.count_elim(pass, |bd| &mut bd.fold);
+                        self.note(pass, uop, Transformation::Fold);
                     }
                     return Step::Eliminated;
                 }
@@ -456,6 +507,7 @@ impl CompactionEngine {
                         pass.rct.set(dst, v, false);
                     }
                     self.count_elim(pass, |bd| &mut bd.fold);
+                    self.note(pass, uop, Transformation::Fold);
                     return Step::Eliminated;
                 }
             }
@@ -477,10 +529,12 @@ impl CompactionEngine {
                 let target = uop.target.expect("jmp has target");
                 if self.config.opts.branch_fold {
                     self.count_elim(pass, |bd| &mut bd.branch_fold);
+                    self.note(pass, uop, Transformation::BranchFold);
                     Step::ElimAndPivot(target)
                 } else {
                     let mut s = StreamUop::plain(uop.clone());
                     s.branch_next = Some(target);
+                    self.note(pass, uop, Transformation::ControlPivot);
                     Step::KeepAndPivot(s, target)
                 }
             }
@@ -491,11 +545,13 @@ impl CompactionEngine {
                 if self.config.opts.branch_fold && self.config.constant_fits(ret_addr) {
                     pass.rct.set(link, ret_addr, false);
                     self.count_elim(pass, |bd| &mut bd.branch_fold);
+                    self.note(pass, uop, Transformation::BranchFold);
                     Step::ElimAndPivot(target)
                 } else {
                     pass.rct.set(link, ret_addr, true);
                     let mut s = StreamUop::plain(uop.clone());
                     s.branch_next = Some(target);
+                    self.note(pass, uop, Transformation::ControlPivot);
                     Step::KeepAndPivot(s, target)
                 }
             }
@@ -505,10 +561,12 @@ impl CompactionEngine {
                     // whose target value is speculatively known.
                     if self.config.opts.branch_fold {
                         self.count_elim(pass, |bd| &mut bd.branch_fold);
+                        self.note(pass, uop, Transformation::BranchFold);
                         return Step::ElimAndPivot(v as Addr);
                     }
                     let mut s = self.rewrite_operands(uop, pass);
                     s.branch_next = Some(v as Addr);
+                    self.note(pass, uop, Transformation::ControlPivot);
                     return Step::KeepAndPivot(s, v as Addr);
                 }
                 self.control_invariant(uop, bp, pass)
@@ -522,10 +580,12 @@ impl CompactionEngine {
                         if self.config.opts.branch_fold {
                             // Speculative branch folding (paper Fig. 3(b)).
                             self.count_elim(pass, |bd| &mut bd.branch_fold);
+                            self.note(pass, uop, Transformation::BranchFold);
                             return Step::ElimAndPivot(dest);
                         }
                         let mut s = self.rewrite_operands(uop, pass);
                         s.branch_next = Some(dest);
+                        self.note(pass, uop, Transformation::ControlPivot);
                         return Step::KeepAndPivot(s, dest);
                     }
                 }
@@ -542,10 +602,12 @@ impl CompactionEngine {
                     let dest = if taken { uop.target.expect("cmpbr target") } else { fallthrough };
                     if self.config.opts.branch_fold {
                         self.count_elim(pass, |bd| &mut bd.branch_fold);
+                        self.note(pass, uop, Transformation::BranchFold);
                         return Step::ElimAndPivot(dest);
                     }
                     let mut s = self.rewrite_operands(uop, pass);
                     s.branch_next = Some(dest);
+                    self.note(pass, uop, Transformation::ControlPivot);
                     return Step::KeepAndPivot(s, dest);
                 }
                 self.control_invariant(uop, bp, pass)
@@ -585,6 +647,11 @@ impl CompactionEngine {
         ));
         pass.ctrl_inv += 1;
         pass.crossed_block = true;
+        self.note(
+            pass,
+            uop,
+            Transformation::ControlInvariantSource { confidence: pred.confidence },
+        );
         Step::KeepAndPivot(s, target)
     }
 
@@ -649,6 +716,11 @@ impl CompactionEngine {
                     if uop.writes_cc {
                         pass.rct.invalidate_cc();
                     }
+                    self.note(
+                        pass,
+                        uop,
+                        Transformation::DataInvariantSource { confidence: pred.confidence },
+                    );
                     return Step::Keep(s);
                 }
             }
@@ -659,6 +731,12 @@ impl CompactionEngine {
         }
         if uop.writes_cc {
             pass.rct.invalidate_cc();
+        }
+        if pass.audit.is_some() {
+            let rewritten = s.uop.src1 != uop.src1 || s.uop.src2 != uop.src2;
+            let action =
+                if rewritten { Transformation::Propagate } else { Transformation::Kept };
+            self.note(pass, uop, action);
         }
         Step::Keep(s)
     }

@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 mod alu;
+pub mod audit;
 mod config;
 mod engine;
 mod probes;
@@ -68,6 +69,7 @@ mod profit;
 mod regfile;
 
 pub use alu::SccAlu;
+pub use audit::{AssumptionCounts, AuditLog};
 pub use config::{OptFlags, SccConfig};
 pub use engine::{AbortReason, CompactionEngine, CompactionOutcome, CompactionRequest, RequestQueue};
 pub use probes::{BranchProbe, NoBranchProbe, NoValueProbe, UopSource, ValueProbe};

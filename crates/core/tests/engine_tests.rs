@@ -94,6 +94,82 @@ fn figure_3a_data_invariant_fold_and_propagate() {
 }
 
 #[test]
+fn audit_records_one_decision_per_consumed_uop() {
+    use scc_isa::Transformation;
+    // Same shape as figure_3a: movi / load (predicted) / addi / add / halt.
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(0), 0x9000);
+    b.load(r(1), r(0), 0);
+    b.add_imm(r(2), r(1), 2);
+    b.add(r(4), r(2), r(5));
+    b.halt();
+    let p = b.build();
+    let mut vp = LastValue::new();
+    let load_pc = p.insts()[1].addr;
+    for _ in 0..10 {
+        vp.train(load_pc, 10);
+    }
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    engine.set_audit(true);
+    assert!(engine.audit_enabled());
+    let s = commit(engine.compact(0x1000, &p, &vp, &NoBranchProbe));
+    let decisions = engine.take_decisions();
+    assert_eq!(decisions.len() as u32, s.orig_len, "one decision per consumed micro-op");
+    let actions: Vec<&str> = decisions.iter().map(|d| d.action.label()).collect();
+    assert_eq!(
+        actions,
+        vec!["move-elim", "data-invariant-source", "fold", "propagate", "kept"]
+    );
+    match decisions[1].action {
+        Transformation::DataInvariantSource { confidence } => assert!(confidence > 0),
+        other => panic!("expected data invariant source, got {other:?}"),
+    }
+    assert_eq!(decisions[1].pc, load_pc);
+    // Drained: a second take returns nothing.
+    assert!(engine.take_decisions().is_empty());
+    // With audit off, compaction records nothing.
+    engine.set_audit(false);
+    commit(engine.compact(0x1000, &p, &vp, &NoBranchProbe));
+    assert!(engine.take_decisions().is_empty());
+}
+
+#[test]
+fn audit_labels_branch_decisions() {
+    // An unknown-condition branch, strongly predicted taken, is audited
+    // as a control-invariant source carrying the predictor's confidence.
+    let mut b = ProgramBuilder::new(0x1000);
+    let t = b.label();
+    b.cmp_br_imm(Cond::Eq, r(7), 0, t); // r7 unknown
+    b.mov_imm(r(9), 1); // not on predicted path
+    b.bind(t);
+    b.mov_imm(r(2), 5);
+    b.halt();
+    let p = b.build();
+    let mut bp = BranchPredictorUnit::new(BranchPredictorKind::TageLite);
+    {
+        let branch = &p.insts()[0].uops[0];
+        let target = branch.target.unwrap();
+        for _ in 0..64 {
+            bp.update(branch, true, target, false);
+        }
+    }
+    let mut engine = CompactionEngine::new(SccConfig::full());
+    engine.set_audit(true);
+    let _ = engine.compact(0x1000, &p, &NoValueProbe, &bp);
+    let decisions = engine.take_decisions();
+    let labels: Vec<&str> = decisions.iter().map(|d| d.action.label()).collect();
+    assert!(
+        labels.contains(&"control-invariant-source"),
+        "trained branch should be a control-invariant source: {labels:?}"
+    );
+    let src = decisions
+        .iter()
+        .find(|d| d.action.label() == "control-invariant-source")
+        .unwrap();
+    assert!(src.action.confidence().unwrap() > 0);
+}
+
+#[test]
 fn pure_constant_chain_folds_completely() {
     let mut b = ProgramBuilder::new(0x1000);
     b.mov_imm(r(1), 6);

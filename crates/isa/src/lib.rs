@@ -45,6 +45,7 @@ mod program;
 pub mod rand_prog;
 mod reg;
 mod semantics;
+pub mod trace;
 mod uop;
 
 pub use asm::{Label, ProgramBuilder};
@@ -57,6 +58,7 @@ pub use semantics::{
     branch_of, eval_alu, eval_complex, eval_cond, eval_fp, is_branch, is_foldable_int, AluResult,
     BranchOutcome,
 };
+pub use trace::{Event, Sink, SinkHandle, Transformation, UopDecision};
 pub use uop::{Addr, Cond, Op, Operand, Uop};
 
 /// Size in bytes of the native code regions SCC optimizes over.

@@ -54,6 +54,15 @@ impl CacheStats {
         self.hits + self.misses
     }
 
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    ///
+    /// The exhaustive destructuring makes this the single source of truth:
+    /// adding a field without listing it here fails to compile.
+    pub fn counters(&self) -> [(&'static str, u64); 2] {
+        let CacheStats { hits, misses } = *self;
+        [("hits", hits), ("misses", misses)]
+    }
+
     /// Hit rate in `[0, 1]`; 0 when never accessed.
     pub fn hit_rate(&self) -> f64 {
         if self.accesses() == 0 {

@@ -104,6 +104,23 @@ pub struct HierarchyStats {
     pub dram: u64,
 }
 
+impl HierarchyStats {
+    /// Every counter as a dotted `(name, value)` pair (e.g. `l1i.hits`),
+    /// in declaration order. The exhaustive destructuring makes this the
+    /// single source of truth: a new field fails to compile until listed.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let HierarchyStats { l1i, l1d, l2, l3, dram } = self;
+        let mut out = Vec::with_capacity(9);
+        for (level, stats) in [("l1i", l1i), ("l1d", l1d), ("l2", l2), ("l3", l3)] {
+            for (name, value) in stats.counters() {
+                out.push((format!("{level}.{name}"), value));
+            }
+        }
+        out.push(("dram.accesses".to_string(), *dram));
+        out
+    }
+}
+
 /// The composed memory hierarchy.
 #[derive(Clone, Debug)]
 pub struct MemoryHierarchy {

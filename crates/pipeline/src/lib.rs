@@ -37,5 +37,5 @@ pub mod trace;
 pub use config::{CoreParams, FrontendMode, PipelineConfig};
 pub use pipeline::{Pipeline, PipelineResult, RunOutcome};
 pub use rob::FetchSource;
-pub use stats::PipelineStats;
+pub use stats::{Metric, MetricValue, PipelineStats};
 pub use trace::{Trace, TraceEvent};

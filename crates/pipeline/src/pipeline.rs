@@ -11,6 +11,7 @@ use scc_core::{
     CompactionEngine, CompactionOutcome, CompactionRequest, MispredictCause, ProfitabilityUnit,
     RequestQueue, StreamChoice, UopSource,
 };
+use scc_isa::trace::{Event, SharedSink, SinkHandle};
 use scc_isa::{
     branch_of, eval_alu, eval_complex, eval_fp, region, Addr, ArchSnapshot, CcFlags, FxHashMap,
     Memory, Op, Operand, Program, Reg, Uop, NUM_REGS,
@@ -145,6 +146,12 @@ pub struct Pipeline<'p> {
     next_seq: u64,
     stats: PipelineStats,
     trace: Option<Trace>,
+    /// Structured observability sink (disabled by default; see
+    /// [`Pipeline::attach_sink`]).
+    obs: SinkHandle,
+    /// Fetch-mix interval tracker: (interval start cycle, icache, unopt,
+    /// opt) counter snapshots at the start of the current interval.
+    obs_fetch_mark: (u64, u64, u64, u64),
 }
 
 impl<'p> Pipeline<'p> {
@@ -192,9 +199,34 @@ impl<'p> Pipeline<'p> {
             next_seq: 1,
             stats: PipelineStats::default(),
             trace: None,
+            obs: SinkHandle::disabled(),
+            obs_fetch_mark: (0, 0, 0, 0),
             program,
             cfg,
         }
+    }
+
+    /// Attaches a structured observability sink: fetch-mix intervals,
+    /// compaction passes with per-micro-op decisions, stream lifecycle,
+    /// squash windows, and assumption validation outcomes all flow to it.
+    /// Also enables the compaction engine's decision audit. With no sink
+    /// attached every emission site is a single branch on a `None`.
+    pub fn attach_sink(&mut self, sink: SharedSink) {
+        let handle = SinkHandle::attached(sink);
+        self.unopt.attach_sink(handle.clone());
+        if let Some(opt) = &mut self.opt {
+            opt.attach_sink(handle.clone());
+        }
+        if let Some(scc) = &mut self.scc {
+            scc.engine.set_audit(true);
+        }
+        self.obs_fetch_mark = (
+            self.cycle,
+            self.stats.uops_from_icache,
+            self.stats.uops_from_unopt,
+            self.stats.uops_from_opt,
+        );
+        self.obs = handle;
     }
 
     /// Enables high-level tracing (commits, squashes, stream choices,
@@ -276,9 +308,39 @@ impl<'p> Pipeline<'p> {
         }
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+        if self.cycle & 0xfff == 0 {
+            self.emit_fetch_interval();
+        }
+    }
+
+    /// Closes the current fetch-mix interval and emits it (no-op when the
+    /// sink is disabled or the interval is empty).
+    fn emit_fetch_interval(&mut self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let (start, i0, u0, o0) = self.obs_fetch_mark;
+        if self.cycle == start {
+            return;
+        }
+        let (i1, u1, o1) = (
+            self.stats.uops_from_icache,
+            self.stats.uops_from_unopt,
+            self.stats.uops_from_opt,
+        );
+        let cycle = self.cycle;
+        self.obs.emit(|| Event::FetchInterval {
+            start_cycle: start,
+            end_cycle: cycle,
+            icache: i1 - i0,
+            unopt: u1 - u0,
+            opt: o1 - o0,
+        });
+        self.obs_fetch_mark = (cycle, i1, u1, o1);
     }
 
     fn finish(&mut self) -> PipelineResult {
+        self.emit_fetch_interval();
         self.stats.hierarchy = self.hier.stats();
         self.stats.unopt = self.unopt.stats();
         if let Some(opt) = &self.opt {
@@ -388,7 +450,7 @@ impl<'p> Pipeline<'p> {
             }
             // Invariant confidence reward for validated prediction
             // sources.
-            if let Some((sid, idx, _)) = e.pred_source {
+            if let Some((sid, idx, inv)) = e.pred_source {
                 // A mismatched source still commits (the squash removes
                 // only younger entries); its penalty was applied at
                 // resolution, so only clean sources earn a reward.
@@ -396,6 +458,16 @@ impl<'p> Pipeline<'p> {
                     if let Some(opt) = &mut self.opt {
                         opt.reward(sid, idx);
                         self.stats.invariants_validated += 1;
+                        let cycle = self.cycle;
+                        self.obs.emit(|| Event::AssumptionValidated {
+                            cycle,
+                            stream_id: sid,
+                            invariant: idx,
+                            kind: match inv {
+                                Invariant::Data { .. } => "data",
+                                Invariant::Control { .. } => "control",
+                            },
+                        });
                     }
                 }
             }
@@ -509,6 +581,15 @@ impl<'p> Pipeline<'p> {
                     self.stats.invariants_failed += 1;
                     self.rob[i].mispredicted = true;
                     let resume = self.rob[i].uop.next_addr();
+                    let pc = self.rob[i].uop.macro_addr;
+                    let cycle = self.cycle;
+                    self.obs.emit(|| Event::AssumptionFailed {
+                        cycle,
+                        stream_id: sid,
+                        invariant: idx,
+                        kind: "data",
+                        pc,
+                    });
                     if squash.is_none_or(|(s, ..)| seq < s) {
                         squash =
                             Some((seq, resume, MispredictCause::DataInvariant, Some((sid, idx))));
@@ -557,6 +638,9 @@ impl<'p> Pipeline<'p> {
         let from_opt = offender.source == FetchSource::Opt;
         let was_source = offender.pred_source.is_some();
         let offender_region = region(offender.uop.macro_addr);
+        let offender_pc = offender.uop.macro_addr;
+        let offender_stream = offender.stream_id;
+        let offender_source = offender.pred_source;
         if let (Some((sid, idx)), Some(opt)) = (stream_penalty, self.opt.as_mut()) {
             opt.penalize(sid, idx);
             // Streams whose invariants have been penalized to zero are
@@ -574,15 +658,42 @@ impl<'p> Pipeline<'p> {
         }
         match cause {
             MispredictCause::DataInvariant => self.stats.scc_data_squashes += 1,
-            MispredictCause::ControlInvariant => self.stats.scc_control_squashes += 1,
+            MispredictCause::ControlInvariant => {
+                self.stats.scc_control_squashes += 1;
+                // Data-invariant failures are reported at validation in
+                // `complete` (several may be detected per cycle, one
+                // squash); control failures are 1:1 with their squash.
+                if let Some((sid, idx, _)) = offender_source {
+                    let cycle = self.cycle;
+                    self.obs.emit(|| Event::AssumptionFailed {
+                        cycle,
+                        stream_id: sid,
+                        invariant: idx,
+                        kind: "control",
+                        pc: offender_pc,
+                    });
+                }
+            }
             MispredictCause::PlainBranch => self.stats.branch_squashes += 1,
             MispredictCause::Other => {}
         }
-        self.squash_after(seq, new_pc);
+        let label = match cause {
+            MispredictCause::DataInvariant => "scc-data",
+            MispredictCause::ControlInvariant => "scc-control",
+            MispredictCause::PlainBranch => "branch",
+            MispredictCause::Other => "vp-forward",
+        };
+        self.squash_after(seq, new_pc, label, offender_stream);
     }
 
     /// Flushes everything younger than `seq` and redirects fetch.
-    fn squash_after(&mut self, seq: u64, new_pc: Addr) {
+    fn squash_after(
+        &mut self,
+        seq: u64,
+        new_pc: Addr,
+        cause: &'static str,
+        stream_id: Option<u64>,
+    ) {
         self.stats.squashes += 1;
         let squashed_rob = self.rob.iter().filter(|e| e.seq > seq && !e.is_ghost).count() as u64;
         let squashed_q = (self.idq.iter().filter(|e| !e.is_ghost).count()
@@ -594,8 +705,21 @@ impl<'p> Pipeline<'p> {
                 cycle: self.cycle,
                 at_seq: seq,
                 new_pc,
-                cause: "mispredict",
+                cause,
                 flushed: squashed_rob + squashed_q,
+            });
+        }
+        {
+            let cycle = self.cycle;
+            let resume_cycle = cycle + self.cfg.core.mispredict_penalty;
+            let flushed = squashed_rob + squashed_q;
+            self.obs.emit(|| Event::SquashWindow {
+                cycle,
+                resume_cycle,
+                cause,
+                new_pc,
+                flushed,
+                stream_id,
             });
         }
         {
@@ -948,6 +1072,30 @@ impl<'p> Pipeline<'p> {
                             shrinkage,
                         });
                     }
+                    if self.obs.is_enabled() {
+                        let stream_id = match &outcome {
+                            CompactionOutcome::Committed(s) => Some(s.stream_id),
+                            _ => None,
+                        };
+                        let (start_cycle, end_cycle) = (self.cycle, scc.busy_until);
+                        let (reg, entry) = (req.region, req.entry);
+                        self.obs.emit(|| Event::CompactionPass {
+                            start_cycle,
+                            end_cycle,
+                            region: reg,
+                            entry,
+                            outcome: label,
+                            shrinkage,
+                            stream_id,
+                        });
+                        for decision in scc.engine.take_decisions() {
+                            self.obs.emit(|| Event::Decision {
+                                region: reg,
+                                stream_id,
+                                decision,
+                            });
+                        }
+                    }
                     match outcome {
                         CompactionOutcome::Committed(stream) => {
                             scc.pending = Some((req.region, stream));
@@ -1268,6 +1416,11 @@ impl<'p> Pipeline<'p> {
                 pc: stream.entry,
                 len: stream.uops.len(),
             });
+        }
+        {
+            let cycle = self.cycle;
+            let (stream_id, pc, len) = (stream.stream_id, stream.entry, stream.uops.len());
+            self.obs.emit(|| Event::StreamActivated { cycle, stream_id, pc, len });
         }
         let n = stream.uops.len();
         // Program-distance accounting: each surviving element carries the

@@ -1,9 +1,39 @@
 //! Pipeline statistics: every event the figures and the energy model
-//! need.
+//! need, plus the typed metrics registry ([`PipelineStats::metrics`])
+//! that exposes each of them as a `(name, value)` pair.
 
 use crate::rob::FetchSource;
 use scc_memsys::HierarchyStats;
 use scc_uopcache::{OptPartitionStats, UnoptPartitionStats};
+
+/// One registered metric value: a monotonic event count or a derived
+/// ratio.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Derived floating-point gauge (rates, ratios).
+    Gauge(f64),
+}
+
+/// One named metric, as iterated by [`PipelineStats::metrics`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    /// Dotted metric name (e.g. `opt.inserts`, `l1i.hits`, `ipc`).
+    pub name: String,
+    /// The value.
+    pub value: MetricValue,
+}
+
+impl Metric {
+    fn counter(name: impl Into<String>, value: u64) -> Metric {
+        Metric { name: name.into(), value: MetricValue::Counter(value) }
+    }
+
+    fn gauge(name: impl Into<String>, value: f64) -> Metric {
+        Metric { name: name.into(), value: MetricValue::Gauge(value) }
+    }
+}
 
 /// Aggregate event counts from one simulation.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -131,6 +161,111 @@ impl PipelineStats {
             FetchSource::Opt => self.uops_from_opt,
         }
     }
+
+    /// Every counter of the run (including the nested hierarchy and
+    /// partition counters, with dotted prefixes) plus the derived gauges,
+    /// as a flat list of named metrics.
+    ///
+    /// The exhaustive destructuring below is the registry's single source
+    /// of truth: adding a stats field without listing it here fails to
+    /// compile, so serialized metrics can never silently lag the struct.
+    pub fn metrics(&self) -> Vec<Metric> {
+        let PipelineStats {
+            cycles,
+            committed_uops,
+            program_uops,
+            committed_ghosts,
+            live_out_writes,
+            uops_from_icache,
+            uops_from_unopt,
+            uops_from_opt,
+            squashed_uops,
+            squashes,
+            scc_data_squashes,
+            scc_control_squashes,
+            branch_squashes,
+            branches_resolved,
+            branches_mispredicted,
+            vp_trains,
+            vp_forwards,
+            vp_forward_fails,
+            vp_probes,
+            invariants_validated,
+            invariants_failed,
+            compactions,
+            streams_committed,
+            compactions_discarded,
+            compactions_aborted,
+            scc_busy_cycles,
+            scc_alu_ops,
+            renamed_uops,
+            exec_alu,
+            exec_muldiv,
+            exec_fp,
+            exec_loads,
+            exec_stores,
+            bp_lookups,
+            uopcache_lookups,
+            decoded_macros,
+            hierarchy,
+            unopt,
+            opt,
+        } = self;
+        let mut out = Vec::with_capacity(64);
+        for (name, value) in [
+            ("cycles", *cycles),
+            ("committed_uops", *committed_uops),
+            ("program_uops", *program_uops),
+            ("committed_ghosts", *committed_ghosts),
+            ("live_out_writes", *live_out_writes),
+            ("uops_from_icache", *uops_from_icache),
+            ("uops_from_unopt", *uops_from_unopt),
+            ("uops_from_opt", *uops_from_opt),
+            ("squashed_uops", *squashed_uops),
+            ("squashes", *squashes),
+            ("scc_data_squashes", *scc_data_squashes),
+            ("scc_control_squashes", *scc_control_squashes),
+            ("branch_squashes", *branch_squashes),
+            ("branches_resolved", *branches_resolved),
+            ("branches_mispredicted", *branches_mispredicted),
+            ("vp_trains", *vp_trains),
+            ("vp_forwards", *vp_forwards),
+            ("vp_forward_fails", *vp_forward_fails),
+            ("vp_probes", *vp_probes),
+            ("invariants_validated", *invariants_validated),
+            ("invariants_failed", *invariants_failed),
+            ("compactions", *compactions),
+            ("streams_committed", *streams_committed),
+            ("compactions_discarded", *compactions_discarded),
+            ("compactions_aborted", *compactions_aborted),
+            ("scc_busy_cycles", *scc_busy_cycles),
+            ("scc_alu_ops", *scc_alu_ops),
+            ("renamed_uops", *renamed_uops),
+            ("exec_alu", *exec_alu),
+            ("exec_muldiv", *exec_muldiv),
+            ("exec_fp", *exec_fp),
+            ("exec_loads", *exec_loads),
+            ("exec_stores", *exec_stores),
+            ("bp_lookups", *bp_lookups),
+            ("uopcache_lookups", *uopcache_lookups),
+            ("decoded_macros", *decoded_macros),
+        ] {
+            out.push(Metric::counter(name, value));
+        }
+        for (name, value) in hierarchy.counters() {
+            out.push(Metric::counter(name, value));
+        }
+        for (name, value) in unopt.counters() {
+            out.push(Metric::counter(format!("unopt.{name}"), value));
+        }
+        for (name, value) in opt.counters() {
+            out.push(Metric::counter(format!("opt.{name}"), value));
+        }
+        out.push(Metric::gauge("ipc", self.ipc()));
+        out.push(Metric::gauge("squash_overhead", self.squash_overhead()));
+        out.push(Metric::gauge("branch_mpki", self.branch_mpki()));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +292,33 @@ mod tests {
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.squash_overhead(), 0.0);
         assert_eq!(s.branch_mpki(), 0.0);
+    }
+
+    #[test]
+    fn metrics_cover_every_counter_once() {
+        let s = PipelineStats {
+            cycles: 100,
+            committed_uops: 250,
+            invariants_validated: 7,
+            ..PipelineStats::default()
+        };
+        let metrics = s.metrics();
+        // Unique names.
+        let mut names: Vec<&str> = metrics.iter().map(|m| m.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "metric names must be unique");
+        // Spot-check values land under the right names.
+        let get = |n: &str| metrics.iter().find(|m| m.name == n).unwrap().value;
+        assert_eq!(get("cycles"), MetricValue::Counter(100));
+        assert_eq!(get("invariants_validated"), MetricValue::Counter(7));
+        assert_eq!(get("ipc"), MetricValue::Gauge(2.5));
+        // Nested registries are included with dotted prefixes.
+        assert!(metrics.iter().any(|m| m.name == "l1i.hits"));
+        assert!(metrics.iter().any(|m| m.name == "unopt.fills"));
+        assert!(metrics.iter().any(|m| m.name == "opt.inserts"));
+        assert!(metrics.iter().any(|m| m.name == "dram.accesses"));
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Observability contract tests: attaching a sink must not perturb the
+//! simulation, and every emitted event must reconcile with the stats
+//! counter incremented at the same site.
+
+use scc_isa::trace::{shared, CollectSink, Event};
+use scc_isa::{Cond, ProgramBuilder, Program, Reg};
+use scc_pipeline::{Pipeline, PipelineConfig, PipelineResult, RunOutcome};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn r(n: u8) -> Reg {
+    Reg::int(n)
+}
+
+/// A hot, fetch-bound loop with perfectly invariant loads (the shape of
+/// `behavior.rs`'s best case): enough iterations to cross the hotness
+/// threshold, train the predictors, compact, and stream from the
+/// optimized partition.
+fn hot_program() -> Program {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.words(0x9000, &[10, 3]);
+    b.mov_imm(r(0), 0x9000);
+    b.mov_imm(r(1), 0);
+    b.mov_imm(r(2), 2000);
+    b.align_region();
+    let top = b.here();
+    b.load(r(3), r(0), 0);
+    b.add_imm(r(4), r(3), 2);
+    b.shl_imm(r(5), r(4), 1);
+    b.load(r(6), r(0), 8);
+    b.xor(r(7), r(5), r(6));
+    b.and_imm(r(8), r(7), 0xFF);
+    b.add(r(1), r(1), r(8));
+    b.sub_imm(r(2), r(2), 1);
+    b.cmp_br_imm(Cond::Ne, r(2), 0, top);
+    b.halt();
+    b.build()
+}
+
+fn run_observed(p: &Program) -> (PipelineResult, Rc<RefCell<CollectSink>>) {
+    let sink = shared(CollectSink::default());
+    let mut pipe = Pipeline::new(p, PipelineConfig::scc_full());
+    pipe.attach_sink(sink.clone());
+    let res = pipe.run(10_000_000);
+    assert_eq!(res.outcome, RunOutcome::Halted, "stats: {:?}", res.stats);
+    (res, sink)
+}
+
+#[test]
+fn attaching_a_sink_does_not_perturb_the_run() {
+    let p = hot_program();
+    let mut plain = Pipeline::new(&p, PipelineConfig::scc_full());
+    let base = plain.run(10_000_000);
+    let (observed, _) = run_observed(&p);
+    assert_eq!(base.snapshot, observed.snapshot, "architectural state diverged");
+    assert_eq!(base.stats, observed.stats, "stats diverged under observation");
+}
+
+#[test]
+fn events_reconcile_with_stats() {
+    let p = hot_program();
+    let (res, sink) = run_observed(&p);
+    let s = &res.stats;
+    assert!(s.compactions > 0, "workload never compacted: {s:?}");
+    assert!(s.uops_from_opt > 0, "workload never streamed: {s:?}");
+
+    let sink = sink.borrow();
+    let count = |f: &dyn Fn(&Event) -> bool| sink.events.iter().filter(|e| f(e)).count() as u64;
+
+    // One CompactionPass per engine invocation; stream ids only on commits.
+    assert_eq!(count(&|e| matches!(e, Event::CompactionPass { .. })), s.compactions);
+    assert_eq!(
+        count(&|e| matches!(e, Event::CompactionPass { stream_id: Some(_), .. })),
+        s.streams_committed
+    );
+    // Assumption outcomes are 1:1 with their counters.
+    assert_eq!(count(&|e| matches!(e, Event::AssumptionValidated { .. })), s.invariants_validated);
+    assert_eq!(
+        count(&|e| matches!(e, Event::AssumptionFailed { kind: "data", .. })),
+        s.invariants_failed
+    );
+    assert_eq!(
+        count(&|e| matches!(e, Event::AssumptionFailed { kind: "control", .. })),
+        s.scc_control_squashes
+    );
+    // Every squash opens exactly one recovery window.
+    assert_eq!(count(&|e| matches!(e, Event::SquashWindow { .. })), s.squashes);
+    // Partition lifecycle mirrors the partition counters.
+    assert_eq!(count(&|e| matches!(e, Event::RegionFilled { .. })), s.unopt.fills);
+    assert_eq!(count(&|e| matches!(e, Event::StreamInserted { .. })), s.opt.inserts);
+    // Fetch-mix intervals tile the run: per-source sums equal the totals.
+    let mut mix = (0u64, 0u64, 0u64);
+    let mut last_end = 0;
+    for e in &sink.events {
+        if let Event::FetchInterval { start_cycle, end_cycle, icache, unopt, opt } = e {
+            assert!(*start_cycle >= last_end, "intervals overlap");
+            last_end = *end_cycle;
+            mix.0 += icache;
+            mix.1 += unopt;
+            mix.2 += opt;
+        }
+    }
+    assert_eq!(mix, (s.uops_from_icache, s.uops_from_unopt, s.uops_from_opt));
+    // Audit decisions flow once per compaction pass and cover every
+    // scanned micro-op (at least the region's worth per committed pass).
+    assert!(count(&|e| matches!(e, Event::Decision { .. })) > 0, "no audit decisions");
+}

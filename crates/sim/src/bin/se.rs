@@ -17,12 +17,21 @@
 //! with `--enableValuePredForwinding`, like the paper's baseline). Flags
 //! the simulator does not model (`--caches`, `--mem-type`, …) are
 //! accepted and ignored, with a note.
+//!
+//! Observability outputs: `--trace-out FILE` writes a Chrome trace-event
+//! JSON (open in Perfetto), `--metrics-out FILE` the full metrics
+//! registry, `--audit-out FILE` the SCC decision audit log (JSON Lines).
+//! Exit codes: 2 for configuration errors, 1 for a run that failed to
+//! complete, 0 otherwise.
 
-use scc_core::{OptFlags, SccConfig};
-use scc_pipeline::{FrontendMode, Pipeline, PipelineConfig};
-use scc_sim::cli::{parse_se_args, SeArgs, SeParse};
-use scc_uopcache::UopCacheConfig;
-use scc_workloads::{all_workloads, workload, Scale};
+use scc_core::AuditLog;
+use scc_isa::trace::{shared, SharedSink, Tee};
+use scc_sim::cli::{parse_se_args, SeParse};
+use scc_sim::trace_export::{write_metrics_json, ChromeTraceSink};
+use scc_sim::{SimBuilder, SimResult};
+use scc_workloads::{all_workloads, Scale};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 fn usage() -> String {
     "usage: se --workload NAME [--iters N] [--enable-superoptimization]\n\
@@ -30,35 +39,23 @@ fn usage() -> String {
      \t[--usingControlTracking=0|1] [--usingCCTracking=0|1]\n\
      \t[--uopCacheNumSets=N] [--specCacheNumSets=N] [--specCacheNumWays=N]\n\
      \t[--enableValuePredForwinding] [--list-workloads]\n\
+     \t[--trace-out FILE] [--metrics-out FILE] [--audit-out FILE]\n\
      Unmodeled artifact flags (--caches, --mem-type, ...) are accepted and ignored."
         .into()
 }
 
-fn config_for(args: &SeArgs) -> PipelineConfig {
-    let frontend = if args.superopt {
-        let mut flags = OptFlags::full();
-        flags.control_invariants = args.control_tracking;
-        flags.cc_tracking = args.cc_tracking;
-        let mut scc = SccConfig::with_opts(flags);
-        scc.confidence_threshold = args.confidence;
-        FrontendMode::Scc {
-            unopt: UopCacheConfig::unopt_partition(args.uop_sets),
-            opt: UopCacheConfig {
-                ways: args.spec_ways,
-                ..UopCacheConfig::opt_partition(args.spec_sets)
-            },
-            scc,
+fn fail(msg: impl std::fmt::Display, code: i32) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(code);
+}
+
+fn create_parent_dirs(path: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                fail(format_args!("cannot create directory for {path}: {e}"), 1);
+            }
         }
-    } else {
-        FrontendMode::Baseline {
-            uop_cache: UopCacheConfig::unopt_partition(args.uop_sets.max(1)),
-        }
-    };
-    PipelineConfig {
-        frontend,
-        value_predictor: args.lvpred,
-        vp_forwarding: if args.vp_forwarding { Some(args.confidence) } else { None },
-        ..PipelineConfig::baseline()
     }
 }
 
@@ -85,12 +82,33 @@ fn main() {
         }
         return;
     }
-    let w = workload(&args.workload, Scale::custom(args.iters)).unwrap_or_else(|| {
-        eprintln!("error: unknown workload {} (try --list-workloads)", args.workload);
-        std::process::exit(2);
-    });
-    let mut pipe = Pipeline::new(&w.program, config_for(&args));
-    let res = pipe.run(args.max_cycles);
+
+    // Every construction path goes through the validated builder:
+    // a bad knob is a typed ConfigError and exit code 2, not a panic.
+    let sim = SimBuilder::from(&args).build().unwrap_or_else(|e| fail(e, 2));
+
+    // Wire up the requested observability sinks (none attached = the
+    // zero-overhead disabled path).
+    let trace: Option<Rc<RefCell<ChromeTraceSink>>> =
+        args.trace_out.as_ref().map(|_| shared(ChromeTraceSink::new()));
+    let audit: Option<Rc<RefCell<AuditLog>>> =
+        args.audit_out.as_ref().map(|_| shared(AuditLog::new()));
+    let mut tee = Tee::new();
+    if let Some(t) = &trace {
+        tee.push(t.clone());
+    }
+    if let Some(a) = &audit {
+        tee.push(a.clone());
+    }
+
+    let res: SimResult = if tee.is_empty() {
+        sim.run()
+    } else {
+        let sink: SharedSink = shared(tee);
+        sim.run_observed(sink)
+    }
+    .unwrap_or_else(|e| fail(e, 1));
+
     let s = &res.stats;
     // gem5-flavored stats dump.
     println!("---------- Begin Simulation Statistics ----------");
@@ -115,7 +133,26 @@ fn main() {
     println!("l1i.hit_rate                   {:>14.4}", s.hierarchy.l1i.hit_rate());
     println!("l1d.hit_rate                   {:>14.4}", s.hierarchy.l1d.hit_rate());
     println!("dram.accesses                  {:>14}", s.hierarchy.dram);
-    let energy = scc_energy::EnergyModel::icelake().energy(&scc_sim::energy_events(s));
-    println!("energy.total_mj                {:>14.6}", energy.total_mj());
+    println!("energy.total_mj                {:>14.6}", res.energy.total_mj());
     println!("---------- End Simulation Statistics   ----------");
+
+    if let (Some(path), Some(t)) = (&args.trace_out, &trace) {
+        match t.borrow().write(path) {
+            Ok(_) => eprintln!("trace written to {path}"),
+            Err(e) => fail(format_args!("writing {path}: {e}"), 1),
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        match write_metrics_json(path, &res.workload, res.level.label(), s) {
+            Ok(_) => eprintln!("metrics written to {path}"),
+            Err(e) => fail(format_args!("writing {path}: {e}"), 1),
+        }
+    }
+    if let (Some(path), Some(a)) = (&args.audit_out, &audit) {
+        create_parent_dirs(path);
+        match a.borrow().write(path) {
+            Ok(()) => eprintln!("audit log written to {path}"),
+            Err(e) => fail(format_args!("writing {path}: {e}"), 1),
+        }
+    }
 }

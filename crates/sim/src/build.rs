@@ -1,0 +1,461 @@
+//! The validated construction path for simulations: [`SimBuilder`] is the
+//! single place the simulator's user-facing defaults are stated, and its
+//! [`build`](SimBuilder::build) turns a bad knob into a typed
+//! [`ConfigError`] instead of a panic deep inside a crate.
+//!
+//! The artifact CLI ([`crate::cli::SeArgs`]) converts into a builder via
+//! `From`, so the `se` binary, the library API, and tests all construct
+//! pipelines through one door.
+//!
+//! ```
+//! use scc_sim::{SimBuilder, ConfigError};
+//!
+//! let sim = SimBuilder::new().workload("freqmine").iters(500).scc(true)
+//!     .build().expect("valid configuration");
+//! let res = sim.run().expect("halts");
+//! assert!(res.halted);
+//!
+//! let err = SimBuilder::new().workload("quantum-sort").build().unwrap_err();
+//! assert!(matches!(err, ConfigError::UnknownWorkload(_)));
+//! ```
+
+use crate::{energy_events, OptLevel, SimResult};
+use scc_core::{OptFlags, SccConfig};
+use scc_energy::EnergyModel;
+use scc_isa::trace::SharedSink;
+use scc_pipeline::{FrontendMode, Pipeline, PipelineConfig, RunOutcome};
+use scc_predictors::ValuePredictorKind;
+use scc_uopcache::UopCacheConfig;
+use scc_workloads::{workload, Scale, Workload};
+
+/// Default workload for `se` and the builder.
+pub const DEFAULT_WORKLOAD: &str = "freqmine";
+/// Default workload scale (base loop iterations).
+pub const DEFAULT_ITERS: i64 = 4000;
+/// Default cycle budget — a safety net; every shipped workload halts
+/// well before (shared by [`crate::SimOptions`] and the runner's raw-config
+/// jobs).
+pub const DEFAULT_MAX_CYCLES: u64 = 400_000_000;
+/// The paper baseline's value-forwarding confidence threshold. The SCC
+/// default (5) is stated once in [`SccConfig`], not repeated here.
+pub const BASELINE_CONFIDENCE: u8 = 15;
+/// Default unoptimized-partition set count (the paper's best 24/24 split).
+pub const DEFAULT_UNOPT_SETS: usize = 24;
+/// Default optimized-partition set count.
+pub const DEFAULT_OPT_SETS: usize = 24;
+
+/// Default optimized-partition associativity, taken from the uop-cache
+/// crate's own partition constructor so the value is stated exactly once.
+pub fn default_opt_ways() -> usize {
+    UopCacheConfig::opt_partition(DEFAULT_OPT_SETS).ways
+}
+
+/// A configuration the builder refuses to turn into a simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The workload name is not in the suite.
+    UnknownWorkload(String),
+    /// The iteration scale is not positive.
+    InvalidIters(i64),
+    /// A micro-op cache partition has impossible geometry.
+    InvalidGeometry {
+        /// Which partition (`"uop cache"` / `"spec cache"`).
+        partition: &'static str,
+        /// The first problem found (from [`UopCacheConfig::check`]).
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::UnknownWorkload(w) => {
+                write!(f, "unknown workload `{w}` (try --list-workloads)")
+            }
+            ConfigError::InvalidIters(n) => {
+                write!(f, "--iters must be positive, got {n}")
+            }
+            ConfigError::InvalidGeometry { partition, reason } => {
+                write!(f, "invalid {partition} geometry: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A run that started but could not produce a measurement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The workload did not halt within the cycle budget.
+    CyclesExhausted {
+        /// Workload name.
+        workload: String,
+        /// The exhausted budget.
+        max_cycles: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::CyclesExhausted { workload, max_cycles } => {
+                write!(f, "workload `{workload}` did not halt within {max_cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Builder for a validated simulation. Field semantics mirror the
+/// artifact's `se` flags; see [`crate::cli::SeArgs`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimBuilder {
+    workload: String,
+    iters: i64,
+    superopt: bool,
+    lvpred: ValuePredictorKind,
+    /// `None` = level default: [`BASELINE_CONFIDENCE`] for the baseline,
+    /// [`SccConfig`]'s threshold under SCC.
+    confidence: Option<u8>,
+    control_tracking: bool,
+    cc_tracking: bool,
+    vp_forwarding: bool,
+    uop_sets: usize,
+    spec_sets: usize,
+    spec_ways: usize,
+    max_cycles: u64,
+}
+
+impl Default for SimBuilder {
+    fn default() -> SimBuilder {
+        SimBuilder::new()
+    }
+}
+
+impl SimBuilder {
+    /// The paper-default configuration: baseline machine on
+    /// [`DEFAULT_WORKLOAD`].
+    pub fn new() -> SimBuilder {
+        SimBuilder {
+            workload: DEFAULT_WORKLOAD.into(),
+            iters: DEFAULT_ITERS,
+            superopt: false,
+            lvpred: ValuePredictorKind::Eves,
+            confidence: None,
+            control_tracking: true,
+            cc_tracking: true,
+            vp_forwarding: false,
+            uop_sets: DEFAULT_UNOPT_SETS,
+            spec_sets: DEFAULT_OPT_SETS,
+            spec_ways: default_opt_ways(),
+            max_cycles: DEFAULT_MAX_CYCLES,
+        }
+    }
+
+    /// Selects the workload by name (validated at [`build`](Self::build)).
+    pub fn workload(mut self, name: impl Into<String>) -> SimBuilder {
+        self.workload = name.into();
+        self
+    }
+
+    /// Workload scale in base loop iterations (must be positive).
+    pub fn iters(mut self, iters: i64) -> SimBuilder {
+        self.iters = iters;
+        self
+    }
+
+    /// Enables or disables speculative code compaction.
+    pub fn scc(mut self, enabled: bool) -> SimBuilder {
+        self.superopt = enabled;
+        self
+    }
+
+    /// Value predictor kind.
+    pub fn value_predictor(mut self, kind: ValuePredictorKind) -> SimBuilder {
+        self.lvpred = kind;
+        self
+    }
+
+    /// Prediction confidence threshold. Unset, the level default applies
+    /// ([`BASELINE_CONFIDENCE`], or [`SccConfig`]'s under SCC).
+    pub fn confidence(mut self, threshold: u8) -> SimBuilder {
+        self.confidence = Some(threshold);
+        self
+    }
+
+    /// Toggles control-invariant tracking (SCC only).
+    pub fn control_tracking(mut self, enabled: bool) -> SimBuilder {
+        self.control_tracking = enabled;
+        self
+    }
+
+    /// Toggles condition-code tracking (SCC only).
+    pub fn cc_tracking(mut self, enabled: bool) -> SimBuilder {
+        self.cc_tracking = enabled;
+        self
+    }
+
+    /// Enables classic value-prediction forwarding at the confidence
+    /// threshold.
+    pub fn vp_forwarding(mut self, enabled: bool) -> SimBuilder {
+        self.vp_forwarding = enabled;
+        self
+    }
+
+    /// Micro-op cache geometry: unoptimized sets, optimized sets,
+    /// optimized ways.
+    pub fn partitions(mut self, uop_sets: usize, spec_sets: usize, spec_ways: usize) -> SimBuilder {
+        self.uop_sets = uop_sets;
+        self.spec_sets = spec_sets;
+        self.spec_ways = spec_ways;
+        self
+    }
+
+    /// Cycle budget safety net.
+    pub fn max_cycles(mut self, max_cycles: u64) -> SimBuilder {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Validates every knob and materializes the workload and pipeline
+    /// configuration.
+    pub fn build(&self) -> Result<Sim, ConfigError> {
+        if self.iters < 1 {
+            return Err(ConfigError::InvalidIters(self.iters));
+        }
+        let w = workload(&self.workload, Scale::custom(self.iters))
+            .ok_or_else(|| ConfigError::UnknownWorkload(self.workload.clone()))?;
+        let geometry = |partition, cfg: &UopCacheConfig| {
+            cfg.check().map_err(|reason| ConfigError::InvalidGeometry { partition, reason })
+        };
+        let confidence = self.confidence.unwrap_or(if self.superopt {
+            SccConfig::full().confidence_threshold
+        } else {
+            BASELINE_CONFIDENCE
+        });
+        let (frontend, level) = if self.superopt {
+            let mut flags = OptFlags::full();
+            flags.control_invariants = self.control_tracking;
+            flags.cc_tracking = self.cc_tracking;
+            let mut scc = SccConfig::with_opts(flags);
+            scc.confidence_threshold = confidence;
+            let unopt = UopCacheConfig::unopt_partition(self.uop_sets);
+            let opt = UopCacheConfig {
+                ways: self.spec_ways,
+                ..UopCacheConfig::opt_partition(self.spec_sets)
+            };
+            geometry("uop cache", &unopt)?;
+            geometry("spec cache", &opt)?;
+            (FrontendMode::Scc { unopt, opt, scc }, OptLevel::Full)
+        } else {
+            let uop_cache = UopCacheConfig::unopt_partition(self.uop_sets);
+            geometry("uop cache", &uop_cache)?;
+            (FrontendMode::Baseline { uop_cache }, OptLevel::Baseline)
+        };
+        let config = PipelineConfig {
+            frontend,
+            value_predictor: self.lvpred,
+            vp_forwarding: self.vp_forwarding.then_some(confidence),
+            ..PipelineConfig::baseline()
+        };
+        Ok(Sim { workload: w, config, max_cycles: self.max_cycles, level })
+    }
+}
+
+impl From<&crate::cli::SeArgs> for SimBuilder {
+    fn from(a: &crate::cli::SeArgs) -> SimBuilder {
+        SimBuilder {
+            workload: a.workload.clone(),
+            iters: a.iters,
+            superopt: a.superopt,
+            lvpred: a.lvpred,
+            // The parser already resolved the level default.
+            confidence: Some(a.confidence),
+            control_tracking: a.control_tracking,
+            cc_tracking: a.cc_tracking,
+            vp_forwarding: a.vp_forwarding,
+            uop_sets: a.uop_sets,
+            spec_sets: a.spec_sets,
+            spec_ways: a.spec_ways,
+            max_cycles: a.max_cycles,
+        }
+    }
+}
+
+/// A fully validated simulation, ready to run (repeatedly — each run is
+/// independent and deterministic).
+#[derive(Clone, Debug)]
+pub struct Sim {
+    workload: Workload,
+    config: PipelineConfig,
+    max_cycles: u64,
+    level: OptLevel,
+}
+
+impl Sim {
+    /// The materialized workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The validated pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The level label results will carry.
+    pub fn level(&self) -> OptLevel {
+        self.level
+    }
+
+    /// Runs to completion without observation.
+    pub fn run(&self) -> Result<SimResult, SimError> {
+        self.run_inner(None)
+    }
+
+    /// Runs to completion with a structured observability sink attached
+    /// (see [`scc_pipeline::Pipeline::attach_sink`]).
+    pub fn run_observed(&self, sink: SharedSink) -> Result<SimResult, SimError> {
+        self.run_inner(Some(sink))
+    }
+
+    fn run_inner(&self, sink: Option<SharedSink>) -> Result<SimResult, SimError> {
+        let mut pipe = Pipeline::new(&self.workload.program, self.config.clone());
+        if let Some(sink) = sink {
+            pipe.attach_sink(sink);
+        }
+        let res = pipe.run(self.max_cycles);
+        if res.outcome != RunOutcome::Halted {
+            return Err(SimError::CyclesExhausted {
+                workload: self.workload.name.to_string(),
+                max_cycles: self.max_cycles,
+            });
+        }
+        let energy = EnergyModel::icelake().energy(&energy_events(&res.stats));
+        Ok(SimResult {
+            workload: self.workload.name.to_string(),
+            level: self.level,
+            stats: res.stats,
+            energy,
+            snapshot: res.snapshot,
+            halted: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::SeArgs;
+
+    /// The pipeline configuration `se` built before the builder existed,
+    /// reproduced verbatim — the round-trip oracle.
+    fn legacy_config_for(args: &SeArgs) -> PipelineConfig {
+        let frontend = if args.superopt {
+            let mut flags = OptFlags::full();
+            flags.control_invariants = args.control_tracking;
+            flags.cc_tracking = args.cc_tracking;
+            let mut scc = SccConfig::with_opts(flags);
+            scc.confidence_threshold = args.confidence;
+            FrontendMode::Scc {
+                unopt: UopCacheConfig::unopt_partition(args.uop_sets),
+                opt: UopCacheConfig {
+                    ways: args.spec_ways,
+                    ..UopCacheConfig::opt_partition(args.spec_sets)
+                },
+                scc,
+            }
+        } else {
+            FrontendMode::Baseline {
+                uop_cache: UopCacheConfig::unopt_partition(args.uop_sets.max(1)),
+            }
+        };
+        PipelineConfig {
+            frontend,
+            value_predictor: args.lvpred,
+            vp_forwarding: if args.vp_forwarding { Some(args.confidence) } else { None },
+            ..PipelineConfig::baseline()
+        }
+    }
+
+    #[test]
+    fn default_args_round_trip_through_the_builder() {
+        let args = SeArgs::default();
+        let sim = SimBuilder::from(&args).build().expect("defaults are valid");
+        assert_eq!(
+            sim.config().content_key(),
+            legacy_config_for(&args).content_key(),
+            "builder must produce exactly the config se built before it"
+        );
+        assert_eq!(sim.workload().name, DEFAULT_WORKLOAD);
+    }
+
+    #[test]
+    fn scc_args_round_trip_through_the_builder() {
+        let mut args = SeArgs::default();
+        args.superopt = true;
+        args.confidence = 5; // what the parser resolves for SCC
+        args.vp_forwarding = true;
+        let sim = SimBuilder::from(&args).build().expect("valid");
+        assert_eq!(sim.config().content_key(), legacy_config_for(&args).content_key());
+        assert_eq!(sim.level(), OptLevel::Full);
+    }
+
+    #[test]
+    fn builder_defaults_match_se_defaults() {
+        let from_args = SimBuilder::from(&SeArgs::default());
+        // SeArgs carries a resolved confidence; the bare builder defers it
+        // — both must resolve identically.
+        let bare = SimBuilder::new();
+        assert_eq!(
+            bare.build().unwrap().config().content_key(),
+            from_args.build().unwrap().config().content_key()
+        );
+    }
+
+    #[test]
+    fn bad_knobs_become_typed_errors() {
+        assert_eq!(
+            SimBuilder::new().workload("nope").build().unwrap_err(),
+            ConfigError::UnknownWorkload("nope".into())
+        );
+        assert_eq!(
+            SimBuilder::new().iters(0).build().unwrap_err(),
+            ConfigError::InvalidIters(0)
+        );
+        let err = SimBuilder::new().partitions(0, 24, 4).build().unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidGeometry { partition: "uop cache", .. }), "{err}");
+        let err = SimBuilder::new().scc(true).partitions(24, 24, 0).build().unwrap_err();
+        assert!(
+            matches!(err, ConfigError::InvalidGeometry { partition: "spec cache", .. }),
+            "{err}"
+        );
+        // Errors render actionable messages.
+        let msg = SimBuilder::new().workload("nope").build().unwrap_err().to_string();
+        assert!(msg.contains("--list-workloads"), "{msg}");
+    }
+
+    #[test]
+    fn cycle_exhaustion_is_a_typed_error() {
+        let sim = SimBuilder::new().iters(200).max_cycles(10).build().unwrap();
+        let err = sim.run().unwrap_err();
+        assert_eq!(
+            err,
+            SimError::CyclesExhausted { workload: DEFAULT_WORKLOAD.into(), max_cycles: 10 }
+        );
+        assert!(err.to_string().contains("did not halt"));
+    }
+
+    #[test]
+    fn scc_default_confidence_comes_from_core_config() {
+        let sim = SimBuilder::new().iters(200).scc(true).build().unwrap();
+        match &sim.config().frontend {
+            FrontendMode::Scc { scc, .. } => {
+                assert_eq!(scc.confidence_threshold, SccConfig::full().confidence_threshold)
+            }
+            other => panic!("expected SCC frontend, got {other:?}"),
+        }
+    }
+}

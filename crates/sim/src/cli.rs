@@ -35,24 +35,35 @@ pub struct SeArgs {
     pub max_cycles: u64,
     /// `--list-workloads`.
     pub list: bool,
+    /// `--trace-out`: write a Chrome trace-event JSON of the run here.
+    pub trace_out: Option<String>,
+    /// `--metrics-out`: write the full metrics registry as JSON here.
+    pub metrics_out: Option<String>,
+    /// `--audit-out`: write the SCC decision audit log (JSONL) here.
+    pub audit_out: Option<String>,
 }
 
 impl Default for SeArgs {
     fn default() -> SeArgs {
+        // Knob defaults live in `crate::build` (the builder is the single
+        // source of truth); this struct only mirrors them for parsing.
         SeArgs {
-            workload: "freqmine".into(),
-            iters: 4000,
+            workload: crate::build::DEFAULT_WORKLOAD.into(),
+            iters: crate::build::DEFAULT_ITERS,
             superopt: false,
             lvpred: ValuePredictorKind::Eves,
-            confidence: 15,
+            confidence: crate::build::BASELINE_CONFIDENCE,
             control_tracking: true,
             cc_tracking: true,
             vp_forwarding: false,
-            uop_sets: 24,
-            spec_sets: 24,
-            spec_ways: 4,
-            max_cycles: 400_000_000,
+            uop_sets: crate::build::DEFAULT_UNOPT_SETS,
+            spec_sets: crate::build::DEFAULT_OPT_SETS,
+            spec_ways: crate::build::default_opt_ways(),
+            max_cycles: crate::build::DEFAULT_MAX_CYCLES,
             list: false,
+            trace_out: None,
+            metrics_out: None,
+            audit_out: None,
         }
     }
 }
@@ -143,6 +154,9 @@ pub fn parse_se_args(argv: &[String], notes: &mut Vec<String>) -> SeParse {
             "--specCacheNumSets" => a.spec_sets = parse_num!(usize),
             "--specCacheNumWays" => a.spec_ways = parse_num!(usize),
             "--list-workloads" => a.list = true,
+            "--trace-out" => a.trace_out = Some(value!()),
+            "--metrics-out" => a.metrics_out = Some(value!()),
+            "--audit-out" => a.audit_out = Some(value!()),
             "--help" | "-h" => return SeParse::Help,
             other => match UNMODELED.iter().find(|(f, _)| *f == other) {
                 Some((f, takes_value)) => {
@@ -243,5 +257,18 @@ mod tests {
         let a = run(&["--usingControlTracking=0", "--usingCCTracking=0"]);
         assert!(!a.control_tracking);
         assert!(!a.cc_tracking);
+    }
+
+    #[test]
+    fn observability_output_paths_parse() {
+        let a = run(&[
+            "--trace-out", "t.json", "--metrics-out=m.json", "--audit-out", "a.jsonl",
+        ]);
+        assert_eq!(a.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(a.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(a.audit_out.as_deref(), Some("a.jsonl"));
+        let b = run(&[]);
+        assert_eq!((b.trace_out, b.metrics_out, b.audit_out), (None, None, None));
+        assert!(matches!(parse(&["--trace-out"]), SeParse::Error(_)));
     }
 }

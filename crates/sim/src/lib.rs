@@ -18,20 +18,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod build;
 pub mod cli;
 pub mod report;
 pub mod runner;
 pub mod simpoint;
+pub mod trace_export;
 
 use scc_core::{OptFlags, SccConfig};
 use scc_energy::{EnergyBreakdown, EnergyEvents, EnergyModel};
+use scc_isa::trace::SharedSink;
 use scc_isa::ArchSnapshot;
 use scc_pipeline::{FrontendMode, Pipeline, PipelineConfig, PipelineStats, RunOutcome};
 use scc_predictors::{BranchPredictorKind, ValuePredictorKind};
 use scc_uopcache::UopCacheConfig;
 use scc_workloads::Workload;
 
-pub use runner::{parallel_map, scc_jobs, Job, JobError, Runner};
+pub use build::{ConfigError, Sim, SimBuilder, SimError};
+pub use runner::{
+    default_jobs, parallel_map, parallel_map_indexed, scc_jobs, Job, JobError, JobTiming, Runner,
+};
 
 /// The appendix's six experiment levels, cumulative.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -130,7 +136,7 @@ impl SimOptions {
             opt_partition_sets: 24,
             max_constant_width: None,
             vp_forwarding: None,
-            max_cycles: 400_000_000,
+            max_cycles: build::DEFAULT_MAX_CYCLES,
         }
     }
 
@@ -225,8 +231,27 @@ pub fn energy_events(stats: &PipelineStats) -> EnergyEvents {
 /// Panics if the workload exhausts the cycle budget without halting —
 /// that is a harness bug, not a measurement.
 pub fn run_workload(w: &Workload, opts: &SimOptions) -> SimResult {
+    run_workload_inner(w, opts, None)
+}
+
+/// [`run_workload`] with a structured observability sink attached to the
+/// pipeline (see [`scc_pipeline::Pipeline::attach_sink`]); the sink sees
+/// every fetch-mix interval, compaction pass, stream/cache lifecycle
+/// event, squash window, and assumption outcome of the run.
+///
+/// # Panics
+///
+/// Panics if the workload exhausts the cycle budget without halting.
+pub fn run_workload_observed(w: &Workload, opts: &SimOptions, sink: SharedSink) -> SimResult {
+    run_workload_inner(w, opts, Some(sink))
+}
+
+fn run_workload_inner(w: &Workload, opts: &SimOptions, sink: Option<SharedSink>) -> SimResult {
     let cfg = opts.to_pipeline_config();
     let mut pipe = Pipeline::new(&w.program, cfg);
+    if let Some(sink) = sink {
+        pipe.attach_sink(sink);
+    }
     let res = pipe.run(opts.max_cycles);
     assert_eq!(
         res.outcome,

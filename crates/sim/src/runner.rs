@@ -13,11 +13,15 @@
 //! which worker finished first — so report output is byte-identical to
 //! the serial path (`tests/` assert this).
 //!
-//! Worker count comes from the `SCC_JOBS` environment variable
-//! (default: available parallelism), mirroring the `SCC_ITERS` scale
-//! convention. Wall-clock throughput of every fresh simulation is
-//! recorded and can be emitted as `results/BENCH_throughput.json` via
-//! [`write_throughput_json`].
+//! Worker count defaults to the host's available parallelism;
+//! binaries that honor the `SCC_JOBS` convention read the environment
+//! once at their edge (via [`scc_jobs`]) and pass the count in
+//! explicitly with [`Runner::with_jobs`] — the library itself never
+//! consults the environment. Wall-clock throughput of every fresh
+//! simulation is recorded and can be emitted as
+//! `results/BENCH_throughput.json` via [`write_throughput_json`]; the
+//! per-worker schedule is recorded as [`JobTiming`] entries
+//! ([`schedule`]) for the Chrome trace exporter's runner tracks.
 
 use crate::report::RunTiming;
 use crate::{energy_events, OptLevel, SimOptions, SimResult};
@@ -67,7 +71,7 @@ impl<'a> Job<'a> {
         config: PipelineConfig,
         level: OptLevel,
     ) -> Job<'a> {
-        Job { workload, config, max_cycles: 400_000_000, level }
+        Job { workload, config, max_cycles: crate::build::DEFAULT_MAX_CYCLES, level }
     }
 
     /// The content key identifying this job's result.
@@ -118,14 +122,52 @@ impl std::fmt::Display for JobError {
 
 impl std::error::Error for JobError {}
 
-/// Worker count: `SCC_JOBS` if set to a positive integer, otherwise the
-/// host's available parallelism.
+/// Worker count from the environment: `SCC_JOBS` if set to a positive
+/// integer, otherwise [`default_jobs`].
+///
+/// This is a *binary-edge* helper: the `scc-bench` and `scc-check`
+/// entry points call it exactly once at startup and pass the result to
+/// [`Runner::with_jobs`]. Library code never reads the environment —
+/// [`Runner::new`] uses [`default_jobs`] directly, so embedding the
+/// crate in another process can't be perturbed by ambient variables.
 pub fn scc_jobs() -> usize {
     std::env::var("SCC_JOBS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n >= 1)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .unwrap_or_else(default_jobs)
+}
+
+/// The environment-free default worker count: the host's available
+/// parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// One entry of the runner's worker-schedule log: which worker slot ran
+/// which job over which wall-clock window (microseconds since the
+/// process epoch). Cache hits are recorded as zero-length spans on
+/// worker 0.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobTiming {
+    /// Worker slot (0-based) the job ran on.
+    pub worker: usize,
+    /// Start, µs since the process epoch.
+    pub start_us: u64,
+    /// End, µs since the process epoch.
+    pub end_us: u64,
+    /// Workload name.
+    pub workload: String,
+    /// Optimization-level label.
+    pub level: &'static str,
+    /// True when the result was resolved from the cross-figure cache.
+    pub cached: bool,
+}
+
+/// Microseconds since the process-wide epoch (first use).
+fn epoch_us() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
 }
 
 fn cache() -> &'static Mutex<HashMap<String, Arc<SimResult>>> {
@@ -135,6 +177,11 @@ fn cache() -> &'static Mutex<HashMap<String, Arc<SimResult>>> {
 
 fn timing_log() -> &'static Mutex<Vec<RunTiming>> {
     static LOG: OnceLock<Mutex<Vec<RunTiming>>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn schedule_log() -> &'static Mutex<Vec<JobTiming>> {
+    static LOG: OnceLock<Mutex<Vec<JobTiming>>> = OnceLock::new();
     LOG.get_or_init(|| Mutex::new(Vec::new()))
 }
 
@@ -178,6 +225,17 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_indexed(workers, items, |_, item| f(item))
+}
+
+/// [`parallel_map`] with the worker slot index (0-based) passed to `f` —
+/// the runner uses it to attribute each job to a scheduling track.
+pub fn parallel_map_indexed<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     if items.is_empty() {
         return Vec::new();
     }
@@ -185,13 +243,16 @@ where
     let next = AtomicUsize::new(0);
     let workers = workers.clamp(1, items.len());
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
+        for slot in 0..workers {
+            let f = &f;
+            let next = &next;
+            let done = &done;
+            s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
-                let r = f(&items[i]);
+                let r = f(slot, &items[i]);
                 done.lock().unwrap().push((i, r));
             });
         }
@@ -215,9 +276,11 @@ impl Default for Runner {
 }
 
 impl Runner {
-    /// The standard runner: `SCC_JOBS` workers, shared cache.
+    /// The standard runner: one worker per available core, shared cache.
+    /// Environment-free — binaries honoring `SCC_JOBS` resolve it once
+    /// via [`scc_jobs`] and use [`Runner::with_jobs`].
     pub fn new() -> Runner {
-        Runner { jobs: scc_jobs(), use_cache: true }
+        Runner { jobs: default_jobs(), use_cache: true }
     }
 
     /// A runner with an explicit worker count (still cached).
@@ -263,6 +326,7 @@ impl Runner {
         let keys: Vec<String> = jobs.iter().map(Job::key).collect();
         let mut out: Vec<Option<Arc<SimResult>>> = vec![None; jobs.len()];
         let mut hits: Vec<RunTiming> = Vec::new();
+        let mut sched: Vec<JobTiming> = Vec::new();
 
         // Resolve cache hits and collect the unique misses.
         let mut misses: Vec<(usize, &str)> = Vec::new(); // (job index, key)
@@ -278,6 +342,15 @@ impl Runner {
                         uops: r.stats.committed_uops,
                         cached: true,
                     });
+                    let now = epoch_us();
+                    sched.push(JobTiming {
+                        worker: 0,
+                        start_us: now,
+                        end_us: now,
+                        workload: r.workload.clone(),
+                        level: r.level.label(),
+                        cached: true,
+                    });
                     out[i] = Some(Arc::clone(r));
                 } else if seen.insert(key.as_str()) {
                     misses.push((i, key));
@@ -287,19 +360,28 @@ impl Runner {
 
         // Fan the misses out over the shared pool; each simulation is
         // independent and results come back in submission order.
-        let computed: Vec<(Result<SimResult, JobError>, f64)> =
-            parallel_map(self.jobs, &misses, |&(ji, _)| {
-                let t0 = Instant::now();
-                let r = execute(&jobs[ji]);
-                (r, t0.elapsed().as_secs_f64())
-            });
+        type Computed = (Result<SimResult, JobError>, f64, usize, u64, u64);
+        let computed: Vec<Computed> = parallel_map_indexed(self.jobs, &misses, |slot, &(ji, _)| {
+            let start_us = epoch_us();
+            let t0 = Instant::now();
+            let r = execute(&jobs[ji]);
+            (r, t0.elapsed().as_secs_f64(), slot, start_us, epoch_us())
+        });
 
         // Publish results in deterministic (submission) order. The good
         // results of a batch with one bad job still land in the cache;
         // the first error (by submission order) propagates after.
         let mut first_err: Option<JobError> = None;
         let mut fresh: Vec<RunTiming> = Vec::new();
-        for (&(ji, _), (res, secs)) in misses.iter().zip(computed) {
+        for (&(ji, _), (res, secs, slot, start_us, end_us)) in misses.iter().zip(computed) {
+            sched.push(JobTiming {
+                worker: slot,
+                start_us,
+                end_us,
+                workload: jobs[ji].workload.name.to_string(),
+                level: jobs[ji].level.label(),
+                cached: false,
+            });
             let r = match res {
                 Ok(r) => r,
                 Err(e) => {
@@ -326,6 +408,7 @@ impl Runner {
             let mut log = timing_log().lock().unwrap();
             log.extend(fresh);
             log.extend(hits);
+            schedule_log().lock().unwrap().extend(sched);
         }
         if let Some(e) = first_err {
             return Err(e);
@@ -354,6 +437,14 @@ pub fn timings() -> Vec<RunTiming> {
 /// Number of results currently in the cross-figure cache.
 pub fn cache_len() -> usize {
     cache().lock().unwrap().len()
+}
+
+/// Snapshot of the process-wide worker-schedule log (one [`JobTiming`]
+/// per job the cached runners executed or resolved). Feed it to
+/// [`crate::trace_export::replay_schedule`] to render the runner tracks
+/// of a Chrome trace.
+pub fn schedule() -> Vec<JobTiming> {
+    schedule_log().lock().unwrap().clone()
 }
 
 /// Writes the throughput log as JSON (see
@@ -512,5 +603,42 @@ mod tests {
             .collect();
         assert!(mine.iter().any(|t| !t.cached), "fresh run recorded");
         assert!(mine.iter().any(|t| t.cached), "cache hit recorded");
+    }
+
+    #[test]
+    fn schedule_records_worker_slots_and_windows() {
+        let scale = Scale::custom(270);
+        let w = workload("vips", scale).unwrap();
+        let opts = SimOptions::new(OptLevel::Baseline);
+        let runner = Runner::with_jobs(2);
+        runner.run(&[Job::new(&w, &opts)]);
+        runner.run(&[Job::new(&w, &opts)]); // cache hit
+        let log = schedule();
+        let mine: Vec<_> = log.iter().filter(|t| t.workload == "vips").collect();
+        let fresh = mine.iter().find(|t| !t.cached).expect("fresh run scheduled");
+        assert!(fresh.end_us >= fresh.start_us);
+        assert_eq!(fresh.level, "baseline");
+        let hit = mine.iter().find(|t| t.cached).expect("cache hit scheduled");
+        assert_eq!(hit.start_us, hit.end_us, "hits are zero-length spans");
+    }
+
+    #[test]
+    fn parallel_map_indexed_passes_valid_slots() {
+        let items: Vec<u64> = (0..50).collect();
+        let slots = parallel_map_indexed(4, &items, |slot, &x| {
+            assert!(slot < 4);
+            (slot, x)
+        });
+        assert_eq!(slots.len(), 50);
+        for (i, (_, x)) in slots.iter().enumerate() {
+            assert_eq!(*x, i as u64, "item order preserved");
+        }
+    }
+
+    #[test]
+    fn runner_new_is_environment_free() {
+        // `Runner::new` must not consult SCC_JOBS — only the binary-edge
+        // helper does.
+        assert_eq!(Runner::new().jobs(), default_jobs());
     }
 }

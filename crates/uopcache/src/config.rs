@@ -70,17 +70,34 @@ impl UopCacheConfig {
         ((region / scc_isa::REGION_BYTES) % self.sets as u64) as usize
     }
 
+    /// Checks the geometry, returning a description of the first problem
+    /// found. The builder layer uses this to surface typed configuration
+    /// errors instead of panicking.
+    pub fn check(&self) -> Result<(), String> {
+        if self.sets == 0 || self.ways == 0 || self.uops_per_line == 0 {
+            return Err(format!(
+                "degenerate geometry: {} sets x {} ways x {} uops/line",
+                self.sets, self.ways, self.uops_per_line
+            ));
+        }
+        if self.max_ways_per_region < 1 || self.max_ways_per_region > self.ways {
+            return Err(format!(
+                "region span must fit in a set: max_ways_per_region {} vs {} ways",
+                self.max_ways_per_region, self.ways
+            ));
+        }
+        Ok(())
+    }
+
     /// Validates the geometry.
     ///
     /// # Panics
     ///
     /// Panics on degenerate geometry (zero sets/ways/uops).
     pub fn validate(&self) {
-        assert!(self.sets > 0 && self.ways > 0 && self.uops_per_line > 0, "degenerate geometry");
-        assert!(
-            self.max_ways_per_region >= 1 && self.max_ways_per_region <= self.ways,
-            "region span must fit in a set"
-        );
+        if let Err(msg) = self.check() {
+            panic!("{msg}");
+        }
     }
 }
 
@@ -120,5 +137,16 @@ mod tests {
         let mut c = UopCacheConfig::baseline();
         c.sets = 0;
         c.validate();
+    }
+
+    #[test]
+    fn check_reports_problems_without_panicking() {
+        assert!(UopCacheConfig::baseline().check().is_ok());
+        let mut c = UopCacheConfig::baseline();
+        c.ways = 0;
+        assert!(c.check().unwrap_err().contains("degenerate"));
+        let mut c = UopCacheConfig::baseline();
+        c.max_ways_per_region = c.ways + 1;
+        assert!(c.check().unwrap_err().contains("region span"));
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::config::UopCacheConfig;
 use crate::stream::CompactedStream;
+use scc_isa::trace::{Event, SinkHandle};
 use scc_isa::Addr;
 
 #[derive(Clone, Debug)]
@@ -37,6 +38,25 @@ pub struct OptPartitionStats {
     pub insert_rejects: u64,
 }
 
+impl OptPartitionStats {
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    ///
+    /// The exhaustive destructuring makes this the single source of truth:
+    /// adding a field without listing it here fails to compile.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let OptPartitionStats { hits, misses, inserts, evictions, phased_out, insert_rejects } =
+            *self;
+        vec![
+            ("hits", hits),
+            ("misses", misses),
+            ("inserts", inserts),
+            ("evictions", evictions),
+            ("phased_out", phased_out),
+            ("insert_rejects", insert_rejects),
+        ]
+    }
+}
+
 /// The optimized micro-op cache partition.
 #[derive(Clone, Debug)]
 pub struct OptPartition {
@@ -44,6 +64,7 @@ pub struct OptPartition {
     sets: Vec<Vec<OptEntry>>,
     stats: OptPartitionStats,
     last_decay: u64,
+    sink: SinkHandle,
 }
 
 impl OptPartition {
@@ -59,12 +80,19 @@ impl OptPartition {
             config,
             stats: OptPartitionStats::default(),
             last_decay: 0,
+            sink: SinkHandle::disabled(),
         }
     }
 
     /// The partition's configuration.
     pub fn config(&self) -> &UopCacheConfig {
         &self.config
+    }
+
+    /// Attaches an observability sink; stream insert/evict/phase-out
+    /// events are emitted through it (see `scc_isa::trace`).
+    pub fn attach_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 
     fn ways_needed(&self, s: &CompactedStream) -> usize {
@@ -192,14 +220,29 @@ impl OptPartition {
                     if self.sets[set][i].hotness == 0
                         || self.sets[set][i].stream.profitability_score() <= newcomer_rank =>
                 {
-                    self.sets[set].remove(i);
+                    let evicted = self.sets[set].remove(i);
                     self.stats.evictions += 1;
+                    self.sink.emit(|| Event::StreamEvicted {
+                        cycle: now,
+                        stream_id: evicted.stream.stream_id,
+                        region: evicted.stream.region,
+                        reason: "capacity",
+                    });
                 }
                 _ => {
                     self.stats.insert_rejects += 1;
                     return false;
                 }
             }
+        }
+        if self.sink.is_enabled() {
+            self.sink.emit(|| Event::StreamInserted {
+                cycle: now,
+                stream_id: stream.stream_id,
+                region: stream.region,
+                shrinkage: stream.shrinkage(),
+                invariants: stream.invariants.len(),
+            });
         }
         self.sets[set].push(OptEntry { stream, ways: needed, hotness: 1, last_touch: now });
         self.stats.inserts += 1;
@@ -234,6 +277,18 @@ impl OptPartition {
     pub fn phase_out(&mut self, region: Addr, min_confidence: u8) -> usize {
         let set = self.config.set_of(region);
         let before = self.sets[set].len();
+        if self.sink.is_enabled() {
+            for e in &self.sets[set] {
+                if e.stream.region == region && e.stream.min_confidence() < min_confidence {
+                    self.sink.emit(|| Event::StreamEvicted {
+                        cycle: self.last_decay,
+                        stream_id: e.stream.stream_id,
+                        region,
+                        reason: "phase-out",
+                    });
+                }
+            }
+        }
         self.sets[set].retain(|e| {
             e.stream.region != region || e.stream.min_confidence() >= min_confidence
         });
@@ -245,6 +300,18 @@ impl OptPartition {
     /// Drops every stream belonging to `region` (self-modifying code).
     pub fn invalidate(&mut self, region: Addr) {
         let set = self.config.set_of(region);
+        if self.sink.is_enabled() {
+            for e in &self.sets[set] {
+                if e.stream.region == region {
+                    self.sink.emit(|| Event::StreamEvicted {
+                        cycle: self.last_decay,
+                        stream_id: e.stream.stream_id,
+                        region,
+                        reason: "invalidated",
+                    });
+                }
+            }
+        }
         self.sets[set].retain(|e| e.stream.region != region);
     }
 
@@ -397,6 +464,37 @@ mod tests {
         let h = p.hotness(1);
         p.tick(9); // 3 decay periods of 3 cycles
         assert_eq!(p.hotness(1), h.saturating_sub(3));
+    }
+
+    #[test]
+    fn sink_sees_stream_lifecycle() {
+        use scc_isa::trace::{shared, CollectSink, Event, SinkHandle};
+        let mut p = OptPartition::new(cfg());
+        let collect = shared(CollectSink::default());
+        p.attach_sink(SinkHandle::attached(collect.clone()));
+        let r = |i: u64| 0x20 + i * 4 * 32;
+        p.insert(stream(r(0), r(0), 1, 12, 14), 0);
+        p.insert(stream(r(1), r(1), 2, 12, 2), 0);
+        for t in 0..5 {
+            p.lookup(r(0), t);
+        }
+        p.insert(stream(r(2), r(2), 3, 12, 8), 10); // evicts stream 2
+        p.insert(stream(0x40, 0x40, 4, 3, 1), 11);
+        p.phase_out(0x40, 5); // drops stream 4
+        let events = collect.borrow().events.clone();
+        let inserts =
+            events.iter().filter(|e| matches!(e, Event::StreamInserted { .. })).count();
+        assert_eq!(inserts as u64, p.stats().inserts);
+        let capacity = events
+            .iter()
+            .filter(|e| matches!(e, Event::StreamEvicted { reason: "capacity", .. }))
+            .count();
+        let phased = events
+            .iter()
+            .filter(|e| matches!(e, Event::StreamEvicted { reason: "phase-out", .. }))
+            .count();
+        assert_eq!(capacity as u64, p.stats().evictions);
+        assert_eq!(phased as u64, p.stats().phased_out);
     }
 
     #[test]

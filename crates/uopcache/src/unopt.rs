@@ -7,6 +7,7 @@
 //! (Ren et al.) and compaction triggering.
 
 use crate::config::UopCacheConfig;
+use scc_isa::trace::{Event, SinkHandle};
 use scc_isa::{Addr, Uop};
 use std::sync::Arc;
 
@@ -50,6 +51,23 @@ pub struct UnoptPartitionStats {
     pub fill_rejects: u64,
 }
 
+impl UnoptPartitionStats {
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    ///
+    /// The exhaustive destructuring makes this the single source of truth:
+    /// adding a field without listing it here fails to compile.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let UnoptPartitionStats { hits, misses, fills, evictions, fill_rejects } = *self;
+        vec![
+            ("hits", hits),
+            ("misses", misses),
+            ("fills", fills),
+            ("evictions", evictions),
+            ("fill_rejects", fill_rejects),
+        ]
+    }
+}
+
 /// The unoptimized micro-op cache partition.
 #[derive(Clone, Debug)]
 pub struct UnoptPartition {
@@ -57,6 +75,7 @@ pub struct UnoptPartition {
     sets: Vec<Vec<RegionEntry>>,
     stats: UnoptPartitionStats,
     last_decay: u64,
+    sink: SinkHandle,
 }
 
 impl UnoptPartition {
@@ -72,12 +91,19 @@ impl UnoptPartition {
             config,
             stats: UnoptPartitionStats::default(),
             last_decay: 0,
+            sink: SinkHandle::disabled(),
         }
     }
 
     /// The partition's configuration.
     pub fn config(&self) -> &UopCacheConfig {
         &self.config
+    }
+
+    /// Attaches an observability sink; fill and eviction events are
+    /// emitted through it (see `scc_isa::trace`).
+    pub fn attach_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 
     fn ways_needed(&self, uops: &[Uop]) -> usize {
@@ -154,8 +180,10 @@ impl UnoptPartition {
                 .map(|(i, _)| i);
             match victim {
                 Some(i) => {
-                    self.sets[set].remove(i);
+                    let evicted = self.sets[set].remove(i);
                     self.stats.evictions += 1;
+                    self.sink
+                        .emit(|| Event::RegionEvicted { cycle: now, region: evicted.region });
                 }
                 None => {
                     self.stats.fill_rejects += 1;
@@ -163,6 +191,7 @@ impl UnoptPartition {
                 }
             }
         }
+        let len = uops.len();
         self.sets[set].push(RegionEntry {
             region,
             uops: uops.into(),
@@ -172,6 +201,7 @@ impl UnoptPartition {
             last_touch: now,
         });
         self.stats.fills += 1;
+        self.sink.emit(|| Event::RegionFilled { cycle: now, region, uops: len });
         true
     }
 
@@ -364,6 +394,25 @@ mod tests {
         assert!(p.peek(0x40).is_some());
         assert_eq!(p.stats(), s);
         assert_eq!(p.hotness(0x40), h);
+    }
+
+    #[test]
+    fn sink_sees_fills_and_evictions() {
+        use scc_isa::trace::{shared, CollectSink, SinkHandle};
+        let mut p = part();
+        let collect = shared(CollectSink::default());
+        p.attach_sink(SinkHandle::attached(collect.clone()));
+        let r = |i: u64| 0x20 + i * 4 * 32;
+        for i in 0..4 {
+            p.fill(r(i), uops(12), i);
+        }
+        p.fill(r(4), uops(6), 10); // evicts one cold region
+        let events = &collect.borrow().events;
+        let fills = events.iter().filter(|e| matches!(e, Event::RegionFilled { .. })).count();
+        let evictions =
+            events.iter().filter(|e| matches!(e, Event::RegionEvicted { .. })).count();
+        assert_eq!(fills as u64, p.stats().fills);
+        assert_eq!(evictions as u64, p.stats().evictions);
     }
 
     #[test]
