@@ -11,17 +11,17 @@
 use scc_core::SccConfig;
 use scc_pipeline::{FrontendMode, PipelineConfig};
 use scc_sim::report::{geomean, Table};
-use scc_sim::runner::{Job, Runner};
+use scc_sim::runner::{resolve_workload, Job, Runner};
 use scc_sim::OptLevel;
 use scc_uopcache::UopCacheConfig;
-use scc_workloads::{workload, Scale, Workload};
+use scc_workloads::{Scale, Workload};
 
 const SUBSET: [&str; 5] = ["perlbench", "freqmine", "gcc", "mcf", "lbm"];
 
 fn subset(scale: Scale) -> Vec<Workload> {
     SUBSET
         .iter()
-        .map(|n| workload(n, scale).expect("known workload"))
+        .map(|n| resolve_workload(n, scale).unwrap_or_else(|e| panic!("{e}")))
         .collect()
 }
 

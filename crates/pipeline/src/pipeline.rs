@@ -94,6 +94,10 @@ pub enum RunOutcome {
     Halted,
     /// The cycle budget ran out first.
     CyclesExhausted,
+    /// The attached cancellation check tripped (see
+    /// [`Pipeline::set_cancel_check`]) — a deadline expired or the host
+    /// asked the run to stop.
+    Cancelled,
 }
 
 /// Results of one simulation.
@@ -152,6 +156,11 @@ pub struct Pipeline<'p> {
     /// Fetch-mix interval tracker: (interval start cycle, icache, unopt,
     /// opt) counter snapshots at the start of the current interval.
     obs_fetch_mark: (u64, u64, u64, u64),
+    /// Host-side cancellation check, polled every 4096 cycles by the run
+    /// loops (deadlines, service shutdown). `None` costs one branch.
+    cancel: Option<Box<dyn Fn() -> bool + Send>>,
+    /// True once the cancellation check tripped.
+    cancelled: bool,
 }
 
 impl<'p> Pipeline<'p> {
@@ -201,9 +210,39 @@ impl<'p> Pipeline<'p> {
             trace: None,
             obs: SinkHandle::disabled(),
             obs_fetch_mark: (0, 0, 0, 0),
+            cancel: None,
+            cancelled: false,
             program,
             cfg,
         }
+    }
+
+    /// Attaches a cancellation check. The run loops poll it every 4096
+    /// cycles; when it returns `true` the run stops at the next poll
+    /// point with [`RunOutcome::Cancelled`] and partial (but internally
+    /// consistent) stats. This is how a serving layer enforces
+    /// per-request deadlines without a watchdog thread: the check
+    /// typically compares `Instant::now()` against a deadline.
+    pub fn set_cancel_check(&mut self, check: Box<dyn Fn() -> bool + Send>) {
+        self.cancel = Some(check);
+    }
+
+    /// Polls the cancellation check (if any) at the 4096-cycle cadence
+    /// shared with the other periodic run-loop work. Returns `true` once
+    /// the run should stop.
+    fn cancel_tripped(&mut self) -> bool {
+        if self.cancelled {
+            return true;
+        }
+        if self.cycle & 0xfff == 0 {
+            if let Some(check) = &self.cancel {
+                if check() {
+                    self.cancelled = true;
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Attaches a structured observability sink: fetch-mix intervals,
@@ -260,9 +299,10 @@ impl<'p> Pipeline<'p> {
         p
     }
 
-    /// Runs until `halt` commits or `max_cycles` elapse.
+    /// Runs until `halt` commits, `max_cycles` elapse, or the attached
+    /// cancellation check trips.
     pub fn run(&mut self, max_cycles: u64) -> PipelineResult {
-        while !self.halted && self.cycle < max_cycles {
+        while !self.halted && self.cycle < max_cycles && !self.cancel_tripped() {
             self.step();
         }
         self.finish()
@@ -271,7 +311,11 @@ impl<'p> Pipeline<'p> {
     /// Runs until at least `uops` micro-ops have committed (or `halt`, or
     /// the cycle budget) — one SimPoint interval's worth of simulation.
     pub fn run_until_commits(&mut self, uops: u64, max_cycles: u64) -> PipelineResult {
-        while !self.halted && self.cycle < max_cycles && self.stats.committed_uops < uops {
+        while !self.halted
+            && self.cycle < max_cycles
+            && self.stats.committed_uops < uops
+            && !self.cancel_tripped()
+        {
             self.step();
         }
         self.finish()
@@ -281,7 +325,11 @@ impl<'p> Pipeline<'p> {
     /// (committed micro-ops plus SCC-eliminated ones), so intervals mean
     /// the same thing at every optimization level.
     pub fn run_until_program_uops(&mut self, uops: u64, max_cycles: u64) -> PipelineResult {
-        while !self.halted && self.cycle < max_cycles && self.stats.program_uops < uops {
+        while !self.halted
+            && self.cycle < max_cycles
+            && self.stats.program_uops < uops
+            && !self.cancel_tripped()
+        {
             self.step();
         }
         self.finish()
@@ -356,7 +404,13 @@ impl<'p> Pipeline<'p> {
                 es.committed + es.discarded + es.aborted_self_loop + es.aborted_smc;
         }
         PipelineResult {
-            outcome: if self.halted { RunOutcome::Halted } else { RunOutcome::CyclesExhausted },
+            outcome: if self.halted {
+                RunOutcome::Halted
+            } else if self.cancelled {
+                RunOutcome::Cancelled
+            } else {
+                RunOutcome::CyclesExhausted
+            },
             stats: self.stats.clone(),
             snapshot: ArchSnapshot {
                 regs: self.arch_regs,

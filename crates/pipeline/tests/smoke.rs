@@ -57,6 +57,53 @@ fn tiny_loop_halts_scc() {
 }
 
 #[test]
+fn cancel_check_stops_a_run() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    // A long-enough loop that the 4096-cycle poll cadence fires many
+    // times before halt.
+    let mut b = ProgramBuilder::new(0x1000);
+    b.mov_imm(r(0), 0);
+    b.mov_imm(r(1), 200_000);
+    let top = b.here();
+    b.add_imm(r(0), r(0), 1);
+    b.sub_imm(r(1), r(1), 1);
+    b.cmp_br_imm(Cond::Ne, r(1), 0, top);
+    b.halt();
+    let p = b.build();
+
+    // Trip on the third poll: the run must stop there, not at halt.
+    let polls = Arc::new(AtomicU64::new(0));
+    let mut pipe = Pipeline::new(&p, PipelineConfig::baseline());
+    let seen = Arc::clone(&polls);
+    pipe.set_cancel_check(Box::new(move || seen.fetch_add(1, Ordering::Relaxed) >= 2));
+    let res = pipe.run(100_000_000);
+    assert_eq!(res.outcome, RunOutcome::Cancelled, "stats: {:?}", res.stats);
+    assert!(res.stats.cycles > 0, "some progress before cancellation");
+    assert!(res.stats.cycles <= 3 * 4096, "stopped at the tripping poll");
+    assert_eq!(polls.load(Ordering::Relaxed), 3, "check polled once per 4096 cycles");
+
+    // An immediately-true check cancels before any simulation work.
+    let mut pipe = Pipeline::new(&p, PipelineConfig::baseline());
+    pipe.set_cancel_check(Box::new(|| true));
+    let res = pipe.run(100_000_000);
+    assert_eq!(res.outcome, RunOutcome::Cancelled);
+    assert_eq!(res.stats.cycles, 0, "cancelled at cycle zero");
+
+    // A never-true check perturbs nothing: same outcome and stats as a
+    // run without one.
+    let mut plain = Pipeline::new(&p, PipelineConfig::baseline());
+    let plain_res = plain.run(100_000_000);
+    let mut checked = Pipeline::new(&p, PipelineConfig::baseline());
+    checked.set_cancel_check(Box::new(|| false));
+    let checked_res = checked.run(100_000_000);
+    assert_eq!(plain_res.outcome, RunOutcome::Halted);
+    assert_eq!(plain_res.stats, checked_res.stats, "cancel hook must not perturb");
+    assert_eq!(plain_res.snapshot, checked_res.snapshot);
+}
+
+#[test]
 fn loads_and_stores_work() {
     let mut b = ProgramBuilder::new(0x1000);
     b.word(0x9000, 11);

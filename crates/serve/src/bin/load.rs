@@ -1,0 +1,140 @@
+//! `scc-load` — drive an `scc-serve` instance with concurrent
+//! connections and summarize throughput/latency/cache behavior.
+//!
+//! ```text
+//! scc-load --connect tcp:HOST:PORT|unix:PATH
+//!          [--conns N] [--requests N] [--workload NAME] [--iters N]
+//!          [--level LABEL] [--deadline-ms N] [--distinct N]
+//!          [--out results/BENCH_serve.json] [--shutdown]
+//! ```
+//!
+//! Exits non-zero if any request ends in a non-retryable error
+//! (`queue_full` rejections are retried after the server's hint and do
+//! not fail the run).
+
+use std::process::ExitCode;
+
+use scc_serve::loadgen::{bench_json, run, LoadConfig};
+use scc_serve::{Addr, Client};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scc-load --connect ADDR [--conns N] [--requests N] [--workload NAME] \
+         [--iters N] [--level LABEL] [--deadline-ms N] [--distinct N] [--out FILE] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    cfg: LoadConfig,
+    out: Option<String>,
+    shutdown: bool,
+}
+
+fn parse_args() -> Args {
+    let mut addr = None;
+    let mut cfg = LoadConfig {
+        addr: Addr::Tcp(String::new()),
+        conns: 8,
+        requests_per_conn: 8,
+        workload: "freqmine".to_string(),
+        iters: 400,
+        level: "full-scc".to_string(),
+        deadline_ms: None,
+        distinct: 4,
+    };
+    let mut out = None;
+    let mut shutdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("scc-load: {what} needs a value");
+                usage();
+            }
+        };
+        match arg.as_str() {
+            "--connect" => match Addr::parse(&value("--connect")) {
+                Ok(a) => addr = Some(a),
+                Err(e) => {
+                    eprintln!("scc-load: {e}");
+                    usage();
+                }
+            },
+            "--conns" => match value("--conns").parse() {
+                Ok(n) if n >= 1 => cfg.conns = n,
+                _ => usage(),
+            },
+            "--requests" => match value("--requests").parse() {
+                Ok(n) if n >= 1 => cfg.requests_per_conn = n,
+                _ => usage(),
+            },
+            "--workload" => cfg.workload = value("--workload"),
+            "--iters" => match value("--iters").parse() {
+                Ok(n) if n >= 1 => cfg.iters = n,
+                _ => usage(),
+            },
+            "--level" => cfg.level = value("--level"),
+            "--deadline-ms" => match value("--deadline-ms").parse() {
+                Ok(n) => cfg.deadline_ms = Some(n),
+                _ => usage(),
+            },
+            "--distinct" => match value("--distinct").parse() {
+                Ok(n) if n >= 1 => cfg.distinct = n,
+                _ => usage(),
+            },
+            "--out" => out = Some(value("--out")),
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("scc-load: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("scc-load: --connect is required");
+        usage();
+    };
+    cfg.addr = addr;
+    Args { cfg, out, shutdown }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let report = match run(&args.cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scc-load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = bench_json(&report);
+    print!("{doc}");
+    if let Some(path) = &args.out {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("scc-load: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("scc-load: wrote {path}");
+    }
+    if args.shutdown {
+        match Client::connect(&args.cfg.addr).and_then(|mut c| c.request("{\"verb\":\"shutdown\"}"))
+        {
+            Ok(resp) => eprintln!("scc-load: shutdown → {}", resp.trim()),
+            Err(e) => {
+                eprintln!("scc-load: shutdown failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if report.errors > 0 {
+        eprintln!("scc-load: {} requests failed", report.errors);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

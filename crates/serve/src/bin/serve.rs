@@ -1,0 +1,111 @@
+//! `scc-serve` — run the resident simulation service.
+//!
+//! ```text
+//! scc-serve [--listen tcp:HOST:PORT | --listen unix:PATH]...
+//!           [--workers N] [--queue N] [--max-cycles N]
+//! ```
+//!
+//! Defaults to `tcp:127.0.0.1:7878` when no `--listen` is given.
+//! SIGTERM/SIGINT (or the `shutdown` verb) triggers a graceful drain:
+//! accepting stops, queued and in-flight jobs finish, then the process
+//! exits 0.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use scc_serve::{signal, Addr, Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scc-serve [--listen tcp:HOST:PORT|unix:PATH]... [--workers N] [--queue N] [--max-cycles N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (Vec<Addr>, ServerConfig) {
+    let mut addrs = Vec::new();
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("scc-serve: {what} needs a value");
+                usage();
+            }
+        };
+        match arg.as_str() {
+            "--listen" => {
+                let v = value("--listen");
+                match Addr::parse(&v) {
+                    Ok(a) => addrs.push(a),
+                    Err(e) => {
+                        eprintln!("scc-serve: {e}");
+                        usage();
+                    }
+                }
+            }
+            "--workers" => match value("--workers").parse() {
+                Ok(n) if n >= 1 => cfg.workers = n,
+                _ => usage(),
+            },
+            "--queue" => match value("--queue").parse() {
+                Ok(n) if n >= 1 => cfg.queue_depth = n,
+                _ => usage(),
+            },
+            "--max-cycles" => match value("--max-cycles").parse() {
+                Ok(n) if n >= 1 => cfg.max_cycles = n,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("scc-serve: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    if addrs.is_empty() {
+        addrs.push(Addr::Tcp("127.0.0.1:7878".to_string()));
+    }
+    (addrs, cfg)
+}
+
+fn main() -> ExitCode {
+    let (addrs, cfg) = parse_args();
+    signal::install();
+    let server = match Server::bind(&addrs, cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scc-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for a in &addrs {
+        eprintln!("scc-serve: listening on {a}");
+    }
+    if let Some(tcp) = server.local_tcp_addr() {
+        eprintln!("scc-serve: tcp bound at {tcp}");
+    }
+    eprintln!(
+        "scc-serve: {} workers, queue depth {}, max cycles {}",
+        cfg.workers, cfg.queue_depth, cfg.max_cycles
+    );
+
+    let handle = server.handle();
+    std::thread::spawn(move || loop {
+        if signal::received() {
+            eprintln!("scc-serve: signal received, draining");
+            handle.drain();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+
+    match server.serve() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("scc-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

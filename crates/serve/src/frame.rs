@@ -1,0 +1,157 @@
+//! Newline-delimited framing with a hard size cap.
+//!
+//! A [`FrameReader`] accumulates bytes from a (possibly timing-out)
+//! stream and yields one complete line at a time. It is resumable: a
+//! read timeout surfaces as [`Poll::TimedOut`] with the partial frame
+//! retained, so connection handlers can poll their drain flag between
+//! reads without losing data. Pipelined frames (several lines arriving
+//! in one read) are buffered and yielded in order.
+
+use std::io::Read;
+
+/// What one poll of the framer produced.
+#[derive(Debug)]
+pub enum Poll {
+    /// One complete frame (without its trailing newline).
+    Line(String),
+    /// The frame exceeded the size cap before its newline arrived. The
+    /// stream position is now mid-frame, so the connection must close.
+    Oversized,
+    /// A complete frame arrived but was not valid UTF-8.
+    BadUtf8,
+    /// The peer closed the stream. If bytes of an unterminated frame
+    /// were pending they are discarded — a truncated frame is not a
+    /// request.
+    Eof,
+    /// The read timed out (`WouldBlock`/`TimedOut`); poll again.
+    TimedOut,
+    /// A hard I/O error.
+    Err(std::io::Error),
+}
+
+/// Resumable newline framer over any [`Read`].
+pub struct FrameReader {
+    buf: Vec<u8>,
+    max: usize,
+}
+
+impl FrameReader {
+    /// A framer that rejects frames longer than `max` bytes.
+    pub fn new(max: usize) -> FrameReader {
+        FrameReader { buf: Vec::new(), max }
+    }
+
+    /// Polls for the next complete line.
+    pub fn poll_line(&mut self, r: &mut impl Read) -> Poll {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return match String::from_utf8(line) {
+                    Ok(s) => Poll::Line(s),
+                    Err(_) => Poll::BadUtf8,
+                };
+            }
+            if self.buf.len() > self.max {
+                return Poll::Oversized;
+            }
+            let mut chunk = [0u8; 4096];
+            match r.read(&mut chunk) {
+                Ok(0) => return Poll::Eof,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Poll::TimedOut
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Poll::Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn yields_lines_including_pipelined_ones() {
+        let mut r = Cursor::new(b"{\"a\":1}\n{\"b\":2}\r\npartial".to_vec());
+        let mut fr = FrameReader::new(1024);
+        assert!(matches!(fr.poll_line(&mut r), Poll::Line(s) if s == "{\"a\":1}"));
+        assert!(matches!(fr.poll_line(&mut r), Poll::Line(s) if s == "{\"b\":2}"));
+        // The unterminated tail is not a frame.
+        assert!(matches!(fr.poll_line(&mut r), Poll::Eof));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let big = vec![b'x'; 2048];
+        let mut r = Cursor::new(big);
+        let mut fr = FrameReader::new(64);
+        assert!(matches!(fr.poll_line(&mut r), Poll::Oversized));
+    }
+
+    #[test]
+    fn a_frame_at_the_cap_is_fine() {
+        let mut data = vec![b'x'; 64];
+        data.push(b'\n');
+        let mut r = Cursor::new(data);
+        let mut fr = FrameReader::new(64);
+        assert!(matches!(fr.poll_line(&mut r), Poll::Line(s) if s.len() == 64));
+    }
+
+    #[test]
+    fn invalid_utf8_is_flagged_without_closing() {
+        let mut r = Cursor::new(b"\xff\xfe\n{\"ok\":1}\n".to_vec());
+        let mut fr = FrameReader::new(1024);
+        assert!(matches!(fr.poll_line(&mut r), Poll::BadUtf8));
+        assert!(matches!(fr.poll_line(&mut r), Poll::Line(s) if s == "{\"ok\":1}"));
+    }
+
+    /// A reader that times out once, then produces data — models a
+    /// socket with a read timeout.
+    struct Flaky {
+        phase: usize,
+        data: Vec<u8>,
+    }
+    impl Read for Flaky {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.phase += 1;
+            match self.phase {
+                1 => Err(std::io::Error::from(std::io::ErrorKind::WouldBlock)),
+                2 => {
+                    let half = self.data.len() / 2;
+                    buf[..half].copy_from_slice(&self.data[..half]);
+                    Ok(half)
+                }
+                3 => Err(std::io::Error::from(std::io::ErrorKind::TimedOut)),
+                4 => {
+                    let half = self.data.len() / 2;
+                    let rest = &self.data[half..];
+                    buf[..rest.len()].copy_from_slice(rest);
+                    Ok(rest.len())
+                }
+                _ => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn partial_frames_survive_timeouts() {
+        let mut r = Flaky { phase: 0, data: b"{\"verb\":\"health\"}\n".to_vec() };
+        let mut fr = FrameReader::new(1024);
+        assert!(matches!(fr.poll_line(&mut r), Poll::TimedOut));
+        assert!(matches!(fr.poll_line(&mut r), Poll::TimedOut));
+        assert!(matches!(fr.poll_line(&mut r), Poll::Line(s) if s == "{\"verb\":\"health\"}"));
+    }
+}

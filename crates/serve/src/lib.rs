@@ -1,0 +1,35 @@
+//! `scc-serve`: a resident simulation service over the shared
+//! [`scc_sim::Runner`], plus its client and load generator.
+//!
+//! The binary crates `scc-serve` and `scc-load` are thin shells over
+//! this library:
+//!
+//! - [`server`] — listeners (TCP + Unix), the bounded job queue with
+//!   `queue_full` backpressure, deadline enforcement, and graceful
+//!   drain;
+//! - [`protocol`] — the NDJSON wire grammar and the deterministic
+//!   report rendering (byte-identical to direct in-process execution);
+//! - [`frame`] / [`json`] — newline framing with a size cap and a
+//!   dependency-free JSON parser, mirroring the hand-rolled emitters
+//!   used across the workspace;
+//! - [`client`] / [`loadgen`] — a blocking client and the concurrent
+//!   load driver behind `results/BENCH_serve.json`;
+//! - [`signal`] — the SIGTERM/SIGINT drain hook.
+//!
+//! Everything is std-only: no async runtime, no serde, no signal
+//! crates — matching the repo's zero-registry-dependency rule.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod json;
+pub mod loadgen;
+pub mod net;
+pub mod protocol;
+pub mod server;
+pub mod signal;
+
+pub use client::Client;
+pub use net::Addr;
+pub use server::{Server, ServerConfig, ServerHandle};

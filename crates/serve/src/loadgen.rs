@@ -1,0 +1,232 @@
+//! The `scc-load` load generator: N concurrent connections issuing
+//! `run` requests, honoring `queue_full` retry hints, and summarizing
+//! throughput, latency percentiles, and cache effectiveness.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::client::Client;
+use crate::json::{escape, Json};
+use crate::net::Addr;
+
+/// Load-run parameters.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Where the service listens.
+    pub addr: Addr,
+    /// Concurrent connections.
+    pub conns: usize,
+    /// `run` requests issued per connection.
+    pub requests_per_conn: usize,
+    /// Workload name sent on every request.
+    pub workload: String,
+    /// Base workload scale.
+    pub iters: i64,
+    /// Optimization level label (e.g. `full-scc`).
+    pub level: String,
+    /// Optional per-request deadline.
+    pub deadline_ms: Option<u64>,
+    /// Number of distinct job shapes cycled across requests (1 makes
+    /// every request cache-identical; larger values mix misses in).
+    pub distinct: usize,
+}
+
+/// Aggregated outcome of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Concurrent connections used.
+    pub conns: usize,
+    /// Total `run` requests that eventually succeeded or hard-failed
+    /// (each counted once, however many retries it took).
+    pub requests: u64,
+    /// Requests answered `ok`.
+    pub ok: u64,
+    /// `queue_full` rejections observed (each was retried).
+    pub rejections: u64,
+    /// Requests that ended in a non-retryable error.
+    pub errors: u64,
+    /// Wall-clock for the whole run, seconds.
+    pub wall_s: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Median request latency, milliseconds (successful requests).
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Result-cache hit rate over the run, from the `stats` verb's
+    /// `runner.cache.*` counters (delta hits / delta lookups); `NaN`
+    /// when the run performed no lookups.
+    pub cache_hit_rate: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (`p` in 0..=100).
+pub fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+fn run_request_line(cfg: &LoadConfig, conn: usize, seq: usize) -> String {
+    let iters = cfg.iters + (conn * cfg.requests_per_conn + seq) as i64 % cfg.distinct.max(1) as i64;
+    let deadline = match cfg.deadline_ms {
+        Some(ms) => format!(",\"deadline_ms\":{ms}"),
+        None => String::new(),
+    };
+    format!(
+        "{{\"verb\":\"run\",\"id\":\"c{conn}-r{seq}\",\"workload\":\"{}\",\"iters\":{iters},\"level\":\"{}\"{deadline}}}",
+        escape(&cfg.workload),
+        escape(&cfg.level),
+    )
+}
+
+fn cache_counters(addr: &Addr) -> io::Result<(u64, u64)> {
+    let mut c = Client::connect(addr)?;
+    let j = c.request_json("{\"verb\":\"stats\"}")?;
+    let stats = j
+        .get("stats")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "stats missing"))?;
+    let read = |name: &str| stats.get(name).and_then(Json::as_u64).unwrap_or(0);
+    Ok((read("runner.cache.hits"), read("runner.cache.misses")))
+}
+
+/// Runs the load: spawns one thread per connection, each issuing
+/// `requests_per_conn` run requests back-to-back, retrying on
+/// `queue_full` after the server's `retry_after_ms` hint.
+pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
+    let (hits0, misses0) = cache_counters(&cfg.addr)?;
+    let rejections = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for conn in 0..cfg.conns {
+        let cfg = cfg.clone();
+        let rejections = Arc::clone(&rejections);
+        handles.push(thread::spawn(move || -> io::Result<(Vec<f64>, u64, u64)> {
+            let mut client = Client::connect(&cfg.addr)?;
+            let mut latencies = Vec::with_capacity(cfg.requests_per_conn);
+            let (mut ok, mut errors) = (0u64, 0u64);
+            for seq in 0..cfg.requests_per_conn {
+                let line = run_request_line(&cfg, conn, seq);
+                let req_started = Instant::now();
+                loop {
+                    let resp = client.request_json(&line)?;
+                    if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                        ok += 1;
+                        latencies.push(req_started.elapsed().as_secs_f64() * 1e3);
+                        break;
+                    }
+                    let err = resp.get("error");
+                    let kind = err.and_then(|e| e.get("kind")).and_then(Json::as_str);
+                    if kind == Some("queue_full") {
+                        rejections.fetch_add(1, Ordering::Relaxed);
+                        let ms = err
+                            .and_then(|e| e.get("retry_after_ms"))
+                            .and_then(Json::as_u64)
+                            .unwrap_or(25);
+                        thread::sleep(Duration::from_millis(ms.min(2_000)));
+                        continue;
+                    }
+                    errors += 1;
+                    break;
+                }
+            }
+            Ok((latencies, ok, errors))
+        }));
+    }
+
+    let mut latencies = Vec::new();
+    let (mut ok, mut errors) = (0u64, 0u64);
+    for h in handles {
+        let (l, o, e) = h
+            .join()
+            .map_err(|_| io::Error::other("load connection thread panicked"))??;
+        latencies.extend(l);
+        ok += o;
+        errors += e;
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    let (hits1, misses1) = cache_counters(&cfg.addr)?;
+    let (dh, dm) = (hits1.saturating_sub(hits0), misses1.saturating_sub(misses0));
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    Ok(LoadReport {
+        conns: cfg.conns,
+        requests: ok + errors,
+        ok,
+        rejections: rejections.load(Ordering::Relaxed),
+        errors,
+        wall_s,
+        throughput_rps: if wall_s > 0.0 { ok as f64 / wall_s } else { 0.0 },
+        p50_ms: percentile(&latencies, 50.0),
+        p95_ms: percentile(&latencies, 95.0),
+        p99_ms: percentile(&latencies, 99.0),
+        cache_hit_rate: dh as f64 / (dh + dm) as f64,
+    })
+}
+
+/// Renders the report as the `results/BENCH_serve.json` document.
+pub fn bench_json(r: &LoadReport) -> String {
+    let hit_rate = if r.cache_hit_rate.is_finite() {
+        format!("{:.4}", r.cache_hit_rate)
+    } else {
+        "null".to_string()
+    };
+    format!(
+        "{{\n  \"bench\": \"serve\",\n  \"conns\": {},\n  \"requests\": {},\n  \"ok\": {},\n  \
+         \"rejections\": {},\n  \"errors\": {},\n  \"wall_s\": {:.3},\n  \
+         \"throughput_rps\": {:.2},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \
+         \"p99\": {:.3}}},\n  \"cache_hit_rate\": {hit_rate}\n}}\n",
+        r.conns,
+        r.requests,
+        r.ok,
+        r.rejections,
+        r.errors,
+        r.wall_s,
+        r.throughput_rps,
+        r.p50_ms,
+        r.p95_ms,
+        r.p99_ms,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 50.0), 5.0);
+        assert_eq!(percentile(&v, 95.0), 10.0);
+        assert_eq!(percentile(&v, 99.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 10.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    fn bench_json_handles_a_lookup_free_run() {
+        let r = LoadReport {
+            conns: 4,
+            requests: 0,
+            ok: 0,
+            rejections: 0,
+            errors: 0,
+            wall_s: 0.1,
+            throughput_rps: 0.0,
+            p50_ms: 0.0,
+            p95_ms: 0.0,
+            p99_ms: 0.0,
+            cache_hit_rate: f64::NAN,
+        };
+        let doc = bench_json(&r);
+        assert!(doc.contains("\"cache_hit_rate\": null"));
+        crate::json::Json::parse(&doc).unwrap();
+    }
+}

@@ -1,0 +1,125 @@
+//! Transport plumbing shared by the server, the client, and the bins:
+//! an address type covering TCP and Unix sockets, and a [`Stream`] enum
+//! abstracting over both connection kinds.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Where to listen or connect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Addr {
+    /// A TCP host:port, e.g. `127.0.0.1:7878` (port 0 picks an
+    /// ephemeral port when binding).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(std::path::PathBuf),
+}
+
+impl Addr {
+    /// Parses `tcp:HOST:PORT`, `unix:PATH`, or a bare `HOST:PORT`.
+    pub fn parse(s: &str) -> Result<Addr, String> {
+        if let Some(rest) = s.strip_prefix("tcp:") {
+            return Ok(Addr::Tcp(rest.to_string()));
+        }
+        if let Some(rest) = s.strip_prefix("unix:") {
+            #[cfg(unix)]
+            return Ok(Addr::Unix(std::path::PathBuf::from(rest)));
+            #[cfg(not(unix))]
+            return Err(format!("unix sockets are unavailable here: {rest}"));
+        }
+        if s.contains(':') {
+            return Ok(Addr::Tcp(s.to_string()));
+        }
+        Err(format!("bad address `{s}` (expected tcp:HOST:PORT or unix:PATH)"))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Addr::Tcp(hp) => write!(f, "tcp:{hp}"),
+            #[cfg(unix)]
+            Addr::Unix(p) => write!(f, "unix:{}", p.display()),
+        }
+    }
+}
+
+/// One accepted or dialed connection, TCP or Unix.
+pub enum Stream {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A Unix-domain connection.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    /// Dials `addr`.
+    pub fn connect(addr: &Addr) -> io::Result<Stream> {
+        match addr {
+            Addr::Tcp(hp) => TcpStream::connect(hp.as_str()).map(Stream::Tcp),
+            #[cfg(unix)]
+            Addr::Unix(p) => UnixStream::connect(p).map(Stream::Unix),
+        }
+    }
+
+    /// Sets the read timeout (used by server connection handlers to
+    /// poll the drain flag between frames).
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_parse() {
+        assert_eq!(Addr::parse("tcp:127.0.0.1:7878"), Ok(Addr::Tcp("127.0.0.1:7878".into())));
+        assert_eq!(Addr::parse("localhost:80"), Ok(Addr::Tcp("localhost:80".into())));
+        #[cfg(unix)]
+        assert_eq!(
+            Addr::parse("unix:/tmp/scc.sock"),
+            Ok(Addr::Unix(std::path::PathBuf::from("/tmp/scc.sock")))
+        );
+        assert!(Addr::parse("justahost").is_err());
+    }
+}

@@ -1,0 +1,406 @@
+//! The `scc-serve` wire protocol: newline-delimited JSON frames.
+//!
+//! # Grammar
+//!
+//! Every frame is one JSON object on one line (`\n`-terminated, at most
+//! [`MAX_FRAME_BYTES`] bytes). Requests carry a `verb`:
+//!
+//! ```text
+//! {"verb":"run","id":"r-1","workload":"freqmine","iters":800,
+//!  "level":"full-scc","deadline_ms":2000,"max_cycles":400000000,
+//!  "audit":false}
+//! {"verb":"stats"}
+//! {"verb":"health"}
+//! {"verb":"shutdown"}
+//! ```
+//!
+//! Responses are one JSON object per request, in request order:
+//!
+//! ```text
+//! {"ok":true,"id":"r-1","report":{...}}              // run
+//! {"ok":true,"id":"r-1","report":{...},"audit":[..]} // run with audit
+//! {"ok":false,"id":"r-1","error":{"kind":"queue_full","message":"...",
+//!  "retry_after_ms":120}}                            // any failure
+//! ```
+//!
+//! The `report` object is a *pure function of the simulation result* —
+//! no timestamps, no cache provenance — so a response is byte-identical
+//! whether the job was simulated fresh, resolved from the shared cache,
+//! or executed by a direct in-process [`Runner`](scc_sim::Runner). The
+//! regression suite holds the service to that.
+
+use crate::json::{escape, Json};
+use scc_pipeline::{Metric, MetricValue};
+use scc_sim::{OptLevel, SimResult};
+
+/// Hard cap on one request frame. Well above any legitimate request
+/// (a few hundred bytes) and well below anything that could pressure
+/// server memory.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// Upper bound a client may set for `iters` (workload scale). Keeps a
+/// single request from monopolizing a worker for minutes.
+pub const MAX_ITERS: i64 = 100_000;
+
+/// Default workload scale when a `run` request omits `iters`.
+pub const DEFAULT_ITERS: i64 = 1000;
+
+/// A parsed `run` request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRequest {
+    /// Client-chosen request ID, echoed on the response and propagated
+    /// into the runner's trace track.
+    pub id: Option<String>,
+    /// Workload name (validated against the suite by the worker).
+    pub workload: String,
+    /// Workload scale (base loop iterations).
+    pub iters: i64,
+    /// Optimization level.
+    pub level: OptLevel,
+    /// Optional cycle-budget override (clamped by the server).
+    pub max_cycles: Option<u64>,
+    /// Optional deadline, milliseconds from request receipt.
+    pub deadline_ms: Option<u64>,
+    /// Request the SCC decision audit log of the run.
+    pub audit: bool,
+}
+
+/// A parsed request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Simulate one job.
+    Run(RunRequest),
+    /// Service introspection: queue, counters, cache.
+    Stats,
+    /// Liveness/readiness: `ok` or `draining`.
+    Health,
+    /// Begin graceful drain: stop accepting, finish in-flight, exit.
+    Shutdown,
+}
+
+/// A protocol-level rejection (the frame never became a job).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProtoError {
+    /// Machine-readable kind: `bad_frame`, `unknown_verb`, `bad_request`.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// Request ID, when the frame parsed far enough to reveal one.
+    pub id: Option<String>,
+}
+
+impl ProtoError {
+    fn new(kind: &'static str, message: impl Into<String>, id: Option<String>) -> ProtoError {
+        ProtoError { kind, message: message.into(), id }
+    }
+}
+
+/// Parses an optimization level from its table label (the same labels
+/// `OptLevel::label` prints).
+pub fn parse_level(label: &str) -> Option<OptLevel> {
+    OptLevel::all().into_iter().find(|l| l.label() == label)
+}
+
+/// Parses one request frame.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let doc = Json::parse(line)
+        .map_err(|e| ProtoError::new("bad_frame", format!("malformed JSON: {e}"), None))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(ProtoError::new("bad_frame", "frame must be a JSON object", None));
+    }
+    let id = doc.get("id").and_then(Json::as_str).map(str::to_string);
+    if let Some(id_field) = doc.get("id") {
+        if id_field.as_str().is_none() {
+            return Err(ProtoError::new("bad_request", "`id` must be a string", None));
+        }
+        if id.as_deref().is_some_and(|s| s.len() > 128) {
+            return Err(ProtoError::new("bad_request", "`id` longer than 128 bytes", None));
+        }
+    }
+    let verb = match doc.get("verb").and_then(Json::as_str) {
+        Some(v) => v,
+        None => return Err(ProtoError::new("bad_request", "missing `verb`", id)),
+    };
+    match verb {
+        "stats" => Ok(Request::Stats),
+        "health" => Ok(Request::Health),
+        "shutdown" => Ok(Request::Shutdown),
+        "run" => parse_run(&doc, id).map(Request::Run),
+        other => Err(ProtoError::new(
+            "unknown_verb",
+            format!("unknown verb `{}` (expected run|stats|health|shutdown)", escape(other)),
+            id,
+        )),
+    }
+}
+
+fn parse_run(doc: &Json, id: Option<String>) -> Result<RunRequest, ProtoError> {
+    let bad = |msg: String, id: &Option<String>| {
+        Err(ProtoError::new("bad_request", msg, id.clone()))
+    };
+    let workload = match doc.get("workload").and_then(Json::as_str) {
+        Some(w) if !w.is_empty() && w.len() <= 64 => w.to_string(),
+        Some(_) => return bad("`workload` must be 1..=64 bytes".into(), &id),
+        None => return bad("run needs a string `workload`".into(), &id),
+    };
+    let iters = match doc.get("iters") {
+        None => DEFAULT_ITERS,
+        Some(v) => match v.as_i64() {
+            Some(n) if (1..=MAX_ITERS).contains(&n) => n,
+            _ => return bad(format!("`iters` must be an integer in 1..={MAX_ITERS}"), &id),
+        },
+    };
+    let level = match doc.get("level") {
+        None => OptLevel::Full,
+        Some(v) => match v.as_str().and_then(parse_level) {
+            Some(l) => l,
+            None => {
+                let labels: Vec<&str> = OptLevel::all().iter().map(|l| l.label()).collect();
+                return bad(format!("`level` must be one of {}", labels.join("|")), &id);
+            }
+        },
+    };
+    let max_cycles = match doc.get("max_cycles") {
+        None => None,
+        Some(v) => match v.as_u64() {
+            Some(n) if n >= 1 => Some(n),
+            _ => return bad("`max_cycles` must be a positive integer".into(), &id),
+        },
+    };
+    let deadline_ms = match doc.get("deadline_ms") {
+        None => None,
+        Some(v) => match v.as_u64() {
+            Some(n) => Some(n),
+            None => return bad("`deadline_ms` must be a non-negative integer".into(), &id),
+        },
+    };
+    let audit = match doc.get("audit") {
+        None => false,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => return bad("`audit` must be a boolean".into(), &id),
+        },
+    };
+    Ok(RunRequest { id, workload, iters, level, max_cycles, deadline_ms, audit })
+}
+
+fn id_field(id: Option<&str>) -> String {
+    match id {
+        Some(id) => format!("\"id\":\"{}\",", escape(id)),
+        None => String::new(),
+    }
+}
+
+/// Renders an error response frame.
+pub fn error_response(
+    id: Option<&str>,
+    kind: &str,
+    message: &str,
+    retry_after_ms: Option<u64>,
+) -> String {
+    let retry = match retry_after_ms {
+        Some(ms) => format!(",\"retry_after_ms\":{ms}"),
+        None => String::new(),
+    };
+    format!(
+        "{{\"ok\":false,{}\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"{retry}}}}}\n",
+        id_field(id),
+        escape(kind),
+        escape(message),
+    )
+}
+
+/// A 64-bit FNV-1a digest of the final architectural state. Two runs
+/// with equal digests reached the same registers, condition codes, and
+/// memory — a cheap wire-level stand-in for shipping the full snapshot.
+pub fn arch_digest(res: &SimResult) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for r in &res.snapshot.regs {
+        eat(*r as u64);
+    }
+    let cc = &res.snapshot.cc;
+    eat(u64::from(cc.zf)
+        | u64::from(cc.sf) << 1
+        | u64::from(cc.of) << 2
+        | u64::from(cc.cf) << 3);
+    for (addr, val) in &res.snapshot.mem {
+        eat(*addr);
+        eat(*val as u64);
+    }
+    h
+}
+
+/// Renders the deterministic report object for one simulation result:
+/// headline counters, total energy, an architectural-state digest, and
+/// the full metrics registry. Single-line, no provenance — the same
+/// bytes whether served fresh, from cache, or computed directly.
+pub fn report_json(res: &SimResult) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!(
+        "{{\"workload\":\"{}\",\"level\":\"{}\",\"halted\":{},\"cycles\":{},\
+         \"committed_uops\":{},\"program_uops\":{},\"energy_pj\":{:.6},\
+         \"arch_digest\":\"{:016x}\",\"metrics\":{{",
+        escape(&res.workload),
+        res.level.label(),
+        res.halted,
+        res.stats.cycles,
+        res.stats.committed_uops,
+        res.stats.program_uops,
+        res.energy_pj(),
+        arch_digest(res),
+    ));
+    push_metric_fields(&mut out, &res.stats.metrics());
+    out.push_str("}}");
+    out
+}
+
+fn push_metric_fields(out: &mut String, metrics: &[Metric]) {
+    for (i, m) in metrics.iter().enumerate() {
+        let value = match &m.value {
+            MetricValue::Counter(c) => c.to_string(),
+            MetricValue::Gauge(g) if g.is_finite() => format!("{g:.6}"),
+            MetricValue::Gauge(_) => "0".to_string(),
+        };
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        out.push_str(&format!("\"{}\":{value}{sep}", escape(&m.name)));
+    }
+}
+
+/// Renders a registry metric slice as one JSON object keyed by dotted
+/// metric name (counters as integers, gauges as fixed-point, non-finite
+/// gauges as `0` — the same convention as `scc_sim::metrics_json`).
+pub fn metrics_object(metrics: &[Metric]) -> String {
+    let mut out = String::with_capacity(64 * metrics.len().max(1));
+    out.push('{');
+    push_metric_fields(&mut out, metrics);
+    out.push('}');
+    out
+}
+
+/// Renders a successful `run` response frame.
+pub fn run_response(id: Option<&str>, res: &SimResult, audit_jsonl: Option<&str>) -> String {
+    let audit = match audit_jsonl {
+        Some(jsonl) => {
+            let lines: Vec<&str> = jsonl.lines().filter(|l| !l.is_empty()).collect();
+            format!(",\"audit\":[{}]", lines.join(","))
+        }
+        None => String::new(),
+    };
+    format!("{{\"ok\":true,{}\"report\":{}{audit}}}\n", id_field(id), report_json(res))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_request_round_trips() {
+        let r = parse_request(
+            r#"{"verb":"run","id":"r-9","workload":"freqmine","iters":800,"level":"baseline","deadline_ms":250,"audit":true}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::Run(RunRequest {
+                id: Some("r-9".into()),
+                workload: "freqmine".into(),
+                iters: 800,
+                level: OptLevel::Baseline,
+                max_cycles: None,
+                deadline_ms: Some(250),
+                audit: true,
+            })
+        );
+    }
+
+    #[test]
+    fn run_defaults_are_applied() {
+        match parse_request(r#"{"verb":"run","workload":"gcc"}"#).unwrap() {
+            Request::Run(r) => {
+                assert_eq!(r.iters, DEFAULT_ITERS);
+                assert_eq!(r.level, OptLevel::Full);
+                assert!(!r.audit);
+                assert_eq!(r.id, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn verbs_parse() {
+        assert_eq!(parse_request(r#"{"verb":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(parse_request(r#"{"verb":"health"}"#).unwrap(), Request::Health);
+        assert_eq!(parse_request(r#"{"verb":"shutdown"}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn malformed_frames_are_bad_frame() {
+        for bad in ["", "{", "not json", "[1,2,3", "\"just a string"] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.kind, "bad_frame", "{bad:?} → {e:?}");
+        }
+        // A complete non-object document is also a framing error.
+        assert_eq!(parse_request("[1,2,3]").unwrap_err().kind, "bad_frame");
+        assert_eq!(parse_request("42").unwrap_err().kind, "bad_frame");
+    }
+
+    #[test]
+    fn unknown_verbs_and_bad_fields_are_typed() {
+        assert_eq!(parse_request(r#"{"verb":"dance"}"#).unwrap_err().kind, "unknown_verb");
+        assert_eq!(parse_request(r#"{"workload":"gcc"}"#).unwrap_err().kind, "bad_request");
+        for bad in [
+            r#"{"verb":"run"}"#,
+            r#"{"verb":"run","workload":""}"#,
+            r#"{"verb":"run","workload":"gcc","iters":0}"#,
+            r#"{"verb":"run","workload":"gcc","iters":9999999}"#,
+            r#"{"verb":"run","workload":"gcc","iters":3.5}"#,
+            r#"{"verb":"run","workload":"gcc","level":"ludicrous"}"#,
+            r#"{"verb":"run","workload":"gcc","deadline_ms":-4}"#,
+            r#"{"verb":"run","workload":"gcc","audit":"yes"}"#,
+            r#"{"verb":"run","workload":"gcc","max_cycles":0}"#,
+            r#"{"verb":"run","id":7,"workload":"gcc"}"#,
+        ] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.kind, "bad_request", "{bad}");
+        }
+    }
+
+    #[test]
+    fn error_id_is_preserved_when_parseable() {
+        let e = parse_request(r#"{"verb":"dance","id":"r-3"}"#).unwrap_err();
+        assert_eq!(e.id.as_deref(), Some("r-3"));
+    }
+
+    #[test]
+    fn level_labels_round_trip() {
+        for l in OptLevel::all() {
+            assert_eq!(parse_level(l.label()), Some(l));
+        }
+        assert_eq!(parse_level("warp-speed"), None);
+    }
+
+    #[test]
+    fn error_response_renders_one_line_of_valid_json() {
+        let s = error_response(Some("r\"1"), "queue_full", "queue at capacity", Some(120));
+        assert!(s.ends_with('\n'));
+        assert_eq!(s.lines().count(), 1);
+        let j = Json::parse(s.trim_end()).unwrap();
+        assert_eq!(j.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(j.get("id").and_then(Json::as_str), Some("r\"1"));
+        let err = j.get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some("queue_full"));
+        assert_eq!(err.get("retry_after_ms").and_then(Json::as_u64), Some(120));
+        // No retry hint → field absent.
+        let s = error_response(None, "bad_frame", "nope", None);
+        assert!(!s.contains("retry_after_ms"));
+        assert!(!s.contains("\"id\""));
+    }
+}

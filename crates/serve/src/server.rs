@@ -1,0 +1,505 @@
+//! The resident simulation service.
+//!
+//! A [`Server`] owns one or more listeners (TCP and/or Unix), a bounded
+//! job queue, and a pool of simulation workers sharing one
+//! [`Runner`] (and therefore the process-wide result cache). The
+//! lifecycle is:
+//!
+//! 1. **Accept**: each connection gets a handler thread that frames
+//!    NDJSON requests and answers them in order.
+//! 2. **Queue**: `run` requests are enqueued; when the queue is at
+//!    capacity the request is rejected immediately with `queue_full`
+//!    and a `retry_after_ms` hint derived from the observed job-time
+//!    EWMA and the current backlog.
+//! 3. **Execute**: workers pop jobs, enforce deadlines (expired-while-
+//!    queued jobs are rejected without simulating; running jobs are
+//!    cancelled via the pipeline's cancel check), and send back a
+//!    pre-rendered response frame.
+//! 4. **Drain**: the `shutdown` verb (or [`ServerHandle::drain`], which
+//!    the binary wires to SIGTERM) flips the drain flag *under the
+//!    queue lock*: accepting stops, already-queued and in-flight jobs
+//!    finish, new `run` frames get a `draining` error, idle
+//!    connections close, and [`Server::serve`] returns.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener};
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+#[cfg(unix)]
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::frame::{FrameReader, Poll};
+use crate::net::{Addr, Stream};
+use crate::protocol::{
+    error_response, metrics_object, parse_request, run_response, Request, RunRequest,
+    MAX_FRAME_BYTES,
+};
+use scc_pipeline::{Metric, MetricValue};
+use scc_sim::runner::{resolve_workload, Job};
+use scc_sim::{cache_metrics, Runner, SimOptions};
+use scc_workloads::Scale;
+
+/// How long a connection handler blocks in `read` before re-checking
+/// the drain flag.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// How long a worker waits on the queue condvar before re-checking the
+/// drain flag.
+const WORKER_POLL: Duration = Duration::from_millis(100);
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Simulation worker threads sharing the job queue.
+    pub workers: usize,
+    /// Bounded queue depth; `run` requests beyond it are rejected with
+    /// `queue_full` + `retry_after_ms`.
+    pub queue_depth: usize,
+    /// Ceiling applied to any client-supplied `max_cycles`.
+    pub max_cycles: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: scc_sim::default_jobs(),
+            queue_depth: 64,
+            max_cycles: scc_sim::build::DEFAULT_MAX_CYCLES,
+        }
+    }
+}
+
+/// One queued `run` request, waiting for a worker.
+struct QueuedJob {
+    req: RunRequest,
+    deadline: Option<Instant>,
+    resp: mpsc::Sender<String>,
+}
+
+/// State shared by the accept loop, connection handlers, and workers.
+struct Shared {
+    cfg: ServerConfig,
+    runner: Runner,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    work_ready: Condvar,
+    /// Drain flag. Written only while holding the queue lock, so a
+    /// connection handler that observed `false` under the lock knows
+    /// workers cannot have exited before its enqueue became visible.
+    drain: AtomicBool,
+    in_flight: AtomicUsize,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    jobs_ok: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_rejected: AtomicU64,
+    /// EWMA of job wall time, microseconds (alpha = 1/8).
+    avg_job_us: AtomicU64,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.drain.load(Ordering::SeqCst)
+    }
+
+    /// The backpressure hint: how long a client should wait before
+    /// retrying, assuming the backlog ahead of it drains at the
+    /// observed per-job EWMA across the worker pool.
+    fn retry_after_ms(&self, queued: usize) -> u64 {
+        let avg_us = self.avg_job_us.load(Ordering::Relaxed).max(1_000);
+        let backlog = queued + self.in_flight.load(Ordering::Relaxed) + 1;
+        let us = avg_us.saturating_mul(backlog as u64) / self.cfg.workers.max(1) as u64;
+        (us / 1_000).max(10)
+    }
+
+    fn observe_job_time(&self, wall: Duration) {
+        let sample = wall.as_micros().min(u128::from(u64::MAX)) as u64;
+        let old = self.avg_job_us.load(Ordering::Relaxed);
+        let new = if old == 0 { sample } else { old - old / 8 + sample / 8 };
+        self.avg_job_us.store(new, Ordering::Relaxed);
+    }
+
+    /// Gauges and counters for the `stats` verb, merged with the
+    /// runner's `runner.cache.*` registry metrics.
+    fn metrics(&self) -> Vec<Metric> {
+        let queued = self.queue.lock().unwrap_or_else(|p| p.into_inner()).len();
+        let counter = |name: &str, v: u64| Metric {
+            name: name.to_string(),
+            value: MetricValue::Counter(v),
+        };
+        let mut out = vec![
+            counter("serve.workers", self.cfg.workers as u64),
+            counter("serve.queue.depth", self.cfg.queue_depth as u64),
+            counter("serve.queue.len", queued as u64),
+            counter("serve.in_flight", self.in_flight.load(Ordering::Relaxed) as u64),
+            counter("serve.draining", u64::from(self.draining())),
+            counter("serve.connections", self.connections.load(Ordering::Relaxed)),
+            counter("serve.requests", self.requests.load(Ordering::Relaxed)),
+            counter("serve.jobs.ok", self.jobs_ok.load(Ordering::Relaxed)),
+            counter("serve.jobs.failed", self.jobs_failed.load(Ordering::Relaxed)),
+            counter("serve.jobs.rejected", self.jobs_rejected.load(Ordering::Relaxed)),
+            counter("serve.avg_job_us", self.avg_job_us.load(Ordering::Relaxed)),
+        ];
+        out.extend(cache_metrics());
+        out
+    }
+}
+
+/// A handle that can observe and trigger drain from outside the server
+/// thread (the binary points SIGTERM at this).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begins graceful drain: stop accepting, finish queued and
+    /// in-flight jobs, then let [`Server::serve`] return.
+    pub fn drain(&self) {
+        let _guard = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        self.shared.drain.store(true, Ordering::SeqCst);
+        self.shared.work_ready.notify_all();
+    }
+
+    /// True once drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+/// The service: listeners + queue + worker pool. Construct with
+/// [`Server::bind`], then block in [`Server::serve`].
+pub struct Server {
+    shared: Arc<Shared>,
+    listeners: Vec<Listener>,
+    tcp_addrs: Vec<SocketAddr>,
+}
+
+impl Server {
+    /// Binds every address and prepares (but does not start) the
+    /// service. Unix socket paths left over from a previous run are
+    /// unlinked first.
+    pub fn bind(addrs: &[Addr], cfg: ServerConfig) -> io::Result<Server> {
+        let mut listeners = Vec::new();
+        let mut tcp_addrs = Vec::new();
+        for addr in addrs {
+            match addr {
+                Addr::Tcp(hp) => {
+                    let l = TcpListener::bind(hp.as_str())?;
+                    l.set_nonblocking(true)?;
+                    tcp_addrs.push(l.local_addr()?);
+                    listeners.push(Listener::Tcp(l));
+                }
+                #[cfg(unix)]
+                Addr::Unix(path) => {
+                    let _ = std::fs::remove_file(path);
+                    let l = UnixListener::bind(path)?;
+                    l.set_nonblocking(true)?;
+                    listeners.push(Listener::Unix(l, path.clone()));
+                }
+            }
+        }
+        if listeners.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "no listen addresses"));
+        }
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            cfg: ServerConfig { workers, ..cfg },
+            runner: Runner::new(),
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            drain: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            jobs_ok: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            avg_job_us: AtomicU64::new(0),
+        });
+        Ok(Server { shared, listeners, tcp_addrs })
+    }
+
+    /// A drain handle usable from other threads (tests, signal wiring).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// The first bound TCP address (resolves port 0 for tests).
+    pub fn local_tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addrs.first().copied()
+    }
+
+    /// Runs the service until drained: spawns the worker pool, accepts
+    /// connections, and on drain joins every connection and worker
+    /// thread before returning.
+    pub fn serve(self) -> io::Result<()> {
+        let mut worker_handles = Vec::new();
+        for w in 0..self.shared.cfg.workers {
+            let shared = Arc::clone(&self.shared);
+            worker_handles.push(
+                thread::Builder::new()
+                    .name(format!("scc-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+
+        let mut conn_handles: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.draining() {
+            let mut accepted_any = false;
+            for l in &self.listeners {
+                match accept_one(l) {
+                    Ok(Some(stream)) => {
+                        accepted_any = true;
+                        let shared = Arc::clone(&self.shared);
+                        shared.connections.fetch_add(1, Ordering::Relaxed);
+                        conn_handles.push(
+                            thread::Builder::new()
+                                .name("scc-serve-conn".to_string())
+                                .spawn(move || handle_connection(&shared, stream))?,
+                        );
+                    }
+                    Ok(None) => {}
+                    Err(e) => eprintln!("scc-serve: accept error: {e}"),
+                }
+            }
+            // Reap finished connection handlers so a long-lived server
+            // does not accumulate join handles.
+            conn_handles.retain(|h| !h.is_finished());
+            if !accepted_any {
+                thread::sleep(ACCEPT_POLL);
+            }
+        }
+
+        // Draining: connections notice via their read timeout and exit;
+        // workers exit once the queue is empty.
+        for h in conn_handles {
+            let _ = h.join();
+        }
+        for h in worker_handles {
+            let _ = h.join();
+        }
+        for l in &self.listeners {
+            #[cfg(unix)]
+            if let Listener::Unix(_, path) = l {
+                let _ = std::fs::remove_file(path);
+            }
+            #[cfg(not(unix))]
+            let _ = l;
+        }
+        let m = self.shared.metrics();
+        eprintln!("scc-serve: drained; final {}", metrics_object(&m));
+        Ok(())
+    }
+}
+
+fn accept_one(l: &Listener) -> io::Result<Option<Stream>> {
+    let would_block = |e: &io::Error| e.kind() == io::ErrorKind::WouldBlock;
+    match l {
+        Listener::Tcp(l) => match l.accept() {
+            Ok((s, _)) => Ok(Some(Stream::Tcp(s))),
+            Err(e) if would_block(&e) => Ok(None),
+            Err(e) => Err(e),
+        },
+        #[cfg(unix)]
+        Listener::Unix(l, _) => match l.accept() {
+            Ok((s, _)) => Ok(Some(Stream::Unix(s))),
+            Err(e) if would_block(&e) => Ok(None),
+            Err(e) => Err(e),
+        },
+    }
+}
+
+/// One connection: frame requests, answer them strictly in order.
+fn handle_connection(shared: &Shared, mut stream: Stream) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let mut reader = FrameReader::new(MAX_FRAME_BYTES);
+    loop {
+        if shared.draining() {
+            return;
+        }
+        let reply = match reader.poll_line(&mut stream) {
+            Poll::TimedOut => continue,
+            Poll::Eof | Poll::Err(_) => return,
+            Poll::Oversized => {
+                // The stream is now mid-frame; answer and hang up.
+                let r = error_response(
+                    None,
+                    "oversized_frame",
+                    &format!("frame exceeds {MAX_FRAME_BYTES} bytes"),
+                    None,
+                );
+                let _ = stream.write_all(r.as_bytes());
+                return;
+            }
+            Poll::BadUtf8 => {
+                error_response(None, "bad_frame", "frame is not valid UTF-8", None)
+            }
+            Poll::Line(line) => handle_frame(shared, &line),
+        };
+        if stream.write_all(reply.as_bytes()).and_then(|()| stream.flush()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Parses and executes one request frame, returning the response frame.
+fn handle_frame(shared: &Shared, line: &str) -> String {
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    let req = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return error_response(e.id.as_deref(), e.kind, &e.message, None),
+    };
+    match req {
+        Request::Health => {
+            let status = if shared.draining() { "draining" } else { "ok" };
+            format!("{{\"ok\":true,\"status\":\"{status}\"}}\n")
+        }
+        Request::Stats => {
+            format!("{{\"ok\":true,\"stats\":{}}}\n", metrics_object(&shared.metrics()))
+        }
+        Request::Shutdown => {
+            let _guard = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            shared.drain.store(true, Ordering::SeqCst);
+            shared.work_ready.notify_all();
+            "{\"ok\":true,\"status\":\"draining\"}\n".to_string()
+        }
+        Request::Run(run) => submit_run(shared, run),
+    }
+}
+
+/// Validates, enqueues, and awaits one `run` request.
+fn submit_run(shared: &Shared, req: RunRequest) -> String {
+    let id = req.id.clone();
+    // Validate the workload name before spending a queue slot, so a
+    // typo never occupies capacity.
+    if let Err(e) = resolve_workload(&req.workload, Scale::custom(req.iters)) {
+        shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        return error_response(id.as_deref(), e.kind(), &e.to_string(), None);
+    }
+    let deadline = req.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        // Checked under the lock: drain is only ever set under this
+        // lock, so seeing `false` here guarantees workers will still
+        // observe this enqueue before exiting.
+        if shared.draining() {
+            return error_response(
+                id.as_deref(),
+                "draining",
+                "server is draining; submit to another instance",
+                None,
+            );
+        }
+        if q.len() >= shared.cfg.queue_depth {
+            shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            let hint = shared.retry_after_ms(q.len());
+            return error_response(
+                id.as_deref(),
+                "queue_full",
+                &format!("queue at capacity ({})", shared.cfg.queue_depth),
+                Some(hint),
+            );
+        }
+        q.push_back(QueuedJob { req, deadline, resp: tx });
+    }
+    shared.work_ready.notify_one();
+    match rx.recv() {
+        Ok(reply) => reply,
+        Err(_) => {
+            // The worker dropped the sender without replying — only
+            // possible if job execution panicked outside the unwind
+            // guard.
+            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            error_response(id.as_deref(), "internal_error", "job worker failed", None)
+        }
+    }
+}
+
+/// Worker: pop → execute → reply, until drained and the queue is empty.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break Some(j);
+                }
+                if shared.draining() {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .work_ready
+                    .wait_timeout(q, WORKER_POLL)
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+            }
+        };
+        let Some(qj) = job else { return };
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let started = Instant::now();
+        let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_job(shared, &qj)
+        }))
+        .unwrap_or_else(|_| {
+            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            error_response(
+                qj.req.id.as_deref(),
+                "internal_error",
+                "job execution panicked",
+                None,
+            )
+        });
+        shared.observe_job_time(started.elapsed());
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        let _ = qj.resp.send(reply);
+    }
+}
+
+/// Executes one popped job on the shared runner.
+fn execute_job(shared: &Shared, qj: &QueuedJob) -> String {
+    let req = &qj.req;
+    let id = req.id.as_deref();
+    if let Some(d) = qj.deadline {
+        if Instant::now() >= d {
+            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            return error_response(id, "deadline_exceeded", "deadline expired while queued", None);
+        }
+    }
+    let workload = match resolve_workload(&req.workload, Scale::custom(req.iters)) {
+        Ok(w) => w,
+        Err(e) => {
+            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            return error_response(id, e.kind(), &e.to_string(), None);
+        }
+    };
+    let mut opts = SimOptions::new(req.level);
+    opts.max_cycles = req.max_cycles.unwrap_or(shared.cfg.max_cycles).min(shared.cfg.max_cycles);
+    let job = Job::new(&workload, &opts);
+    match shared.runner.try_run_one(&job, qj.deadline, id, req.audit) {
+        Ok(one) => {
+            shared.jobs_ok.fetch_add(1, Ordering::Relaxed);
+            run_response(id, &one.result, one.audit_jsonl.as_deref())
+        }
+        Err(e) => {
+            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            error_response(id, e.kind(), &e.to_string(), None)
+        }
+    }
+}

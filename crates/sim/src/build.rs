@@ -394,10 +394,12 @@ mod tests {
 
     #[test]
     fn scc_args_round_trip_through_the_builder() {
-        let mut args = SeArgs::default();
-        args.superopt = true;
-        args.confidence = 5; // what the parser resolves for SCC
-        args.vp_forwarding = true;
+        let args = SeArgs {
+            superopt: true,
+            confidence: 5, // what the parser resolves for SCC
+            vp_forwarding: true,
+            ..SeArgs::default()
+        };
         let sim = SimBuilder::from(&args).build().expect("valid");
         assert_eq!(sim.config().content_key(), legacy_config_for(&args).content_key());
         assert_eq!(sim.level(), OptLevel::Full);

@@ -36,7 +36,9 @@ use scc_workloads::Workload;
 
 pub use build::{ConfigError, Sim, SimBuilder, SimError};
 pub use runner::{
-    default_jobs, parallel_map, parallel_map_indexed, scc_jobs, Job, JobError, JobTiming, Runner,
+    cache_len, cache_metrics, cache_stats, default_jobs, parallel_map, parallel_map_indexed,
+    resolve_workload, scc_jobs, set_cache_capacity, CacheStats, Job, JobError, JobTiming, RunOne,
+    Runner, DEFAULT_CACHE_CAPACITY,
 };
 
 /// The appendix's six experiment levels, cumulative.

@@ -25,14 +25,16 @@
 
 use crate::report::RunTiming;
 use crate::{energy_events, OptLevel, SimOptions, SimResult};
+use scc_core::AuditLog;
 use scc_energy::EnergyModel;
-use scc_pipeline::{Pipeline, PipelineConfig, RunOutcome};
-use scc_workloads::Workload;
+use scc_isa::trace::{shared, SharedSink};
+use scc_pipeline::{Metric, MetricValue, Pipeline, PipelineConfig, RunOutcome};
+use scc_workloads::{Scale, Workload};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 /// One simulation job: a workload under a concrete pipeline
@@ -94,33 +96,84 @@ impl<'a> Job<'a> {
     }
 }
 
-/// A job that could not produce a measurement: the workload exhausted its
-/// cycle budget without halting. Carries enough identity (workload,
-/// level, full config key) to reproduce the run.
+/// A job that could not produce a measurement. Each variant carries
+/// enough identity to reproduce the failure — and none of them panic,
+/// so a long-running process (the `scc-serve` service) turns every one
+/// into a clean protocol error instead of a dead worker.
 #[derive(Clone, Debug)]
-pub struct JobError {
-    /// Workload name.
-    pub workload: String,
-    /// Optimization level label of the failing job.
-    pub level: OptLevel,
-    /// The cycle budget that was exhausted.
-    pub max_cycles: u64,
-    /// Stable content key of the pipeline configuration (see
-    /// [`PipelineConfig::content_key`]).
-    pub config_key: String,
+pub enum JobError {
+    /// The workload exhausted its cycle budget without halting.
+    BudgetExhausted {
+        /// Workload name.
+        workload: String,
+        /// Optimization level label of the failing job.
+        level: OptLevel,
+        /// The cycle budget that was exhausted.
+        max_cycles: u64,
+        /// Stable content key of the pipeline configuration (see
+        /// [`PipelineConfig::content_key`]).
+        config_key: String,
+    },
+    /// The requested workload name does not exist in the suite (see
+    /// [`resolve_workload`]); client-supplied names reach the runner
+    /// unvalidated, so this must be an error, not a panic.
+    UnknownWorkload {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// The run was cancelled by its deadline / cancellation check before
+    /// it halted (see [`Runner::try_run_one`]).
+    Cancelled {
+        /// Workload name.
+        workload: String,
+        /// Optimization level label of the cancelled job.
+        level: OptLevel,
+        /// Cycles simulated before the cancellation check tripped.
+        cycles_run: u64,
+    },
+}
+
+impl JobError {
+    /// A stable machine-readable discriminant, used as the protocol
+    /// error kind by the serving layer.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobError::BudgetExhausted { .. } => "budget_exhausted",
+            JobError::UnknownWorkload { .. } => "unknown_workload",
+            JobError::Cancelled { .. } => "deadline_exceeded",
+        }
+    }
 }
 
 impl std::fmt::Display for JobError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "workload `{}` did not halt within {} cycles at {} (config {})",
-            self.workload, self.max_cycles, self.level, self.config_key
-        )
+        match self {
+            JobError::BudgetExhausted { workload, level, max_cycles, config_key } => write!(
+                f,
+                "workload `{workload}` did not halt within {max_cycles} cycles at {level} \
+                 (config {config_key})"
+            ),
+            JobError::UnknownWorkload { name } => {
+                write!(f, "unknown workload `{name}` (see `se --list-workloads`)")
+            }
+            JobError::Cancelled { workload, level, cycles_run } => write!(
+                f,
+                "workload `{workload}` at {level} cancelled after {cycles_run} simulated cycles"
+            ),
+        }
     }
 }
 
 impl std::error::Error for JobError {}
+
+/// Looks a workload up by name, failing with [`JobError::UnknownWorkload`]
+/// instead of forcing callers into `unwrap`. Every path that accepts a
+/// workload name from outside the process (service requests, CLI flags,
+/// bench sweeps) should resolve through here.
+pub fn resolve_workload(name: &str, scale: Scale) -> Result<Workload, JobError> {
+    scc_workloads::workload(name, scale)
+        .ok_or_else(|| JobError::UnknownWorkload { name: name.to_string() })
+}
 
 /// Worker count from the environment: `SCC_JOBS` if set to a positive
 /// integer, otherwise [`default_jobs`].
@@ -162,6 +215,10 @@ pub struct JobTiming {
     pub level: &'static str,
     /// True when the result was resolved from the cross-figure cache.
     pub cached: bool,
+    /// Request ID of the service request that submitted the job, if it
+    /// came through `scc-serve` ([`Runner::try_run_one`]); propagated
+    /// into the exported trace's runner track.
+    pub request: Option<String>,
 }
 
 /// Microseconds since the process-wide epoch (first use).
@@ -170,9 +227,114 @@ fn epoch_us() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
 }
 
-fn cache() -> &'static Mutex<HashMap<String, Arc<SimResult>>> {
-    static CACHE: OnceLock<Mutex<HashMap<String, Arc<SimResult>>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// Locks a mutex, recovering the data of a poisoned one. Every global
+/// in this module is poison-tolerant: a panicking job in one worker (or
+/// one service request) must not wedge every later request in a
+/// long-running process. The protected structures are plain logs and
+/// maps whose invariants hold between every individual mutation, so the
+/// data a panicking thread left behind is safe to keep using.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Default capacity of the process-wide result cache, in entries. Each
+/// entry holds a full [`SimResult`] (including the final memory image),
+/// so an unbounded cache is not an option for a resident service; the
+/// figure harnesses need well under this many distinct configurations.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// Point-in-time counters of the cross-figure result cache (see
+/// [`cache_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently resident.
+    pub len: usize,
+    /// Maximum resident entries before eviction.
+    pub capacity: usize,
+    /// Lookups that found a resident result.
+    pub hits: u64,
+    /// Lookups that missed (and went to simulation).
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+/// The content-keyed result cache: bounded, least-recently-used-ish
+/// (exact LRU by access tick, evicting the stalest entry on overflow),
+/// with hit/miss/eviction accounting.
+struct ResultCache {
+    /// key → (last-use tick, result).
+    map: HashMap<String, (u64, Arc<SimResult>)>,
+    tick: u64,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> ResultCache {
+        ResultCache { map: HashMap::new(), tick: 0, capacity, hits: 0, misses: 0, evictions: 0 }
+    }
+
+    /// Looks `key` up, bumping its recency and the hit/miss counters.
+    fn get(&mut self, key: &str) -> Option<Arc<SimResult>> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some((last_used, r)) => {
+                *last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(r))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `key`, evicting the least-recently-used entry if the
+    /// cache is full. A capacity of zero disables residency entirely.
+    fn insert(&mut self, key: String, r: Arc<SimResult>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) {
+            self.evict_down_to(self.capacity.saturating_sub(1));
+        }
+        self.map.insert(key, (self.tick, r));
+    }
+
+    /// Evicts least-recently-used entries until at most `target` remain.
+    fn evict_down_to(&mut self, target: usize) {
+        while self.map.len() > target {
+            // Access ticks are unique, so the minimum is unambiguous.
+            let stalest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map has a minimum");
+            self.map.remove(&stalest);
+            self.evictions += 1;
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            len: self.map.len(),
+            capacity: self.capacity,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+fn cache() -> &'static Mutex<ResultCache> {
+    static CACHE: OnceLock<Mutex<ResultCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(ResultCache::new(DEFAULT_CACHE_CAPACITY)))
 }
 
 fn timing_log() -> &'static Mutex<Vec<RunTiming>> {
@@ -185,33 +347,96 @@ fn schedule_log() -> &'static Mutex<Vec<JobTiming>> {
     LOG.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+/// Sets the result cache's capacity (entries), evicting down to the new
+/// bound immediately. The service binary exposes this as
+/// `--cache-capacity`; the default is [`DEFAULT_CACHE_CAPACITY`].
+pub fn set_cache_capacity(capacity: usize) {
+    let mut c = lock_unpoisoned(cache());
+    c.capacity = capacity;
+    c.evict_down_to(capacity);
+}
+
+/// Snapshot of the result cache's occupancy and hit/miss/eviction
+/// counters.
+pub fn cache_stats() -> CacheStats {
+    lock_unpoisoned(cache()).stats()
+}
+
+/// The cache counters as registry metrics (`runner.cache.*`), in the
+/// same [`Metric`] shape as [`scc_pipeline::PipelineStats::metrics`] —
+/// the service's `stats` verb reports these alongside its queue gauges.
+pub fn cache_metrics() -> Vec<Metric> {
+    let s = cache_stats();
+    let counter = |name: &str, v: u64| Metric {
+        name: name.to_string(),
+        value: MetricValue::Counter(v),
+    };
+    vec![
+        counter("runner.cache.len", s.len as u64),
+        counter("runner.cache.capacity", s.capacity as u64),
+        counter("runner.cache.hits", s.hits),
+        counter("runner.cache.misses", s.misses),
+        counter("runner.cache.evictions", s.evictions),
+    ]
+}
+
 /// Runs one job to completion (the same semantics as
-/// [`crate::run_workload`], but from a raw config).
+/// [`crate::run_workload`], but from a raw config), optionally bounded
+/// by a wall-clock deadline and optionally with the SCC decision audit
+/// log attached.
 ///
-/// A workload that exhausts its cycle budget without halting returns a
-/// [`JobError`] instead of panicking: a panic inside a scoped worker
-/// would abort the whole pool mid-run, whereas the error propagates to
-/// the submitting thread with the job's identity attached.
-fn execute(job: &Job<'_>) -> Result<SimResult, JobError> {
+/// A workload that exhausts its cycle budget (or trips its deadline)
+/// returns a [`JobError`] instead of panicking: a panic inside a scoped
+/// worker would abort the whole pool mid-run, whereas the error
+/// propagates to the submitting thread with the job's identity attached.
+fn execute(
+    job: &Job<'_>,
+    deadline: Option<Instant>,
+    audit: bool,
+) -> Result<(SimResult, Option<String>), JobError> {
     let mut pipe = Pipeline::new(&job.workload.program, job.config.clone());
+    if let Some(deadline) = deadline {
+        pipe.set_cancel_check(Box::new(move || Instant::now() >= deadline));
+    }
+    let audit_log = if audit {
+        let log = shared(AuditLog::new());
+        pipe.attach_sink(log.clone() as SharedSink);
+        Some(log)
+    } else {
+        None
+    };
     let res = pipe.run(job.max_cycles);
-    if res.outcome != RunOutcome::Halted {
-        return Err(JobError {
-            workload: job.workload.name.to_string(),
-            level: job.level,
-            max_cycles: job.max_cycles,
-            config_key: job.config.content_key(),
-        });
+    match res.outcome {
+        RunOutcome::Halted => {}
+        RunOutcome::Cancelled => {
+            return Err(JobError::Cancelled {
+                workload: job.workload.name.to_string(),
+                level: job.level,
+                cycles_run: res.stats.cycles,
+            })
+        }
+        RunOutcome::CyclesExhausted => {
+            return Err(JobError::BudgetExhausted {
+                workload: job.workload.name.to_string(),
+                level: job.level,
+                max_cycles: job.max_cycles,
+                config_key: job.config.content_key(),
+            })
+        }
     }
     let energy = EnergyModel::icelake().energy(&energy_events(&res.stats));
-    Ok(SimResult {
-        workload: job.workload.name.to_string(),
-        level: job.level,
-        stats: res.stats,
-        energy,
-        snapshot: res.snapshot,
-        halted: true,
-    })
+    let audit_jsonl = audit_log.map(|a| a.borrow().to_jsonl());
+    Ok((
+        SimResult {
+            workload: job.workload.name.to_string(),
+            level: job.level,
+            stats: res.stats,
+            energy,
+            snapshot: res.snapshot,
+            halted: true,
+        },
+        audit_jsonl,
+    ))
 }
 
 /// Fans `items` out over up to `workers` scoped threads, applying `f`
@@ -331,10 +556,10 @@ impl Runner {
         // Resolve cache hits and collect the unique misses.
         let mut misses: Vec<(usize, &str)> = Vec::new(); // (job index, key)
         {
-            let cached = if self.use_cache { Some(cache().lock().unwrap()) } else { None };
+            let mut cached = if self.use_cache { Some(lock_unpoisoned(cache())) } else { None };
             let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
             for (i, key) in keys.iter().enumerate() {
-                if let Some(r) = cached.as_ref().and_then(|c| c.get(key.as_str())) {
+                if let Some(r) = cached.as_mut().and_then(|c| c.get(key.as_str())) {
                     hits.push(RunTiming {
                         workload: r.workload.clone(),
                         level: r.level.label(),
@@ -350,8 +575,9 @@ impl Runner {
                         workload: r.workload.clone(),
                         level: r.level.label(),
                         cached: true,
+                        request: None,
                     });
-                    out[i] = Some(Arc::clone(r));
+                    out[i] = Some(r);
                 } else if seen.insert(key.as_str()) {
                     misses.push((i, key));
                 }
@@ -364,7 +590,7 @@ impl Runner {
         let computed: Vec<Computed> = parallel_map_indexed(self.jobs, &misses, |slot, &(ji, _)| {
             let start_us = epoch_us();
             let t0 = Instant::now();
-            let r = execute(&jobs[ji]);
+            let r = execute(&jobs[ji], None, false).map(|(r, _)| r);
             (r, t0.elapsed().as_secs_f64(), slot, start_us, epoch_us())
         });
 
@@ -381,6 +607,7 @@ impl Runner {
                 workload: jobs[ji].workload.name.to_string(),
                 level: jobs[ji].level.label(),
                 cached: false,
+                request: None,
             });
             let r = match res {
                 Ok(r) => r,
@@ -400,15 +627,16 @@ impl Runner {
             });
             let r = Arc::new(r);
             if self.use_cache {
-                cache().lock().unwrap().insert(keys[ji].clone(), Arc::clone(&r));
+                lock_unpoisoned(cache()).insert(keys[ji].clone(), Arc::clone(&r));
             }
             out[ji] = Some(r);
         }
         if self.use_cache {
-            let mut log = timing_log().lock().unwrap();
+            let mut log = lock_unpoisoned(timing_log());
             log.extend(fresh);
             log.extend(hits);
-            schedule_log().lock().unwrap().extend(sched);
+            drop(log);
+            lock_unpoisoned(schedule_log()).extend(sched);
         }
         if let Some(e) = first_err {
             return Err(e);
@@ -426,17 +654,97 @@ impl Runner {
 
         Ok(out.into_iter().map(|r| r.expect("every job resolved")).collect())
     }
+
+    /// Runs a single job on the calling thread through the shared result
+    /// cache — the execution path of one `scc-serve` worker. Returns the
+    /// result, whether it was a cache hit, and (when `audit` is set) the
+    /// SCC decision audit log of the run as JSON Lines.
+    ///
+    /// * `deadline` — wall-clock bound; the cancellation check threaded
+    ///   into the simulation loop trips at the first 4096-cycle poll past
+    ///   it and the job fails with [`JobError::Cancelled`]. Cancelled
+    ///   runs never enter the cache (their stats are partial), and an
+    ///   already-expired deadline cancels before simulating a cycle.
+    /// * `request` — request ID recorded on the job's [`JobTiming`]
+    ///   schedule entry, so service requests are attributable in the
+    ///   exported trace's runner track.
+    /// * `audit` — attach an [`AuditLog`] sink to the run. Audit is a
+    ///   property of an *execution*, not a result, so audit requests
+    ///   bypass the cache lookup (they still publish their result for
+    ///   later non-audit requests). The observability layer guarantees an
+    ///   attached sink does not perturb the simulation.
+    pub fn try_run_one(
+        &self,
+        job: &Job<'_>,
+        deadline: Option<Instant>,
+        request: Option<&str>,
+        audit: bool,
+    ) -> Result<RunOne, JobError> {
+        let key = job.key();
+        let log_timing = |cached: bool, wall_secs: f64, uops: u64, start_us: u64, end_us: u64| {
+            if !self.use_cache {
+                return;
+            }
+            lock_unpoisoned(timing_log()).push(RunTiming {
+                workload: job.workload.name.to_string(),
+                level: job.level.label(),
+                wall_secs,
+                uops,
+                cached,
+            });
+            lock_unpoisoned(schedule_log()).push(JobTiming {
+                worker: 0,
+                start_us,
+                end_us,
+                workload: job.workload.name.to_string(),
+                level: job.level.label(),
+                cached,
+                request: request.map(str::to_string),
+            });
+        };
+
+        if self.use_cache && !audit {
+            if let Some(r) = lock_unpoisoned(cache()).get(&key) {
+                let now = epoch_us();
+                log_timing(true, 0.0, r.stats.committed_uops, now, now);
+                return Ok(RunOne { result: r, cached: true, audit_jsonl: None });
+            }
+        }
+        let start_us = epoch_us();
+        let t0 = Instant::now();
+        let (result, audit_jsonl) = execute(job, deadline, audit)?;
+        let wall = t0.elapsed().as_secs_f64();
+        let result = Arc::new(result);
+        if self.use_cache {
+            lock_unpoisoned(cache()).insert(key, Arc::clone(&result));
+        }
+        log_timing(false, wall, result.stats.committed_uops, start_us, epoch_us());
+        Ok(RunOne { result, cached: false, audit_jsonl })
+    }
+}
+
+/// Outcome of [`Runner::try_run_one`]: the simulation result plus how it
+/// was produced.
+#[derive(Clone, Debug)]
+pub struct RunOne {
+    /// The simulation result (shared with the cache).
+    pub result: Arc<SimResult>,
+    /// True when the result came from the cross-figure cache.
+    pub cached: bool,
+    /// The run's SCC decision audit log (JSON Lines), present only when
+    /// auditing was requested (audited runs are always fresh).
+    pub audit_jsonl: Option<String>,
 }
 
 /// Snapshot of the process-wide throughput log (one entry per run the
 /// cached runners performed or resolved from cache).
 pub fn timings() -> Vec<RunTiming> {
-    timing_log().lock().unwrap().clone()
+    lock_unpoisoned(timing_log()).clone()
 }
 
 /// Number of results currently in the cross-figure cache.
 pub fn cache_len() -> usize {
-    cache().lock().unwrap().len()
+    lock_unpoisoned(cache()).map.len()
 }
 
 /// Snapshot of the process-wide worker-schedule log (one [`JobTiming`]
@@ -444,7 +752,7 @@ pub fn cache_len() -> usize {
 /// [`crate::trace_export::replay_schedule`] to render the runner tracks
 /// of a Chrome trace.
 pub fn schedule() -> Vec<JobTiming> {
-    schedule_log().lock().unwrap().clone()
+    lock_unpoisoned(schedule_log()).clone()
 }
 
 /// Writes the throughput log as JSON (see
@@ -568,8 +876,14 @@ mod tests {
         let good = Job::new(&ws[1], &opts);
         let runner = Runner::with_jobs(2);
         let err = runner.try_run(&[bad, good.clone()]).unwrap_err();
-        assert_eq!(err.workload, "exchange");
-        assert_eq!(err.max_cycles, 2);
+        match &err {
+            JobError::BudgetExhausted { workload, max_cycles, .. } => {
+                assert_eq!(workload, "exchange");
+                assert_eq!(*max_cycles, 2);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert_eq!(err.kind(), "budget_exhausted");
         let msg = err.to_string();
         assert!(msg.contains("did not halt within 2 cycles"), "{msg}");
         assert!(msg.contains("core:"), "error must name the config: {msg}");
@@ -640,5 +954,142 @@ mod tests {
         // `Runner::new` must not consult SCC_JOBS — only the binary-edge
         // helper does.
         assert_eq!(Runner::new().jobs(), default_jobs());
+    }
+
+    fn dummy_result(name: &str) -> Arc<SimResult> {
+        Arc::new(SimResult {
+            workload: name.to_string(),
+            level: OptLevel::Baseline,
+            stats: Default::default(),
+            energy: Default::default(),
+            snapshot: scc_isa::ArchSnapshot {
+                regs: [0; scc_isa::NUM_REGS],
+                cc: Default::default(),
+                mem: Vec::new(),
+            },
+            halted: true,
+        })
+    }
+
+    #[test]
+    fn result_cache_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.insert("a".into(), dummy_result("a"));
+        c.insert("b".into(), dummy_result("b"));
+        assert!(c.get("a").is_some(), "touch `a` so `b` is stalest");
+        c.insert("c".into(), dummy_result("c"));
+        let s = c.stats();
+        assert_eq!((s.len, s.capacity, s.evictions), (2, 2, 1));
+        assert!(c.get("b").is_none(), "`b` was least recently used");
+        assert!(c.get("a").is_some() && c.get("c").is_some());
+        assert_eq!(c.stats().hits, 3);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn result_cache_capacity_zero_disables_residency() {
+        let mut c = ResultCache::new(0);
+        c.insert("a".into(), dummy_result("a"));
+        assert!(c.get("a").is_none());
+        assert_eq!(c.stats().len, 0);
+    }
+
+    #[test]
+    fn result_cache_reinsert_does_not_evict() {
+        let mut c = ResultCache::new(2);
+        c.insert("a".into(), dummy_result("a"));
+        c.insert("b".into(), dummy_result("b"));
+        c.insert("a".into(), dummy_result("a"));
+        let s = c.stats();
+        assert_eq!((s.len, s.evictions), (2, 0), "overwrite needs no room");
+    }
+
+    #[test]
+    fn global_cache_survives_a_poisoning_panic() {
+        // A panicking thread holding the cache lock poisons the mutex; a
+        // long-running service must shrug that off, not wedge forever.
+        let _ = std::thread::spawn(|| {
+            let _guard = cache().lock().unwrap_or_else(|p| p.into_inner());
+            panic!("poison the cache mutex");
+        })
+        .join();
+        let _ = cache_len(); // must not panic
+        let _ = cache_stats();
+        let scale = Scale::custom(280);
+        let w = workload("exchange", scale).unwrap();
+        let r = Runner::with_jobs(1)
+            .try_run(&[Job::new(&w, &SimOptions::new(OptLevel::Baseline))])
+            .expect("runner works after a poisoning panic");
+        assert_eq!(r[0].workload, "exchange");
+    }
+
+    #[test]
+    fn resolve_workload_is_fallible() {
+        let err = resolve_workload("quantum-doom", Scale::custom(100)).unwrap_err();
+        assert_eq!(err.kind(), "unknown_workload");
+        assert!(err.to_string().contains("quantum-doom"));
+        assert!(resolve_workload("freqmine", Scale::custom(100)).is_ok());
+    }
+
+    #[test]
+    fn try_run_one_hits_cache_and_records_request_ids() {
+        let scale = Scale::custom(290);
+        let w = workload("leela", scale).unwrap();
+        let job = Job::new(&w, &SimOptions::new(OptLevel::Full));
+        let runner = Runner::with_jobs(1);
+        let first = runner.try_run_one(&job, None, Some("req-1"), false).unwrap();
+        assert!(!first.cached);
+        let second = runner.try_run_one(&job, None, Some("req-2"), false).unwrap();
+        assert!(second.cached, "second identical request is a hit");
+        assert!(Arc::ptr_eq(&first.result, &second.result));
+        let sched = schedule();
+        for id in ["req-1", "req-2"] {
+            assert!(
+                sched.iter().any(|t| t.request.as_deref() == Some(id)),
+                "request {id} attributed in the schedule log"
+            );
+        }
+        // And batch jobs remain unattributed.
+        assert!(sched.iter().any(|t| t.request.is_none()));
+    }
+
+    #[test]
+    fn try_run_one_deadline_cancels_without_polluting_the_cache() {
+        let scale = Scale::custom(300);
+        let w = workload("gcc", scale).unwrap();
+        let job = Job::new(&w, &SimOptions::new(OptLevel::Full));
+        let runner = Runner::with_jobs(1);
+        // An already-expired deadline cancels before the first cycle.
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let err = runner.try_run_one(&job, Some(past), Some("req-dead"), false).unwrap_err();
+        match &err {
+            JobError::Cancelled { workload, cycles_run, .. } => {
+                assert_eq!(workload, "gcc");
+                assert_eq!(*cycles_run, 0);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert_eq!(err.kind(), "deadline_exceeded");
+        // The cancelled run left nothing behind: the retry is fresh.
+        let ok = runner.try_run_one(&job, None, Some("req-retry"), false).unwrap();
+        assert!(!ok.cached, "a cancelled run must not enter the cache");
+        assert!(ok.result.halted);
+    }
+
+    #[test]
+    fn try_run_one_audit_is_fresh_and_returns_jsonl() {
+        let scale = Scale::custom(310);
+        let w = workload("freqmine", scale).unwrap();
+        let job = Job::new(&w, &SimOptions::new(OptLevel::Full));
+        let runner = Runner::with_jobs(1);
+        let plain = runner.try_run_one(&job, None, None, false).unwrap();
+        let audited = runner.try_run_one(&job, None, None, true).unwrap();
+        assert!(!audited.cached, "audit runs bypass the cache lookup");
+        let jsonl = audited.audit_jsonl.expect("audit payload present");
+        assert!(!jsonl.is_empty(), "full-scc run produces audit decisions");
+        assert_eq!(
+            plain.result.stats, audited.result.stats,
+            "the audit sink must not perturb the simulation"
+        );
     }
 }

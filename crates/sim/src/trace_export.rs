@@ -276,16 +276,22 @@ impl Sink for ChromeTraceSink {
 /// pairs — how the runner's worker tracks land in an exported trace.
 pub fn replay_schedule(sink: &mut dyn Sink, schedule: &[JobTiming]) {
     for t in schedule {
+        // Service jobs carry their request ID into the runner track's
+        // span name, so a request is findable in the exported trace.
+        let name = match &t.request {
+            Some(req) => format!("{} [{req}]", t.workload),
+            None => t.workload.clone(),
+        };
         sink.record(&Event::JobStarted {
             worker: t.worker,
             ts_us: t.start_us,
-            workload: t.workload.clone(),
+            workload: name.clone(),
             level: t.level,
         });
         sink.record(&Event::JobFinished {
             worker: t.worker,
             ts_us: t.end_us.max(t.start_us),
-            workload: t.workload.clone(),
+            workload: name,
             level: t.level,
             cached: t.cached,
         });
@@ -623,6 +629,7 @@ mod tests {
                 workload: "leela".into(),
                 level: "baseline",
                 cached: false,
+                request: None,
             },
             JobTiming {
                 worker: 0,
@@ -631,6 +638,7 @@ mod tests {
                 workload: "leela".into(),
                 level: "baseline",
                 cached: true,
+                request: Some("req-42".into()),
             },
         ];
         replay_schedule(&mut sink, &schedule);
@@ -640,5 +648,6 @@ mod tests {
         assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
         assert!(json.contains("worker 2"));
         assert!(json.contains("\"cached\":true"));
+        assert!(json.contains("leela [req-42]"), "request ID lands in the span name");
     }
 }
