@@ -1,0 +1,49 @@
+//! Tier-1 contract of event-driven fast-forward: it is a host-speed
+//! optimization only. For every seed workload, a fast-forwarded run must
+//! produce byte-identical observable output to per-cycle stepping —
+//! simulation stats, architectural snapshot, metrics JSON, Chrome trace
+//! JSON, and the SCC audit JSONL. Any divergence means a jump skipped a
+//! cycle that was not actually a no-op.
+
+use scc_core::AuditLog;
+use scc_isa::trace::{shared, Tee};
+use scc_sim::trace_export::{metrics_json, ChromeTraceSink};
+use scc_sim::{run_workload_observed, OptLevel, SimOptions, SimResult};
+use scc_workloads::{all_workloads, Scale, Workload};
+
+/// Runs one workload with full observability attached and returns the
+/// result plus the serialized (metrics JSON, trace JSON, audit JSONL)
+/// triple.
+fn observed_run(w: &Workload, level: OptLevel, fast_forward: bool) -> (SimResult, [String; 3]) {
+    let mut opts = SimOptions::new(level);
+    opts.fast_forward = fast_forward;
+    let trace = shared(ChromeTraceSink::new());
+    let audit = shared(AuditLog::new());
+    let mut tee = Tee::new();
+    tee.push(trace.clone());
+    tee.push(audit.clone());
+    let res = run_workload_observed(w, &opts, shared(tee));
+    let metrics = metrics_json(&res.workload, res.level.label(), &res.stats);
+    let (trace, audit) = (trace.borrow().to_json(), audit.borrow().to_jsonl());
+    (res, [metrics, trace, audit])
+}
+
+#[test]
+fn fast_forward_is_invisible_across_all_seed_workloads() {
+    // Small scale: each workload runs twice per level, in debug, with
+    // strict pipeline invariants checking every squash and wake.
+    let scale = Scale::custom(250);
+    for w in all_workloads(scale) {
+        for level in [OptLevel::Baseline, OptLevel::Full] {
+            let (on, on_docs) = observed_run(&w, level, true);
+            let (off, off_docs) = observed_run(&w, level, false);
+            let tag = format!("{} @ {}", w.name, level.label());
+            assert_eq!(on.stats, off.stats, "stats diverged: {tag}");
+            assert_eq!(on.snapshot, off.snapshot, "snapshot diverged: {tag}");
+            assert_eq!(on.energy, off.energy, "energy diverged: {tag}");
+            for (i, kind) in ["metrics JSON", "trace JSON", "audit JSONL"].iter().enumerate() {
+                assert_eq!(on_docs[i], off_docs[i], "{kind} diverged: {tag}");
+            }
+        }
+    }
+}

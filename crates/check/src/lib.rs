@@ -80,6 +80,10 @@ pub fn config_matrix(ablations: bool) -> Vec<(String, PipelineConfig)> {
         let mut basevp = SimOptions::new(OptLevel::Baseline).to_pipeline_config();
         basevp.vp_forwarding = Some(15);
         out.push(("baseline+vpfwd".into(), basevp));
+        // Event-driven fast-forward off: the full-SCC design stepped
+        // per-cycle. Any divergence between this run and `full` means the
+        // fast-forward jump skipped a cycle that wasn't actually a no-op.
+        out.push(("full+percycle".into(), full(|o| o.fast_forward = false)));
     }
     out
 }
@@ -260,7 +264,7 @@ mod tests {
         let m = config_matrix(true);
         assert_eq!(m[0].0, "baseline");
         assert!(!m[0].1.frontend.has_scc());
-        assert_eq!(m.len(), 13);
+        assert_eq!(m.len(), 14);
         let names: std::collections::HashSet<&str> =
             m.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names.len(), m.len(), "duplicate config labels");

@@ -469,17 +469,23 @@ impl CompactionEngine {
             let cc_in = cc.map(|(f, _)| f).unwrap_or_default();
             if let Some(result) = self.alu.eval(uop.op, a, b, cc_in, uop.cond) {
                 let width_ok = result.value.is_none_or(|v| self.config.constant_fits(v));
-                if width_ok {
+                // A cc-writing micro-op may only be eliminated when the
+                // resulting flags go into the RCT: a later kept reader
+                // recovers them from there (as a cc live-out). Merely
+                // invalidating the cc is not an option — "unknown" is a
+                // statement about the *optimizer's* knowledge, but with
+                // the producer eliminated the *runtime* flags a reader
+                // would see are stale, i.e. actively wrong.
+                let cc_write_ok = !uop.writes_cc
+                    || (self.config.opts.cc_tracking && result.cc.is_some());
+                if width_ok && cc_write_ok {
                     // Speculative constant folding / move elimination: the
                     // micro-op is dead; its effects live on in the RCT.
                     if let (Some(dst), Some(v)) = (uop.dst, result.value) {
                         pass.rct.set(dst, v, false);
                     }
                     if uop.writes_cc {
-                        match (result.cc, self.config.opts.cc_tracking) {
-                            (Some(f), true) => pass.rct.set_cc(f, false),
-                            _ => pass.rct.invalidate_cc(),
-                        }
+                        pass.rct.set_cc(result.cc.expect("gated on cc_write_ok"), false);
                     }
                     if is_move {
                         self.count_elim(pass, |bd| &mut bd.move_elim);

@@ -78,15 +78,59 @@ impl HierarchyConfig {
     }
 }
 
-/// The outcome of one hierarchy access.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// The levels one access touched, outermost last — an inline array
+/// (at most L1 → L2 → L3 → DRAM) so the per-access hot path never
+/// heap-allocates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TouchedLevels {
+    levels: [Level; 4],
+    len: u8,
+}
+
+impl TouchedLevels {
+    fn new() -> TouchedLevels {
+        // Placeholder slots beyond `len` are never exposed.
+        TouchedLevels { levels: [Level::L1I; 4], len: 0 }
+    }
+
+    fn push(&mut self, level: Level) {
+        self.levels[self.len as usize] = level;
+        self.len += 1;
+    }
+
+    /// The touched levels, outermost last.
+    pub fn as_slice(&self) -> &[Level] {
+        &self.levels[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for TouchedLevels {
+    type Target = [Level];
+
+    fn deref(&self) -> &[Level] {
+        self.as_slice()
+    }
+}
+
+/// The outcome of one hierarchy access. Returned by value with no heap
+/// payload — the pipeline calls this once per load on its hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AccessResult {
     /// Total latency in cycles.
     pub latency: u64,
     /// Levels touched, outermost last (for per-access energy charging).
-    pub touched: Vec<Level>,
+    pub touched: TouchedLevels,
     /// The level that supplied the data.
     pub supplied_by: Level,
+}
+
+impl AccessResult {
+    /// The absolute cycle this access completes when it starts at `now` —
+    /// the earliest-completion event the pipeline's event-driven
+    /// fast-forward jumps to (every access occupies at least one cycle).
+    pub fn completes_at(&self, now: u64) -> u64 {
+        now + self.latency.max(1)
+    }
 }
 
 /// Aggregate per-level access counts.
@@ -151,7 +195,7 @@ impl MemoryHierarchy {
     }
 
     fn walk(&mut self, addr: u64, instr: bool) -> AccessResult {
-        let mut touched = Vec::with_capacity(4);
+        let mut touched = TouchedLevels::new();
         let l1 = if instr { &mut self.l1i } else { &mut self.l1d };
         touched.push(if instr { Level::L1I } else { Level::L1D });
         if l1.access(addr) {
@@ -222,7 +266,7 @@ mod tests {
         let r = m.data_access(0x4000, false);
         assert_eq!(r.supplied_by, Level::Dram);
         assert_eq!(r.latency, 200);
-        assert_eq!(r.touched, vec![Level::L1D, Level::L2, Level::L3, Level::Dram]);
+        assert_eq!(r.touched.as_slice(), [Level::L1D, Level::L2, Level::L3, Level::Dram]);
         // Now everything on the path holds the line.
         let r = m.data_access(0x4000, false);
         assert_eq!(r.supplied_by, Level::L1D);
@@ -269,6 +313,18 @@ mod tests {
         assert_eq!(s.l1d.accesses(), 10);
         assert_eq!(s.l1d.hits, 9);
         assert_eq!(s.dram, 1);
+    }
+
+    #[test]
+    fn completes_at_is_absolute_and_nonzero() {
+        let mut m = MemoryHierarchy::new(&HierarchyConfig::icelake());
+        let cold = m.data_access(0x9000, false);
+        assert_eq!(cold.completes_at(1_000), 1_200);
+        let warm = m.data_access(0x9000, false);
+        assert_eq!(warm.completes_at(1_000), 1_005);
+        // Even a hypothetical zero-latency result occupies one cycle.
+        let instant = AccessResult { latency: 0, ..warm };
+        assert_eq!(instant.completes_at(7), 8);
     }
 
     #[test]

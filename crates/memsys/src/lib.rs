@@ -29,4 +29,6 @@ mod cache;
 mod hierarchy;
 
 pub use cache::{Cache, CacheConfig, CacheStats, ReplacementPolicy};
-pub use hierarchy::{AccessResult, HierarchyConfig, HierarchyStats, Level, MemoryHierarchy};
+pub use hierarchy::{
+    AccessResult, HierarchyConfig, HierarchyStats, Level, MemoryHierarchy, TouchedLevels,
+};

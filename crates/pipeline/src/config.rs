@@ -139,6 +139,14 @@ pub struct PipelineConfig {
     /// execute. `None` disables forwarding (the SCC configurations use
     /// the predictor through the compaction engine instead).
     pub vp_forwarding: Option<u8>,
+    /// Event-driven stall fast-forward: when the machine is provably
+    /// quiescent until a known future cycle, the run loop jumps straight
+    /// to that cycle instead of stepping through the stall. Simulated
+    /// behavior, stats, traces, and audit output are byte-identical
+    /// either way (enforced by the `fast_forward_identity` tests and the
+    /// `full+percycle` fuzz ablation); disabling it only costs wall-clock
+    /// time. On by default.
+    pub fast_forward: bool,
 }
 
 impl PipelineConfig {
@@ -152,6 +160,7 @@ impl PipelineConfig {
             value_predictor: ValuePredictorKind::Eves,
             force_unopt_window: 64,
             vp_forwarding: None,
+            fast_forward: true,
         }
     }
 
@@ -190,6 +199,7 @@ impl PipelineConfig {
             value_predictor,
             force_unopt_window,
             vp_forwarding,
+            fast_forward,
         } = self;
         let CoreParams {
             fetch_width,
@@ -313,7 +323,7 @@ impl PipelineConfig {
             Some(t) => t.to_string(),
             None => "none".to_string(),
         };
-        write!(k, "bp:{bp};vp:{vp};fuw:{force_unopt_window};vpf:{vpf}")
+        write!(k, "bp:{bp};vp:{vp};fuw:{force_unopt_window};vpf:{vpf};ff:{fast_forward}")
             .expect("writing to String cannot fail");
         k
     }
@@ -375,6 +385,7 @@ mod tests {
         variant!(|v: &mut PipelineConfig| v.value_predictor = ValuePredictorKind::Stride);
         variant!(|v: &mut PipelineConfig| v.force_unopt_window = 65);
         variant!(|v: &mut PipelineConfig| v.vp_forwarding = Some(15));
+        variant!(|v: &mut PipelineConfig| v.fast_forward = false);
         variant!(|v: &mut PipelineConfig| {
             if let FrontendMode::Scc { scc, .. } = &mut v.frontend {
                 scc.opts.branch_fold = false;

@@ -3,7 +3,7 @@
 
 use crate::config::{FrontendMode, PipelineConfig};
 use crate::rob::{
-    CcProvider, CcSrcState, FetchSource, PortClass, Provider, RenameMap, RobEntry, SrcState,
+    CcProvider, CcSrcState, FetchSource, PortClass, Provider, RenameMap, Rob, RobEntry, SrcState,
 };
 use crate::stats::PipelineStats;
 use crate::trace::{Trace, TraceEvent};
@@ -145,9 +145,16 @@ pub struct Pipeline<'p> {
     /// unit's phase lookup is O(1) instead of a scan of all three queues.
     inflight: FxHashMap<Addr, u32>,
     // Back end.
-    rob: VecDeque<RobEntry>,
+    rob: Rob,
     rmap: RenameMap,
     next_seq: u64,
+    /// Scratch buffer for the completion scan, retained across cycles so
+    /// the hot loop never allocates.
+    scratch_resolved: Vec<(usize, i64, i64)>,
+    /// Event-driven fast-forward jumps taken (diagnostics; deliberately
+    /// *not* part of [`PipelineStats`] so stats stay byte-identical with
+    /// fast-forward disabled).
+    ff_jumps: u64,
     stats: PipelineStats,
     trace: Option<Trace>,
     /// Structured observability sink (disabled by default; see
@@ -204,8 +211,10 @@ impl<'p> Pipeline<'p> {
             scc,
             force_unopt: FxHashMap::default(),
             inflight: FxHashMap::default(),
-            rob: VecDeque::new(),
+            rob: Rob::new(),
             next_seq: 1,
+            scratch_resolved: Vec::new(),
+            ff_jumps: 0,
             stats: PipelineStats::default(),
             trace: None,
             obs: SinkHandle::disabled(),
@@ -304,6 +313,7 @@ impl<'p> Pipeline<'p> {
     pub fn run(&mut self, max_cycles: u64) -> PipelineResult {
         while !self.halted && self.cycle < max_cycles && !self.cancel_tripped() {
             self.step();
+            self.fast_forward_to(max_cycles);
         }
         self.finish()
     }
@@ -317,6 +327,7 @@ impl<'p> Pipeline<'p> {
             && !self.cancel_tripped()
         {
             self.step();
+            self.fast_forward_to(max_cycles);
         }
         self.finish()
     }
@@ -331,8 +342,122 @@ impl<'p> Pipeline<'p> {
             && !self.cancel_tripped()
         {
             self.step();
+            self.fast_forward_to(max_cycles);
         }
         self.finish()
+    }
+
+    // ------------------------------------------------------------------
+    // Event-driven fast-forward
+    // ------------------------------------------------------------------
+
+    /// Event-driven stall fast-forward: when the machine is provably
+    /// quiescent until a known future cycle, jump `self.cycle` straight to
+    /// that cycle instead of spinning no-op `step()`s through the stall.
+    ///
+    /// A skipped cycle would have done nothing except tick the micro-op
+    /// cache decay clocks, so the jump replays exactly that — one deferred
+    /// `tick(target - 1)` per partition (decay is elapsed-period based, so
+    /// one late call equals the per-cycle call sequence) — and bulk-credits
+    /// the span to `stats.cycles`. Everything observable — stats, trace
+    /// events, the audit log — stays byte-identical to per-cycle stepping.
+    ///
+    /// Jumps are clamped to the next 4096-cycle boundary so every
+    /// boundary cycle is still stepped (and polled by the run loop): the
+    /// cancellation check, the `force_unopt` sweep, and the fetch-mix
+    /// interval emission all keep their exact per-cycle cadence, and a
+    /// cancellation (scc-serve deadline) is still noticed within 4096
+    /// cycles of tripping no matter how far the machine could jump.
+    fn fast_forward_to(&mut self, limit: u64) {
+        // Boundary cycles run per-cycle (see above); jumping *from* one
+        // would skip its poll/sweep work.
+        if !self.cfg.fast_forward || self.halted || self.cycle & 0xfff == 0 {
+            return;
+        }
+        let Some(next) = self.next_event_cycle() else { return };
+        let boundary = (self.cycle | 0xfff) + 1;
+        let target = next.min(boundary).min(limit);
+        if target <= self.cycle {
+            return;
+        }
+        // The skipped steps' only side effect, applied in one call.
+        self.unopt.tick(target - 1);
+        if let Some(opt) = &mut self.opt {
+            opt.tick(target - 1);
+        }
+        self.cycle = target;
+        self.stats.cycles = target;
+        self.ff_jumps += 1;
+        // Per-cycle stepping emits the fetch-mix interval when the cycle
+        // counter lands on a boundary; a jump that lands there owes the
+        // same emission.
+        if target & 0xfff == 0 {
+            self.emit_fetch_interval();
+        }
+    }
+
+    /// The next cycle at which any pipeline stage can make progress, or
+    /// `None` when some stage can act *this* cycle (conservative: any
+    /// doubt reads as "progress now", which merely falls back to
+    /// per-cycle stepping).
+    ///
+    /// Event sources, stage by stage:
+    /// - **Commit**: a done ROB head retires now.
+    /// - **Execute**: the earliest scheduled completion among in-flight
+    ///   entries ([`Rob::quiet_until`]); a ready-but-unissued entry counts
+    ///   as progress now (ports permitting — not modeled, conservative).
+    /// - **Rename**: a non-empty IDQ with ROB/scheduler space dispatches
+    ///   now.
+    /// - **SCC**: a pending stream install or queued compaction request
+    ///   fires when `busy_until` passes.
+    /// - **Fetch**: an in-flight legacy decode completes at its ready
+    ///   cycle (gated by any squash-recovery stall); otherwise fetch with
+    ///   IDQ space acts as soon as `fetch_stall_until` passes. Every
+    ///   fetch attempt mutates lookup/hotness state even when it delivers
+    ///   nothing (bogus speculative targets), so an unstalled fetch is
+    ///   always "progress now". A full IDQ with no decode in flight
+    ///   contributes no event: it unblocks via rename ← commit ←
+    ///   completion, which the ROB legs already cover.
+    fn next_event_cycle(&self) -> Option<u64> {
+        if self.rob.front_done() {
+            return None;
+        }
+        let mut next = self.rob.quiet_until(self.cycle)?;
+        if !self.idq.is_empty()
+            && self.rob.len() < self.cfg.core.rob_entries
+            && self.rob.window_occupancy() < self.cfg.core.sched_entries
+        {
+            return None;
+        }
+        if let Some(scc) = &self.scc {
+            if scc.pending.is_some() || !scc.queue.is_empty() {
+                if scc.busy_until <= self.cycle {
+                    return None;
+                }
+                next = next.min(scc.busy_until);
+            }
+        }
+        if !self.fetch_halted && !self.fetch_blocked {
+            if let Some((_, ready)) = self.pending_decode {
+                let gate = ready.max(self.fetch_stall_until);
+                if gate <= self.cycle {
+                    return None;
+                }
+                next = next.min(gate);
+            } else if self.idq.len() < self.cfg.core.idq_entries {
+                if self.fetch_stall_until <= self.cycle {
+                    return None;
+                }
+                next = next.min(self.fetch_stall_until);
+            }
+        }
+        Some(next)
+    }
+
+    /// Number of event-driven fast-forward jumps taken so far
+    /// (diagnostics and tests; not part of [`PipelineStats`]).
+    pub fn ff_jumps(&self) -> u64 {
+        self.ff_jumps
     }
 
     /// Advances one cycle.
@@ -431,11 +556,11 @@ impl<'p> Pipeline<'p> {
 
     fn commit(&mut self) {
         for _ in 0..self.cfg.core.commit_width {
-            let Some(head) = self.rob.front() else { break };
-            if !head.done {
+            if !self.rob.front_done() {
                 break;
             }
-            let e = self.rob.pop_front().expect("checked non-empty");
+            let committed = self.rob.pop_front().expect("checked non-empty");
+            let (seq, mispredicted, e) = (committed.seq, committed.mispredicted, committed.entry);
             if !e.is_ghost {
                 self.inflight_dec(e.uop.macro_addr);
             }
@@ -462,14 +587,14 @@ impl<'p> Pipeline<'p> {
                 // The producer leaves the ROB: repoint the rename map at
                 // the committed value so later consumers don't wait on a
                 // sequence number that no longer exists.
-                if self.rmap.get(dst) == Provider::Rob(e.seq) {
+                if self.rmap.get(dst) == Provider::Rob(seq) {
                     self.rmap.set_value(dst, v);
                 }
             }
             if e.uop.writes_cc {
                 if let Some(f) = e.out_cc {
                     self.arch_cc = f;
-                    if matches!(self.rmap.cc(), CcProvider::Rob(s) if s == e.seq) {
+                    if matches!(self.rmap.cc(), CcProvider::Rob(s) if s == seq) {
                         self.rmap.set_cc_value(f);
                     }
                 }
@@ -508,7 +633,7 @@ impl<'p> Pipeline<'p> {
                 // A mismatched source still commits (the squash removes
                 // only younger entries); its penalty was applied at
                 // resolution, so only clean sources earn a reward.
-                if !e.mispredicted {
+                if !mispredicted {
                     if let Some(opt) = &mut self.opt {
                         opt.reward(sid, idx);
                         self.stats.invariants_validated += 1;
@@ -533,7 +658,7 @@ impl<'p> Pipeline<'p> {
             if let Some(tr) = &mut self.trace {
                 tr.push(TraceEvent::Commit {
                     cycle: self.cycle,
-                    seq: e.seq,
+                    seq,
                     pc: e.uop.macro_addr,
                     uop: e.uop.to_string(),
                     source: e.source,
@@ -543,7 +668,7 @@ impl<'p> Pipeline<'p> {
             // A mispredicted final element's tail covers the *assumed*
             // post-entry path; the squash re-fetches the real one, which
             // counts itself.
-            let tail = if e.mispredicted { 0 } else { e.stream_tail };
+            let tail = if mispredicted { 0 } else { e.stream_tail };
             self.stats.program_uops += 1 + (e.stream_shrinkage + tail) as u64;
             if e.uop.op == Op::Halt {
                 self.halted = true;
@@ -560,25 +685,31 @@ impl<'p> Pipeline<'p> {
         // (sequence, redirect target, cause, stream squash bookkeeping)
         type PendingSquash = (u64, Addr, MispredictCause, Option<(u64, usize)>);
         let mut squash: Option<PendingSquash> = None;
-        let mut resolved: Vec<(usize, i64, i64)> = Vec::new();
+        // The completion scan reads only the hot flag/wakeup arrays; the
+        // retained scratch buffer collects hits without allocating.
+        let mut resolved = std::mem::take(&mut self.scratch_resolved);
+        resolved.clear();
         for i in 0..self.rob.len() {
-            let e = &self.rob[i];
-            if e.done || !e.executing || e.complete_cycle > self.cycle {
+            if !self.rob.completes_now(i, self.cycle) {
                 continue;
             }
+            let e = self.rob.entry(i);
             let a = e.src1.value().unwrap_or(0);
             let b = e.src2.value().unwrap_or(0);
             resolved.push((i, a, b));
         }
-        for (i, a, b) in resolved {
-            let seq = self.rob[i].seq;
+        for &(i, a, b) in &resolved {
+            let seq = self.rob.seq(i);
             // Mark done and broadcast.
-            let (result, out_cc) = (self.rob[i].result, self.rob[i].out_cc);
-            self.rob[i].done = true;
-            self.wake(seq, result, out_cc);
+            let (result, out_cc) = {
+                let e = self.rob.entry(i);
+                (e.result, e.out_cc)
+            };
+            self.rob.set_done(i);
+            self.rob.wake(seq, result, out_cc);
             // Branch resolution.
-            if self.rob[i].uop.op.is_branch() {
-                let e = &self.rob[i];
+            if self.rob.entry(i).uop.op.is_branch() {
+                let e = self.rob.entry(i);
                 let cc = match e.cc_src {
                     Some(CcSrcState::Ready(f)) => f,
                     _ => CcFlags::default(),
@@ -611,31 +742,31 @@ impl<'p> Pipeline<'p> {
                         }
                         None => (MispredictCause::PlainBranch, None),
                     };
-                    self.rob[i].mispredicted = true;
+                    self.rob.set_mispredicted(i);
                     squash = Some((seq, outcome.next, cause, pen));
                 }
-            } else if let Some(v) = self.rob[i].vp_forwarded {
+            } else if let Some(v) = self.rob.entry(i).vp_forwarded {
                 // Classic VP-forwarding validation.
-                let actual = self.rob[i].result.expect("forwarded load has result");
+                let actual = self.rob.entry(i).result.expect("forwarded load has result");
                 if actual != v {
                     self.stats.vp_forward_fails += 1;
-                    self.rob[i].mispredicted = true;
-                    let resume = self.rob[i].uop.next_addr();
+                    self.rob.set_mispredicted(i);
+                    let resume = self.rob.entry(i).uop.next_addr();
                     if squash.is_none_or(|(s, ..)| seq < s) {
                         squash = Some((seq, resume, MispredictCause::Other, None));
                     }
                 }
             } else if let Some((sid, idx, Invariant::Data { value, .. })) =
-                self.rob[i].pred_source
+                self.rob.entry(i).pred_source
             {
                 // Data-invariant validation: compare the executed result
                 // with the predicted invariant.
-                let actual = self.rob[i].result.expect("value-producing source has result");
+                let actual = self.rob.entry(i).result.expect("value-producing source has result");
                 if actual != value {
                     self.stats.invariants_failed += 1;
-                    self.rob[i].mispredicted = true;
-                    let resume = self.rob[i].uop.next_addr();
-                    let pc = self.rob[i].uop.macro_addr;
+                    self.rob.set_mispredicted(i);
+                    let resume = self.rob.entry(i).uop.next_addr();
+                    let pc = self.rob.entry(i).uop.macro_addr;
                     let cycle = self.cycle;
                     self.obs.emit(|| Event::AssumptionFailed {
                         cycle,
@@ -651,28 +782,9 @@ impl<'p> Pipeline<'p> {
                 }
             }
         }
+        self.scratch_resolved = resolved;
         if let Some((seq, new_pc, cause, penalty)) = squash {
             self.handle_mispredict(seq, new_pc, cause, penalty);
-        }
-    }
-
-    fn wake(&mut self, seq: u64, result: Option<i64>, out_cc: Option<CcFlags>) {
-        for e in &mut self.rob {
-            if let SrcState::Wait(s) = e.src1 {
-                if s == seq {
-                    e.src1 = SrcState::Ready(result.unwrap_or(0));
-                }
-            }
-            if let SrcState::Wait(s) = e.src2 {
-                if s == seq {
-                    e.src2 = SrcState::Ready(result.unwrap_or(0));
-                }
-            }
-            if let Some(CcSrcState::Wait(s)) = e.cc_src {
-                if s == seq {
-                    e.cc_src = Some(CcSrcState::Ready(out_cc.unwrap_or_default()));
-                }
-            }
         }
     }
 
@@ -684,11 +796,8 @@ impl<'p> Pipeline<'p> {
         stream_penalty: Option<(u64, usize)>,
     ) {
         // Penalize the stream's invariant confidence and decide recovery.
-        let offender = self
-            .rob
-            .iter()
-            .find(|e| e.seq == seq)
-            .expect("offender still in ROB");
+        let offender_idx = self.rob.find_seq(seq).expect("offender still in ROB");
+        let offender = self.rob.entry(offender_idx);
         let from_opt = offender.source == FetchSource::Opt;
         let was_source = offender.pred_source.is_some();
         let offender_region = region(offender.uop.macro_addr);
@@ -749,7 +858,22 @@ impl<'p> Pipeline<'p> {
         stream_id: Option<u64>,
     ) {
         self.stats.squashes += 1;
-        let squashed_rob = self.rob.iter().filter(|e| e.seq > seq && !e.is_ghost).count() as u64;
+        // Sequence numbers are monotonic, so everything younger than `seq`
+        // is the suffix starting at the binary-searched cut point. One
+        // pass over that suffix counts the squashed micro-ops and rolls
+        // back their in-flight counters before the truncate.
+        let cut = self.rob.first_younger(seq);
+        let mut squashed_rob = 0u64;
+        for i in cut..self.rob.len() {
+            let (is_ghost, addr) = {
+                let e = self.rob.entry(i);
+                (e.is_ghost, e.uop.macro_addr)
+            };
+            if !is_ghost {
+                squashed_rob += 1;
+                self.inflight_dec(addr);
+            }
+        }
         let squashed_q = (self.idq.iter().filter(|e| !e.is_ghost).count()
             + self.active_stream.iter().filter(|e| !e.is_ghost).count())
             as u64;
@@ -786,9 +910,6 @@ impl<'p> Pipeline<'p> {
                     }
                 }
             };
-            for e in self.rob.iter().filter(|e| e.seq > seq && !e.is_ghost) {
-                dec(e.uop.macro_addr);
-            }
             for e in self.idq.iter().filter(|e| !e.is_ghost) {
                 dec(e.uop.macro_addr);
             }
@@ -796,11 +917,11 @@ impl<'p> Pipeline<'p> {
                 dec(e.uop.macro_addr);
             }
         }
-        self.rob.retain(|e| e.seq <= seq);
+        self.rob.truncate(cut);
         self.idq.clear();
         self.active_stream.clear();
         self.bp.on_squash();
-        self.rmap = RenameMap::rebuild(&self.arch_regs, self.arch_cc, self.rob.iter());
+        self.rmap = RenameMap::rebuild(&self.arch_regs, self.arch_cc, &self.rob);
         self.fetch_pc = new_pc;
         self.fetch_slot = 0;
         self.fetch_stall_until = self.cycle + self.cfg.core.mispredict_penalty;
@@ -824,18 +945,16 @@ impl<'p> Pipeline<'p> {
             if alu == 0 && load == 0 && store == 0 && fp == 0 {
                 break;
             }
-            let e = &self.rob[i];
-            if e.done || e.executing || !e.inputs_ready() {
+            // Hot flags-only eligibility check; the cold table is touched
+            // only for entries that can actually issue.
+            if !self.rob.can_issue(i) {
                 continue;
             }
-            let class = e.port_class();
+            let class = self.rob.entry(i).port_class();
             let port = match class {
                 PortClass::None => {
                     // Nops/halt complete without a port.
-                    let seq = self.rob[i].seq;
-                    self.rob[i].executing = true;
-                    self.rob[i].complete_cycle = self.cycle + 1;
-                    let _ = seq;
+                    self.rob.mark_issued(i, self.cycle + 1);
                     continue;
                 }
                 PortClass::Alu => &mut alu,
@@ -857,19 +976,16 @@ impl<'p> Pipeline<'p> {
     /// Conservative disambiguation: a load issues only when every older
     /// store has a computed address.
     fn load_may_issue(&self, idx: usize) -> bool {
-        let seq = self.rob[idx].seq;
-        self.rob
-            .iter()
-            .filter(|e| e.seq < seq && e.uop.op == Op::Store)
-            .all(|e| e.mem_addr.is_some())
+        self.rob.older_stores_resolved(idx)
     }
 
     fn execute_entry(&mut self, i: usize) {
-        let e = &self.rob[i];
+        let now = self.cycle;
+        let e = self.rob.entry(i);
         // Folded micro-ops exist only as live-out ghosts, done at rename;
         // one reaching an execution port would double-apply its effects.
         #[cfg(any(debug_assertions, feature = "strict-invariants"))]
-        assert!(!e.is_ghost, "live-out ghost (seq {}) reached execute", e.seq);
+        assert!(!e.is_ghost, "live-out ghost (seq {}) reached execute", self.rob.seq(i));
         let a = e.src1.value().expect("ready");
         let b = e.src2.value().expect("ready");
         let cc = match e.cc_src {
@@ -878,66 +994,59 @@ impl<'p> Pipeline<'p> {
         };
         let op = e.uop.op;
         let core = self.cfg.core;
-        let (result, out_cc, latency, mem_addr, store_value) = match op {
+        // `done_at` is the absolute completion cycle — the wakeup event
+        // the fast-forward loop jumps to.
+        let (result, out_cc, done_at, mem_addr, store_value) = match op {
             Op::Load => {
                 let addr = (a.wrapping_add(e.uop.offset)) as u64;
-                let seq = e.seq;
                 // Store-to-load forwarding from the nearest older store.
-                let forward = self
-                    .rob
-                    .iter()
-                    .filter(|s| {
-                        s.seq < seq && s.uop.op == Op::Store && s.mem_addr == Some(addr)
-                    })
-                    .max_by_key(|s| s.seq)
-                    .map(|s| s.store_value.expect("issued store has value"));
-                let (value, lat) = match forward {
-                    Some(v) => (v, self.cfg.hierarchy.l1_latency),
+                let forward = self.rob.forward_from_store(i, addr);
+                let (value, done_at) = match forward {
+                    Some(v) => (v, now + self.cfg.hierarchy.l1_latency.max(1)),
                     None => {
                         let r = self.hier.data_access(addr, false);
-                        (self.mem.read(addr), r.latency)
+                        (self.mem.read(addr), r.completes_at(now))
                     }
                 };
                 self.stats.exec_loads += 1;
-                (Some(value), None, lat, Some(addr), None)
+                (Some(value), None, done_at, Some(addr), None)
             }
             Op::Store => {
                 let addr = (a.wrapping_add(e.uop.offset)) as u64;
-                (None, None, 1, Some(addr), Some(b))
+                (None, None, now + 1, Some(addr), Some(b))
             }
             Op::Mul => {
                 self.stats.exec_muldiv += 1;
-                (eval_complex(op, a, b), None, core.mul_latency, None, None)
+                (eval_complex(op, a, b), None, now + core.mul_latency.max(1), None, None)
             }
             Op::Div | Op::Rem => {
                 self.stats.exec_muldiv += 1;
-                (eval_complex(op, a, b), None, core.div_latency, None, None)
+                (eval_complex(op, a, b), None, now + core.div_latency.max(1), None, None)
             }
             op if op.is_fp() => {
                 self.stats.exec_fp += 1;
                 let lat = if op == Op::Simd { core.simd_latency } else { core.fp_latency };
-                (eval_fp(op, a, b), None, lat, None, None)
+                (eval_fp(op, a, b), None, now + lat.max(1), None, None)
             }
             op if op.is_branch() => {
                 self.stats.exec_alu += 1;
                 let link = if op == Op::Call { Some(e.uop.next_addr() as i64) } else { None };
-                (link, None, 1, None, None)
+                (link, None, now + 1, None, None)
             }
             _ => {
                 self.stats.exec_alu += 1;
                 match eval_alu(op, a, b, cc, e.uop.cond) {
-                    Some(r) => (r.value, r.cc, 1, None, None),
-                    None => (None, None, 1, None, None), // nop/halt
+                    Some(r) => (r.value, r.cc, now + 1, None, None),
+                    None => (None, None, now + 1, None, None), // nop/halt
                 }
             }
         };
-        let e = &mut self.rob[i];
+        let e = self.rob.entry_mut(i);
         e.result = result;
         e.out_cc = if e.uop.writes_cc { out_cc } else { None };
         e.mem_addr = mem_addr;
         e.store_value = store_value;
-        e.executing = true;
-        e.complete_cycle = self.cycle + latency.max(1);
+        self.rob.mark_issued(i, done_at);
     }
 
     // ------------------------------------------------------------------
@@ -945,7 +1054,7 @@ impl<'p> Pipeline<'p> {
     // ------------------------------------------------------------------
 
     fn window_occupancy(&self) -> usize {
-        self.rob.iter().filter(|e| !e.done).count()
+        self.rob.window_occupancy()
     }
 
     fn rename(&mut self) {
@@ -978,42 +1087,47 @@ impl<'p> Pipeline<'p> {
                 self.rmap.set_cc_value(f);
             }
             if e.is_ghost {
-                self.rob.push_back(RobEntry {
+                self.rob.push_back(
                     seq,
-                    uop: e.uop,
-                    src1: SrcState::Ready(0),
-                    src2: SrcState::Ready(0),
-                    cc_src: None,
-                    result: None,
-                    out_cc: None,
-                    mem_addr: None,
-                    store_value: None,
-                    executing: true,
-                    complete_cycle: self.cycle,
-                    done: true,
-                    predicted_next: None,
-                    pre_writes: e.pre_writes,
-                    pre_cc: e.pre_cc,
-                    is_ghost: true,
-                    pred_source: None,
-                    source: e.source,
-                    stream_id: e.stream_id,
-                    stream_end: e.stream_end,
-                    blocks_fetch: false,
-                    mispredicted: false,
-                    vp_forwarded: None,
-                    stream_shrinkage: e.stream_shrinkage,
-                    stream_tail: e.stream_tail,
-                });
+                    RobEntry {
+                        uop: e.uop,
+                        src1: SrcState::Ready(0),
+                        src2: SrcState::Ready(0),
+                        cc_src: None,
+                        result: None,
+                        out_cc: None,
+                        mem_addr: None,
+                        store_value: None,
+                        predicted_next: None,
+                        pre_writes: e.pre_writes,
+                        pre_cc: e.pre_cc,
+                        is_ghost: true,
+                        pred_source: None,
+                        source: e.source,
+                        stream_id: e.stream_id,
+                        stream_end: e.stream_end,
+                        blocks_fetch: false,
+                        vp_forwarded: None,
+                        stream_shrinkage: e.stream_shrinkage,
+                        stream_tail: e.stream_tail,
+                    },
+                    true,
+                    true,
+                    self.cycle,
+                );
                 continue;
             }
-            let resolve = |map: &RenameMap, rob: &VecDeque<RobEntry>, op: Operand| match op {
+            // Producer lookups are binary searches on the monotonic
+            // sequence array, not linear ROB scans.
+            let resolve = |map: &RenameMap, rob: &Rob, op: Operand| match op {
                 Operand::None => SrcState::Ready(0),
                 Operand::Imm(v) => SrcState::Ready(v),
                 Operand::Reg(r) => match map.get(r) {
                     Provider::Value(v) => SrcState::Ready(v),
-                    Provider::Rob(s) => match rob.iter().find(|p| p.seq == s) {
-                        Some(p) if p.done => SrcState::Ready(p.result.unwrap_or(0)),
+                    Provider::Rob(s) => match rob.find_seq(s) {
+                        Some(i) if rob.is_done(i) => {
+                            SrcState::Ready(rob.entry(i).result.unwrap_or(0))
+                        }
                         _ => SrcState::Wait(s),
                     },
                 },
@@ -1023,8 +1137,10 @@ impl<'p> Pipeline<'p> {
             let cc_src = if e.uop.op.reads_cc() {
                 Some(match self.rmap.cc() {
                     CcProvider::Value(f) => CcSrcState::Ready(f),
-                    CcProvider::Rob(s) => match self.rob.iter().find(|p| p.seq == s) {
-                        Some(p) if p.done => CcSrcState::Ready(p.out_cc.unwrap_or_default()),
+                    CcProvider::Rob(s) => match self.rob.find_seq(s) {
+                        Some(i) if self.rob.is_done(i) => {
+                            CcSrcState::Ready(self.rob.entry(i).out_cc.unwrap_or_default())
+                        }
                         _ => CcSrcState::Wait(s),
                     },
                 })
@@ -1055,33 +1171,34 @@ impl<'p> Pipeline<'p> {
                 }
             }
             let instant = matches!(e.uop.op, Op::Nop | Op::Halt);
-            self.rob.push_back(RobEntry {
+            self.rob.push_back(
                 seq,
-                uop: e.uop,
-                src1,
-                src2,
-                cc_src,
-                result: None,
-                out_cc: None,
-                mem_addr: None,
-                store_value: None,
-                executing: instant,
-                complete_cycle: self.cycle,
-                done: instant,
-                predicted_next: e.predicted_next,
-                pre_writes: e.pre_writes,
-                pre_cc: e.pre_cc,
-                is_ghost: false,
-                pred_source: e.pred_source,
-                source: e.source,
-                stream_id: e.stream_id,
-                stream_end: e.stream_end,
-                blocks_fetch: e.blocks_fetch,
-                mispredicted: false,
-                vp_forwarded,
-                stream_shrinkage: e.stream_shrinkage,
-                stream_tail: e.stream_tail,
-            });
+                RobEntry {
+                    uop: e.uop,
+                    src1,
+                    src2,
+                    cc_src,
+                    result: None,
+                    out_cc: None,
+                    mem_addr: None,
+                    store_value: None,
+                    predicted_next: e.predicted_next,
+                    pre_writes: e.pre_writes,
+                    pre_cc: e.pre_cc,
+                    is_ghost: false,
+                    pred_source: e.pred_source,
+                    source: e.source,
+                    stream_id: e.stream_id,
+                    stream_end: e.stream_end,
+                    blocks_fetch: e.blocks_fetch,
+                    vp_forwarded,
+                    stream_shrinkage: e.stream_shrinkage,
+                    stream_tail: e.stream_tail,
+                },
+                instant,
+                instant,
+                self.cycle,
+            );
             self.stats.renamed_uops += 1;
             if !instant {
                 window += 1;
@@ -1279,13 +1396,14 @@ impl<'p> Pipeline<'p> {
     #[cfg(any(debug_assertions, feature = "strict-invariants"))]
     fn assert_inflight_consistent(&self) {
         let mut scan: FxHashMap<Addr, u32> = FxHashMap::default();
-        for e in self.rob.iter().filter(|e| !e.is_ghost) {
-            *scan.entry(e.uop.macro_addr).or_insert(0) += 1;
+        for v in self.rob.iter().filter(|v| !v.entry.is_ghost) {
+            *scan.entry(v.entry.uop.macro_addr).or_insert(0) += 1;
         }
         for e in self.idq.iter().chain(self.active_stream.iter()).filter(|e| !e.is_ghost) {
             *scan.entry(e.uop.macro_addr).or_insert(0) += 1;
         }
         assert_eq!(scan, self.inflight, "incremental in-flight counter diverged from queue scan");
+        self.rob.assert_ready_bits_consistent();
     }
 
     /// Debug-build post-squash audit: after `squash_after(seq, _)` nothing
@@ -1298,10 +1416,10 @@ impl<'p> Pipeline<'p> {
     fn assert_squash_consistent(&self, seq: u64) {
         assert!(self.idq.is_empty(), "IDQ drains on squash");
         assert!(self.active_stream.is_empty(), "stream buffer drains on squash");
-        if let Some(e) = self.rob.iter().find(|e| e.seq > seq) {
+        if let Some(v) = self.rob.iter().find(|v| v.seq > seq) {
             panic!(
                 "entry seq {} (ghost: {}) survived squash_after({seq})",
-                e.seq, e.is_ghost
+                v.seq, v.entry.is_ghost
             );
         }
         self.assert_inflight_consistent();
@@ -1314,8 +1432,8 @@ impl<'p> Pipeline<'p> {
             let youngest = self
                 .rob
                 .iter()
-                .filter(|e| !e.is_ghost && e.uop.dst == Some(r))
-                .max_by_key(|e| e.seq)
+                .filter(|v| !v.entry.is_ghost && v.entry.uop.dst == Some(r))
+                .max_by_key(|v| v.seq)
                 .unwrap_or_else(|| panic!("rename map for {r} points at seq {s}, not in ROB"));
             assert_eq!(youngest.seq, s, "rename map for {r} must track the youngest writer");
             assert!(!youngest.done, "done writers rebuild as values, not ROB pointers ({r})");
@@ -1323,7 +1441,7 @@ impl<'p> Pipeline<'p> {
                 !self
                     .rob
                     .iter()
-                    .any(|e| e.seq > s && e.pre_writes.iter().any(|&(pr, _)| pr == r)),
+                    .any(|v| v.seq > s && v.entry.pre_writes.iter().any(|&(pr, _)| pr == r)),
                 "inlined live-out for {r} is younger than its ROB pointer (seq {s})"
             );
         }
@@ -1331,13 +1449,13 @@ impl<'p> Pipeline<'p> {
             let youngest = self
                 .rob
                 .iter()
-                .filter(|e| !e.is_ghost && e.uop.writes_cc)
-                .max_by_key(|e| e.seq)
+                .filter(|v| !v.entry.is_ghost && v.entry.uop.writes_cc)
+                .max_by_key(|v| v.seq)
                 .unwrap_or_else(|| panic!("cc rename map points at seq {s}, not in ROB"));
             assert_eq!(youngest.seq, s, "cc rename map must track the youngest flag writer");
             assert!(!youngest.done, "done flag writers rebuild as values");
             assert!(
-                !self.rob.iter().any(|e| e.seq > s && e.pre_cc.is_some()),
+                !self.rob.iter().any(|v| v.seq > s && v.entry.pre_cc.is_some()),
                 "inlined cc live-out is younger than the cc ROB pointer (seq {s})"
             );
         }

@@ -1,7 +1,17 @@
-//! Reorder buffer entries and the rename map.
+//! Reorder buffer (struct-of-arrays), its entries, and the rename map.
+//!
+//! The ROB is the pipeline's hottest data structure: `complete`, `issue`,
+//! the wakeup broadcast, and the window-occupancy check all scan it every
+//! cycle. [`Rob`] therefore keeps the fields those scans read — sequence
+//! number, status bits (done/executing/ready/mispredicted), and the
+//! scheduled wakeup cycle — in parallel arrays that fit in a few cache
+//! lines even at 352 entries, while the wide per-entry payload
+//! ([`RobEntry`]) sits in a side table touched only once a scan decides
+//! to act on an entry.
 
 use scc_isa::{Addr, CcFlags, Op, Reg, Uop, NUM_REGS};
 use scc_uopcache::Invariant;
+use std::collections::VecDeque;
 
 /// Which front-end source supplied a micro-op (Figure 7's three bars).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -44,10 +54,11 @@ pub enum CcSrcState {
 }
 
 /// One in-flight micro-op (or live-out ghost) in the reorder buffer.
+///
+/// This is the *cold* side table: age order, status bits, and wakeup
+/// cycles live in [`Rob`]'s parallel arrays.
 #[derive(Clone, Debug)]
 pub struct RobEntry {
-    /// Age-ordered sequence number.
-    pub seq: u64,
     /// The micro-op (ghosts carry a `Nop`).
     pub uop: Uop,
     /// Renamed sources.
@@ -64,12 +75,6 @@ pub struct RobEntry {
     pub mem_addr: Option<u64>,
     /// Store data value once ready.
     pub store_value: Option<i64>,
-    /// True once issued to an execution port.
-    pub executing: bool,
-    /// Cycle at which execution completes.
-    pub complete_cycle: u64,
-    /// True once executed (result visible).
-    pub done: bool,
     /// Where fetch continued after this micro-op (branches only).
     pub predicted_next: Option<Addr>,
     /// SCC live-outs installed at rename *with* this entry, architecturally
@@ -93,9 +98,6 @@ pub struct RobEntry {
     /// Fetch stalled on this branch (no target prediction available);
     /// resolution redirects fetch without a squash.
     pub blocks_fetch: bool,
-    /// This entry's own speculation (branch direction or data invariant)
-    /// failed at resolution.
-    pub mispredicted: bool,
     /// Classic value-prediction forwarding: the value handed to
     /// dependents at rename, validated against the executed result.
     pub vp_forwarded: Option<i64>,
@@ -146,6 +148,311 @@ pub enum PortClass {
     Store,
     /// FP/SIMD pipe.
     Fp,
+}
+
+/// Status bits of the hot flag array.
+mod flag {
+    /// Executed; result visible.
+    pub const DONE: u8 = 1 << 0;
+    /// Issued to an execution port.
+    pub const EXECUTING: u8 = 1 << 1;
+    /// Every input ready (mirrors [`super::RobEntry::inputs_ready`];
+    /// maintained at push and by the wakeup broadcast so the issue scan
+    /// never touches the cold table for stalled entries).
+    pub const READY: u8 = 1 << 2;
+    /// This entry's own speculation failed at resolution.
+    pub const MISPREDICTED: u8 = 1 << 3;
+}
+
+/// A committed (popped) ROB entry with its hot metadata.
+pub struct CommittedEntry {
+    /// Age-ordered sequence number.
+    pub seq: u64,
+    /// The entry's own speculation failed at resolution.
+    pub mispredicted: bool,
+    /// The cold payload.
+    pub entry: RobEntry,
+}
+
+/// One row of [`Rob::iter`]: hot metadata plus the cold payload.
+pub struct RobView<'a> {
+    /// Age-ordered sequence number.
+    pub seq: u64,
+    /// True once executed.
+    pub done: bool,
+    /// The cold payload.
+    pub entry: &'a RobEntry,
+}
+
+/// The reorder buffer, split struct-of-arrays style: `seqs`, `flags`, and
+/// `complete` are the hot parallel arrays the per-cycle scans walk;
+/// `cold` holds the wide [`RobEntry`] payloads in the same age order.
+///
+/// Sequence numbers are strictly increasing front to back (rename pushes
+/// monotonically and a squash removes a suffix), so seq lookups are
+/// binary searches rather than linear scans.
+#[derive(Default)]
+pub struct Rob {
+    seqs: VecDeque<u64>,
+    flags: VecDeque<u8>,
+    complete: VecDeque<u64>,
+    cold: VecDeque<RobEntry>,
+}
+
+impl Rob {
+    /// An empty reorder buffer.
+    pub fn new() -> Rob {
+        Rob::default()
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// True when no entries are in flight (pairs with `len` for clippy's
+    /// len-without-is-empty convention; the pipeline itself checks
+    /// `front_done`).
+    #[allow(dead_code)]
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Appends `entry` with the given hot state. `seq` must exceed every
+    /// sequence number already in the buffer.
+    pub fn push_back(
+        &mut self,
+        seq: u64,
+        entry: RobEntry,
+        done: bool,
+        executing: bool,
+        complete_cycle: u64,
+    ) {
+        debug_assert!(
+            self.seqs.back().is_none_or(|&s| s < seq),
+            "ROB sequence numbers must be strictly increasing"
+        );
+        let mut f = 0u8;
+        if done {
+            f |= flag::DONE;
+        }
+        if executing {
+            f |= flag::EXECUTING;
+        }
+        if entry.inputs_ready() {
+            f |= flag::READY;
+        }
+        self.seqs.push_back(seq);
+        self.flags.push_back(f);
+        self.complete.push_back(complete_cycle);
+        self.cold.push_back(entry);
+    }
+
+    /// True when the oldest entry exists and is done (commit can retire
+    /// it this cycle).
+    #[inline]
+    pub fn front_done(&self) -> bool {
+        self.flags.front().is_some_and(|&f| f & flag::DONE != 0)
+    }
+
+    /// Pops the oldest entry.
+    pub fn pop_front(&mut self) -> Option<CommittedEntry> {
+        let seq = self.seqs.pop_front()?;
+        let f = self.flags.pop_front().expect("arrays in lockstep");
+        self.complete.pop_front().expect("arrays in lockstep");
+        let entry = self.cold.pop_front().expect("arrays in lockstep");
+        Some(CommittedEntry { seq, mispredicted: f & flag::MISPREDICTED != 0, entry })
+    }
+
+    /// Sequence number of entry `i`.
+    #[inline]
+    pub fn seq(&self, i: usize) -> u64 {
+        self.seqs[i]
+    }
+
+    /// True once entry `i` has executed.
+    #[inline]
+    pub fn is_done(&self, i: usize) -> bool {
+        self.flags[i] & flag::DONE != 0
+    }
+
+    /// Marks entry `i` done.
+    #[inline]
+    pub fn set_done(&mut self, i: usize) {
+        self.flags[i] |= flag::DONE;
+    }
+
+    /// Marks entry `i` as having failed its own speculation.
+    #[inline]
+    pub fn set_mispredicted(&mut self, i: usize) {
+        self.flags[i] |= flag::MISPREDICTED;
+    }
+
+    /// Issues entry `i`: marks it executing with the given completion
+    /// cycle (the wakeup array the event-driven loop scans).
+    #[inline]
+    pub fn mark_issued(&mut self, i: usize, complete_cycle: u64) {
+        self.flags[i] |= flag::EXECUTING;
+        self.complete[i] = complete_cycle;
+    }
+
+    /// True when entry `i` is eligible for the issue scan: not done, not
+    /// executing, all inputs ready.
+    #[inline]
+    pub fn can_issue(&self, i: usize) -> bool {
+        self.flags[i] & (flag::DONE | flag::EXECUTING | flag::READY) == flag::READY
+    }
+
+    /// True when entry `i` finishes execution at or before `now`.
+    #[inline]
+    pub fn completes_now(&self, i: usize, now: u64) -> bool {
+        self.flags[i] & (flag::DONE | flag::EXECUTING) == flag::EXECUTING
+            && self.complete[i] <= now
+    }
+
+    /// The cold payload of entry `i`.
+    #[inline]
+    pub fn entry(&self, i: usize) -> &RobEntry {
+        &self.cold[i]
+    }
+
+    /// Mutable cold payload of entry `i`.
+    #[inline]
+    pub fn entry_mut(&mut self, i: usize) -> &mut RobEntry {
+        &mut self.cold[i]
+    }
+
+    /// Index of the entry with sequence number `seq`.
+    #[inline]
+    pub fn find_seq(&self, seq: u64) -> Option<usize> {
+        self.seqs.binary_search(&seq).ok()
+    }
+
+    /// Index of the first entry younger than `seq` (== `len()` when none
+    /// are) — the squash cut point.
+    #[inline]
+    pub fn first_younger(&self, seq: u64) -> usize {
+        self.seqs.partition_point(|&s| s <= seq)
+    }
+
+    /// Drops every entry at index `len` and beyond (squash recovery; the
+    /// removed entries form the age-ordered suffix).
+    pub fn truncate(&mut self, len: usize) {
+        self.seqs.truncate(len);
+        self.flags.truncate(len);
+        self.complete.truncate(len);
+        self.cold.truncate(len);
+    }
+
+    /// Wakeup broadcast: resolves every `Wait(seq)` source to the
+    /// producer's result, updating the hot ready bits. Only entries that
+    /// are neither done, executing, nor already ready can hold a wait, so
+    /// the scan skips the rest without touching the cold table.
+    pub fn wake(&mut self, seq: u64, result: Option<i64>, out_cc: Option<CcFlags>) {
+        for i in 0..self.flags.len() {
+            if self.flags[i] & (flag::DONE | flag::EXECUTING | flag::READY) != 0 {
+                continue;
+            }
+            let e = &mut self.cold[i];
+            if let SrcState::Wait(s) = e.src1 {
+                if s == seq {
+                    e.src1 = SrcState::Ready(result.unwrap_or(0));
+                }
+            }
+            if let SrcState::Wait(s) = e.src2 {
+                if s == seq {
+                    e.src2 = SrcState::Ready(result.unwrap_or(0));
+                }
+            }
+            if let Some(CcSrcState::Wait(s)) = e.cc_src {
+                if s == seq {
+                    e.cc_src = Some(CcSrcState::Ready(out_cc.unwrap_or_default()));
+                }
+            }
+            if e.inputs_ready() {
+                self.flags[i] |= flag::READY;
+            }
+        }
+    }
+
+    /// Number of not-yet-done entries (scheduler window occupancy) — a
+    /// flags-only scan.
+    pub fn window_occupancy(&self) -> usize {
+        self.flags.iter().filter(|&&f| f & flag::DONE == 0).count()
+    }
+
+    /// Conservative disambiguation input: true when every store older
+    /// than entry `i` has a computed address.
+    pub fn older_stores_resolved(&self, i: usize) -> bool {
+        self.cold
+            .iter()
+            .take(i)
+            .all(|e| e.uop.op != Op::Store || e.mem_addr.is_some())
+    }
+
+    /// Store-to-load forwarding: the value of the youngest store older
+    /// than entry `i` with a matching address, if any.
+    pub fn forward_from_store(&self, i: usize, addr: u64) -> Option<i64> {
+        self.cold
+            .iter()
+            .take(i)
+            .rev()
+            .find(|e| e.uop.op == Op::Store && e.mem_addr == Some(addr))
+            .map(|e| e.store_value.expect("issued store has value"))
+    }
+
+    /// Iterates hot metadata plus cold payload in age order.
+    pub fn iter(&self) -> impl Iterator<Item = RobView<'_>> {
+        self.seqs
+            .iter()
+            .zip(self.flags.iter())
+            .zip(self.cold.iter())
+            .map(|((&seq, &f), entry)| RobView { seq, done: f & flag::DONE != 0, entry })
+    }
+
+    /// Event-driven fast-forward's ROB leg: `None` when some entry can
+    /// make progress at `now` (a completion is due or a ready entry could
+    /// issue), otherwise the earliest scheduled completion among
+    /// executing entries (`u64::MAX` when nothing is in flight). The
+    /// done-head commit case is the caller's concern.
+    pub fn quiet_until(&self, now: u64) -> Option<u64> {
+        let mut next = u64::MAX;
+        for (&f, &t) in self.flags.iter().zip(self.complete.iter()) {
+            if f & flag::DONE != 0 {
+                continue;
+            }
+            if f & flag::EXECUTING != 0 {
+                if t <= now {
+                    return None;
+                }
+                next = next.min(t);
+            } else if f & flag::READY != 0 {
+                // Could issue this cycle (ports and disambiguation
+                // permitting — treat any ready entry as progress).
+                return None;
+            }
+            // Otherwise: waiting on a wakeup only a completion delivers.
+        }
+        Some(next)
+    }
+
+    /// Debug cross-check: the hot ready bit must mirror the cold
+    /// `inputs_ready` state for issuable entries.
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    pub fn assert_ready_bits_consistent(&self) {
+        for i in 0..self.flags.len() {
+            if self.flags[i] & (flag::DONE | flag::EXECUTING) != 0 {
+                continue;
+            }
+            assert_eq!(
+                self.flags[i] & flag::READY != 0,
+                self.cold[i].inputs_ready(),
+                "hot READY bit diverged from cold source state at index {i}"
+            );
+        }
+    }
 }
 
 /// Who currently provides an architectural register (or the flags).
@@ -216,15 +523,12 @@ impl RenameMap {
 
     /// Rebuilds the map after a squash: start from the architectural
     /// state, then replay every surviving in-flight entry in age order.
-    pub fn rebuild<'a>(
-        arch_regs: &[i64; NUM_REGS],
-        arch_cc: CcFlags,
-        survivors: impl Iterator<Item = &'a RobEntry>,
-    ) -> RenameMap {
+    pub fn rebuild(arch_regs: &[i64; NUM_REGS], arch_cc: CcFlags, rob: &Rob) -> RenameMap {
         let mut map = RenameMap::from_arch(arch_regs, arch_cc);
-        for e in survivors {
-            for &(r, v) in &e.pre_writes {
-                map.set_value(r, v);
+        for v in rob.iter() {
+            let e = v.entry;
+            for &(r, val) in &e.pre_writes {
+                map.set_value(r, val);
             }
             if let Some(f) = e.pre_cc {
                 map.set_cc_value(f);
@@ -232,14 +536,14 @@ impl RenameMap {
             if !e.is_ghost {
                 if let Some(dst) = e.uop.dst {
                     match e.result {
-                        Some(v) if e.done => map.set_value(dst, v),
-                        _ => map.set_rob(dst, e.seq),
+                        Some(val) if v.done => map.set_value(dst, val),
+                        _ => map.set_rob(dst, v.seq),
                     }
                 }
                 if e.uop.writes_cc {
                     match e.out_cc {
-                        Some(f) if e.done => map.set_cc_value(f),
-                        _ => map.set_cc_rob(e.seq),
+                        Some(f) if v.done => map.set_cc_value(f),
+                        _ => map.set_cc_rob(v.seq),
                     }
                 }
             }
@@ -252,11 +556,10 @@ impl RenameMap {
 mod tests {
     use super::*;
 
-    fn entry(seq: u64, op: Op, dst: Option<Reg>) -> RobEntry {
+    fn entry(op: Op, dst: Option<Reg>) -> RobEntry {
         let mut uop = Uop::new(op);
         uop.dst = dst;
         RobEntry {
-            seq,
             uop,
             src1: SrcState::Ready(0),
             src2: SrcState::Ready(0),
@@ -265,9 +568,6 @@ mod tests {
             out_cc: None,
             mem_addr: None,
             store_value: None,
-            executing: false,
-            complete_cycle: 0,
-            done: false,
             predicted_next: None,
             pre_writes: vec![],
             pre_cc: None,
@@ -277,7 +577,6 @@ mod tests {
             stream_id: None,
             stream_end: false,
             blocks_fetch: false,
-            mispredicted: false,
             vp_forwarded: None,
             stream_shrinkage: 0,
             stream_tail: 0,
@@ -292,15 +591,98 @@ mod tests {
 
     #[test]
     fn port_classes() {
-        assert_eq!(entry(0, Op::Add, None).port_class(), PortClass::Alu);
-        assert_eq!(entry(0, Op::Load, None).port_class(), PortClass::Load);
-        assert_eq!(entry(0, Op::Store, None).port_class(), PortClass::Store);
-        assert_eq!(entry(0, Op::FpMul, None).port_class(), PortClass::Fp);
-        assert_eq!(entry(0, Op::CmpBr, None).port_class(), PortClass::Alu);
-        assert_eq!(entry(0, Op::Nop, None).port_class(), PortClass::None);
-        let mut g = entry(0, Op::Add, None);
+        assert_eq!(entry(Op::Add, None).port_class(), PortClass::Alu);
+        assert_eq!(entry(Op::Load, None).port_class(), PortClass::Load);
+        assert_eq!(entry(Op::Store, None).port_class(), PortClass::Store);
+        assert_eq!(entry(Op::FpMul, None).port_class(), PortClass::Fp);
+        assert_eq!(entry(Op::CmpBr, None).port_class(), PortClass::Alu);
+        assert_eq!(entry(Op::Nop, None).port_class(), PortClass::None);
+        let mut g = entry(Op::Add, None);
         g.is_ghost = true;
         assert_eq!(g.port_class(), PortClass::None);
+    }
+
+    #[test]
+    fn soa_status_roundtrip() {
+        let mut rob = Rob::new();
+        rob.push_back(10, entry(Op::Add, Some(Reg::int(1))), false, false, 0);
+        rob.push_back(11, entry(Op::Load, Some(Reg::int(2))), false, false, 0);
+        assert_eq!(rob.len(), 2);
+        assert!(!rob.front_done());
+        assert!(rob.can_issue(0), "ready inputs set the hot READY bit at push");
+        rob.mark_issued(0, 7);
+        assert!(!rob.can_issue(0));
+        assert!(!rob.completes_now(0, 6));
+        assert!(rob.completes_now(0, 7));
+        rob.set_done(0);
+        assert!(rob.front_done());
+        assert_eq!(rob.quiet_until(0), None, "entry 1 is ready to issue");
+        let c = rob.pop_front().unwrap();
+        assert_eq!(c.seq, 10);
+        assert!(!c.mispredicted);
+        assert_eq!(rob.seq(0), 11);
+    }
+
+    #[test]
+    fn wake_updates_ready_bit() {
+        let mut rob = Rob::new();
+        let mut waiting = entry(Op::Add, Some(Reg::int(3)));
+        waiting.src1 = SrcState::Wait(5);
+        rob.push_back(6, waiting, false, false, 0);
+        assert!(!rob.can_issue(0));
+        assert_eq!(rob.quiet_until(0), Some(u64::MAX), "nothing in flight, nothing ready");
+        rob.wake(4, Some(9), None);
+        assert!(!rob.can_issue(0), "wrong producer leaves the wait in place");
+        rob.wake(5, Some(9), None);
+        assert!(rob.can_issue(0));
+        assert_eq!(rob.entry(0).src1, SrcState::Ready(9));
+        #[cfg(debug_assertions)]
+        rob.assert_ready_bits_consistent();
+    }
+
+    #[test]
+    fn seq_search_and_squash_truncate() {
+        let mut rob = Rob::new();
+        for seq in [3u64, 5, 9, 12] {
+            rob.push_back(seq, entry(Op::Add, None), false, false, 0);
+        }
+        assert_eq!(rob.find_seq(9), Some(2));
+        assert_eq!(rob.find_seq(4), None);
+        assert_eq!(rob.first_younger(5), 2);
+        assert_eq!(rob.first_younger(12), 4);
+        rob.truncate(rob.first_younger(5));
+        assert_eq!(rob.len(), 2);
+        assert_eq!(rob.seq(1), 5);
+    }
+
+    #[test]
+    fn quiet_until_tracks_earliest_completion() {
+        let mut rob = Rob::new();
+        let mut waiting = entry(Op::Add, None);
+        waiting.src1 = SrcState::Wait(1);
+        rob.push_back(1, entry(Op::Load, Some(Reg::int(1))), false, false, 0);
+        rob.push_back(2, waiting, false, false, 0);
+        rob.mark_issued(0, 205);
+        assert_eq!(rob.quiet_until(4), Some(205));
+        assert_eq!(rob.quiet_until(205), None, "completion due now is progress");
+    }
+
+    #[test]
+    fn store_helpers_scan_older_entries_only() {
+        let mut rob = Rob::new();
+        let mut st = entry(Op::Store, None);
+        st.mem_addr = Some(0x40);
+        st.store_value = Some(77);
+        rob.push_back(1, st, false, true, 5);
+        let mut unresolved = entry(Op::Store, None);
+        unresolved.mem_addr = None;
+        rob.push_back(2, unresolved, false, false, 0);
+        rob.push_back(3, entry(Op::Load, Some(Reg::int(1))), false, false, 0);
+        assert!(rob.older_stores_resolved(1));
+        assert!(!rob.older_stores_resolved(2), "unresolved store blocks younger loads");
+        assert_eq!(rob.forward_from_store(2, 0x40), Some(77));
+        assert_eq!(rob.forward_from_store(2, 0x48), None);
+        assert_eq!(rob.forward_from_store(0, 0x40), None, "own index excluded");
     }
 
     #[test]
@@ -308,11 +690,12 @@ mod tests {
         let arch = [7i64; NUM_REGS];
         let r1 = Reg::int(1);
         let r2 = Reg::int(2);
-        let mut done = entry(10, Op::Add, Some(r1));
-        done.done = true;
+        let mut rob = Rob::new();
+        let mut done = entry(Op::Add, Some(r1));
         done.result = Some(42);
-        let pending = entry(11, Op::Mul, Some(r2));
-        let map = RenameMap::rebuild(&arch, CcFlags::default(), [&done, &pending].into_iter());
+        rob.push_back(10, done, true, true, 0);
+        rob.push_back(11, entry(Op::Mul, Some(r2)), false, false, 0);
+        let map = RenameMap::rebuild(&arch, CcFlags::default(), &rob);
         assert_eq!(map.get(r1), Provider::Value(42));
         assert_eq!(map.get(r2), Provider::Rob(11));
         assert_eq!(map.get(Reg::int(3)), Provider::Value(7));
@@ -322,10 +705,12 @@ mod tests {
     fn rebuild_applies_ghost_and_pre_writes() {
         let arch = [0i64; NUM_REGS];
         let r5 = Reg::int(5);
-        let mut e = entry(3, Op::Load, Some(Reg::int(6)));
+        let mut e = entry(Op::Load, Some(Reg::int(6)));
         e.pre_writes = vec![(r5, 99)];
         e.pre_cc = Some(CcFlags::from_cmp(1, 1));
-        let map = RenameMap::rebuild(&arch, CcFlags::default(), [&e].into_iter());
+        let mut rob = Rob::new();
+        rob.push_back(3, e, false, false, 0);
+        let map = RenameMap::rebuild(&arch, CcFlags::default(), &rob);
         assert_eq!(map.get(r5), Provider::Value(99));
         assert_eq!(map.get(Reg::int(6)), Provider::Rob(3));
         assert!(matches!(map.cc(), CcProvider::Value(f) if f.zf));
@@ -333,7 +718,7 @@ mod tests {
 
     #[test]
     fn inputs_ready_checks_all_slots() {
-        let mut e = entry(0, Op::Add, None);
+        let mut e = entry(Op::Add, None);
         assert!(e.inputs_ready());
         e.src2 = SrcState::Wait(9);
         assert!(!e.inputs_ready());

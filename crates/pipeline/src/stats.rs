@@ -38,7 +38,10 @@ impl Metric {
 /// Aggregate event counts from one simulation.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PipelineStats {
-    /// Cycles simulated.
+    /// Cycles simulated. Under event-driven fast-forward the pipeline
+    /// credits stalled spans in bulk (one jump instead of N no-op steps),
+    /// but the final count is identical to per-cycle stepping — nothing
+    /// else in the struct records whether a cycle was stepped or skipped.
     pub cycles: u64,
     /// Committed micro-ops (excluding live-out ghosts) — Figure 6 top's
     /// metric.

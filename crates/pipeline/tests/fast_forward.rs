@@ -1,0 +1,111 @@
+//! Event-driven fast-forward: engagement, identity with per-cycle
+//! stepping, and preservation of the cancellation-poll cadence.
+//!
+//! The workhorse program is a serial pointer chase — every load's address
+//! depends on the previous load's value, so each cold DRAM miss stalls
+//! the whole window and the pipeline spends most of its cycles provably
+//! quiescent. That is exactly the shape fast-forward exists for.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use scc_isa::{Program, ProgramBuilder, Reg};
+use scc_pipeline::{Pipeline, PipelineConfig, RunOutcome};
+
+fn r(n: u8) -> Reg {
+    Reg::int(n)
+}
+
+/// A chain of `links` dependent loads: memory holds `addr -> next addr`,
+/// and the program repeatedly loads its own address register. Every link
+/// is a cold miss, so the run is dominated by memory stalls.
+fn pointer_chase(links: u64) -> Program {
+    let mut b = ProgramBuilder::new(0x1000);
+    let base = 0x0010_0000u64;
+    // Stride past the cache line so every link misses.
+    let stride = 0x400u64;
+    for i in 0..links {
+        b.word(base + i * stride, (base + (i + 1) * stride) as i64);
+    }
+    b.mov_imm(r(1), base as i64);
+    for _ in 0..links {
+        b.load(r(1), r(1), 0);
+    }
+    b.halt();
+    b.build()
+}
+
+fn ff_config(fast_forward: bool) -> PipelineConfig {
+    let mut cfg = PipelineConfig::baseline();
+    cfg.fast_forward = fast_forward;
+    cfg
+}
+
+#[test]
+fn fast_forward_engages_on_memory_stalls() {
+    let p = pointer_chase(64);
+    let mut pipe = Pipeline::new(&p, ff_config(true));
+    let res = pipe.run(10_000_000);
+    assert_eq!(res.outcome, RunOutcome::Halted, "stats: {:?}", res.stats);
+    // 64 serial DRAM misses: thousands of cycles, almost all skippable.
+    assert!(res.stats.cycles > 5_000, "expected a stall-bound run");
+    assert!(pipe.ff_jumps() > 32, "fast-forward barely engaged: {} jumps", pipe.ff_jumps());
+    // The chase must still compute the right final pointer.
+    assert_eq!(res.snapshot.regs[1], 0x0010_0000 + 64 * 0x400);
+}
+
+#[test]
+fn fast_forward_matches_per_cycle_stepping() {
+    let p = pointer_chase(64);
+    let mut on = Pipeline::new(&p, ff_config(true));
+    let on_res = on.run(10_000_000);
+    let mut off = Pipeline::new(&p, ff_config(false));
+    let off_res = off.run(10_000_000);
+    assert_eq!(on_res.outcome, RunOutcome::Halted);
+    assert_eq!(on_res.stats, off_res.stats, "fast-forward must be invisible in stats");
+    assert_eq!(on_res.snapshot, off_res.snapshot);
+    assert!(on.ff_jumps() > 0, "fast-forward never engaged");
+    assert_eq!(off.ff_jumps(), 0, "per-cycle mode must never jump");
+}
+
+/// Satellite regression: jumps are clamped to the next 4096-cycle
+/// boundary, so the cancellation hook still gets polled once per 4096
+/// cycles and a tripped check stops the run within one poll period —
+/// even when the pipeline could have leapt tens of thousands of cycles.
+#[test]
+fn fast_forward_preserves_cancellation_cadence() {
+    let p = pointer_chase(400);
+
+    // Measure the poll count of an uncancelled run with and without
+    // fast-forward: the cadence contract is that they are identical.
+    let count_polls = |fast_forward: bool| {
+        let polls = Arc::new(AtomicU64::new(0));
+        let mut pipe = Pipeline::new(&p, ff_config(fast_forward));
+        let seen = Arc::clone(&polls);
+        pipe.set_cancel_check(Box::new(move || {
+            seen.fetch_add(1, Ordering::Relaxed);
+            false
+        }));
+        let res = pipe.run(10_000_000);
+        assert_eq!(res.outcome, RunOutcome::Halted);
+        (res.stats.cycles, polls.load(Ordering::Relaxed))
+    };
+    let (cycles_on, polls_on) = count_polls(true);
+    let (cycles_off, polls_off) = count_polls(false);
+    assert_eq!(cycles_on, cycles_off);
+    assert_eq!(polls_on, polls_off, "fast-forward changed the poll cadence");
+    assert!(cycles_on > 3 * 4096, "run too short to exercise several poll periods");
+    // One poll at cycle 0 plus one per boundary reached.
+    assert_eq!(polls_on, cycles_on / 4096 + 1);
+
+    // A check that trips on the third poll must stop the run there; a
+    // jump that sailed past the boundary would delay this indefinitely.
+    let polls = Arc::new(AtomicU64::new(0));
+    let mut pipe = Pipeline::new(&p, ff_config(true));
+    let seen = Arc::clone(&polls);
+    pipe.set_cancel_check(Box::new(move || seen.fetch_add(1, Ordering::Relaxed) >= 2));
+    let res = pipe.run(10_000_000);
+    assert_eq!(res.outcome, RunOutcome::Cancelled, "stats: {:?}", res.stats);
+    assert!(res.stats.cycles <= 3 * 4096, "cancellation overshot a poll period");
+    assert_eq!(polls.load(Ordering::Relaxed), 3, "polled once per 4096 cycles");
+}

@@ -125,6 +125,11 @@ pub struct SimOptions {
     pub vp_forwarding: Option<u8>,
     /// Simulation cycle budget (safety net; workloads halt well before).
     pub max_cycles: u64,
+    /// Event-driven stall fast-forward (host-speed knob only — simulated
+    /// behavior and all observable output are byte-identical either way;
+    /// see [`PipelineConfig::fast_forward`]). The `full+percycle` fuzz
+    /// ablation and the `fast_forward_identity` tests run with it off.
+    pub fast_forward: bool,
 }
 
 impl SimOptions {
@@ -139,6 +144,7 @@ impl SimOptions {
             max_constant_width: None,
             vp_forwarding: None,
             max_cycles: build::DEFAULT_MAX_CYCLES,
+            fast_forward: true,
         }
     }
 
@@ -162,6 +168,7 @@ impl SimOptions {
             branch_predictor: self.branch_predictor,
             value_predictor: self.value_predictor,
             vp_forwarding: self.vp_forwarding,
+            fast_forward: self.fast_forward,
             ..PipelineConfig::baseline()
         }
     }

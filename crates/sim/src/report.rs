@@ -131,14 +131,28 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
+/// Version of the `BENCH_throughput.json` document layout. Bump when a
+/// field changes meaning or moves, so trajectory tooling comparing
+/// snapshots across commits can refuse apples-to-oranges diffs. Version
+/// history: 1 = untagged (no meta object), 2 = adds `schema_version` and
+/// `git_rev`.
+pub const THROUGHPUT_SCHEMA_VERSION: u32 = 2;
+
 /// Renders per-run, per-workload, and aggregate simulation throughput
 /// (simulated micro-ops per host second) as a JSON document — the payload
 /// of `results/BENCH_throughput.json`.
 ///
+/// The header tags the snapshot with [`THROUGHPUT_SCHEMA_VERSION`] and
+/// `git_rev` (the source revision the binary was built from, or
+/// `"unknown"`), so sequences of committed snapshots are comparable.
 /// Cache hits are listed per run but excluded from the throughput rates,
 /// since they cost no simulation time.
-pub fn throughput_json(timings: &[RunTiming]) -> String {
-    let mut out = String::from("{\n  \"runs\": [\n");
+pub fn throughput_json(timings: &[RunTiming], git_rev: &str) -> String {
+    let mut out = format!(
+        "{{\n  \"schema_version\": {THROUGHPUT_SCHEMA_VERSION},\n  \"git_rev\": \"{}\",\n  \
+         \"runs\": [\n",
+        json_escape(git_rev),
+    );
     for (i, t) in timings.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"workload\": \"{}\", \"level\": \"{}\", \"wall_secs\": {:.6}, \
@@ -278,7 +292,10 @@ mod tests {
                 cached: false,
             },
         ];
-        let j = throughput_json(&timings);
+        let j = throughput_json(&timings, "abc123def456");
+        assert!(j.starts_with(&format!(
+            "{{\n  \"schema_version\": {THROUGHPUT_SCHEMA_VERSION},\n  \"git_rev\": \"abc123def456\","
+        )));
         assert!(j.contains("\"aggregate\": {\"runs\": 2, \"cached_hits\": 1"));
         // 4M uops over 4 seconds of fresh simulation.
         assert!(j.contains("\"wall_secs\": 4.000000, \"uops\": 4000000, \"uops_per_sec\": 1000000.0"));

@@ -755,9 +755,32 @@ pub fn schedule() -> Vec<JobTiming> {
     lock_unpoisoned(schedule_log()).clone()
 }
 
+/// The source revision to tag throughput snapshots with: the
+/// `SCC_GIT_REV` environment variable when set (CI pins the exact value),
+/// otherwise `git rev-parse --short=12 HEAD`, otherwise `"unknown"`
+/// (tarball builds without git).
+pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("SCC_GIT_REV") {
+        let rev = rev.trim().to_string();
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Writes the throughput log as JSON (see
 /// [`crate::report::throughput_json`]) to `path`, creating parent
-/// directories as needed. Returns the rendered JSON.
+/// directories as needed and tagging the snapshot with the schema
+/// version and [`git_rev`]. Returns the rendered JSON.
 pub fn write_throughput_json(path: impl AsRef<Path>) -> std::io::Result<String> {
     let path = path.as_ref();
     if let Some(dir) = path.parent() {
@@ -765,7 +788,7 @@ pub fn write_throughput_json(path: impl AsRef<Path>) -> std::io::Result<String> 
             std::fs::create_dir_all(dir)?;
         }
     }
-    let json = crate::report::throughput_json(&timings());
+    let json = crate::report::throughput_json(&timings(), &git_rev());
     let mut f = std::fs::File::create(path)?;
     f.write_all(json.as_bytes())?;
     Ok(json)
