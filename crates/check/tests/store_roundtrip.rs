@@ -1,0 +1,123 @@
+//! Fuzzer-driven store round-trip: seeded random programs (the same
+//! generator the differential harness fuzzes with) are run across the
+//! full optimization-level matrix, and every result is pushed through
+//! the persistent store — encode, write, reopen with recovery, read,
+//! decode — and must come back *byte-identical*.
+//!
+//! This is the persistence analogue of the architectural-invisibility
+//! property: serving a result from disk must be indistinguishable from
+//! re-running the simulation, down to the last bit of every counter,
+//! register, and energy figure.
+
+use std::path::PathBuf;
+
+use scc_check::DEFAULT_MAX_CYCLES;
+use scc_energy::EnergyModel;
+use scc_isa::rand_prog::{random_program, RandProgConfig};
+use scc_pipeline::{Pipeline, RunOutcome};
+use scc_sim::persist::{decode_result, encode_result};
+use scc_sim::{energy_events, OptLevel, SimOptions, SimResult};
+use scc_store::{Store, StoreConfig};
+
+fn temp_store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scc-check-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs one fuzz program under one level, packaged as the [`SimResult`]
+/// the runner would persist for a real workload.
+fn simulate(seed: u64, program: &scc_isa::Program, level: OptLevel) -> SimResult {
+    let opts = SimOptions::new(level);
+    let mut pipe = Pipeline::new(program, opts.to_pipeline_config());
+    let res = pipe.run(DEFAULT_MAX_CYCLES);
+    assert_eq!(res.outcome, RunOutcome::Halted, "fuzz-{seed} hung at {level}");
+    let energy = EnergyModel::icelake().energy(&energy_events(&res.stats));
+    SimResult {
+        workload: format!("fuzz-{seed}"),
+        level,
+        stats: res.stats,
+        energy,
+        snapshot: res.snapshot,
+        halted: true,
+    }
+}
+
+#[test]
+fn fuzz_results_survive_the_store_byte_identically_across_all_levels() {
+    let dir = temp_store_dir("matrix");
+    let cfg = RandProgConfig::default();
+    let store_cfg = StoreConfig::new(scc_sim::persist::SCHEMA_VERSION, "fuzz-roundtrip");
+
+    // Simulate and persist: every (seed, level) cell of the matrix.
+    let mut originals = Vec::new();
+    {
+        let mut store = Store::open(&dir, store_cfg.clone()).expect("open store");
+        for seed in 0..4u64 {
+            let program = random_program(seed, &cfg);
+            for level in OptLevel::all() {
+                let result = simulate(seed, &program, level);
+                let bytes = encode_result(&result);
+                let key = format!("fuzz-{seed}|{}", level.label());
+                store.put(&key, &bytes).expect("put");
+                originals.push((key, bytes, result));
+            }
+        }
+        store.sync().expect("sync");
+    }
+
+    // Reopen: the read side goes through segment recovery, the index
+    // rebuild, and the CRC check — the full cold-start path.
+    let mut store = Store::open(&dir, store_cfg).expect("reopen store");
+    let rec = store.recovery();
+    assert_eq!(rec.records_indexed as usize, originals.len(), "{rec:?}");
+    assert_eq!(rec.corrupt_records_skipped, 0, "{rec:?}");
+    assert_eq!(rec.torn_truncations, 0, "{rec:?}");
+
+    for (key, bytes, original) in &originals {
+        let read = store.get(key).expect("get").unwrap_or_else(|| panic!("{key} missing"));
+        assert_eq!(&read, bytes, "{key}: stored bytes differ");
+        let decoded = decode_result(&read).unwrap_or_else(|| panic!("{key} undecodable"));
+
+        // Byte identity: re-encoding the decoded result reproduces the
+        // original encoding exactly, and the architectural state the
+        // differential harness compares is bit-equal.
+        assert_eq!(encode_result(&decoded), *bytes, "{key}: round-trip not byte-stable");
+        assert_eq!(decoded.snapshot, original.snapshot, "{key}: snapshot diverged");
+        assert_eq!(decoded.workload, original.workload);
+        assert_eq!(decoded.level, original.level);
+        assert_eq!(decoded.halted, original.halted);
+        assert_eq!(decoded.stats.cycles, original.stats.cycles);
+        assert_eq!(decoded.stats.committed_uops, original.stats.committed_uops);
+        assert_eq!(decoded.stats.program_uops, original.stats.program_uops);
+        assert_eq!(decoded.energy_pj().to_bits(), original.energy_pj().to_bits());
+    }
+
+    // The levels of one seed are distinct records, not collisions: the
+    // full matrix is individually addressable after recovery.
+    assert_eq!(originals.len(), 4 * OptLevel::all().len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_bumped_store_refuses_stale_fuzz_results() {
+    // The staleness guard seen from the fuzzer's side: results written
+    // by one engine revision must not be served by another.
+    let dir = temp_store_dir("staleness");
+    let program = random_program(7, &RandProgConfig::default());
+    let result = simulate(7, &program, OptLevel::Full);
+    let key = "fuzz-7|full-scc";
+    {
+        let mut store =
+            Store::open(&dir, StoreConfig::new(scc_sim::persist::SCHEMA_VERSION, "rev-a"))
+                .expect("open");
+        store.put(key, &encode_result(&result)).expect("put");
+        store.sync().expect("sync");
+    }
+    let mut store =
+        Store::open(&dir, StoreConfig::new(scc_sim::persist::SCHEMA_VERSION, "rev-b"))
+            .expect("reopen under new rev");
+    assert!(store.recovery().version_mismatch_segments >= 1);
+    assert_eq!(store.get(key).expect("get"), None, "stale result must not be served");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -284,6 +284,21 @@ pub enum Event {
         /// True when the result came from the cross-figure cache.
         cached: bool,
     },
+    /// An operation of the runner's persistent store tier (wall-clock
+    /// microseconds since the process epoch, like the `Job*` events).
+    StoreOp {
+        /// Wall-clock microseconds since process epoch.
+        ts_us: u64,
+        /// `"recover"`, `"hit"`, `"miss"`, `"write"`, `"warm"`, or
+        /// `"flush"`.
+        op: &'static str,
+        /// Human-readable identity: the content key for per-result
+        /// operations, the store directory for lifecycle ones.
+        detail: String,
+        /// Records involved: 1 for per-result operations, the batch
+        /// size for `recover`/`warm`.
+        count: u64,
+    },
 }
 
 /// A consumer of observability [`Event`]s.

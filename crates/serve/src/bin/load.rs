@@ -5,8 +5,19 @@
 //! scc-load --connect tcp:HOST:PORT|unix:PATH
 //!          [--conns N] [--requests N] [--workload NAME] [--iters N]
 //!          [--level LABEL] [--deadline-ms N] [--distinct N]
-//!          [--out results/BENCH_serve.json] [--shutdown]
+//!          [--out results/BENCH_serve.json]
+//!          [--store-out results/BENCH_store.json] [--min-warm-rate R]
+//!          [--shutdown]
 //! ```
+//!
+//! `--store-out` writes the persistent-store report for a
+//! restart-and-replay measurement: run a mix against a `--store-dir`
+//! server, restart the server on the same directory, then replay the
+//! identical mix with `--store-out` — every LRU miss probes the store,
+//! so the report's `warm_hit_rate` measures how much of the prior run
+//! survived the restart. `--min-warm-rate R` turns that into a gate:
+//! exit non-zero when the measured rate is below `R` (or undefined
+//! because the run never probed the store).
 //!
 //! Exits non-zero if any request ends in a non-retryable error
 //! (`queue_full` rejections are retried after the server's hint and do
@@ -14,13 +25,14 @@
 
 use std::process::ExitCode;
 
-use scc_serve::loadgen::{bench_json, run, LoadConfig};
+use scc_serve::loadgen::{bench_json, run, stats_object, store_bench_json, LoadConfig};
 use scc_serve::{Addr, Client};
 
 fn usage() -> ! {
     eprintln!(
         "usage: scc-load --connect ADDR [--conns N] [--requests N] [--workload NAME] \
-         [--iters N] [--level LABEL] [--deadline-ms N] [--distinct N] [--out FILE] [--shutdown]"
+         [--iters N] [--level LABEL] [--deadline-ms N] [--distinct N] [--out FILE] \
+         [--store-out FILE] [--min-warm-rate R] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -28,6 +40,8 @@ fn usage() -> ! {
 struct Args {
     cfg: LoadConfig,
     out: Option<String>,
+    store_out: Option<String>,
+    min_warm_rate: Option<f64>,
     shutdown: bool,
 }
 
@@ -44,6 +58,8 @@ fn parse_args() -> Args {
         distinct: 4,
     };
     let mut out = None;
+    let mut store_out = None;
+    let mut min_warm_rate = None;
     let mut shutdown = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -85,6 +101,11 @@ fn parse_args() -> Args {
                 _ => usage(),
             },
             "--out" => out = Some(value("--out")),
+            "--store-out" => store_out = Some(value("--store-out")),
+            "--min-warm-rate" => match value("--min-warm-rate").parse::<f64>() {
+                Ok(r) if (0.0..=1.0).contains(&r) => min_warm_rate = Some(r),
+                _ => usage(),
+            },
             "--shutdown" => shutdown = true,
             "--help" | "-h" => usage(),
             other => {
@@ -98,7 +119,19 @@ fn parse_args() -> Args {
         usage();
     };
     cfg.addr = addr;
-    Args { cfg, out, shutdown }
+    Args { cfg, out, store_out, min_warm_rate, shutdown }
+}
+
+fn write_doc(path: &str, doc: &str) -> bool {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(path, doc) {
+        eprintln!("scc-load: writing {path}: {e}");
+        return false;
+    }
+    eprintln!("scc-load: wrote {path}");
+    true
 }
 
 fn main() -> ExitCode {
@@ -113,14 +146,38 @@ fn main() -> ExitCode {
     let doc = bench_json(&report);
     print!("{doc}");
     if let Some(path) = &args.out {
-        if let Some(dir) = std::path::Path::new(path).parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        if let Err(e) = std::fs::write(path, &doc) {
-            eprintln!("scc-load: writing {path}: {e}");
+        if !write_doc(path, &doc) {
             return ExitCode::FAILURE;
         }
-        eprintln!("scc-load: wrote {path}");
+    }
+    if args.store_out.is_some() || args.min_warm_rate.is_some() {
+        let stats = match stats_object(&args.cfg.addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("scc-load: reading final stats: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let store_doc = store_bench_json(&report, &stats);
+        print!("{store_doc}");
+        if let Some(path) = &args.store_out {
+            if !write_doc(path, &store_doc) {
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(min) = args.min_warm_rate {
+            let rate = report.store_warm_hit_rate;
+            if rate.is_nan() || rate < min {
+                eprintln!(
+                    "scc-load: warm-hit rate {rate:.4} below required {min:.4} \
+                     ({} hits / {} lookups)",
+                    report.store_hits,
+                    report.store_hits + report.store_misses
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!("scc-load: warm-hit rate {rate:.4} >= {min:.4}");
+        }
     }
     if args.shutdown {
         match Client::connect(&args.cfg.addr).and_then(|mut c| c.request("{\"verb\":\"shutdown\"}"))

@@ -3,12 +3,16 @@
 //! ```text
 //! scc-serve [--listen tcp:HOST:PORT | --listen unix:PATH]...
 //!           [--workers N] [--queue N] [--max-cycles N]
+//!           [--store-dir PATH]
 //! ```
 //!
 //! Defaults to `tcp:127.0.0.1:7878` when no `--listen` is given.
-//! SIGTERM/SIGINT (or the `shutdown` verb) triggers a graceful drain:
-//! accepting stops, queued and in-flight jobs finish, then the process
-//! exits 0.
+//! `--store-dir` attaches the crash-safe persistent result store: every
+//! fresh result is written through to disk, and a restarted server
+//! serves prior results warm (recovery runs at startup; see the
+//! `persist` and `warm` verbs). SIGTERM/SIGINT (or the `shutdown` verb)
+//! triggers a graceful drain: accepting stops, queued and in-flight
+//! jobs finish, the store is flushed, then the process exits 0.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -17,7 +21,8 @@ use scc_serve::{signal, Addr, Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scc-serve [--listen tcp:HOST:PORT|unix:PATH]... [--workers N] [--queue N] [--max-cycles N]"
+        "usage: scc-serve [--listen tcp:HOST:PORT|unix:PATH]... [--workers N] [--queue N] \
+         [--max-cycles N] [--store-dir PATH]"
     );
     std::process::exit(2);
 }
@@ -57,6 +62,7 @@ fn parse_args() -> (Vec<Addr>, ServerConfig) {
                 Ok(n) if n >= 1 => cfg.max_cycles = n,
                 _ => usage(),
             },
+            "--store-dir" => cfg.store_dir = Some(value("--store-dir").into()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("scc-serve: unknown flag `{other}`");

@@ -62,6 +62,18 @@ pub struct LoadReport {
     /// `runner.cache.*` counters (delta hits / delta lookups); `NaN`
     /// when the run performed no lookups.
     pub cache_hit_rate: f64,
+    /// Persistent-store lookups over the run that hit (`runner.store.hits`
+    /// delta). Zero when the server has no store attached.
+    pub store_hits: u64,
+    /// Persistent-store lookups over the run that missed.
+    pub store_misses: u64,
+    /// Warm-hit rate of the persistent tier over the run: store hits /
+    /// store lookups. This is the restart-and-replay headline — against
+    /// a freshly restarted server every LRU miss probes the store, so a
+    /// fully persisted prior run replays as rate 1.0. `NaN` when the
+    /// run performed no store lookups (no store, or everything hit the
+    /// LRU).
+    pub store_warm_hit_rate: f64,
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice (`p` in 0..=100).
@@ -86,21 +98,33 @@ fn run_request_line(cfg: &LoadConfig, conn: usize, seq: usize) -> String {
     )
 }
 
-fn cache_counters(addr: &Addr) -> io::Result<(u64, u64)> {
+/// Fetches the server's `stats` object.
+pub fn stats_object(addr: &Addr) -> io::Result<Json> {
     let mut c = Client::connect(addr)?;
     let j = c.request_json("{\"verb\":\"stats\"}")?;
-    let stats = j
-        .get("stats")
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "stats missing"))?;
+    j.get("stats")
+        .cloned()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "stats missing"))
+}
+
+/// `(cache hits, cache misses, store hits, store misses)` counters;
+/// store counters read 0 on a storeless server.
+fn tier_counters(addr: &Addr) -> io::Result<(u64, u64, u64, u64)> {
+    let stats = stats_object(addr)?;
     let read = |name: &str| stats.get(name).and_then(Json::as_u64).unwrap_or(0);
-    Ok((read("runner.cache.hits"), read("runner.cache.misses")))
+    Ok((
+        read("runner.cache.hits"),
+        read("runner.cache.misses"),
+        read("runner.store.hits"),
+        read("runner.store.misses"),
+    ))
 }
 
 /// Runs the load: spawns one thread per connection, each issuing
 /// `requests_per_conn` run requests back-to-back, retrying on
 /// `queue_full` after the server's `retry_after_ms` hint.
 pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
-    let (hits0, misses0) = cache_counters(&cfg.addr)?;
+    let (hits0, misses0, sh0, sm0) = tier_counters(&cfg.addr)?;
     let rejections = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
     let mut handles = Vec::new();
@@ -151,8 +175,9 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         errors += e;
     }
     let wall_s = started.elapsed().as_secs_f64();
-    let (hits1, misses1) = cache_counters(&cfg.addr)?;
+    let (hits1, misses1, sh1, sm1) = tier_counters(&cfg.addr)?;
     let (dh, dm) = (hits1.saturating_sub(hits0), misses1.saturating_sub(misses0));
+    let (dsh, dsm) = (sh1.saturating_sub(sh0), sm1.saturating_sub(sm0));
 
     latencies.sort_by(|a, b| a.total_cmp(b));
     Ok(LoadReport {
@@ -167,6 +192,9 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         p95_ms: percentile(&latencies, 95.0),
         p99_ms: percentile(&latencies, 99.0),
         cache_hit_rate: dh as f64 / (dh + dm) as f64,
+        store_hits: dsh,
+        store_misses: dsm,
+        store_warm_hit_rate: dsh as f64 / (dsh + dsm) as f64,
     })
 }
 
@@ -192,6 +220,41 @@ pub fn bench_json(r: &LoadReport) -> String {
         r.p50_ms,
         r.p95_ms,
         r.p99_ms,
+    )
+}
+
+/// Renders the restart-and-replay report as the
+/// `results/BENCH_store.json` document: the replay's warm-hit rate plus
+/// the restarted server's recovery and store counters (read from a
+/// final `stats` probe), tagged with the store's schema version and the
+/// engine revision so regressions are attributable to a build.
+pub fn store_bench_json(r: &LoadReport, final_stats: &Json) -> String {
+    let read = |name: &str| final_stats.get(name).and_then(Json::as_u64).unwrap_or(0);
+    let warm = if r.store_warm_hit_rate.is_finite() {
+        format!("{:.4}", r.store_warm_hit_rate)
+    } else {
+        "null".to_string()
+    };
+    format!(
+        "{{\n  \"bench\": \"store\",\n  \"schema_version\": {},\n  \"git_rev\": \"{}\",\n  \
+         \"requests\": {},\n  \"ok\": {},\n  \"errors\": {},\n  \"warm_hit_rate\": {warm},\n  \
+         \"store\": {{\"hits\": {}, \"misses\": {}, \"writes\": {}, \"segments\": {}, \
+         \"decode_rejects\": {}}},\n  \"recovery\": {{\"records\": {}, \"corrupt_skipped\": {}, \
+         \"torn_truncations\": {}, \"invalidated_segments\": {}}}\n}}\n",
+        scc_sim::persist::SCHEMA_VERSION,
+        escape(&scc_sim::runner::git_rev()),
+        r.requests,
+        r.ok,
+        r.errors,
+        r.store_hits,
+        r.store_misses,
+        read("runner.store.writes"),
+        read("runner.store.segments"),
+        read("runner.store.decode_rejects"),
+        read("runner.store.recovered_records"),
+        read("runner.store.recovery_corrupt_skipped"),
+        read("runner.store.recovery_torn_truncations"),
+        read("runner.store.recovery_invalidated_segments"),
     )
 }
 
@@ -224,9 +287,54 @@ mod tests {
             p95_ms: 0.0,
             p99_ms: 0.0,
             cache_hit_rate: f64::NAN,
+            store_hits: 0,
+            store_misses: 0,
+            store_warm_hit_rate: f64::NAN,
         };
         let doc = bench_json(&r);
         assert!(doc.contains("\"cache_hit_rate\": null"));
         crate::json::Json::parse(&doc).unwrap();
+        let store_doc = store_bench_json(&r, &Json::parse("{}").unwrap());
+        assert!(store_doc.contains("\"warm_hit_rate\": null"));
+        assert!(store_doc.contains("\"schema_version\": 1"));
+        Json::parse(&store_doc).unwrap();
+    }
+
+    #[test]
+    fn store_bench_json_reports_a_warm_replay() {
+        let r = LoadReport {
+            conns: 2,
+            requests: 16,
+            ok: 16,
+            rejections: 0,
+            errors: 0,
+            wall_s: 0.5,
+            throughput_rps: 32.0,
+            p50_ms: 1.0,
+            p95_ms: 2.0,
+            p99_ms: 2.0,
+            cache_hit_rate: 0.75,
+            store_hits: 4,
+            store_misses: 0,
+            store_warm_hit_rate: 1.0,
+        };
+        let stats = Json::parse(
+            r#"{"runner.store.writes":0,"runner.store.segments":2,
+                "runner.store.recovered_records":4,"runner.store.recovery_corrupt_skipped":0,
+                "runner.store.recovery_torn_truncations":0,
+                "runner.store.recovery_invalidated_segments":0,"runner.store.decode_rejects":0}"#,
+        )
+        .unwrap();
+        let doc = store_bench_json(&r, &stats);
+        let j = Json::parse(&doc).unwrap();
+        assert_eq!(j.get("warm_hit_rate").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            j.get("recovery").and_then(|x| x.get("records")).and_then(Json::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            j.get("store").and_then(|x| x.get("hits")).and_then(Json::as_u64),
+            Some(4)
+        );
     }
 }

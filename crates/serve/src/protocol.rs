@@ -11,6 +11,8 @@
 //!  "audit":false}
 //! {"verb":"stats"}
 //! {"verb":"health"}
+//! {"verb":"persist"}
+//! {"verb":"warm"}
 //! {"verb":"shutdown"}
 //! ```
 //!
@@ -74,6 +76,10 @@ pub enum Request {
     Stats,
     /// Liveness/readiness: `ok` or `draining`.
     Health,
+    /// Fsync the persistent store's active segment (durability barrier).
+    Persist,
+    /// Promote every live store record into the in-memory result cache.
+    Warm,
     /// Begin graceful drain: stop accepting, finish in-flight, exit.
     Shutdown,
 }
@@ -124,11 +130,16 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     match verb {
         "stats" => Ok(Request::Stats),
         "health" => Ok(Request::Health),
+        "persist" => Ok(Request::Persist),
+        "warm" => Ok(Request::Warm),
         "shutdown" => Ok(Request::Shutdown),
         "run" => parse_run(&doc, id).map(Request::Run),
         other => Err(ProtoError::new(
             "unknown_verb",
-            format!("unknown verb `{}` (expected run|stats|health|shutdown)", escape(other)),
+            format!(
+                "unknown verb `{}` (expected run|stats|health|persist|warm|shutdown)",
+                escape(other)
+            ),
             id,
         )),
     }
@@ -338,6 +349,8 @@ mod tests {
     fn verbs_parse() {
         assert_eq!(parse_request(r#"{"verb":"stats"}"#).unwrap(), Request::Stats);
         assert_eq!(parse_request(r#"{"verb":"health"}"#).unwrap(), Request::Health);
+        assert_eq!(parse_request(r#"{"verb":"persist"}"#).unwrap(), Request::Persist);
+        assert_eq!(parse_request(r#"{"verb":"warm"}"#).unwrap(), Request::Warm);
         assert_eq!(parse_request(r#"{"verb":"shutdown"}"#).unwrap(), Request::Shutdown);
     }
 

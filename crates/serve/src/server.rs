@@ -26,7 +26,6 @@ use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener};
 #[cfg(unix)]
 use std::os::unix::net::UnixListener;
-#[cfg(unix)]
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -40,7 +39,7 @@ use crate::protocol::{
     MAX_FRAME_BYTES,
 };
 use scc_pipeline::{Metric, MetricValue};
-use scc_sim::runner::{resolve_workload, Job};
+use scc_sim::runner::{resolve_workload, Job, StoreTier};
 use scc_sim::{cache_metrics, Runner, SimOptions};
 use scc_workloads::Scale;
 
@@ -65,6 +64,12 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Ceiling applied to any client-supplied `max_cycles`.
     pub max_cycles: u64,
+    /// Directory of the persistent result store (`--store-dir`). When
+    /// set, results are written through to disk and a restart serves
+    /// prior results warm; when the store fails to open, the server
+    /// *degrades* — it serves cold and reports
+    /// `serve.store.degraded = 1` instead of refusing to start.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +78,7 @@ impl Default for ServerConfig {
             workers: scc_sim::default_jobs(),
             queue_depth: 64,
             max_cycles: scc_sim::build::DEFAULT_MAX_CYCLES,
+            store_dir: None,
         }
     }
 }
@@ -102,6 +108,9 @@ struct Shared {
     jobs_rejected: AtomicU64,
     /// EWMA of job wall time, microseconds (alpha = 1/8).
     avg_job_us: AtomicU64,
+    /// True when `store_dir` was requested but the store failed to open
+    /// (the server serves cold instead of refusing to start).
+    store_degraded: bool,
 }
 
 impl Shared {
@@ -126,8 +135,14 @@ impl Shared {
         self.avg_job_us.store(new, Ordering::Relaxed);
     }
 
+    /// The store tier attached to the shared runner, if any.
+    fn store(&self) -> Option<&Arc<StoreTier>> {
+        self.runner.store_tier()
+    }
+
     /// Gauges and counters for the `stats` verb, merged with the
-    /// runner's `runner.cache.*` registry metrics.
+    /// runner's `runner.cache.*` (and, when a store is attached,
+    /// `runner.store.*`) registry metrics.
     fn metrics(&self) -> Vec<Metric> {
         let queued = self.queue.lock().unwrap_or_else(|p| p.into_inner()).len();
         let counter = |name: &str, v: u64| Metric {
@@ -147,7 +162,12 @@ impl Shared {
             counter("serve.jobs.rejected", self.jobs_rejected.load(Ordering::Relaxed)),
             counter("serve.avg_job_us", self.avg_job_us.load(Ordering::Relaxed)),
         ];
+        out.push(counter("serve.store.enabled", u64::from(self.store().is_some())));
+        out.push(counter("serve.store.degraded", u64::from(self.store_degraded)));
         out.extend(cache_metrics());
+        if let Some(tier) = self.store() {
+            out.extend(tier.metrics());
+        }
         out
     }
 }
@@ -216,9 +236,38 @@ impl Server {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "no listen addresses"));
         }
         let workers = cfg.workers.max(1);
+        // Open the persistent tier before serving, so recovery happens
+        // once up front. An unopenable store degrades to cold serving —
+        // a broken disk must not take the service down with it.
+        let mut runner = Runner::new();
+        let mut store_degraded = false;
+        if let Some(dir) = &cfg.store_dir {
+            match StoreTier::open(dir) {
+                Ok(tier) => {
+                    let rec = tier.recovery();
+                    eprintln!(
+                        "scc-serve: store at {} recovered {} records \
+                         ({} corrupt skipped, {} torn truncations, {} segments invalidated)",
+                        dir.display(),
+                        rec.records_indexed,
+                        rec.corrupt_records_skipped,
+                        rec.torn_truncations,
+                        rec.invalidated_segments(),
+                    );
+                    runner = runner.with_store(tier);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "scc-serve: store at {} unavailable ({e}); serving cold",
+                        dir.display()
+                    );
+                    store_degraded = true;
+                }
+            }
+        }
         let shared = Arc::new(Shared {
             cfg: ServerConfig { workers, ..cfg },
-            runner: Runner::new(),
+            runner,
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
             drain: AtomicBool::new(false),
@@ -229,6 +278,7 @@ impl Server {
             jobs_failed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
             avg_job_us: AtomicU64::new(0),
+            store_degraded,
         });
         Ok(Server { shared, listeners, tcp_addrs })
     }
@@ -291,6 +341,14 @@ impl Server {
         }
         for h in worker_handles {
             let _ = h.join();
+        }
+        // Every worker has exited, so every write-through has reached
+        // the store; fsync before reporting a clean exit.
+        if let Some(tier) = self.shared.store() {
+            match tier.flush() {
+                Ok(()) => eprintln!("scc-serve: store flushed"),
+                Err(e) => eprintln!("scc-serve: store flush failed: {e}"),
+            }
         }
         for l in &self.listeners {
             #[cfg(unix)]
@@ -373,6 +431,27 @@ fn handle_frame(shared: &Shared, line: &str) -> String {
         Request::Stats => {
             format!("{{\"ok\":true,\"stats\":{}}}\n", metrics_object(&shared.metrics()))
         }
+        Request::Persist => match shared.store() {
+            Some(tier) => match tier.flush() {
+                Ok(()) => format!(
+                    "{{\"ok\":true,\"status\":\"persisted\",\"writes\":{}}}\n",
+                    tier.store_stats().puts
+                ),
+                Err(e) => {
+                    error_response(None, "store_io", &format!("store flush failed: {e}"), None)
+                }
+            },
+            None => store_unavailable(shared),
+        },
+        Request::Warm => match shared.store() {
+            Some(tier) => match tier.warm_into_cache() {
+                Ok(n) => format!("{{\"ok\":true,\"status\":\"warmed\",\"entries\":{n}}}\n"),
+                Err(e) => {
+                    error_response(None, "store_io", &format!("store warm failed: {e}"), None)
+                }
+            },
+            None => store_unavailable(shared),
+        },
         Request::Shutdown => {
             let _guard = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
             shared.drain.store(true, Ordering::SeqCst);
@@ -381,6 +460,17 @@ fn handle_frame(shared: &Shared, line: &str) -> String {
         }
         Request::Run(run) => submit_run(shared, run),
     }
+}
+
+/// The `persist`/`warm` rejection when no store tier is attached —
+/// distinguishing "never configured" from "configured but degraded".
+fn store_unavailable(shared: &Shared) -> String {
+    let message = if shared.store_degraded {
+        "persistent store failed to open at startup; serving cold"
+    } else {
+        "no persistent store attached (start scc-serve with --store-dir)"
+    };
+    error_response(None, "store_unavailable", message, None)
 }
 
 /// Validates, enqueues, and awaits one `run` request.

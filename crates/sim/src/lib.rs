@@ -20,6 +20,7 @@
 
 pub mod build;
 pub mod cli;
+pub mod persist;
 pub mod report;
 pub mod runner;
 pub mod simpoint;
@@ -38,7 +39,7 @@ pub use build::{ConfigError, Sim, SimBuilder, SimError};
 pub use runner::{
     cache_len, cache_metrics, cache_stats, default_jobs, parallel_map, parallel_map_indexed,
     resolve_workload, scc_jobs, set_cache_capacity, CacheStats, Job, JobError, JobTiming, RunOne,
-    Runner, DEFAULT_CACHE_CAPACITY,
+    Runner, StoreTier, DEFAULT_CACHE_CAPACITY,
 };
 
 /// The appendix's six experiment levels, cumulative.

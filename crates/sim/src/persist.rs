@@ -1,0 +1,443 @@
+//! Binary codec for persisted [`SimResult`]s — the value format of the
+//! runner's `scc-store` tier.
+//!
+//! # Why not reuse the JSON report?
+//!
+//! The wire report (`report_json`) is a *view*: it rounds, selects, and
+//! formats. The store must round-trip a result **byte-identically** —
+//! the serve-layer tests assert a warm-started server produces the same
+//! response bytes as a cold simulation, which requires every counter
+//! and every `f64` bit pattern to survive. So this codec encodes the
+//! full struct, floats via `to_bits`, with no lossy formatting.
+//!
+//! # Staleness discipline
+//!
+//! [`SCHEMA_VERSION`] names this encoding. It is stamped into every
+//! segment header next to the engine git revision; `scc-store` refuses
+//! whole segments on mismatch at recovery, so decode here never sees
+//! bytes from another schema *era*. Decoding is still fully defensive
+//! (bounds-checked, trailing bytes rejected) because disk rot below the
+//! CRC's detection odds, though astronomically unlikely, must degrade
+//! to a cache miss rather than a panic.
+//!
+//! **Bump [`SCHEMA_VERSION`] whenever the encoding changes.** The
+//! struct encoders destructure every field exhaustively, so adding a
+//! field to [`SimResult`], `PipelineStats`, or any nested stats struct
+//! is a compile error here — the reviewer is forced to extend the codec
+//! and bump the version together.
+
+use crate::{OptLevel, SimResult};
+use scc_energy::EnergyBreakdown;
+use scc_isa::{ArchSnapshot, CcFlags, NUM_REGS};
+use scc_memsys::{CacheStats, HierarchyStats};
+use scc_pipeline::PipelineStats;
+use scc_uopcache::{OptPartitionStats, UnoptPartitionStats};
+
+/// Version of this encoding, stamped into `scc-store` segment headers.
+pub const SCHEMA_VERSION: u32 = 1;
+
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(b: &mut Vec<u8>, v: i64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(b: &mut Vec<u8>, v: f64) {
+    // Bit-exact: the warm path must reproduce cold results byte for
+    // byte, so no decimal round-trip is acceptable.
+    b.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(b: &mut Vec<u8>, s: &str) {
+    put_u32(b, s.len() as u32);
+    b.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        if end > self.b.len() {
+            return None;
+        }
+        let s = &self.b[self.at..end];
+        self.at = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?).ok().map(str::to_string)
+    }
+}
+
+fn level_code(level: OptLevel) -> u8 {
+    match level {
+        OptLevel::Baseline => 0,
+        OptLevel::PartitionedBaseline => 1,
+        OptLevel::MoveElim => 2,
+        OptLevel::FoldProp => 3,
+        OptLevel::BranchFold => 4,
+        OptLevel::Full => 5,
+    }
+}
+
+fn level_from_code(code: u8) -> Option<OptLevel> {
+    Some(match code {
+        0 => OptLevel::Baseline,
+        1 => OptLevel::PartitionedBaseline,
+        2 => OptLevel::MoveElim,
+        3 => OptLevel::FoldProp,
+        4 => OptLevel::BranchFold,
+        5 => OptLevel::Full,
+        _ => return None,
+    })
+}
+
+fn encode_cache_stats(b: &mut Vec<u8>, s: &CacheStats) {
+    let CacheStats { hits, misses } = s;
+    put_u64(b, *hits);
+    put_u64(b, *misses);
+}
+
+fn decode_cache_stats(r: &mut Reader<'_>) -> Option<CacheStats> {
+    Some(CacheStats { hits: r.u64()?, misses: r.u64()? })
+}
+
+fn encode_stats(b: &mut Vec<u8>, s: &PipelineStats) {
+    // Exhaustive destructure: a new counter anywhere in the stats tree
+    // fails to compile here until the codec (and SCHEMA_VERSION) are
+    // updated with it.
+    let PipelineStats {
+        cycles,
+        committed_uops,
+        program_uops,
+        committed_ghosts,
+        live_out_writes,
+        uops_from_icache,
+        uops_from_unopt,
+        uops_from_opt,
+        squashed_uops,
+        squashes,
+        scc_data_squashes,
+        scc_control_squashes,
+        branch_squashes,
+        branches_resolved,
+        branches_mispredicted,
+        vp_trains,
+        vp_forwards,
+        vp_forward_fails,
+        vp_probes,
+        invariants_validated,
+        invariants_failed,
+        compactions,
+        streams_committed,
+        compactions_discarded,
+        compactions_aborted,
+        scc_busy_cycles,
+        scc_alu_ops,
+        renamed_uops,
+        exec_alu,
+        exec_muldiv,
+        exec_fp,
+        exec_loads,
+        exec_stores,
+        bp_lookups,
+        uopcache_lookups,
+        decoded_macros,
+        hierarchy,
+        unopt,
+        opt,
+    } = s;
+    for v in [
+        cycles,
+        committed_uops,
+        program_uops,
+        committed_ghosts,
+        live_out_writes,
+        uops_from_icache,
+        uops_from_unopt,
+        uops_from_opt,
+        squashed_uops,
+        squashes,
+        scc_data_squashes,
+        scc_control_squashes,
+        branch_squashes,
+        branches_resolved,
+        branches_mispredicted,
+        vp_trains,
+        vp_forwards,
+        vp_forward_fails,
+        vp_probes,
+        invariants_validated,
+        invariants_failed,
+        compactions,
+        streams_committed,
+        compactions_discarded,
+        compactions_aborted,
+        scc_busy_cycles,
+        scc_alu_ops,
+        renamed_uops,
+        exec_alu,
+        exec_muldiv,
+        exec_fp,
+        exec_loads,
+        exec_stores,
+        bp_lookups,
+        uopcache_lookups,
+        decoded_macros,
+    ] {
+        put_u64(b, *v);
+    }
+    let HierarchyStats { l1i, l1d, l2, l3, dram } = hierarchy;
+    encode_cache_stats(b, l1i);
+    encode_cache_stats(b, l1d);
+    encode_cache_stats(b, l2);
+    encode_cache_stats(b, l3);
+    put_u64(b, *dram);
+    let UnoptPartitionStats { hits, misses, fills, evictions, fill_rejects } = unopt;
+    for v in [hits, misses, fills, evictions, fill_rejects] {
+        put_u64(b, *v);
+    }
+    let OptPartitionStats { hits, misses, inserts, evictions, phased_out, insert_rejects } = opt;
+    for v in [hits, misses, inserts, evictions, phased_out, insert_rejects] {
+        put_u64(b, *v);
+    }
+}
+
+fn decode_stats(r: &mut Reader<'_>) -> Option<PipelineStats> {
+    Some(PipelineStats {
+        cycles: r.u64()?,
+        committed_uops: r.u64()?,
+        program_uops: r.u64()?,
+        committed_ghosts: r.u64()?,
+        live_out_writes: r.u64()?,
+        uops_from_icache: r.u64()?,
+        uops_from_unopt: r.u64()?,
+        uops_from_opt: r.u64()?,
+        squashed_uops: r.u64()?,
+        squashes: r.u64()?,
+        scc_data_squashes: r.u64()?,
+        scc_control_squashes: r.u64()?,
+        branch_squashes: r.u64()?,
+        branches_resolved: r.u64()?,
+        branches_mispredicted: r.u64()?,
+        vp_trains: r.u64()?,
+        vp_forwards: r.u64()?,
+        vp_forward_fails: r.u64()?,
+        vp_probes: r.u64()?,
+        invariants_validated: r.u64()?,
+        invariants_failed: r.u64()?,
+        compactions: r.u64()?,
+        streams_committed: r.u64()?,
+        compactions_discarded: r.u64()?,
+        compactions_aborted: r.u64()?,
+        scc_busy_cycles: r.u64()?,
+        scc_alu_ops: r.u64()?,
+        renamed_uops: r.u64()?,
+        exec_alu: r.u64()?,
+        exec_muldiv: r.u64()?,
+        exec_fp: r.u64()?,
+        exec_loads: r.u64()?,
+        exec_stores: r.u64()?,
+        bp_lookups: r.u64()?,
+        uopcache_lookups: r.u64()?,
+        decoded_macros: r.u64()?,
+        hierarchy: HierarchyStats {
+            l1i: decode_cache_stats(r)?,
+            l1d: decode_cache_stats(r)?,
+            l2: decode_cache_stats(r)?,
+            l3: decode_cache_stats(r)?,
+            dram: r.u64()?,
+        },
+        unopt: UnoptPartitionStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            fills: r.u64()?,
+            evictions: r.u64()?,
+            fill_rejects: r.u64()?,
+        },
+        opt: OptPartitionStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            inserts: r.u64()?,
+            evictions: r.u64()?,
+            phased_out: r.u64()?,
+            insert_rejects: r.u64()?,
+        },
+    })
+}
+
+/// Serializes one result for the persistent store.
+pub fn encode_result(result: &SimResult) -> Vec<u8> {
+    let SimResult { workload, level, stats, energy, snapshot, halted } = result;
+    let mut b = Vec::with_capacity(768 + snapshot.mem.len() * 16);
+    put_str(&mut b, workload);
+    b.push(level_code(*level));
+    encode_stats(&mut b, stats);
+    let EnergyBreakdown { frontend_pj, backend_pj, memory_pj, static_pj } = energy;
+    put_f64(&mut b, *frontend_pj);
+    put_f64(&mut b, *backend_pj);
+    put_f64(&mut b, *memory_pj);
+    put_f64(&mut b, *static_pj);
+    let ArchSnapshot { regs, cc, mem } = snapshot;
+    put_u32(&mut b, NUM_REGS as u32);
+    for r in regs {
+        put_i64(&mut b, *r);
+    }
+    let CcFlags { zf, sf, of, cf } = cc;
+    for flag in [zf, sf, of, cf] {
+        b.push(*flag as u8);
+    }
+    put_u32(&mut b, mem.len() as u32);
+    for (addr, val) in mem {
+        put_u64(&mut b, *addr);
+        put_i64(&mut b, *val);
+    }
+    b.push(*halted as u8);
+    b
+}
+
+/// Deserializes a result persisted by [`encode_result`]. `None` on any
+/// structural problem — the store tier treats that as a miss (and
+/// counts it), never as data.
+pub fn decode_result(bytes: &[u8]) -> Option<SimResult> {
+    let mut r = Reader { b: bytes, at: 0 };
+    let workload = r.string()?;
+    let level = level_from_code(r.u8()?)?;
+    let stats = decode_stats(&mut r)?;
+    let energy = EnergyBreakdown {
+        frontend_pj: r.f64()?,
+        backend_pj: r.f64()?,
+        memory_pj: r.f64()?,
+        static_pj: r.f64()?,
+    };
+    if r.u32()? as usize != NUM_REGS {
+        return None;
+    }
+    let mut regs = [0i64; NUM_REGS];
+    for reg in &mut regs {
+        *reg = r.i64()?;
+    }
+    let cc = CcFlags { zf: r.bool()?, sf: r.bool()?, of: r.bool()?, cf: r.bool()? };
+    let mem_len = r.u32()? as usize;
+    // Cheap plausibility bound before allocating.
+    if mem_len > bytes.len() / 16 + 1 {
+        return None;
+    }
+    let mut mem = Vec::with_capacity(mem_len);
+    for _ in 0..mem_len {
+        mem.push((r.u64()?, r.i64()?));
+    }
+    let snapshot = ArchSnapshot { regs, cc, mem };
+    let halted = r.bool()?;
+    if r.at != bytes.len() {
+        return None; // trailing bytes: not something we wrote
+    }
+    Some(SimResult { workload, level, stats, energy, snapshot, halted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_workload, SimOptions};
+    use scc_workloads::{workload, Scale};
+
+    fn sample() -> SimResult {
+        let w = workload("freqmine", Scale::custom(400)).unwrap();
+        run_workload(&w, &SimOptions::new(OptLevel::Full))
+    }
+
+    #[test]
+    fn real_results_round_trip_bit_exactly() {
+        let r = sample();
+        let bytes = encode_result(&r);
+        let back = decode_result(&bytes).expect("round trip");
+        assert_eq!(back.workload, r.workload);
+        assert_eq!(back.level, r.level);
+        assert_eq!(back.stats, r.stats);
+        assert_eq!(back.snapshot, r.snapshot);
+        assert_eq!(back.halted, r.halted);
+        // f64 equality via bit patterns — the byte-identity guarantee.
+        for (a, b) in [
+            (back.energy.frontend_pj, r.energy.frontend_pj),
+            (back.energy.backend_pj, r.energy.backend_pj),
+            (back.energy.memory_pj, r.energy.memory_pj),
+            (back.energy.static_pj, r.energy.static_pj),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And re-encoding is byte-stable.
+        assert_eq!(encode_result(&back), bytes);
+    }
+
+    #[test]
+    fn all_levels_round_trip() {
+        for level in OptLevel::all() {
+            assert_eq!(level_from_code(level_code(level)), Some(level));
+        }
+        assert_eq!(level_from_code(6), None);
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_rejected_not_panicking() {
+        let bytes = encode_result(&sample());
+        for cut in 0..bytes.len() {
+            assert!(decode_result(&bytes[..cut]).is_none(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode_result(&sample());
+        bytes.push(0);
+        assert!(decode_result(&bytes).is_none());
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(decode_result(&[]).is_none());
+        assert!(decode_result(&[0xFF; 64]).is_none());
+        let mut absurd = Vec::new();
+        put_u32(&mut absurd, u32::MAX); // workload "length"
+        assert!(decode_result(&absurd).is_none());
+    }
+}

@@ -24,18 +24,19 @@
 //! ([`schedule`]) for the Chrome trace exporter's runner tracks.
 
 use crate::report::RunTiming;
-use crate::{energy_events, OptLevel, SimOptions, SimResult};
+use crate::{energy_events, persist, OptLevel, SimOptions, SimResult};
 use scc_core::AuditLog;
 use scc_energy::EnergyModel;
-use scc_isa::trace::{shared, SharedSink};
+use scc_isa::trace::{shared, Event, SharedSink};
 use scc_pipeline::{Metric, MetricValue, Pipeline, PipelineConfig, RunOutcome};
+use scc_store::{RecoveryReport, Store, StoreConfig, StoreStats};
 use scc_workloads::{Scale, Workload};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, Weak};
+use std::time::{Duration, Instant};
 
 /// One simulation job: a workload under a concrete pipeline
 /// configuration.
@@ -380,6 +381,289 @@ pub fn cache_metrics() -> Vec<Metric> {
     ]
 }
 
+/// Cap on the buffered store trace events; a resident service doing
+/// millions of lookups must not grow the op log without bound, and a
+/// trace of the first sixteen-thousand store operations is more than a
+/// viewer can usefully render anyway.
+const STORE_OPS_CAP: usize = 16_384;
+
+/// How often the background compactor wakes to check the segment tiers.
+const COMPACTOR_POLL: Duration = Duration::from_millis(200);
+
+/// The persistent result tier: an [`scc_store::Store`] of encoded
+/// [`SimResult`]s keyed by the runner's content key, sitting beneath the
+/// in-memory LRU.
+///
+/// * **Write-through** — every freshly simulated result is appended to
+///   the store (see [`Runner::with_store`]); `put` does not fsync, so a
+///   crash can lose the page-cache tail but `kill -9` cannot (the
+///   service's drain path calls [`StoreTier::flush`] before exit).
+/// * **Read-through** — an LRU miss probes the store before simulating;
+///   a hit decodes and is promoted back into the LRU.
+/// * **Staleness** — segments are stamped with
+///   [`persist::SCHEMA_VERSION`] and the engine revision; recovery
+///   refuses mismatched segments wholesale, so a warm start can never
+///   serve results encoded by a different codec or simulator build.
+/// * **Compaction** — a detached background thread periodically merges
+///   sealed segments (newest record per key wins); it holds only a
+///   [`Weak`] reference and exits when the last tier handle drops.
+///
+/// All methods are `&self` and internally locked, so one tier is shared
+/// across the service's worker pool behind an [`Arc`].
+pub struct StoreTier {
+    store: Mutex<Store>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    decode_rejects: AtomicU64,
+    preloaded: AtomicU64,
+    io_errors: AtomicU64,
+    ops: Mutex<Vec<Event>>,
+}
+
+impl std::fmt::Debug for StoreTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreTier")
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .field("writes", &self.writes.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// The workload portion of a content key, used as the human-readable
+/// detail on store trace events (the full key is long and opaque).
+fn key_label(key: &str) -> String {
+    key.split('|').next().unwrap_or("").to_string()
+}
+
+fn compactor_loop(tier: Weak<StoreTier>) {
+    loop {
+        std::thread::sleep(COMPACTOR_POLL);
+        // Upgrade per iteration: when the last real handle drops, the
+        // upgrade fails and the thread exits — no shutdown signal needed.
+        let Some(tier) = tier.upgrade() else { return };
+        let compacted = {
+            let mut s = lock_unpoisoned(&tier.store);
+            if s.needs_compaction() {
+                s.maybe_compact().unwrap_or(false)
+            } else {
+                false
+            }
+        };
+        if compacted {
+            let (segments, stats) = {
+                let s = lock_unpoisoned(&tier.store);
+                (s.segment_count(), s.stats())
+            };
+            tier.log_op(
+                "compact",
+                format!(
+                    "segments={segments} dups_dropped={} tombstones_dropped={}",
+                    stats.compaction_dups_dropped, stats.compaction_tombstones_dropped
+                ),
+                stats.compactions,
+            );
+        }
+    }
+}
+
+impl StoreTier {
+    /// Opens (or creates) the persistent tier at `dir`, running
+    /// checksummed recovery, stamping new segments with
+    /// [`persist::SCHEMA_VERSION`] and [`git_rev`], and starting the
+    /// background compactor.
+    pub fn open(dir: &Path) -> std::io::Result<Arc<StoreTier>> {
+        StoreTier::open_with(dir, persist::SCHEMA_VERSION, &git_rev())
+    }
+
+    /// [`StoreTier::open`] with an explicit schema version and engine
+    /// revision — the staleness tests use this to prove that bumping
+    /// either invalidates every warm hit.
+    pub fn open_with(
+        dir: &Path,
+        schema_version: u32,
+        engine_rev: &str,
+    ) -> std::io::Result<Arc<StoreTier>> {
+        let store = Store::open(dir, StoreConfig::new(schema_version, engine_rev))?;
+        let recovery = store.recovery();
+        let tier = Arc::new(StoreTier {
+            store: Mutex::new(store),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            decode_rejects: AtomicU64::new(0),
+            preloaded: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+            ops: Mutex::new(Vec::new()),
+        });
+        tier.log_op(
+            "recover",
+            format!(
+                "segments={} corrupt_skipped={} torn={} invalidated={}",
+                recovery.segments_scanned,
+                recovery.corrupt_records_skipped,
+                recovery.torn_truncations,
+                recovery.invalidated_segments()
+            ),
+            recovery.records_indexed,
+        );
+        let weak = Arc::downgrade(&tier);
+        // Detached on purpose: the loop owns no real handle and dies with
+        // the tier. Spawn failure only loses background compaction.
+        let _ = std::thread::Builder::new()
+            .name("scc-store-compact".into())
+            .spawn(move || compactor_loop(weak));
+        Ok(tier)
+    }
+
+    /// Looks a content key up in the store, decoding on hit. Any failure
+    /// — absent key, I/O error, CRC reject inside the store, stale or
+    /// damaged encoding — degrades to `None` (a miss), never an error.
+    pub fn get(&self, key: &str) -> Option<Arc<SimResult>> {
+        // The guard is a temporary: the store lock is released at the end
+        // of this statement, before decoding.
+        let looked_up = lock_unpoisoned(&self.store).get(key);
+        let bytes = match looked_up {
+            Ok(Some(bytes)) => bytes,
+            Ok(None) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.log_op("miss", key_label(key), 1);
+                return None;
+            }
+            Err(_) => {
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.log_op("miss", key_label(key), 1);
+                return None;
+            }
+        };
+        match persist::decode_result(&bytes) {
+            Some(result) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.log_op("hit", key_label(key), 1);
+                Some(Arc::new(result))
+            }
+            None => {
+                // Bytes survived the store's CRC but don't decode: not
+                // this codec's output. Count it loudly and miss.
+                self.decode_rejects.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.log_op("miss", key_label(key), 1);
+                None
+            }
+        }
+    }
+
+    /// Appends one result under its content key. Best-effort: an I/O
+    /// error is counted (`runner.store.io_errors`) and dropped — a full
+    /// disk must not fail the simulation that produced the result.
+    pub fn put(&self, key: &str, result: &SimResult) {
+        let bytes = persist::encode_result(result);
+        let len = bytes.len() as u64;
+        match lock_unpoisoned(&self.store).put(key, &bytes) {
+            Ok(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                self.log_op("write", key_label(key), len);
+            }
+            Err(_) => {
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Fsyncs the active segment — the drain path's durability barrier.
+    pub fn flush(&self) -> std::io::Result<()> {
+        lock_unpoisoned(&self.store).sync()?;
+        self.log_op("flush", String::new(), 1);
+        Ok(())
+    }
+
+    /// Decodes every live record into the process-wide LRU (the
+    /// `scc-serve` `warm` verb). Returns how many entries were promoted;
+    /// undecodable values are counted as `decode_rejects` and skipped.
+    pub fn warm_into_cache(&self) -> std::io::Result<usize> {
+        // Take the snapshot with only the store lock held, then insert
+        // with only the cache lock held — holding both at once would
+        // order store→cache while the runner's read-through path orders
+        // cache→store.
+        let live = lock_unpoisoned(&self.store).snapshot_live()?;
+        let mut promoted = 0usize;
+        for (key, bytes) in live {
+            match persist::decode_result(&bytes) {
+                Some(result) => {
+                    lock_unpoisoned(cache()).insert(key, Arc::new(result));
+                    promoted += 1;
+                }
+                None => {
+                    self.decode_rejects.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.preloaded.fetch_add(promoted as u64, Ordering::Relaxed);
+        self.log_op("warm", format!("entries={promoted}"), promoted as u64);
+        Ok(promoted)
+    }
+
+    /// The tier's counters as registry metrics (`runner.store.*`), in the
+    /// same shape as [`cache_metrics`]; the service's `stats` verb
+    /// reports these alongside the LRU's.
+    pub fn metrics(&self) -> Vec<Metric> {
+        let (stats, recovery, segments) = {
+            let s = lock_unpoisoned(&self.store);
+            (s.stats(), s.recovery(), s.segment_count())
+        };
+        let counter = |name: &str, v: u64| Metric {
+            name: name.to_string(),
+            value: MetricValue::Counter(v),
+        };
+        vec![
+            counter("runner.store.hits", self.hits.load(Ordering::Relaxed)),
+            counter("runner.store.misses", self.misses.load(Ordering::Relaxed)),
+            counter("runner.store.writes", self.writes.load(Ordering::Relaxed)),
+            counter("runner.store.decode_rejects", self.decode_rejects.load(Ordering::Relaxed)),
+            counter("runner.store.preloaded", self.preloaded.load(Ordering::Relaxed)),
+            counter("runner.store.io_errors", self.io_errors.load(Ordering::Relaxed)),
+            counter("runner.store.segments", segments as u64),
+            counter("runner.store.bytes_written", stats.bytes_written),
+            counter("runner.store.compactions", stats.compactions),
+            counter("runner.store.compaction_dups_dropped", stats.compaction_dups_dropped),
+            counter("runner.store.recovered_records", recovery.records_indexed),
+            counter("runner.store.recovery_corrupt_skipped", recovery.corrupt_records_skipped),
+            counter("runner.store.recovery_torn_truncations", recovery.torn_truncations),
+            counter(
+                "runner.store.recovery_invalidated_segments",
+                recovery.invalidated_segments(),
+            ),
+        ]
+    }
+
+    /// The recovery report of the open that created this tier.
+    pub fn recovery(&self) -> RecoveryReport {
+        lock_unpoisoned(&self.store).recovery()
+    }
+
+    /// Counters of the underlying segment store.
+    pub fn store_stats(&self) -> StoreStats {
+        lock_unpoisoned(&self.store).stats()
+    }
+
+    /// The buffered store trace events (recover/hit/miss/write/warm/
+    /// flush/compact), for
+    /// [`crate::trace_export::replay_store_ops`]. Capped at
+    /// [`STORE_OPS_CAP`] entries.
+    pub fn trace_events(&self) -> Vec<Event> {
+        lock_unpoisoned(&self.ops).clone()
+    }
+
+    fn log_op(&self, op: &'static str, detail: String, count: u64) {
+        let mut ops = lock_unpoisoned(&self.ops);
+        if ops.len() < STORE_OPS_CAP {
+            ops.push(Event::StoreOp { ts_us: epoch_us(), op, detail, count });
+        }
+    }
+}
+
 /// Runs one job to completion (the same semantics as
 /// [`crate::run_workload`], but from a raw config), optionally bounded
 /// by a wall-clock deadline and optionally with the SCC decision audit
@@ -487,11 +771,13 @@ where
     done.into_iter().map(|(_, r)| r).collect()
 }
 
-/// The experiment runner: a worker pool plus the shared result cache.
-#[derive(Clone, Copy, Debug)]
+/// The experiment runner: a worker pool plus the shared result cache,
+/// optionally backed by a persistent [`StoreTier`].
+#[derive(Clone, Debug)]
 pub struct Runner {
     jobs: usize,
     use_cache: bool,
+    store: Option<Arc<StoreTier>>,
 }
 
 impl Default for Runner {
@@ -505,18 +791,33 @@ impl Runner {
     /// Environment-free — binaries honoring `SCC_JOBS` resolve it once
     /// via [`scc_jobs`] and use [`Runner::with_jobs`].
     pub fn new() -> Runner {
-        Runner { jobs: default_jobs(), use_cache: true }
+        Runner { jobs: default_jobs(), use_cache: true, store: None }
     }
 
     /// A runner with an explicit worker count (still cached).
     pub fn with_jobs(jobs: usize) -> Runner {
-        Runner { jobs: jobs.max(1), use_cache: true }
+        Runner { jobs: jobs.max(1), use_cache: true, store: None }
     }
 
     /// A single-threaded runner that bypasses the cache entirely —
     /// the reference path the determinism tests compare against.
     pub fn serial_uncached() -> Runner {
-        Runner { jobs: 1, use_cache: false }
+        Runner { jobs: 1, use_cache: false, store: None }
+    }
+
+    /// Attaches a persistent tier beneath the LRU: fresh results are
+    /// written through to it, and an LRU miss probes it before paying
+    /// for a simulation. The tier works with any runner flavor — on an
+    /// uncached runner the store becomes the *only* result cache, which
+    /// is exactly what the store's identity tests exercise.
+    pub fn with_store(mut self, store: Arc<StoreTier>) -> Runner {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached persistent tier, if any.
+    pub fn store_tier(&self) -> Option<&Arc<StoreTier>> {
+        self.store.as_ref()
     }
 
     /// Worker count this runner fans out to.
@@ -553,13 +854,29 @@ impl Runner {
         let mut hits: Vec<RunTiming> = Vec::new();
         let mut sched: Vec<JobTiming> = Vec::new();
 
-        // Resolve cache hits and collect the unique misses.
+        // Resolve cache hits (LRU first, then the persistent tier) and
+        // collect the unique misses.
         let mut misses: Vec<(usize, &str)> = Vec::new(); // (job index, key)
         {
             let mut cached = if self.use_cache { Some(lock_unpoisoned(cache())) } else { None };
             let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
             for (i, key) in keys.iter().enumerate() {
-                if let Some(r) = cached.as_mut().and_then(|c| c.get(key.as_str())) {
+                let lru = cached.as_mut().and_then(|c| c.get(key.as_str()));
+                let r = match lru {
+                    Some(r) => Some(r),
+                    // Read-through: an LRU miss probes the store tier
+                    // and promotes a hit back into the LRU.
+                    None => match self.store.as_ref().and_then(|t| t.get(key)) {
+                        Some(r) => {
+                            if let Some(c) = cached.as_mut() {
+                                c.insert(key.clone(), Arc::clone(&r));
+                            }
+                            Some(r)
+                        }
+                        None => None,
+                    },
+                };
+                if let Some(r) = r {
                     hits.push(RunTiming {
                         workload: r.workload.clone(),
                         level: r.level.label(),
@@ -628,6 +945,9 @@ impl Runner {
             let r = Arc::new(r);
             if self.use_cache {
                 lock_unpoisoned(cache()).insert(keys[ji].clone(), Arc::clone(&r));
+            }
+            if let Some(tier) = &self.store {
+                tier.put(&keys[ji], &r);
             }
             out[ji] = Some(r);
         }
@@ -710,13 +1030,29 @@ impl Runner {
                 return Ok(RunOne { result: r, cached: true, audit_jsonl: None });
             }
         }
+        // Read-through: probe the persistent tier before paying for a
+        // simulation. Audit requests skip it for the same reason they
+        // skip the LRU — audit is a property of an execution.
+        if !audit {
+            if let Some(r) = self.store.as_ref().and_then(|t| t.get(&key)) {
+                if self.use_cache {
+                    lock_unpoisoned(cache()).insert(key.clone(), Arc::clone(&r));
+                }
+                let now = epoch_us();
+                log_timing(true, 0.0, r.stats.committed_uops, now, now);
+                return Ok(RunOne { result: r, cached: true, audit_jsonl: None });
+            }
+        }
         let start_us = epoch_us();
         let t0 = Instant::now();
         let (result, audit_jsonl) = execute(job, deadline, audit)?;
         let wall = t0.elapsed().as_secs_f64();
         let result = Arc::new(result);
         if self.use_cache {
-            lock_unpoisoned(cache()).insert(key, Arc::clone(&result));
+            lock_unpoisoned(cache()).insert(key.clone(), Arc::clone(&result));
+        }
+        if let Some(tier) = &self.store {
+            tier.put(&key, &result);
         }
         log_timing(false, wall, result.stats.committed_uops, start_us, epoch_us());
         Ok(RunOne { result, cached: false, audit_jsonl })
@@ -1097,6 +1433,170 @@ mod tests {
         let ok = runner.try_run_one(&job, None, Some("req-retry"), false).unwrap();
         assert!(!ok.cached, "a cancelled run must not enter the cache");
         assert!(ok.result.halted);
+    }
+
+    /// A unique, initially-absent store directory. Tests here use
+    /// *uncached* runners with a store attached, so the process-global
+    /// LRU (shared with every other test in this binary) is never
+    /// touched and the store tier is the only cache in play.
+    fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("scc-runner-store-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_tier_serves_results_across_a_restart_byte_identically() {
+        let dir = temp_store_dir("restart");
+        let w = workload("exchange", Scale::custom(320)).unwrap();
+        let job = Job::new(&w, &SimOptions::new(OptLevel::Full));
+
+        let tier = StoreTier::open_with(&dir, persist::SCHEMA_VERSION, "rev-test").unwrap();
+        let runner = Runner::serial_uncached().with_store(Arc::clone(&tier));
+        let first = runner.try_run_one(&job, None, None, false).unwrap();
+        assert!(!first.cached, "empty store: the first run simulates");
+        let second = runner.try_run_one(&job, None, None, false).unwrap();
+        assert!(second.cached, "second run is served from the persistent tier");
+        assert_eq!(first.result.stats, second.result.stats);
+        assert_eq!(first.result.snapshot, second.result.snapshot);
+        assert_eq!(
+            persist::encode_result(&first.result),
+            persist::encode_result(&second.result),
+            "the round trip through disk is byte-identical"
+        );
+        let metric = |name: &str| {
+            tier.metrics()
+                .into_iter()
+                .find(|m| m.name == name)
+                .map(|m| match m.value {
+                    MetricValue::Counter(v) => v,
+                    _ => panic!("store metrics are counters"),
+                })
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+        };
+        assert_eq!(metric("runner.store.writes"), 1);
+        assert_eq!(metric("runner.store.hits"), 1);
+        assert_eq!(metric("runner.store.misses"), 1);
+        assert_eq!(metric("runner.store.decode_rejects"), 0);
+        let events = tier.trace_events();
+        assert!(matches!(events[0], Event::StoreOp { op: "recover", .. }));
+        for op in ["miss", "write", "hit"] {
+            assert!(
+                events.iter().any(|e| matches!(e, Event::StoreOp { op: o, .. } if *o == op)),
+                "expected a {op} trace event"
+            );
+        }
+        tier.flush().unwrap();
+        drop(runner);
+        drop(tier);
+
+        // Restart: a fresh tier over the same directory recovers the
+        // record and serves it without simulating.
+        let tier = StoreTier::open_with(&dir, persist::SCHEMA_VERSION, "rev-test").unwrap();
+        assert_eq!(tier.recovery().records_indexed, 1);
+        assert_eq!(tier.recovery().invalidated_segments(), 0);
+        let runner = Runner::serial_uncached().with_store(Arc::clone(&tier));
+        let warm = runner.try_run_one(&job, None, None, false).unwrap();
+        assert!(warm.cached, "results survive a restart");
+        assert_eq!(warm.result.stats, first.result.stats);
+        assert_eq!(warm.result.snapshot, first.result.snapshot);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_tier_version_bump_invalidates_every_warm_hit() {
+        let dir = temp_store_dir("version");
+        let w = workload("freqmine", Scale::custom(330)).unwrap();
+        let job = Job::new(&w, &SimOptions::new(OptLevel::Baseline));
+
+        let tier = StoreTier::open_with(&dir, persist::SCHEMA_VERSION, "rev-a").unwrap();
+        let runner = Runner::serial_uncached().with_store(Arc::clone(&tier));
+        runner.try_run_one(&job, None, None, false).unwrap();
+        tier.flush().unwrap();
+        drop(runner);
+        drop(tier);
+
+        // A different engine revision refuses the whole segment: the
+        // reopened store is empty and the run simulates fresh.
+        let tier = StoreTier::open_with(&dir, persist::SCHEMA_VERSION, "rev-b").unwrap();
+        assert!(tier.recovery().version_mismatch_segments >= 1);
+        assert_eq!(tier.recovery().records_indexed, 0);
+        let runner = Runner::serial_uncached().with_store(Arc::clone(&tier));
+        let rerun = runner.try_run_one(&job, None, None, false).unwrap();
+        assert!(!rerun.cached, "a stale engine revision must not serve warm hits");
+        tier.flush().unwrap();
+        drop(runner);
+        drop(tier);
+
+        // Same story for a schema (codec) bump.
+        let tier =
+            StoreTier::open_with(&dir, persist::SCHEMA_VERSION + 1, "rev-b").unwrap();
+        assert!(tier.recovery().version_mismatch_segments >= 1);
+        let runner = Runner::serial_uncached().with_store(Arc::clone(&tier));
+        let rerun = runner.try_run_one(&job, None, None, false).unwrap();
+        assert!(!rerun.cached, "a schema bump must not serve warm hits");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_tier_batch_runs_write_through_and_read_through() {
+        let dir = temp_store_dir("batch");
+        let scale = Scale::custom(340);
+        let ws: Vec<_> =
+            ["exchange", "leela"].iter().map(|n| workload(n, scale).unwrap()).collect();
+        let jobs: Vec<Job> =
+            ws.iter().map(|w| Job::new(w, &SimOptions::new(OptLevel::Baseline))).collect();
+
+        let tier = StoreTier::open_with(&dir, persist::SCHEMA_VERSION, "rev-test").unwrap();
+        let runner = Runner::serial_uncached().with_store(Arc::clone(&tier));
+        let cold = runner.run(&jobs);
+        assert_eq!(tier.store_stats().puts, 2, "both batch results written through");
+        drop(runner);
+        drop(tier);
+
+        let tier = StoreTier::open_with(&dir, persist::SCHEMA_VERSION, "rev-test").unwrap();
+        let runner = Runner::serial_uncached().with_store(Arc::clone(&tier));
+        let warm = runner.run(&jobs);
+        assert_eq!(tier.store_stats().puts, 0, "warm batch simulates nothing");
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.snapshot, b.snapshot);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_tier_degrades_to_miss_on_undecodable_values() {
+        let dir = temp_store_dir("reject");
+        // Plant a value that passes the store's CRC but is not a result
+        // encoding, under a key the runner will ask for.
+        let w = workload("vips", Scale::custom(350)).unwrap();
+        let job = Job::new(&w, &SimOptions::new(OptLevel::Baseline));
+        let key = job.key();
+        {
+            let mut raw = Store::open(
+                &dir,
+                StoreConfig::new(persist::SCHEMA_VERSION, "rev-test"),
+            )
+            .unwrap();
+            raw.put(&key, b"not a simresult").unwrap();
+            raw.sync().unwrap();
+        }
+        let tier = StoreTier::open_with(&dir, persist::SCHEMA_VERSION, "rev-test").unwrap();
+        let runner = Runner::serial_uncached().with_store(Arc::clone(&tier));
+        let r = runner.try_run_one(&job, None, None, false).unwrap();
+        assert!(!r.cached, "an undecodable value is a miss, not data");
+        assert!(r.result.halted);
+        let rejects = tier
+            .metrics()
+            .into_iter()
+            .find(|m| m.name == "runner.store.decode_rejects")
+            .unwrap();
+        assert_eq!(rejects.value, MetricValue::Counter(1));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

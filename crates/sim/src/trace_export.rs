@@ -66,12 +66,17 @@ fn opt_id(id: Option<u64>) -> String {
 pub struct ChromeTraceSink {
     events: Vec<String>,
     named_workers: BTreeSet<usize>,
+    named_store: bool,
 }
 
 impl ChromeTraceSink {
     /// An empty trace with the process/thread name metadata pre-emitted.
     pub fn new() -> ChromeTraceSink {
-        let mut s = ChromeTraceSink { events: Vec::new(), named_workers: BTreeSet::new() };
+        let mut s = ChromeTraceSink {
+            events: Vec::new(),
+            named_workers: BTreeSet::new(),
+            named_store: false,
+        };
         s.meta(PID_PIPELINE, 0, "process_name", "pipeline");
         s.meta(PID_RUNNER, 0, "process_name", "runner");
         for (i, name) in TRACK_NAMES.iter().enumerate() {
@@ -114,6 +119,17 @@ impl ChromeTraceSink {
             self.meta(PID_RUNNER, tid, "thread_name", &format!("worker {worker}"));
         }
         tid
+    }
+
+    /// The runner process's store-tier track, named lazily so traces
+    /// without store activity keep their existing layout.
+    fn store_track(&mut self) -> u32 {
+        const TID_STORE: u32 = 999;
+        if !self.named_store {
+            self.named_store = true;
+            self.meta(PID_RUNNER, TID_STORE, "thread_name", "store tier");
+        }
+        TID_STORE
     }
 
     /// Number of rendered trace events (metadata included).
@@ -267,6 +283,15 @@ impl Sink for ChromeTraceSink {
                     esc(workload)
                 ));
             }
+            Event::StoreOp { ts_us, op, detail, count } => {
+                let tid = self.store_track();
+                self.events.push(format!(
+                    "{{\"ph\":\"i\",\"pid\":{PID_RUNNER},\"tid\":{tid},\"name\":\"{}\",\
+                     \"ts\":{ts_us},\"s\":\"t\",\"args\":{{\"detail\":\"{}\",\"count\":{count}}}}}",
+                    esc(op),
+                    esc(detail)
+                ));
+            }
         }
     }
 }
@@ -295,6 +320,17 @@ pub fn replay_schedule(sink: &mut dyn Sink, schedule: &[JobTiming]) {
             level: t.level,
             cached: t.cached,
         });
+    }
+}
+
+/// Replays the store tier's recorded operation log (see
+/// [`crate::runner::StoreTier::trace_events`]) into a sink — how
+/// persistent-tier activity (recovery, warm hits, write-through) lands
+/// on the exported trace's `store tier` track next to the runner's
+/// worker tracks.
+pub fn replay_store_ops(sink: &mut dyn Sink, ops: &[Event]) {
+    for e in ops {
+        sink.record(e);
     }
 }
 
@@ -616,6 +652,32 @@ mod tests {
         for m in stats.metrics() {
             assert_eq!(json.matches(&format!("\"{}\":", m.name)).count(), 1, "{}", m.name);
         }
+    }
+
+    #[test]
+    fn store_ops_render_on_their_own_runner_track() {
+        let mut sink = ChromeTraceSink::new();
+        let ops = vec![
+            Event::StoreOp {
+                ts_us: 1,
+                op: "recover",
+                detail: "/tmp/store".into(),
+                count: 12,
+            },
+            Event::StoreOp {
+                ts_us: 2,
+                op: "hit",
+                detail: "freqmine|full-scc".into(),
+                count: 1,
+            },
+        ];
+        replay_store_ops(&mut sink, &ops);
+        let json = sink.to_json();
+        validate_json(&json).unwrap();
+        assert!(json.contains("store tier"), "store track named:\n{json}");
+        assert!(json.contains("\"name\":\"recover\""));
+        assert!(json.contains("\"count\":12"));
+        assert_eq!(json.matches("store tier").count(), 1, "track named once");
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Size-tiered compaction planning.
+//!
+//! Pure bucketing logic, separated from the store so it can be tested
+//! against synthetic segment populations. The algorithm follows the
+//! classic size-tiered shape: sort sealed segments by size, group
+//! segments of similar size into buckets (every segment within
+//! `[avg * bucket_low, avg * bucket_high]` of the bucket's running
+//! average joins it, with everything under `min_bucket_bytes` sharing
+//! one "small" bucket), and compact the first bucket that accumulates
+//! `trigger` members. Merging similarly-sized inputs keeps write
+//! amplification near log(N) instead of rewriting the big segment every
+//! time a small one appears.
+
+/// Tuning knobs for compaction planning.
+#[derive(Clone, Copy, Debug)]
+pub struct CompactionConfig {
+    /// Lower bound factor on a bucket's running average.
+    pub bucket_low: f64,
+    /// Upper bound factor on a bucket's running average.
+    pub bucket_high: f64,
+    /// Segments smaller than this all share one bucket regardless of
+    /// relative size.
+    pub min_bucket_bytes: u64,
+    /// Number of co-bucketed segments that triggers a merge.
+    pub trigger: usize,
+    /// Cap on inputs merged in one pass, bounding pause time.
+    pub max_inputs: usize,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        CompactionConfig {
+            bucket_low: 0.5,
+            bucket_high: 1.5,
+            min_bucket_bytes: 64 * 1024,
+            trigger: 4,
+            max_inputs: 32,
+        }
+    }
+}
+
+struct Bucket {
+    avg: f64,
+    members: Vec<(u64, u64)>, // (seg_id, bytes)
+    small: bool,
+}
+
+/// Picks the segment ids to merge next, or `None` when no bucket has
+/// reached the trigger. `segments` is `(seg_id, file_bytes)` for every
+/// sealed, compactable segment (never the active write segment).
+pub fn plan(segments: &[(u64, u64)], cfg: &CompactionConfig) -> Option<Vec<u64>> {
+    let mut sorted: Vec<(u64, u64)> = segments.to_vec();
+    sorted.sort_by_key(|&(id, bytes)| (bytes, id));
+
+    let mut buckets: Vec<Bucket> = Vec::new();
+    for &(id, bytes) in &sorted {
+        if bytes < cfg.min_bucket_bytes {
+            match buckets.iter_mut().find(|b| b.small) {
+                Some(b) => b.members.push((id, bytes)),
+                None => buckets.push(Bucket { avg: 0.0, members: vec![(id, bytes)], small: true }),
+            }
+            continue;
+        }
+        let fit = buckets.iter_mut().find(|b| {
+            !b.small && bytes as f64 >= b.avg * cfg.bucket_low && bytes as f64 <= b.avg * cfg.bucket_high
+        });
+        match fit {
+            Some(b) => {
+                let n = b.members.len() as f64;
+                b.avg = (b.avg * n + bytes as f64) / (n + 1.0);
+                b.members.push((id, bytes));
+            }
+            None => buckets.push(Bucket { avg: bytes as f64, members: vec![(id, bytes)], small: false }),
+        }
+    }
+
+    buckets
+        .iter()
+        .find(|b| b.members.len() >= cfg.trigger)
+        .map(|b| {
+            // Oldest (lowest-id) inputs first; the merge itself is
+            // seq-ordered so input order is cosmetic, but determinism
+            // keeps tests and logs stable.
+            let mut ids: Vec<u64> = b.members.iter().map(|&(id, _)| id).collect();
+            ids.sort_unstable();
+            ids.truncate(cfg.max_inputs.max(2));
+            ids
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CompactionConfig {
+        CompactionConfig { min_bucket_bytes: 1000, trigger: 4, ..CompactionConfig::default() }
+    }
+
+    #[test]
+    fn below_trigger_no_plan() {
+        let segs = [(1, 500), (2, 600), (3, 550)];
+        assert_eq!(plan(&segs, &cfg()), None);
+    }
+
+    #[test]
+    fn small_segments_share_one_bucket() {
+        // Wildly different relative sizes, all under min_bucket_bytes.
+        let segs = [(1, 10), (2, 999), (3, 100), (4, 1)];
+        assert_eq!(plan(&segs, &cfg()), Some(vec![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn similar_sizes_bucket_together_dissimilar_do_not() {
+        // Four ~100k segments and one 10MB segment: the big one must
+        // not be rewritten when the small tier compacts.
+        let segs = [(1, 100_000), (2, 110_000), (3, 95_000), (4, 105_000), (5, 10_000_000)];
+        assert_eq!(plan(&segs, &cfg()), Some(vec![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn dissimilar_sizes_never_trigger() {
+        // Geometric sizes: each lands in its own bucket.
+        let segs = [(1, 2_000), (2, 20_000), (3, 200_000), (4, 2_000_000)];
+        assert_eq!(plan(&segs, &cfg()), None);
+    }
+
+    #[test]
+    fn max_inputs_caps_a_merge() {
+        let mut segs = Vec::new();
+        for i in 0..40u64 {
+            segs.push((i, 50_000 + i)); // all co-bucketed
+        }
+        let c = CompactionConfig { max_inputs: 8, ..cfg() };
+        let picked = plan(&segs, &c).unwrap();
+        assert_eq!(picked.len(), 8);
+    }
+
+    #[test]
+    fn empty_population_no_plan() {
+        assert_eq!(plan(&[], &cfg()), None);
+    }
+}

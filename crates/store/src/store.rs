@@ -1,0 +1,980 @@
+//! The store proper: a directory of segment files, an in-memory index,
+//! checksummed recovery at open, and size-tiered compaction.
+//!
+//! # Shape
+//!
+//! Writes append to one *active* segment; at `rotate_bytes` it is
+//! sealed and a fresh active segment begins. Sealed segments are
+//! immutable. Compaction merges a size-tiered bucket of sealed segments
+//! into one *sorted* segment (ordered by key hash, carrying a sparse
+//! index sidecar), deduplicating by key with the highest write sequence
+//! winning and dropping tombstones once no older segment could still
+//! hold a shadowed version.
+//!
+//! # Recovery contract
+//!
+//! [`Store::open`] must succeed on any byte-mangled directory without
+//! panicking, and afterwards [`Store::get`] must never return bytes
+//! whose checksum did not verify. Concretely, recovery:
+//!
+//! 1. deletes leftover `*.tmp` files (a compaction died mid-write);
+//! 2. deletes segments whose header fails its CRC, and segments whose
+//!    format/schema/engine revision mismatch this build (the
+//!    silent-staleness guard);
+//! 3. scans every surviving segment record by record — a framed record
+//!    with a bad CRC is skipped, a torn or unframed tail is truncated
+//!    off the file;
+//! 4. rebuilds the in-memory key index from surviving records, and
+//!    validates (or rebuilds) each sorted segment's sparse-index
+//!    sidecar.
+//!
+//! Every one of those actions is counted in [`RecoveryReport`] so
+//! callers can surface them as metrics.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::compact::{self, CompactionConfig};
+use crate::record::{self, OwnedRecord, Parse, RECORD_HEADER_BYTES};
+use crate::segment::{scan_records, Scan, SegmentHeader, SparseIndex, FORMAT_VERSION};
+
+/// Store-wide configuration. `schema_version` and `engine_rev` identify
+/// the build whose results are being persisted; segments stamped with
+/// anything else are invalidated at open.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Version of the value encoding (bump when the payload codec changes).
+    pub schema_version: u32,
+    /// Engine git revision stamped into segment headers.
+    pub engine_rev: String,
+    /// Seal the active segment once it reaches this many bytes.
+    pub rotate_bytes: u64,
+    /// Anchor every Nth record in a sorted segment's sparse index.
+    pub sparse_every: usize,
+    /// Size-tiered compaction tuning.
+    pub compaction: CompactionConfig,
+}
+
+impl StoreConfig {
+    /// Config for the given schema/engine identity with default tuning.
+    pub fn new(schema_version: u32, engine_rev: &str) -> StoreConfig {
+        StoreConfig {
+            schema_version,
+            engine_rev: engine_rev.to_string(),
+            rotate_bytes: 1024 * 1024,
+            sparse_every: 8,
+            compaction: CompactionConfig::default(),
+        }
+    }
+}
+
+/// What recovery found and did while opening the store.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Segment files inspected (before any invalidation).
+    pub segments_scanned: u64,
+    /// Records that checksum-verified and entered the index.
+    pub records_indexed: u64,
+    /// Framed records skipped because their CRC failed.
+    pub corrupt_records_skipped: u64,
+    /// Segments whose tail was truncated (torn or unframed bytes).
+    pub torn_truncations: u64,
+    /// Bytes removed by tail truncation.
+    pub bytes_truncated: u64,
+    /// Segments deleted because the header failed its checksum.
+    pub header_corrupt_segments: u64,
+    /// Segments deleted because format/schema/engine_rev mismatched.
+    pub version_mismatch_segments: u64,
+    /// Sorted segments whose sparse sidecar was missing or corrupt and
+    /// had to be rebuilt from the data scan.
+    pub index_rebuilds: u64,
+    /// Leftover `*.tmp` files from an interrupted compaction, removed.
+    pub tmp_files_removed: u64,
+}
+
+impl RecoveryReport {
+    /// Segments refused wholesale, for any reason.
+    pub fn invalidated_segments(&self) -> u64 {
+        self.header_corrupt_segments + self.version_mismatch_segments
+    }
+}
+
+/// Operation counters since open. Plain fields; the store is
+/// externally synchronized (callers wrap it in a mutex).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Value writes accepted.
+    pub puts: u64,
+    /// Tombstone writes accepted.
+    pub tombstones_written: u64,
+    /// Lookups served.
+    pub gets: u64,
+    /// Lookups that returned a value.
+    pub hits: u64,
+    /// Lookups that found nothing (or a tombstone).
+    pub misses: u64,
+    /// Records rejected at read time because their bytes no longer
+    /// checksum-verify (post-recovery disk rot).
+    pub read_crc_rejects: u64,
+    /// Explicit `sync` calls.
+    pub syncs: u64,
+    /// Active-segment seals (rotations).
+    pub seals: u64,
+    /// Compaction passes completed.
+    pub compactions: u64,
+    /// Segments consumed by compaction.
+    pub compaction_input_segments: u64,
+    /// Records read by compaction.
+    pub compaction_records_in: u64,
+    /// Records surviving compaction.
+    pub compaction_records_out: u64,
+    /// Older duplicates dropped by newest-wins merge.
+    pub compaction_dups_dropped: u64,
+    /// Tombstones garbage-collected (full-coverage merges only).
+    pub compaction_tombstones_dropped: u64,
+    /// Payload bytes appended to the active segment.
+    pub bytes_written: u64,
+}
+
+/// Where the newest unsorted version of a key lives.
+#[derive(Clone, Copy, Debug)]
+struct Loc {
+    seg_id: u64,
+    offset: u64,
+    seq: u64,
+    tombstone: bool,
+}
+
+struct Segment {
+    path: PathBuf,
+    file: File,
+    /// Valid data length (header + intact records).
+    len: u64,
+    sorted: bool,
+    /// Present iff `sorted`.
+    sparse: Option<SparseIndex>,
+}
+
+/// The persistent result store. Not internally synchronized.
+pub struct Store {
+    dir: PathBuf,
+    cfg: StoreConfig,
+    segments: BTreeMap<u64, Segment>,
+    /// Newest unsorted location per key (sorted segments are probed
+    /// via their sparse indexes instead).
+    map: HashMap<String, Loc>,
+    active: u64,
+    next_seq: u64,
+    recovery: RecoveryReport,
+    stats: StoreStats,
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:016x}.log"))
+}
+
+fn sidecar_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:016x}.idx"))
+}
+
+fn parse_segment_id(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("seg-")?.strip_suffix(".log")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+impl Store {
+    /// Opens (or creates) the store at `dir`, running full checksummed
+    /// recovery. Corruption is never an error — it is repaired and
+    /// counted in the [`RecoveryReport`]. I/O failures (permissions,
+    /// disk full) are errors.
+    pub fn open(dir: &Path, cfg: StoreConfig) -> io::Result<Store> {
+        fs::create_dir_all(dir)?;
+        let mut store = Store {
+            dir: dir.to_path_buf(),
+            cfg,
+            segments: BTreeMap::new(),
+            map: HashMap::new(),
+            active: 0,
+            next_seq: 1,
+            recovery: RecoveryReport::default(),
+            stats: StoreStats::default(),
+        };
+        store.recover()?;
+        let active = store.create_segment()?;
+        store.active = active;
+        Ok(store)
+    }
+
+    fn recover(&mut self) -> io::Result<()> {
+        let mut seg_ids = Vec::new();
+        let mut idx_ids = HashSet::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                fs::remove_file(entry.path())?;
+                self.recovery.tmp_files_removed += 1;
+            } else if let Some(id) = parse_segment_id(&name) {
+                seg_ids.push(id);
+            } else if let Some(hex) = name.strip_prefix("seg-").and_then(|n| n.strip_suffix(".idx")) {
+                if let Ok(id) = u64::from_str_radix(hex, 16) {
+                    idx_ids.insert(id);
+                }
+            }
+        }
+        seg_ids.sort_unstable();
+
+        for id in seg_ids {
+            self.recovery.segments_scanned += 1;
+            let path = segment_path(&self.dir, id);
+            let data = fs::read(&path)?;
+            let parsed = SegmentHeader::parse(&data);
+            let (header, header_len) = match parsed {
+                Some(ok) => ok,
+                None => {
+                    self.remove_segment_files(id)?;
+                    self.recovery.header_corrupt_segments += 1;
+                    idx_ids.remove(&id);
+                    continue;
+                }
+            };
+            if header.format_version != FORMAT_VERSION
+                || header.schema_version != self.cfg.schema_version
+                || header.engine_rev != self.cfg.engine_rev
+            {
+                self.remove_segment_files(id)?;
+                self.recovery.version_mismatch_segments += 1;
+                idx_ids.remove(&id);
+                continue;
+            }
+
+            let scan = scan_records(&data, header_len);
+            self.recovery.corrupt_records_skipped += scan.corrupt_skipped;
+            if scan.truncate_tail {
+                self.recovery.torn_truncations += 1;
+                self.recovery.bytes_truncated += data.len() as u64 - scan.valid_len;
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(scan.valid_len)?;
+                f.sync_data()?;
+            }
+            self.recovery.records_indexed += scan.records.len() as u64;
+
+            for r in &scan.records {
+                if r.record.seq >= self.next_seq {
+                    self.next_seq = r.record.seq + 1;
+                }
+            }
+
+            let sparse = if header.sorted {
+                Some(self.load_or_rebuild_sidecar(id, &scan)?)
+            } else {
+                for r in &scan.records {
+                    self.index_unsorted(id, r.offset, &r.record);
+                }
+                None
+            };
+            idx_ids.remove(&id);
+
+            let file = OpenOptions::new().read(true).append(true).open(&path)?;
+            self.segments.insert(
+                id,
+                Segment { path, file, len: scan.valid_len, sorted: header.sorted, sparse },
+            );
+        }
+
+        // Orphan sidecars (their segment was deleted or never renamed).
+        for id in idx_ids {
+            let p = sidecar_path(&self.dir, id);
+            if p.exists() {
+                fs::remove_file(p)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn load_or_rebuild_sidecar(&mut self, id: u64, scan: &Scan) -> io::Result<SparseIndex> {
+        let rebuilt = SparseIndex::build(&scan.records, self.cfg.sparse_every);
+        let path = sidecar_path(&self.dir, id);
+        let on_disk = fs::read(&path).ok().and_then(|b| SparseIndex::parse(&b));
+        if on_disk.as_ref() == Some(&rebuilt) {
+            return Ok(rebuilt);
+        }
+        self.recovery.index_rebuilds += 1;
+        fs::write(&path, rebuilt.encode())?;
+        Ok(rebuilt)
+    }
+
+    fn index_unsorted(&mut self, seg_id: u64, offset: u64, rec: &OwnedRecord) {
+        let loc = Loc { seg_id, offset, seq: rec.seq, tombstone: rec.is_tombstone() };
+        match self.map.get(&rec.key) {
+            Some(prev) if prev.seq >= rec.seq => {}
+            _ => {
+                self.map.insert(rec.key.clone(), loc);
+            }
+        }
+    }
+
+    fn remove_segment_files(&self, id: u64) -> io::Result<()> {
+        let log = segment_path(&self.dir, id);
+        if log.exists() {
+            fs::remove_file(log)?;
+        }
+        let idx = sidecar_path(&self.dir, id);
+        if idx.exists() {
+            fs::remove_file(idx)?;
+        }
+        Ok(())
+    }
+
+    fn next_segment_id(&self) -> u64 {
+        self.segments.keys().next_back().map_or(1, |id| id + 1)
+    }
+
+    /// Creates a fresh unsorted segment and returns its id.
+    fn create_segment(&mut self) -> io::Result<u64> {
+        let id = self.next_segment_id();
+        let path = segment_path(&self.dir, id);
+        let header = SegmentHeader {
+            format_version: FORMAT_VERSION,
+            schema_version: self.cfg.schema_version,
+            seg_id: id,
+            sorted: false,
+            engine_rev: self.cfg.engine_rev.clone(),
+        };
+        let bytes = header.encode();
+        let mut file = OpenOptions::new().read(true).append(true).create_new(true).open(&path)?;
+        file.write_all(&bytes)?;
+        file.sync_data()?;
+        sync_dir(&self.dir)?;
+        self.segments.insert(
+            id,
+            Segment { path, file, len: bytes.len() as u64, sorted: false, sparse: None },
+        );
+        Ok(id)
+    }
+
+    fn append(&mut self, key: &str, value: Option<&[u8]>) -> io::Result<()> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut buf = Vec::new();
+        let n = record::encode(&mut buf, seq, key, value) as u64;
+        let active = self.active;
+        let offset;
+        {
+            let seg = self.segments.get_mut(&active).expect("active segment exists");
+            seg.file.write_all(&buf)?;
+            offset = seg.len;
+            seg.len += n;
+        }
+        self.stats.bytes_written += n;
+        self.map.insert(
+            key.to_string(),
+            Loc { seg_id: active, offset, seq, tombstone: value.is_none() },
+        );
+        if self.segments[&active].len >= self.cfg.rotate_bytes {
+            self.seal_and_roll()?;
+        }
+        Ok(())
+    }
+
+    fn seal_and_roll(&mut self) -> io::Result<()> {
+        {
+            let seg = self.segments.get_mut(&self.active).expect("active segment exists");
+            seg.file.sync_data()?;
+        }
+        self.stats.seals += 1;
+        self.active = self.create_segment()?;
+        Ok(())
+    }
+
+    /// Appends a value for `key`. Durable only after [`Store::sync`]
+    /// (or an OS flush); the torture suite's contract is that synced
+    /// records always survive a crash.
+    pub fn put(&mut self, key: &str, value: &[u8]) -> io::Result<()> {
+        self.stats.puts += 1;
+        self.append(key, Some(value))
+    }
+
+    /// Appends a deletion marker for `key`.
+    pub fn tombstone(&mut self, key: &str) -> io::Result<()> {
+        self.stats.tombstones_written += 1;
+        self.append(key, None)
+    }
+
+    /// Forces the active segment's bytes to disk.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.stats.syncs += 1;
+        let seg = self.segments.get_mut(&self.active).expect("active segment exists");
+        seg.file.sync_data()
+    }
+
+    /// Looks up the newest live value for `key`. Values are
+    /// CRC-verified on the way out; bytes that rot after recovery are
+    /// rejected (counted in `read_crc_rejects`) rather than returned.
+    pub fn get(&mut self, key: &str) -> io::Result<Option<Vec<u8>>> {
+        self.stats.gets += 1;
+        let hash = record::key_hash(key);
+
+        let mut best_seq = 0u64;
+        let mut best: Option<OwnedRecord> = None;
+        let mut best_loc: Option<Loc> = None;
+
+        if let Some(loc) = self.map.get(key).copied() {
+            best_seq = loc.seq;
+            best_loc = Some(loc);
+        }
+
+        let sorted_ids: Vec<u64> = self
+            .segments
+            .iter()
+            .filter(|(_, s)| s.sorted)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in sorted_ids {
+            if let Some(rec) = self.probe_sorted(id, key, hash)? {
+                if rec.seq > best_seq {
+                    best_seq = rec.seq;
+                    best = Some(rec);
+                    best_loc = None;
+                }
+            }
+        }
+
+        if let Some(loc) = best_loc {
+            if loc.tombstone {
+                self.stats.misses += 1;
+                return Ok(None);
+            }
+            match self.read_record_at(loc.seg_id, loc.offset)? {
+                Some(rec) if rec.key == key && rec.seq == loc.seq => best = Some(rec),
+                _ => {
+                    self.stats.read_crc_rejects += 1;
+                    self.stats.misses += 1;
+                    return Ok(None);
+                }
+            }
+        }
+
+        match best.and_then(|r| r.value) {
+            Some(v) => {
+                self.stats.hits += 1;
+                Ok(Some(v))
+            }
+            None => {
+                self.stats.misses += 1;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Probes one sorted segment for `key` via its sparse index: seek
+    /// to the anchor at or before the key's hash, then scan forward
+    /// until the (hash-ordered) records pass it.
+    fn probe_sorted(&mut self, id: u64, key: &str, hash: u64) -> io::Result<Option<OwnedRecord>> {
+        let (mut offset, len) = {
+            let seg = self.segments.get(&id).expect("segment exists");
+            let sparse = seg.sparse.as_ref().expect("sorted segment has index");
+            match sparse.seek(hash) {
+                Some(o) => (o, seg.len),
+                None => return Ok(None),
+            }
+        };
+        while offset < len {
+            let rec = match self.read_record_at(id, offset)? {
+                Some(r) => r,
+                None => {
+                    // Disk rot inside a sorted segment: stop probing it.
+                    self.stats.read_crc_rejects += 1;
+                    return Ok(None);
+                }
+            };
+            let h = record::key_hash(&rec.key);
+            if h > hash {
+                return Ok(None);
+            }
+            if h == hash && rec.key == key {
+                return Ok(Some(rec));
+            }
+            offset += RECORD_HEADER_BYTES as u64
+                + (rec.encoded_payload_len()) as u64;
+        }
+        Ok(None)
+    }
+
+    /// Reads and CRC-verifies one record at a known offset. `None`
+    /// means the bytes there no longer parse — never an invented value.
+    fn read_record_at(&mut self, seg_id: u64, offset: u64) -> io::Result<Option<OwnedRecord>> {
+        let seg = match self.segments.get_mut(&seg_id) {
+            Some(s) => s,
+            None => return Ok(None),
+        };
+        seg.file.seek(SeekFrom::Start(offset))?;
+        let mut header = [0u8; RECORD_HEADER_BYTES];
+        if read_fully(&mut seg.file, &mut header)?.is_none() {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(header[1..5].try_into().unwrap());
+        if header[0] != record::RECORD_MAGIC
+            || len > record::MAX_PAYLOAD_BYTES
+            || (len as usize) < record::PAYLOAD_PREFIX_BYTES
+        {
+            return Ok(None);
+        }
+        let mut buf = header.to_vec();
+        buf.resize(RECORD_HEADER_BYTES + len as usize, 0);
+        if read_fully(&mut seg.file, &mut buf[RECORD_HEADER_BYTES..])?.is_none() {
+            return Ok(None);
+        }
+        match record::parse(&buf) {
+            Parse::Record { record, .. } => Ok(Some(record)),
+            _ => Ok(None),
+        }
+    }
+
+    /// True when the size-tiered planner would merge something now.
+    pub fn needs_compaction(&self) -> bool {
+        compact::plan(&self.sealed_sizes(), &self.cfg.compaction).is_some()
+    }
+
+    fn sealed_sizes(&self) -> Vec<(u64, u64)> {
+        self.segments
+            .iter()
+            .filter(|(&id, _)| id != self.active)
+            .map(|(&id, s)| (id, s.len))
+            .collect()
+    }
+
+    /// Runs at most one compaction pass. Returns whether a merge
+    /// happened. Crash-safe: output is written to a `*.tmp`, fsynced,
+    /// renamed, and only then are inputs deleted — recovery handles
+    /// every intermediate state (leftover tmp, or duplicate records
+    /// across old and new segments, which newest-wins dedup absorbs).
+    pub fn maybe_compact(&mut self) -> io::Result<bool> {
+        let sealed = self.sealed_sizes();
+        let inputs = match compact::plan(&sealed, &self.cfg.compaction) {
+            Some(ids) => ids,
+            None => return Ok(false),
+        };
+        let input_set: HashSet<u64> = inputs.iter().copied().collect();
+        // Tombstones may only be dropped when this merge covers every
+        // sealed segment — otherwise an uncovered older segment could
+        // still hold a value the tombstone must keep shadowing.
+        let full_coverage = input_set.len() == sealed.len();
+
+        // Gather every record from the inputs (defensive scan: corrupt
+        // records are simply not carried forward).
+        let mut records_in = 0u64;
+        let mut newest: HashMap<String, OwnedRecord> = HashMap::new();
+        let mut dups = 0u64;
+        for &id in &inputs {
+            let path = segment_path(&self.dir, id);
+            let data = fs::read(&path)?;
+            let header_len = match SegmentHeader::parse(&data) {
+                Some((_, n)) => n,
+                None => continue, // rotted since recovery; nothing to carry
+            };
+            let scan = scan_records(&data, header_len);
+            records_in += scan.records.len() as u64;
+            for r in scan.records {
+                match newest.get(&r.record.key) {
+                    Some(prev) if prev.seq >= r.record.seq => dups += 1,
+                    Some(_) => {
+                        dups += 1;
+                        newest.insert(r.record.key.clone(), r.record);
+                    }
+                    None => {
+                        newest.insert(r.record.key.clone(), r.record);
+                    }
+                }
+            }
+        }
+
+        let mut tombs_dropped = 0u64;
+        let mut survivors: Vec<OwnedRecord> = Vec::with_capacity(newest.len());
+        for (_, rec) in newest {
+            if rec.is_tombstone() && full_coverage {
+                tombs_dropped += 1;
+            } else {
+                survivors.push(rec);
+            }
+        }
+        survivors.sort_by(|a, b| {
+            (record::key_hash(&a.key), a.key.as_str()).cmp(&(record::key_hash(&b.key), b.key.as_str()))
+        });
+
+        // Write the sorted output: tmp → fsync → rename → fsync dir.
+        let out_id = self.next_segment_id();
+        let tmp = self.dir.join(format!("seg-{out_id:016x}.tmp"));
+        let final_path = segment_path(&self.dir, out_id);
+        let header = SegmentHeader {
+            format_version: FORMAT_VERSION,
+            schema_version: self.cfg.schema_version,
+            seg_id: out_id,
+            sorted: true,
+            engine_rev: self.cfg.engine_rev.clone(),
+        };
+        let mut data = header.encode();
+        let mut offsets = Vec::with_capacity(survivors.len());
+        for rec in &survivors {
+            offsets.push(data.len() as u64);
+            record::encode(&mut data, rec.seq, &rec.key, rec.value.as_deref());
+        }
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&data)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &final_path)?;
+        sync_dir(&self.dir)?;
+
+        let anchors: Vec<(u64, u64)> = survivors
+            .iter()
+            .zip(&offsets)
+            .enumerate()
+            .filter(|(i, _)| i % self.cfg.sparse_every.max(1) == 0)
+            .map(|(_, (rec, &off))| (record::key_hash(&rec.key), off))
+            .collect();
+        let sparse = SparseIndex { anchors };
+        fs::write(sidecar_path(&self.dir, out_id), sparse.encode())?;
+
+        // Install the output, then retire the inputs.
+        let file = OpenOptions::new().read(true).append(true).open(&final_path)?;
+        self.segments.insert(
+            out_id,
+            Segment {
+                path: final_path,
+                file,
+                len: data.len() as u64,
+                sorted: true,
+                sparse: Some(sparse),
+            },
+        );
+        for &id in &inputs {
+            self.segments.remove(&id);
+            self.remove_segment_files(id)?;
+        }
+        sync_dir(&self.dir)?;
+        self.map.retain(|_, loc| !input_set.contains(&loc.seg_id));
+
+        self.stats.compactions += 1;
+        self.stats.compaction_input_segments += inputs.len() as u64;
+        self.stats.compaction_records_in += records_in;
+        self.stats.compaction_records_out += survivors.len() as u64;
+        self.stats.compaction_dups_dropped += dups;
+        self.stats.compaction_tombstones_dropped += tombs_dropped;
+        Ok(true)
+    }
+
+    /// Every live `(key, value)` pair, newest-wins, tombstones elided,
+    /// sorted by key for determinism. Used for warm-start preloading.
+    pub fn snapshot_live(&mut self) -> io::Result<Vec<(String, Vec<u8>)>> {
+        let mut newest: HashMap<String, OwnedRecord> = HashMap::new();
+        let paths: Vec<PathBuf> = self.segments.values().map(|s| s.path.clone()).collect();
+        for path in paths {
+            let data = fs::read(&path)?;
+            let header_len = match SegmentHeader::parse(&data) {
+                Some((_, n)) => n,
+                None => continue,
+            };
+            for r in scan_records(&data, header_len).records {
+                match newest.get(&r.record.key) {
+                    Some(prev) if prev.seq >= r.record.seq => {}
+                    _ => {
+                        newest.insert(r.record.key.clone(), r.record);
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(String, Vec<u8>)> = newest
+            .into_iter()
+            .filter_map(|(k, rec)| rec.value.map(|v| (k, v)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.stats.clone()
+    }
+
+    /// What recovery did at open.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery.clone()
+    }
+
+    /// Segment files currently live (including the active one).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Distinct keys with a live (non-tombstone) newest version in the
+    /// unsorted tier. Diagnostic only.
+    pub fn unsorted_keys(&self) -> usize {
+        self.map.values().filter(|l| !l.tombstone).count()
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the segment currently receiving writes. Exposed so the
+    /// crash-torture suite can mangle bytes beyond the last synced
+    /// offset to simulate a `kill -9` mid-write.
+    pub fn active_segment_path(&self) -> PathBuf {
+        self.segments[&self.active].path.clone()
+    }
+
+    /// The configuration the store was opened with.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+}
+
+impl OwnedRecord {
+    fn encoded_payload_len(&self) -> usize {
+        record::PAYLOAD_PREFIX_BYTES
+            + self.key.len()
+            + self.value.as_ref().map_or(0, |v| v.len())
+    }
+}
+
+/// `read_exact` that reports EOF as `None` instead of an error.
+fn read_fully(file: &mut File, buf: &mut [u8]) -> io::Result<Option<()>> {
+    let mut at = 0;
+    while at < buf.len() {
+        let n = file.read(&mut buf[at..])?;
+        if n == 0 {
+            return Ok(None);
+        }
+        at += n;
+    }
+    Ok(Some(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!(
+            "scc-store-test-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn cfg() -> StoreConfig {
+        StoreConfig::new(1, "test-rev")
+    }
+
+    #[test]
+    fn put_get_round_trip_and_reopen() {
+        let dir = temp_dir("basic");
+        {
+            let mut s = Store::open(&dir, cfg()).unwrap();
+            s.put("alpha", b"one").unwrap();
+            s.put("beta", b"two").unwrap();
+            s.put("alpha", b"one-v2").unwrap();
+            s.sync().unwrap();
+            assert_eq!(s.get("alpha").unwrap().as_deref(), Some(&b"one-v2"[..]));
+            assert_eq!(s.get("missing").unwrap(), None);
+        }
+        let mut s = Store::open(&dir, cfg()).unwrap();
+        assert_eq!(s.recovery().records_indexed, 3);
+        assert_eq!(s.recovery().invalidated_segments(), 0);
+        assert_eq!(s.get("alpha").unwrap().as_deref(), Some(&b"one-v2"[..]));
+        assert_eq!(s.get("beta").unwrap().as_deref(), Some(&b"two"[..]));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tombstone_hides_and_survives_reopen() {
+        let dir = temp_dir("tomb");
+        {
+            let mut s = Store::open(&dir, cfg()).unwrap();
+            s.put("k", b"v").unwrap();
+            s.tombstone("k").unwrap();
+            s.sync().unwrap();
+            assert_eq!(s.get("k").unwrap(), None);
+        }
+        let mut s = Store::open(&dir, cfg()).unwrap();
+        assert_eq!(s.get("k").unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn small_rotate_cfg() -> StoreConfig {
+        let mut c = cfg();
+        c.rotate_bytes = 256;
+        c.compaction.min_bucket_bytes = 4096;
+        c.compaction.trigger = 4;
+        c
+    }
+
+    #[test]
+    fn rotation_seals_segments_and_compaction_merges_them() {
+        let dir = temp_dir("compact");
+        let mut s = Store::open(&dir, small_rotate_cfg()).unwrap();
+        for round in 0..6 {
+            for k in 0..8 {
+                s.put(&format!("key-{k}"), format!("value-{k}-round-{round}").as_bytes())
+                    .unwrap();
+            }
+        }
+        s.sync().unwrap();
+        assert!(s.stats().seals > 0);
+        assert!(s.needs_compaction());
+        assert!(s.maybe_compact().unwrap());
+        let st = s.stats();
+        assert_eq!(st.compactions, 1);
+        assert!(st.compaction_dups_dropped > 0);
+        // All 8 keys must still resolve to their newest round.
+        for k in 0..8 {
+            assert_eq!(
+                s.get(&format!("key-{k}")).unwrap().as_deref(),
+                Some(format!("value-{k}-round-5").as_bytes()),
+                "key-{k} after compaction"
+            );
+        }
+        // And after a reopen, through the sorted probe path.
+        drop(s);
+        let mut s = Store::open(&dir, small_rotate_cfg()).unwrap();
+        assert_eq!(s.recovery().index_rebuilds, 0, "sidecar should verify");
+        for k in 0..8 {
+            assert_eq!(
+                s.get(&format!("key-{k}")).unwrap().as_deref(),
+                Some(format!("value-{k}-round-5").as_bytes())
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn full_coverage_compaction_drops_tombstones_partial_keeps_them() {
+        let dir = temp_dir("tombgc");
+        let mut c = small_rotate_cfg();
+        c.compaction.trigger = 2;
+        let mut s = Store::open(&dir, c).unwrap();
+        for k in 0..8 {
+            s.put(&format!("key-{k}"), &[0u8; 64]).unwrap();
+        }
+        for k in 0..8 {
+            s.tombstone(&format!("key-{k}")).unwrap();
+        }
+        s.sync().unwrap();
+        while s.maybe_compact().unwrap() {}
+        // Deleted keys stay deleted whatever the GC decided.
+        for k in 0..8 {
+            assert_eq!(s.get(&format!("key-{k}")).unwrap(), None);
+        }
+        assert_eq!(s.snapshot_live().unwrap(), Vec::new());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn schema_version_bump_invalidates_all_segments() {
+        let dir = temp_dir("schema");
+        {
+            let mut s = Store::open(&dir, cfg()).unwrap();
+            s.put("k", b"v").unwrap();
+            s.sync().unwrap();
+        }
+        let mut bumped = cfg();
+        bumped.schema_version = 2;
+        let mut s = Store::open(&dir, bumped).unwrap();
+        assert!(s.recovery().version_mismatch_segments > 0);
+        assert_eq!(s.get("k").unwrap(), None, "stale-schema record must not warm-hit");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn engine_rev_change_invalidates_all_segments() {
+        let dir = temp_dir("rev");
+        {
+            let mut s = Store::open(&dir, cfg()).unwrap();
+            s.put("k", b"v").unwrap();
+            s.sync().unwrap();
+        }
+        let mut other = cfg();
+        other.engine_rev = "other-rev".into();
+        let mut s = Store::open(&dir, other).unwrap();
+        assert!(s.recovery().version_mismatch_segments > 0);
+        assert_eq!(s.get("k").unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leftover_tmp_files_are_removed() {
+        let dir = temp_dir("tmp");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("seg-00000000000000ff.tmp"), b"half-written compaction").unwrap();
+        let s = Store::open(&dir, cfg()).unwrap();
+        assert_eq!(s.recovery().tmp_files_removed, 1);
+        assert!(!dir.join("seg-00000000000000ff.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_sidecar_is_rebuilt() {
+        let dir = temp_dir("sidecar");
+        let mut c = small_rotate_cfg();
+        c.compaction.trigger = 2;
+        {
+            let mut s = Store::open(&dir, c.clone()).unwrap();
+            for k in 0..12 {
+                s.put(&format!("key-{k}"), &[7u8; 80]).unwrap();
+            }
+            s.sync().unwrap();
+            while s.maybe_compact().unwrap() {}
+            assert!(s.segment_count() > 0);
+        }
+        // Mangle every sidecar on disk.
+        let mut mangled = 0;
+        for entry in fs::read_dir(&dir).unwrap() {
+            let p = entry.unwrap().path();
+            if p.extension().is_some_and(|e| e == "idx") {
+                let mut b = fs::read(&p).unwrap();
+                let mid = b.len() / 2;
+                b[mid] ^= 0xFF;
+                fs::write(&p, b).unwrap();
+                mangled += 1;
+            }
+        }
+        assert!(mangled > 0, "compaction should have produced a sidecar");
+        let mut s = Store::open(&dir, c).unwrap();
+        assert_eq!(s.recovery().index_rebuilds, mangled);
+        for k in 0..12 {
+            assert_eq!(s.get(&format!("key-{k}")).unwrap().as_deref(), Some(&[7u8; 80][..]));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_live_is_newest_wins_and_sorted() {
+        let dir = temp_dir("snap");
+        let mut s = Store::open(&dir, cfg()).unwrap();
+        s.put("b", b"old").unwrap();
+        s.put("a", b"1").unwrap();
+        s.put("b", b"new").unwrap();
+        s.put("c", b"3").unwrap();
+        s.tombstone("c").unwrap();
+        let live = s.snapshot_live().unwrap();
+        assert_eq!(
+            live,
+            vec![("a".to_string(), b"1".to_vec()), ("b".to_string(), b"new".to_vec())]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,362 @@
+//! Recovery torture suite: crash and corruption injection against the
+//! persistent store.
+//!
+//! The contract under test, in every scenario:
+//!
+//! 1. `Store::open` never panics, whatever the bytes on disk;
+//! 2. `get` never returns a value that was not written for that key
+//!    (the CRC rejects mangled bytes — damage degrades to a miss,
+//!    never to garbage);
+//! 3. every record that was durable at the crash point (explicitly
+//!    synced, or in a sealed/compacted segment) is still readable
+//!    after recovery.
+//!
+//! Deterministic cases truncate the final record at every byte offset
+//! and flip every bit of small segment files; the property-style case
+//! runs a seeded open/write/kill/reopen loop against a model of the
+//! synced state. `SCC_TORTURE_ROUNDS` scales the randomized depth
+//! (default 30; CI nightly runs hundreds).
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use scc_isa::rand_prog::SplitMix64;
+use scc_store::segment::{scan_records, SegmentHeader};
+use scc_store::{Store, StoreConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!("scc-torture-{}-{tag}-{n}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn cfg() -> StoreConfig {
+    StoreConfig::new(1, "torture-rev")
+}
+
+fn torture_rounds() -> u64 {
+    std::env::var("SCC_TORTURE_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30)
+}
+
+/// Copies every file of `src` into a fresh directory.
+fn clone_dir(src: &Path, tag: &str) -> PathBuf {
+    let dst = temp_dir(tag);
+    fs::create_dir_all(&dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+    dst
+}
+
+/// The single `.log` file in a directory (setup phases that write
+/// little enough not to rotate).
+fn only_segment(dir: &Path) -> PathBuf {
+    let mut logs: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "log"))
+        .collect();
+    assert_eq!(logs.len(), 1, "setup expected exactly one segment in {dir:?}");
+    logs.pop().unwrap()
+}
+
+fn value_for(key: &str) -> Vec<u8> {
+    format!("value-of-{key}-padded-{}", "x".repeat(17)).into_bytes()
+}
+
+/// Seeds a store with `n` synced records and returns its directory.
+fn seeded_store(tag: &str, n: usize) -> PathBuf {
+    let dir = temp_dir(tag);
+    let mut s = Store::open(&dir, cfg()).unwrap();
+    for i in 0..n {
+        let key = format!("key-{i:03}");
+        s.put(&key, &value_for(&key)).unwrap();
+    }
+    s.sync().unwrap();
+    drop(s);
+    dir
+}
+
+#[test]
+fn truncation_at_every_byte_offset_of_the_final_record() {
+    const N: usize = 12;
+    let base = seeded_store("trunc-base", N);
+    let seg = only_segment(&base);
+    let data = fs::read(&seg).unwrap();
+    let (_, header_len) = SegmentHeader::parse(&data).unwrap();
+    let scan = scan_records(&data, header_len);
+    assert_eq!(scan.records.len(), N);
+    let last = scan.records.last().unwrap();
+    let last_start = last.offset as usize;
+
+    for cut in last_start..data.len() {
+        let dir = clone_dir(&base, "trunc");
+        let seg = only_segment(&dir);
+        let f = fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(cut as u64).unwrap();
+        drop(f);
+
+        let mut s = Store::open(&dir, cfg()).unwrap();
+        let rec = s.recovery();
+        // Every record before the torn one must be intact.
+        for i in 0..N - 1 {
+            let key = format!("key-{i:03}");
+            assert_eq!(
+                s.get(&key).unwrap().as_deref(),
+                Some(value_for(&key).as_slice()),
+                "cut at {cut}: key {key} lost"
+            );
+        }
+        // The final record is either wholly present (cut == full len is
+        // excluded above) or wholly absent — never mangled.
+        let last_key = format!("key-{:03}", N - 1);
+        assert_eq!(s.get(&last_key).unwrap(), None, "cut at {cut}: torn record surfaced");
+        if cut > last_start {
+            assert_eq!(rec.torn_truncations, 1, "cut at {cut}");
+            assert_eq!(rec.bytes_truncated, (cut - last_start) as u64, "cut at {cut}");
+        }
+        assert_eq!(rec.records_indexed as usize, N - 1);
+        assert_eq!(rec.invalidated_segments(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+    fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn single_bit_flips_anywhere_in_the_segment_never_yield_garbage() {
+    const N: usize = 4;
+    let base = seeded_store("flip-base", N);
+    let seg_name = only_segment(&base).file_name().unwrap().to_owned();
+    let data = fs::read(only_segment(&base)).unwrap();
+
+    for byte in 0..data.len() {
+        for bit in 0..8 {
+            let dir = clone_dir(&base, "flip");
+            let seg = dir.join(&seg_name);
+            let mut bent = data.clone();
+            bent[byte] ^= 1 << bit;
+            fs::write(&seg, &bent).unwrap();
+
+            let mut s = Store::open(&dir, cfg()).unwrap();
+            for i in 0..N {
+                let key = format!("key-{i:03}");
+                let got = s.get(&key).unwrap();
+                assert!(
+                    got.is_none() || got.as_deref() == Some(value_for(&key).as_slice()),
+                    "flip at byte {byte} bit {bit}: key {key} returned corrupt bytes {got:?}"
+                );
+            }
+            // One flipped bit hits the header (whole segment refused),
+            // or one record (skipped or tail-truncated); at most the
+            // records at-and-after the damage may be lost.
+            let rec = s.recovery();
+            assert!(
+                rec.records_indexed as usize >= N - 1
+                    || rec.invalidated_segments() == 1
+                    || rec.torn_truncations == 1
+                    || rec.corrupt_records_skipped == 1,
+                "flip at byte {byte} bit {bit}: implausible recovery {rec:?}"
+            );
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+    fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn bit_flips_in_compacted_segment_and_sidecar_never_yield_garbage() {
+    let dir = temp_dir("flip-sorted");
+    let mut c = cfg();
+    c.rotate_bytes = 256;
+    c.compaction.min_bucket_bytes = 8192;
+    c.compaction.trigger = 2;
+    const N: usize = 16;
+    {
+        let mut s = Store::open(&dir, c.clone()).unwrap();
+        for i in 0..N {
+            let key = format!("key-{i:03}");
+            s.put(&key, &value_for(&key)).unwrap();
+        }
+        s.sync().unwrap();
+        while s.maybe_compact().unwrap() {}
+        assert!(s.stats().compactions > 0);
+    }
+    let targets: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.extension().is_some_and(|e| e == "idx")
+                || (p.extension().is_some_and(|e| e == "log") && fs::metadata(p).unwrap().len() > 64)
+        })
+        .collect();
+    assert!(!targets.is_empty());
+
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for trial in 0..200 {
+        let dir2 = clone_dir(&dir, "flip-sorted-trial");
+        let victim = &targets[rng.below(targets.len() as u64) as usize];
+        let victim2 = dir2.join(victim.file_name().unwrap());
+        let mut bytes = fs::read(&victim2).unwrap();
+        let at = rng.below(bytes.len() as u64) as usize;
+        bytes[at] ^= 1 << rng.below(8);
+        fs::write(&victim2, bytes).unwrap();
+
+        let mut s = Store::open(&dir2, c.clone()).unwrap();
+        for i in 0..N {
+            let key = format!("key-{i:03}");
+            let got = s.get(&key).unwrap();
+            assert!(
+                got.is_none() || got.as_deref() == Some(value_for(&key).as_slice()),
+                "trial {trial}: key {key} returned corrupt bytes"
+            );
+        }
+        fs::remove_dir_all(&dir2).unwrap();
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovery_never_panics_on_arbitrary_garbage_files() {
+    let mut rng = SplitMix64::new(0xDEAD_BEEF);
+    for trial in 0..40 {
+        let dir = temp_dir("garbage");
+        fs::create_dir_all(&dir).unwrap();
+        let files = 1 + rng.below(3);
+        for f in 0..files {
+            let len = rng.below(4096) as usize;
+            let mut bytes = vec![0u8; len];
+            for b in &mut bytes {
+                *b = rng.next_u64() as u8;
+            }
+            // Half the files get a plausible-looking magic prefix.
+            if rng.chance(1, 2) && len >= 8 {
+                bytes[..8].copy_from_slice(b"SCCSTOR1");
+            }
+            fs::write(dir.join(format!("seg-{f:016x}.log")), &bytes).unwrap();
+        }
+        let mut s = Store::open(&dir, cfg()).unwrap();
+        assert_eq!(s.get("anything").unwrap(), None, "trial {trial}");
+        s.put("k", b"v").unwrap();
+        assert_eq!(s.get("k").unwrap().as_deref(), Some(&b"v"[..]));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// The property-style crash loop. A model tracks (a) the full expected
+/// state while the store is healthy and (b) the durable state — what
+/// must survive a crash: everything up to the last sync/seal plus, per
+/// key, any later writes that might or might not have hit the disk.
+#[test]
+fn randomized_open_write_kill_reopen_loop_preserves_synced_records() {
+    let rounds = torture_rounds();
+    let mut rng = SplitMix64::new(0x5CC_700D);
+    let dir = temp_dir("crashloop");
+
+    let mut c = cfg();
+    c.rotate_bytes = 512;
+    c.compaction.min_bucket_bytes = 16 * 1024;
+    c.compaction.trigger = 3;
+
+    let keys: Vec<String> = (0..12).map(|i| format!("key-{i:02}")).collect();
+    // Current expected value per key (None = tombstoned/absent).
+    let mut model: HashMap<String, Option<Vec<u8>>> = HashMap::new();
+    // Expected state as of the last durability point.
+    let mut durable: HashMap<String, Option<Vec<u8>>> = model.clone();
+    // Values written after the last durability point, per key; a
+    // post-crash read may surface any of these instead.
+    let mut in_flight: HashMap<String, Vec<Option<Vec<u8>>>> = HashMap::new();
+
+    for round in 0..rounds {
+        let mut s = Store::open(&dir, c.clone()).unwrap();
+
+        // Post-crash check: synced records must be exact; keys with
+        // in-flight writes may hold any of those candidates.
+        for k in &keys {
+            let got = s.get(k).unwrap();
+            let synced = durable.get(k).cloned().unwrap_or(None);
+            let acceptable = got == synced
+                || in_flight.get(k).is_some_and(|cands| cands.contains(&got));
+            assert!(
+                acceptable,
+                "round {round}: key {k} returned {got:?}, synced state {synced:?}, \
+                 in-flight {:?}",
+                in_flight.get(k)
+            );
+            model.insert(k.clone(), got);
+        }
+        durable = model.clone();
+        in_flight.clear();
+        let mut synced_len = fs::metadata(s.active_segment_path()).unwrap().len();
+        let mut active_path = s.active_segment_path();
+
+        let ops = 20 + rng.below(40);
+        for _ in 0..ops {
+            let k = &keys[rng.below(keys.len() as u64) as usize];
+            let roll = rng.below(100);
+            let seals_before = s.stats().seals;
+            if roll < 55 {
+                let len = rng.below(120) as usize;
+                let mut v = vec![0u8; len];
+                for b in &mut v {
+                    *b = rng.next_u64() as u8;
+                }
+                s.put(k, &v).unwrap();
+                model.insert(k.clone(), Some(v.clone()));
+                in_flight.entry(k.clone()).or_default().push(Some(v));
+            } else if roll < 65 {
+                s.tombstone(k).unwrap();
+                model.insert(k.clone(), None);
+                in_flight.entry(k.clone()).or_default().push(None);
+            } else if roll < 85 {
+                let got = s.get(k).unwrap();
+                assert_eq!(
+                    &got,
+                    model.get(k).unwrap_or(&None),
+                    "round {round}: healthy-store read mismatch for {k}"
+                );
+            } else if roll < 93 {
+                s.sync().unwrap();
+                durable = model.clone();
+                in_flight.clear();
+                synced_len = fs::metadata(s.active_segment_path()).unwrap().len();
+            } else {
+                s.maybe_compact().unwrap();
+            }
+            // A seal fsyncs the old active segment: everything written
+            // so far became durable, and a fresh active file began.
+            if s.stats().seals != seals_before {
+                durable = model.clone();
+                in_flight.clear();
+                synced_len = fs::metadata(s.active_segment_path()).unwrap().len();
+            }
+            active_path = s.active_segment_path();
+        }
+
+        // Crash: drop without syncing, then mangle the unsynced suffix
+        // of the active segment.
+        drop(s);
+        let cur_len = fs::metadata(&active_path).unwrap().len();
+        assert!(cur_len >= synced_len);
+        if cur_len > synced_len {
+            let cut = synced_len + rng.below(cur_len - synced_len + 1);
+            if rng.chance(1, 2) && cut > synced_len {
+                // Flip a bit in the surviving unsynced region first.
+                let mut bytes = fs::read(&active_path).unwrap();
+                let at = synced_len + rng.below(cut - synced_len);
+                bytes[at as usize] ^= 1 << rng.below(8);
+                fs::write(&active_path, bytes).unwrap();
+            }
+            let f = fs::OpenOptions::new().write(true).open(&active_path).unwrap();
+            f.set_len(cut).unwrap();
+        }
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
