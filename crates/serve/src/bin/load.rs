@@ -5,10 +5,17 @@
 //! scc-load --connect tcp:HOST:PORT|unix:PATH
 //!          [--conns N] [--requests N] [--workload NAME] [--iters N]
 //!          [--level LABEL] [--deadline-ms N] [--distinct N]
+//!          [--idle-conns N] [--sweep N,N,...]
 //!          [--out results/BENCH_serve.json]
 //!          [--store-out results/BENCH_store.json] [--min-warm-rate R]
 //!          [--shutdown]
 //! ```
+//!
+//! `--idle-conns` is the high-connection mode: that many verified idle
+//! connections are held open across the whole run (each is re-checked
+//! at the end; a dead one counts as an error). `--sweep 8,64,256` runs
+//! one hot phase per count so `results/BENCH_serve.json` records
+//! throughput and p50/p95/p99 per connection count.
 //!
 //! `--store-out` writes the persistent-store report for a
 //! restart-and-replay measurement: run a mix against a `--store-dir`
@@ -31,7 +38,8 @@ use scc_serve::{Addr, Client};
 fn usage() -> ! {
     eprintln!(
         "usage: scc-load --connect ADDR [--conns N] [--requests N] [--workload NAME] \
-         [--iters N] [--level LABEL] [--deadline-ms N] [--distinct N] [--out FILE] \
+         [--iters N] [--level LABEL] [--deadline-ms N] [--distinct N] \
+         [--idle-conns N] [--sweep N,N,...] [--out FILE] \
          [--store-out FILE] [--min-warm-rate R] [--shutdown]"
     );
     std::process::exit(2);
@@ -56,6 +64,8 @@ fn parse_args() -> Args {
         level: "full-scc".to_string(),
         deadline_ms: None,
         distinct: 4,
+        idle_conns: 0,
+        sweep: Vec::new(),
     };
     let mut out = None;
     let mut store_out = None;
@@ -100,6 +110,18 @@ fn parse_args() -> Args {
                 Ok(n) if n >= 1 => cfg.distinct = n,
                 _ => usage(),
             },
+            "--idle-conns" => match value("--idle-conns").parse() {
+                Ok(n) => cfg.idle_conns = n,
+                _ => usage(),
+            },
+            "--sweep" => {
+                let parsed: Result<Vec<usize>, _> =
+                    value("--sweep").split(',').map(|s| s.trim().parse()).collect();
+                match parsed {
+                    Ok(v) if !v.is_empty() && v.iter().all(|&n| n >= 1) => cfg.sweep = v,
+                    _ => usage(),
+                }
+            }
             "--out" => out = Some(value("--out")),
             "--store-out" => store_out = Some(value("--store-out")),
             "--min-warm-rate" => match value("--min-warm-rate").parse::<f64>() {

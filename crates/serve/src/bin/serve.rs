@@ -3,8 +3,14 @@
 //! ```text
 //! scc-serve [--listen tcp:HOST:PORT | --listen unix:PATH]...
 //!           [--workers N] [--queue N] [--max-cycles N]
-//!           [--store-dir PATH]
+//!           [--max-conns N] [--store-dir PATH]
 //! ```
+//!
+//! All connections are multiplexed on a single `poll(2)` readiness
+//! loop, so the fd limit — not a thread count — bounds concurrency.
+//! Startup raises `RLIMIT_NOFILE` to its hard ceiling and reports it;
+//! `--max-conns` is the admission-control cap beyond which new
+//! connections get an `over_capacity` error.
 //!
 //! Defaults to `tcp:127.0.0.1:7878` when no `--listen` is given.
 //! `--store-dir` attaches the crash-safe persistent result store: every
@@ -22,7 +28,7 @@ use scc_serve::{signal, Addr, Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: scc-serve [--listen tcp:HOST:PORT|unix:PATH]... [--workers N] [--queue N] \
-         [--max-cycles N] [--store-dir PATH]"
+         [--max-cycles N] [--max-conns N] [--store-dir PATH]"
     );
     std::process::exit(2);
 }
@@ -62,6 +68,10 @@ fn parse_args() -> (Vec<Addr>, ServerConfig) {
                 Ok(n) if n >= 1 => cfg.max_cycles = n,
                 _ => usage(),
             },
+            "--max-conns" => match value("--max-conns").parse() {
+                Ok(n) if n >= 1 => cfg.max_conns = n,
+                _ => usage(),
+            },
             "--store-dir" => cfg.store_dir = Some(value("--store-dir").into()),
             "--help" | "-h" => usage(),
             other => {
@@ -79,6 +89,11 @@ fn parse_args() -> (Vec<Addr>, ServerConfig) {
 fn main() -> ExitCode {
     let (addrs, cfg) = parse_args();
     signal::install();
+    #[cfg(unix)]
+    match scc_serve::sys::raise_nofile_limit() {
+        Ok(limit) => eprintln!("scc-serve: fd limit {limit}"),
+        Err(e) => eprintln!("scc-serve: could not raise fd limit: {e}"),
+    }
     let server = match Server::bind(&addrs, cfg.clone()) {
         Ok(s) => s,
         Err(e) => {
@@ -93,8 +108,8 @@ fn main() -> ExitCode {
         eprintln!("scc-serve: tcp bound at {tcp}");
     }
     eprintln!(
-        "scc-serve: {} workers, queue depth {}, max cycles {}",
-        cfg.workers, cfg.queue_depth, cfg.max_cycles
+        "scc-serve: {} workers, queue depth {}, max cycles {}, max conns {} (poll readiness loop)",
+        cfg.workers, cfg.queue_depth, cfg.max_cycles, cfg.max_conns
     );
 
     let handle = server.handle();

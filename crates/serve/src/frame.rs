@@ -1,13 +1,19 @@
 //! Newline-delimited framing with a hard size cap.
 //!
-//! A [`FrameReader`] accumulates bytes from a (possibly timing-out)
-//! stream and yields one complete line at a time. It is resumable: a
-//! read timeout surfaces as [`Poll::TimedOut`] with the partial frame
-//! retained, so connection handlers can poll their drain flag between
-//! reads without losing data. Pipelined frames (several lines arriving
-//! in one read) are buffered and yielded in order.
+//! A [`FrameReader`] accumulates bytes from a (possibly timing-out or
+//! nonblocking) stream and yields one complete line at a time. It is
+//! resumable: a read timeout or `WouldBlock` surfaces as
+//! [`Poll::TimedOut`] with the partial frame retained, so the event
+//! loop can park the connection until the next readiness edge without
+//! losing data. Pipelined frames (several lines arriving in one read)
+//! are buffered and yielded in order.
+//!
+//! A [`FrameWriter`] is the outbound mirror: a drain-on-readiness
+//! buffer that survives short writes, `WouldBlock`, and interrupted
+//! syscalls, so a large response over a slow socket can never emit a
+//! truncated NDJSON line.
 
-use std::io::Read;
+use std::io::{Read, Write};
 
 /// What one poll of the framer produced.
 #[derive(Debug)]
@@ -75,6 +81,83 @@ impl FrameReader {
                 Err(e) => return Poll::Err(e),
             }
         }
+    }
+}
+
+/// Result of one [`FrameWriter::write_some`] drain attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteStatus {
+    /// Every buffered byte reached the stream.
+    Drained,
+    /// The stream stopped accepting bytes (`WouldBlock`); re-arm
+    /// `POLLOUT` and try again at the next readiness edge.
+    Pending,
+}
+
+/// Resumable outbound frame buffer over any [`Write`].
+///
+/// `write(2)` on a nonblocking socket may accept any prefix of the
+/// buffer — or nothing at all — so every response goes through this
+/// buffer and is drained with explicit short-write accounting.
+/// Interrupted syscalls (`EINTR`) are retried; `WouldBlock` parks the
+/// remainder for the next readiness notification. `Ok(0)` from a
+/// sink that claims progress while accepting nothing is reported as
+/// [`std::io::ErrorKind::WriteZero`] rather than spinning.
+#[derive(Default)]
+pub struct FrameWriter {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already written. Compacted when the buffer fully
+    /// drains (cheap) rather than on every partial write (quadratic).
+    pos: usize,
+}
+
+impl FrameWriter {
+    /// An empty writer.
+    pub fn new() -> FrameWriter {
+        FrameWriter::default()
+    }
+
+    /// Queues one rendered frame (caller supplies the trailing `\n`).
+    pub fn push(&mut self, frame: &str) {
+        self.buf.extend_from_slice(frame.as_bytes());
+    }
+
+    /// Bytes still awaiting the socket.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Writes as much buffered data as the stream will take right now.
+    pub fn write_some(&mut self, w: &mut impl Write) -> std::io::Result<WriteStatus> {
+        while self.pos < self.buf.len() {
+            match w.write(&self.buf[self.pos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "stream accepted zero bytes",
+                    ));
+                }
+                Ok(n) => self.pos += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(WriteStatus::Pending)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        Ok(WriteStatus::Drained)
     }
 }
 
@@ -153,5 +236,72 @@ mod tests {
         assert!(matches!(fr.poll_line(&mut r), Poll::TimedOut));
         assert!(matches!(fr.poll_line(&mut r), Poll::TimedOut));
         assert!(matches!(fr.poll_line(&mut r), Poll::Line(s) if s == "{\"verb\":\"health\"}"));
+    }
+
+    /// A writer modeling a socket with a tiny send buffer: accepts at
+    /// most `chunk` bytes per call and interleaves `EINTR` and
+    /// `WouldBlock` on a schedule.
+    struct TrickleWriter {
+        chunk: usize,
+        calls: usize,
+        sink: Vec<u8>,
+    }
+    impl Write for TrickleWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.calls += 1;
+            match self.calls % 4 {
+                1 => Err(std::io::Error::from(std::io::ErrorKind::Interrupted)),
+                2 => Err(std::io::Error::from(std::io::ErrorKind::WouldBlock)),
+                _ => {
+                    let n = buf.len().min(self.chunk);
+                    self.sink.extend_from_slice(&buf[..n]);
+                    Ok(n)
+                }
+            }
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn short_writes_eintr_and_wouldblock_never_truncate_a_frame() {
+        let frame_a = format!("{{\"ok\":true,\"payload\":\"{}\"}}\n", "x".repeat(300));
+        let frame_b = "{\"ok\":false}\n".to_string();
+        let mut fw = FrameWriter::new();
+        fw.push(&frame_a);
+        fw.push(&frame_b);
+        assert_eq!(fw.pending(), frame_a.len() + frame_b.len());
+
+        let mut w = TrickleWriter { chunk: 3, calls: 0, sink: Vec::new() };
+        let mut rounds = 0;
+        // Each WouldBlock models parking until the next POLLOUT edge.
+        while fw.write_some(&mut w).unwrap() == WriteStatus::Pending {
+            rounds += 1;
+            assert!(rounds < 10_000, "writer failed to make progress");
+        }
+        assert!(fw.is_empty());
+        assert_eq!(w.sink, [frame_a.as_bytes(), frame_b.as_bytes()].concat());
+        // More frames after a full drain reuse the compacted buffer.
+        fw.push(&frame_b);
+        while fw.write_some(&mut w).unwrap() == WriteStatus::Pending {}
+        assert!(String::from_utf8(w.sink).unwrap().ends_with(&frame_b));
+    }
+
+    #[test]
+    fn a_zero_byte_write_is_an_error_not_a_spin() {
+        struct Zero;
+        impl Write for Zero {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut fw = FrameWriter::new();
+        fw.push("{\"ok\":true}\n");
+        let err = fw.write_some(&mut Zero).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
     }
 }

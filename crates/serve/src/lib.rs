@@ -4,24 +4,34 @@
 //! The binary crates `scc-serve` and `scc-load` are thin shells over
 //! this library:
 //!
-//! - [`server`] — listeners (TCP + Unix), the bounded job queue with
-//!   `queue_full` backpressure, deadline enforcement, and graceful
-//!   drain;
+//! - [`server`] — listeners (TCP + Unix), the single-threaded
+//!   `poll(2)` readiness loop, the bounded job queue with `queue_full`
+//!   backpressure, admission control, deadline enforcement, and
+//!   graceful drain;
+//! - [`conn`] — the per-connection nonblocking state machine
+//!   (read-accumulate → parse → enqueue → buffered write-drain), with
+//!   one-outstanding-run fairness;
+//! - [`sys`] — the minimal `poll(2)`/`pipe(2)`/`rlimit` FFI shim (no
+//!   libc crate, same idiom as [`signal`]);
 //! - [`protocol`] — the NDJSON wire grammar and the deterministic
 //!   report rendering (byte-identical to direct in-process execution);
-//! - [`frame`] / [`json`] — newline framing with a size cap and a
-//!   dependency-free JSON parser, mirroring the hand-rolled emitters
-//!   used across the workspace;
+//! - [`frame`] / [`json`] — resumable newline framing (reader and
+//!   short-write-safe writer) with a size cap and a dependency-free
+//!   JSON parser, mirroring the hand-rolled emitters used across the
+//!   workspace;
 //! - [`client`] / [`loadgen`] — a blocking client and the concurrent
 //!   load driver behind `results/BENCH_serve.json`;
 //! - [`signal`] — the SIGTERM/SIGINT drain hook.
 //!
-//! Everything is std-only: no async runtime, no serde, no signal
-//! crates — matching the repo's zero-registry-dependency rule.
+//! Everything is std-only: no async runtime, no serde, no signal or
+//! libc crates — matching the repo's zero-registry-dependency rule.
+//! The readiness loop itself is Unix-only (it multiplexes raw fds);
+//! the client, load generator, and protocol code are portable.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod conn;
 pub mod frame;
 pub mod json;
 pub mod loadgen;
@@ -29,6 +39,7 @@ pub mod net;
 pub mod protocol;
 pub mod server;
 pub mod signal;
+pub mod sys;
 
 pub use client::Client;
 pub use net::Addr;

@@ -1,6 +1,21 @@
 //! The `scc-load` load generator: N concurrent connections issuing
 //! `run` requests, honoring `queue_full` retry hints, and summarizing
 //! throughput, latency percentiles, and cache effectiveness.
+//!
+//! Two connection populations exercise the server's readiness loop the
+//! way production traffic would:
+//!
+//! - **idle connections** (`--idle-conns`): opened first, verified with
+//!   one `health` round-trip, then parked for the whole run and
+//!   verified again at the end. They cost the single I/O thread one
+//!   poll entry each — the point of the high-connection mode is showing
+//!   that thousands of them do not perturb the hot path.
+//! - **hot phases** (`--sweep`): one phase per requested connection
+//!   count, each spawning that many client threads issuing
+//!   `requests_per_conn` runs back-to-back with `queue_full` retries.
+//!   Per-phase throughput and p50/p95/p99 go into the schema-v2
+//!   `results/BENCH_serve.json` so tail latency under overload is
+//!   recorded per connection count.
 
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -12,14 +27,19 @@ use crate::client::Client;
 use crate::json::{escape, Json};
 use crate::net::Addr;
 
+/// `results/BENCH_serve.json` document schema. v2 added `phases` (per-
+/// connection-count throughput and tail latency), `idle_conns`,
+/// `io_model`, and `git_rev`.
+pub const BENCH_SERVE_SCHEMA_VERSION: u64 = 2;
+
 /// Load-run parameters.
 #[derive(Clone, Debug)]
 pub struct LoadConfig {
     /// Where the service listens.
     pub addr: Addr,
-    /// Concurrent connections.
+    /// Concurrent hot connections (used when `sweep` is empty).
     pub conns: usize,
-    /// `run` requests issued per connection.
+    /// `run` requests issued per hot connection.
     pub requests_per_conn: usize,
     /// Workload name sent on every request.
     pub workload: String,
@@ -32,15 +52,19 @@ pub struct LoadConfig {
     /// Number of distinct job shapes cycled across requests (1 makes
     /// every request cache-identical; larger values mix misses in).
     pub distinct: usize,
+    /// Idle-mostly connections held open across every phase.
+    pub idle_conns: usize,
+    /// Hot connection counts to run as successive phases; empty means
+    /// one phase at `conns`.
+    pub sweep: Vec<usize>,
 }
 
-/// Aggregated outcome of one load run.
+/// One hot phase's aggregated outcome.
 #[derive(Clone, Debug)]
-pub struct LoadReport {
-    /// Concurrent connections used.
+pub struct PhaseReport {
+    /// Concurrent hot connections in this phase.
     pub conns: usize,
-    /// Total `run` requests that eventually succeeded or hard-failed
-    /// (each counted once, however many retries it took).
+    /// `run` requests that eventually succeeded or hard-failed.
     pub requests: u64,
     /// Requests answered `ok`.
     pub ok: u64,
@@ -48,7 +72,7 @@ pub struct LoadReport {
     pub rejections: u64,
     /// Requests that ended in a non-retryable error.
     pub errors: u64,
-    /// Wall-clock for the whole run, seconds.
+    /// Wall-clock for the phase, seconds.
     pub wall_s: f64,
     /// Completed requests per second.
     pub throughput_rps: f64,
@@ -57,6 +81,38 @@ pub struct LoadReport {
     /// 95th-percentile latency, milliseconds.
     pub p95_ms: f64,
     /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Aggregated outcome of one load run (all phases).
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Idle connections held open for the whole run.
+    pub idle_conns: usize,
+    /// Per-phase results, in execution order.
+    pub phases: Vec<PhaseReport>,
+    /// Largest hot-connection count among the phases.
+    pub conns: usize,
+    /// Total `run` requests across phases (each counted once, however
+    /// many retries it took), plus idle-connection health probes that
+    /// failed.
+    pub requests: u64,
+    /// Requests answered `ok`.
+    pub ok: u64,
+    /// `queue_full` rejections observed (each was retried).
+    pub rejections: u64,
+    /// Requests that ended in a non-retryable error, including any
+    /// idle connection that died mid-run.
+    pub errors: u64,
+    /// Wall-clock covering all phases, seconds.
+    pub wall_s: f64,
+    /// Completed requests per second across the whole run.
+    pub throughput_rps: f64,
+    /// Median request latency across phases, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency across phases, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency across phases, milliseconds.
     pub p99_ms: f64,
     /// Result-cache hit rate over the run, from the `stats` verb's
     /// `runner.cache.*` counters (delta hits / delta lookups); `NaN`
@@ -85,14 +141,14 @@ pub fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
 }
 
-fn run_request_line(cfg: &LoadConfig, conn: usize, seq: usize) -> String {
+fn run_request_line(cfg: &LoadConfig, phase: usize, conn: usize, seq: usize) -> String {
     let iters = cfg.iters + (conn * cfg.requests_per_conn + seq) as i64 % cfg.distinct.max(1) as i64;
     let deadline = match cfg.deadline_ms {
         Some(ms) => format!(",\"deadline_ms\":{ms}"),
         None => String::new(),
     };
     format!(
-        "{{\"verb\":\"run\",\"id\":\"c{conn}-r{seq}\",\"workload\":\"{}\",\"iters\":{iters},\"level\":\"{}\"{deadline}}}",
+        "{{\"verb\":\"run\",\"id\":\"p{phase}-c{conn}-r{seq}\",\"workload\":\"{}\",\"iters\":{iters},\"level\":\"{}\"{deadline}}}",
         escape(&cfg.workload),
         escape(&cfg.level),
     )
@@ -120,15 +176,26 @@ fn tier_counters(addr: &Addr) -> io::Result<(u64, u64, u64, u64)> {
     ))
 }
 
-/// Runs the load: spawns one thread per connection, each issuing
+/// Opens one idle connection and proves it is live with a `health`
+/// round-trip.
+fn open_idle(addr: &Addr) -> io::Result<Client> {
+    let mut c = Client::connect_with_timeout(addr, Duration::from_secs(30))?;
+    let h = c.request_json("{\"verb\":\"health\"}")?;
+    if h.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, format!("idle health: {h:?}")));
+    }
+    Ok(c)
+}
+
+/// Runs one hot phase: `conns` client threads, each issuing
 /// `requests_per_conn` run requests back-to-back, retrying on
-/// `queue_full` after the server's `retry_after_ms` hint.
-pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
-    let (hits0, misses0, sh0, sm0) = tier_counters(&cfg.addr)?;
+/// `queue_full` after the server's `retry_after_ms` hint. Returns the
+/// phase report and its sorted latency samples.
+fn run_phase(cfg: &LoadConfig, phase: usize, conns: usize) -> io::Result<(PhaseReport, Vec<f64>)> {
     let rejections = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
     let mut handles = Vec::new();
-    for conn in 0..cfg.conns {
+    for conn in 0..conns {
         let cfg = cfg.clone();
         let rejections = Arc::clone(&rejections);
         handles.push(thread::spawn(move || -> io::Result<(Vec<f64>, u64, u64)> {
@@ -136,7 +203,7 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
             let mut latencies = Vec::with_capacity(cfg.requests_per_conn);
             let (mut ok, mut errors) = (0u64, 0u64);
             for seq in 0..cfg.requests_per_conn {
-                let line = run_request_line(&cfg, conn, seq);
+                let line = run_request_line(&cfg, phase, conn, seq);
                 let req_started = Instant::now();
                 loop {
                     let resp = client.request_json(&line)?;
@@ -175,13 +242,9 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         errors += e;
     }
     let wall_s = started.elapsed().as_secs_f64();
-    let (hits1, misses1, sh1, sm1) = tier_counters(&cfg.addr)?;
-    let (dh, dm) = (hits1.saturating_sub(hits0), misses1.saturating_sub(misses0));
-    let (dsh, dsm) = (sh1.saturating_sub(sh0), sm1.saturating_sub(sm0));
-
     latencies.sort_by(|a, b| a.total_cmp(b));
-    Ok(LoadReport {
-        conns: cfg.conns,
+    let report = PhaseReport {
+        conns,
         requests: ok + errors,
         ok,
         rejections: rejections.load(Ordering::Relaxed),
@@ -191,25 +254,114 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         p50_ms: percentile(&latencies, 50.0),
         p95_ms: percentile(&latencies, 95.0),
         p99_ms: percentile(&latencies, 99.0),
+    };
+    Ok((report, latencies))
+}
+
+/// Runs the load: parks `idle_conns` verified idle connections, then
+/// runs each hot phase in turn, then re-verifies every idle connection
+/// survived.
+pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
+    let (hits0, misses0, sh0, sm0) = tier_counters(&cfg.addr)?;
+    let started = Instant::now();
+
+    let mut idle = Vec::with_capacity(cfg.idle_conns);
+    for i in 0..cfg.idle_conns {
+        idle.push(open_idle(&cfg.addr).map_err(|e| {
+            io::Error::new(e.kind(), format!("opening idle connection {i}: {e}"))
+        })?);
+    }
+
+    let sweep: Vec<usize> =
+        if cfg.sweep.is_empty() { vec![cfg.conns] } else { cfg.sweep.clone() };
+    let mut phases = Vec::with_capacity(sweep.len());
+    let mut all_latencies = Vec::new();
+    for (i, &conns) in sweep.iter().enumerate() {
+        let (report, latencies) = run_phase(cfg, i, conns)?;
+        phases.push(report);
+        all_latencies.extend(latencies);
+    }
+
+    // Every idle connection must still answer after the storm — one
+    // failure is a protocol error, not a shrug.
+    let mut idle_failures = 0u64;
+    for c in &mut idle {
+        let live = c
+            .request_json("{\"verb\":\"health\"}")
+            .ok()
+            .and_then(|h| h.get("ok").and_then(Json::as_bool))
+            == Some(true);
+        if !live {
+            idle_failures += 1;
+        }
+    }
+
+    let wall_s = started.elapsed().as_secs_f64();
+    let (hits1, misses1, sh1, sm1) = tier_counters(&cfg.addr)?;
+    let (dh, dm) = (hits1.saturating_sub(hits0), misses1.saturating_sub(misses0));
+    let (dsh, dsm) = (sh1.saturating_sub(sh0), sm1.saturating_sub(sm0));
+
+    all_latencies.sort_by(|a, b| a.total_cmp(b));
+    let ok: u64 = phases.iter().map(|p| p.ok).sum();
+    let errors: u64 = phases.iter().map(|p| p.errors).sum::<u64>() + idle_failures;
+    Ok(LoadReport {
+        idle_conns: cfg.idle_conns,
+        conns: sweep.iter().copied().max().unwrap_or(0),
+        requests: ok + errors,
+        ok,
+        rejections: phases.iter().map(|p| p.rejections).sum(),
+        errors,
+        wall_s,
+        throughput_rps: if wall_s > 0.0 { ok as f64 / wall_s } else { 0.0 },
+        p50_ms: percentile(&all_latencies, 50.0),
+        p95_ms: percentile(&all_latencies, 95.0),
+        p99_ms: percentile(&all_latencies, 99.0),
         cache_hit_rate: dh as f64 / (dh + dm) as f64,
         store_hits: dsh,
         store_misses: dsm,
         store_warm_hit_rate: dsh as f64 / (dsh + dsm) as f64,
+        phases,
     })
 }
 
-/// Renders the report as the `results/BENCH_serve.json` document.
+fn phase_json(p: &PhaseReport) -> String {
+    format!(
+        "{{\"conns\": {}, \"requests\": {}, \"ok\": {}, \"rejections\": {}, \"errors\": {}, \
+         \"wall_s\": {:.3}, \"throughput_rps\": {:.2}, \
+         \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}}}}}",
+        p.conns,
+        p.requests,
+        p.ok,
+        p.rejections,
+        p.errors,
+        p.wall_s,
+        p.throughput_rps,
+        p.p50_ms,
+        p.p95_ms,
+        p.p99_ms,
+    )
+}
+
+/// Renders the report as the `results/BENCH_serve.json` document
+/// (schema v2: per-phase tail latency plus the idle-connection count).
 pub fn bench_json(r: &LoadReport) -> String {
     let hit_rate = if r.cache_hit_rate.is_finite() {
         format!("{:.4}", r.cache_hit_rate)
     } else {
         "null".to_string()
     };
+    let phases: Vec<String> =
+        r.phases.iter().map(|p| format!("    {}", phase_json(p))).collect();
     format!(
-        "{{\n  \"bench\": \"serve\",\n  \"conns\": {},\n  \"requests\": {},\n  \"ok\": {},\n  \
-         \"rejections\": {},\n  \"errors\": {},\n  \"wall_s\": {:.3},\n  \
-         \"throughput_rps\": {:.2},\n  \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \
-         \"p99\": {:.3}}},\n  \"cache_hit_rate\": {hit_rate}\n}}\n",
+        "{{\n  \"bench\": \"serve\",\n  \"schema_version\": {},\n  \"git_rev\": \"{}\",\n  \
+         \"io_model\": \"readiness-poll\",\n  \"idle_conns\": {},\n  \"conns\": {},\n  \
+         \"requests\": {},\n  \"ok\": {},\n  \"rejections\": {},\n  \"errors\": {},\n  \
+         \"wall_s\": {:.3},\n  \"throughput_rps\": {:.2},\n  \
+         \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}}},\n  \
+         \"phases\": [\n{}\n  ],\n  \"cache_hit_rate\": {hit_rate}\n}}\n",
+        BENCH_SERVE_SCHEMA_VERSION,
+        escape(&scc_sim::runner::git_rev()),
+        r.idle_conns,
         r.conns,
         r.requests,
         r.ok,
@@ -220,6 +372,7 @@ pub fn bench_json(r: &LoadReport) -> String {
         r.p50_ms,
         r.p95_ms,
         r.p99_ms,
+        phases.join(",\n"),
     )
 }
 
@@ -262,20 +415,10 @@ pub fn store_bench_json(r: &LoadReport, final_stats: &Json) -> String {
 mod tests {
     use super::*;
 
-    #[test]
-    fn percentile_is_nearest_rank() {
-        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
-        assert_eq!(percentile(&v, 50.0), 5.0);
-        assert_eq!(percentile(&v, 95.0), 10.0);
-        assert_eq!(percentile(&v, 99.0), 10.0);
-        assert_eq!(percentile(&v, 100.0), 10.0);
-        assert_eq!(percentile(&[], 50.0), 0.0);
-        assert_eq!(percentile(&[7.5], 99.0), 7.5);
-    }
-
-    #[test]
-    fn bench_json_handles_a_lookup_free_run() {
-        let r = LoadReport {
+    fn empty_report() -> LoadReport {
+        LoadReport {
+            idle_conns: 0,
+            phases: Vec::new(),
             conns: 4,
             requests: 0,
             ok: 0,
@@ -290,9 +433,26 @@ mod tests {
             store_hits: 0,
             store_misses: 0,
             store_warm_hit_rate: f64::NAN,
-        };
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 50.0), 5.0);
+        assert_eq!(percentile(&v, 95.0), 10.0);
+        assert_eq!(percentile(&v, 99.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 10.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    fn bench_json_handles_a_lookup_free_run() {
+        let r = empty_report();
         let doc = bench_json(&r);
         assert!(doc.contains("\"cache_hit_rate\": null"));
+        assert!(doc.contains("\"schema_version\": 2"));
         crate::json::Json::parse(&doc).unwrap();
         let store_doc = store_bench_json(&r, &Json::parse("{}").unwrap());
         assert!(store_doc.contains("\"warm_hit_rate\": null"));
@@ -301,23 +461,71 @@ mod tests {
     }
 
     #[test]
+    fn bench_json_v2_carries_per_phase_tail_latency() {
+        let mut r = empty_report();
+        r.idle_conns = 1000;
+        r.conns = 256;
+        r.phases = vec![
+            PhaseReport {
+                conns: 8,
+                requests: 64,
+                ok: 64,
+                rejections: 0,
+                errors: 0,
+                wall_s: 1.0,
+                throughput_rps: 64.0,
+                p50_ms: 2.0,
+                p95_ms: 4.0,
+                p99_ms: 6.0,
+            },
+            PhaseReport {
+                conns: 256,
+                requests: 2048,
+                ok: 2048,
+                rejections: 31,
+                errors: 0,
+                wall_s: 8.0,
+                throughput_rps: 256.0,
+                p50_ms: 9.0,
+                p95_ms: 40.0,
+                p99_ms: 90.0,
+            },
+        ];
+        let doc = bench_json(&r);
+        let j = Json::parse(&doc).unwrap();
+        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(2));
+        assert_eq!(j.get("idle_conns").and_then(Json::as_u64), Some(1000));
+        assert_eq!(j.get("io_model").and_then(Json::as_str), Some("readiness-poll"));
+        match j.get("phases") {
+            Some(Json::Arr(phases)) => {
+                assert_eq!(phases.len(), 2);
+                assert_eq!(phases[1].get("conns").and_then(Json::as_u64), Some(256));
+                assert_eq!(
+                    phases[1]
+                        .get("latency_ms")
+                        .and_then(|l| l.get("p99"))
+                        .and_then(Json::as_f64),
+                    Some(90.0)
+                );
+            }
+            other => panic!("missing phases array: {other:?}"),
+        }
+    }
+
+    #[test]
     fn store_bench_json_reports_a_warm_replay() {
-        let r = LoadReport {
-            conns: 2,
-            requests: 16,
-            ok: 16,
-            rejections: 0,
-            errors: 0,
-            wall_s: 0.5,
-            throughput_rps: 32.0,
-            p50_ms: 1.0,
-            p95_ms: 2.0,
-            p99_ms: 2.0,
-            cache_hit_rate: 0.75,
-            store_hits: 4,
-            store_misses: 0,
-            store_warm_hit_rate: 1.0,
-        };
+        let mut r = empty_report();
+        r.conns = 2;
+        r.requests = 16;
+        r.ok = 16;
+        r.wall_s = 0.5;
+        r.throughput_rps = 32.0;
+        r.p50_ms = 1.0;
+        r.p95_ms = 2.0;
+        r.p99_ms = 2.0;
+        r.cache_hit_rate = 0.75;
+        r.store_hits = 4;
+        r.store_warm_hit_rate = 1.0;
         let stats = Json::parse(
             r#"{"runner.store.writes":0,"runner.store.segments":2,
                 "runner.store.recovered_records":4,"runner.store.recovery_corrupt_skipped":0,

@@ -6,6 +6,8 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 #[cfg(unix)]
+use std::os::unix::io::{AsRawFd, RawFd};
+#[cfg(unix)]
 use std::os::unix::net::UnixStream;
 use std::time::Duration;
 
@@ -68,13 +70,34 @@ impl Stream {
         }
     }
 
-    /// Sets the read timeout (used by server connection handlers to
-    /// poll the drain flag between frames).
+    /// Sets the read timeout (used by clients that bound how long they
+    /// wait for a response frame).
     pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
         match self {
             Stream::Tcp(s) => s.set_read_timeout(dur),
             #[cfg(unix)]
             Stream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Switches the stream between blocking and nonblocking mode (the
+    /// server's readiness loop runs every accepted connection
+    /// nonblocking).
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl AsRawFd for Stream {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Stream::Tcp(s) => s.as_raw_fd(),
+            Stream::Unix(s) => s.as_raw_fd(),
         }
     }
 }

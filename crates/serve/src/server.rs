@@ -2,57 +2,84 @@
 //!
 //! A [`Server`] owns one or more listeners (TCP and/or Unix), a bounded
 //! job queue, and a pool of simulation workers sharing one
-//! [`Runner`] (and therefore the process-wide result cache). The
-//! lifecycle is:
+//! [`Runner`] (and therefore the process-wide result cache). Network
+//! I/O is a **single readiness loop**: one thread multiplexes every
+//! connection over `poll(2)` (via the no-libc shim in [`crate::sys`]),
+//! with nonblocking sockets and per-connection state machines
+//! ([`crate::conn`]). The lifecycle is:
 //!
-//! 1. **Accept**: each connection gets a handler thread that frames
-//!    NDJSON requests and answers them in order.
-//! 2. **Queue**: `run` requests are enqueued; when the queue is at
-//!    capacity the request is rejected immediately with `queue_full`
-//!    and a `retry_after_ms` hint derived from the observed job-time
-//!    EWMA and the current backlog.
+//! 1. **Accept**: the I/O thread accepts until `WouldBlock`, subject to
+//!    admission control — beyond `max_conns` a connection gets a
+//!    best-effort `over_capacity` error and is dropped.
+//! 2. **Parse/queue**: readable connections accumulate bytes, parse
+//!    NDJSON frames, and answer verbs inline; `run` requests are
+//!    enqueued (at most one outstanding per connection — the fairness
+//!    policy), or rejected with `queue_full` + a capped
+//!    `retry_after_ms` hint derived from the job-time EWMA and the
+//!    backlog.
 //! 3. **Execute**: workers pop jobs, enforce deadlines (expired-while-
 //!    queued jobs are rejected without simulating; running jobs are
-//!    cancelled via the pipeline's cancel check), and send back a
-//!    pre-rendered response frame.
+//!    cancelled via the pipeline's cancel check), then hand the
+//!    rendered response to the I/O thread through the completion list
+//!    and the wakeup pipe, which re-arms the connection's writer.
 //! 4. **Drain**: the `shutdown` verb (or [`ServerHandle::drain`], which
 //!    the binary wires to SIGTERM) flips the drain flag *under the
-//!    queue lock*: accepting stops, already-queued and in-flight jobs
-//!    finish, new `run` frames get a `draining` error, idle
-//!    connections close, and [`Server::serve`] returns.
+//!    queue lock*: accepting stops, queued and in-flight jobs finish,
+//!    new `run` frames get a `draining` error, idle connections close,
+//!    half-written responses flush before their connections close, and
+//!    [`Server::serve`] returns.
 
 use std::collections::VecDeque;
-use std::io::{self, Write};
+#[cfg(unix)]
+use std::collections::HashMap;
+use std::io;
+#[cfg(unix)]
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener};
+#[cfg(unix)]
+use std::os::unix::io::{AsRawFd, RawFd};
 #[cfg(unix)]
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crate::frame::{FrameReader, Poll};
+#[cfg(unix)]
+use crate::conn::{Conn, ConnStatus};
+use crate::conn::FrameDisposition;
 use crate::net::{Addr, Stream};
 use crate::protocol::{
     error_response, metrics_object, parse_request, run_response, Request, RunRequest,
     MAX_FRAME_BYTES,
 };
+#[cfg(unix)]
+use crate::sys;
 use scc_pipeline::{Metric, MetricValue};
 use scc_sim::runner::{resolve_workload, Job, StoreTier};
 use scc_sim::{cache_metrics, Runner, SimOptions};
 use scc_workloads::Scale;
 
-/// How long a connection handler blocks in `read` before re-checking
-/// the drain flag.
-const READ_POLL: Duration = Duration::from_millis(200);
-
 /// How long a worker waits on the queue condvar before re-checking the
 /// drain flag.
 const WORKER_POLL: Duration = Duration::from_millis(100);
 
-/// How long the accept loop sleeps when no connection is pending.
-const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// Readiness-loop poll timeout: the backstop cadence for drain checks
+/// when no fd produces an event (completions and drain requests also
+/// wake the loop through the pipe).
+#[cfg(unix)]
+const POLL_TIMEOUT_MS: i32 = 200;
+
+/// Ceiling on the `retry_after_ms` backpressure hint. A deep queue of
+/// slow jobs must suggest "come back soon and re-probe", never a
+/// multi-hour sleep computed from a saturated product.
+pub const RETRY_AFTER_CAP_MS: u64 = 30_000;
+
+/// How long drain waits for connections to flush half-written
+/// responses before force-closing them.
+#[cfg(unix)]
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -62,6 +89,9 @@ pub struct ServerConfig {
     /// Bounded queue depth; `run` requests beyond it are rejected with
     /// `queue_full` + `retry_after_ms`.
     pub queue_depth: usize,
+    /// Admission control: connections beyond this many get a
+    /// best-effort `over_capacity` error and are closed immediately.
+    pub max_conns: usize,
     /// Ceiling applied to any client-supplied `max_cycles`.
     pub max_cycles: u64,
     /// Directory of the persistent result store (`--store-dir`). When
@@ -77,31 +107,50 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: scc_sim::default_jobs(),
             queue_depth: 64,
+            max_conns: 4096,
             max_cycles: scc_sim::build::DEFAULT_MAX_CYCLES,
             store_dir: None,
         }
     }
 }
 
-/// One queued `run` request, waiting for a worker.
+/// One queued `run` request, waiting for a worker. The token routes
+/// the rendered response back to its connection through the completion
+/// list.
 struct QueuedJob {
     req: RunRequest,
     deadline: Option<Instant>,
-    resp: mpsc::Sender<String>,
+    token: u64,
 }
 
-/// State shared by the accept loop, connection handlers, and workers.
+/// A finished job's response, headed back to the I/O thread.
+struct Completion {
+    token: u64,
+    reply: String,
+}
+
+/// State shared by the I/O thread and the workers.
 struct Shared {
     cfg: ServerConfig,
     runner: Runner,
     queue: Mutex<VecDeque<QueuedJob>>,
     work_ready: Condvar,
-    /// Drain flag. Written only while holding the queue lock, so a
-    /// connection handler that observed `false` under the lock knows
+    /// Drain flag. Written only while holding the queue lock, so the
+    /// I/O thread, having observed `false` under the lock, knows
     /// workers cannot have exited before its enqueue became visible.
     drain: AtomicBool,
+    /// Responses finished by workers, awaiting delivery by the I/O
+    /// thread (which the wakeup pipe nudges).
+    completions: Mutex<Vec<Completion>>,
+    #[cfg(unix)]
+    wake: sys::WakePipe,
     in_flight: AtomicUsize,
     connections: AtomicU64,
+    open_conns: AtomicUsize,
+    conns_refused: AtomicU64,
+    /// Accepted connections dropped because nonblocking setup failed —
+    /// a blocking socket must never reach the readiness loop.
+    setup_failures: AtomicU64,
     requests: AtomicU64,
     jobs_ok: AtomicU64,
     jobs_failed: AtomicU64,
@@ -120,12 +169,17 @@ impl Shared {
 
     /// The backpressure hint: how long a client should wait before
     /// retrying, assuming the backlog ahead of it drains at the
-    /// observed per-job EWMA across the worker pool.
+    /// observed per-job EWMA across the worker pool. Every step
+    /// saturates and the result is capped at [`RETRY_AFTER_CAP_MS`], so
+    /// a deep queue of pathologically slow jobs can neither overflow
+    /// nor tell a client to sleep for hours.
     fn retry_after_ms(&self, queued: usize) -> u64 {
         let avg_us = self.avg_job_us.load(Ordering::Relaxed).max(1_000);
-        let backlog = queued + self.in_flight.load(Ordering::Relaxed) + 1;
-        let us = avg_us.saturating_mul(backlog as u64) / self.cfg.workers.max(1) as u64;
-        (us / 1_000).max(10)
+        let backlog = (queued as u64)
+            .saturating_add(self.in_flight.load(Ordering::Relaxed) as u64)
+            .saturating_add(1);
+        let us = avg_us.saturating_mul(backlog) / self.cfg.workers.max(1) as u64;
+        (us / 1_000).clamp(10, RETRY_AFTER_CAP_MS)
     }
 
     fn observe_job_time(&self, wall: Duration) {
@@ -133,6 +187,16 @@ impl Shared {
         let old = self.avg_job_us.load(Ordering::Relaxed);
         let new = if old == 0 { sample } else { old - old / 8 + sample / 8 };
         self.avg_job_us.store(new, Ordering::Relaxed);
+    }
+
+    /// Hands a finished job's response to the I/O thread.
+    fn complete(&self, token: u64, reply: String) {
+        self.completions.lock().unwrap_or_else(|p| p.into_inner()).push(Completion {
+            token,
+            reply,
+        });
+        #[cfg(unix)]
+        self.wake.wake();
     }
 
     /// The store tier attached to the shared runner, if any.
@@ -156,6 +220,10 @@ impl Shared {
             counter("serve.in_flight", self.in_flight.load(Ordering::Relaxed) as u64),
             counter("serve.draining", u64::from(self.draining())),
             counter("serve.connections", self.connections.load(Ordering::Relaxed)),
+            counter("serve.conns.open", self.open_conns.load(Ordering::Relaxed) as u64),
+            counter("serve.conns.max", self.cfg.max_conns as u64),
+            counter("serve.conns.refused", self.conns_refused.load(Ordering::Relaxed)),
+            counter("serve.net.setup_failures", self.setup_failures.load(Ordering::Relaxed)),
             counter("serve.requests", self.requests.load(Ordering::Relaxed)),
             counter("serve.jobs.ok", self.jobs_ok.load(Ordering::Relaxed)),
             counter("serve.jobs.failed", self.jobs_failed.load(Ordering::Relaxed)),
@@ -181,11 +249,14 @@ pub struct ServerHandle {
 
 impl ServerHandle {
     /// Begins graceful drain: stop accepting, finish queued and
-    /// in-flight jobs, then let [`Server::serve`] return.
+    /// in-flight jobs, flush every half-written response, then let
+    /// [`Server::serve`] return.
     pub fn drain(&self) {
         let _guard = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
         self.shared.drain.store(true, Ordering::SeqCst);
         self.shared.work_ready.notify_all();
+        #[cfg(unix)]
+        self.shared.wake.wake();
     }
 
     /// True once drain has been requested.
@@ -200,8 +271,18 @@ enum Listener {
     Unix(UnixListener, PathBuf),
 }
 
-/// The service: listeners + queue + worker pool. Construct with
-/// [`Server::bind`], then block in [`Server::serve`].
+#[cfg(unix)]
+impl Listener {
+    fn raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l, _) => l.as_raw_fd(),
+        }
+    }
+}
+
+/// The service: listeners + readiness loop + worker pool. Construct
+/// with [`Server::bind`], then block in [`Server::serve`].
 pub struct Server {
     shared: Arc<Shared>,
     listeners: Vec<Listener>,
@@ -271,8 +352,14 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
             drain: AtomicBool::new(false),
+            completions: Mutex::new(Vec::new()),
+            #[cfg(unix)]
+            wake: sys::WakePipe::new()?,
             in_flight: AtomicUsize::new(0),
             connections: AtomicU64::new(0),
+            open_conns: AtomicUsize::new(0),
+            conns_refused: AtomicU64::new(0),
+            setup_failures: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             jobs_ok: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
@@ -293,9 +380,10 @@ impl Server {
         self.tcp_addrs.first().copied()
     }
 
-    /// Runs the service until drained: spawns the worker pool, accepts
-    /// connections, and on drain joins every connection and worker
-    /// thread before returning.
+    /// Runs the service until drained: spawns the worker pool, runs the
+    /// readiness loop on the calling thread, and on drain joins every
+    /// worker before returning.
+    #[cfg(unix)]
     pub fn serve(self) -> io::Result<()> {
         let mut worker_handles = Vec::new();
         for w in 0..self.shared.cfg.workers {
@@ -307,38 +395,11 @@ impl Server {
             );
         }
 
-        let mut conn_handles: Vec<thread::JoinHandle<()>> = Vec::new();
-        while !self.shared.draining() {
-            let mut accepted_any = false;
-            for l in &self.listeners {
-                match accept_one(l) {
-                    Ok(Some(stream)) => {
-                        accepted_any = true;
-                        let shared = Arc::clone(&self.shared);
-                        shared.connections.fetch_add(1, Ordering::Relaxed);
-                        conn_handles.push(
-                            thread::Builder::new()
-                                .name("scc-serve-conn".to_string())
-                                .spawn(move || handle_connection(&shared, stream))?,
-                        );
-                    }
-                    Ok(None) => {}
-                    Err(e) => eprintln!("scc-serve: accept error: {e}"),
-                }
-            }
-            // Reap finished connection handlers so a long-lived server
-            // does not accumulate join handles.
-            conn_handles.retain(|h| !h.is_finished());
-            if !accepted_any {
-                thread::sleep(ACCEPT_POLL);
-            }
-        }
+        let loop_result = event_loop(&self.shared, &self.listeners);
 
-        // Draining: connections notice via their read timeout and exit;
-        // workers exit once the queue is empty.
-        for h in conn_handles {
-            let _ = h.join();
-        }
+        // The loop only exits in drain (or on a fatal poll error, in
+        // which case we still drain so workers exit).
+        self.handle().drain();
         for h in worker_handles {
             let _ = h.join();
         }
@@ -351,19 +412,222 @@ impl Server {
             }
         }
         for l in &self.listeners {
-            #[cfg(unix)]
             if let Listener::Unix(_, path) = l {
                 let _ = std::fs::remove_file(path);
             }
-            #[cfg(not(unix))]
-            let _ = l;
         }
         let m = self.shared.metrics();
         eprintln!("scc-serve: drained; final {}", metrics_object(&m));
-        Ok(())
+        loop_result
+    }
+
+    /// The readiness loop multiplexes raw fds via `poll(2)`, which this
+    /// build target does not provide.
+    #[cfg(not(unix))]
+    pub fn serve(self) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "scc-serve's readiness loop requires a Unix-like OS",
+        ))
     }
 }
 
+/// The single I/O thread: accept, parse, enqueue, deliver completions,
+/// drain — all over one `poll(2)` set.
+#[cfg(unix)]
+fn event_loop(shared: &Arc<Shared>, listeners: &[Listener]) -> io::Result<()> {
+    let mut conns: HashMap<u64, Conn<Stream>> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut drain_started: Option<Instant> = None;
+    // After an accept error (e.g. fd exhaustion), stop polling the
+    // listeners briefly instead of spinning on an always-ready backlog.
+    let mut accept_backoff_until: Option<Instant> = None;
+
+    loop {
+        let draining = shared.draining();
+        if draining {
+            let started = *drain_started.get_or_insert_with(Instant::now);
+            sweep_for_drain(shared, &mut conns);
+            if started.elapsed() > DRAIN_GRACE && !conns.is_empty() {
+                // The grace backstop is for clients that will not read
+                // their last response — never for connections still
+                // owed an in-flight job's reply; those get a fresh
+                // grace window once the reply is delivered.
+                let lingering: Vec<u64> = conns
+                    .iter()
+                    .filter(|(_, c)| !c.awaiting_job())
+                    .map(|(tok, _)| *tok)
+                    .collect();
+                if !lingering.is_empty() {
+                    eprintln!(
+                        "scc-serve: drain grace expired; force-closing {} connections",
+                        lingering.len()
+                    );
+                    for tok in lingering {
+                        conns.remove(&tok);
+                        shared.open_conns.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                drain_started = Some(Instant::now());
+            }
+            if conns.is_empty() {
+                return Ok(());
+            }
+        }
+
+        // Build the poll set: wake pipe, listeners, then connections.
+        let accepting = !draining
+            && accept_backoff_until.is_none_or(|t| Instant::now() >= t)
+            && conns.len() < shared.cfg.max_conns.saturating_add(64);
+        let mut fds = Vec::with_capacity(1 + listeners.len() + conns.len());
+        fds.push(sys::PollFd::new(shared.wake.read_fd(), sys::POLLIN));
+        let listener_base = fds.len();
+        for l in listeners {
+            // A negative fd tells poll(2) to skip the entry, which is
+            // how accepting is paused without rebuilding the set.
+            let fd = if accepting { l.raw_fd() } else { -1 };
+            fds.push(sys::PollFd::new(fd, sys::POLLIN));
+        }
+        let conn_base = fds.len();
+        let mut tokens = Vec::with_capacity(conns.len());
+        for (tok, c) in &conns {
+            let (r, w) = c.wants();
+            let mut events = 0;
+            if r {
+                events |= sys::POLLIN;
+            }
+            if w {
+                events |= sys::POLLOUT;
+            }
+            // Entries with an empty interest set still report
+            // POLLERR/POLLHUP, so a vanished peer wakes the loop even
+            // while its job runs.
+            fds.push(sys::PollFd::new(c.stream().as_raw_fd(), events));
+            tokens.push(*tok);
+        }
+
+        sys::poll_fds(&mut fds, POLL_TIMEOUT_MS)?;
+
+        if fds[0].revents != 0 {
+            shared.wake.drain();
+        }
+        deliver_completions(shared, &mut conns);
+
+        for (i, l) in listeners.iter().enumerate() {
+            if fds[listener_base + i].revents & sys::POLLIN != 0 {
+                if let Err(e) = accept_all(shared, l, &mut conns, &mut next_token) {
+                    eprintln!("scc-serve: accept error: {e}");
+                    accept_backoff_until = Some(Instant::now() + Duration::from_millis(50));
+                }
+            }
+        }
+
+        for (i, tok) in tokens.iter().enumerate() {
+            let revents = fds[conn_base + i].revents;
+            if revents == 0 {
+                continue;
+            }
+            // The completion pass above may already have closed it.
+            let Some(c) = conns.get_mut(tok) else { continue };
+            let mut cb = |line: &str| handle_frame(shared, line, *tok);
+            let status = if revents & sys::POLLNVAL != 0 {
+                ConnStatus::Closed
+            } else if revents & (sys::POLLIN | sys::POLLHUP | sys::POLLERR) != 0 {
+                // Errors and hangups surface through read(): EOF or a
+                // hard error, each with its defined close semantics.
+                c.on_readable(&mut cb)
+            } else {
+                c.on_writable(&mut cb)
+            };
+            if status == ConnStatus::Closed {
+                conns.remove(tok);
+                shared.open_conns.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Routes every finished job's response to its connection's writer.
+#[cfg(unix)]
+fn deliver_completions(shared: &Arc<Shared>, conns: &mut HashMap<u64, Conn<Stream>>) {
+    let completions =
+        std::mem::take(&mut *shared.completions.lock().unwrap_or_else(|p| p.into_inner()));
+    for comp in completions {
+        // A connection that died mid-job simply loses its response;
+        // the job itself ran (and populated the cache) regardless.
+        let Some(c) = conns.get_mut(&comp.token) else { continue };
+        let mut cb = |line: &str| handle_frame(shared, line, comp.token);
+        if c.complete_job(&comp.reply, &mut cb) == ConnStatus::Closed {
+            conns.remove(&comp.token);
+            shared.open_conns.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Drain sweep: idle connections close (after flushing), connections
+/// with an outstanding job are left for their completion to finish.
+#[cfg(unix)]
+fn sweep_for_drain(shared: &Arc<Shared>, conns: &mut HashMap<u64, Conn<Stream>>) {
+    let mut closed = Vec::new();
+    for (tok, c) in conns.iter_mut() {
+        if c.awaiting_job() {
+            continue;
+        }
+        c.begin_drain();
+        let mut cb = |line: &str| handle_frame(shared, line, *tok);
+        if c.on_writable(&mut cb) == ConnStatus::Closed {
+            closed.push(*tok);
+        }
+    }
+    for tok in closed {
+        conns.remove(&tok);
+        shared.open_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Accepts until `WouldBlock`, applying admission control and forcing
+/// every admitted stream nonblocking.
+#[cfg(unix)]
+fn accept_all(
+    shared: &Arc<Shared>,
+    l: &Listener,
+    conns: &mut HashMap<u64, Conn<Stream>>,
+    next_token: &mut u64,
+) -> io::Result<()> {
+    loop {
+        let Some(mut stream) = accept_one(l)? else { return Ok(()) };
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        if conns.len() >= shared.cfg.max_conns {
+            shared.conns_refused.fetch_add(1, Ordering::Relaxed);
+            // Best-effort rejection frame; a full socket buffer on a
+            // brand-new connection is not worth waiting for.
+            let queued = shared.queue.lock().unwrap_or_else(|p| p.into_inner()).len();
+            let r = error_response(
+                None,
+                "over_capacity",
+                &format!("connection limit {} reached", shared.cfg.max_conns),
+                Some(shared.retry_after_ms(queued)),
+            );
+            let _ = stream.set_nonblocking(true);
+            let _ = stream.write(r.as_bytes());
+            continue;
+        }
+        // A blocking socket in a readiness loop would wedge every
+        // other connection on the first short read; if nonblocking
+        // setup fails the connection must die, not degrade.
+        if let Err(e) = stream.set_nonblocking(true) {
+            shared.setup_failures.fetch_add(1, Ordering::Relaxed);
+            eprintln!("scc-serve: set_nonblocking failed on accepted connection: {e}");
+            continue;
+        }
+        let token = *next_token;
+        *next_token += 1;
+        shared.open_conns.fetch_add(1, Ordering::Relaxed);
+        conns.insert(token, Conn::new(stream, MAX_FRAME_BYTES));
+    }
+}
+
+#[cfg(unix)]
 fn accept_one(l: &Listener) -> io::Result<Option<Stream>> {
     let would_block = |e: &io::Error| e.kind() == io::ErrorKind::WouldBlock;
     match l {
@@ -372,7 +636,6 @@ fn accept_one(l: &Listener) -> io::Result<Option<Stream>> {
             Err(e) if would_block(&e) => Ok(None),
             Err(e) => Err(e),
         },
-        #[cfg(unix)]
         Listener::Unix(l, _) => match l.accept() {
             Ok((s, _)) => Ok(Some(Stream::Unix(s))),
             Err(e) if would_block(&e) => Ok(None),
@@ -381,57 +644,26 @@ fn accept_one(l: &Listener) -> io::Result<Option<Stream>> {
     }
 }
 
-/// One connection: frame requests, answer them strictly in order.
-fn handle_connection(shared: &Shared, mut stream: Stream) {
-    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
-        return;
-    }
-    let mut reader = FrameReader::new(MAX_FRAME_BYTES);
-    loop {
-        if shared.draining() {
-            return;
-        }
-        let reply = match reader.poll_line(&mut stream) {
-            Poll::TimedOut => continue,
-            Poll::Eof | Poll::Err(_) => return,
-            Poll::Oversized => {
-                // The stream is now mid-frame; answer and hang up.
-                let r = error_response(
-                    None,
-                    "oversized_frame",
-                    &format!("frame exceeds {MAX_FRAME_BYTES} bytes"),
-                    None,
-                );
-                let _ = stream.write_all(r.as_bytes());
-                return;
-            }
-            Poll::BadUtf8 => {
-                error_response(None, "bad_frame", "frame is not valid UTF-8", None)
-            }
-            Poll::Line(line) => handle_frame(shared, &line),
-        };
-        if stream.write_all(reply.as_bytes()).and_then(|()| stream.flush()).is_err() {
-            return;
-        }
-    }
-}
-
-/// Parses and executes one request frame, returning the response frame.
-fn handle_frame(shared: &Shared, line: &str) -> String {
+/// Parses and dispatches one request frame: most verbs are answered
+/// inline; a valid `run` is enqueued and answered later through the
+/// completion path.
+fn handle_frame(shared: &Shared, line: &str, token: u64) -> FrameDisposition {
+    use FrameDisposition::Reply;
     shared.requests.fetch_add(1, Ordering::Relaxed);
     let req = match parse_request(line) {
         Ok(r) => r,
-        Err(e) => return error_response(e.id.as_deref(), e.kind, &e.message, None),
+        Err(e) => return Reply(error_response(e.id.as_deref(), e.kind, &e.message, None)),
     };
     match req {
         Request::Health => {
             let status = if shared.draining() { "draining" } else { "ok" };
-            format!("{{\"ok\":true,\"status\":\"{status}\"}}\n")
+            Reply(format!("{{\"ok\":true,\"status\":\"{status}\"}}\n"))
         }
-        Request::Stats => {
-            format!("{{\"ok\":true,\"stats\":{}}}\n", metrics_object(&shared.metrics()))
-        }
-        Request::Persist => match shared.store() {
+        Request::Stats => Reply(format!(
+            "{{\"ok\":true,\"stats\":{}}}\n",
+            metrics_object(&shared.metrics())
+        )),
+        Request::Persist => Reply(match shared.store() {
             Some(tier) => match tier.flush() {
                 Ok(()) => format!(
                     "{{\"ok\":true,\"status\":\"persisted\",\"writes\":{}}}\n",
@@ -442,8 +674,8 @@ fn handle_frame(shared: &Shared, line: &str) -> String {
                 }
             },
             None => store_unavailable(shared),
-        },
-        Request::Warm => match shared.store() {
+        }),
+        Request::Warm => Reply(match shared.store() {
             Some(tier) => match tier.warm_into_cache() {
                 Ok(n) => format!("{{\"ok\":true,\"status\":\"warmed\",\"entries\":{n}}}\n"),
                 Err(e) => {
@@ -451,14 +683,14 @@ fn handle_frame(shared: &Shared, line: &str) -> String {
                 }
             },
             None => store_unavailable(shared),
-        },
+        }),
         Request::Shutdown => {
             let _guard = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
             shared.drain.store(true, Ordering::SeqCst);
             shared.work_ready.notify_all();
-            "{\"ok\":true,\"status\":\"draining\"}\n".to_string()
+            Reply("{\"ok\":true,\"status\":\"draining\"}\n".to_string())
         }
-        Request::Run(run) => submit_run(shared, run),
+        Request::Run(run) => submit_run(shared, run, token),
     }
 }
 
@@ -473,56 +705,49 @@ fn store_unavailable(shared: &Shared) -> String {
     error_response(None, "store_unavailable", message, None)
 }
 
-/// Validates, enqueues, and awaits one `run` request.
-fn submit_run(shared: &Shared, req: RunRequest) -> String {
+/// Validates and enqueues one `run` request; the response arrives via
+/// the completion path once a worker finishes it.
+fn submit_run(shared: &Shared, req: RunRequest, token: u64) -> FrameDisposition {
+    use FrameDisposition::{JobQueued, Reply};
     let id = req.id.clone();
     // Validate the workload name before spending a queue slot, so a
     // typo never occupies capacity.
     if let Err(e) = resolve_workload(&req.workload, Scale::custom(req.iters)) {
         shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
-        return error_response(id.as_deref(), e.kind(), &e.to_string(), None);
+        return Reply(error_response(id.as_deref(), e.kind(), &e.to_string(), None));
     }
     let deadline = req.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
-    let (tx, rx) = mpsc::channel();
     {
         let mut q = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
         // Checked under the lock: drain is only ever set under this
         // lock, so seeing `false` here guarantees workers will still
         // observe this enqueue before exiting.
         if shared.draining() {
-            return error_response(
+            return Reply(error_response(
                 id.as_deref(),
                 "draining",
                 "server is draining; submit to another instance",
                 None,
-            );
+            ));
         }
         if q.len() >= shared.cfg.queue_depth {
             shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
             let hint = shared.retry_after_ms(q.len());
-            return error_response(
+            return Reply(error_response(
                 id.as_deref(),
                 "queue_full",
                 &format!("queue at capacity ({})", shared.cfg.queue_depth),
                 Some(hint),
-            );
+            ));
         }
-        q.push_back(QueuedJob { req, deadline, resp: tx });
+        q.push_back(QueuedJob { req, deadline, token });
     }
     shared.work_ready.notify_one();
-    match rx.recv() {
-        Ok(reply) => reply,
-        Err(_) => {
-            // The worker dropped the sender without replying — only
-            // possible if job execution panicked outside the unwind
-            // guard.
-            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            error_response(id.as_deref(), "internal_error", "job worker failed", None)
-        }
-    }
+    JobQueued
 }
 
-/// Worker: pop → execute → reply, until drained and the queue is empty.
+/// Worker: pop → execute → hand the response to the I/O thread, until
+/// drained and the queue is empty.
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
@@ -558,7 +783,7 @@ fn worker_loop(shared: &Shared) {
         });
         shared.observe_job_time(started.elapsed());
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-        let _ = qj.resp.send(reply);
+        shared.complete(qj.token, reply);
     }
 }
 
@@ -591,5 +816,61 @@ fn execute_job(shared: &Shared, qj: &QueuedJob) -> String {
             shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
             error_response(id, e.kind(), &e.to_string(), None)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_shared() -> Arc<Shared> {
+        let server =
+            Server::bind(&[Addr::Tcp("127.0.0.1:0".to_string())], ServerConfig::default())
+                .expect("bind");
+        Arc::clone(&server.shared)
+    }
+
+    #[test]
+    fn retry_hint_saturates_and_is_capped_at_the_extremes() {
+        let shared = test_shared();
+        // Pathological: a saturated EWMA, a huge backlog, and maximal
+        // in-flight — the product would overflow u64 many times over,
+        // and the naive hint would be centuries. The hint must be the
+        // cap, not a wrapped or absurd value.
+        shared.avg_job_us.store(u64::MAX, Ordering::Relaxed);
+        shared.in_flight.store(usize::MAX, Ordering::SeqCst);
+        assert_eq!(shared.retry_after_ms(usize::MAX), RETRY_AFTER_CAP_MS);
+        // A deep-but-real backlog of slow jobs also lands on the cap
+        // rather than a multi-hour sleep: 10k queued × 30 s jobs.
+        shared.in_flight.store(0, Ordering::SeqCst);
+        shared.avg_job_us.store(30_000_000, Ordering::Relaxed);
+        assert_eq!(shared.retry_after_ms(10_000), RETRY_AFTER_CAP_MS);
+    }
+
+    #[test]
+    fn retry_hint_keeps_its_floor_on_an_idle_server() {
+        let shared = test_shared();
+        shared.avg_job_us.store(0, Ordering::Relaxed);
+        assert!(shared.retry_after_ms(0) >= 10);
+    }
+
+    #[test]
+    fn retry_hint_tracks_a_sane_backlog_proportionally() {
+        let shared = test_shared();
+        // 1 ms jobs, backlog of (queued + in-flight + 1) over the pool.
+        shared.avg_job_us.store(1_000, Ordering::Relaxed);
+        let workers = shared.cfg.workers as u64;
+        let hint = shared.retry_after_ms(2 * shared.cfg.workers);
+        // Roughly (2W + 1) ms / W workers ≈ 2-3 ms, floored at 10.
+        assert!(hint >= 10 && hint <= 10.max(3 * workers), "hint = {hint}");
+    }
+
+    #[test]
+    fn job_time_ewma_accepts_extreme_samples() {
+        let shared = test_shared();
+        shared.observe_job_time(Duration::from_secs(u64::MAX / 2_000_000));
+        shared.observe_job_time(Duration::from_micros(1));
+        // No panic, and the hint still respects the cap.
+        assert!(shared.retry_after_ms(1_000_000) <= RETRY_AFTER_CAP_MS);
     }
 }

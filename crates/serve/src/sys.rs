@@ -1,0 +1,241 @@
+//! Minimal Unix syscall shim for the readiness loop: `poll(2)`, a
+//! nonblocking self-wake pipe, and an `RLIMIT_NOFILE` raiser.
+//!
+//! The repo's zero-registry-dependency rule means no `libc` crate, so
+//! this module declares exactly the handful of POSIX symbols the event
+//! loop needs (the same idiom as `serve::signal`'s raw `signal(2)`
+//! declaration). Everything here is `#[cfg(unix)]`; non-Unix targets
+//! get no readiness loop (see [`crate::server`]).
+
+#![cfg(unix)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// Readable readiness (data, EOF, or a pending accept).
+pub const POLLIN: i16 = 0x001;
+/// Writable readiness (socket buffer has room again).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (always polled, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hang-up (always polled, never requested).
+pub const POLLHUP: i16 = 0x010;
+/// The fd was not open — a bookkeeping bug if it ever fires.
+pub const POLLNVAL: i16 = 0x020;
+
+/// `struct pollfd` as `poll(2)` expects it.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The file descriptor to watch (negative entries are ignored by
+    /// the kernel, which is how parked connections are skipped without
+    /// rebuilding the array).
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A watch entry for `fd` with the given interest set.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd { fd, events, revents: 0 }
+    }
+}
+
+#[cfg(target_os = "linux")]
+type NfdsT = u64;
+#[cfg(not(target_os = "linux"))]
+type NfdsT = u32;
+
+#[cfg(any(target_os = "macos", target_os = "ios"))]
+const O_NONBLOCK: i32 = 0x0004;
+#[cfg(not(any(target_os = "macos", target_os = "ios")))]
+const O_NONBLOCK: i32 = 0x0800;
+
+#[cfg(any(target_os = "macos", target_os = "ios"))]
+const RLIMIT_NOFILE: i32 = 8;
+#[cfg(not(any(target_os = "macos", target_os = "ios")))]
+const RLIMIT_NOFILE: i32 = 7;
+
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+
+#[repr(C)]
+struct RLimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: i32) -> i32;
+    fn pipe(fds: *mut RawFd) -> i32;
+    fn fcntl(fd: RawFd, cmd: i32, arg: i32) -> i32;
+    fn read(fd: RawFd, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: RawFd, buf: *const u8, count: usize) -> isize;
+    fn close(fd: RawFd) -> i32;
+    fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+}
+
+/// Blocks until at least one fd in `fds` is ready or `timeout_ms`
+/// elapses. Returns the number of entries with nonzero `revents`; an
+/// interrupted wait (`EINTR`) reports as zero ready fds so callers
+/// simply re-enter their loop.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+    if rc >= 0 {
+        return Ok(rc as usize);
+    }
+    let err = io::Error::last_os_error();
+    if err.kind() == io::ErrorKind::Interrupted {
+        return Ok(0);
+    }
+    Err(err)
+}
+
+fn set_nonblocking_fd(fd: RawFd) -> io::Result<()> {
+    let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// A nonblocking self-wake pipe: worker threads [`WakePipe::wake`] it
+/// when a completed job needs the I/O thread to re-arm a writer, and
+/// the I/O thread polls the read end alongside every socket.
+pub struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl WakePipe {
+    /// Creates the pipe with both ends nonblocking (a full pipe on
+    /// `wake` just means a wakeup is already pending).
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds: [RawFd; 2] = [-1, -1];
+        if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let p = WakePipe { read_fd: fds[0], write_fd: fds[1] };
+        set_nonblocking_fd(p.read_fd)?;
+        set_nonblocking_fd(p.write_fd)?;
+        Ok(p)
+    }
+
+    /// The end the event loop watches with `POLLIN`.
+    pub fn read_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Nudges the event loop. Safe from any thread; a full pipe or an
+    /// interrupted write is fine — one pending byte is all a wakeup
+    /// needs.
+    pub fn wake(&self) {
+        let byte = [1u8];
+        loop {
+            let rc = unsafe { write(self.write_fd, byte.as_ptr(), 1) };
+            if rc >= 0 {
+                return;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            // WouldBlock: the pipe already holds an undrained wakeup.
+            return;
+        }
+    }
+
+    /// Drains every pending wakeup byte (called once per loop
+    /// iteration when the read end polls readable).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let rc = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if rc <= 0 {
+                let err = io::Error::last_os_error();
+                if rc < 0 && err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+// Worker threads wake the pipe while the I/O thread polls it; both
+// operations are plain fd syscalls with no shared Rust state.
+unsafe impl Send for WakePipe {}
+unsafe impl Sync for WakePipe {}
+
+/// Raises the soft `RLIMIT_NOFILE` to the hard limit, returning the
+/// resulting soft limit. A multiplexing server's connection ceiling is
+/// its fd budget, so the binary calls this at startup; failure is
+/// reported, not fatal (the admission cap still bounds usage).
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    let mut lim = RLimit { rlim_cur: 0, rlim_max: 0 };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.rlim_cur < lim.rlim_max {
+        let want = RLimit { rlim_cur: lim.rlim_max, rlim_max: lim.rlim_max };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &want) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        lim.rlim_cur = lim.rlim_max;
+    }
+    Ok(lim.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_pipe_round_trips_and_coalesces() {
+        let p = WakePipe::new().unwrap();
+        // Nothing pending: poll times out immediately.
+        let mut fds = [PollFd::new(p.read_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        // Many wakes coalesce into one readable edge.
+        for _ in 0..100 {
+            p.wake();
+        }
+        let mut fds = [PollFd::new(p.read_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].revents & POLLIN != 0);
+        p.drain();
+        let mut fds = [PollFd::new(p.read_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn negative_fds_are_ignored() {
+        let mut fds = [PollFd::new(-1, POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        assert_eq!(fds[0].revents, 0);
+    }
+
+    #[test]
+    fn nofile_limit_is_at_its_hard_ceiling_after_raising() {
+        let n = raise_nofile_limit().unwrap();
+        assert!(n >= 256, "suspiciously low fd limit: {n}");
+        // Idempotent.
+        assert_eq!(raise_nofile_limit().unwrap(), n);
+    }
+}

@@ -59,6 +59,8 @@ fn mix(addr: Addr) -> LoadConfig {
         level: "full-scc".to_string(),
         deadline_ms: None,
         distinct: 4,
+        idle_conns: 0,
+        sweep: Vec::new(),
     }
 }
 
