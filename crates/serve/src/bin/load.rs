@@ -1,14 +1,21 @@
-//! `scc-load` — drive an `scc-serve` instance with concurrent
-//! connections and summarize throughput/latency/cache behavior.
+//! `scc-load` — drive an `scc-serve` instance (or a whole sharded
+//! topology) with concurrent connections and summarize
+//! throughput/latency/cache behavior.
 //!
 //! ```text
 //! scc-load --connect tcp:HOST:PORT|unix:PATH
 //!          [--conns N] [--requests N] [--workload NAME] [--iters N]
 //!          [--level LABEL] [--deadline-ms N] [--distinct N]
 //!          [--idle-conns N] [--sweep N,N,...]
+//!          [--stats-addr ADDR]...
 //!          [--out results/BENCH_serve.json]
 //!          [--store-out results/BENCH_store.json] [--min-warm-rate R]
 //!          [--shutdown]
+//!
+//! scc-load --shards 1,2,4 [--spawn-dir DIR]
+//!          [--serve-bin PATH] [--route-bin PATH]
+//!          [--shard-workers N] [--upstream-conns N]
+//!          [load flags as above] [--out results/BENCH_serve.json]
 //! ```
 //!
 //! `--idle-conns` is the high-connection mode: that many verified idle
@@ -16,6 +23,19 @@
 //! at the end; a dead one counts as an error). `--sweep 8,64,256` runs
 //! one hot phase per count so `results/BENCH_serve.json` records
 //! throughput and p50/p95/p99 per connection count.
+//!
+//! `--shards` is the multi-process scaling mode: for each count, N
+//! `scc-serve` shard processes plus one `scc-route` router are spawned
+//! over Unix sockets in `--spawn-dir`, the load runs through the
+//! router, per-shard throughput is recorded, and the tree is drained
+//! with one `shutdown`. The binaries default to siblings of `scc-load`
+//! itself. The resulting document is schema v3 with `mode: "scaling"`
+//! and one `topologies` entry per shard count.
+//!
+//! `--stats-addr` points counter reads somewhere other than
+//! `--connect` — when driving a router directly, list the shard
+//! addresses so cache hit rates come from the shards (the router has
+//! no cache of its own). The scaling mode wires this automatically.
 //!
 //! `--store-out` writes the persistent-store report for a
 //! restart-and-replay measurement: run a mix against a `--store-dir`
@@ -27,8 +47,8 @@
 //! because the run never probed the store).
 //!
 //! Exits non-zero if any request ends in a non-retryable error
-//! (`queue_full` rejections are retried after the server's hint and do
-//! not fail the run).
+//! (`queue_full` and `shard_unavailable` rejections are retried after
+//! the server's hint and do not fail the run).
 
 use std::process::ExitCode;
 
@@ -39,8 +59,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: scc-load --connect ADDR [--conns N] [--requests N] [--workload NAME] \
          [--iters N] [--level LABEL] [--deadline-ms N] [--distinct N] \
-         [--idle-conns N] [--sweep N,N,...] [--out FILE] \
-         [--store-out FILE] [--min-warm-rate R] [--shutdown]"
+         [--idle-conns N] [--sweep N,N,...] [--stats-addr ADDR]... [--out FILE] \
+         [--store-out FILE] [--min-warm-rate R] [--shutdown]\n\
+       or: scc-load --shards N,N,... [--spawn-dir DIR] [--serve-bin PATH] \
+         [--route-bin PATH] [--shard-workers N] [--upstream-conns N] \
+         [load flags] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -51,12 +74,21 @@ struct Args {
     store_out: Option<String>,
     min_warm_rate: Option<f64>,
     shutdown: bool,
+    /// Shard counts for the multi-process scaling mode; empty means
+    /// the classic single-target mode.
+    shards: Vec<usize>,
+    spawn_dir: Option<String>,
+    serve_bin: Option<String>,
+    route_bin: Option<String>,
+    shard_workers: usize,
+    upstream_conns: usize,
 }
 
 fn parse_args() -> Args {
     let mut addr = None;
     let mut cfg = LoadConfig {
         addr: Addr::Tcp(String::new()),
+        stats_addrs: Vec::new(),
         conns: 8,
         requests_per_conn: 8,
         workload: "freqmine".to_string(),
@@ -71,6 +103,12 @@ fn parse_args() -> Args {
     let mut store_out = None;
     let mut min_warm_rate = None;
     let mut shutdown = false;
+    let mut shards = Vec::new();
+    let mut spawn_dir = None;
+    let mut serve_bin = None;
+    let mut route_bin = None;
+    let mut shard_workers = 2;
+    let mut upstream_conns = 4;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |what: &str| match args.next() {
@@ -80,9 +118,26 @@ fn parse_args() -> Args {
                 usage();
             }
         };
+        let parse_counts = |what: &str, v: String| -> Vec<usize> {
+            let parsed: Result<Vec<usize>, _> = v.split(',').map(|s| s.trim().parse()).collect();
+            match parsed {
+                Ok(v) if !v.is_empty() && v.iter().all(|&n| n >= 1) => v,
+                _ => {
+                    eprintln!("scc-load: {what} wants a comma-separated list of counts >= 1");
+                    usage();
+                }
+            }
+        };
         match arg.as_str() {
             "--connect" => match Addr::parse(&value("--connect")) {
                 Ok(a) => addr = Some(a),
+                Err(e) => {
+                    eprintln!("scc-load: {e}");
+                    usage();
+                }
+            },
+            "--stats-addr" => match Addr::parse(&value("--stats-addr")) {
+                Ok(a) => cfg.stats_addrs.push(a),
                 Err(e) => {
                     eprintln!("scc-load: {e}");
                     usage();
@@ -114,14 +169,19 @@ fn parse_args() -> Args {
                 Ok(n) => cfg.idle_conns = n,
                 _ => usage(),
             },
-            "--sweep" => {
-                let parsed: Result<Vec<usize>, _> =
-                    value("--sweep").split(',').map(|s| s.trim().parse()).collect();
-                match parsed {
-                    Ok(v) if !v.is_empty() && v.iter().all(|&n| n >= 1) => cfg.sweep = v,
-                    _ => usage(),
-                }
-            }
+            "--sweep" => cfg.sweep = parse_counts("--sweep", value("--sweep")),
+            "--shards" => shards = parse_counts("--shards", value("--shards")),
+            "--spawn-dir" => spawn_dir = Some(value("--spawn-dir")),
+            "--serve-bin" => serve_bin = Some(value("--serve-bin")),
+            "--route-bin" => route_bin = Some(value("--route-bin")),
+            "--shard-workers" => match value("--shard-workers").parse() {
+                Ok(n) if n >= 1 => shard_workers = n,
+                _ => usage(),
+            },
+            "--upstream-conns" => match value("--upstream-conns").parse() {
+                Ok(n) if n >= 1 => upstream_conns = n,
+                _ => usage(),
+            },
             "--out" => out = Some(value("--out")),
             "--store-out" => store_out = Some(value("--store-out")),
             "--min-warm-rate" => match value("--min-warm-rate").parse::<f64>() {
@@ -136,12 +196,26 @@ fn parse_args() -> Args {
             }
         }
     }
-    let Some(addr) = addr else {
-        eprintln!("scc-load: --connect is required");
-        usage();
-    };
-    cfg.addr = addr;
-    Args { cfg, out, store_out, min_warm_rate, shutdown }
+    if shards.is_empty() {
+        let Some(addr) = addr else {
+            eprintln!("scc-load: --connect is required (or --shards for the scaling mode)");
+            usage();
+        };
+        cfg.addr = addr;
+    }
+    Args {
+        cfg,
+        out,
+        store_out,
+        min_warm_rate,
+        shutdown,
+        shards,
+        spawn_dir,
+        serve_bin,
+        route_bin,
+        shard_workers,
+        upstream_conns,
+    }
 }
 
 fn write_doc(path: &str, doc: &str) -> bool {
@@ -156,8 +230,72 @@ fn write_doc(path: &str, doc: &str) -> bool {
     true
 }
 
+/// The `--shards` scaling mode: spawn each topology, run the load
+/// through its router, emit the schema-v3 scaling document.
+#[cfg(unix)]
+fn run_scaling(args: &Args) -> ExitCode {
+    use scc_serve::loadgen::scaling_bench_json;
+    use scc_serve::spawn::{run_scaling_sweep, sibling_binary, SpawnConfig};
+
+    let resolve = |explicit: &Option<String>, name: &str| match explicit {
+        Some(p) => Ok(std::path::PathBuf::from(p)),
+        None => sibling_binary(name),
+    };
+    let (serve_bin, route_bin) = match (
+        resolve(&args.serve_bin, "scc-serve"),
+        resolve(&args.route_bin, "scc-route"),
+    ) {
+        (Ok(s), Ok(r)) => (s, r),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("scc-load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dir = match &args.spawn_dir {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("scc-load-{}", std::process::id())),
+    };
+    let spawn = SpawnConfig {
+        shards: 1,
+        dir,
+        serve_bin,
+        route_bin,
+        shard_workers: args.shard_workers,
+        upstream_conns: args.upstream_conns,
+    };
+    let topologies = match run_scaling_sweep(&args.cfg, &spawn, &args.shards) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("scc-load: scaling sweep: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = scaling_bench_json(&topologies);
+    print!("{doc}");
+    if let Some(path) = &args.out {
+        if !write_doc(path, &doc) {
+            return ExitCode::FAILURE;
+        }
+    }
+    let errors: u64 = topologies.iter().map(|t| t.report.errors).sum();
+    if errors > 0 {
+        eprintln!("scc-load: {errors} requests failed across the sweep");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(not(unix))]
+fn run_scaling(_args: &Args) -> ExitCode {
+    eprintln!("scc-load: --shards needs Unix sockets; unavailable on this platform");
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+    if !args.shards.is_empty() {
+        return run_scaling(&args);
+    }
     let report = match run(&args.cfg) {
         Ok(r) => r,
         Err(e) => {

@@ -1,0 +1,150 @@
+//! `scc-route` — consistent-hash shard router for `scc-serve`.
+//!
+//! ```text
+//! scc-route --shard ADDR [--shard ADDR]...
+//!           [--listen tcp:HOST:PORT | --listen unix:PATH]...
+//!           [--upstream-conns N] [--max-conns N] [--max-cycles N]
+//! ```
+//!
+//! Clients connect to the router exactly as they would to a shard; each
+//! `run` request is hashed on its canonical job key and forwarded
+//! verbatim to the owning backend, so responses are byte-identical to
+//! direct shard (and direct in-process) execution. Shard order on the
+//! command line is the ring identity — keep it stable across restarts
+//! or every shard's cache locality resets.
+//!
+//! `--max-cycles` must match the shards' own cap: the key the router
+//! hashes embeds the clamped cycle budget. SIGTERM/SIGINT (or the
+//! `shutdown` verb) drains the router and propagates `shutdown` to
+//! every reachable shard, so one signal winds down the whole topology.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use scc_serve::route::{Router, RouterConfig};
+use scc_serve::{signal, Addr};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scc-route --shard ADDR [--shard ADDR]... \
+         [--listen tcp:HOST:PORT|unix:PATH]... [--upstream-conns N] \
+         [--max-conns N] [--max-cycles N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (Vec<Addr>, RouterConfig) {
+    let mut addrs = Vec::new();
+    let mut cfg = RouterConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("scc-route: {what} needs a value");
+                usage();
+            }
+        };
+        match arg.as_str() {
+            "--listen" => {
+                let v = value("--listen");
+                match Addr::parse(&v) {
+                    Ok(a) => addrs.push(a),
+                    Err(e) => {
+                        eprintln!("scc-route: {e}");
+                        usage();
+                    }
+                }
+            }
+            "--shard" => {
+                let v = value("--shard");
+                match Addr::parse(&v) {
+                    Ok(a) => cfg.shards.push(a),
+                    Err(e) => {
+                        eprintln!("scc-route: {e}");
+                        usage();
+                    }
+                }
+            }
+            "--upstream-conns" => match value("--upstream-conns").parse() {
+                Ok(n) if n >= 1 => cfg.upstream_conns = n,
+                _ => usage(),
+            },
+            "--max-conns" => match value("--max-conns").parse() {
+                Ok(n) if n >= 1 => cfg.max_conns = n,
+                _ => usage(),
+            },
+            "--max-cycles" => match value("--max-cycles").parse() {
+                Ok(n) if n >= 1 => cfg.max_cycles = n,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("scc-route: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    if cfg.shards.is_empty() {
+        eprintln!("scc-route: at least one --shard is required");
+        usage();
+    }
+    if addrs.is_empty() {
+        addrs.push(Addr::Tcp("127.0.0.1:7879".to_string()));
+    }
+    (addrs, cfg)
+}
+
+fn main() -> ExitCode {
+    let (addrs, cfg) = parse_args();
+    signal::install();
+    #[cfg(unix)]
+    match scc_serve::sys::raise_nofile_limit() {
+        Ok(limit) => eprintln!("scc-route: fd limit {limit}"),
+        Err(e) => eprintln!("scc-route: could not raise fd limit: {e}"),
+    }
+    let router = match Router::bind(&addrs, cfg.clone()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scc-route: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for a in &addrs {
+        eprintln!("scc-route: listening on {a}");
+    }
+    if let Some(tcp) = router.local_tcp_addr() {
+        eprintln!("scc-route: tcp bound at {tcp}");
+    }
+    for (i, s) in cfg.shards.iter().enumerate() {
+        eprintln!("scc-route: shard {i} -> {s}");
+    }
+    eprintln!(
+        "scc-route: {} shards x {} upstream conns, max conns {}, max cycles {}",
+        cfg.shards.len(),
+        cfg.upstream_conns,
+        cfg.max_conns,
+        cfg.max_cycles
+    );
+
+    let handle = router.handle();
+    std::thread::spawn(move || loop {
+        if signal::received() {
+            eprintln!("scc-route: signal received, draining");
+            handle.drain();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+
+    match router.serve() {
+        Ok(()) => {
+            eprintln!("scc-route: drained");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("scc-route: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

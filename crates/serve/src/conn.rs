@@ -29,7 +29,7 @@
 use std::io::{Read, Write};
 
 use crate::frame::{FrameReader, FrameWriter, Poll, WriteStatus};
-use crate::protocol::error_response;
+use crate::protocol::{error_response, ErrorCode, Proto};
 
 /// Pause parsing new frames once this many response bytes are queued
 /// behind a slow reader; parsing resumes when the buffer drains. This
@@ -137,9 +137,13 @@ impl<S: Read + Write> Conn<S> {
                 Poll::Err(_) => return ConnStatus::Closed,
                 Poll::Oversized => {
                     // The stream is mid-frame; recovery is impossible.
+                    // Framing errors predate envelope detection, so they
+                    // are answered in v1 — the envelope every client
+                    // generation understands.
                     let r = error_response(
+                        Proto::V1,
                         None,
-                        "oversized_frame",
+                        ErrorCode::OversizedFrame,
                         &format!("frame exceeds {} bytes", self.max_frame),
                         None,
                     );
@@ -148,7 +152,13 @@ impl<S: Read + Write> Conn<S> {
                     break;
                 }
                 Poll::BadUtf8 => {
-                    let r = error_response(None, "bad_frame", "frame is not valid UTF-8", None);
+                    let r = error_response(
+                        Proto::V1,
+                        None,
+                        ErrorCode::BadFrame,
+                        "frame is not valid UTF-8",
+                        None,
+                    );
                     self.writer.push(&r);
                 }
                 Poll::Line(line) => match on_frame(&line) {

@@ -19,8 +19,15 @@
 //!   short-write-safe writer) with a size cap and a dependency-free
 //!   JSON parser, mirroring the hand-rolled emitters used across the
 //!   workspace;
-//! - [`client`] / [`loadgen`] — a blocking client and the concurrent
-//!   load driver behind `results/BENCH_serve.json`;
+//! - [`ring`] / [`route`] — the consistent-hash ring and the
+//!   `scc-route` shard router: clients connect to the router as if it
+//!   were a shard, each `run` is hashed on its canonical job key and
+//!   forwarded verbatim to the owning backend, and a down shard
+//!   degrades to typed `shard_unavailable` errors with reconnect
+//!   backoff (see `PROTOCOL.md` and `ARCHITECTURE.md` §10);
+//! - [`client`] / [`loadgen`] / [`spawn`] — a blocking client, the
+//!   concurrent load driver behind `results/BENCH_serve.json`, and the
+//!   multi-process topology launcher for router+shard scaling sweeps;
 //! - [`signal`] — the SIGTERM/SIGINT drain hook.
 //!
 //! Everything is std-only: no async runtime, no serde, no signal or
@@ -37,10 +44,14 @@ pub mod json;
 pub mod loadgen;
 pub mod net;
 pub mod protocol;
+pub mod ring;
+pub mod route;
 pub mod server;
 pub mod signal;
+pub mod spawn;
 pub mod sys;
 
 pub use client::Client;
 pub use net::Addr;
+pub use route::{Router, RouterConfig, RouterHandle};
 pub use server::{Server, ServerConfig, ServerHandle};

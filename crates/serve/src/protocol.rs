@@ -1,39 +1,65 @@
-//! The `scc-serve` wire protocol: newline-delimited JSON frames.
+//! The `scc-serve` wire protocol: newline-delimited JSON frames, in
+//! two envelope versions.
 //!
 //! # Grammar
 //!
 //! Every frame is one JSON object on one line (`\n`-terminated, at most
-//! [`MAX_FRAME_BYTES`] bytes). Requests carry a `verb`:
+//! [`MAX_FRAME_BYTES`] bytes). Requests carry a `verb` and, since v2,
+//! a `proto` version field:
 //!
 //! ```text
-//! {"verb":"run","id":"r-1","workload":"freqmine","iters":800,
+//! {"proto":2,"verb":"run","id":"r-1","workload":"freqmine","iters":800,
 //!  "level":"full-scc","deadline_ms":2000,"max_cycles":400000000,
 //!  "audit":false}
-//! {"verb":"stats"}
-//! {"verb":"health"}
-//! {"verb":"persist"}
-//! {"verb":"warm"}
-//! {"verb":"shutdown"}
+//! {"proto":2,"verb":"key","workload":"freqmine","iters":800,"level":"full-scc"}
+//! {"proto":2,"verb":"stats"}
+//! {"proto":2,"verb":"health"}
+//! {"proto":2,"verb":"persist"}
+//! {"proto":2,"verb":"warm"}
+//! {"proto":2,"verb":"shutdown"}
 //! ```
 //!
-//! Responses are one JSON object per request, in request order:
+//! Responses echo the request's protocol version. A v2 response:
 //!
 //! ```text
-//! {"ok":true,"id":"r-1","report":{...}}              // run
-//! {"ok":true,"id":"r-1","report":{...},"audit":[..]} // run with audit
-//! {"ok":false,"id":"r-1","error":{"kind":"queue_full","message":"...",
-//!  "retry_after_ms":120}}                            // any failure
+//! {"ok":true,"proto":2,"id":"r-1","report":{...}}
+//! {"ok":false,"proto":2,"id":"r-1","error":{"code":"queue_full",
+//!  "message":"...","retry_after_ms":120}}
 //! ```
+//!
+//! # Version negotiation
+//!
+//! A frame with no `proto` field (or `"proto":1`) is a **legacy v1**
+//! frame: it is accepted, counted on the `serve.proto.v1_frames`
+//! deprecation counter, and answered with a v1 response — no `proto`
+//! field, and errors carry the machine-readable discriminant under the
+//! legacy `kind` name instead of v2's `code`. `"proto":2` selects the
+//! v2 envelope. Any other value is rejected with `unsupported_proto`
+//! (rendered as v1, the only version both sides are guaranteed to
+//! share). Versions are negotiated **per frame**, not per connection,
+//! so a router can interleave clients of both generations over one
+//! upstream connection.
+//!
+//! # Error codes
+//!
+//! v2 replaces ad-hoc error strings with the closed [`ErrorCode`]
+//! enum. The split that matters operationally is
+//! [`ErrorCode::is_retryable`]: a retryable error (`queue_full`,
+//! `shard_unavailable`, `over_capacity`, `draining`) means *this
+//! request could succeed later or elsewhere* — the deopt-style
+//! recoverable invalidation — while everything else is a hard fault of
+//! the request itself.
 //!
 //! The `report` object is a *pure function of the simulation result* —
 //! no timestamps, no cache provenance — so a response is byte-identical
 //! whether the job was simulated fresh, resolved from the shared cache,
-//! or executed by a direct in-process [`Runner`](scc_sim::Runner). The
-//! regression suite holds the service to that.
+//! executed by a direct in-process [`Runner`](scc_sim::Runner), or
+//! relayed through `scc-route`. The regression suites hold both the
+//! service and the router to that.
 
 use crate::json::{escape, Json};
 use scc_pipeline::{Metric, MetricValue};
-use scc_sim::{OptLevel, SimResult};
+use scc_sim::{OptLevel, SimOptions, SimResult};
 
 /// Hard cap on one request frame. Well above any legitimate request
 /// (a few hundred bytes) and well below anything that could pressure
@@ -46,6 +72,136 @@ pub const MAX_ITERS: i64 = 100_000;
 
 /// Default workload scale when a `run` request omits `iters`.
 pub const DEFAULT_ITERS: i64 = 1000;
+
+/// Wire protocol envelope version of one frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Proto {
+    /// Legacy envelope: no `proto` field, errors keyed by `kind`.
+    /// Accepted for compatibility; counted on `serve.proto.v1_frames`.
+    #[default]
+    V1,
+    /// Current envelope: `proto` echoed on responses, errors carry a
+    /// closed machine-readable `code`.
+    V2,
+}
+
+impl Proto {
+    /// The numeric version carried on the wire.
+    pub fn number(self) -> u64 {
+        match self {
+            Proto::V1 => 1,
+            Proto::V2 => 2,
+        }
+    }
+}
+
+/// The closed set of machine-readable error codes. v1 transported
+/// these as free-form `kind` strings; v2 makes the set explicit so a
+/// router or client can branch on them without string contracts
+/// scattered across the codebase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ErrorCode {
+    /// The frame was not a JSON object (or not valid UTF-8).
+    BadFrame,
+    /// The frame parsed but a field was missing or malformed.
+    BadRequest,
+    /// The `verb` is not part of the protocol.
+    UnknownVerb,
+    /// The frame exceeded [`MAX_FRAME_BYTES`]; the connection closes.
+    OversizedFrame,
+    /// The `proto` field named a version this server does not speak.
+    UnsupportedProto,
+    /// The job queue is at capacity; retry after `retry_after_ms`.
+    QueueFull,
+    /// The connection limit is reached; retry against another instance.
+    OverCapacity,
+    /// The server is draining and accepts no new work.
+    Draining,
+    /// The request's deadline expired (while queued or mid-run).
+    DeadlineExceeded,
+    /// The workload did not halt within its cycle budget.
+    BudgetExhausted,
+    /// The workload name does not exist in the suite.
+    UnknownWorkload,
+    /// No persistent store is attached (or it failed to open).
+    StoreUnavailable,
+    /// The persistent store failed an I/O operation.
+    StoreIo,
+    /// The shard owning this job's key is down; retry after
+    /// `retry_after_ms` (the router's reconnect backoff).
+    ShardUnavailable,
+    /// The job's worker panicked or another invariant broke.
+    InternalError,
+}
+
+impl ErrorCode {
+    /// The wire string — identical in v1 (`kind`) and v2 (`code`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadFrame => "bad_frame",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownVerb => "unknown_verb",
+            ErrorCode::OversizedFrame => "oversized_frame",
+            ErrorCode::UnsupportedProto => "unsupported_proto",
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::OverCapacity => "over_capacity",
+            ErrorCode::Draining => "draining",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::BudgetExhausted => "budget_exhausted",
+            ErrorCode::UnknownWorkload => "unknown_workload",
+            ErrorCode::StoreUnavailable => "store_unavailable",
+            ErrorCode::StoreIo => "store_io",
+            ErrorCode::ShardUnavailable => "shard_unavailable",
+            ErrorCode::InternalError => "internal_error",
+        }
+    }
+
+    /// Parses a wire string (either envelope's spelling) back into the
+    /// closed set. `None` means the peer spoke a code outside the
+    /// protocol — treat as non-retryable.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        [
+            ErrorCode::BadFrame,
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownVerb,
+            ErrorCode::OversizedFrame,
+            ErrorCode::UnsupportedProto,
+            ErrorCode::QueueFull,
+            ErrorCode::OverCapacity,
+            ErrorCode::Draining,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::BudgetExhausted,
+            ErrorCode::UnknownWorkload,
+            ErrorCode::StoreUnavailable,
+            ErrorCode::StoreIo,
+            ErrorCode::ShardUnavailable,
+            ErrorCode::InternalError,
+        ]
+        .into_iter()
+        .find(|c| c.as_str() == s)
+    }
+
+    /// The [`JobError`](scc_sim::runner::JobError) discriminants map
+    /// into the closed set here, so the simulation layer never grows a
+    /// parallel string contract.
+    pub fn from_job_error(e: &scc_sim::runner::JobError) -> ErrorCode {
+        ErrorCode::parse(e.kind()).unwrap_or(ErrorCode::InternalError)
+    }
+
+    /// True when the same request could succeed later (or on another
+    /// instance): the recoverable-invalidation half of the error space.
+    /// Everything else is a hard fault of the request itself.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::QueueFull
+                | ErrorCode::OverCapacity
+                | ErrorCode::Draining
+                | ErrorCode::ShardUnavailable
+        )
+    }
+}
 
 /// A parsed `run` request.
 #[derive(Clone, Debug, PartialEq)]
@@ -72,6 +228,12 @@ pub struct RunRequest {
 pub enum Request {
     /// Simulate one job.
     Run(RunRequest),
+    /// Return the canonical content key of a run-shaped request — the
+    /// exact string the cache and store identify the result by and the
+    /// string `scc-route` hashes for shard placement. Takes the same
+    /// fields as `run` (`deadline_ms`/`audit` are accepted and
+    /// ignored; they are not part of the key).
+    Key(RunRequest),
     /// Service introspection: queue, counters, cache.
     Stats,
     /// Liveness/readiness: `ok` or `draining`.
@@ -84,11 +246,22 @@ pub enum Request {
     Shutdown,
 }
 
+/// One parsed frame: the envelope version plus the request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Envelope version the client spoke; responses must echo it.
+    pub proto: Proto,
+    /// The request itself.
+    pub request: Request,
+}
+
 /// A protocol-level rejection (the frame never became a job).
 #[derive(Clone, Debug, PartialEq)]
 pub struct ProtoError {
-    /// Machine-readable kind: `bad_frame`, `unknown_verb`, `bad_request`.
-    pub kind: &'static str,
+    /// Envelope version to answer in.
+    pub proto: Proto,
+    /// Machine-readable code.
+    pub code: ErrorCode,
     /// Human-readable detail.
     pub message: String,
     /// Request ID, when the frame parsed far enough to reveal one.
@@ -96,8 +269,13 @@ pub struct ProtoError {
 }
 
 impl ProtoError {
-    fn new(kind: &'static str, message: impl Into<String>, id: Option<String>) -> ProtoError {
-        ProtoError { kind, message: message.into(), id }
+    fn new(
+        proto: Proto,
+        code: ErrorCode,
+        message: impl Into<String>,
+        id: Option<String>,
+    ) -> ProtoError {
+        ProtoError { proto, code, message: message.into(), id }
     }
 }
 
@@ -107,47 +285,71 @@ pub fn parse_level(label: &str) -> Option<OptLevel> {
     OptLevel::all().into_iter().find(|l| l.label() == label)
 }
 
-/// Parses one request frame.
-pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+/// Parses one request frame, including its envelope version.
+pub fn parse_request(line: &str) -> Result<Frame, ProtoError> {
+    use ErrorCode as E;
     let doc = Json::parse(line)
-        .map_err(|e| ProtoError::new("bad_frame", format!("malformed JSON: {e}"), None))?;
+        .map_err(|e| ProtoError::new(Proto::V1, E::BadFrame, format!("malformed JSON: {e}"), None))?;
     if !matches!(doc, Json::Obj(_)) {
-        return Err(ProtoError::new("bad_frame", "frame must be a JSON object", None));
+        return Err(ProtoError::new(Proto::V1, E::BadFrame, "frame must be a JSON object", None));
     }
+    // The envelope version gates everything else: an unsupported
+    // version is answered in v1, the only envelope both sides share.
+    let proto = match doc.get("proto") {
+        None => Proto::V1,
+        Some(v) => match v.as_u64() {
+            Some(1) => Proto::V1,
+            Some(2) => Proto::V2,
+            _ => {
+                let id = doc.get("id").and_then(Json::as_str).map(str::to_string);
+                return Err(ProtoError::new(
+                    Proto::V1,
+                    E::UnsupportedProto,
+                    "`proto` must be 1 or 2",
+                    id,
+                ));
+            }
+        },
+    };
     let id = doc.get("id").and_then(Json::as_str).map(str::to_string);
     if let Some(id_field) = doc.get("id") {
         if id_field.as_str().is_none() {
-            return Err(ProtoError::new("bad_request", "`id` must be a string", None));
+            return Err(ProtoError::new(proto, E::BadRequest, "`id` must be a string", None));
         }
         if id.as_deref().is_some_and(|s| s.len() > 128) {
-            return Err(ProtoError::new("bad_request", "`id` longer than 128 bytes", None));
+            return Err(ProtoError::new(proto, E::BadRequest, "`id` longer than 128 bytes", None));
         }
     }
     let verb = match doc.get("verb").and_then(Json::as_str) {
         Some(v) => v,
-        None => return Err(ProtoError::new("bad_request", "missing `verb`", id)),
+        None => return Err(ProtoError::new(proto, E::BadRequest, "missing `verb`", id)),
     };
-    match verb {
-        "stats" => Ok(Request::Stats),
-        "health" => Ok(Request::Health),
-        "persist" => Ok(Request::Persist),
-        "warm" => Ok(Request::Warm),
-        "shutdown" => Ok(Request::Shutdown),
-        "run" => parse_run(&doc, id).map(Request::Run),
-        other => Err(ProtoError::new(
-            "unknown_verb",
-            format!(
-                "unknown verb `{}` (expected run|stats|health|persist|warm|shutdown)",
-                escape(other)
-            ),
-            id,
-        )),
-    }
+    let request = match verb {
+        "stats" => Request::Stats,
+        "health" => Request::Health,
+        "persist" => Request::Persist,
+        "warm" => Request::Warm,
+        "shutdown" => Request::Shutdown,
+        "run" => Request::Run(parse_run(&doc, proto, id)?),
+        "key" => Request::Key(parse_run(&doc, proto, id)?),
+        other => {
+            return Err(ProtoError::new(
+                proto,
+                E::UnknownVerb,
+                format!(
+                    "unknown verb `{}` (expected run|key|stats|health|persist|warm|shutdown)",
+                    escape(other)
+                ),
+                id,
+            ))
+        }
+    };
+    Ok(Frame { proto, request })
 }
 
-fn parse_run(doc: &Json, id: Option<String>) -> Result<RunRequest, ProtoError> {
+fn parse_run(doc: &Json, proto: Proto, id: Option<String>) -> Result<RunRequest, ProtoError> {
     let bad = |msg: String, id: &Option<String>| {
-        Err(ProtoError::new("bad_request", msg, id.clone()))
+        Err(ProtoError::new(proto, ErrorCode::BadRequest, msg, id.clone()))
     };
     let workload = match doc.get("workload").and_then(Json::as_str) {
         Some(w) if !w.is_empty() && w.len() <= 64 => w.to_string(),
@@ -195,6 +397,25 @@ fn parse_run(doc: &Json, id: Option<String>) -> Result<RunRequest, ProtoError> {
     Ok(RunRequest { id, workload, iters, level, max_cycles, deadline_ms, audit })
 }
 
+/// The canonical content key of a run-shaped request, as the serving
+/// process would compute it: paper-default [`SimOptions`] at the
+/// requested level with the effective cycle budget (the client's
+/// `max_cycles` clamped to `max_cycles_cap`). Delegates to
+/// [`scc_sim::runner::job_key`] — the single source of truth shared by
+/// the cache, the store, and the router; there is deliberately no
+/// second serialization of a job identity anywhere in the service.
+pub fn run_key(req: &RunRequest, max_cycles_cap: u64) -> String {
+    let mut opts = SimOptions::new(req.level);
+    opts.max_cycles = req.max_cycles.unwrap_or(max_cycles_cap).min(max_cycles_cap);
+    scc_sim::runner::job_key(
+        &req.workload,
+        req.iters,
+        req.level,
+        opts.max_cycles,
+        &opts.to_pipeline_config(),
+    )
+}
+
 fn id_field(id: Option<&str>) -> String {
     match id {
         Some(id) => format!("\"id\":\"{}\",", escape(id)),
@@ -202,10 +423,27 @@ fn id_field(id: Option<&str>) -> String {
     }
 }
 
-/// Renders an error response frame.
+/// The `"proto":2,` envelope marker (empty for v1, which never carried
+/// one — legacy responses must stay byte-identical to the v1 servers).
+fn proto_field(proto: Proto) -> &'static str {
+    match proto {
+        Proto::V1 => "",
+        Proto::V2 => "\"proto\":2,",
+    }
+}
+
+/// Renders a successful non-`run` response from pre-rendered body
+/// fields (e.g. `"status":"ok"`), in the requested envelope.
+pub fn ok_response(proto: Proto, body_fields: &str) -> String {
+    format!("{{\"ok\":true,{}{body_fields}}}\n", proto_field(proto))
+}
+
+/// Renders an error response frame in the requested envelope: v1 keys
+/// the discriminant `kind`, v2 keys it `code`.
 pub fn error_response(
+    proto: Proto,
     id: Option<&str>,
-    kind: &str,
+    code: ErrorCode,
     message: &str,
     retry_after_ms: Option<u64>,
 ) -> String {
@@ -213,10 +451,15 @@ pub fn error_response(
         Some(ms) => format!(",\"retry_after_ms\":{ms}"),
         None => String::new(),
     };
+    let discriminant = match proto {
+        Proto::V1 => "kind",
+        Proto::V2 => "code",
+    };
     format!(
-        "{{\"ok\":false,{}\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"{retry}}}}}\n",
+        "{{\"ok\":false,{}{}\"error\":{{\"{discriminant}\":\"{}\",\"message\":\"{}\"{retry}}}}}\n",
+        proto_field(proto),
         id_field(id),
-        escape(kind),
+        code.as_str(),
         escape(message),
     )
 }
@@ -252,7 +495,8 @@ pub fn arch_digest(res: &SimResult) -> u64 {
 /// Renders the deterministic report object for one simulation result:
 /// headline counters, total energy, an architectural-state digest, and
 /// the full metrics registry. Single-line, no provenance — the same
-/// bytes whether served fresh, from cache, or computed directly.
+/// bytes whether served fresh, from cache, computed directly, or
+/// relayed through the router.
 pub fn report_json(res: &SimResult) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str(&format!(
@@ -296,8 +540,13 @@ pub fn metrics_object(metrics: &[Metric]) -> String {
     out
 }
 
-/// Renders a successful `run` response frame.
-pub fn run_response(id: Option<&str>, res: &SimResult, audit_jsonl: Option<&str>) -> String {
+/// Renders a successful `run` response frame in the requested envelope.
+pub fn run_response(
+    proto: Proto,
+    id: Option<&str>,
+    res: &SimResult,
+    audit_jsonl: Option<&str>,
+) -> String {
     let audit = match audit_jsonl {
         Some(jsonl) => {
             let lines: Vec<&str> = jsonl.lines().filter(|l| !l.is_empty()).collect();
@@ -305,21 +554,41 @@ pub fn run_response(id: Option<&str>, res: &SimResult, audit_jsonl: Option<&str>
         }
         None => String::new(),
     };
-    format!("{{\"ok\":true,{}\"report\":{}{audit}}}\n", id_field(id), report_json(res))
+    format!(
+        "{{\"ok\":true,{}{}\"report\":{}{audit}}}\n",
+        proto_field(proto),
+        id_field(id),
+        report_json(res)
+    )
+}
+
+/// Renders a successful `key` response frame.
+pub fn key_response(proto: Proto, id: Option<&str>, key: &str) -> String {
+    format!(
+        "{{\"ok\":true,{}{}\"key\":\"{}\"}}\n",
+        proto_field(proto),
+        id_field(id),
+        escape(key)
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn parse(line: &str) -> Result<Frame, ProtoError> {
+        parse_request(line)
+    }
+
     #[test]
     fn run_request_round_trips() {
-        let r = parse_request(
+        let f = parse(
             r#"{"verb":"run","id":"r-9","workload":"freqmine","iters":800,"level":"baseline","deadline_ms":250,"audit":true}"#,
         )
         .unwrap();
+        assert_eq!(f.proto, Proto::V1);
         assert_eq!(
-            r,
+            f.request,
             Request::Run(RunRequest {
                 id: Some("r-9".into()),
                 workload: "freqmine".into(),
@@ -333,8 +602,35 @@ mod tests {
     }
 
     #[test]
+    fn proto_negotiation_selects_the_envelope() {
+        assert_eq!(parse(r#"{"verb":"stats"}"#).unwrap().proto, Proto::V1);
+        assert_eq!(parse(r#"{"proto":1,"verb":"stats"}"#).unwrap().proto, Proto::V1);
+        assert_eq!(parse(r#"{"proto":2,"verb":"stats"}"#).unwrap().proto, Proto::V2);
+        // An unknown version is rejected — in v1, the shared envelope.
+        let e = parse(r#"{"proto":3,"verb":"stats","id":"x"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::UnsupportedProto);
+        assert_eq!(e.proto, Proto::V1);
+        assert_eq!(e.id.as_deref(), Some("x"));
+        let e = parse(r#"{"proto":"two","verb":"stats"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::UnsupportedProto);
+    }
+
+    #[test]
+    fn v2_errors_carry_code_and_the_requests_proto() {
+        let e = parse(r#"{"proto":2,"verb":"dance"}"#).unwrap_err();
+        assert_eq!(e.proto, Proto::V2);
+        assert_eq!(e.code, ErrorCode::UnknownVerb);
+        let rendered = error_response(e.proto, None, e.code, &e.message, None);
+        let j = Json::parse(rendered.trim_end()).unwrap();
+        assert_eq!(j.get("proto").and_then(Json::as_u64), Some(2));
+        let err = j.get("error").unwrap();
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("unknown_verb"));
+        assert!(err.get("kind").is_none(), "v2 must not carry the legacy kind");
+    }
+
+    #[test]
     fn run_defaults_are_applied() {
-        match parse_request(r#"{"verb":"run","workload":"gcc"}"#).unwrap() {
+        match parse(r#"{"verb":"run","workload":"gcc"}"#).unwrap().request {
             Request::Run(r) => {
                 assert_eq!(r.iters, DEFAULT_ITERS);
                 assert_eq!(r.level, OptLevel::Full);
@@ -347,28 +643,33 @@ mod tests {
 
     #[test]
     fn verbs_parse() {
-        assert_eq!(parse_request(r#"{"verb":"stats"}"#).unwrap(), Request::Stats);
-        assert_eq!(parse_request(r#"{"verb":"health"}"#).unwrap(), Request::Health);
-        assert_eq!(parse_request(r#"{"verb":"persist"}"#).unwrap(), Request::Persist);
-        assert_eq!(parse_request(r#"{"verb":"warm"}"#).unwrap(), Request::Warm);
-        assert_eq!(parse_request(r#"{"verb":"shutdown"}"#).unwrap(), Request::Shutdown);
+        let req = |l: &str| parse(l).unwrap().request;
+        assert_eq!(req(r#"{"verb":"stats"}"#), Request::Stats);
+        assert_eq!(req(r#"{"verb":"health"}"#), Request::Health);
+        assert_eq!(req(r#"{"verb":"persist"}"#), Request::Persist);
+        assert_eq!(req(r#"{"verb":"warm"}"#), Request::Warm);
+        assert_eq!(req(r#"{"verb":"shutdown"}"#), Request::Shutdown);
+        match req(r#"{"verb":"key","workload":"gcc","iters":42}"#) {
+            Request::Key(k) => assert_eq!((k.workload.as_str(), k.iters), ("gcc", 42)),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
     fn malformed_frames_are_bad_frame() {
         for bad in ["", "{", "not json", "[1,2,3", "\"just a string"] {
-            let e = parse_request(bad).unwrap_err();
-            assert_eq!(e.kind, "bad_frame", "{bad:?} → {e:?}");
+            let e = parse(bad).unwrap_err();
+            assert_eq!(e.code, ErrorCode::BadFrame, "{bad:?} → {e:?}");
         }
         // A complete non-object document is also a framing error.
-        assert_eq!(parse_request("[1,2,3]").unwrap_err().kind, "bad_frame");
-        assert_eq!(parse_request("42").unwrap_err().kind, "bad_frame");
+        assert_eq!(parse("[1,2,3]").unwrap_err().code, ErrorCode::BadFrame);
+        assert_eq!(parse("42").unwrap_err().code, ErrorCode::BadFrame);
     }
 
     #[test]
     fn unknown_verbs_and_bad_fields_are_typed() {
-        assert_eq!(parse_request(r#"{"verb":"dance"}"#).unwrap_err().kind, "unknown_verb");
-        assert_eq!(parse_request(r#"{"workload":"gcc"}"#).unwrap_err().kind, "bad_request");
+        assert_eq!(parse(r#"{"verb":"dance"}"#).unwrap_err().code, ErrorCode::UnknownVerb);
+        assert_eq!(parse(r#"{"workload":"gcc"}"#).unwrap_err().code, ErrorCode::BadRequest);
         for bad in [
             r#"{"verb":"run"}"#,
             r#"{"verb":"run","workload":""}"#,
@@ -380,15 +681,16 @@ mod tests {
             r#"{"verb":"run","workload":"gcc","audit":"yes"}"#,
             r#"{"verb":"run","workload":"gcc","max_cycles":0}"#,
             r#"{"verb":"run","id":7,"workload":"gcc"}"#,
+            r#"{"verb":"key"}"#,
         ] {
-            let e = parse_request(bad).unwrap_err();
-            assert_eq!(e.kind, "bad_request", "{bad}");
+            let e = parse(bad).unwrap_err();
+            assert_eq!(e.code, ErrorCode::BadRequest, "{bad}");
         }
     }
 
     #[test]
     fn error_id_is_preserved_when_parseable() {
-        let e = parse_request(r#"{"verb":"dance","id":"r-3"}"#).unwrap_err();
+        let e = parse(r#"{"verb":"dance","id":"r-3"}"#).unwrap_err();
         assert_eq!(e.id.as_deref(), Some("r-3"));
     }
 
@@ -401,19 +703,92 @@ mod tests {
     }
 
     #[test]
-    fn error_response_renders_one_line_of_valid_json() {
-        let s = error_response(Some("r\"1"), "queue_full", "queue at capacity", Some(120));
+    fn error_codes_round_trip_and_split_on_retryability() {
+        for code in [
+            ErrorCode::BadFrame,
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownVerb,
+            ErrorCode::OversizedFrame,
+            ErrorCode::UnsupportedProto,
+            ErrorCode::QueueFull,
+            ErrorCode::OverCapacity,
+            ErrorCode::Draining,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::BudgetExhausted,
+            ErrorCode::UnknownWorkload,
+            ErrorCode::StoreUnavailable,
+            ErrorCode::StoreIo,
+            ErrorCode::ShardUnavailable,
+            ErrorCode::InternalError,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("not_a_code"), None);
+        assert!(ErrorCode::QueueFull.is_retryable());
+        assert!(ErrorCode::ShardUnavailable.is_retryable());
+        assert!(ErrorCode::OverCapacity.is_retryable());
+        assert!(ErrorCode::Draining.is_retryable());
+        assert!(!ErrorCode::DeadlineExceeded.is_retryable());
+        assert!(!ErrorCode::UnknownWorkload.is_retryable());
+        assert!(!ErrorCode::BadFrame.is_retryable());
+    }
+
+    #[test]
+    fn v1_error_responses_are_byte_stable() {
+        // The legacy envelope is a compatibility promise: no proto
+        // field, discriminant under `kind`.
+        let s = error_response(Proto::V1, Some("r\"1"), ErrorCode::QueueFull, "queue at capacity", Some(120));
         assert!(s.ends_with('\n'));
         assert_eq!(s.lines().count(), 1);
         let j = Json::parse(s.trim_end()).unwrap();
         assert_eq!(j.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(j.get("proto").is_none());
         assert_eq!(j.get("id").and_then(Json::as_str), Some("r\"1"));
         let err = j.get("error").unwrap();
         assert_eq!(err.get("kind").and_then(Json::as_str), Some("queue_full"));
         assert_eq!(err.get("retry_after_ms").and_then(Json::as_u64), Some(120));
         // No retry hint → field absent.
-        let s = error_response(None, "bad_frame", "nope", None);
+        let s = error_response(Proto::V1, None, ErrorCode::BadFrame, "nope", None);
         assert!(!s.contains("retry_after_ms"));
         assert!(!s.contains("\"id\""));
+        assert!(!s.contains("proto"));
+    }
+
+    #[test]
+    fn run_key_matches_the_runners_canonical_key() {
+        use scc_sim::runner::{resolve_workload, Job};
+        use scc_workloads::Scale;
+        let req = RunRequest {
+            id: None,
+            workload: "freqmine".into(),
+            iters: 800,
+            level: OptLevel::Full,
+            max_cycles: None,
+            deadline_ms: None,
+            audit: false,
+        };
+        let cap = scc_sim::build::DEFAULT_MAX_CYCLES;
+        let key = run_key(&req, cap);
+        // The exact key the worker's execution path would cache under.
+        let w = resolve_workload("freqmine", Scale::custom(800)).unwrap();
+        let mut opts = SimOptions::new(OptLevel::Full);
+        opts.max_cycles = cap;
+        assert_eq!(key, Job::new(&w, &opts).key());
+        // A client max_cycles beyond the cap clamps identically.
+        let mut over = req.clone();
+        over.max_cycles = Some(u64::MAX);
+        assert_eq!(run_key(&over, cap), key);
+    }
+
+    #[test]
+    fn key_response_renders_valid_json() {
+        let s = key_response(Proto::V2, Some("k-1"), "freqmine|iters=800|full-scc|max=1|x");
+        let j = Json::parse(s.trim_end()).unwrap();
+        assert_eq!(j.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(j.get("proto").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            j.get("key").and_then(Json::as_str),
+            Some("freqmine|iters=800|full-scc|max=1|x")
+        );
     }
 }

@@ -51,13 +51,13 @@ use crate::conn::{Conn, ConnStatus};
 use crate::conn::FrameDisposition;
 use crate::net::{Addr, Stream};
 use crate::protocol::{
-    error_response, metrics_object, parse_request, run_response, Request, RunRequest,
-    MAX_FRAME_BYTES,
+    error_response, key_response, metrics_object, ok_response, parse_request, run_key,
+    run_response, ErrorCode, Proto, Request, RunRequest, MAX_FRAME_BYTES,
 };
 #[cfg(unix)]
 use crate::sys;
 use scc_pipeline::{Metric, MetricValue};
-use scc_sim::runner::{resolve_workload, Job, StoreTier};
+use scc_sim::runner::{resolve_workload, validate_workload_name, Job, StoreTier};
 use scc_sim::{cache_metrics, Runner, SimOptions};
 use scc_workloads::Scale;
 
@@ -118,6 +118,7 @@ impl Default for ServerConfig {
 /// the rendered response back to its connection through the completion
 /// list.
 struct QueuedJob {
+    proto: Proto,
     req: RunRequest,
     deadline: Option<Instant>,
     token: u64,
@@ -155,6 +156,10 @@ struct Shared {
     jobs_ok: AtomicU64,
     jobs_failed: AtomicU64,
     jobs_rejected: AtomicU64,
+    /// Deprecation counter: frames received in the legacy v1 envelope
+    /// (no `proto` field, or `proto:1`). Watch this hit zero before
+    /// retiring v1 support.
+    v1_frames: AtomicU64,
     /// EWMA of job wall time, microseconds (alpha = 1/8).
     avg_job_us: AtomicU64,
     /// True when `store_dir` was requested but the store failed to open
@@ -228,6 +233,7 @@ impl Shared {
             counter("serve.jobs.ok", self.jobs_ok.load(Ordering::Relaxed)),
             counter("serve.jobs.failed", self.jobs_failed.load(Ordering::Relaxed)),
             counter("serve.jobs.rejected", self.jobs_rejected.load(Ordering::Relaxed)),
+            counter("serve.proto.v1_frames", self.v1_frames.load(Ordering::Relaxed)),
             counter("serve.avg_job_us", self.avg_job_us.load(Ordering::Relaxed)),
         ];
         out.push(counter("serve.store.enabled", u64::from(self.store().is_some())));
@@ -364,6 +370,7 @@ impl Server {
             jobs_ok: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
+            v1_frames: AtomicU64::new(0),
             avg_job_us: AtomicU64::new(0),
             store_degraded,
         });
@@ -602,9 +609,12 @@ fn accept_all(
             // Best-effort rejection frame; a full socket buffer on a
             // brand-new connection is not worth waiting for.
             let queued = shared.queue.lock().unwrap_or_else(|p| p.into_inner()).len();
+            // The client has not spoken yet, so its envelope version is
+            // unknown; reject in v1, which every generation parses.
             let r = error_response(
+                Proto::V1,
                 None,
-                "over_capacity",
+                ErrorCode::OverCapacity,
                 &format!("connection limit {} reached", shared.cfg.max_conns),
                 Some(shared.retry_after_ms(queued)),
             );
@@ -650,71 +660,110 @@ fn accept_one(l: &Listener) -> io::Result<Option<Stream>> {
 fn handle_frame(shared: &Shared, line: &str, token: u64) -> FrameDisposition {
     use FrameDisposition::Reply;
     shared.requests.fetch_add(1, Ordering::Relaxed);
-    let req = match parse_request(line) {
-        Ok(r) => r,
-        Err(e) => return Reply(error_response(e.id.as_deref(), e.kind, &e.message, None)),
+    let frame = match parse_request(line) {
+        Ok(f) => f,
+        Err(e) => {
+            return Reply(error_response(e.proto, e.id.as_deref(), e.code, &e.message, None))
+        }
     };
-    match req {
+    let proto = frame.proto;
+    if proto == Proto::V1 {
+        shared.v1_frames.fetch_add(1, Ordering::Relaxed);
+    }
+    match frame.request {
         Request::Health => {
             let status = if shared.draining() { "draining" } else { "ok" };
-            Reply(format!("{{\"ok\":true,\"status\":\"{status}\"}}\n"))
+            Reply(ok_response(proto, &format!("\"status\":\"{status}\"")))
         }
-        Request::Stats => Reply(format!(
-            "{{\"ok\":true,\"stats\":{}}}\n",
-            metrics_object(&shared.metrics())
+        Request::Stats => Reply(ok_response(
+            proto,
+            &format!("\"stats\":{}", metrics_object(&shared.metrics())),
         )),
         Request::Persist => Reply(match shared.store() {
             Some(tier) => match tier.flush() {
-                Ok(()) => format!(
-                    "{{\"ok\":true,\"status\":\"persisted\",\"writes\":{}}}\n",
-                    tier.store_stats().puts
+                Ok(()) => ok_response(
+                    proto,
+                    &format!("\"status\":\"persisted\",\"writes\":{}", tier.store_stats().puts),
                 ),
-                Err(e) => {
-                    error_response(None, "store_io", &format!("store flush failed: {e}"), None)
-                }
+                Err(e) => error_response(
+                    proto,
+                    None,
+                    ErrorCode::StoreIo,
+                    &format!("store flush failed: {e}"),
+                    None,
+                ),
             },
-            None => store_unavailable(shared),
+            None => store_unavailable(shared, proto),
         }),
         Request::Warm => Reply(match shared.store() {
             Some(tier) => match tier.warm_into_cache() {
-                Ok(n) => format!("{{\"ok\":true,\"status\":\"warmed\",\"entries\":{n}}}\n"),
-                Err(e) => {
-                    error_response(None, "store_io", &format!("store warm failed: {e}"), None)
-                }
+                Ok(n) => ok_response(proto, &format!("\"status\":\"warmed\",\"entries\":{n}")),
+                Err(e) => error_response(
+                    proto,
+                    None,
+                    ErrorCode::StoreIo,
+                    &format!("store warm failed: {e}"),
+                    None,
+                ),
             },
-            None => store_unavailable(shared),
+            None => store_unavailable(shared, proto),
         }),
         Request::Shutdown => {
             let _guard = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
             shared.drain.store(true, Ordering::SeqCst);
             shared.work_ready.notify_all();
-            Reply("{\"ok\":true,\"status\":\"draining\"}\n".to_string())
+            Reply(ok_response(proto, "\"status\":\"draining\""))
         }
-        Request::Run(run) => submit_run(shared, run, token),
+        Request::Key(req) => {
+            // The key is computed exactly as the execution path would:
+            // same options, same clamp — so what this returns is the
+            // string the result is cached and stored under, and the
+            // string `scc-route` hashes for shard placement.
+            let id = req.id.clone();
+            if let Err(e) = validate_workload_name(&req.workload) {
+                return Reply(error_response(
+                    proto,
+                    id.as_deref(),
+                    ErrorCode::from_job_error(&e),
+                    &e.to_string(),
+                    None,
+                ));
+            }
+            let key = run_key(&req, shared.cfg.max_cycles);
+            Reply(key_response(proto, id.as_deref(), &key))
+        }
+        Request::Run(run) => submit_run(shared, proto, run, token),
     }
 }
 
 /// The `persist`/`warm` rejection when no store tier is attached —
 /// distinguishing "never configured" from "configured but degraded".
-fn store_unavailable(shared: &Shared) -> String {
+fn store_unavailable(shared: &Shared, proto: Proto) -> String {
     let message = if shared.store_degraded {
         "persistent store failed to open at startup; serving cold"
     } else {
         "no persistent store attached (start scc-serve with --store-dir)"
     };
-    error_response(None, "store_unavailable", message, None)
+    error_response(proto, None, ErrorCode::StoreUnavailable, message, None)
 }
 
 /// Validates and enqueues one `run` request; the response arrives via
 /// the completion path once a worker finishes it.
-fn submit_run(shared: &Shared, req: RunRequest, token: u64) -> FrameDisposition {
+fn submit_run(shared: &Shared, proto: Proto, req: RunRequest, token: u64) -> FrameDisposition {
     use FrameDisposition::{JobQueued, Reply};
     let id = req.id.clone();
     // Validate the workload name before spending a queue slot, so a
-    // typo never occupies capacity.
-    if let Err(e) = resolve_workload(&req.workload, Scale::custom(req.iters)) {
+    // typo never occupies capacity. Name-only: this runs on the I/O
+    // thread for every request, so it must not build the program.
+    if let Err(e) = validate_workload_name(&req.workload) {
         shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
-        return Reply(error_response(id.as_deref(), e.kind(), &e.to_string(), None));
+        return Reply(error_response(
+            proto,
+            id.as_deref(),
+            ErrorCode::from_job_error(&e),
+            &e.to_string(),
+            None,
+        ));
     }
     let deadline = req.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
     {
@@ -724,8 +773,9 @@ fn submit_run(shared: &Shared, req: RunRequest, token: u64) -> FrameDisposition 
         // observe this enqueue before exiting.
         if shared.draining() {
             return Reply(error_response(
+                proto,
                 id.as_deref(),
-                "draining",
+                ErrorCode::Draining,
                 "server is draining; submit to another instance",
                 None,
             ));
@@ -734,13 +784,14 @@ fn submit_run(shared: &Shared, req: RunRequest, token: u64) -> FrameDisposition 
             shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
             let hint = shared.retry_after_ms(q.len());
             return Reply(error_response(
+                proto,
                 id.as_deref(),
-                "queue_full",
+                ErrorCode::QueueFull,
                 &format!("queue at capacity ({})", shared.cfg.queue_depth),
                 Some(hint),
             ));
         }
-        q.push_back(QueuedJob { req, deadline, token });
+        q.push_back(QueuedJob { proto, req, deadline, token });
     }
     shared.work_ready.notify_one();
     JobQueued
@@ -775,8 +826,9 @@ fn worker_loop(shared: &Shared) {
         .unwrap_or_else(|_| {
             shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
             error_response(
+                qj.proto,
                 qj.req.id.as_deref(),
-                "internal_error",
+                ErrorCode::InternalError,
                 "job execution panicked",
                 None,
             )
@@ -790,31 +842,49 @@ fn worker_loop(shared: &Shared) {
 /// Executes one popped job on the shared runner.
 fn execute_job(shared: &Shared, qj: &QueuedJob) -> String {
     let req = &qj.req;
+    let proto = qj.proto;
     let id = req.id.as_deref();
     if let Some(d) = qj.deadline {
         if Instant::now() >= d {
             shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            return error_response(id, "deadline_exceeded", "deadline expired while queued", None);
+            return error_response(
+                proto,
+                id,
+                ErrorCode::DeadlineExceeded,
+                "deadline expired while queued",
+                None,
+            );
+        }
+    }
+    // Fast path: probe the result tiers by canonical key before paying
+    // for workload resolution. `run_key` is a pure string computation,
+    // while resolving builds the whole workload program — on a warm
+    // server the hit path is the common case and must not be priced
+    // like a miss.
+    if !req.audit {
+        if let Some(r) = shared.runner.try_cached(&run_key(req, shared.cfg.max_cycles), id) {
+            shared.jobs_ok.fetch_add(1, Ordering::Relaxed);
+            return run_response(proto, id, &r, None);
         }
     }
     let workload = match resolve_workload(&req.workload, Scale::custom(req.iters)) {
         Ok(w) => w,
         Err(e) => {
             shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            return error_response(id, e.kind(), &e.to_string(), None);
+            return error_response(proto, id, ErrorCode::from_job_error(&e), &e.to_string(), None);
         }
     };
     let mut opts = SimOptions::new(req.level);
     opts.max_cycles = req.max_cycles.unwrap_or(shared.cfg.max_cycles).min(shared.cfg.max_cycles);
     let job = Job::new(&workload, &opts);
-    match shared.runner.try_run_one(&job, qj.deadline, id, req.audit) {
+    match shared.runner.run_fresh(&job, qj.deadline, id, req.audit) {
         Ok(one) => {
             shared.jobs_ok.fetch_add(1, Ordering::Relaxed);
-            run_response(id, &one.result, one.audit_jsonl.as_deref())
+            run_response(proto, id, &one.result, one.audit_jsonl.as_deref())
         }
         Err(e) => {
             shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            error_response(id, e.kind(), &e.to_string(), None)
+            error_response(proto, id, ErrorCode::from_job_error(&e), &e.to_string(), None)
         }
     }
 }

@@ -14,7 +14,7 @@ use std::thread;
 use std::time::Duration;
 
 use scc_serve::net::Stream;
-use scc_serve::protocol::run_response;
+use scc_serve::protocol::{run_response, Proto};
 use scc_serve::server::{Server, ServerConfig, ServerHandle};
 use scc_serve::Addr;
 use scc_sim::runner::{resolve_workload, Job};
@@ -88,7 +88,7 @@ fn a_thousand_connections_share_one_io_thread_byte_identically() {
     let mut failures = Vec::new();
     for (i, s) in conns.into_iter().enumerate() {
         let shape = i % SHAPES as usize;
-        let want = run_response(Some(&format!("hc-{i}")), &direct[shape], None);
+        let want = run_response(Proto::V1, Some(&format!("hc-{i}")), &direct[shape], None);
         let mut r = BufReader::new(s);
         let mut line = String::new();
         match r.read_line(&mut line) {

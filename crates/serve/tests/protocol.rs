@@ -11,7 +11,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use scc_serve::json::Json;
-use scc_serve::protocol::{run_response, MAX_FRAME_BYTES};
+use scc_serve::protocol::{run_response, Proto, MAX_FRAME_BYTES};
 use scc_serve::server::{Server, ServerConfig, ServerHandle};
 use scc_serve::{Addr, Client};
 use scc_sim::runner::{resolve_workload, Job};
@@ -40,12 +40,27 @@ fn expected_run_response(id: &str, workload: &str, iters: i64, level: scc_sim::O
     let opts = SimOptions::new(level);
     let job = Job::new(&w, &opts);
     let one = Runner::new().try_run_one(&job, None, Some(id), false).expect("direct run");
-    run_response(Some(id), &one.result, None)
+    run_response(Proto::V1, Some(id), &one.result, None)
 }
 
 fn drain_and_join(handle: &ServerHandle, join: thread::JoinHandle<io::Result<()>>) {
     handle.drain();
     join.join().expect("serve thread").expect("serve result");
+}
+
+/// Polls the `stats` verb until `pred` holds on the stats object, with
+/// a 30s backstop so a broken server fails the test instead of hanging.
+fn wait_for(probe: &mut Client, pred: impl Fn(&Json) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let s = probe.request_json("{\"verb\":\"stats\"}").unwrap();
+        let stats = s.get("stats").expect("stats object");
+        if pred(stats) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting on stats; last: {stats:?}");
+        thread::sleep(Duration::from_millis(5));
+    }
 }
 
 #[test]
@@ -193,31 +208,43 @@ fn a_full_queue_rejects_with_a_retry_hint() {
     let (addr, handle, join) =
         start(ServerConfig { workers: 1, queue_depth: 1, ..ServerConfig::default() });
 
+    // The saturating jobs are deliberately large: the overflow probe
+    // below must land while the blocker is still executing, on any
+    // machine speed. Readiness is observed through `stats`, not sleeps.
     let blocker = {
         let addr = addr.clone();
         thread::spawn(move || {
             let mut c = Client::connect(&addr).unwrap();
             c.request_json(
-                "{\"verb\":\"run\",\"id\":\"blocker\",\"workload\":\"freqmine\",\"iters\":8011}",
+                "{\"verb\":\"run\",\"id\":\"blocker\",\"workload\":\"freqmine\",\"iters\":60011}",
             )
             .unwrap()
         })
     };
-    // Let the blocker reach a worker.
-    thread::sleep(Duration::from_millis(300));
-
     // Fill the queue's single slot...
     let filler = {
         let addr = addr.clone();
         thread::spawn(move || {
             let mut c = Client::connect(&addr).unwrap();
+            let mut probe = Client::connect(&addr).unwrap();
+            // Enqueue only once the blocker holds the worker, so this
+            // request occupies the queue slot rather than the worker.
+            wait_for(&mut probe, |s| {
+                s.get("serve.in_flight").and_then(Json::as_u64) == Some(1)
+            });
             c.request_json(
-                "{\"verb\":\"run\",\"id\":\"filler\",\"workload\":\"freqmine\",\"iters\":8012}",
+                "{\"verb\":\"run\",\"id\":\"filler\",\"workload\":\"freqmine\",\"iters\":60012}",
             )
             .unwrap()
         })
     };
-    thread::sleep(Duration::from_millis(300));
+    {
+        let mut probe = Client::connect(&addr).unwrap();
+        wait_for(&mut probe, |s| {
+            s.get("serve.in_flight").and_then(Json::as_u64) == Some(1)
+                && s.get("serve.queue.len").and_then(Json::as_u64) == Some(1)
+        });
+    }
 
     // ...and overflow it.
     let mut c = Client::connect(&addr).unwrap();

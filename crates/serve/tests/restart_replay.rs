@@ -61,6 +61,7 @@ fn mix(addr: Addr) -> LoadConfig {
         distinct: 4,
         idle_conns: 0,
         sweep: Vec::new(),
+        stats_addrs: Vec::new(),
     }
 }
 

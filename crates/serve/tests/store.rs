@@ -16,7 +16,7 @@ use std::sync::Mutex;
 use std::thread;
 
 use scc_serve::json::Json;
-use scc_serve::protocol::run_response;
+use scc_serve::protocol::{run_response, Proto};
 use scc_serve::server::{Server, ServerConfig, ServerHandle};
 use scc_serve::{Addr, Client};
 use scc_sim::runner::{resolve_workload, Job, StoreTier};
@@ -80,7 +80,7 @@ fn expected_run_response(id: &str, iters: i64) -> String {
     let job = Job::new(&w, &SimOptions::new(scc_sim::OptLevel::Full));
     let one =
         Runner::serial_uncached().try_run_one(&job, None, Some(id), false).expect("direct run");
-    run_response(Some(id), &one.result, None)
+    run_response(Proto::V1, Some(id), &one.result, None)
 }
 
 fn stat(j: &Json, name: &str) -> u64 {

@@ -77,24 +77,52 @@ impl<'a> Job<'a> {
         Job { workload, config, max_cycles: crate::build::DEFAULT_MAX_CYCLES, level }
     }
 
-    /// The content key identifying this job's result.
-    ///
-    /// Workload generation is deterministic, so `(name, scale)` pins the
-    /// program; [`PipelineConfig::content_key`] pins every knob of the
-    /// machine by explicit field-by-field serialization (a `Debug`
-    /// rendering is *not* a stable identity — format changes or skipped
-    /// fields would silently alias or split cache entries). Two jobs
-    /// with equal keys are guaranteed to produce identical results.
-    fn key(&self) -> String {
-        format!(
-            "{}|iters={}|{}|max={}|{}",
+    /// The content key identifying this job's result — a thin wrapper
+    /// over [`job_key`], which is the single canonical serialization
+    /// shared by the result cache, the persistent store, and the
+    /// `scc-route` shard router.
+    pub fn key(&self) -> String {
+        job_key(
             self.workload.name,
             self.workload.scale.iters,
             self.level,
             self.max_cycles,
-            self.config.content_key()
+            &self.config,
         )
     }
+}
+
+/// **The canonical content-key serialization.** This string is the
+/// identity of a simulation result everywhere in the system:
+///
+/// - the runner's in-memory LRU cache keys entries on it,
+/// - `scc-store` persists records under it (so a key change invalidates
+///   every stored result — bump [`crate::persist::SCHEMA_VERSION`] when
+///   deliberately changing the encoding),
+/// - `scc-route` consistent-hashes it to place jobs on shards (so equal
+///   keys land on the same shard and per-shard cache locality falls out
+///   for free), and
+/// - the `key` service verb returns it to clients.
+///
+/// Workload generation is deterministic, so `(name, iters)` pins the
+/// program; [`PipelineConfig::content_key`] pins every knob of the
+/// machine by explicit field-by-field serialization (a `Debug`
+/// rendering is *not* a stable identity — format changes or skipped
+/// fields would silently alias or split cache entries). Two jobs with
+/// equal keys are guaranteed to produce identical results.
+///
+/// The encoding is covered by a stability test
+/// (`key_encoding_is_stable` below) that fails if it drifts; any
+/// intentional change must update that test *and* the store schema
+/// version together.
+pub fn job_key(
+    workload: &str,
+    iters: i64,
+    level: OptLevel,
+    max_cycles: u64,
+    config: &PipelineConfig,
+) -> String {
+    format!("{workload}|iters={iters}|{level}|max={max_cycles}|{}", config.content_key())
 }
 
 /// A job that could not produce a measurement. Each variant carries
@@ -174,6 +202,20 @@ impl std::error::Error for JobError {}
 pub fn resolve_workload(name: &str, scale: Scale) -> Result<Workload, JobError> {
     scc_workloads::workload(name, scale)
         .ok_or_else(|| JobError::UnknownWorkload { name: name.to_string() })
+}
+
+/// Name-only validation: checks that `name` is a known workload without
+/// generating any program. Admission paths (the serving I/O thread
+/// rejecting typos before spending a queue slot) must use this rather
+/// than [`resolve_workload`] — resolving builds the workload's whole
+/// micro-op program, which is milliseconds of work the fast path cannot
+/// afford per request.
+pub fn validate_workload_name(name: &str) -> Result<(), JobError> {
+    if scc_workloads::workload_exists(name) {
+        Ok(())
+    } else {
+        Err(JobError::UnknownWorkload { name: name.to_string() })
+    }
 }
 
 /// Worker count from the environment: `SCC_JOBS` if set to a positive
@@ -1000,49 +1042,27 @@ impl Runner {
         request: Option<&str>,
         audit: bool,
     ) -> Result<RunOne, JobError> {
-        let key = job.key();
-        let log_timing = |cached: bool, wall_secs: f64, uops: u64, start_us: u64, end_us: u64| {
-            if !self.use_cache {
-                return;
-            }
-            lock_unpoisoned(timing_log()).push(RunTiming {
-                workload: job.workload.name.to_string(),
-                level: job.level.label(),
-                wall_secs,
-                uops,
-                cached,
-            });
-            lock_unpoisoned(schedule_log()).push(JobTiming {
-                worker: 0,
-                start_us,
-                end_us,
-                workload: job.workload.name.to_string(),
-                level: job.level.label(),
-                cached,
-                request: request.map(str::to_string),
-            });
-        };
-
-        if self.use_cache && !audit {
-            if let Some(r) = lock_unpoisoned(cache()).get(&key) {
-                let now = epoch_us();
-                log_timing(true, 0.0, r.stats.committed_uops, now, now);
-                return Ok(RunOne { result: r, cached: true, audit_jsonl: None });
-            }
-        }
-        // Read-through: probe the persistent tier before paying for a
-        // simulation. Audit requests skip it for the same reason they
-        // skip the LRU — audit is a property of an execution.
         if !audit {
-            if let Some(r) = self.store.as_ref().and_then(|t| t.get(&key)) {
-                if self.use_cache {
-                    lock_unpoisoned(cache()).insert(key.clone(), Arc::clone(&r));
-                }
-                let now = epoch_us();
-                log_timing(true, 0.0, r.stats.committed_uops, now, now);
+            if let Some(r) = self.try_cached(&job.key(), request) {
                 return Ok(RunOne { result: r, cached: true, audit_jsonl: None });
             }
         }
+        self.run_fresh(job, deadline, request, audit)
+    }
+
+    /// Executes `job` unconditionally — no tier probe — and publishes
+    /// the result to the LRU and the persistent store: the miss half of
+    /// [`Runner::try_run_one`]. A caller that already probed with
+    /// [`Runner::try_cached`] lands here so the miss is not counted a
+    /// second time.
+    pub fn run_fresh(
+        &self,
+        job: &Job<'_>,
+        deadline: Option<Instant>,
+        request: Option<&str>,
+        audit: bool,
+    ) -> Result<RunOne, JobError> {
+        let key = job.key();
         let start_us = epoch_us();
         let t0 = Instant::now();
         let (result, audit_jsonl) = execute(job, deadline, audit)?;
@@ -1050,12 +1070,75 @@ impl Runner {
         let result = Arc::new(result);
         if self.use_cache {
             lock_unpoisoned(cache()).insert(key.clone(), Arc::clone(&result));
+            lock_unpoisoned(timing_log()).push(RunTiming {
+                workload: job.workload.name.to_string(),
+                level: job.level.label(),
+                wall_secs: wall,
+                uops: result.stats.committed_uops,
+                cached: false,
+            });
+            lock_unpoisoned(schedule_log()).push(JobTiming {
+                worker: 0,
+                start_us,
+                end_us: epoch_us(),
+                workload: job.workload.name.to_string(),
+                level: job.level.label(),
+                cached: false,
+                request: request.map(str::to_string),
+            });
         }
         if let Some(tier) = &self.store {
             tier.put(&key, &result);
         }
-        log_timing(false, wall, result.stats.committed_uops, start_us, epoch_us());
         Ok(RunOne { result, cached: false, audit_jsonl })
+    }
+
+    /// Probes the result tiers (LRU, then the persistent store,
+    /// promoting a store hit into the LRU) by canonical key alone,
+    /// without resolving a workload or building its program.
+    ///
+    /// This is the serving fast path: [`job_key`] is a pure string
+    /// computation over the request fields, so a cache hit costs a map
+    /// lookup instead of a program build — the build is orders of
+    /// magnitude more expensive than the lookup and was, before this
+    /// existed, paid on every hit. Hit/miss accounting is identical to
+    /// the probe inside [`Runner::try_run_one`]; `request` lands on the
+    /// hit's schedule entry, as for any other cached resolution.
+    ///
+    /// Callers that miss should execute via [`Runner::run_fresh`], not
+    /// [`Runner::try_run_one`], so the miss is counted exactly once.
+    pub fn try_cached(&self, key: &str, request: Option<&str>) -> Option<Arc<SimResult>> {
+        let lru = if self.use_cache { lock_unpoisoned(cache()).get(key) } else { None };
+        let r = match lru {
+            Some(r) => r,
+            None => {
+                let r = self.store.as_ref().and_then(|t| t.get(key))?;
+                if self.use_cache {
+                    lock_unpoisoned(cache()).insert(key.to_string(), Arc::clone(&r));
+                }
+                r
+            }
+        };
+        if self.use_cache {
+            let now = epoch_us();
+            lock_unpoisoned(timing_log()).push(RunTiming {
+                workload: r.workload.clone(),
+                level: r.level.label(),
+                wall_secs: 0.0,
+                uops: r.stats.committed_uops,
+                cached: true,
+            });
+            lock_unpoisoned(schedule_log()).push(JobTiming {
+                worker: 0,
+                start_us: now,
+                end_us: now,
+                workload: r.workload.clone(),
+                level: r.level.label(),
+                cached: true,
+                request: request.map(str::to_string),
+            });
+        }
+        Some(r)
     }
 }
 
@@ -1222,6 +1305,47 @@ mod tests {
         let mut d = Job::new(&w, &opts);
         d.max_cycles = 123;
         assert_ne!(a.key(), d.key(), "the cycle budget is part of the key");
+    }
+
+    /// The canonical key encoding must not drift: the in-memory cache,
+    /// the persistent store, and the `scc-route` hash ring all identify
+    /// results by this exact string. If this test fails, the encoding
+    /// changed — that invalidates every `scc-store` record and remaps
+    /// every job across shards, so it must be a deliberate decision:
+    /// update this golden string *and* bump `persist::SCHEMA_VERSION`
+    /// in the same change.
+    #[test]
+    fn key_encoding_is_stable() {
+        let opts = SimOptions::new(OptLevel::Full);
+        let got = job_key("freqmine", 800, opts.level, opts.max_cycles, &opts.to_pipeline_config());
+        let want = "freqmine|iters=800|full-scc|max=400000000|\
+                    core:6,5,6,8,352,140,160,4,2,1,2,5,12,3,18,4,5,true;\
+                    l1i:32768,8,64,lru;l1d:49152,12,64,lru;l2:524288,8,64,lru;\
+                    l3:8388608,16,64,rand;memlat:5,14,42,200;\
+                    fe:scc;unopt:24,8,6,3,8,28;opt:24,4,6,3,8,3;\
+                    opts:true,true,true,true,true,true,true,false;scc:5,4,2,2,18,1,none,6;\
+                    bp:tage;vp:eves;fuw:64;vpf:none;ff:true";
+        assert_eq!(got, want, "canonical job-key encoding drifted");
+
+        // The baseline frontend serializes through a different arm;
+        // pin it too so both shapes of the key are covered.
+        let base = SimOptions::new(OptLevel::Baseline);
+        let got = job_key("mcf", 1000, base.level, base.max_cycles, &base.to_pipeline_config());
+        let want = "mcf|iters=1000|baseline|max=400000000|\
+                    core:6,5,6,8,352,140,160,4,2,1,2,5,12,3,18,4,5,true;\
+                    l1i:32768,8,64,lru;l1d:49152,12,64,lru;l2:524288,8,64,lru;\
+                    l3:8388608,16,64,rand;memlat:5,14,42,200;\
+                    fe:baseline;uc:48,8,6,3,8,28;bp:tage;vp:eves;fuw:64;vpf:none;ff:true";
+        assert_eq!(got, want, "canonical job-key encoding drifted (baseline frontend)");
+
+        // And `Job::key` must be exactly the free function over the
+        // job's own fields — no second serialization path.
+        let w = workload("freqmine", Scale::custom(800)).unwrap();
+        let job = Job::new(&w, &SimOptions::new(OptLevel::Full));
+        assert_eq!(
+            job.key(),
+            job_key("freqmine", 800, job.level, job.max_cycles, &job.config)
+        );
     }
 
     #[test]
@@ -1410,6 +1534,27 @@ mod tests {
         }
         // And batch jobs remain unattributed.
         assert!(sched.iter().any(|t| t.request.is_none()));
+    }
+
+    #[test]
+    fn keyed_probe_resolves_without_the_workload_and_counts_once() {
+        let scale = Scale::custom(291);
+        let w = workload("leela", scale).unwrap();
+        let job = Job::new(&w, &SimOptions::new(OptLevel::Full));
+        let runner = Runner::with_jobs(1);
+        let key = job.key();
+        assert!(runner.try_cached(&key, None).is_none(), "cold key must miss");
+        let before = cache_stats();
+        let fresh = runner.run_fresh(&job, None, Some("req-f"), false).unwrap();
+        assert!(!fresh.cached);
+        // The probe resolves by key alone — no Workload in sight — and
+        // the hit is counted like any other cached resolution. (Counter
+        // asserts are lower bounds: the cache and its stats are
+        // process-global and other tests run concurrently.)
+        let hit = runner.try_cached(&key, Some("req-k")).unwrap();
+        assert!(Arc::ptr_eq(&fresh.result, &hit));
+        assert!(cache_stats().hits >= before.hits + 1);
+        assert!(schedule().iter().any(|t| t.request.as_deref() == Some("req-k") && t.cached));
     }
 
     #[test]

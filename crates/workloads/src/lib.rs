@@ -339,35 +339,55 @@ workload_fn!(
     }
 );
 
+/// Name → constructor registry, in the paper's figure order. Program
+/// generation is deferred to the constructor, so name lookups and
+/// existence checks cost nothing — callers that validate request names
+/// on a hot path (e.g. the serving admission check) must not pay for
+/// 19 program builds per probe.
+type WorkloadEntry = (&'static str, fn(Scale) -> Workload);
+
+const REGISTRY: &[WorkloadEntry] = &[
+    ("perlbench", perlbench),
+    ("gcc", gcc),
+    ("mcf", mcf),
+    ("xalancbmk", xalancbmk),
+    ("deepsjeng", deepsjeng),
+    ("leela", leela),
+    ("exchange", exchange),
+    ("xz", xz),
+    ("lbm", lbm),
+    ("wrf", wrf),
+    ("cactuBSSN", cactubssn),
+    ("blackscholes", blackscholes),
+    ("bodytrack", bodytrack),
+    ("canneal", canneal),
+    ("freqmine", freqmine),
+    ("streamcluster", streamcluster),
+    ("swaptions", swaptions),
+    ("vips", vips),
+    ("x264", x264),
+];
+
 /// The full 19-benchmark suite (11 SPEC + 8 PARSEC), in the paper's
 /// figure order.
 pub fn all_workloads(scale: Scale) -> Vec<Workload> {
-    vec![
-        perlbench(scale),
-        gcc(scale),
-        mcf(scale),
-        xalancbmk(scale),
-        deepsjeng(scale),
-        leela(scale),
-        exchange(scale),
-        xz(scale),
-        lbm(scale),
-        wrf(scale),
-        cactubssn(scale),
-        blackscholes(scale),
-        bodytrack(scale),
-        canneal(scale),
-        freqmine(scale),
-        streamcluster(scale),
-        swaptions(scale),
-        vips(scale),
-        x264(scale),
-    ]
+    REGISTRY.iter().map(|(_, build)| build(scale)).collect()
 }
 
-/// Looks up one workload by name.
+/// Looks up one workload by name, generating only that workload's
+/// program.
 pub fn workload(name: &str, scale: Scale) -> Option<Workload> {
-    all_workloads(scale).into_iter().find(|w| w.name == name)
+    REGISTRY.iter().find(|(n, _)| *n == name).map(|(_, build)| build(scale))
+}
+
+/// True if `name` is a known workload — without generating any program.
+pub fn workload_exists(name: &str) -> bool {
+    REGISTRY.iter().any(|(n, _)| *n == name)
+}
+
+/// Every known workload name, in the paper's figure order.
+pub fn workload_names() -> impl Iterator<Item = &'static str> {
+    REGISTRY.iter().map(|(n, _)| *n)
 }
 
 #[cfg(test)]
@@ -385,6 +405,16 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 19, "names must be unique");
+    }
+
+    #[test]
+    fn registry_names_match_the_workloads_they_build() {
+        for (name, build) in REGISTRY {
+            assert_eq!(build(Scale::test()).name, *name);
+            assert!(workload_exists(name));
+        }
+        assert!(!workload_exists("perlbench2"));
+        assert_eq!(workload_names().count(), 19);
     }
 
     #[test]
