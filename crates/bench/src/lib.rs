@@ -107,6 +107,7 @@ fn mean_label(suite: Option<Suite>) -> &'static str {
     match suite {
         None => "GEOMEAN(all)",
         Some(Suite::Parsec) => "GEOMEAN(parsec)",
+        Some(Suite::Guest) => "GEOMEAN(guest)",
         _ => "GEOMEAN(spec)",
     }
 }
@@ -115,6 +116,7 @@ fn suite_filter(w: &Workload, suite: Option<Suite>) -> bool {
     match suite {
         None => true,
         Some(Suite::Parsec) => w.suite == Suite::Parsec,
+        Some(Suite::Guest) => w.suite == Suite::Guest,
         _ => w.suite.is_spec(),
     }
 }
@@ -145,7 +147,7 @@ pub fn fig6_report_with(runner: &Runner, scale: Scale) -> String {
         row.extend(cells);
         t.row(&row);
     }
-    for suite in [Some(Suite::SpecInt), Some(Suite::Parsec)] {
+    for suite in [Some(Suite::SpecInt), Some(Suite::Parsec), Some(Suite::Guest)] {
         let mut row = vec![mean_label(suite).to_string()];
         for i in 1..6 {
             let vals: Vec<f64> = data
@@ -171,7 +173,7 @@ pub fn fig6_report_with(runner: &Runner, scale: Scale) -> String {
         }
         t.row(&row);
     }
-    for suite in [Some(Suite::SpecInt), Some(Suite::Parsec)] {
+    for suite in [Some(Suite::SpecInt), Some(Suite::Parsec), Some(Suite::Guest)] {
         let mut row = vec![mean_label(suite).to_string()];
         for i in 1..6 {
             let vals: Vec<f64> = data
@@ -252,7 +254,7 @@ pub fn fig8_report_with(runner: &Runner, scale: Scale) -> String {
             pct((1.0 - s / b) * 100.0),
         ]);
     }
-    for suite in [Some(Suite::SpecInt), Some(Suite::Parsec), None] {
+    for suite in [Some(Suite::SpecInt), Some(Suite::Parsec), Some(Suite::Guest), None] {
         let vals: Vec<f64> = data
             .iter()
             .filter(|(w, _)| suite_filter(w, suite))

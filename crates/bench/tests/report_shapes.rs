@@ -19,7 +19,7 @@ fn row<'a>(report: &'a str, bench: &str) -> &'a str {
 fn fig6_report_covers_all_benchmarks_and_levels() {
     let r = scc_bench::fig6_report(tiny());
     for w in all_workloads(tiny()) {
-        assert!(r.contains(w.name), "{} missing", w.name);
+        assert!(r.contains(w.name.as_ref()), "{} missing", w.name);
     }
     for panel in ["(top)", "(middle)", "(bottom)"] {
         assert!(r.contains(panel), "missing panel {panel}");

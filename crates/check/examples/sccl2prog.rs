@@ -1,0 +1,12 @@
+//! Compiles a guest `.sccl` file and prints the `.sccprog` text —
+//! the bridge from a guest-source reproducer to `scc-check minimize`.
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().expect("usage: sccl2prog <file.sccl> [O0|O1|O2]");
+    let opt = scc_lang::Opt::parse(&args.next().unwrap_or_else(|| "O0".into()))
+        .expect("opt level");
+    let src = std::fs::read_to_string(&path).expect("readable source");
+    let c = scc_lang::compile(&src, &scc_lang::Options { opt, iters: 1 })
+        .expect("guest program compiles");
+    print!("{}", scc_check::serialize::dump_program(&c.program));
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! scc-check fuzz [--seeds N] [--start S] [--workers W] [--profile wide|narrow]
-//!                [--no-ablations] [--no-minimize] [--max-cycles N] [--out DIR]
+//!                [--guest] [--no-ablations] [--no-minimize] [--max-cycles N]
+//!                [--out DIR]
 //! scc-check repro FILE...
 //! scc-check minimize FILE
 //! ```
@@ -20,7 +21,8 @@ scc-check: fuzz every SCC optimization level against the reference interpreter
 
 USAGE:
   scc-check fuzz [--seeds N] [--start S] [--workers W] [--profile wide|narrow]
-                 [--no-ablations] [--no-minimize] [--max-cycles N] [--out DIR]
+                 [--guest] [--no-ablations] [--no-minimize] [--max-cycles N]
+                 [--out DIR]
   scc-check repro FILE...
   scc-check minimize FILE
 
@@ -29,6 +31,12 @@ COMMANDS:
             six optimization levels (plus configuration ablations unless
             --no-ablations). Failures are minimized and written to
             --out (default check/repros) as .sccprog reproducers.
+            With --guest, seeds generate guest-language source instead:
+            each program is compiled at O0/O1/O2, the three binaries'
+            final guest-visible memory must agree (a compiler diff is a
+            front-end bug), and every binary is checked under the full
+            config matrix. Guest failures are written as .sccl source
+            reproducers, replayable from the seed alone.
   repro     Re-check committed .sccprog reproducers; exit 1 on any
             divergence.
   minimize  Minimize a diverging .sccprog further; prints the result.
@@ -64,6 +72,7 @@ struct FuzzArgs {
     start: u64,
     workers: usize,
     profile: String,
+    guest: bool,
     ablations: bool,
     minimize: bool,
     max_cycles: u64,
@@ -76,6 +85,7 @@ fn parse_fuzz_args(args: &[String]) -> Result<FuzzArgs, String> {
         start: 0,
         workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
         profile: "wide".to_string(),
+        guest: false,
         ablations: true,
         minimize: true,
         max_cycles: DEFAULT_MAX_CYCLES,
@@ -96,6 +106,7 @@ fn parse_fuzz_args(args: &[String]) -> Result<FuzzArgs, String> {
                     return Err(format!("--profile must be wide or narrow, got {}", fa.profile));
                 }
             }
+            "--guest" => fa.guest = true,
             "--no-ablations" => fa.ablations = false,
             "--no-minimize" => fa.minimize = false,
             "--max-cycles" => {
@@ -114,6 +125,8 @@ struct SeedFailure {
     divergences: Vec<Divergence>,
     /// Serialized minimized reproducer (header comments included).
     reproducer: String,
+    /// `sccprog` for macro-op reproducers, `sccl` for guest source.
+    ext: &'static str,
 }
 
 fn cmd_fuzz(args: &[String]) -> i32 {
@@ -130,8 +143,9 @@ fn cmd_fuzz(args: &[String]) -> i32 {
     };
     let matrix = config_matrix(fa.ablations);
     println!(
-        "fuzzing {} seeds ({}..{}) x {} configs, profile {}, {} workers",
+        "fuzzing {} {} seeds ({}..{}) x {} configs, profile {}, {} workers",
         fa.seeds,
+        if fa.guest { "guest" } else { "macro-op" },
         fa.start,
         fa.start + fa.seeds,
         matrix.len(),
@@ -145,7 +159,11 @@ fn cmd_fuzz(args: &[String]) -> i32 {
     std::panic::set_hook(Box::new(|_| {}));
     let seeds: Vec<u64> = (fa.start..fa.start + fa.seeds).collect();
     let results = parallel_map(fa.workers, &seeds, |&seed| {
-        fuzz_one(seed, &fa.profile, &gen_cfg, &matrix, fa.max_cycles, fa.minimize)
+        if fa.guest {
+            guest_fuzz_one(seed, &matrix, fa.max_cycles)
+        } else {
+            fuzz_one(seed, &fa.profile, &gen_cfg, &matrix, fa.max_cycles, fa.minimize)
+        }
     });
     std::panic::set_hook(prev_hook);
 
@@ -163,7 +181,8 @@ fn cmd_fuzz(args: &[String]) -> i32 {
         return 2;
     }
     for f in &failures {
-        let path = fa.out.join(format!("seed-{:05}-{}.sccprog", f.seed, fa.profile));
+        let profile = if fa.guest { "guest" } else { fa.profile.as_str() };
+        let path = fa.out.join(format!("seed-{:05}-{profile}.{}", f.seed, f.ext));
         println!("FAIL seed {} -> {}", f.seed, path.display());
         for d in &f.divergences {
             println!("  {d}");
@@ -215,7 +234,130 @@ fn fuzz_one(
         text.push_str(&format!("# divergence: {d}\n"));
     }
     text.push_str(&dump_program(&minimized));
-    Some(SeedFailure { seed, divergences, reproducer: text })
+    Some(SeedFailure { seed, divergences, reproducer: text, ext: "sccprog" })
+}
+
+/// Differentially checks one generated guest program: the three opt
+/// levels must agree on guest-visible memory under the oracle, and each
+/// compiled binary must match the oracle under every pipeline
+/// configuration. The seed alone reproduces everything, so the `.sccl`
+/// reproducer is the generated source, not a minimized binary.
+fn guest_fuzz_one(
+    seed: u64,
+    matrix: &[(String, PipelineConfig)],
+    max_cycles: u64,
+) -> Option<SeedFailure> {
+    let src = scc_lang::gen::generate(seed);
+    let mut divergences = Vec::new();
+    let mut compiled = Vec::new();
+    for opt in scc_lang::Opt::ALL {
+        match scc_lang::compile(&src, &scc_lang::Options { opt, iters: 1 }) {
+            Ok(c) => compiled.push((opt, c)),
+            Err(e) => divergences.push(Divergence {
+                config: format!("compile@{}", opt.name()),
+                kind: scc_check::DivergenceKind::Outcome,
+                detail: e.to_string(),
+            }),
+        }
+    }
+
+    // Guest-visible memory must be identical across opt levels: read
+    // every declared variable and array element back out of the oracle's
+    // memory after each binary halts.
+    let mut reference: Option<(scc_lang::Opt, GuestMem)> = None;
+    for (opt, c) in &compiled {
+        let mut m = scc_isa::Machine::new(&c.program);
+        match m.run(scc_check::ORACLE_UOP_BUDGET) {
+            Ok(r) if r.halted => {}
+            Ok(r) => {
+                divergences.push(Divergence {
+                    config: format!("oracle@{}", opt.name()),
+                    kind: scc_check::DivergenceKind::Outcome,
+                    detail: format!("stopped after {} uops without halting", r.uops),
+                });
+                continue;
+            }
+            Err(e) => {
+                divergences.push(Divergence {
+                    config: format!("oracle@{}", opt.name()),
+                    kind: scc_check::DivergenceKind::Outcome,
+                    detail: format!("oracle failed: {e:?}"),
+                });
+                continue;
+            }
+        }
+        let mem: GuestMem = c
+            .symbols
+            .iter()
+            .map(|s| {
+                let vals = (0..s.len).map(|i| m.mem().read(s.addr + 8 * i as u64)).collect();
+                (s.name.clone(), vals)
+            })
+            .collect();
+        match &reference {
+            None => reference = Some((*opt, mem)),
+            Some((ref_opt, ref_mem)) => {
+                if let Some(d) = guest_mem_diff(ref_mem, &mem) {
+                    divergences.push(Divergence {
+                        config: format!("{}-vs-{}", ref_opt.name(), opt.name()),
+                        kind: scc_check::DivergenceKind::Snapshot,
+                        detail: d,
+                    });
+                }
+            }
+        }
+    }
+
+    // Full pipeline differential per binary — an optimizer-shaped
+    // program must still match the oracle under every configuration.
+    for (opt, c) in &compiled {
+        match check_program(&c.program, matrix, max_cycles) {
+            Ok(divs) => divergences.extend(divs.into_iter().map(|mut d| {
+                d.config = format!("{}@{}", d.config, opt.name());
+                d
+            })),
+            Err(e) => divergences.push(Divergence {
+                config: format!("oracle@{}", opt.name()),
+                kind: scc_check::DivergenceKind::Outcome,
+                detail: e,
+            }),
+        }
+    }
+
+    if divergences.is_empty() {
+        return None;
+    }
+    let mut text = String::new();
+    text.push_str("# scc-check guest reproducer\n");
+    text.push_str(&format!("# seed: {seed}\n"));
+    for d in &divergences {
+        text.push_str(&format!("# divergence: {d}\n"));
+    }
+    text.push_str(&src);
+    Some(SeedFailure { seed, divergences, reproducer: text, ext: "sccl" })
+}
+
+/// Final guest-visible state: `(variable, element values)` in
+/// declaration order, scalars as single-element vectors.
+type GuestMem = Vec<(String, Vec<i64>)>;
+
+/// First guest variable whose final value differs between two compiled
+/// binaries, or `None` when the guest-visible state agrees.
+fn guest_mem_diff(a: &GuestMem, b: &GuestMem) -> Option<String> {
+    if a.len() != b.len() {
+        return Some(format!("symbol count {} != {}", a.len(), b.len()));
+    }
+    for ((an, av), (bn, bv)) in a.iter().zip(b) {
+        if an != bn {
+            return Some(format!("symbol order differs: `{an}` vs `{bn}`"));
+        }
+        for (i, (x, y)) in av.iter().zip(bv).enumerate() {
+            if x != y {
+                return Some(format!("{an}[{i}]: {x} vs {y}"));
+            }
+        }
+    }
+    None
 }
 
 /// The reference configuration plus every configuration that diverged —

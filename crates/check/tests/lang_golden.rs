@@ -1,0 +1,107 @@
+//! Golden lowering tests: the corpus guest programs compile to
+//! **byte-identical** `.sccprog` text on every run, pinned by committed
+//! golden files under `tests/golden/`.
+//!
+//! The pin catches two distinct regressions: nondeterminism anywhere in
+//! the front end (lexer, parser, lowering, passes, assembler), and
+//! accidental codegen drift — any intentional lowering change must
+//! re-bless the goldens, which makes the diff reviewable instruction by
+//! instruction. Re-bless with:
+//!
+//! ```text
+//! SCC_BLESS=1 cargo test -p scc-check --test lang_golden
+//! ```
+
+use scc_check::serialize::{dump_program, parse_program};
+use scc_lang::corpus::CORPUS;
+use scc_lang::Opt;
+use std::path::PathBuf;
+
+/// Iteration count pinned in the goldens — independent of workload
+/// scale so the files never churn when scale tuning changes.
+const GOLDEN_ITERS: i64 = 2;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.sccprog"))
+}
+
+fn compile_golden(name: &str) -> String {
+    let g = CORPUS.iter().find(|g| g.name == name).expect("corpus program");
+    let c = g.compile(Opt::O2, GOLDEN_ITERS).expect("corpus compiles at O2");
+    let mut text = String::new();
+    text.push_str(&format!("# golden lowering: {} @ O2, ITERS={GOLDEN_ITERS}\n", g.file));
+    text.push_str(&dump_program(&c.program));
+    text
+}
+
+#[test]
+fn corpus_lowering_matches_committed_goldens() {
+    let bless = std::env::var_os("SCC_BLESS").is_some();
+    let mut stale = Vec::new();
+    for g in CORPUS {
+        let text = compile_golden(g.name);
+        // Determinism first: a second compilation must produce the
+        // same bytes before comparing against anything on disk.
+        assert_eq!(text, compile_golden(g.name), "{}: nondeterministic lowering", g.name);
+        let path = golden_path(g.name);
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &text).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: cannot read golden {}: {e}", g.name, path.display()));
+        if text != want {
+            stale.push(g.name);
+        }
+    }
+    assert!(
+        stale.is_empty(),
+        "goldens out of date for {stale:?}; re-bless with SCC_BLESS=1 and review the diff"
+    );
+}
+
+#[test]
+fn goldens_parse_round_trip_and_match_fresh_compilation() {
+    for g in CORPUS {
+        let path = golden_path(g.name);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: cannot read golden {}: {e}", g.name, path.display()));
+        let parsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("{}: golden does not parse: {e}", g.name));
+        // The `.sccprog` hop is lossless: dump(parse(golden)) is the
+        // golden again, modulo the comment header parse discards.
+        let redumped = dump_program(&parsed);
+        assert!(
+            text.ends_with(&redumped),
+            "{}: golden is not a fixed point of parse+dump",
+            g.name
+        );
+        // And the parsed program IS the freshly compiled one.
+        let c = g.compile(Opt::O2, GOLDEN_ITERS).expect("corpus compiles");
+        assert_eq!(parsed.entry(), c.program.entry(), "{}", g.name);
+        assert_eq!(parsed.init_data(), c.program.init_data(), "{}", g.name);
+        assert_eq!(parsed.insts(), c.program.insts(), "{}", g.name);
+    }
+}
+
+#[test]
+fn goldens_disassemble_without_unknown_ops() {
+    for g in CORPUS {
+        let c = g.compile(Opt::O2, GOLDEN_ITERS).expect("corpus compiles");
+        let asm = scc_isa::disasm::disassemble(&c.program);
+        assert!(!asm.is_empty(), "{}: empty disassembly", g.name);
+        assert!(
+            !asm.contains("???") && !asm.contains("unknown"),
+            "{}: disassembly has unknown ops:\n{asm}",
+            g.name
+        );
+        // Every non-padding macro-op address appears in the listing.
+        for inst in c.program.insts() {
+            if inst.uops.iter().any(|u| u.op != scc_isa::Op::Nop) {
+                let tag = format!("{:x}", inst.addr);
+                assert!(asm.contains(&tag), "{}: {:#x} missing from disasm", g.name, inst.addr);
+            }
+        }
+    }
+}

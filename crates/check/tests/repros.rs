@@ -1,10 +1,11 @@
 //! Replays every committed reproducer in `check/repros/` against the
 //! full configuration matrix.
 //!
-//! Reproducers are minimized programs that once exposed a divergence;
-//! they are committed together with the fix, so each must now match the
-//! oracle under every configuration. A failure here is a regression of
-//! a previously fixed miscompaction.
+//! Reproducers are minimized programs (`.sccprog`) or guest sources
+//! (`.sccl`, from `scc-check fuzz --guest`) that once exposed a
+//! divergence; they are committed together with the fix, so each must
+//! now match the oracle under every configuration. A failure here is a
+//! regression of a previously fixed miscompaction.
 
 use scc_check::serialize::parse_program;
 use scc_check::{check_program, config_matrix, DEFAULT_MAX_CYCLES};
@@ -25,20 +26,36 @@ fn committed_reproducers_stay_fixed() {
     let mut checked = 0usize;
     for entry in entries {
         let path = entry.expect("readable directory entry").path();
-        if path.extension().and_then(|e| e.to_str()) != Some("sccprog") {
-            continue;
+        let ext = path.extension().and_then(|e| e.to_str());
+        let text = match ext {
+            Some("sccprog") | Some("sccl") => std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display())),
+            _ => continue,
+        };
+        // A guest-source reproducer is checked at every opt level — the
+        // divergence it caught may live in the frontend or the pipeline.
+        let programs: Vec<(String, scc_isa::Program)> = if ext == Some("sccl") {
+            scc_lang::Opt::ALL
+                .iter()
+                .map(|&opt| {
+                    let c = scc_lang::compile(&text, &scc_lang::Options { opt, iters: 1 })
+                        .unwrap_or_else(|e| panic!("{} @ {opt:?}: {e}", path.display()));
+                    (format!("{} @ {opt:?}", path.display()), c.program)
+                })
+                .collect()
+        } else {
+            let p = parse_program(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            vec![(path.display().to_string(), p)]
+        };
+        for (label, p) in &programs {
+            let divs = check_program(p, &matrix, DEFAULT_MAX_CYCLES)
+                .unwrap_or_else(|e| panic!("{label}: oracle failed: {e}"));
+            assert!(
+                divs.is_empty(),
+                "{label} regressed:\n{}",
+                divs.iter().map(|d| format!("  {d}\n")).collect::<String>()
+            );
         }
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-        let p = parse_program(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-        let divs = check_program(&p, &matrix, DEFAULT_MAX_CYCLES)
-            .unwrap_or_else(|e| panic!("{}: oracle failed: {e}", path.display()));
-        assert!(
-            divs.is_empty(),
-            "{} regressed:\n{}",
-            path.display(),
-            divs.iter().map(|d| format!("  {d}\n")).collect::<String>()
-        );
         checked += 1;
     }
     eprintln!("replayed {checked} reproducers from {}", dir.display());

@@ -571,6 +571,11 @@ impl CompactionEngine {
                         return Step::ElimAndPivot(v as Addr);
                     }
                     let mut s = self.rewrite_operands(uop, pass);
+                    // The pivot target is *speculatively* known (the RCT
+                    // value may descend from a data invariant), so this
+                    // branch can mispredict at runtime and originate a
+                    // mid-stream squash: it must carry pending live-outs.
+                    self.attach_pending_live_outs(&mut s, pass);
                     s.branch_next = Some(v as Addr);
                     self.note(pass, uop, Transformation::ControlPivot);
                     return Step::KeepAndPivot(s, v as Addr);
@@ -590,6 +595,9 @@ impl CompactionEngine {
                             return Step::ElimAndPivot(dest);
                         }
                         let mut s = self.rewrite_operands(uop, pass);
+                        // Speculatively evaluated condition — a runtime
+                        // mispredict squashes mid-stream (see JmpInd).
+                        self.attach_pending_live_outs(&mut s, pass);
                         s.branch_next = Some(dest);
                         self.note(pass, uop, Transformation::ControlPivot);
                         return Step::KeepAndPivot(s, dest);
@@ -612,6 +620,9 @@ impl CompactionEngine {
                         return Step::ElimAndPivot(dest);
                     }
                     let mut s = self.rewrite_operands(uop, pass);
+                    // Speculatively evaluated condition — a runtime
+                    // mispredict squashes mid-stream (see JmpInd).
+                    self.attach_pending_live_outs(&mut s, pass);
                     s.branch_next = Some(dest);
                     self.note(pass, uop, Transformation::ControlPivot);
                     return Step::KeepAndPivot(s, dest);
@@ -730,6 +741,16 @@ impl CompactionEngine {
                     return Step::Keep(s);
                 }
             }
+        }
+        // A kept integer load is a potential mid-stream squash origin
+        // even without a prediction source: classic VP forwarding (a
+        // baseline feature, orthogonal to SCC) validates forwarded loads
+        // at execute and squashes younger micro-ops on a mismatch,
+        // resuming *past* everything folded before the load. Like a
+        // prediction source, it must therefore carry every pending
+        // live-out so the folded producers' effects survive the flush.
+        if uop.op == Op::Load && uop.dst.is_some_and(|d| d.is_int()) {
+            self.attach_pending_live_outs(&mut s, pass);
         }
         // Unpredicted kept micro-op: its outputs become unknown.
         if let Some(dst) = uop.dst {

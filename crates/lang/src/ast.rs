@@ -1,0 +1,97 @@
+//! Abstract syntax for the guest language.
+//!
+//! The language is a minimal imperative core: 64-bit integer scalars,
+//! fixed-size integer arrays, `while`/`if`-`else` control flow, and C-like
+//! expressions. All arithmetic is two's-complement wrapping `i64`, shifts
+//! mask their amount to 6 bits, and division by zero yields 0 — exactly
+//! the semantics of the target micro-op ISA (`scc_isa::semantics`), so
+//! constant folding in the compiler can never disagree with the machine.
+
+/// Binary arithmetic/logic operators (comparisons are [`CmpOp`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (wrapping).
+    Add,
+    /// `-` (wrapping).
+    Sub,
+    /// `*` (wrapping).
+    Mul,
+    /// `/` (0 on division by zero).
+    Div,
+    /// `%` (0 on division by zero).
+    Rem,
+    /// `&`.
+    And,
+    /// `|`.
+    Or,
+    /// `^`.
+    Xor,
+    /// `<<` (amount masked to 6 bits).
+    Shl,
+    /// `>>` (arithmetic; amount masked to 6 bits).
+    Sar,
+}
+
+/// Comparison operators; each evaluates to 0 or 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<` (signed).
+    Lt,
+    /// `<=` (signed).
+    Le,
+    /// `>` (signed).
+    Gt,
+    /// `>=` (signed).
+    Ge,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-` (wrapping negate).
+    Neg,
+    /// `~` (bitwise not).
+    Not,
+    /// `!` (logical not: 1 if zero, else 0).
+    LogNot,
+}
+
+/// An expression node, annotated with its source line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Scalar variable read (or the `ITERS` builtin).
+    Var(String, usize),
+    /// Array element read `name[index]`.
+    Index(String, Box<Expr>, usize),
+    /// Unary operator application.
+    Un(UnOp, Box<Expr>),
+    /// Binary arithmetic/logic.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Comparison producing 0/1.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+}
+
+/// A statement, annotated with its source line where errors can occur.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `let name = expr;` — declares and initializes a scalar.
+    Let(String, Expr, usize),
+    /// `array name[len];` or `array name[len] = { v, ... };` — declares a
+    /// fixed-size array, optionally with constant initial values (unset
+    /// trailing elements are 0).
+    ArrayDecl(String, usize, Vec<i64>, usize),
+    /// `name = expr;` — assigns a scalar.
+    Assign(String, Expr, usize),
+    /// `name[index] = expr;` — assigns an array element.
+    ArrayAssign(String, Expr, Expr, usize),
+    /// `while (cond) { ... }`.
+    While(Expr, Vec<Stmt>),
+    /// `if (cond) { ... } else { ... }` (else optional).
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+}

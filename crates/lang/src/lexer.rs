@@ -1,0 +1,327 @@
+//! Tokenizer for the guest language.
+//!
+//! The token set is deliberately small: identifiers, decimal/hex integer
+//! literals, the keyword set (`let`, `array`, `while`, `if`, `else`), and
+//! the operator/punctuation inventory of the expression grammar. `//` and
+//! `#` start comments that run to end of line.
+
+use crate::CompileError;
+use std::fmt;
+
+/// A lexical token with the 1-based source line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// 1-based source line, for error messages.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword-candidate name.
+    Ident(String),
+    /// An integer literal (decimal or `0x` hex).
+    Num(i64),
+    /// `let`.
+    Let,
+    /// `array`.
+    Array,
+    /// `while`.
+    While,
+    /// `if`.
+    If,
+    /// `else`.
+    Else,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `=`.
+    Assign,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `&`.
+    Amp,
+    /// `|`.
+    Pipe,
+    /// `^`.
+    Caret,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// `~`.
+    Tilde,
+    /// `!`.
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Num(n) => write!(f, "number `{n}`"),
+            Tok::Let => f.write_str("`let`"),
+            Tok::Array => f.write_str("`array`"),
+            Tok::While => f.write_str("`while`"),
+            Tok::If => f.write_str("`if`"),
+            Tok::Else => f.write_str("`else`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::LBracket => f.write_str("`[`"),
+            Tok::RBracket => f.write_str("`]`"),
+            Tok::LBrace => f.write_str("`{`"),
+            Tok::RBrace => f.write_str("`}`"),
+            Tok::Semi => f.write_str("`;`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Assign => f.write_str("`=`"),
+            Tok::EqEq => f.write_str("`==`"),
+            Tok::NotEq => f.write_str("`!=`"),
+            Tok::Lt => f.write_str("`<`"),
+            Tok::Le => f.write_str("`<=`"),
+            Tok::Gt => f.write_str("`>`"),
+            Tok::Ge => f.write_str("`>=`"),
+            Tok::Plus => f.write_str("`+`"),
+            Tok::Minus => f.write_str("`-`"),
+            Tok::Star => f.write_str("`*`"),
+            Tok::Slash => f.write_str("`/`"),
+            Tok::Percent => f.write_str("`%`"),
+            Tok::Amp => f.write_str("`&`"),
+            Tok::Pipe => f.write_str("`|`"),
+            Tok::Caret => f.write_str("`^`"),
+            Tok::Shl => f.write_str("`<<`"),
+            Tok::Shr => f.write_str("`>>`"),
+            Tok::Tilde => f.write_str("`~`"),
+            Tok::Bang => f.write_str("`!`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// Tokenizes `src`, returning the token stream terminated by [`Tok::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let hex = c == b'0' && i + 1 < bytes.len() && (bytes[i + 1] | 0x20) == b'x';
+                if hex {
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                let value = if hex {
+                    u64::from_str_radix(&text[2..], 16).map(|v| v as i64)
+                } else {
+                    text.parse::<i64>()
+                };
+                match value {
+                    Ok(n) => out.push(Token { kind: Tok::Num(n), line }),
+                    Err(_) => {
+                        return Err(CompileError::Syntax {
+                            line,
+                            msg: format!("integer literal `{text}` out of range"),
+                        })
+                    }
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let kind = match &src[start..i] {
+                    "let" => Tok::Let,
+                    "array" => Tok::Array,
+                    "while" => Tok::While,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    name => Tok::Ident(name.to_string()),
+                };
+                out.push(Token { kind, line });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+                let (kind, width) = match two {
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::NotEq, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    _ => {
+                        let kind = match c {
+                            b'(' => Tok::LParen,
+                            b')' => Tok::RParen,
+                            b'[' => Tok::LBracket,
+                            b']' => Tok::RBracket,
+                            b'{' => Tok::LBrace,
+                            b'}' => Tok::RBrace,
+                            b';' => Tok::Semi,
+                            b',' => Tok::Comma,
+                            b'=' => Tok::Assign,
+                            b'<' => Tok::Lt,
+                            b'>' => Tok::Gt,
+                            b'+' => Tok::Plus,
+                            b'-' => Tok::Minus,
+                            b'*' => Tok::Star,
+                            b'/' => Tok::Slash,
+                            b'%' => Tok::Percent,
+                            b'&' => Tok::Amp,
+                            b'|' => Tok::Pipe,
+                            b'^' => Tok::Caret,
+                            b'~' => Tok::Tilde,
+                            b'!' => Tok::Bang,
+                            other => {
+                                return Err(CompileError::Syntax {
+                                    line,
+                                    msg: format!(
+                                        "unexpected character `{}`",
+                                        char::from(other)
+                                    ),
+                                })
+                            }
+                        };
+                        (kind, 1)
+                    }
+                };
+                out.push(Token { kind, line });
+                i += width;
+            }
+        }
+    }
+    out.push(Token { kind: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_statement() {
+        assert_eq!(
+            kinds("let x = 0x10 + 2;"),
+            vec![
+                Tok::Let,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Num(16),
+                Tok::Plus,
+                Tok::Num(2),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win_over_one_char() {
+        assert_eq!(
+            kinds("a <= b << c == d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Shl,
+                Tok::Ident("c".into()),
+                Tok::EqEq,
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines_are_tracked() {
+        let toks = lex("let a = 1; // comment\n# whole line\na = 2;").unwrap();
+        let on_line_3 = toks.iter().filter(|t| t.line == 3).count();
+        assert_eq!(on_line_3, 5, "`a = 2 ;` and eof");
+    }
+
+    #[test]
+    fn bad_character_is_a_typed_error() {
+        match lex("let a = @;") {
+            Err(CompileError::Syntax { line: 1, .. }) => {}
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_literal_is_a_typed_error() {
+        assert!(lex("let a = 99999999999999999999;").is_err());
+        // Hex covers the full u64 range, reinterpreted as i64.
+        assert_eq!(
+            kinds("let a = 0xffffffffffffffff;")[3],
+            Tok::Num(-1)
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! `scc-lang`: a guest-language compiler frontend for the SCC engine.
+//!
+//! The paper's evaluation needs *real program shapes* — loops, branches,
+//! array traffic, redundancy that speculative code compaction can actually
+//! harvest — not just hand-woven synthetic kernels. This crate provides
+//! them: a small imperative language (64-bit integer scalars, fixed-size
+//! arrays, `while`/`if`, C-like expressions) that compiles down to the
+//! macro-op ISA in [`scc_isa`].
+//!
+//! Pipeline: [`lexer`] → [`parser`] → lowering to a linear IR
+//! ([`lower`, private]) → staged peephole passes (constant folding,
+//! redundant-load elision, branch simplification; see [`Opt`]) → assembly
+//! through `scc_isa::ProgramBuilder`.
+//!
+//! The crate also owns the versioned **`SCCTRACE1`** interchange format
+//! ([`trace`]) so compiled programs can be shipped to a running `scc-serve`
+//! instance, a seeded program *generator* ([`gen`]) for differential
+//! fuzzing of the compiler itself, and the committed guest corpus
+//! ([`corpus`]) registered as first-class workloads by `scc-workloads`.
+//!
+//! Guest semantics are *defined* as ISA semantics: the constant folder
+//! evaluates through `scc_isa::semantics`, so a folded program can never
+//! disagree with the interpreted one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod corpus;
+pub mod gen;
+pub mod lexer;
+mod lower;
+mod opt;
+pub mod parser;
+pub mod trace;
+
+pub use lower::{ENTRY, GUEST_BASE, ITERS_NAME};
+
+use scc_isa::{Program, ProgramError};
+use std::fmt;
+
+/// A compilation failure. Every malformed input maps to a typed error;
+/// the compiler never panics on user source.
+#[derive(Debug)]
+pub enum CompileError {
+    /// Lexical or grammatical error at a source line.
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Name/type error (undeclared variable, redeclaration, scalar/array
+    /// misuse) at a source line.
+    Semantic {
+        /// 1-based source line.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// The program exceeds a compiler capacity limit (e.g. expression
+    /// nesting deeper than the evaluation register file).
+    TooComplex {
+        /// Human-readable description.
+        msg: String,
+    },
+    /// The assembled program violated an ISA-level constraint.
+    Build(ProgramError),
+    /// A compiler invariant broke; indicates a bug in `scc-lang`, not in
+    /// the guest program.
+    Internal(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Syntax { line, msg } => write!(f, "syntax error (line {line}): {msg}"),
+            CompileError::Semantic { line, msg } => {
+                write!(f, "semantic error (line {line}): {msg}")
+            }
+            CompileError::TooComplex { msg } => write!(f, "program too complex: {msg}"),
+            CompileError::Build(e) => write!(f, "program assembly failed: {e}"),
+            CompileError::Internal(msg) => write!(f, "internal compiler error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Optimization level for the staged peephole pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Opt {
+    /// No optimization; direct lowering output.
+    O0,
+    /// Constant folding + redundant-load elision (+ a re-fold).
+    O1,
+    /// `O1` plus branch simplification (threading, branch-to-next
+    /// deletion, unreachable sweep).
+    O2,
+}
+
+impl Opt {
+    /// All levels, weakest first.
+    pub const ALL: [Opt; 3] = [Opt::O0, Opt::O1, Opt::O2];
+
+    /// Short stable name (`"O0"`/`"O1"`/`"O2"`), used in CLI flags and
+    /// golden-file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Opt::O0 => "O0",
+            Opt::O1 => "O1",
+            Opt::O2 => "O2",
+        }
+    }
+
+    /// Parses a level name as produced by [`Opt::name`] (case-insensitive,
+    /// leading `-` accepted).
+    pub fn parse(s: &str) -> Option<Opt> {
+        match s.trim_start_matches('-').to_ascii_lowercase().as_str() {
+            "o0" | "0" => Some(Opt::O0),
+            "o1" | "1" => Some(Opt::O1),
+            "o2" | "2" => Some(Opt::O2),
+            _ => None,
+        }
+    }
+}
+
+/// Compilation options.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Peephole pipeline stage selection.
+    pub opt: Opt,
+    /// Value of the `ITERS` builtin, letting one source scale its outer
+    /// loop per run without editing the source text.
+    pub iters: i64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { opt: Opt::O2, iters: 1 }
+    }
+}
+
+/// A guest-visible variable in the compiled program's memory image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Symbol {
+    /// Source-level name.
+    pub name: String,
+    /// Absolute address of the first (or only) word.
+    pub addr: u64,
+    /// Number of 8-byte words (1 for scalars).
+    pub len: usize,
+}
+
+/// Static instruction counts before and after optimization.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// IR instructions straight out of lowering.
+    pub ir_before: usize,
+    /// IR instructions after the selected passes.
+    pub ir_after: usize,
+}
+
+impl PassStats {
+    /// Instructions removed by the pipeline.
+    pub fn removed(&self) -> usize {
+        self.ir_before.saturating_sub(self.ir_after)
+    }
+}
+
+/// The result of a successful compilation.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The assembled macro-op program.
+    pub program: Program,
+    /// Static pass statistics.
+    pub stats: PassStats,
+    /// Guest variable layout, in declaration order.
+    pub symbols: Vec<Symbol>,
+}
+
+/// Compiles guest source text to a macro-op program.
+pub fn compile(src: &str, options: &Options) -> Result<Compiled, CompileError> {
+    let stmts = parser::parse(src)?;
+    let lowered = lower::lower(&stmts, options)?;
+    let mut ins = lowered.ins;
+    let ir_before = ins.len();
+    if options.opt >= Opt::O1 {
+        opt::const_fold(&mut ins);
+        opt::load_elim(&mut ins);
+        opt::const_fold(&mut ins);
+    }
+    if options.opt >= Opt::O2 {
+        opt::simplify_branches(&mut ins);
+    }
+    let program = lower::emit(&ins, &lowered.data)?;
+    Ok(Compiled {
+        program,
+        stats: PassStats { ir_before, ir_after: ins.len() },
+        symbols: lowered.symbols,
+    })
+}
+
+/// Convenience wrapper returning just the [`Program`].
+pub fn compile_program(src: &str, options: &Options) -> Result<Program, CompileError> {
+    compile(src, options).map(|c| c.program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_isa::Machine;
+
+    // The `debug` block is provably dead: store-to-load forwarding plus
+    // constant folding decide the guard, and branch simplification then
+    // sweeps the body — the classic dead-code shape the passes exist for.
+    const SRC: &str = "
+        let debug = 0;
+        let n = 10;
+        let acc = 0;
+        if (debug == 1) {
+            acc = 123456;
+        }
+        let i = 0;
+        while (i < n) {
+            acc = acc + i * i;
+            i = i + 1;
+        }
+    ";
+
+    fn run_mem(program: &Program, addr: u64) -> i64 {
+        let mut m = Machine::new(program);
+        let r = m.run(1_000_000).unwrap();
+        assert!(r.halted, "program did not halt");
+        m.mem().read(addr)
+    }
+
+    /// Macro-insts that do work: region alignment pads with nops, so the
+    /// raw `insts()` count grows as real code shrinks.
+    fn real_insts(program: &Program) -> usize {
+        program
+            .insts()
+            .iter()
+            .filter(|i| i.uops.iter().any(|u| u.op != scc_isa::Op::Nop))
+            .count()
+    }
+
+    #[test]
+    fn all_opt_levels_agree_on_results() {
+        let mut sizes = Vec::new();
+        for opt in Opt::ALL {
+            let c = compile(SRC, &Options { opt, iters: 1 }).unwrap();
+            // acc is the second declared scalar.
+            let acc = c.symbols.iter().find(|s| s.name == "acc").unwrap();
+            assert_eq!(run_mem(&c.program, acc.addr), 285, "{opt:?}");
+            sizes.push(real_insts(&c.program));
+        }
+        assert!(sizes[2] <= sizes[1] && sizes[1] <= sizes[0], "{sizes:?}");
+    }
+
+    #[test]
+    fn optimization_shrinks_static_code() {
+        let o0 = compile(SRC, &Options { opt: Opt::O0, iters: 1 }).unwrap();
+        let o2 = compile(SRC, &Options { opt: Opt::O2, iters: 1 }).unwrap();
+        assert!(o2.stats.removed() > 0);
+        assert!(real_insts(&o2.program) < real_insts(&o0.program));
+    }
+
+    #[test]
+    fn opt_level_names_round_trip() {
+        for opt in Opt::ALL {
+            assert_eq!(Opt::parse(opt.name()), Some(opt));
+        }
+        assert_eq!(Opt::parse("-O2"), Some(Opt::O2));
+        assert_eq!(Opt::parse("bogus"), None);
+    }
+
+    #[test]
+    fn errors_display_with_location() {
+        let err = compile("let a = ;", &Options::default()).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+}

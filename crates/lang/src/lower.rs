@@ -1,0 +1,752 @@
+//! Lowering from guest AST to a linear IR, and assembly of that IR into a
+//! [`scc_isa::Program`].
+//!
+//! The IR is a flat instruction list over the 16 integer registers with
+//! symbolic label targets — close enough to the macro-op ISA that emission
+//! is a 1:1 walk over [`ProgramBuilder`], but symbolic enough that the
+//! peephole passes in [`crate::opt`] can rewrite it freely.
+//!
+//! Register convention:
+//!
+//! - `r15` (`GP`) is pinned to [`GUEST_BASE`] by the prologue and never
+//!   written again; every scalar access is a single `load`/`store` with a
+//!   static offset from it.
+//! - `r1`–`r10` are the expression evaluation stack (depth-indexed).
+//! - `r0` and `r11`–`r14` are unused, left free for future codegen.
+//!
+//! Flag-liveness invariant: no IR instruction reads condition codes set by
+//! a *previous* IR instruction — comparisons are always emitted as fused
+//! `cmp`+`setcc` or `cmpbr` units. The optimizer relies on this to delete
+//! or reorder flag-writing instructions without tracking flags.
+
+use crate::ast::{BinOp, CmpOp, Expr, Stmt, UnOp};
+use crate::{CompileError, Options, Symbol};
+use scc_isa::{eval_alu, eval_complex, Cond, Op, Program, ProgramBuilder, Reg};
+use std::collections::HashMap;
+
+/// Base address of guest variable memory; `GP` (`r15`) holds this value.
+pub const GUEST_BASE: u64 = 0x10_0000;
+
+/// Entry address of compiled guest programs.
+pub const ENTRY: u64 = 0x1000;
+
+/// The pinned global-pointer register index (`r15`).
+pub(crate) const GP: u8 = 15;
+
+const FIRST_EXPR_REG: u8 = 1;
+const MAX_EXPR_DEPTH: usize = 10;
+
+/// The reserved builtin identifier bound to [`Options::iters`].
+pub const ITERS_NAME: &str = "ITERS";
+
+/// An IR operand: a register or an immediate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Val {
+    /// Integer register index.
+    Reg(u8),
+    /// Immediate.
+    Imm(i64),
+}
+
+/// A linear-IR instruction. Register fields are integer register indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Ins {
+    /// A branch target. `align` pads to the next 32-byte region (loop
+    /// heads), mirroring how compilers align hot loops.
+    Label {
+        /// Symbolic label id.
+        id: usize,
+        /// Whether to region-align the bound address.
+        align: bool,
+    },
+    /// `dst = imm`.
+    MovImm {
+        /// Destination register.
+        dst: u8,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: u8,
+        /// Source register.
+        src: u8,
+    },
+    /// `dst = lhs <op> rhs`.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination register.
+        dst: u8,
+        /// Left operand register.
+        lhs: u8,
+        /// Right operand.
+        rhs: Val,
+    },
+    /// `dst = ~src` or `dst = -src`.
+    Un {
+        /// [`UnOp::Not`] or [`UnOp::Neg`] (never `LogNot`).
+        op: UnOp,
+        /// Destination register.
+        dst: u8,
+        /// Source register.
+        src: u8,
+    },
+    /// `dst = (lhs cond rhs) ? 1 : 0`, emitted as `cmp` + `setcc`.
+    SetCmp {
+        /// Comparison condition.
+        cond: Cond,
+        /// Destination register.
+        dst: u8,
+        /// Left operand register.
+        lhs: u8,
+        /// Right operand.
+        rhs: Val,
+    },
+    /// `dst = mem[base + off]`.
+    Load {
+        /// Destination register.
+        dst: u8,
+        /// Base address register.
+        base: u8,
+        /// Byte displacement.
+        off: i64,
+    },
+    /// `mem[base + off] = src`.
+    Store {
+        /// Stored value.
+        src: Val,
+        /// Base address register.
+        base: u8,
+        /// Byte displacement.
+        off: i64,
+    },
+    /// `if (lhs cond rhs) goto target` (fused compare-and-branch).
+    CmpBr {
+        /// Branch condition.
+        cond: Cond,
+        /// Left operand register.
+        lhs: u8,
+        /// Right operand.
+        rhs: Val,
+        /// Target label id.
+        target: usize,
+    },
+    /// `goto target`.
+    Jmp {
+        /// Target label id.
+        target: usize,
+    },
+    /// Stop the machine.
+    Halt,
+}
+
+impl Ins {
+    /// The register this instruction writes, if any.
+    pub(crate) fn def(&self) -> Option<u8> {
+        match self {
+            Ins::MovImm { dst, .. }
+            | Ins::Mov { dst, .. }
+            | Ins::Bin { dst, .. }
+            | Ins::Un { dst, .. }
+            | Ins::SetCmp { dst, .. }
+            | Ins::Load { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+}
+
+/// Evaluates a binary operator on constants with exact machine semantics.
+pub(crate) fn eval_bin(op: BinOp, a: i64, b: i64) -> i64 {
+    let alu = |o: Op| {
+        eval_alu(o, a, b, Default::default(), None)
+            .and_then(|r| r.value)
+            .expect("alu op evaluates")
+    };
+    match op {
+        BinOp::Add => alu(Op::Add),
+        BinOp::Sub => alu(Op::Sub),
+        BinOp::And => alu(Op::And),
+        BinOp::Or => alu(Op::Or),
+        BinOp::Xor => alu(Op::Xor),
+        BinOp::Shl => alu(Op::Shl),
+        BinOp::Sar => alu(Op::Sar),
+        BinOp::Mul => eval_complex(Op::Mul, a, b).expect("mul evaluates"),
+        BinOp::Div => eval_complex(Op::Div, a, b).expect("div evaluates"),
+        BinOp::Rem => eval_complex(Op::Rem, a, b).expect("rem evaluates"),
+    }
+}
+
+/// True if the macro-op ISA has a register-immediate form for `op`
+/// (`mul`/`div`/`rem` are register-register only).
+pub(crate) fn has_imm_form(op: BinOp) -> bool {
+    !matches!(op, BinOp::Mul | BinOp::Div | BinOp::Rem)
+}
+
+fn cond_of(op: CmpOp) -> Cond {
+    match op {
+        CmpOp::Eq => Cond::Eq,
+        CmpOp::Ne => Cond::Ne,
+        CmpOp::Lt => Cond::Lt,
+        CmpOp::Le => Cond::Le,
+        CmpOp::Gt => Cond::Gt,
+        CmpOp::Ge => Cond::Ge,
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Sym {
+    Scalar { off: i64 },
+    Array { off: i64, len: usize },
+}
+
+/// The lowered program before optimization and assembly.
+#[derive(Debug)]
+pub(crate) struct Lowered {
+    /// Linear IR.
+    pub ins: Vec<Ins>,
+    /// Initial-memory words from array initializers.
+    pub data: Vec<(u64, i64)>,
+    /// Guest-visible variable layout.
+    pub symbols: Vec<Symbol>,
+}
+
+struct LowerCtx {
+    ins: Vec<Ins>,
+    data: Vec<(u64, i64)>,
+    syms: HashMap<String, Sym>,
+    order: Vec<String>,
+    next_off: i64,
+    labels: usize,
+    iters: i64,
+}
+
+impl LowerCtx {
+    fn new_label(&mut self) -> usize {
+        self.labels += 1;
+        self.labels - 1
+    }
+
+    fn reg(depth: usize) -> u8 {
+        FIRST_EXPR_REG + depth as u8
+    }
+
+    fn declare(
+        &mut self,
+        name: &str,
+        sym: Sym,
+        line: usize,
+    ) -> Result<(), CompileError> {
+        if name == ITERS_NAME {
+            return Err(CompileError::Semantic {
+                line,
+                msg: format!("`{ITERS_NAME}` is a reserved builtin"),
+            });
+        }
+        if self.syms.contains_key(name) {
+            return Err(CompileError::Semantic {
+                line,
+                msg: format!("`{name}` is already declared"),
+            });
+        }
+        self.syms.insert(name.to_string(), sym);
+        self.order.push(name.to_string());
+        Ok(())
+    }
+
+    fn scalar_off(&self, name: &str, line: usize) -> Result<i64, CompileError> {
+        match self.syms.get(name) {
+            Some(Sym::Scalar { off }) => Ok(*off),
+            Some(Sym::Array { .. }) => Err(CompileError::Semantic {
+                line,
+                msg: format!("`{name}` is an array; index it"),
+            }),
+            None => Err(CompileError::Semantic {
+                line,
+                msg: format!("`{name}` is not declared"),
+            }),
+        }
+    }
+
+    fn array_off(&self, name: &str, line: usize) -> Result<i64, CompileError> {
+        match self.syms.get(name) {
+            Some(Sym::Array { off, .. }) => Ok(*off),
+            Some(Sym::Scalar { .. }) => Err(CompileError::Semantic {
+                line,
+                msg: format!("`{name}` is a scalar, not an array"),
+            }),
+            None => Err(CompileError::Semantic {
+                line,
+                msg: format!("`{name}` is not declared"),
+            }),
+        }
+    }
+
+    /// Evaluates `e` into the register for `depth`, returning that register.
+    fn eval(&mut self, e: &Expr, depth: usize) -> Result<u8, CompileError> {
+        if depth >= MAX_EXPR_DEPTH {
+            return Err(CompileError::TooComplex {
+                msg: format!("expression nesting exceeds {MAX_EXPR_DEPTH} temporaries"),
+            });
+        }
+        let dst = Self::reg(depth);
+        match e {
+            Expr::Num(n) => self.ins.push(Ins::MovImm { dst, imm: *n }),
+            Expr::Var(name, line) => {
+                if name == ITERS_NAME {
+                    self.ins.push(Ins::MovImm { dst, imm: self.iters });
+                } else {
+                    let off = self.scalar_off(name, *line)?;
+                    self.ins.push(Ins::Load { dst, base: GP, off });
+                }
+            }
+            Expr::Index(name, idx, line) => {
+                let base_addr = (GUEST_BASE as i64) + self.array_off(name, *line)?;
+                match self.eval_val(idx, depth)? {
+                    Val::Imm(k) => {
+                        self.ins.push(Ins::Load {
+                            dst,
+                            base: GP,
+                            off: self.array_off(name, *line)? + k.wrapping_mul(8),
+                        });
+                    }
+                    Val::Reg(r) => {
+                        debug_assert_eq!(r, dst);
+                        self.ins.push(Ins::Bin {
+                            op: BinOp::Shl,
+                            dst,
+                            lhs: dst,
+                            rhs: Val::Imm(3),
+                        });
+                        self.ins.push(Ins::Load { dst, base: dst, off: base_addr });
+                    }
+                }
+            }
+            Expr::Un(op, inner) => match op {
+                UnOp::Neg | UnOp::Not => {
+                    let src = self.eval(inner, depth)?;
+                    self.ins.push(Ins::Un { op: *op, dst, src });
+                }
+                UnOp::LogNot => {
+                    let src = self.eval(inner, depth)?;
+                    self.ins.push(Ins::SetCmp {
+                        cond: Cond::Eq,
+                        dst,
+                        lhs: src,
+                        rhs: Val::Imm(0),
+                    });
+                }
+            },
+            Expr::Bin(op, lhs, rhs) => {
+                let l = self.eval(lhs, depth)?;
+                let mut r = self.eval_val(rhs, depth + 1)?;
+                if let (false, Val::Imm(k)) = (has_imm_form(*op), r) {
+                    let rr = Self::reg(depth + 1);
+                    if depth + 1 >= MAX_EXPR_DEPTH {
+                        return Err(CompileError::TooComplex {
+                            msg: format!(
+                                "expression nesting exceeds {MAX_EXPR_DEPTH} temporaries"
+                            ),
+                        });
+                    }
+                    self.ins.push(Ins::MovImm { dst: rr, imm: k });
+                    r = Val::Reg(rr);
+                }
+                self.ins.push(Ins::Bin { op: *op, dst, lhs: l, rhs: r });
+            }
+            Expr::Cmp(op, lhs, rhs) => {
+                let l = self.eval(lhs, depth)?;
+                let r = self.eval_val(rhs, depth + 1)?;
+                self.ins.push(Ins::SetCmp { cond: cond_of(*op), dst, lhs: l, rhs: r });
+            }
+        }
+        Ok(dst)
+    }
+
+    /// Evaluates `e` as an operand: literals become immediates without
+    /// consuming a register.
+    fn eval_val(&mut self, e: &Expr, depth: usize) -> Result<Val, CompileError> {
+        if let Expr::Num(n) = e {
+            return Ok(Val::Imm(*n));
+        }
+        Ok(Val::Reg(self.eval(e, depth)?))
+    }
+
+    /// Emits a branch to `target` taken when `cond` evaluates false.
+    fn branch_if_false(&mut self, cond: &Expr, target: usize) -> Result<(), CompileError> {
+        match cond {
+            Expr::Cmp(op, lhs, rhs) => {
+                let l = self.eval(lhs, 0)?;
+                let r = self.eval_val(rhs, 1)?;
+                self.ins.push(Ins::CmpBr {
+                    cond: cond_of(*op).negate(),
+                    lhs: l,
+                    rhs: r,
+                    target,
+                });
+            }
+            Expr::Un(UnOp::LogNot, inner) => return self.branch_if_true(inner, target),
+            other => {
+                let r = self.eval(other, 0)?;
+                self.ins.push(Ins::CmpBr {
+                    cond: Cond::Eq,
+                    lhs: r,
+                    rhs: Val::Imm(0),
+                    target,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits a branch to `target` taken when `cond` evaluates true.
+    fn branch_if_true(&mut self, cond: &Expr, target: usize) -> Result<(), CompileError> {
+        match cond {
+            Expr::Cmp(op, lhs, rhs) => {
+                let l = self.eval(lhs, 0)?;
+                let r = self.eval_val(rhs, 1)?;
+                self.ins.push(Ins::CmpBr { cond: cond_of(*op), lhs: l, rhs: r, target });
+            }
+            Expr::Un(UnOp::LogNot, inner) => return self.branch_if_false(inner, target),
+            other => {
+                let r = self.eval(other, 0)?;
+                self.ins.push(Ins::CmpBr {
+                    cond: Cond::Ne,
+                    lhs: r,
+                    rhs: Val::Imm(0),
+                    target,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Let(name, e, line) => {
+                let v = self.eval_val(e, 0)?;
+                let off = self.next_off;
+                self.declare(name, Sym::Scalar { off }, *line)?;
+                self.next_off += 8;
+                self.ins.push(Ins::Store { src: v, base: GP, off });
+            }
+            Stmt::ArrayDecl(name, len, init, line) => {
+                let off = self.next_off;
+                self.declare(name, Sym::Array { off, len: *len }, *line)?;
+                self.next_off += 8 * *len as i64;
+                for (i, &v) in init.iter().enumerate() {
+                    if v != 0 {
+                        self.data.push((GUEST_BASE + (off as u64) + 8 * i as u64, v));
+                    }
+                }
+            }
+            Stmt::Assign(name, e, line) => {
+                let off = self.scalar_off(name, *line)?;
+                let v = self.eval_val(e, 0)?;
+                self.ins.push(Ins::Store { src: v, base: GP, off });
+            }
+            Stmt::ArrayAssign(name, idx, e, line) => {
+                let off = self.array_off(name, *line)?;
+                match self.eval_val(idx, 0)? {
+                    Val::Imm(k) => {
+                        let v = self.eval_val(e, 0)?;
+                        self.ins.push(Ins::Store {
+                            src: v,
+                            base: GP,
+                            off: off + k.wrapping_mul(8),
+                        });
+                    }
+                    Val::Reg(addr) => {
+                        self.ins.push(Ins::Bin {
+                            op: BinOp::Shl,
+                            dst: addr,
+                            lhs: addr,
+                            rhs: Val::Imm(3),
+                        });
+                        let v = self.eval_val(e, 1)?;
+                        self.ins.push(Ins::Store {
+                            src: v,
+                            base: addr,
+                            off: (GUEST_BASE as i64) + off,
+                        });
+                    }
+                }
+            }
+            Stmt::While(cond, body) => {
+                let top = self.new_label();
+                let exit = self.new_label();
+                self.ins.push(Ins::Label { id: top, align: true });
+                self.branch_if_false(cond, exit)?;
+                for s in body {
+                    self.stmt(s)?;
+                }
+                self.ins.push(Ins::Jmp { target: top });
+                self.ins.push(Ins::Label { id: exit, align: false });
+            }
+            Stmt::If(cond, then, els) => {
+                let else_l = self.new_label();
+                self.branch_if_false(cond, else_l)?;
+                for s in then {
+                    self.stmt(s)?;
+                }
+                if els.is_empty() {
+                    self.ins.push(Ins::Label { id: else_l, align: false });
+                } else {
+                    let end = self.new_label();
+                    self.ins.push(Ins::Jmp { target: end });
+                    self.ins.push(Ins::Label { id: else_l, align: false });
+                    for s in els {
+                        self.stmt(s)?;
+                    }
+                    self.ins.push(Ins::Label { id: end, align: false });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lowers a parsed program to linear IR.
+pub(crate) fn lower(stmts: &[Stmt], options: &Options) -> Result<Lowered, CompileError> {
+    let mut cx = LowerCtx {
+        ins: Vec::new(),
+        data: Vec::new(),
+        syms: HashMap::new(),
+        order: Vec::new(),
+        next_off: 0,
+        labels: 0,
+        iters: options.iters,
+    };
+    for s in stmts {
+        cx.stmt(s)?;
+    }
+    cx.ins.push(Ins::Halt);
+    let symbols = cx
+        .order
+        .iter()
+        .map(|name| {
+            let (off, len) = match cx.syms[name] {
+                Sym::Scalar { off } => (off, 1),
+                Sym::Array { off, len } => (off, len),
+            };
+            Symbol { name: name.clone(), addr: GUEST_BASE + off as u64, len }
+        })
+        .collect();
+    Ok(Lowered { ins: cx.ins, data: cx.data, symbols })
+}
+
+/// Assembles optimized IR into a [`Program`].
+pub(crate) fn emit(ins: &[Ins], data: &[(u64, i64)]) -> Result<Program, CompileError> {
+    // Internal invariant: every branch target has a surviving Label.
+    let defined: std::collections::HashSet<usize> = ins
+        .iter()
+        .filter_map(|i| match i {
+            Ins::Label { id, .. } => Some(*id),
+            _ => None,
+        })
+        .collect();
+    for i in ins {
+        let target = match i {
+            Ins::CmpBr { target, .. } | Ins::Jmp { target } => *target,
+            _ => continue,
+        };
+        if !defined.contains(&target) {
+            return Err(CompileError::Internal(format!(
+                "branch to deleted label {target}"
+            )));
+        }
+    }
+
+    let mut b = ProgramBuilder::new(ENTRY);
+    b.mov_imm(Reg::int(GP), GUEST_BASE as i64);
+    for &(addr, value) in data {
+        b.word(addr, value);
+    }
+    let mut labels: HashMap<usize, scc_isa::Label> = HashMap::new();
+    macro_rules! lbl {
+        ($id:expr) => {{
+            let id = $id;
+            match labels.get(&id) {
+                Some(l) => *l,
+                None => {
+                    let l = b.label();
+                    labels.insert(id, l);
+                    l
+                }
+            }
+        }};
+    }
+    for i in ins {
+        match i {
+            Ins::Label { id, align } => {
+                if *align {
+                    b.align_region();
+                }
+                let l = lbl!(*id);
+                b.bind(l);
+            }
+            Ins::MovImm { dst, imm } => b.mov_imm(Reg::int(*dst), *imm),
+            Ins::Mov { dst, src } => b.mov(Reg::int(*dst), Reg::int(*src)),
+            Ins::Bin { op, dst, lhs, rhs } => {
+                let (d, l) = (Reg::int(*dst), Reg::int(*lhs));
+                match (op, rhs) {
+                    (BinOp::Add, Val::Reg(r)) => b.add(d, l, Reg::int(*r)),
+                    (BinOp::Add, Val::Imm(k)) => b.add_imm(d, l, *k),
+                    (BinOp::Sub, Val::Reg(r)) => b.sub(d, l, Reg::int(*r)),
+                    (BinOp::Sub, Val::Imm(k)) => b.sub_imm(d, l, *k),
+                    (BinOp::And, Val::Reg(r)) => b.and(d, l, Reg::int(*r)),
+                    (BinOp::And, Val::Imm(k)) => b.and_imm(d, l, *k),
+                    (BinOp::Or, Val::Reg(r)) => b.or(d, l, Reg::int(*r)),
+                    (BinOp::Or, Val::Imm(k)) => b.or_imm(d, l, *k),
+                    (BinOp::Xor, Val::Reg(r)) => b.xor(d, l, Reg::int(*r)),
+                    (BinOp::Xor, Val::Imm(k)) => b.xor_imm(d, l, *k),
+                    (BinOp::Shl, Val::Reg(r)) => b.shl(d, l, Reg::int(*r)),
+                    (BinOp::Shl, Val::Imm(k)) => b.shl_imm(d, l, *k),
+                    (BinOp::Sar, Val::Reg(r)) => b.sar(d, l, Reg::int(*r)),
+                    (BinOp::Sar, Val::Imm(k)) => b.sar_imm(d, l, *k),
+                    (BinOp::Mul, Val::Reg(r)) => b.mul(d, l, Reg::int(*r)),
+                    (BinOp::Div, Val::Reg(r)) => b.div(d, l, Reg::int(*r)),
+                    (BinOp::Rem, Val::Reg(r)) => b.rem(d, l, Reg::int(*r)),
+                    (BinOp::Mul | BinOp::Div | BinOp::Rem, Val::Imm(_)) => {
+                        return Err(CompileError::Internal(
+                            "mul/div/rem with immediate operand".to_string(),
+                        ))
+                    }
+                }
+            }
+            Ins::Un { op, dst, src } => match op {
+                UnOp::Not => b.not(Reg::int(*dst), Reg::int(*src)),
+                UnOp::Neg => b.neg(Reg::int(*dst), Reg::int(*src)),
+                UnOp::LogNot => {
+                    return Err(CompileError::Internal("raw LogNot in IR".to_string()))
+                }
+            },
+            Ins::SetCmp { cond, dst, lhs, rhs } => {
+                match rhs {
+                    Val::Reg(r) => b.cmp(Reg::int(*lhs), Reg::int(*r)),
+                    Val::Imm(k) => b.cmp_imm(Reg::int(*lhs), *k),
+                }
+                b.setcc(*cond, Reg::int(*dst));
+            }
+            Ins::Load { dst, base, off } => b.load(Reg::int(*dst), Reg::int(*base), *off),
+            Ins::Store { src, base, off } => match src {
+                Val::Reg(r) => b.store(Reg::int(*r), Reg::int(*base), *off),
+                Val::Imm(k) => b.store_imm(*k, Reg::int(*base), *off),
+            },
+            Ins::CmpBr { cond, lhs, rhs, target } => {
+                let t = lbl!(*target);
+                match rhs {
+                    Val::Reg(r) => b.cmp_br(*cond, Reg::int(*lhs), Reg::int(*r), t),
+                    Val::Imm(k) => b.cmp_br_imm(*cond, Reg::int(*lhs), *k, t),
+                }
+            }
+            Ins::Jmp { target } => {
+                let t = lbl!(*target);
+                b.jmp(t);
+            }
+            Ins::Halt => b.halt(),
+        }
+    }
+    b.try_build().map_err(CompileError::Build)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::Opt;
+
+    fn lower_src(src: &str) -> Lowered {
+        let stmts = parse(src).unwrap();
+        lower(&stmts, &Options { opt: Opt::O0, iters: 7 }).unwrap()
+    }
+
+    #[test]
+    fn scalars_are_gp_relative() {
+        let l = lower_src("let a = 5; let b = a;");
+        assert!(l
+            .ins
+            .iter()
+            .any(|i| matches!(i, Ins::Store { src: Val::Imm(5), base: GP, off: 0 })));
+        assert!(l.ins.iter().any(|i| matches!(i, Ins::Load { base: GP, off: 0, .. })));
+        assert_eq!(l.symbols.len(), 2);
+        assert_eq!(l.symbols[1].addr, GUEST_BASE + 8);
+    }
+
+    #[test]
+    fn iters_builtin_is_a_constant() {
+        let l = lower_src("let n = ITERS;");
+        assert!(l.ins.iter().any(|i| matches!(i, Ins::MovImm { imm: 7, .. })));
+    }
+
+    #[test]
+    fn constant_array_index_uses_static_offset() {
+        let l = lower_src("array a[4]; a[2] = 9; let x = a[3];");
+        assert!(l
+            .ins
+            .iter()
+            .any(|i| matches!(i, Ins::Store { src: Val::Imm(9), base: GP, off: 16 })));
+        assert!(l.ins.iter().any(|i| matches!(i, Ins::Load { base: GP, off: 24, .. })));
+    }
+
+    #[test]
+    fn array_initializers_become_init_data() {
+        let l = lower_src("let pad = 0; array a[3] = { 10, 0, 30 };");
+        // Zero entries are skipped (memory defaults to zero).
+        assert_eq!(l.data, vec![(GUEST_BASE + 8, 10), (GUEST_BASE + 24, 30)]);
+    }
+
+    #[test]
+    fn while_lowers_to_negated_guard() {
+        let l = lower_src("let i = 0; while (i < 9) { i = i + 1; }");
+        assert!(l
+            .ins
+            .iter()
+            .any(|i| matches!(i, Ins::CmpBr { cond: Cond::Ge, rhs: Val::Imm(9), .. })));
+        assert!(l.ins.iter().any(|i| matches!(i, Ins::Label { align: true, .. })));
+    }
+
+    #[test]
+    fn semantic_errors_are_typed() {
+        let bad = [
+            "x = 1;",
+            "let a = 1; let a = 2;",
+            "let ITERS = 1;",
+            "array a[4]; let x = a;",
+            "let s = 1; s[0] = 2;",
+            "let y = nope[1];",
+        ];
+        for src in bad {
+            let stmts = parse(src).unwrap();
+            match lower(&stmts, &Options::default()) {
+                Err(CompileError::Semantic { .. }) => {}
+                other => panic!("{src}: expected semantic error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deep_expressions_are_rejected_not_miscompiled() {
+        let mut e = String::from("1");
+        for _ in 0..12 {
+            e = format!("(2 + ({e} * 3))");
+        }
+        let stmts = parse(&format!("let x = {e};")).unwrap();
+        match lower(&stmts, &Options::default()) {
+            Err(CompileError::TooComplex { .. }) => {}
+            other => panic!("expected TooComplex, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn emit_produces_a_valid_program() {
+        let l = lower_src("let i = 0; while (i < 4) { i = i + 1; }");
+        let p = emit(&l.ins, &l.data).unwrap();
+        assert_eq!(p.entry(), ENTRY);
+        let mut m = scc_isa::Machine::new(&p);
+        let r = m.run(100_000).unwrap();
+        assert!(r.halted);
+        assert_eq!(m.mem().read(GUEST_BASE), 4);
+    }
+}

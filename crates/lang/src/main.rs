@@ -1,0 +1,194 @@
+//! `scc-lang`: compile, run, and inspect guest programs.
+//!
+//! ```text
+//! scc-lang build <src.sccl> [-O0|-O1|-O2] [--iters N] [-o FILE.scctrace]
+//! scc-lang run   <src.sccl | FILE.scctrace> [-O..] [--iters N] [--max-uops N]
+//! scc-lang emit  <src.sccl> [-O0|-O1|-O2] [--iters N]
+//! ```
+
+use scc_lang::{compile, corpus, trace, CompileError, Opt, Options};
+
+const USAGE: &str = "\
+scc-lang: guest-language compiler for the SCC macro-op ISA
+
+USAGE:
+  scc-lang build <src.sccl> [-O0|-O1|-O2] [--iters N] [-o FILE.scctrace]
+  scc-lang run   <src.sccl | FILE.scctrace> [-O0|-O1|-O2] [--iters N] [--max-uops N]
+  scc-lang emit  <src.sccl> [-O0|-O1|-O2] [--iters N]
+
+COMMANDS:
+  build   Compile guest source and write a versioned SCCTRACE1 file
+          (default: the source path with extension .scctrace).
+  run     Compile and interpret guest source, or decode and interpret a
+          .scctrace file; print dynamic counts and final variables.
+  emit    Compile and print the disassembly plus pass statistics.
+
+The <src.sccl> argument also accepts `corpus:<name>` (e.g. corpus:sort)
+to use a committed example program. Default opt level is -O2, default
+ITERS is 1.
+";
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let r = match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("emit") => cmd_emit(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            return if args.is_empty() { 2 } else { 0 };
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match r {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("scc-lang: {e}");
+            1
+        }
+    }
+}
+
+struct Common {
+    input: String,
+    opt: Opt,
+    iters: i64,
+    out: Option<String>,
+    max_uops: u64,
+}
+
+fn parse_common(args: &[String]) -> Result<Common, String> {
+    let mut c = Common {
+        input: String::new(),
+        opt: Opt::O2,
+        iters: 1,
+        out: None,
+        max_uops: 200_000_000,
+    };
+    let mut i = 0;
+    let need = |i: &mut usize, what: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{what} needs a value"))
+    };
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(opt) = Opt::parse(a) {
+            c.opt = opt;
+        } else if a == "--iters" {
+            c.iters = need(&mut i, a)?.parse().map_err(|_| "--iters: not a number")?;
+        } else if a == "--max-uops" {
+            c.max_uops = need(&mut i, a)?.parse().map_err(|_| "--max-uops: not a number")?;
+        } else if a == "-o" {
+            c.out = Some(need(&mut i, a)?);
+        } else if a.starts_with('-') {
+            return Err(format!("unknown flag `{a}`"));
+        } else if c.input.is_empty() {
+            c.input = a.clone();
+        } else {
+            return Err(format!("unexpected argument `{a}`"));
+        }
+        i += 1;
+    }
+    if c.input.is_empty() {
+        return Err("missing input file".to_string());
+    }
+    Ok(c)
+}
+
+fn read_source(input: &str) -> Result<String, String> {
+    if let Some(name) = input.strip_prefix("corpus:") {
+        return corpus::find(name)
+            .map(|g| g.source.to_string())
+            .ok_or_else(|| format!("no corpus program named `{name}`"));
+    }
+    std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))
+}
+
+fn compile_input(c: &Common) -> Result<scc_lang::Compiled, String> {
+    let src = read_source(&c.input)?;
+    compile(&src, &Options { opt: c.opt, iters: c.iters }).map_err(|e| render(&c.input, e))
+}
+
+fn render(path: &str, e: CompileError) -> String {
+    format!("{path}: {e}")
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let c = parse_common(args)?;
+    let compiled = compile_input(&c)?;
+    let bytes = trace::encode(&compiled.program, env!("CARGO_PKG_VERSION"));
+    let out = c.out.clone().unwrap_or_else(|| {
+        let stem = c.input.strip_prefix("corpus:").unwrap_or(&c.input);
+        format!("{}.scctrace", stem.trim_end_matches(".sccl"))
+    });
+    std::fs::write(&out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+    let digest = trace::digest_hex(trace::program_digest(&compiled.program));
+    println!(
+        "wrote {out}: {} insts, {} uops static, digest {digest} ({} -> {} IR at {})",
+        compiled.program.insts().len(),
+        compiled.program.static_uop_count(),
+        compiled.stats.ir_before,
+        compiled.stats.ir_after,
+        c.opt.name(),
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let c = parse_common(args)?;
+    let (program, symbols) = if c.input.ends_with(".scctrace") {
+        let bytes = std::fs::read(&c.input).map_err(|e| format!("{}: {e}", c.input))?;
+        let t = trace::decode(&bytes).map_err(|e| format!("{}: {e}", c.input))?;
+        println!(
+            "trace digest {} (stamped by engine {})",
+            trace::digest_hex(t.digest),
+            if t.engine_rev.is_empty() { "<unknown>" } else { &t.engine_rev }
+        );
+        (t.program, Vec::new())
+    } else {
+        let compiled = compile_input(&c)?;
+        (compiled.program, compiled.symbols)
+    };
+    let mut m = scc_isa::Machine::new(&program);
+    let r = m.run(c.max_uops).map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} uops, {}",
+        c.input,
+        r.uops,
+        if r.halted { "halted" } else { "uop budget exhausted" }
+    );
+    for s in &symbols {
+        if s.len == 1 {
+            println!("  {} = {}", s.name, m.mem().read(s.addr));
+        } else {
+            let words: Vec<String> =
+                (0..s.len.min(16)).map(|i| m.mem().read(s.addr + 8 * i as u64).to_string()).collect();
+            let ell = if s.len > 16 { ", ..." } else { "" };
+            println!("  {}[{}] = [{}{}]", s.name, s.len, words.join(", "), ell);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_emit(args: &[String]) -> Result<(), String> {
+    let c = parse_common(args)?;
+    let compiled = compile_input(&c)?;
+    println!(
+        "# {} at {}: {} IR -> {} IR, {} macro-insts, {} static uops",
+        c.input,
+        c.opt.name(),
+        compiled.stats.ir_before,
+        compiled.stats.ir_after,
+        compiled.program.insts().len(),
+        compiled.program.static_uop_count(),
+    );
+    for s in &compiled.symbols {
+        println!("# {} at {:#x} ({} words)", s.name, s.addr, s.len);
+    }
+    print!("{}", scc_isa::disasm::disassemble(&compiled.program));
+    Ok(())
+}

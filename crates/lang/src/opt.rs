@@ -1,0 +1,520 @@
+//! Staged local peephole passes over the linear IR.
+//!
+//! Three passes, mirroring a classic local-optimization pipeline:
+//!
+//! 1. **Constant folding & propagation** ([`const_fold`]): per-block known
+//!    constant tracking; folds ALU/compare results, rewrites
+//!    register operands to immediates where the ISA has an immediate form,
+//!    resolves constant-index array addressing back to `GP`-relative
+//!    accesses, and turns decided compare-and-branches into `jmp`s (or
+//!    deletes them).
+//! 2. **Redundant-load elision** ([`load_elim`]): per-block store-to-load
+//!    forwarding and repeated-load CSE over `GP`-relative slots; loads
+//!    whose value is already in a register become moves (or vanish), and
+//!    stored constants forward straight into `movi`.
+//! 3. **Branch simplification** ([`simplify_branches`]): jump threading
+//!    through trivial trampolines, deletion of branches to the immediately
+//!    following address, unreachable-code sweeping, and unreferenced-label
+//!    pruning.
+//!
+//! All three are *local*: constant and availability state resets at every
+//! label, so correctness never depends on control-flow analysis. Folding
+//! evaluates through [`scc_isa::semantics`], so a folded constant is
+//! bit-identical to what the machine would compute.
+//!
+//! The passes rely on two lowering invariants (see [`crate::lower`]): `GP`
+//! (`r15`) is constant after the prologue, and no instruction reads
+//! condition codes produced by an earlier instruction.
+
+use crate::ast::UnOp;
+use crate::lower::{eval_bin, has_imm_form, Ins, Val, GP, GUEST_BASE};
+use scc_isa::{eval_cond, CcFlags};
+use std::collections::HashMap;
+
+const NUM_REGS: usize = 16;
+
+/// Constant folding and propagation (pass 1). See module docs.
+pub(crate) fn const_fold(ins: &mut Vec<Ins>) {
+    let mut known: [Option<i64>; NUM_REGS] = [None; NUM_REGS];
+    known[GP as usize] = Some(GUEST_BASE as i64);
+    let reset = |known: &mut [Option<i64>; NUM_REGS]| {
+        *known = [None; NUM_REGS];
+        known[GP as usize] = Some(GUEST_BASE as i64);
+    };
+    let mut out = Vec::with_capacity(ins.len());
+    for i in ins.drain(..) {
+        match i {
+            Ins::Label { .. } => {
+                reset(&mut known);
+                out.push(i);
+            }
+            Ins::MovImm { dst, imm } => {
+                known[dst as usize] = Some(imm);
+                out.push(i);
+            }
+            Ins::Mov { dst, src } => match known[src as usize] {
+                Some(v) => {
+                    known[dst as usize] = Some(v);
+                    out.push(Ins::MovImm { dst, imm: v });
+                }
+                None => {
+                    known[dst as usize] = None;
+                    out.push(i);
+                }
+            },
+            Ins::Bin { op, dst, lhs, mut rhs } => {
+                let rv = value_of(rhs, &known);
+                match (known[lhs as usize], rv) {
+                    (Some(a), Some(b)) => {
+                        let v = eval_bin(op, a, b);
+                        known[dst as usize] = Some(v);
+                        out.push(Ins::MovImm { dst, imm: v });
+                    }
+                    _ => {
+                        if has_imm_form(op) {
+                            if let (Val::Reg(_), Some(k)) = (rhs, rv) {
+                                rhs = Val::Imm(k);
+                            }
+                        }
+                        known[dst as usize] = None;
+                        out.push(Ins::Bin { op, dst, lhs, rhs });
+                    }
+                }
+            }
+            Ins::Un { op, dst, src } => match known[src as usize] {
+                Some(a) => {
+                    let v = match op {
+                        UnOp::Not => !a,
+                        UnOp::Neg => a.wrapping_neg(),
+                        UnOp::LogNot => i64::from(a == 0),
+                    };
+                    known[dst as usize] = Some(v);
+                    out.push(Ins::MovImm { dst, imm: v });
+                }
+                None => {
+                    known[dst as usize] = None;
+                    out.push(i);
+                }
+            },
+            Ins::SetCmp { cond, dst, lhs, mut rhs } => {
+                let rv = value_of(rhs, &known);
+                match (known[lhs as usize], rv) {
+                    (Some(a), Some(b)) => {
+                        let v = i64::from(eval_cond(cond, CcFlags::from_cmp(a, b)));
+                        known[dst as usize] = Some(v);
+                        out.push(Ins::MovImm { dst, imm: v });
+                    }
+                    _ => {
+                        if let (Val::Reg(_), Some(k)) = (rhs, rv) {
+                            rhs = Val::Imm(k);
+                        }
+                        known[dst as usize] = None;
+                        out.push(Ins::SetCmp { cond, dst, lhs, rhs });
+                    }
+                }
+            }
+            Ins::Load { dst, base, off } => {
+                let (base, off) = canonical_slot(base, off, &known);
+                known[dst as usize] = None;
+                out.push(Ins::Load { dst, base, off });
+            }
+            Ins::Store { mut src, base, off } => {
+                if let Val::Reg(r) = src {
+                    if let Some(k) = known[r as usize] {
+                        src = Val::Imm(k);
+                    }
+                }
+                let (base, off) = canonical_slot(base, off, &known);
+                out.push(Ins::Store { src, base, off });
+            }
+            Ins::CmpBr { cond, lhs, mut rhs, target } => {
+                let rv = value_of(rhs, &known);
+                match (known[lhs as usize], rv) {
+                    (Some(a), Some(b)) => {
+                        if eval_cond(cond, CcFlags::from_cmp(a, b)) {
+                            out.push(Ins::Jmp { target });
+                            reset(&mut known);
+                        }
+                        // Never-taken branches vanish entirely.
+                    }
+                    _ => {
+                        if let (Val::Reg(_), Some(k)) = (rhs, rv) {
+                            rhs = Val::Imm(k);
+                        }
+                        out.push(Ins::CmpBr { cond, lhs, rhs, target });
+                    }
+                }
+            }
+            Ins::Jmp { .. } => {
+                out.push(i);
+                reset(&mut known);
+            }
+            Ins::Halt => out.push(i),
+        }
+    }
+    *ins = out;
+}
+
+fn value_of(v: Val, known: &[Option<i64>; NUM_REGS]) -> Option<i64> {
+    match v {
+        Val::Imm(k) => Some(k),
+        Val::Reg(r) => known[r as usize],
+    }
+}
+
+/// Rewrites an access through a register holding a known absolute address
+/// into the canonical `GP`-relative form, so load elision sees one name
+/// per memory slot.
+fn canonical_slot(base: u8, off: i64, known: &[Option<i64>; NUM_REGS]) -> (u8, i64) {
+    if base == GP {
+        return (base, off);
+    }
+    match known[base as usize] {
+        Some(c) => (GP, c.wrapping_add(off).wrapping_sub(GUEST_BASE as i64)),
+        None => (base, off),
+    }
+}
+
+/// Redundant-load elision (pass 2). See module docs.
+pub(crate) fn load_elim(ins: &mut Vec<Ins>) {
+    // mem[GP+off] is in this register / is this constant.
+    let mut in_reg: HashMap<i64, u8> = HashMap::new();
+    let mut is_const: HashMap<i64, i64> = HashMap::new();
+    let mut out = Vec::with_capacity(ins.len());
+    for i in ins.drain(..) {
+        match i {
+            Ins::Label { .. } => {
+                in_reg.clear();
+                is_const.clear();
+                out.push(i);
+            }
+            Ins::Load { dst, base, off } if base == GP => {
+                if let Some(&k) = is_const.get(&off) {
+                    in_reg.retain(|_, r| *r != dst);
+                    in_reg.insert(off, dst);
+                    out.push(Ins::MovImm { dst, imm: k });
+                } else if let Some(&r) = in_reg.get(&off) {
+                    if r != dst {
+                        in_reg.retain(|_, v| *v != dst);
+                        in_reg.insert(off, r);
+                        out.push(Ins::Mov { dst, src: r });
+                    }
+                    // r == dst: the value is already there; drop the load.
+                } else {
+                    in_reg.retain(|_, r| *r != dst);
+                    in_reg.insert(off, dst);
+                    out.push(i);
+                }
+            }
+            Ins::Store { src, base, off } if base == GP => {
+                in_reg.remove(&off);
+                is_const.remove(&off);
+                match src {
+                    Val::Reg(r) => {
+                        in_reg.insert(off, r);
+                    }
+                    Val::Imm(k) => {
+                        is_const.insert(off, k);
+                    }
+                }
+                out.push(i);
+            }
+            Ins::Store { .. } => {
+                // A store through a computed address may alias any slot.
+                in_reg.clear();
+                is_const.clear();
+                out.push(i);
+            }
+            _ => {
+                if let Some(dst) = i.def() {
+                    in_reg.retain(|_, r| *r != dst);
+                }
+                out.push(i);
+            }
+        }
+    }
+    *ins = out;
+}
+
+/// Branch simplification and dead-code sweeping (pass 3). See module docs.
+pub(crate) fn simplify_branches(ins: &mut Vec<Ins>) {
+    for _ in 0..16 {
+        let mut changed = false;
+
+        // Jump threading: a branch to a label whose first real instruction
+        // is `jmp M` goes straight to M.
+        let trampoline: HashMap<usize, usize> = {
+            let mut t = HashMap::new();
+            for (idx, i) in ins.iter().enumerate() {
+                if let Ins::Label { id, .. } = i {
+                    let mut j = idx + 1;
+                    while matches!(ins.get(j), Some(Ins::Label { .. })) {
+                        j += 1;
+                    }
+                    if let Some(Ins::Jmp { target }) = ins.get(j) {
+                        if *target != *id {
+                            t.insert(*id, *target);
+                        }
+                    }
+                }
+            }
+            t
+        };
+        for i in ins.iter_mut() {
+            let target = match i {
+                Ins::CmpBr { target, .. } | Ins::Jmp { target } => target,
+                _ => continue,
+            };
+            let mut seen = vec![*target];
+            while let Some(&next) = trampoline.get(target) {
+                if seen.contains(&next) {
+                    break;
+                }
+                seen.push(next);
+                *target = next;
+                changed = true;
+            }
+        }
+
+        // Branches to the immediately following address are no-ops. (The
+        // compare side effect on flags is dead by the lowering invariant.)
+        let mut keep = vec![true; ins.len()];
+        for (idx, i) in ins.iter().enumerate() {
+            let target = match i {
+                Ins::CmpBr { target, .. } | Ins::Jmp { target } => *target,
+                _ => continue,
+            };
+            let mut j = idx + 1;
+            while let Some(Ins::Label { id, .. }) = ins.get(j) {
+                if *id == target {
+                    keep[idx] = false;
+                    changed = true;
+                    break;
+                }
+                j += 1;
+            }
+        }
+        retain_mask(ins, &keep);
+
+        // Unreachable sweep: after an unconditional transfer, everything up
+        // to the next label is dead. A trailing halt is kept so labels
+        // bound at the end of the program still precede an instruction.
+        let mut keep = vec![true; ins.len()];
+        let mut dead = false;
+        for (idx, i) in ins.iter().enumerate() {
+            match i {
+                Ins::Label { .. } => dead = false,
+                Ins::Halt if idx == ins.len() - 1 => {}
+                _ if dead => {
+                    keep[idx] = false;
+                    changed = true;
+                }
+                Ins::Jmp { .. } | Ins::Halt => dead = true,
+                _ => {}
+            }
+        }
+        retain_mask(ins, &keep);
+
+        // Unreferenced labels only cost alignment padding; drop them.
+        let referenced: std::collections::HashSet<usize> = ins
+            .iter()
+            .filter_map(|i| match i {
+                Ins::CmpBr { target, .. } | Ins::Jmp { target } => Some(*target),
+                _ => None,
+            })
+            .collect();
+        let before = ins.len();
+        ins.retain(|i| match i {
+            Ins::Label { id, .. } => referenced.contains(id),
+            _ => true,
+        });
+        changed |= ins.len() != before;
+
+        if !changed {
+            break;
+        }
+    }
+}
+
+fn retain_mask(ins: &mut Vec<Ins>, keep: &[bool]) {
+    let mut idx = 0;
+    ins.retain(|_| {
+        idx += 1;
+        keep[idx - 1]
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinOp;
+    use scc_isa::Cond;
+
+    #[test]
+    fn fold_evaluates_constant_chains() {
+        let mut ins = vec![
+            Ins::MovImm { dst: 1, imm: 6 },
+            Ins::Bin { op: BinOp::Mul, dst: 1, lhs: 1, rhs: Val::Reg(2) },
+            Ins::MovImm { dst: 2, imm: 7 },
+            Ins::Bin { op: BinOp::Add, dst: 3, lhs: 2, rhs: Val::Imm(1) },
+            Ins::Halt,
+        ];
+        // r2 unknown at the mul; known at the add.
+        const_fold(&mut ins);
+        assert!(matches!(ins[1], Ins::Bin { op: BinOp::Mul, .. }));
+        assert!(matches!(ins[3], Ins::MovImm { dst: 3, imm: 8 }));
+    }
+
+    #[test]
+    fn fold_rewrites_reg_operands_to_imm() {
+        let mut ins = vec![
+            Ins::MovImm { dst: 2, imm: 5 },
+            Ins::Load { dst: 1, base: GP, off: 0 },
+            Ins::Bin { op: BinOp::Add, dst: 1, lhs: 1, rhs: Val::Reg(2) },
+            Ins::Halt,
+        ];
+        const_fold(&mut ins);
+        assert!(matches!(
+            ins[2],
+            Ins::Bin { op: BinOp::Add, rhs: Val::Imm(5), .. }
+        ));
+    }
+
+    #[test]
+    fn fold_keeps_mul_operands_in_registers() {
+        let mut ins = vec![
+            Ins::MovImm { dst: 2, imm: 5 },
+            Ins::Load { dst: 1, base: GP, off: 0 },
+            Ins::Bin { op: BinOp::Mul, dst: 1, lhs: 1, rhs: Val::Reg(2) },
+            Ins::Halt,
+        ];
+        const_fold(&mut ins);
+        assert!(matches!(
+            ins[2],
+            Ins::Bin { op: BinOp::Mul, rhs: Val::Reg(2), .. }
+        ));
+    }
+
+    #[test]
+    fn fold_canonicalizes_constant_indexed_access() {
+        // shl r1, r1, 3 with r1 = 2, then load through r1: becomes a
+        // GP-relative load at offset 16+base-GUEST_BASE.
+        let base = GUEST_BASE as i64 + 40;
+        let mut ins = vec![
+            Ins::MovImm { dst: 1, imm: 2 },
+            Ins::Bin { op: BinOp::Shl, dst: 1, lhs: 1, rhs: Val::Imm(3) },
+            Ins::Load { dst: 2, base: 1, off: base },
+            Ins::Halt,
+        ];
+        const_fold(&mut ins);
+        assert!(matches!(ins[2], Ins::Load { base: GP, off: 56, .. }));
+    }
+
+    #[test]
+    fn fold_decides_branches() {
+        let mut ins = vec![
+            Ins::Label { id: 9, align: false },
+            Ins::MovImm { dst: 1, imm: 0 },
+            Ins::CmpBr { cond: Cond::Eq, lhs: 1, rhs: Val::Imm(0), target: 9 },
+            Ins::MovImm { dst: 2, imm: 1 },
+            Ins::CmpBr { cond: Cond::Ne, lhs: 2, rhs: Val::Imm(1), target: 9 },
+            Ins::Halt,
+        ];
+        const_fold(&mut ins);
+        assert!(matches!(ins[2], Ins::Jmp { target: 9 }));
+        assert!(matches!(ins[3], Ins::MovImm { .. }), "dead branch removed");
+        assert!(matches!(ins[4], Ins::Halt));
+    }
+
+    #[test]
+    fn load_elim_forwards_stores_and_dedups_loads() {
+        let mut ins = vec![
+            Ins::Store { src: Val::Reg(3), base: GP, off: 8 },
+            Ins::Load { dst: 1, base: GP, off: 8 },
+            Ins::Load { dst: 2, base: GP, off: 8 },
+            Ins::Halt,
+        ];
+        load_elim(&mut ins);
+        assert!(matches!(ins[1], Ins::Mov { dst: 1, src: 3 }));
+        assert!(matches!(ins[2], Ins::Mov { dst: 2, src: 3 }));
+    }
+
+    #[test]
+    fn load_elim_forwards_constant_stores() {
+        let mut ins = vec![
+            Ins::Store { src: Val::Imm(42), base: GP, off: 0 },
+            Ins::Load { dst: 1, base: GP, off: 0 },
+            Ins::Halt,
+        ];
+        load_elim(&mut ins);
+        assert!(matches!(ins[1], Ins::MovImm { dst: 1, imm: 42 }));
+    }
+
+    #[test]
+    fn load_elim_respects_redefinition_and_aliasing() {
+        let mut ins = vec![
+            Ins::Load { dst: 1, base: GP, off: 0 },
+            Ins::MovImm { dst: 1, imm: 9 }, // clobbers the cached copy
+            Ins::Load { dst: 2, base: GP, off: 0 },
+            Ins::Store { src: Val::Reg(2), base: 4, off: 0 }, // unknown address
+            Ins::Load { dst: 3, base: GP, off: 0 },
+            Ins::Halt,
+        ];
+        load_elim(&mut ins);
+        assert!(matches!(ins[2], Ins::Load { .. }), "clobbered copy reloads");
+        assert!(matches!(ins[4], Ins::Load { .. }), "aliased store invalidates");
+    }
+
+    #[test]
+    fn load_elim_drops_self_reload() {
+        let mut ins = vec![
+            Ins::Load { dst: 1, base: GP, off: 0 },
+            Ins::Load { dst: 1, base: GP, off: 0 },
+            Ins::Halt,
+        ];
+        load_elim(&mut ins);
+        assert_eq!(ins.len(), 2);
+    }
+
+    #[test]
+    fn branch_simplify_threads_and_sweeps() {
+        let mut ins = vec![
+            Ins::CmpBr { cond: Cond::Eq, lhs: 1, rhs: Val::Imm(0), target: 0 },
+            Ins::MovImm { dst: 1, imm: 1 },
+            Ins::Jmp { target: 2 },
+            Ins::MovImm { dst: 1, imm: 99 }, // unreachable
+            Ins::Label { id: 0, align: false },
+            Ins::Jmp { target: 2 }, // trampoline
+            Ins::Label { id: 2, align: false },
+            Ins::Halt,
+        ];
+        simplify_branches(&mut ins);
+        // The CmpBr is threaded through label 0 to label 2; the trampoline
+        // and the unreachable store are gone.
+        assert!(matches!(ins[0], Ins::CmpBr { target: 2, .. }));
+        assert!(!ins.iter().any(|i| matches!(i, Ins::MovImm { imm: 99, .. })));
+        assert!(!ins.iter().any(|i| matches!(i, Ins::Label { id: 0, .. })));
+    }
+
+    #[test]
+    fn branch_to_next_is_deleted() {
+        let mut ins = vec![
+            Ins::CmpBr { cond: Cond::Lt, lhs: 1, rhs: Val::Imm(4), target: 7 },
+            Ins::Label { id: 7, align: false },
+            Ins::Halt,
+        ];
+        simplify_branches(&mut ins);
+        assert!(matches!(ins[0], Ins::Halt), "{ins:?}");
+    }
+
+    #[test]
+    fn trailing_halt_survives_sweep() {
+        let mut ins = vec![
+            Ins::Label { id: 1, align: true },
+            Ins::Jmp { target: 1 },
+            Ins::Halt,
+        ];
+        simplify_branches(&mut ins);
+        assert!(matches!(ins.last(), Some(Ins::Halt)));
+    }
+}

@@ -1,0 +1,407 @@
+//! Recursive-descent parser for the guest language.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! program  := stmt*
+//! stmt     := "let" IDENT "=" expr ";"
+//!           | "array" IDENT "[" NUM "]" ( "=" "{" NUM ("," NUM)* ","? "}" )? ";"
+//!           | IDENT "=" expr ";"
+//!           | IDENT "[" expr "]" "=" expr ";"
+//!           | "while" "(" expr ")" block
+//!           | "if" "(" expr ")" block ("else" block)?
+//! block    := "{" stmt* "}"
+//! expr     := cmp
+//! cmp      := bitor (("=="|"!="|"<"|"<="|">"|">=") bitor)*
+//! bitor    := bitxor ("|" bitxor)*
+//! bitxor   := bitand ("^" bitand)*
+//! bitand   := shift ("&" shift)*
+//! shift    := add (("<<"|">>") add)*
+//! add      := mul (("+"|"-") mul)*
+//! mul      := unary (("*"|"/"|"%") unary)*
+//! unary    := ("-"|"~"|"!") unary | primary
+//! primary  := NUM | IDENT | IDENT "[" expr "]" | "(" expr ")"
+//! ```
+
+use crate::ast::{BinOp, CmpOp, Expr, Stmt, UnOp};
+use crate::lexer::{lex, Tok, Token};
+use crate::CompileError;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), CompileError> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("expected {want}")))
+        }
+    }
+
+    fn unexpected(&self, ctx: &str) -> CompileError {
+        CompileError::Syntax {
+            line: self.line(),
+            msg: format!("{ctx}, found {}", self.peek()),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.peek() {
+            Tok::Ident(name) => {
+                let name = name.clone();
+                self.bump();
+                Ok(name)
+            }
+            _ => Err(self.unexpected("expected an identifier")),
+        }
+    }
+
+    fn number(&mut self) -> Result<i64, CompileError> {
+        let neg = *self.peek() == Tok::Minus;
+        if neg {
+            self.bump();
+        }
+        match self.peek() {
+            Tok::Num(n) => {
+                let n = *n;
+                self.bump();
+                Ok(if neg { n.wrapping_neg() } else { n })
+            }
+            _ => Err(self.unexpected("expected a number")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::Eof {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return Err(self.unexpected("expected `}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Let => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(Tok::Assign)?;
+                let e = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Let(name, e, line))
+            }
+            Tok::Array => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(Tok::LBracket)?;
+                let len = self.number()?;
+                self.expect(Tok::RBracket)?;
+                if !(1..=4096).contains(&len) {
+                    return Err(CompileError::Semantic {
+                        line,
+                        msg: format!("array `{name}` size {len} outside 1..=4096"),
+                    });
+                }
+                let mut init = Vec::new();
+                if *self.peek() == Tok::Assign {
+                    self.bump();
+                    self.expect(Tok::LBrace)?;
+                    loop {
+                        if *self.peek() == Tok::RBrace {
+                            break;
+                        }
+                        init.push(self.number()?);
+                        if *self.peek() == Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RBrace)?;
+                    if init.len() > len as usize {
+                        return Err(CompileError::Semantic {
+                            line,
+                            msg: format!(
+                                "array `{name}` has {} initializers for {len} elements",
+                                init.len()
+                            ),
+                        });
+                    }
+                }
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::ArrayDecl(name, len as usize, init, line))
+            }
+            Tok::While => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            Tok::If => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then = self.block()?;
+                let els = if *self.peek() == Tok::Else {
+                    self.bump();
+                    if *self.peek() == Tok::If {
+                        // `else if` chains without requiring braces.
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                match self.peek() {
+                    Tok::LBracket => {
+                        self.bump();
+                        let idx = self.expr()?;
+                        self.expect(Tok::RBracket)?;
+                        self.expect(Tok::Assign)?;
+                        let val = self.expr()?;
+                        self.expect(Tok::Semi)?;
+                        Ok(Stmt::ArrayAssign(name, idx, val, line))
+                    }
+                    Tok::Assign => {
+                        self.bump();
+                        let e = self.expr()?;
+                        self.expect(Tok::Semi)?;
+                        Ok(Stmt::Assign(name, e, line))
+                    }
+                    _ => Err(self.unexpected("expected `=` or `[` after identifier")),
+                }
+            }
+            _ => Err(self.unexpected("expected a statement")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bitor()?;
+        loop {
+            let op = match self.peek() {
+                Tok::EqEq => CmpOp::Eq,
+                Tok::NotEq => CmpOp::Ne,
+                Tok::Lt => CmpOp::Lt,
+                Tok::Le => CmpOp::Le,
+                Tok::Gt => CmpOp::Gt,
+                Tok::Ge => CmpOp::Ge,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.bitor()?;
+            lhs = Expr::Cmp(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn bin_level(
+        &mut self,
+        ops: &[(Tok, BinOp)],
+        next: fn(&mut Parser) -> Result<Expr, CompileError>,
+    ) -> Result<Expr, CompileError> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in ops {
+                if self.peek() == tok {
+                    self.bump();
+                    let rhs = next(self)?;
+                    lhs = Expr::Bin(*op, Box::new(lhs), Box::new(rhs));
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn bitor(&mut self) -> Result<Expr, CompileError> {
+        self.bin_level(&[(Tok::Pipe, BinOp::Or)], Parser::bitxor)
+    }
+
+    fn bitxor(&mut self) -> Result<Expr, CompileError> {
+        self.bin_level(&[(Tok::Caret, BinOp::Xor)], Parser::bitand)
+    }
+
+    fn bitand(&mut self) -> Result<Expr, CompileError> {
+        self.bin_level(&[(Tok::Amp, BinOp::And)], Parser::shift)
+    }
+
+    fn shift(&mut self) -> Result<Expr, CompileError> {
+        self.bin_level(&[(Tok::Shl, BinOp::Shl), (Tok::Shr, BinOp::Sar)], Parser::add)
+    }
+
+    fn add(&mut self) -> Result<Expr, CompileError> {
+        self.bin_level(&[(Tok::Plus, BinOp::Add), (Tok::Minus, BinOp::Sub)], Parser::mul)
+    }
+
+    fn mul(&mut self) -> Result<Expr, CompileError> {
+        self.bin_level(
+            &[(Tok::Star, BinOp::Mul), (Tok::Slash, BinOp::Div), (Tok::Percent, BinOp::Rem)],
+            Parser::unary,
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let op = match self.peek() {
+            Tok::Minus => Some(UnOp::Neg),
+            Tok::Tilde => Some(UnOp::Not),
+            Tok::Bang => Some(UnOp::LogNot),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let inner = self.unary()?;
+                // Fold literal operands immediately so `-5` is a constant.
+                if let Expr::Num(n) = inner {
+                    return Ok(Expr::Num(match op {
+                        UnOp::Neg => n.wrapping_neg(),
+                        UnOp::Not => !n,
+                        UnOp::LogNot => i64::from(n == 0),
+                    }));
+                }
+                Ok(Expr::Un(op, Box::new(inner)))
+            }
+            None => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if *self.peek() == Tok::LBracket {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    Ok(Expr::Index(name, Box::new(idx), line))
+                } else {
+                    Ok(Expr::Var(name, line))
+                }
+            }
+            _ => Err(self.unexpected("expected an expression")),
+        }
+    }
+}
+
+/// Parses guest source into a statement list.
+pub fn parse(src: &str) -> Result<Vec<Stmt>, CompileError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declarations_and_loops() {
+        let prog = parse(
+            "let i = 0;\narray a[4] = { 1, 2 };\nwhile (i < 4) { a[i] = i * i; i = i + 1; }",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 3);
+        assert!(matches!(&prog[0], Stmt::Let(n, Expr::Num(0), 1) if n == "i"));
+        assert!(matches!(&prog[1], Stmt::ArrayDecl(n, 4, init, 2) if n == "a" && init == &[1, 2]));
+        match &prog[2] {
+            Stmt::While(Expr::Cmp(CmpOp::Lt, _, _), body) => assert_eq!(body.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_binds_mul_over_add_over_shift() {
+        // 1 + 2 * 3 << 1 parses as (1 + (2*3)) << 1.
+        match parse("let x = 1 + 2 * 3 << 1;").unwrap().remove(0) {
+            Stmt::Let(_, Expr::Bin(BinOp::Shl, lhs, _), _) => {
+                assert!(matches!(*lhs, Expr::Bin(BinOp::Add, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chains_parse() {
+        let prog = parse(
+            "let x = 1; if (x == 0) { x = 1; } else if (x == 1) { x = 2; } else { x = 3; }",
+        )
+        .unwrap();
+        match &prog[1] {
+            Stmt::If(_, _, els) => assert!(matches!(&els[0], Stmt::If(_, _, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_literals_fold_in_the_parser() {
+        assert!(matches!(
+            parse("let x = -42;").unwrap().remove(0),
+            Stmt::Let(_, Expr::Num(-42), _)
+        ));
+        assert!(matches!(
+            parse("let x = !0;").unwrap().remove(0),
+            Stmt::Let(_, Expr::Num(1), _)
+        ));
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        match parse("let x = 1;\nlet y = ;") {
+            Err(CompileError::Syntax { line: 2, .. }) => {}
+            other => panic!("expected line-2 syntax error, got {other:?}"),
+        }
+        assert!(parse("array a[0];").is_err(), "zero-size array rejected");
+        assert!(parse("array a[2] = {1,2,3};").is_err(), "excess initializers rejected");
+    }
+}

@@ -11,7 +11,10 @@
 //! {"proto":2,"verb":"run","id":"r-1","workload":"freqmine","iters":800,
 //!  "level":"full-scc","deadline_ms":2000,"max_cycles":400000000,
 //!  "audit":false}
+//! {"proto":2,"verb":"run-trace","id":"t-1","trace":"<base64 SCCTRACE1>",
+//!  "level":"full-scc","deadline_ms":2000,"max_cycles":400000000,"audit":false}
 //! {"proto":2,"verb":"key","workload":"freqmine","iters":800,"level":"full-scc"}
+//! {"proto":2,"verb":"key","trace":"<base64 SCCTRACE1>","level":"full-scc"}
 //! {"proto":2,"verb":"stats"}
 //! {"proto":2,"verb":"health"}
 //! {"proto":2,"verb":"persist"}
@@ -124,6 +127,10 @@ pub enum ErrorCode {
     BudgetExhausted,
     /// The workload name does not exist in the suite.
     UnknownWorkload,
+    /// The `run-trace` payload was not a valid `SCCTRACE1` blob
+    /// (bad base64, bad magic, version mismatch, truncation, CRC
+    /// failure, or a malformed program body).
+    BadTrace,
     /// No persistent store is attached (or it failed to open).
     StoreUnavailable,
     /// The persistent store failed an I/O operation.
@@ -150,6 +157,7 @@ impl ErrorCode {
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::BudgetExhausted => "budget_exhausted",
             ErrorCode::UnknownWorkload => "unknown_workload",
+            ErrorCode::BadTrace => "bad_trace",
             ErrorCode::StoreUnavailable => "store_unavailable",
             ErrorCode::StoreIo => "store_io",
             ErrorCode::ShardUnavailable => "shard_unavailable",
@@ -173,6 +181,7 @@ impl ErrorCode {
             ErrorCode::DeadlineExceeded,
             ErrorCode::BudgetExhausted,
             ErrorCode::UnknownWorkload,
+            ErrorCode::BadTrace,
             ErrorCode::StoreUnavailable,
             ErrorCode::StoreIo,
             ErrorCode::ShardUnavailable,
@@ -223,17 +232,66 @@ pub struct RunRequest {
     pub audit: bool,
 }
 
+/// A parsed `run-trace` request: an externally compiled program shipped
+/// as a versioned `SCCTRACE1` blob (base64 in the JSON frame), plus the
+/// same execution knobs as `run`. The payload is fully validated at
+/// parse time — magic, versions, CRC, and program reconstruction — so a
+/// frame that parses can always be executed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRequest {
+    /// Client-chosen request ID, echoed on the response.
+    pub id: Option<String>,
+    /// The decoded (binary) `SCCTRACE1` bytes, already validated.
+    pub trace_bytes: Vec<u8>,
+    /// The trace's content digest (`scc_lang::trace::program_digest`),
+    /// from which the job's `trace:<digest>` workload name derives.
+    pub digest: u64,
+    /// Optimization level.
+    pub level: OptLevel,
+    /// Optional cycle-budget override (clamped by the server).
+    pub max_cycles: Option<u64>,
+    /// Optional deadline, milliseconds from request receipt.
+    pub deadline_ms: Option<u64>,
+    /// Request the SCC decision audit log of the run.
+    pub audit: bool,
+}
+
+impl TraceRequest {
+    /// The equivalent run-shaped request: workload named by content
+    /// digest, scale pinned to 1 (the program is fully specified — there
+    /// is nothing to scale). Everything downstream of admission — the
+    /// job key, the result cache, the store, ring placement — sees an
+    /// ordinary [`RunRequest`] through this view, which is how trace
+    /// jobs get uniform treatment with zero special cases.
+    pub fn as_run_request(&self) -> RunRequest {
+        RunRequest {
+            id: self.id.clone(),
+            workload: scc_sim::runner::trace_workload_name(self.digest),
+            iters: 1,
+            level: self.level,
+            max_cycles: self.max_cycles,
+            deadline_ms: self.deadline_ms,
+            audit: self.audit,
+        }
+    }
+}
+
 /// A parsed request frame.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Simulate one job.
     Run(RunRequest),
+    /// Simulate one ingested `SCCTRACE1` program.
+    RunTrace(TraceRequest),
     /// Return the canonical content key of a run-shaped request — the
     /// exact string the cache and store identify the result by and the
     /// string `scc-route` hashes for shard placement. Takes the same
     /// fields as `run` (`deadline_ms`/`audit` are accepted and
     /// ignored; they are not part of the key).
     Key(RunRequest),
+    /// Return the canonical content key of a `run-trace`-shaped request
+    /// (the `key` verb with a `trace` field instead of a `workload`).
+    KeyTrace(TraceRequest),
     /// Service introspection: queue, counters, cache.
     Stats,
     /// Liveness/readiness: `ok` or `draining`.
@@ -331,13 +389,17 @@ pub fn parse_request(line: &str) -> Result<Frame, ProtoError> {
         "warm" => Request::Warm,
         "shutdown" => Request::Shutdown,
         "run" => Request::Run(parse_run(&doc, proto, id)?),
+        "run-trace" => Request::RunTrace(parse_trace(&doc, proto, id)?),
+        // `key` takes either shape: a `trace` field selects the
+        // trace-job key, otherwise the registry-workload key.
+        "key" if doc.get("trace").is_some() => Request::KeyTrace(parse_trace(&doc, proto, id)?),
         "key" => Request::Key(parse_run(&doc, proto, id)?),
         other => {
             return Err(ProtoError::new(
                 proto,
                 E::UnknownVerb,
                 format!(
-                    "unknown verb `{}` (expected run|key|stats|health|persist|warm|shutdown)",
+                    "unknown verb `{}` (expected run|run-trace|key|stats|health|persist|warm|shutdown)",
                     escape(other)
                 ),
                 id,
@@ -363,13 +425,26 @@ fn parse_run(doc: &Json, proto: Proto, id: Option<String>) -> Result<RunRequest,
             _ => return bad(format!("`iters` must be an integer in 1..={MAX_ITERS}"), &id),
         },
     };
+    let (level, max_cycles, deadline_ms, audit) = parse_exec_opts(doc, proto, &id)?;
+    Ok(RunRequest { id, workload, iters, level, max_cycles, deadline_ms, audit })
+}
+
+/// The execution knobs shared by `run` and `run-trace`.
+fn parse_exec_opts(
+    doc: &Json,
+    proto: Proto,
+    id: &Option<String>,
+) -> Result<(OptLevel, Option<u64>, Option<u64>, bool), ProtoError> {
+    let bad = |msg: String| {
+        Err(ProtoError::new(proto, ErrorCode::BadRequest, msg, id.clone()))
+    };
     let level = match doc.get("level") {
         None => OptLevel::Full,
         Some(v) => match v.as_str().and_then(parse_level) {
             Some(l) => l,
             None => {
                 let labels: Vec<&str> = OptLevel::all().iter().map(|l| l.label()).collect();
-                return bad(format!("`level` must be one of {}", labels.join("|")), &id);
+                return bad(format!("`level` must be one of {}", labels.join("|")));
             }
         },
     };
@@ -377,24 +452,56 @@ fn parse_run(doc: &Json, proto: Proto, id: Option<String>) -> Result<RunRequest,
         None => None,
         Some(v) => match v.as_u64() {
             Some(n) if n >= 1 => Some(n),
-            _ => return bad("`max_cycles` must be a positive integer".into(), &id),
+            _ => return bad("`max_cycles` must be a positive integer".into()),
         },
     };
     let deadline_ms = match doc.get("deadline_ms") {
         None => None,
         Some(v) => match v.as_u64() {
             Some(n) => Some(n),
-            None => return bad("`deadline_ms` must be a non-negative integer".into(), &id),
+            None => return bad("`deadline_ms` must be a non-negative integer".into()),
         },
     };
     let audit = match doc.get("audit") {
         None => false,
         Some(v) => match v.as_bool() {
             Some(b) => b,
-            None => return bad("`audit` must be a boolean".into(), &id),
+            None => return bad("`audit` must be a boolean".into()),
         },
     };
-    Ok(RunRequest { id, workload, iters, level, max_cycles, deadline_ms, audit })
+    Ok((level, max_cycles, deadline_ms, audit))
+}
+
+/// Parses and fully validates a `run-trace`-shaped frame. The base64
+/// payload is decoded and the `SCCTRACE1` body verified end to end
+/// (magic, format/schema versions, CRC, program reconstruction) right
+/// here, so a malformed or version-stale trace is rejected at admission
+/// with [`ErrorCode::BadTrace`] and never reaches a worker.
+fn parse_trace(doc: &Json, proto: Proto, id: Option<String>) -> Result<TraceRequest, ProtoError> {
+    let fail = |code: ErrorCode, msg: String, id: &Option<String>| {
+        Err(ProtoError::new(proto, code, msg, id.clone()))
+    };
+    let b64 = match doc.get("trace").and_then(Json::as_str) {
+        Some(t) if !t.is_empty() => t,
+        Some(_) => return fail(ErrorCode::BadRequest, "`trace` must be non-empty".into(), &id),
+        None => {
+            return fail(
+                ErrorCode::BadRequest,
+                "run-trace needs a base64 `trace` string".into(),
+                &id,
+            )
+        }
+    };
+    let trace_bytes = match scc_lang::trace::from_base64(b64) {
+        Some(b) => b,
+        None => return fail(ErrorCode::BadTrace, "`trace` is not valid base64".into(), &id),
+    };
+    let digest = match scc_lang::trace::decode(&trace_bytes) {
+        Ok(t) => t.digest,
+        Err(e) => return fail(ErrorCode::BadTrace, format!("invalid SCCTRACE1 payload: {e}"), &id),
+    };
+    let (level, max_cycles, deadline_ms, audit) = parse_exec_opts(doc, proto, &id)?;
+    Ok(TraceRequest { id, trace_bytes, digest, level, max_cycles, deadline_ms, audit })
 }
 
 /// The canonical content key of a run-shaped request, as the serving
@@ -414,6 +521,16 @@ pub fn run_key(req: &RunRequest, max_cycles_cap: u64) -> String {
         opts.max_cycles,
         &opts.to_pipeline_config(),
     )
+}
+
+/// The canonical content key of a `run-trace`-shaped request: exactly
+/// [`run_key`] over the trace's synthesized run view
+/// ([`TraceRequest::as_run_request`]). Because the workload name is the
+/// trace's content digest, byte-identical traces share a key — and so a
+/// cache entry, a store record, and a shard — regardless of which
+/// client submitted them.
+pub fn trace_key(req: &TraceRequest, max_cycles_cap: u64) -> String {
+    run_key(&req.as_run_request(), max_cycles_cap)
 }
 
 fn id_field(id: Option<&str>) -> String {
@@ -716,6 +833,7 @@ mod tests {
             ErrorCode::DeadlineExceeded,
             ErrorCode::BudgetExhausted,
             ErrorCode::UnknownWorkload,
+            ErrorCode::BadTrace,
             ErrorCode::StoreUnavailable,
             ErrorCode::StoreIo,
             ErrorCode::ShardUnavailable,
@@ -724,6 +842,7 @@ mod tests {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
         }
         assert_eq!(ErrorCode::parse("not_a_code"), None);
+        assert!(!ErrorCode::BadTrace.is_retryable());
         assert!(ErrorCode::QueueFull.is_retryable());
         assert!(ErrorCode::ShardUnavailable.is_retryable());
         assert!(ErrorCode::OverCapacity.is_retryable());
@@ -778,6 +897,69 @@ mod tests {
         let mut over = req.clone();
         over.max_cycles = Some(u64::MAX);
         assert_eq!(run_key(&over, cap), key);
+    }
+
+    fn example_trace_b64() -> String {
+        let g = scc_lang::corpus::find("cksum").expect("corpus entry");
+        let c = g.compile(scc_lang::Opt::O2, 1).expect("compiles");
+        scc_lang::trace::to_base64(&scc_lang::trace::encode(&c.program, "test"))
+    }
+
+    #[test]
+    fn run_trace_parses_and_synthesizes_a_digest_named_job() {
+        let b64 = example_trace_b64();
+        let f = parse(&format!(
+            r#"{{"proto":2,"verb":"run-trace","id":"t-1","trace":"{b64}","level":"baseline"}}"#
+        ))
+        .unwrap();
+        assert_eq!(f.proto, Proto::V2);
+        let tr = match f.request {
+            Request::RunTrace(tr) => tr,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(tr.level, OptLevel::Baseline);
+        let run = tr.as_run_request();
+        assert_eq!(run.workload, scc_sim::runner::trace_workload_name(tr.digest));
+        assert_eq!(run.iters, 1);
+        assert!(scc_sim::runner::is_trace_workload(&run.workload));
+        // The key verb computes the same key `run-trace` executes under.
+        let kf = parse(&format!(r#"{{"verb":"key","trace":"{b64}","level":"baseline"}}"#)).unwrap();
+        match kf.request {
+            Request::KeyTrace(kt) => assert_eq!(trace_key(&kt, 1000), trace_key(&tr, 1000)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_and_version_stale_traces_are_bad_trace() {
+        let g = scc_lang::corpus::find("cksum").unwrap();
+        let c = g.compile(scc_lang::Opt::O2, 1).unwrap();
+        let good = scc_lang::trace::encode(&c.program, "test");
+
+        // Truncation, body corruption (CRC), and a future format
+        // version must all reject with the typed code — never a panic.
+        let mut cases: Vec<Vec<u8>> = vec![good[..good.len() / 2].to_vec()];
+        let mut corrupt = good.clone();
+        *corrupt.last_mut().unwrap() ^= 0x40;
+        cases.push(corrupt);
+        let mut stale = good.clone();
+        stale[8] = 0xEE; // format_version low byte
+        cases.push(stale);
+        for bytes in cases {
+            let b64 = scc_lang::trace::to_base64(&bytes);
+            let e = parse(&format!(r#"{{"verb":"run-trace","id":"x","trace":"{b64}"}}"#))
+                .unwrap_err();
+            assert_eq!(e.code, ErrorCode::BadTrace);
+            assert_eq!(e.id.as_deref(), Some("x"));
+        }
+        // Not base64 at all.
+        let e = parse(r#"{"verb":"run-trace","trace":"@@@@"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadTrace);
+        // Missing/empty payloads are request-shape errors, not trace errors.
+        let e = parse(r#"{"verb":"run-trace"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        let e = parse(r#"{"verb":"run-trace","trace":""}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
     }
 
     #[test]

@@ -68,7 +68,7 @@ use crate::frame::{FrameReader, FrameWriter, Poll};
 use crate::net::{Addr, Stream};
 use crate::protocol::{
     error_response, key_response, metrics_object, ok_response, parse_request, run_key,
-    ErrorCode, Proto, Request, MAX_FRAME_BYTES,
+    trace_key, ErrorCode, Proto, Request, MAX_FRAME_BYTES,
 };
 use crate::ring::Ring;
 #[cfg(unix)]
@@ -593,6 +593,10 @@ fn frame_action(
             let key = run_key(&req, cfg.max_cycles);
             Reply(key_response(proto, req.id.as_deref(), &key))
         }
+        Request::KeyTrace(req) => {
+            let key = trace_key(&req, cfg.max_cycles);
+            Reply(key_response(proto, req.id.as_deref(), &key))
+        }
         Request::Persist | Request::Warm => Reply(error_response(
             proto,
             None,
@@ -607,11 +611,33 @@ fn frame_action(
             "router is draining; submit to another instance",
             None,
         )),
+        Request::RunTrace(req) if draining => Reply(error_response(
+            proto,
+            req.id.as_deref(),
+            ErrorCode::Draining,
+            "router is draining; submit to another instance",
+            None,
+        )),
         Request::Run(req) => {
             // Forward the client's bytes verbatim: the router adds
             // nothing and rewrites nothing, so shard responses (keyed
             // by the same id and proto) pass through byte-identical.
             let shard = ring.shard_for(&run_key(&req, cfg.max_cycles));
+            pending.push(PendingForward {
+                token,
+                shard,
+                line: format!("{line}\n"),
+                proto,
+                id: req.id,
+            });
+            FrameDisposition::JobQueued
+        }
+        Request::RunTrace(req) => {
+            // Trace jobs place by the same canonical key machinery —
+            // the digest-derived name means byte-identical traces from
+            // any client land on the same shard, and the frame still
+            // forwards verbatim.
+            let shard = ring.shard_for(&trace_key(&req, cfg.max_cycles));
             pending.push(PendingForward {
                 token,
                 shard,

@@ -52,14 +52,16 @@ use crate::conn::FrameDisposition;
 use crate::net::{Addr, Stream};
 use crate::protocol::{
     error_response, key_response, metrics_object, ok_response, parse_request, run_key,
-    run_response, ErrorCode, Proto, Request, RunRequest, MAX_FRAME_BYTES,
+    run_response, trace_key, ErrorCode, Proto, Request, RunRequest, TraceRequest,
+    MAX_FRAME_BYTES,
 };
 #[cfg(unix)]
 use crate::sys;
 use scc_pipeline::{Metric, MetricValue};
 use scc_sim::runner::{resolve_workload, validate_workload_name, Job, StoreTier};
 use scc_sim::{cache_metrics, Runner, SimOptions};
-use scc_workloads::Scale;
+use scc_workloads::{Scale, Suite, Workload};
+use std::borrow::Cow;
 
 /// How long a worker waits on the queue condvar before re-checking the
 /// drain flag.
@@ -120,6 +122,10 @@ impl Default for ServerConfig {
 struct QueuedJob {
     proto: Proto,
     req: RunRequest,
+    /// `Some` for a `run-trace` job: the ingested program, already
+    /// decoded and named `trace:<digest>` in `req.workload`. `None` for
+    /// registry jobs, which the worker resolves by name.
+    workload: Option<Workload>,
     deadline: Option<Instant>,
     token: u64,
 }
@@ -732,8 +738,50 @@ fn handle_frame(shared: &Shared, line: &str, token: u64) -> FrameDisposition {
             let key = run_key(&req, shared.cfg.max_cycles);
             Reply(key_response(proto, id.as_deref(), &key))
         }
-        Request::Run(run) => submit_run(shared, proto, run, token),
+        Request::KeyTrace(req) => {
+            // The payload was fully validated at parse time, so the key
+            // is always computable — no workload-name check applies.
+            let key = trace_key(&req, shared.cfg.max_cycles);
+            Reply(key_response(proto, req.id.as_deref(), &key))
+        }
+        Request::Run(run) => submit_run(shared, proto, run, None, token),
+        Request::RunTrace(tr) => submit_trace(shared, proto, tr, token),
     }
+}
+
+/// Converts a validated `run-trace` request into an ordinary queued
+/// job: the decoded program becomes a [`Workload`] named by content
+/// digest, and everything downstream (queueing, deadline handling, the
+/// cache fast path, store write-through) is the `run` path verbatim.
+fn submit_trace(
+    shared: &Shared,
+    proto: Proto,
+    tr: TraceRequest,
+    token: u64,
+) -> FrameDisposition {
+    let req = tr.as_run_request();
+    let trace = match scc_lang::trace::decode(&tr.trace_bytes) {
+        Ok(t) => t,
+        // Unreachable in practice: the parser validated the same bytes.
+        Err(e) => {
+            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            return FrameDisposition::Reply(error_response(
+                proto,
+                req.id.as_deref(),
+                ErrorCode::BadTrace,
+                &format!("invalid SCCTRACE1 payload: {e}"),
+                None,
+            ));
+        }
+    };
+    let workload = Workload {
+        name: Cow::Owned(req.workload.clone()),
+        suite: Suite::Guest,
+        program: trace.program,
+        description: "ingested SCCTRACE1 program",
+        scale: Scale::custom(req.iters),
+    };
+    submit_run(shared, proto, req, Some(workload), token)
 }
 
 /// The `persist`/`warm` rejection when no store tier is attached —
@@ -749,21 +797,31 @@ fn store_unavailable(shared: &Shared, proto: Proto) -> String {
 
 /// Validates and enqueues one `run` request; the response arrives via
 /// the completion path once a worker finishes it.
-fn submit_run(shared: &Shared, proto: Proto, req: RunRequest, token: u64) -> FrameDisposition {
+fn submit_run(
+    shared: &Shared,
+    proto: Proto,
+    req: RunRequest,
+    workload: Option<Workload>,
+    token: u64,
+) -> FrameDisposition {
     use FrameDisposition::{JobQueued, Reply};
     let id = req.id.clone();
     // Validate the workload name before spending a queue slot, so a
     // typo never occupies capacity. Name-only: this runs on the I/O
     // thread for every request, so it must not build the program.
-    if let Err(e) = validate_workload_name(&req.workload) {
-        shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
-        return Reply(error_response(
-            proto,
-            id.as_deref(),
-            ErrorCode::from_job_error(&e),
-            &e.to_string(),
-            None,
-        ));
+    // Trace jobs carry their (already validated) program and a
+    // synthesized digest name, so the registry check does not apply.
+    if workload.is_none() {
+        if let Err(e) = validate_workload_name(&req.workload) {
+            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            return Reply(error_response(
+                proto,
+                id.as_deref(),
+                ErrorCode::from_job_error(&e),
+                &e.to_string(),
+                None,
+            ));
+        }
     }
     let deadline = req.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
     {
@@ -791,7 +849,7 @@ fn submit_run(shared: &Shared, proto: Proto, req: RunRequest, token: u64) -> Fra
                 Some(hint),
             ));
         }
-        q.push_back(QueuedJob { proto, req, deadline, token });
+        q.push_back(QueuedJob { proto, req, workload, deadline, token });
     }
     shared.work_ready.notify_one();
     JobQueued
@@ -867,12 +925,23 @@ fn execute_job(shared: &Shared, qj: &QueuedJob) -> String {
             return run_response(proto, id, &r, None);
         }
     }
-    let workload = match resolve_workload(&req.workload, Scale::custom(req.iters)) {
-        Ok(w) => w,
-        Err(e) => {
-            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            return error_response(proto, id, ErrorCode::from_job_error(&e), &e.to_string(), None);
-        }
+    let workload = match &qj.workload {
+        // A trace job travels with its decoded program; nothing to
+        // resolve.
+        Some(w) => w.clone(),
+        None => match resolve_workload(&req.workload, Scale::custom(req.iters)) {
+            Ok(w) => w,
+            Err(e) => {
+                shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                return error_response(
+                    proto,
+                    id,
+                    ErrorCode::from_job_error(&e),
+                    &e.to_string(),
+                    None,
+                );
+            }
+        },
     };
     let mut opts = SimOptions::new(req.level);
     opts.max_cycles = req.max_cycles.unwrap_or(shared.cfg.max_cycles).min(shared.cfg.max_cycles);

@@ -8,7 +8,15 @@
 //! for it: integer vs FP mix, value predictability of hot loads, branch
 //! predictability, memory-boundedness, ILP, and code footprint (see
 //! DESIGN.md §4). The kernels in [`kernels`] are the building blocks;
-//! [`all_workloads`] returns the full 19-benchmark suite.
+//! [`all_workloads`] returns the full suite.
+//!
+//! Alongside the 19 synthetic stand-ins, the suite carries six **guest
+//! workloads** ([`Suite::Guest`]): small real programs written in the
+//! `scc-lang` guest language (`crates/lang/guest/*.sccl`), compiled at
+//! `O2` by the `scc-lang` frontend. They exercise genuinely compiled
+//! control flow and array traffic rather than characteristic-tuned
+//! kernels, and flow through figures, ablations, and serving with no
+//! special-casing.
 //!
 //! # Example
 //!
@@ -16,7 +24,7 @@
 //! use scc_workloads::{all_workloads, Scale};
 //!
 //! let suite = all_workloads(Scale::test());
-//! assert_eq!(suite.len(), 19);
+//! assert_eq!(suite.len(), 25);
 //! let xalan = suite.iter().find(|w| w.name == "xalancbmk").unwrap();
 //! assert!(xalan.program.static_uop_count() > 0);
 //! ```
@@ -27,6 +35,7 @@
 pub mod kernels;
 
 use scc_isa::{Program, ProgramBuilder};
+use std::borrow::Cow;
 
 /// Which benchmark suite a workload stands in for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -37,6 +46,10 @@ pub enum Suite {
     SpecFp,
     /// PARSEC 3.0.
     Parsec,
+    /// Guest programs compiled by `scc-lang` — real program shapes
+    /// (loops, branches, array traffic) rather than characteristic-tuned
+    /// synthetic kernels.
+    Guest,
 }
 
 impl Suite {
@@ -74,8 +87,10 @@ impl Scale {
 /// A named benchmark stand-in.
 #[derive(Clone, Debug)]
 pub struct Workload {
-    /// Benchmark name (matches the paper's figures).
-    pub name: &'static str,
+    /// Benchmark name (matches the paper's figures). Registry workloads
+    /// use borrowed static names; dynamically ingested programs (e.g.
+    /// `trace:<digest>` jobs from `scc-serve`) use owned ones.
+    pub name: Cow<'static, str>,
     /// Source suite.
     pub suite: Suite,
     /// The generated program.
@@ -103,7 +118,7 @@ macro_rules! workload_fn {
             let mut $b = ProgramBuilder::new(0x1000);
             $body
             Workload {
-                name: $label,
+                name: Cow::Borrowed($label),
                 suite: $suite,
                 program: finish($b),
                 description: $desc,
@@ -339,11 +354,62 @@ workload_fn!(
     }
 );
 
+// --- Guest (scc-lang) ---
+
+/// Builds the guest workload for one `scc_lang::corpus` entry: the
+/// committed source compiled at `O2`, with the outer-loop `ITERS`
+/// derived from the workload scale so guest programs land in the same
+/// dynamic-length band as the synthetic suite.
+fn guest(registry_name: &'static str, corpus_name: &str, scale: Scale) -> Workload {
+    let g = scc_lang::corpus::find(corpus_name)
+        .unwrap_or_else(|| panic!("no corpus program `{corpus_name}`"));
+    let compiled = g
+        .compile(scc_lang::Opt::O2, g.iters_at(scale.iters))
+        .unwrap_or_else(|e| panic!("guest `{corpus_name}` failed to compile: {e}"));
+    Workload {
+        name: Cow::Borrowed(registry_name),
+        suite: Suite::Guest,
+        program: compiled.program,
+        description: g.description,
+        scale,
+    }
+}
+
+/// Guest insertion sort (`crates/lang/guest/sort.sccl`).
+pub fn g_sort(s: Scale) -> Workload {
+    guest("g_sort", "sort", s)
+}
+
+/// Guest sieve of Eratosthenes (`crates/lang/guest/sieve.sccl`).
+pub fn g_sieve(s: Scale) -> Workload {
+    guest("g_sieve", "sieve", s)
+}
+
+/// Guest 4×4 integer matrix multiply (`crates/lang/guest/matmul.sccl`).
+pub fn g_matmul(s: Scale) -> Workload {
+    guest("g_matmul", "matmul", s)
+}
+
+/// Guest substring search (`crates/lang/guest/search.sccl`).
+pub fn g_search(s: Scale) -> Workload {
+    guest("g_search", "search", s)
+}
+
+/// Guest bytecode-interpreter loop (`crates/lang/guest/interp.sccl`).
+pub fn g_interp(s: Scale) -> Workload {
+    guest("g_interp", "interp", s)
+}
+
+/// Guest Adler-style checksum (`crates/lang/guest/cksum.sccl`).
+pub fn g_cksum(s: Scale) -> Workload {
+    guest("g_cksum", "cksum", s)
+}
+
 /// Name → constructor registry, in the paper's figure order. Program
 /// generation is deferred to the constructor, so name lookups and
 /// existence checks cost nothing — callers that validate request names
 /// on a hot path (e.g. the serving admission check) must not pay for
-/// 19 program builds per probe.
+/// a full suite of program builds per probe.
 type WorkloadEntry = (&'static str, fn(Scale) -> Workload);
 
 const REGISTRY: &[WorkloadEntry] = &[
@@ -366,10 +432,16 @@ const REGISTRY: &[WorkloadEntry] = &[
     ("swaptions", swaptions),
     ("vips", vips),
     ("x264", x264),
+    ("g_sort", g_sort),
+    ("g_sieve", g_sieve),
+    ("g_matmul", g_matmul),
+    ("g_search", g_search),
+    ("g_interp", g_interp),
+    ("g_cksum", g_cksum),
 ];
 
-/// The full 19-benchmark suite (11 SPEC + 8 PARSEC), in the paper's
-/// figure order.
+/// The full 25-benchmark suite (11 SPEC + 8 PARSEC + 6 compiled guest
+/// programs), in the paper's figure order.
 pub fn all_workloads(scale: Scale) -> Vec<Workload> {
     REGISTRY.iter().map(|(_, build)| build(scale)).collect()
 }
@@ -396,15 +468,16 @@ mod tests {
     use scc_isa::Machine;
 
     #[test]
-    fn suite_has_nineteen_benchmarks() {
+    fn suite_has_twenty_five_benchmarks() {
         let suite = all_workloads(Scale::test());
-        assert_eq!(suite.len(), 19);
+        assert_eq!(suite.len(), 25);
         assert_eq!(suite.iter().filter(|w| w.suite.is_spec()).count(), 11);
         assert_eq!(suite.iter().filter(|w| w.suite == Suite::Parsec).count(), 8);
-        let mut names: Vec<_> = suite.iter().map(|w| w.name).collect();
+        assert_eq!(suite.iter().filter(|w| w.suite == Suite::Guest).count(), 6);
+        let mut names: Vec<_> = suite.iter().map(|w| w.name.clone()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 19, "names must be unique");
+        assert_eq!(names.len(), 25, "names must be unique");
     }
 
     #[test]
@@ -414,7 +487,23 @@ mod tests {
             assert!(workload_exists(name));
         }
         assert!(!workload_exists("perlbench2"));
-        assert_eq!(workload_names().count(), 19);
+        assert_eq!(workload_names().count(), 25);
+    }
+
+    #[test]
+    fn guest_workloads_are_compiled_programs_that_do_real_work() {
+        for name in ["g_sort", "g_sieve", "g_matmul", "g_search", "g_interp", "g_cksum"] {
+            let w = workload(name, Scale::test()).unwrap();
+            assert_eq!(w.suite, Suite::Guest);
+            let mut m = Machine::new(&w.program);
+            let r = m.run(50_000_000).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(r.halted, "{name} did not halt");
+            // Compiled output touches guest memory, not just registers.
+            assert!(
+                m.op_count_of(scc_isa::Op::Store) > 0,
+                "{name} never stores"
+            );
+        }
     }
 
     #[test]

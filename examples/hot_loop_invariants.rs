@@ -48,7 +48,7 @@ fn threshold_kernel(n: i64, reps: i64) -> Workload {
     b.cmp_br_imm(Cond::Ne, r(10), 0, outer);
     b.halt();
     Workload {
-        name: "threshold-kernel",
+        name: "threshold-kernel".into(),
         suite: Suite::SpecInt,
         program: b.build(),
         description: "y = x + f(alpha, beta) with runtime-constant alpha/beta",
